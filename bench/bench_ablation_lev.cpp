@@ -1,0 +1,85 @@
+// Ablation: Levenshtein implementation tiers (Section VI-B). The paper
+// uses the native levenshtein() for short inputs and a linear-memory
+// variant for long ones; the banded variant with early exit is what makes
+// NTI's bounded search cheap on non-matching inputs.
+#include <benchmark/benchmark.h>
+
+#include "match/levenshtein.h"
+#include "match/substring.h"
+#include "util/rng.h"
+
+using namespace joza;
+
+namespace {
+
+std::pair<std::string, std::string> MakeInputs(std::size_t n) {
+  Rng rng(7 + n);
+  std::string a = rng.NextToken(n);
+  std::string b = a;
+  // ~10% random edits.
+  for (std::size_t i = 0; i < n / 10 + 1; ++i) {
+    b[rng.NextBelow(b.size())] = 'Z';
+  }
+  return {a, b};
+}
+
+void ConfigureArgs(benchmark::internal::Benchmark* b) {
+  b->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+}
+
+void BM_LevenshteinFull(benchmark::State& state) {
+  auto [a, b] = MakeInputs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(match::LevenshteinFull(a, b));
+  }
+}
+BENCHMARK(BM_LevenshteinFull)->Apply(ConfigureArgs);
+
+void BM_LevenshteinTwoRow(benchmark::State& state) {
+  auto [a, b] = MakeInputs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(match::LevenshteinTwoRow(a, b));
+  }
+}
+BENCHMARK(BM_LevenshteinTwoRow)->Apply(ConfigureArgs);
+
+void BM_LevenshteinBanded(benchmark::State& state) {
+  auto [a, b] = MakeInputs(static_cast<std::size_t>(state.range(0)));
+  const std::size_t bound = static_cast<std::size_t>(state.range(0)) / 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(match::LevenshteinBanded(a, b, bound));
+  }
+}
+BENCHMARK(BM_LevenshteinBanded)->Apply(ConfigureArgs);
+
+// NTI's actual workload: input-vs-query substring distance. The bounded
+// variant prunes hopeless inputs almost immediately.
+void BM_SubstringUnbounded(benchmark::State& state) {
+  Rng rng(3);
+  std::string query =
+      "SELECT * FROM wp_posts WHERE id = 17 AND post_status = 'publish' "
+      "ORDER BY id DESC LIMIT " +
+      rng.NextToken(static_cast<std::size_t>(state.range(0)));
+  std::string input = rng.NextToken(24);  // unrelated input
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(match::BestSubstringMatch(query, input));
+  }
+}
+BENCHMARK(BM_SubstringUnbounded)->Arg(64)->Arg(512);
+
+void BM_SubstringBounded(benchmark::State& state) {
+  Rng rng(3);
+  std::string query =
+      "SELECT * FROM wp_posts WHERE id = 17 AND post_status = 'publish' "
+      "ORDER BY id DESC LIMIT " +
+      rng.NextToken(static_cast<std::size_t>(state.range(0)));
+  std::string input = rng.NextToken(24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(match::BestSubstringMatchBounded(query, input, 6));
+  }
+}
+BENCHMARK(BM_SubstringBounded)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Ablation: PTI matching strategy — Aho-Corasick automaton vs the paper's
+// per-fragment scan (with and without the MRU + parse-first optimizations),
+// as the fragment vocabulary grows.
+#include <benchmark/benchmark.h>
+
+#include "attack/catalog.h"
+#include "phpsrc/fragments.h"
+#include "pti/pti.h"
+#include "util/rng.h"
+
+using namespace joza;
+
+namespace {
+
+php::FragmentSet MakeVocabulary(std::size_t extra_fragments) {
+  auto app = attack::MakeTestbed();
+  php::FragmentSet set = php::FragmentSet::FromSources(app->sources());
+  Rng rng(42);
+  for (std::size_t i = 0; i < extra_fragments; ++i) {
+    set.AddRaw("SELECT " + rng.NextToken(8) + " FROM " + rng.NextToken(8) +
+               " WHERE " + rng.NextToken(6) + " = ");
+  }
+  return set;
+}
+
+const char* kBenignQuery =
+    "SELECT title, views FROM wp_posts WHERE id = 7";
+const char* kAttackQuery =
+    "SELECT title, views FROM wp_posts WHERE id = -1 "
+    "union select login, pass from wp_users";
+
+void ConfigureArgs(benchmark::internal::Benchmark* b) {
+  b->Arg(100)->Arg(400)->Arg(1600);
+}
+
+void BM_PtiAhoCorasick(benchmark::State& state) {
+  pti::PtiConfig cfg;
+  cfg.use_aho_corasick = true;
+  pti::PtiAnalyzer pti(MakeVocabulary(static_cast<std::size_t>(state.range(0))),
+                       cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pti.Analyze(kBenignQuery).attack_detected);
+    benchmark::DoNotOptimize(pti.Analyze(kAttackQuery).attack_detected);
+  }
+}
+BENCHMARK(BM_PtiAhoCorasick)->Apply(ConfigureArgs);
+
+void BM_PtiNaiveScanOptimized(benchmark::State& state) {
+  pti::PtiConfig cfg;
+  cfg.use_aho_corasick = false;
+  cfg.parse_first = true;
+  cfg.mru_size = 64;
+  pti::PtiAnalyzer pti(MakeVocabulary(static_cast<std::size_t>(state.range(0))),
+                       cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pti.Analyze(kBenignQuery).attack_detected);
+    benchmark::DoNotOptimize(pti.Analyze(kAttackQuery).attack_detected);
+  }
+}
+BENCHMARK(BM_PtiNaiveScanOptimized)->Apply(ConfigureArgs);
+
+void BM_PtiNaiveScanUnoptimized(benchmark::State& state) {
+  pti::PtiConfig cfg;
+  cfg.use_aho_corasick = false;
+  cfg.parse_first = false;
+  cfg.mru_size = 0;
+  pti::PtiAnalyzer pti(MakeVocabulary(static_cast<std::size_t>(state.range(0))),
+                       cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pti.Analyze(kBenignQuery).attack_detected);
+    benchmark::DoNotOptimize(pti.Analyze(kAttackQuery).attack_detected);
+  }
+}
+BENCHMARK(BM_PtiNaiveScanUnoptimized)->Apply(ConfigureArgs);
+
+// Index construction cost (paid per daemon spawn in the unoptimized tier).
+void BM_PtiIndexBuild(benchmark::State& state) {
+  auto vocab = MakeVocabulary(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    pti::PtiAnalyzer pti(vocab);
+    benchmark::DoNotOptimize(pti.fragments().size());
+  }
+}
+BENCHMARK(BM_PtiIndexBuild)->Apply(ConfigureArgs);
+
+}  // namespace
+
+BENCHMARK_MAIN();

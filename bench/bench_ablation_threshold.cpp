@@ -1,0 +1,98 @@
+// Ablation: NTI threshold sensitivity (Section III-A's "Sensitivity to
+// Threshold Value" weakness).
+//
+// Sweeping the difference-ratio threshold shows the bind the paper
+// describes: raising it catches more transformed attacks but starts
+// flagging benign requests, and *no* value stops the quote-comment evasion
+// because the attacker just adds more quotes.
+#include "attack/catalog.h"
+#include "attack/evasion.h"
+#include "attack/exploit.h"
+#include "attack/workload.h"
+#include "nti/nti.h"
+#include "report.h"
+
+using namespace joza;
+
+int main() {
+  auto app = attack::MakeTestbed();
+  const auto& catalog = attack::PluginCatalog();
+
+  // Benign (query, inputs) pairs harvested from the workload generators by
+  // capturing what the application actually issues.
+  struct BenignSample {
+    std::string query;
+    std::vector<http::Input> inputs;
+  };
+  std::vector<BenignSample> benign;
+  {
+    std::vector<attack::WorkloadRequest> reqs;
+    for (auto& w : attack::MakeCrawlWorkload(60, 1)) reqs.push_back(w);
+    for (auto& w : attack::MakeCommentWorkload(40, 2)) reqs.push_back(w);
+    for (auto& w : attack::MakeSearchWorkload(40, 3)) reqs.push_back(w);
+    for (const auto& wr : reqs) {
+      app->SetQueryGate([&](std::string_view sql, const http::Request& r) {
+        benign.push_back({std::string(sql), r.AllInputs()});
+        return webapp::GateDecision{};
+      });
+      app->Handle(wr.request);
+    }
+    app->SetQueryGate(nullptr);
+  }
+
+  bench::Table table({"Threshold", "Originals detected", "Evasions detected",
+                      "Benign flagged", "Quotes to re-evade"});
+  for (double threshold : {0.05, 0.10, 0.20, 0.30, 0.40, 0.45}) {
+    nti::NtiConfig cfg;
+    cfg.threshold = threshold;
+    nti::NtiAnalyzer nti(cfg);
+
+    int originals = 0;
+    int evasions_detected = 0;
+    int evadable = 0;
+    for (const attack::PluginSpec& p : catalog) {
+      attack::Exploit orig = attack::OriginalExploit(p);
+      auto detects = [&](const std::string& payload) {
+        return nti
+            .Analyze(attack::QueryFor(p, payload),
+                     attack::InputsFor(p, payload))
+            .attack_detected;
+      };
+      if (detects(orig.payload)) ++originals;
+      // Mutations crafted against the 0.20 reference threshold: a higher
+      // threshold catches some of them...
+      nti::NtiConfig reference;
+      attack::NtiMutation m = attack::MutateForNtiEvasion(p, orig, reference);
+      if (m.possible && m.technique != "transport-encoding") {
+        ++evadable;
+        if (detects(m.exploit.payload)) ++evasions_detected;
+      }
+    }
+
+    int benign_flagged = 0;
+    for (const BenignSample& s : benign) {
+      if (nti.Analyze(s.query, s.inputs).attack_detected) ++benign_flagged;
+    }
+
+    // ...but the attacker recalibrates: quotes needed against THIS
+    // threshold for a 30-byte payload (always finite below 0.5).
+    std::size_t base = 34;
+    std::size_t quotes =
+        threshold >= 0.5
+            ? 0
+            : static_cast<std::size_t>(threshold * base / (1 - 2 * threshold)) +
+                  1;
+    table.AddRow({bench::Num(threshold, 2),
+                  std::to_string(originals) + "/" +
+                      std::to_string(catalog.size()),
+                  std::to_string(evasions_detected) + "/" +
+                      std::to_string(evadable),
+                  std::to_string(benign_flagged) + "/" +
+                      std::to_string(benign.size()),
+                  std::to_string(quotes)});
+  }
+  table.Print(
+      "Ablation: NTI threshold sweep (evasions were tuned for t=0.20; the "
+      "last column shows the attacker's trivial re-tune)");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Section VI-A's measurement setup at the paper's scale: "a fully
+// functional Wordpress site populated with 1001 unique URLs. Crawling the
+// entire website resulted in approximately 20,000 SQL queries."
+//
+// Reproduced: a testbed with 1000 posts, a crawl over 1001 unique URLs
+// (front page + 1000 post pages), the resulting query count, cache hit
+// accounting and per-query analysis cost under full Joza protection.
+#include "attack/catalog.h"
+#include "perf_util.h"
+#include "report.h"
+
+using namespace joza;
+
+int main() {
+  constexpr std::size_t kPosts = 1000;
+  auto app = webapp::MakeWordpressLikeApp(/*seed=*/2015, kPosts);
+  attack::InstallCatalog(*app);
+
+  // The 1001 unique URLs: "/" plus every post page.
+  std::vector<attack::WorkloadRequest> crawl;
+  crawl.push_back({http::Request::Get("/", {}), false});
+  for (std::size_t i = 1; i <= kPosts; ++i) {
+    crawl.push_back(
+        {http::Request::Get("/post", {{"id", std::to_string(i)}}), false});
+  }
+
+  // Unprotected baseline (one unmeasured warm-up crawl first so the
+  // process/allocator cold start doesn't land in the baseline).
+  bench::ServeOnce(*app, crawl);
+  const double plain = bench::ServeOnce(*app, crawl);
+
+  core::Joza joza = core::Joza::Install(*app);
+  app->SetQueryGate(joza.MakeGate());
+  // First crawl: cold caches (the installer just ran).
+  const double cold = bench::ServeOnce(*app, crawl);
+  const core::JozaStats after_cold = joza.stats();
+  // Second crawl: steady state.
+  const double warm = bench::ServeOnce(*app, crawl);
+  const core::JozaStats after_warm = joza.stats();
+  app->SetQueryGate(nullptr);
+
+  bench::Table table({"Metric", "Value", "Paper"});
+  table.AddRow({"Unique URLs crawled", std::to_string(crawl.size()), "1001"});
+  table.AddRow({"SQL queries per crawl",
+                std::to_string(after_cold.queries_checked), "~20,000"});
+  table.AddRow({"Cold-crawl full PTI runs",
+                std::to_string(after_cold.pti_full_runs), "-"});
+  table.AddRow(
+      {"Warm-crawl full PTI runs",
+       std::to_string(after_warm.pti_full_runs - after_cold.pti_full_runs),
+       "~0 (cache)"});
+  const std::size_t warm_queries =
+      after_warm.queries_checked - after_cold.queries_checked;
+  const std::size_t warm_hits =
+      (after_warm.query_cache_hits - after_cold.query_cache_hits) +
+      (after_warm.structure_cache_hits - after_cold.structure_cache_hits);
+  table.AddRow({"Warm-crawl cache hit rate",
+                bench::Pct(static_cast<double>(warm_hits) /
+                           static_cast<double>(warm_queries)),
+                "high"});
+  table.AddRow({"Crawl time plain (s)", bench::Num(plain), "-"});
+  table.AddRow({"Crawl time cold (s)", bench::Num(cold), "-"});
+  table.AddRow({"Crawl time warm (s)", bench::Num(warm), "-"});
+  table.AddRow({"Warm overhead", bench::Pct(bench::Overhead(plain, warm)),
+                "<4% (read)"});
+  table.AddRow({"False positives", std::to_string(after_warm.attacks_detected),
+                "0"});
+  table.Print("Crawl at paper scale (1001 URLs)");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Section VI-C: estimating the cost of the user-level daemon design.
+//
+// The paper estimates that shipping PTI as a PHP extension (no daemon
+// spawn, no pipe IPC) would cost only 1.7% even at 50% writes. Here the
+// "extension" tier is the in-process analyzer, and the daemon tier routes
+// every uncached PTI analysis through the persistent daemon's pipes.
+#include "attack/catalog.h"
+#include "ipc/daemon.h"
+#include "perf_util.h"
+#include "report.h"
+
+using namespace joza;
+
+int main() {
+  const auto make = [](std::uint64_t seed) {
+    return attack::MakeMixedWorkload(400, 0.5, seed);
+  };
+  constexpr int kReps = 6;
+
+  auto app = attack::MakeTestbed();
+  auto fragments = php::FragmentSet::FromSources(app->sources());
+
+  // The estimate isolates the daemon's spawn/IPC cost, so the structure
+  // cache is off: dynamic (write) queries must actually reach the PTI
+  // backend on every request, as they did in the paper's measurement.
+  core::JozaConfig jc;
+  jc.structure_cache = false;
+
+  // "Extension": in-process PTI (the default backend).
+  double plain, ext_time;
+  {
+    auto plain_app = attack::MakeTestbed();
+    core::Joza joza = core::Joza::Install(*app, jc);
+    app->SetQueryGate(joza.MakeGate());
+    bench::ServeOnce(*app, make(1));
+    const auto timing = bench::MeasurePair(*plain_app, *app, make, kReps, 900);
+    plain = timing.plain;
+    ext_time = timing.protected_time;
+    app->SetQueryGate(nullptr);
+  }
+
+  // Daemon: uncached analyses cross the pipe to the persistent daemon.
+  double daemon_time;
+  {
+    auto plain_app = attack::MakeTestbed();
+    core::Joza joza = core::Joza::Install(*app, jc);
+    ipc::DaemonClient client(ipc::DaemonClient::Mode::kPersistent, fragments);
+    client.Ping();
+    joza.SetPtiBackend(client.AsPtiBackend());
+    app->SetQueryGate(joza.MakeGate());
+    bench::ServeOnce(*app, make(1));
+    const auto timing = bench::MeasurePair(*plain_app, *app, make, kReps, 900);
+    daemon_time = timing.protected_time;
+    app->SetQueryGate(nullptr);
+  }
+
+  bench::Table table({"Deployment", "Time (s)", "Overhead vs plain",
+                      "Paper (50% writes)"});
+  table.AddRow({"No protection", bench::Num(plain), "-", "-"});
+  table.AddRow({"PTI as extension (in-process)", bench::Num(ext_time),
+                bench::Pct(bench::Overhead(plain, ext_time)), "1.7%"});
+  table.AddRow({"PTI via user-level daemon", bench::Num(daemon_time),
+                bench::Pct(bench::Overhead(plain, daemon_time)), "8.96%"});
+  table.Print(
+      "Section VI-C: extension vs user-level daemon deployment estimate");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Extraction economics per channel class: how many requests the automated
+// tool needs to pull an 11-character secret through each observable
+// channel (Section V's union / standard-blind / double-blind taxonomy),
+// and what the attacker gets once Joza is installed.
+#include "attack/extractor.h"
+#include "core/joza.h"
+#include "report.h"
+
+using namespace joza;
+
+namespace {
+
+const attack::PluginSpec& Find(const char* name) {
+  for (const attack::PluginSpec& p : attack::PluginCatalog()) {
+    if (p.name == name) return p;
+  }
+  std::abort();
+}
+
+}  // namespace
+
+int main() {
+  const char* targets[] = {"Count per Day", "Eventify", "MyStat",
+                           "Advertiser"};
+
+  bench::Table table({"Target", "Channel", "Requests (open)",
+                      "Secret recovered", "Requests (Joza)",
+                      "Recovered under Joza"});
+  for (const char* name : targets) {
+    const attack::PluginSpec& plugin = Find(name);
+
+    auto open_app = attack::MakeTestbed();
+    attack::Extractor open_ex(*open_app, plugin);
+    auto open = open_ex.ExtractSecret();
+
+    auto prot_app = attack::MakeTestbed();
+    core::Joza joza = core::Joza::Install(*prot_app);
+    prot_app->SetQueryGate(joza.MakeGate());
+    attack::Extractor prot_ex(*prot_app, plugin);
+    auto prot = prot_ex.ExtractSecret();
+    prot_app->SetQueryGate(nullptr);
+
+    table.AddRow({plugin.name, open.technique,
+                  std::to_string(open.requests_used),
+                  open.success ? "\"" + open.extracted + "\"" : "no",
+                  std::to_string(prot.requests_used),
+                  prot.success ? "\"" + prot.extracted + "\"" : "nothing"});
+  }
+  table.Print(
+      "Extraction cost per channel (11-char secret), open vs Joza-protected");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 8: read / write / search request times with and without Joza.
+//
+// Paper shape: reads barely move (query cache), searches cost a bit more
+// (dynamic queries, structure-cache hits), writes cost the most
+// (textually-new queries).
+#include "attack/catalog.h"
+#include "perf_util.h"
+#include "report.h"
+
+using namespace joza;
+
+int main() {
+  using Maker = std::vector<attack::WorkloadRequest> (*)(std::size_t,
+                                                         std::uint64_t);
+  struct Row {
+    const char* name;
+    Maker make;
+  };
+  const Row rows[] = {
+      {"Full site crawl (read)", &attack::MakeCrawlWorkload},
+      {"Random comment posting (write)", &attack::MakeCommentWorkload},
+      {"Random searching", &attack::MakeSearchWorkload},
+  };
+
+  bench::Table table({"Request type", "Plain (s)", "With Joza (s)",
+                      "Overhead"});
+  constexpr int kReps = 8;
+  for (const Row& row : rows) {
+    const auto make = [&row](std::uint64_t seed) {
+      return row.make(300, seed);
+    };
+    auto plain_app = attack::MakeTestbed();
+    auto prot_app = attack::MakeTestbed();
+    core::Joza joza = core::Joza::Install(*prot_app);
+    prot_app->SetQueryGate(joza.MakeGate());
+    bench::ServeOnce(*prot_app, make(1));  // warm caches (unmeasured seed)
+    const auto timing =
+        bench::MeasurePair(*plain_app, *prot_app, make, kReps, 100);
+
+    table.AddRow({row.name, bench::Num(timing.plain),
+                  bench::Num(timing.protected_time),
+                  bench::Pct(timing.overhead())});
+  }
+  table.Print(
+      "Figure 8: request times with and without Joza (reads cheapest, "
+      "writes costliest)");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Table I: classification of WP-SQLI-LAB attack types.
+//
+// Paper: Union Based 15, Standard Blind 17, Double Blind 14, Tautology 4.
+#include <map>
+
+#include "attack/catalog.h"
+#include "report.h"
+
+int main() {
+  using namespace joza;
+  std::map<attack::AttackType, int> counts;
+  for (const attack::PluginSpec* p : attack::TestbedPlugins()) {
+    ++counts[p->type];
+  }
+  bench::Table table({"Attack Type", "No. of Plugins", "Paper"});
+  table.AddRow({"Union Based",
+                std::to_string(counts[attack::AttackType::kUnionBased]), "15"});
+  table.AddRow({"Standard Blind",
+                std::to_string(counts[attack::AttackType::kStandardBlind]),
+                "17"});
+  table.AddRow({"Double Blind",
+                std::to_string(counts[attack::AttackType::kDoubleBlind]),
+                "14"});
+  table.AddRow({"Tautology",
+                std::to_string(counts[attack::AttackType::kTautology]), "4"});
+  table.Print("Table I: Classification of WP-SQLI-LAB attack types");
+  return 0;
+}

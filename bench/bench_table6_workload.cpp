@@ -1,0 +1,58 @@
+// Table VI: overall Joza overhead across read/write workload mixes.
+//
+// Paper: 50/50 -> 8.96%, 10/90 -> 5.16%, 5/95 -> 4.53%, 1/99 -> 4.03%.
+// The reproduced claim is the monotone shape: overhead grows with the
+// write fraction, because writes are textually-unique queries that miss
+// the query cache.
+#include "attack/catalog.h"
+#include "ipc/daemon.h"
+#include "perf_util.h"
+#include "report.h"
+
+using namespace joza;
+
+int main() {
+  struct Mix {
+    double write_fraction;
+    const char* label;
+    const char* paper;
+  };
+  const Mix mixes[] = {
+      {0.50, "50% writes / 50% reads", "8.96%"},
+      {0.10, "10% writes / 90% reads", "5.16%"},
+      {0.05, " 5% writes / 95% reads", "4.53%"},
+      {0.01, " 1% writes / 99% reads", "4.03%"},
+  };
+
+  bench::Table table({"Workload", "Plain time (s)", "Protected time (s)",
+                      "Overhead", "Paper overhead"});
+  for (const Mix& mix : mixes) {
+    const auto make = [&mix](std::uint64_t seed) {
+      return attack::MakeMixedWorkload(600, mix.write_fraction, seed);
+    };
+    constexpr int kReps = 8;
+
+    auto plain_app = attack::MakeTestbed();
+    auto prot_app = attack::MakeTestbed();
+
+    // The paper's deployment: PTI in the user-level daemon, NTI in-process.
+    core::Joza joza = core::Joza::Install(*prot_app);
+    ipc::DaemonClient daemon(
+        ipc::DaemonClient::Mode::kPersistent,
+        php::FragmentSet::FromSources(prot_app->sources()));
+    daemon.Ping();
+    joza.SetPtiBackend(daemon.AsPtiBackend());
+    prot_app->SetQueryGate(joza.MakeGate());
+    bench::ServeOnce(*prot_app, make(1));  // cache warm-up (unmeasured seed)
+
+    const auto timing =
+        bench::MeasurePair(*plain_app, *prot_app, make, kReps, 500);
+    prot_app->SetQueryGate(nullptr);
+
+    table.AddRow({mix.label, bench::Num(timing.plain),
+                  bench::Num(timing.protected_time),
+                  bench::Pct(timing.overhead()), mix.paper});
+  }
+  table.Print("Table VI: Joza overhead on different workloads");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Shared timing harness for the performance-reproduction benches.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "attack/workload.h"
+#include "core/joza.h"
+#include "util/stopwatch.h"
+#include "webapp/application.h"
+
+namespace joza::bench {
+
+// Serves the workload once; returns wall seconds.
+inline double ServeOnce(webapp::Application& app,
+                        const std::vector<attack::WorkloadRequest>& workload) {
+  Stopwatch watch;
+  for (const attack::WorkloadRequest& wr : workload) {
+    app.Handle(wr.request);
+  }
+  return watch.ElapsedSeconds();
+}
+
+// Best-of-N timing to suppress scheduler noise.
+inline double ServeBest(webapp::Application& app,
+                        const std::vector<attack::WorkloadRequest>& workload,
+                        int repetitions = 5) {
+  double best = 1e100;
+  for (int i = 0; i < repetitions; ++i) {
+    best = std::min(best, ServeOnce(app, workload));
+  }
+  return best;
+}
+
+inline double Overhead(double plain, double protected_time) {
+  return (protected_time - plain) / plain;
+}
+
+// Serves `reps` *distinct* workloads once each and returns the total wall
+// seconds. Real write traffic is textually unique; replaying one workload
+// would let the query cache absorb writes it could never cache in
+// production. The same seeds must be used for the plain and protected
+// measurements.
+template <typename MakeWorkload>
+double ServeFreshTotal(webapp::Application& app, MakeWorkload&& make,
+                       int reps, std::uint64_t seed_base) {
+  double total = 0;
+  for (int i = 0; i < reps; ++i) {
+    const auto workload = make(seed_base + static_cast<std::uint64_t>(i));
+    total += ServeOnce(app, workload);
+  }
+  return total;
+}
+
+// Interleaved plain/protected measurement over fresh workloads: each
+// repetition serves the same workload to both applications back to back,
+// so machine-load drift hits both sides equally.
+struct PairTiming {
+  double plain = 0;
+  double protected_time = 0;
+  double overhead() const { return Overhead(plain, protected_time); }
+};
+
+template <typename MakeWorkload>
+PairTiming MeasurePair(webapp::Application& plain_app,
+                       webapp::Application& protected_app, MakeWorkload&& make,
+                       int reps, std::uint64_t seed_base) {
+  PairTiming t;
+  for (int i = 0; i < reps; ++i) {
+    const auto workload = make(seed_base + static_cast<std::uint64_t>(i));
+    t.plain += ServeOnce(plain_app, workload);
+    t.protected_time += ServeOnce(protected_app, workload);
+  }
+  return t;
+}
+
+}  // namespace joza::bench

@@ -1,0 +1,69 @@
+// Console table rendering shared by the reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace joza::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    widths_.resize(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      widths_[i] = headers_[i].size();
+    }
+  }
+
+  void AddRow(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths_[i] = std::max(widths_[i], cells[i].size());
+    }
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print(const std::string& title) const {
+    std::printf("\n=== %s ===\n", title.c_str());
+    PrintRow(headers_);
+    std::string sep;
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      sep += std::string(widths_[i] + 2, '-');
+      if (i + 1 < headers_.size()) sep += "+";
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) PrintRow(row);
+    std::fflush(stdout);
+  }
+
+ private:
+  void PrintRow(const std::vector<std::string>& cells) const {
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      line += " " + cells[i] + std::string(widths_[i] - cells[i].size(), ' ') +
+              " ";
+      if (i + 1 < cells.size()) line += "|";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> widths_;
+};
+
+inline std::string Pct(double fraction, int decimals = 2) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+inline std::string Num(double v, int decimals = 4) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace joza::bench

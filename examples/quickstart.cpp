@@ -1,0 +1,44 @@
+// Quickstart: protect queries with Joza in ~30 lines.
+//
+//   1. Extract trusted fragments from the application's source.
+//   2. Construct a Joza engine.
+//   3. Check every query (with the request's inputs) before the database.
+#include <cstdio>
+
+#include "core/joza.h"
+#include "phpsrc/fragments.h"
+
+int main() {
+  using namespace joza;
+
+  // 1. The application source — Joza's installer extracts the string
+  //    literals ("SELECT * FROM records WHERE ID=" and " LIMIT 5").
+  std::vector<php::SourceFile> sources = {{"app.php", R"PHP(<?php
+$postid = $_GET['id'];
+$query = "SELECT * FROM records WHERE ID=$postid LIMIT 5";
+$result = mysql_query($query);
+)PHP"}};
+
+  // 2. Build the engine.
+  core::Joza engine(php::FragmentSet::FromSources(sources));
+
+  // 3. Check queries. The inputs are what the HTTP layer saw.
+  auto check = [&engine](const char* label, const char* query,
+                         const char* id_value) {
+    std::vector<http::Input> inputs = {
+        {http::InputKind::kGet, "id", id_value}};
+    core::Verdict v = engine.Check(query, inputs);
+    std::printf("%-8s %-70s -> %s%s\n", label, query,
+                v.attack ? "BLOCKED by " : "allowed",
+                v.attack ? core::DetectedByName(v.detected_by) : "");
+  };
+
+  check("benign", "SELECT * FROM records WHERE ID=17 LIMIT 5", "17");
+  check("benign", "SELECT * FROM records WHERE ID=23 LIMIT 5", "23");
+  check("attack", "SELECT * FROM records WHERE ID=-1 OR 1=1 LIMIT 5",
+        "-1 OR 1=1");
+  check("attack",
+        "SELECT * FROM records WHERE ID=-1 UNION SELECT username() LIMIT 5",
+        "-1 UNION SELECT username()");
+  return 0;
+}

@@ -1,0 +1,395 @@
+#include "attack/catalog.h"
+
+#include "attack/vocab_kits.h"
+#include "util/strings.h"
+
+namespace joza::attack {
+
+const char* AttackTypeName(AttackType t) {
+  switch (t) {
+    case AttackType::kUnionBased: return "Union Based";
+    case AttackType::kStandardBlind: return "Standard Blind";
+    case AttackType::kDoubleBlind: return "Double Blind";
+    case AttackType::kTautology: return "Tautology";
+  }
+  return "?";
+}
+
+std::string RichUnionSource() {
+  return "<?php\n$export_tool = \"" + std::string(kKitUnion2) + "\";\n";
+}
+
+std::string RichBlindSource() {
+  return "<?php\n$chk_head = \"" + std::string(kKitBlindHead) +
+         "\";\n$chk_tail = \"" + std::string(kKitBlindTail) + "\";\n";
+}
+
+std::string RichTimeSource() {
+  return "<?php\n$probe_head = \"" + std::string(kKitTimeHead) +
+         "\";\n$probe_tail = \"" + std::string(kKitTimeTail) + "\";\n";
+}
+
+std::string PluginSpec::SourcePath() const {
+  std::string slug;
+  for (char c : name) {
+    slug.push_back(IsAsciiAlnum(c) ? AsciiToLower(c) : '-');
+  }
+  if (standalone_app) return "apps/" + slug + "/index.php";
+  return "wp-content/plugins/" + slug + "/" + slug + ".php";
+}
+
+namespace {
+
+using webapp::ResponseMode;
+using webapp::Transform;
+using webapp::TransformChain;
+
+std::string RouteFor(std::string_view name) {
+  std::string slug;
+  for (char c : name) {
+    slug.push_back(IsAsciiAlnum(c) ? AsciiToLower(c) : '-');
+  }
+  return "/plugins/" + slug;
+}
+
+// The standard chains. WordPress enforces magic quotes on all input; the
+// classic plugin bug is undoing them with stripslashes (which is what makes
+// quoted contexts exploitable at all), and WordPress additionally trims
+// input from authenticated users.
+const TransformChain kMagicOnly = {Transform::kMagicQuotes};
+const TransformChain kClassicBug = {Transform::kMagicQuotes,
+                                    Transform::kStripSlashes,
+                                    Transform::kTrim};
+// The two NTI-mutation-resistant plugins: they undo magic quotes but do
+// not trim, so no application-level transformation is left to exploit.
+const TransformChain kNoTransformBug = {Transform::kMagicQuotes,
+                                        Transform::kStripSlashes};
+
+// Quoted string context, 1 projected column, data rendered (union class).
+PluginSpec QuotedUnion(std::string name, std::string version,
+                       std::string advisory) {
+  PluginSpec p;
+  p.name = std::move(name);
+  p.version = std::move(version);
+  p.advisory = std::move(advisory);
+  p.type = AttackType::kUnionBased;
+  p.route = RouteFor(p.name);
+  p.param = "item";
+  p.transforms = kClassicBug;
+  p.query_prefix = "SELECT title FROM wp_posts WHERE title = ";
+  p.query_suffix = " LIMIT 1";
+  p.quoted = true;
+  p.mode = ResponseMode::kData;
+  p.select_columns = 1;
+  return p;
+}
+
+// Unquoted numeric context, 2 columns, plugin ships the union kit.
+PluginSpec RichUnion(std::string name, std::string version,
+                     std::string advisory) {
+  PluginSpec p;
+  p.name = std::move(name);
+  p.version = std::move(version);
+  p.advisory = std::move(advisory);
+  p.type = AttackType::kUnionBased;
+  p.route = RouteFor(p.name);
+  p.param = "id";
+  p.transforms = kMagicOnly;
+  p.query_prefix = "SELECT title, views FROM wp_posts WHERE id = ";
+  p.query_suffix = "";
+  p.quoted = false;
+  p.mode = ResponseMode::kData;
+  p.select_columns = 2;
+  p.extra_source = RichUnionSource();
+  return p;
+}
+
+PluginSpec QuotedBlind(std::string name, std::string version,
+                       std::string advisory, bool nti_resistant = false) {
+  PluginSpec p;
+  p.name = std::move(name);
+  p.version = std::move(version);
+  p.advisory = std::move(advisory);
+  p.type = AttackType::kStandardBlind;
+  p.route = RouteFor(p.name);
+  p.param = "q";
+  p.transforms = nti_resistant ? kNoTransformBug : kClassicBug;
+  p.query_prefix = "SELECT id FROM wp_posts WHERE title = ";
+  p.query_suffix = " LIMIT 10";
+  p.quoted = true;
+  p.mode = ResponseMode::kBlind;
+  p.select_columns = 1;
+  return p;
+}
+
+PluginSpec RichBlind(std::string name, std::string version,
+                     std::string advisory) {
+  PluginSpec p;
+  p.name = std::move(name);
+  p.version = std::move(version);
+  p.advisory = std::move(advisory);
+  p.type = AttackType::kStandardBlind;
+  p.route = RouteFor(p.name);
+  p.param = "id";
+  p.transforms = kMagicOnly;
+  p.query_prefix = "SELECT id FROM wp_posts WHERE id = ";
+  p.query_suffix = "";
+  p.quoted = false;
+  p.mode = ResponseMode::kBlind;
+  p.select_columns = 1;
+  p.extra_source = RichBlindSource();
+  return p;
+}
+
+PluginSpec QuotedDoubleBlind(std::string name, std::string version,
+                             std::string advisory,
+                             bool nti_resistant = false) {
+  PluginSpec p;
+  p.name = std::move(name);
+  p.version = std::move(version);
+  p.advisory = std::move(advisory);
+  p.type = AttackType::kDoubleBlind;
+  p.route = RouteFor(p.name);
+  p.param = "ref";
+  p.transforms = nti_resistant ? kNoTransformBug : kClassicBug;
+  p.query_prefix = "SELECT id FROM wp_posts WHERE title = ";
+  p.query_suffix = " LIMIT 5";  // keeps the closing quote in a fragment
+  p.quoted = true;
+  p.mode = ResponseMode::kDoubleBlind;
+  p.select_columns = 1;
+  return p;
+}
+
+PluginSpec RichDoubleBlind(std::string name, std::string version,
+                           std::string advisory) {
+  PluginSpec p;
+  p.name = std::move(name);
+  p.version = std::move(version);
+  p.advisory = std::move(advisory);
+  p.type = AttackType::kDoubleBlind;
+  p.route = RouteFor(p.name);
+  p.param = "id";
+  p.transforms = kMagicOnly;
+  p.query_prefix = "SELECT id FROM wp_posts WHERE id = ";
+  p.query_suffix = "";
+  p.quoted = false;
+  p.mode = ResponseMode::kDoubleBlind;
+  p.select_columns = 1;
+  p.extra_source = RichTimeSource();
+  return p;
+}
+
+// Unquoted tautology against the users table — the classic auth-area leak.
+PluginSpec Tautology(std::string name, std::string version,
+                     std::string advisory) {
+  PluginSpec p;
+  p.name = std::move(name);
+  p.version = std::move(version);
+  p.advisory = std::move(advisory);
+  p.type = AttackType::kTautology;
+  p.route = RouteFor(p.name);
+  p.param = "uid";
+  p.transforms = kMagicOnly;
+  p.query_prefix = "SELECT login, pass FROM wp_users WHERE id = ";
+  p.query_suffix = "";
+  p.quoted = false;
+  p.mode = ResponseMode::kData;
+  p.select_columns = 2;
+  return p;
+}
+
+std::vector<PluginSpec> BuildCatalog() {
+  std::vector<PluginSpec> c;
+  c.reserve(53);
+
+  // --- Tautology (4) --------------------------------------------------------
+  c.push_back(Tautology("A to Z Category Listing", "1.3", "OSVDB-86069"));
+  {
+    // AdRotate: base64-encoded input in a quoted context. NTI never sees
+    // the decoded payload — the one testbed exploit NTI misses outright.
+    PluginSpec p;
+    p.name = "AdRotate";
+    p.version = "3.6.6";
+    p.advisory = "CVE-2011-4671";
+    p.type = AttackType::kTautology;
+    p.route = RouteFor(p.name);
+    p.param = "track";
+    p.transforms = {Transform::kBase64Decode};
+    p.query_prefix = "SELECT login, pass FROM wp_users WHERE login = ";
+    // Quoted endpoints need a suffix so the closing quote lives inside a
+    // contextual fragment ("' LIMIT 1") rather than becoming a bare "'"
+    // fragment that would cover attacker-supplied quotes anywhere.
+    p.query_suffix = " LIMIT 1";
+    p.quoted = true;
+    p.mode = ResponseMode::kData;
+    p.select_columns = 2;
+    c.push_back(std::move(p));
+  }
+  c.push_back(Tautology("Community Events", "1.2.1", "OSVDB-74573"));
+  c.push_back(Tautology("WP eCommerce", "3.8.6", "OSVDB-75590"));
+
+  // --- Union based (15): 4 rich + 11 quoted --------------------------------
+  c.push_back(RichUnion("Allow PHP in posts and pages", "2.0.0", "OSVDB-75252"));
+  c.push_back(RichUnion("Contus HD FLV Player", "1.3", ""));
+  c.push_back(RichUnion("Count per Day", "2.17", "OSVDB-75598"));
+  c.push_back(RichUnion("Crawl Rate Tracker", "2.02", ""));
+  c.push_back(QuotedUnion("Eventify", "1.7.f", "OSVDB-86245"));
+  c.push_back(QuotedUnion("File Groups", "1.1.2", "OSVDB-74572"));
+  c.push_back(QuotedUnion("IP-Logger", "3.0", ""));
+  c.push_back(QuotedUnion("Link Library", "5.2.1", "OSVDB-84579"));
+  c.push_back(QuotedUnion("Media Library Categories", "1.0.6", ""));
+  c.push_back(QuotedUnion("OdiHost Newsletter", "1.0", "OSVDB-74575"));
+  c.push_back(QuotedUnion("Paid Downloads", "2.01", "OSVDB-86247"));
+  c.push_back(QuotedUnion("post highlights", "2.2", ""));
+  c.push_back(QuotedUnion("ProPlayer", "4.7.7", ""));
+  c.push_back(QuotedUnion("SearchAutocomplete", "1.0.8", ""));
+  c.push_back(QuotedUnion("SH Slideshow", "3.1.4", "OSVDB-74813"));
+
+  // --- Standard blind (17): 3 rich + 13 quoted + 1 NTI-resistant -----------
+  c.push_back(RichBlind("GD Star Rating", "1.9.10", "OSVDB-83466"));
+  c.push_back(RichBlind("iCopyright", "1.1.4", ""));
+  c.push_back(RichBlind("KNR Author List Widget", "2.0.0", ""));
+  c.push_back(QuotedBlind("Easy Contact Form Lite", "1.0.7", ""));
+  c.push_back(QuotedBlind("FireStorm Real Estate Plugin", "2.06", ""));
+  c.push_back(QuotedBlind("MM Duplicate", "1.2", ""));
+  c.push_back(QuotedBlind("MyStat", "2.6", ""));
+  c.push_back(QuotedBlind("Social Slider", "5.6.5", "OSVDB-74421"));
+  c.push_back(QuotedBlind("UMP Polls", "1.0.3", ""));
+  c.push_back(QuotedBlind("Paypal Donation Plugin", "0.12", ""));
+  c.push_back(QuotedBlind("WP Audio Gallery Playlist", "0.12", ""));
+  c.push_back(QuotedBlind("WP Bannerize", "2.8.7", "OSVDB-76658"));
+  c.push_back(QuotedBlind("WP FileBase", "0.2.9", "OSVDB-75308"));
+  c.push_back(QuotedBlind("WP Forum Server", "1.7.8", "CVE-2012-6625"));
+  c.push_back(QuotedBlind("WP Menu Creator", "1.1.7", "OSVDB-74578"));
+  c.push_back(QuotedBlind("yolink Search for WordPress", "1.1.4",
+                          "OSVDB-74832"));
+  // NTI-mutation-resistant: stripslashes but no trim — no transformation
+  // left for the attacker to hide behind.
+  c.push_back(QuotedBlind("Profiles", "2.0.RC1", "", /*nti_resistant=*/true));
+
+  // --- Double blind (14): 3 rich + 10 quoted + 1 NTI-resistant -------------
+  c.push_back(RichDoubleBlind("Advertiser", "1.0", ""));
+  c.push_back(RichDoubleBlind("Ajax Gallery", "3.0", ""));
+  c.push_back(RichDoubleBlind("Couponer", "1.2", ""));
+  c.push_back(QuotedDoubleBlind("Event Registration plugin", "5.43", ""));
+  c.push_back(QuotedDoubleBlind("Facebook Promotions", "1.3.3", ""));
+  c.push_back(QuotedDoubleBlind("Global Content Blocks", "1.2",
+                                "OSVDB-74577"));
+  c.push_back(QuotedDoubleBlind("Js-appointment", "1.5", "OSVDB-74804"));
+  c.push_back(QuotedDoubleBlind("Mingle Forum", "1.0.31", "OSVDB-75791"));
+  c.push_back(QuotedDoubleBlind("SCORM Cloud", "1.0.6.6", ""));
+  c.push_back(QuotedDoubleBlind("VideoWhisper Video Presentation", "1.1", ""));
+  c.push_back(QuotedDoubleBlind("Facebook Opengraph Meta", "1.0", ""));
+  c.push_back(QuotedDoubleBlind("WP DS FAQ", "1.3.2", "OSVDB-74574"));
+  c.push_back(QuotedDoubleBlind("Zotpress", "4.4", ""));
+  c.push_back(QuotedDoubleBlind("PureHTML", "1.0.0", "",
+                                /*nti_resistant=*/true));
+
+  // --- Case-study applications (3) ------------------------------------------
+  {
+    // Joomla 3.0.1 (CVE-2013-1453): encoded input, 3-column context.
+    PluginSpec p;
+    p.name = "Joomla";
+    p.version = "3.0.1";
+    p.advisory = "CVE-2013-1453";
+    p.type = AttackType::kUnionBased;
+    p.route = "/apps/joomla";
+    p.param = "list";
+    p.transforms = {Transform::kUrlDecode, Transform::kMagicQuotes};
+    p.query_prefix = "SELECT id, title, views FROM wp_posts WHERE id = ";
+    p.quoted = false;
+    p.mode = ResponseMode::kData;
+    p.select_columns = 3;
+    p.standalone_app = true;
+    c.push_back(std::move(p));
+  }
+  {
+    // Drupal 7.31 (CVE-2014-3704): input flows into placeholder names of a
+    // "prepared" query, modelled as an unquoted 3-column context behind an
+    // extra decode layer.
+    PluginSpec p;
+    p.name = "Drupal";
+    p.version = "7.31";
+    p.advisory = "CVE-2014-3704";
+    p.type = AttackType::kUnionBased;
+    p.route = "/apps/drupal";
+    p.param = "name";
+    p.transforms = {Transform::kUrlDecode, Transform::kMagicQuotes};
+    p.query_prefix = "SELECT id, login, email FROM wp_users WHERE id = ";
+    p.quoted = false;
+    p.mode = ResponseMode::kData;
+    p.select_columns = 3;
+    p.standalone_app = true;
+    c.push_back(std::move(p));
+  }
+  {
+    // osCommerce 2.3.3.4 (OSVDB-103365): tautology in geo_zones.php.
+    PluginSpec p;
+    p.name = "osCommerce";
+    p.version = "2.3.3.4";
+    p.advisory = "OSVDB-103365";
+    p.type = AttackType::kTautology;
+    p.route = "/apps/oscommerce";
+    p.param = "zid";
+    p.transforms = kMagicOnly;
+    p.query_prefix = "SELECT login, pass FROM wp_users WHERE id = ";
+    p.quoted = false;
+    p.mode = ResponseMode::kData;
+    p.select_columns = 2;
+    p.standalone_app = true;
+    c.push_back(std::move(p));
+  }
+  return c;
+}
+
+}  // namespace
+
+const std::vector<PluginSpec>& PluginCatalog() {
+  static const std::vector<PluginSpec> catalog = BuildCatalog();
+  return catalog;
+}
+
+std::vector<const PluginSpec*> TestbedPlugins() {
+  std::vector<const PluginSpec*> out;
+  for (const PluginSpec& p : PluginCatalog()) {
+    if (!p.standalone_app) out.push_back(&p);
+  }
+  return out;
+}
+
+std::vector<const PluginSpec*> CaseStudyApps() {
+  std::vector<const PluginSpec*> out;
+  for (const PluginSpec& p : PluginCatalog()) {
+    if (p.standalone_app) out.push_back(&p);
+  }
+  return out;
+}
+
+webapp::Endpoint EndpointFor(const PluginSpec& p) {
+  webapp::Endpoint ep;
+  ep.path = p.route;
+  ep.param = p.param;
+  ep.transforms = p.transforms;
+  ep.query_prefix = p.query_prefix;
+  ep.query_suffix = p.query_suffix;
+  ep.quoted = p.quoted;
+  ep.mode = p.mode;
+  return ep;
+}
+
+void InstallCatalog(webapp::Application& app) {
+  for (const PluginSpec& p : PluginCatalog()) {
+    app.AddEndpoint(EndpointFor(p), p.SourcePath());
+    if (!p.extra_source.empty()) {
+      app.AddSourceFile({p.SourcePath() + ".inc", p.extra_source});
+    }
+  }
+}
+
+std::unique_ptr<webapp::Application> MakeTestbed(std::uint64_t seed) {
+  auto app = webapp::MakeWordpressLikeApp(seed);
+  InstallCatalog(*app);
+  return app;
+}
+
+}  // namespace joza::attack

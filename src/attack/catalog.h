@@ -1,0 +1,72 @@
+// WP-SQLI-LAB analogue: the catalog of vulnerable plugin models.
+//
+// The paper's testbed packages WordPress 3.8 with 50 plugins publicly
+// reported vulnerable to SQL injection (Table IV), plus Joomla, Drupal and
+// osCommerce case studies. Each entry here models one of them: the
+// vulnerable endpoint (parameter, transform chain, query template,
+// response mode) and the plugin's own source vocabulary. The transform
+// chain and vocabulary are the two knobs that decide which defenses each
+// exploit variant beats, mirroring the per-plugin behaviour in Table IV.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "webapp/application.h"
+
+namespace joza::attack {
+
+// Table I's four attack classes.
+enum class AttackType { kUnionBased, kStandardBlind, kDoubleBlind, kTautology };
+
+const char* AttackTypeName(AttackType t);
+
+struct PluginSpec {
+  std::string name;
+  std::string version;
+  std::string advisory;  // CVE / OSVDB id, empty if none collected
+  AttackType type = AttackType::kUnionBased;
+
+  // The vulnerable endpoint.
+  std::string route;
+  std::string param;
+  webapp::TransformChain transforms;
+  std::string query_prefix;
+  std::string query_suffix;
+  bool quoted = false;
+  webapp::ResponseMode mode = webapp::ResponseMode::kData;
+  // Number of columns the vulnerable SELECT projects (union payloads must
+  // match it, as in real column-count sweeps).
+  int select_columns = 1;
+
+  // Extra PHP source shipped by this plugin beyond the synthesized query
+  // construction (admin pages, maintenance queries, ...). Rich vocabularies
+  // here are what make a plugin Taintless-evadable.
+  std::string extra_source;
+
+  // One of the three standalone application case studies (Joomla / Drupal /
+  // osCommerce) rather than a WordPress plugin.
+  bool standalone_app = false;
+
+  std::string SourcePath() const;
+};
+
+// The 50 WordPress plugin models (Table IV order) followed by the Joomla,
+// Drupal and osCommerce case studies — 53 entries total. Deterministic.
+const std::vector<PluginSpec>& PluginCatalog();
+
+// Slices of the catalog.
+std::vector<const PluginSpec*> TestbedPlugins();     // first 50
+std::vector<const PluginSpec*> CaseStudyApps();      // last 3
+
+// The webapp endpoint this plugin model exposes.
+webapp::Endpoint EndpointFor(const PluginSpec& plugin);
+
+// Installs every catalog endpoint (and its sources) into the application.
+void InstallCatalog(webapp::Application& app);
+
+// Builds the complete WP-SQLI-LAB testbed: WordPress-like core + catalog.
+std::unique_ptr<webapp::Application> MakeTestbed(std::uint64_t seed = 2015);
+
+}  // namespace joza::attack

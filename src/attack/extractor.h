@@ -1,0 +1,63 @@
+// Automated data-extraction driver — the role SQLMap plays in Section V.
+//
+// Given a vulnerable endpoint, the extractor (a) probes injectability,
+// (b) extracts the admin password hash through whichever channel the
+// endpoint exposes: directly via UNION on data-rendering endpoints,
+// character-by-character binary search over a boolean oracle on blind
+// endpoints, or over the timing side channel on double-blind endpoints.
+// All probe payloads are quote-free (CHAR()/ASCII()/SUBSTRING()) so they
+// survive magic quotes, exactly like real tooling.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "attack/catalog.h"
+#include "webapp/application.h"
+
+namespace joza::attack {
+
+struct ExtractionResult {
+  bool injectable = false;
+  bool success = false;
+  std::string technique;       // "union" | "boolean-blind" | "time-blind"
+  std::string extracted;       // recovered secret (prefix, if aborted)
+  std::size_t requests_used = 0;
+};
+
+class Extractor {
+ public:
+  Extractor(webapp::Application& app, const PluginSpec& plugin)
+      : app_(app), plugin_(plugin) {}
+
+  // True/false boolean probe pair: injectable iff the two responses are
+  // observably different (body, status, or timing).
+  bool ProbeInjectable();
+
+  // Recovers wp_users.pass of the admin (up to max_len characters).
+  ExtractionResult ExtractSecret(std::size_t max_len = 16);
+
+  // Schema discovery (the first step of real tooling): enumerates user
+  // table names by pivoting a UNION into information_schema.tables with
+  // GROUP_CONCAT. Data-rendering endpoints only; empty on failure.
+  std::vector<std::string> EnumerateTables();
+
+  std::size_t requests_used() const { return requests_; }
+
+ private:
+  http::Response Send(const std::string& payload);
+  // Evaluates an attacker-chosen boolean condition through the endpoint's
+  // observable channel. `cond` must be quote-free SQL.
+  bool Oracle(const std::string& cond);
+  std::string WrapCondition(const std::string& cond) const;
+
+  ExtractionResult ExtractViaUnion(std::size_t max_len);
+  ExtractionResult ExtractViaOracle(std::size_t max_len, const char* name);
+
+  webapp::Application& app_;
+  const PluginSpec& plugin_;
+  std::size_t requests_ = 0;
+};
+
+}  // namespace joza::attack

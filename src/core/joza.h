@@ -1,0 +1,142 @@
+// Joza: the hybrid taint-inference engine (Section IV).
+//
+// Every query the application issues is checked by PTI first, then NTI; it
+// is safe iff both deem it safe. Two caches accelerate PTI: the query
+// cache (exact query text of previously-safe queries) and the structure
+// cache (AST shape with data nodes blanked — safe because injected SQL
+// always alters the shape). NTI is never cached: its verdict depends on
+// the request's inputs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "http/request.h"
+#include "nti/nti.h"
+#include "phpsrc/fragments.h"
+#include "pti/pti.h"
+#include "sqlparse/token.h"
+#include "util/span.h"
+#include "webapp/application.h"
+
+namespace joza::core {
+
+enum class RecoveryPolicy {
+  kTerminate,           // default: conservative, blank page
+  kErrorVirtualization, // report a failed query, let the app handle it
+};
+
+struct JozaConfig {
+  nti::NtiConfig nti;
+  pti::PtiConfig pti;
+  bool enable_nti = true;
+  bool enable_pti = true;
+  bool query_cache = true;
+  bool structure_cache = true;
+  RecoveryPolicy recovery = RecoveryPolicy::kTerminate;
+};
+
+enum class DetectedBy { kNone, kNti, kPti, kBoth };
+
+const char* DetectedByName(DetectedBy d);
+
+struct Verdict {
+  bool attack = false;
+  DetectedBy detected_by = DetectedBy::kNone;
+  bool query_cache_hit = false;
+  bool structure_cache_hit = false;
+  nti::NtiResult nti;
+  pti::PtiResult pti;
+};
+
+struct JozaStats {
+  std::size_t queries_checked = 0;
+  std::size_t attacks_detected = 0;
+  std::size_t query_cache_hits = 0;
+  std::size_t structure_cache_hits = 0;
+  std::size_t pti_full_runs = 0;
+  std::size_t nti_runs = 0;
+};
+
+// Structured record of one detected attack, for audit logs / operators.
+struct AttackReport {
+  std::string query;
+  DetectedBy detected_by = DetectedBy::kNone;
+  // PTI evidence: critical-token texts that no fragment covered.
+  std::vector<std::string> untrusted_tokens;
+  // NTI evidence: which input matched, where, and how closely.
+  std::string matched_input_name;
+  http::InputKind matched_input_kind = http::InputKind::kGet;
+  ByteSpan matched_span;
+  double match_ratio = 0.0;
+  std::size_t sequence = 0;  // detection counter at report time
+
+  // One-line rendering for log files.
+  std::string ToLogLine() const;
+};
+
+// Receives every attack the engine detects. Must not re-enter the engine.
+using AttackSink = std::function<void(const AttackReport&)>;
+
+// Pluggable PTI execution: in-process by default, or the IPC daemon client
+// (Section IV-C1) — the architecture the paper ships to avoid requiring a
+// PHP extension.
+using PtiFn = std::function<pti::PtiResult(
+    std::string_view query, const std::vector<sql::Token>& tokens)>;
+
+class Joza {
+ public:
+  Joza(php::FragmentSet fragments, JozaConfig config = {});
+
+  // Installation (Section IV-A): scans the application's source corpus for
+  // fragments, exactly as the real installer recursively parses the
+  // application directory.
+  static Joza Install(const webapp::Application& app, JozaConfig config = {});
+
+  const JozaConfig& config() const { return config_; }
+  const JozaStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = JozaStats{}; }
+  const pti::PtiAnalyzer& pti_analyzer() const { return pti_; }
+
+  // Re-routes PTI analysis (e.g. through the daemon). Pass nullptr to
+  // restore in-process analysis. Caches still apply in front of it.
+  void SetPtiBackend(PtiFn fn) { pti_backend_ = std::move(fn); }
+
+  // Installs an audit sink invoked for every detected attack.
+  void SetAttackSink(AttackSink sink) { attack_sink_ = std::move(sink); }
+
+  // Checks one query against the stored request inputs.
+  Verdict Check(std::string_view query, const std::vector<http::Input>& inputs);
+
+  // Binds this engine as an application interception gate applying the
+  // configured recovery policy. The Joza object must outlive the gate.
+  webapp::QueryGate MakeGate();
+
+  // Preprocessing hook (Section IV-B): folds newly discovered sources into
+  // the fragment set and invalidates the caches.
+  void OnSourcesChanged(const std::vector<php::SourceFile>& files);
+
+ private:
+  pti::PtiResult RunPti(std::string_view query,
+                        const std::vector<sql::Token>& tokens);
+
+  JozaConfig config_;
+  pti::PtiAnalyzer pti_;
+  nti::NtiAnalyzer nti_;
+  PtiFn pti_backend_;  // empty -> in-process
+  AttackSink attack_sink_;
+
+  // Query cache: hashes of exact query strings previously deemed PTI-safe.
+  std::unordered_set<std::uint64_t> safe_query_cache_;
+  // Structure cache: AST-structure hashes of previously PTI-safe queries.
+  std::unordered_set<std::uint64_t> safe_structure_cache_;
+
+  JozaStats stats_;
+};
+
+}  // namespace joza::core

@@ -1,0 +1,1268 @@
+#include "db/database.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <regex>
+
+#include "sqlparse/parser.h"
+#include "util/hash.h"
+#include "util/strings.h"
+
+namespace joza::db {
+
+namespace {
+
+// SQL LIKE pattern match: '%' any run, '_' one char; case-insensitive
+// (MySQL's default collation). Iterative two-pointer with backtracking.
+bool LikeMatch(std::string_view text, std::string_view pattern) {
+  std::size_t t = 0, p = 0;
+  std::size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' ||
+         AsciiToLower(pattern[p]) == AsciiToLower(text[t]))) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+bool IsAggregateName(std::string_view fn) {
+  return fn == "COUNT" || fn == "SUM" || fn == "MIN" || fn == "MAX" ||
+         fn == "AVG" || fn == "GROUP_CONCAT";
+}
+
+bool ContainsAggregate(const sql::Expr* e) {
+  if (e == nullptr) return false;
+  if (e->kind == sql::ExprKind::kFunctionCall &&
+      IsAggregateName(e->function_name)) {
+    return true;
+  }
+  if (ContainsAggregate(e->lhs.get()) || ContainsAggregate(e->rhs.get()) ||
+      ContainsAggregate(e->extra.get())) {
+    return true;
+  }
+  for (const auto& a : e->args) {
+    if (ContainsAggregate(a.get())) return true;
+  }
+  for (const auto& a : e->in_list) {
+    if (ContainsAggregate(a.get())) return true;
+  }
+  return false;
+}
+
+// One logical row: parallel vectors of (qualifier, column) names and values.
+struct Scope {
+  std::vector<std::pair<std::string, std::string>> names;  // lowercased
+  Row values;
+
+  void Append(std::string_view qualifier, const Table& table,
+              const Row* row) {
+    std::string q = ToLower(qualifier);
+    for (std::size_t i = 0; i < table.columns.size(); ++i) {
+      names.emplace_back(q, ToLower(table.columns[i].name));
+      values.push_back(row != nullptr ? (*row)[i] : Value::Null());
+    }
+  }
+};
+
+// A "group" for aggregate evaluation: indexes into the scope vector.
+struct Group {
+  std::vector<std::size_t> member_indexes;
+};
+
+constexpr std::string_view kServerVersion = "5.6.26-joza-sim";
+constexpr std::string_view kCurrentUser = "wp_user@localhost";
+constexpr std::string_view kDatabaseName = "wordpress";
+constexpr std::string_view kNowTimestamp = "2015-06-22 10:00:00";
+constexpr std::string_view kToday = "2015-06-22";
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Evaluator
+// ---------------------------------------------------------------------------
+
+class Evaluator {
+ public:
+  Evaluator(Database* db, double* vtime, Rng* rng)
+      : db_(db), vtime_(vtime), rng_(rng) {}
+
+  StatusOr<Value> Eval(const sql::Expr& e, const Scope& scope) {
+    return EvalImpl(e, scope, nullptr, nullptr);
+  }
+
+  // Evaluates with aggregate support over `group` (indices into `all`).
+  StatusOr<Value> EvalGrouped(const sql::Expr& e,
+                              const std::vector<Scope>& all,
+                              const Group& group) {
+    static const Scope kEmpty;
+    const Scope& rep = group.member_indexes.empty()
+                           ? kEmpty
+                           : all[group.member_indexes.front()];
+    return EvalImpl(e, rep, &all, &group);
+  }
+
+ private:
+  StatusOr<Value> EvalImpl(const sql::Expr& e, const Scope& scope,
+                           const std::vector<Scope>* all,
+                           const Group* group) {
+    using sql::ExprKind;
+    switch (e.kind) {
+      case ExprKind::kNullLiteral: return Value::Null();
+      case ExprKind::kIntLiteral: return Value(e.int_value);
+      case ExprKind::kDoubleLiteral: return Value(e.double_value);
+      case ExprKind::kStringLiteral: return Value(e.string_value);
+      case ExprKind::kBoolLiteral: return Value::Bool(e.bool_value);
+      case ExprKind::kPlaceholder:
+        if (db_->bound_params_ != nullptr && e.placeholder_ordinal >= 0 &&
+            static_cast<std::size_t>(e.placeholder_ordinal) <
+                db_->bound_params_->size()) {
+          return (*db_->bound_params_)[
+              static_cast<std::size_t>(e.placeholder_ordinal)];
+        }
+        return Status::InvalidArgument(
+            "unbound placeholder " + e.placeholder_name);
+      case ExprKind::kColumnRef: return EvalColumn(e, scope);
+      case ExprKind::kBinary: return EvalBinary(e, scope, all, group);
+      case ExprKind::kUnary: return EvalUnary(e, scope, all, group);
+      case ExprKind::kFunctionCall:
+        return EvalFunction(e, scope, all, group);
+      case ExprKind::kInList: return EvalInList(e, scope, all, group);
+      case ExprKind::kBetween: return EvalBetween(e, scope, all, group);
+      case ExprKind::kSubquery: return EvalScalarSubquery(e);
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+  StatusOr<Value> EvalColumn(const sql::Expr& e, const Scope& scope) {
+    const std::string q = ToLower(e.qualifier);
+    const std::string c = ToLower(e.column);
+    if (c == "*") {
+      return Status::InvalidArgument("bare * outside select list");
+    }
+    for (std::size_t i = 0; i < scope.names.size(); ++i) {
+      if (scope.names[i].second != c) continue;
+      if (!q.empty() && scope.names[i].first != q) continue;
+      return scope.values[i];
+    }
+    return Status::InvalidArgument("unknown column '" + e.qualifier +
+                                   (e.qualifier.empty() ? "" : ".") +
+                                   e.column + "'");
+  }
+
+  StatusOr<Value> EvalBinary(const sql::Expr& e, const Scope& scope,
+                             const std::vector<Scope>* all,
+                             const Group* group) {
+    using sql::BinaryOp;
+    // Short-circuit logical operators (with SQL three-valued logic
+    // approximated as truthy/not-truthy, which suffices for this engine).
+    if (e.binary_op == BinaryOp::kOr || e.binary_op == BinaryOp::kConcatPipes) {
+      auto l = EvalImpl(*e.lhs, scope, all, group);
+      if (!l.ok()) return l;
+      if (l.value().truthy()) return Value::Bool(true);
+      auto r = EvalImpl(*e.rhs, scope, all, group);
+      if (!r.ok()) return r;
+      return Value::Bool(r.value().truthy());
+    }
+    if (e.binary_op == BinaryOp::kAnd) {
+      auto l = EvalImpl(*e.lhs, scope, all, group);
+      if (!l.ok()) return l;
+      if (!l.value().truthy()) return Value::Bool(false);
+      auto r = EvalImpl(*e.rhs, scope, all, group);
+      if (!r.ok()) return r;
+      return Value::Bool(r.value().truthy());
+    }
+
+    auto l = EvalImpl(*e.lhs, scope, all, group);
+    if (!l.ok()) return l;
+    auto r = EvalImpl(*e.rhs, scope, all, group);
+    if (!r.ok()) return r;
+    const Value& a = l.value();
+    const Value& b = r.value();
+
+    switch (e.binary_op) {
+      case BinaryOp::kXor:
+        if (a.is_null() || b.is_null()) return Value::Null();
+        return Value::Bool(a.truthy() != b.truthy());
+      case BinaryOp::kEq: return Value::CompareEq(a, b);
+      case BinaryOp::kNe: {
+        Value eq = Value::CompareEq(a, b);
+        return eq.is_null() ? eq : Value::Bool(!eq.truthy());
+      }
+      case BinaryOp::kLt: return Value::CompareLt(a, b);
+      case BinaryOp::kLe: return Value::CompareLe(a, b);
+      case BinaryOp::kGt: return Value::CompareLt(b, a);
+      case BinaryOp::kGe: return Value::CompareLe(b, a);
+      case BinaryOp::kLike:
+      case BinaryOp::kNotLike: {
+        if (a.is_null() || b.is_null()) return Value::Null();
+        bool m = LikeMatch(a.as_string(), b.as_string());
+        return Value::Bool(e.binary_op == BinaryOp::kLike ? m : !m);
+      }
+      case BinaryOp::kRegexp: {
+        if (a.is_null() || b.is_null()) return Value::Null();
+        try {
+          std::regex re(b.as_string(), std::regex::icase);
+          return Value::Bool(std::regex_search(a.as_string(), re));
+        } catch (const std::regex_error&) {
+          return Status::InvalidArgument("invalid REGEXP pattern");
+        }
+      }
+      case BinaryOp::kAdd:
+      case BinaryOp::kSub:
+      case BinaryOp::kMul:
+      case BinaryOp::kDiv:
+      case BinaryOp::kMod: {
+        if (a.is_null() || b.is_null()) return Value::Null();
+        const double x = a.as_double();
+        const double y = b.as_double();
+        const bool ints = a.is_int() && b.is_int();
+        switch (e.binary_op) {
+          case BinaryOp::kAdd:
+            return ints ? Value(a.as_int() + b.as_int()) : Value(x + y);
+          case BinaryOp::kSub:
+            return ints ? Value(a.as_int() - b.as_int()) : Value(x - y);
+          case BinaryOp::kMul:
+            return ints ? Value(a.as_int() * b.as_int()) : Value(x * y);
+          case BinaryOp::kDiv:
+            if (y == 0.0) return Value::Null();  // MySQL: division by zero
+            return Value(x / y);
+          case BinaryOp::kMod:
+            if (b.as_int() == 0) return Value::Null();
+            return Value(a.as_int() % b.as_int());
+          default: break;
+        }
+        return Status::Internal("unreachable arithmetic");
+      }
+      default:
+        return Status::Internal("unhandled binary operator");
+    }
+  }
+
+  StatusOr<Value> EvalUnary(const sql::Expr& e, const Scope& scope,
+                            const std::vector<Scope>* all,
+                            const Group* group) {
+    auto v = EvalImpl(*e.lhs, scope, all, group);
+    if (!v.ok()) return v;
+    switch (e.unary_op) {
+      case sql::UnaryOp::kNot:
+        if (v.value().is_null()) return Value::Null();
+        return Value::Bool(!v.value().truthy());
+      case sql::UnaryOp::kNeg:
+        if (v.value().is_null()) return Value::Null();
+        if (v.value().is_int()) return Value(-v.value().as_int());
+        return Value(-v.value().as_double());
+      case sql::UnaryOp::kIsNull: return Value::Bool(v.value().is_null());
+      case sql::UnaryOp::kIsNotNull:
+        return Value::Bool(!v.value().is_null());
+    }
+    return Status::Internal("unhandled unary operator");
+  }
+
+  StatusOr<Value> EvalInList(const sql::Expr& e, const Scope& scope,
+                             const std::vector<Scope>* all,
+                             const Group* group) {
+    auto needle = EvalImpl(*e.lhs, scope, all, group);
+    if (!needle.ok()) return needle;
+    if (needle.value().is_null()) return Value::Null();
+
+    std::vector<Value> haystack;
+    if (e.in_list.size() == 1 &&
+        e.in_list[0]->kind == sql::ExprKind::kSubquery) {
+      auto sub = db_->ExecSelectForEval(*e.in_list[0]->subquery, vtime_);
+      if (!sub.ok()) return sub.status();
+      for (const Row& row : sub.value().rows) {
+        if (!row.empty()) haystack.push_back(row[0]);
+      }
+    } else {
+      for (const auto& item : e.in_list) {
+        auto v = EvalImpl(*item, scope, all, group);
+        if (!v.ok()) return v;
+        haystack.push_back(std::move(v.value()));
+      }
+    }
+    for (const Value& v : haystack) {
+      Value eq = Value::CompareEq(needle.value(), v);
+      if (!eq.is_null() && eq.truthy()) {
+        return Value::Bool(!e.negated);
+      }
+    }
+    return Value::Bool(e.negated);
+  }
+
+  StatusOr<Value> EvalBetween(const sql::Expr& e, const Scope& scope,
+                              const std::vector<Scope>* all,
+                              const Group* group) {
+    auto v = EvalImpl(*e.lhs, scope, all, group);
+    if (!v.ok()) return v;
+    auto lo = EvalImpl(*e.rhs, scope, all, group);
+    if (!lo.ok()) return lo;
+    auto hi = EvalImpl(*e.extra, scope, all, group);
+    if (!hi.ok()) return hi;
+    Value ge = Value::CompareLe(lo.value(), v.value());
+    Value le = Value::CompareLe(v.value(), hi.value());
+    if (ge.is_null() || le.is_null()) return Value::Null();
+    bool in = ge.truthy() && le.truthy();
+    return Value::Bool(e.negated ? !in : in);
+  }
+
+  StatusOr<Value> EvalScalarSubquery(const sql::Expr& e) {
+    auto sub = db_->ExecSelectForEval(*e.subquery, vtime_);
+    if (!sub.ok()) return sub.status();
+    if (sub.value().rows.empty()) return Value::Null();
+    if (sub.value().rows[0].empty()) return Value::Null();
+    return sub.value().rows[0][0];
+  }
+
+  StatusOr<Value> EvalAggregateCall(const sql::Expr& e,
+                                    const std::vector<Scope>& all,
+                                    const Group& group) {
+    const std::string& fn = e.function_name;
+    // COUNT(*)
+    if (fn == "COUNT" && !e.args.empty() &&
+        e.args[0]->kind == sql::ExprKind::kColumnRef &&
+        e.args[0]->column == "*") {
+      return Value(static_cast<std::int64_t>(group.member_indexes.size()));
+    }
+    if (e.args.empty()) {
+      return Status::InvalidArgument(fn + " requires an argument");
+    }
+    std::vector<Value> vals;
+    for (std::size_t idx : group.member_indexes) {
+      auto v = EvalImpl(*e.args[0], all[idx], nullptr, nullptr);
+      if (!v.ok()) return v;
+      if (!v.value().is_null()) vals.push_back(std::move(v.value()));
+    }
+    if (fn == "COUNT") return Value(static_cast<std::int64_t>(vals.size()));
+    if (vals.empty()) return Value::Null();
+    if (fn == "SUM" || fn == "AVG") {
+      double sum = 0;
+      bool all_int = true;
+      for (const Value& v : vals) {
+        sum += v.as_double();
+        all_int = all_int && v.is_int();
+      }
+      if (fn == "AVG") return Value(sum / static_cast<double>(vals.size()));
+      return all_int ? Value(static_cast<std::int64_t>(sum)) : Value(sum);
+    }
+    if (fn == "MIN" || fn == "MAX") {
+      const Value* best = &vals[0];
+      for (const Value& v : vals) {
+        int cmp = Value::OrderCompare(v, *best);
+        if ((fn == "MIN" && cmp < 0) || (fn == "MAX" && cmp > 0)) best = &v;
+      }
+      return *best;
+    }
+    if (fn == "GROUP_CONCAT") {
+      std::string out;
+      for (std::size_t i = 0; i < vals.size(); ++i) {
+        if (i > 0) out += ",";
+        out += vals[i].as_string();
+      }
+      return Value(std::move(out));
+    }
+    return Status::Internal("unhandled aggregate " + fn);
+  }
+
+  StatusOr<Value> EvalFunction(const sql::Expr& e, const Scope& scope,
+                               const std::vector<Scope>* all,
+                               const Group* group) {
+    const std::string& fn = e.function_name;
+
+    if (IsAggregateName(fn)) {
+      if (all == nullptr || group == nullptr) {
+        return Status::InvalidArgument("aggregate " + fn +
+                                       " outside grouped context");
+      }
+      return EvalAggregateCall(e, *all, *group);
+    }
+
+    // Lazily-evaluated functions first.
+    if (fn == "IF") {
+      if (e.args.size() != 3) {
+        return Status::InvalidArgument("IF requires 3 arguments");
+      }
+      auto c = EvalImpl(*e.args[0], scope, all, group);
+      if (!c.ok()) return c;
+      return EvalImpl(*e.args[c.value().truthy() ? 1 : 2], scope, all, group);
+    }
+    if (fn == "COALESCE" || fn == "IFNULL") {
+      for (const auto& a : e.args) {
+        auto v = EvalImpl(*a, scope, all, group);
+        if (!v.ok()) return v;
+        if (!v.value().is_null()) return v;
+      }
+      return Value::Null();
+    }
+    if (fn == "BENCHMARK") {
+      if (e.args.size() != 2) {
+        return Status::InvalidArgument("BENCHMARK requires 2 arguments");
+      }
+      auto n = EvalImpl(*e.args[0], scope, all, group);
+      if (!n.ok()) return n;
+      auto v = EvalImpl(*e.args[1], scope, all, group);  // evaluate once
+      if (!v.ok()) return v;
+      // Model: each iteration costs 0.1 microseconds of virtual time.
+      *vtime_ += static_cast<double>(n.value().as_int()) * 1e-4;
+      return Value(std::int64_t{0});
+    }
+
+    // Eager evaluation for the rest.
+    std::vector<Value> args;
+    args.reserve(e.args.size());
+    for (const auto& a : e.args) {
+      auto v = EvalImpl(*a, scope, all, group);
+      if (!v.ok()) return v;
+      args.push_back(std::move(v.value()));
+    }
+    return CallScalar(fn, args);
+  }
+
+  StatusOr<Value> CallScalar(const std::string& fn,
+                             const std::vector<Value>& args) {
+    auto need = [&](std::size_t n) -> Status {
+      if (args.size() != n) {
+        return Status::InvalidArgument(fn + " requires " + std::to_string(n) +
+                                       " argument(s)");
+      }
+      return Status::Ok();
+    };
+    auto need_between = [&](std::size_t lo, std::size_t hi) -> Status {
+      if (args.size() < lo || args.size() > hi) {
+        return Status::InvalidArgument(fn + ": wrong argument count");
+      }
+      return Status::Ok();
+    };
+
+    if (fn == "VERSION") return Value(std::string(kServerVersion));
+    if (fn == "DATABASE") return Value(std::string(kDatabaseName));
+    if (fn == "USER" || fn == "CURRENT_USER" || fn == "USERNAME" ||
+        fn == "SYSTEM_USER" || fn == "SESSION_USER") {
+      return Value(std::string(kCurrentUser));
+    }
+    if (fn == "NOW") return Value(std::string(kNowTimestamp));
+    if (fn == "CURDATE") return Value(std::string(kToday));
+    if (fn == "SLEEP") {
+      if (auto st = need(1); !st.ok()) return st;
+      double sec = args[0].as_double();
+      if (sec < 0 || sec > 3600) {
+        return Status::InvalidArgument("SLEEP duration out of range");
+      }
+      *vtime_ += sec * 1000.0;
+      return Value(std::int64_t{0});
+    }
+    if (fn == "RAND") return Value(rng_->NextDouble());
+    if (fn == "CHAR") {
+      std::string out;
+      for (const Value& v : args) {
+        if (v.is_null()) continue;
+        out.push_back(static_cast<char>(v.as_int() & 0xff));
+      }
+      return Value(std::move(out));
+    }
+    if (fn == "CONCAT") {
+      std::string out;
+      for (const Value& v : args) {
+        if (v.is_null()) return Value::Null();
+        out += v.as_string();
+      }
+      return Value(std::move(out));
+    }
+    if (fn == "CONCAT_WS") {
+      if (args.empty()) return Value::Null();
+      std::string out;
+      bool first = true;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i].is_null()) continue;
+        if (!first) out += args[0].as_string();
+        out += args[i].as_string();
+        first = false;
+      }
+      return Value(std::move(out));
+    }
+    if (fn == "LENGTH" || fn == "CHAR_LENGTH") {
+      if (auto st = need(1); !st.ok()) return st;
+      if (args[0].is_null()) return Value::Null();
+      return Value(static_cast<std::int64_t>(args[0].as_string().size()));
+    }
+    if (fn == "UPPER") {
+      if (auto st = need(1); !st.ok()) return st;
+      if (args[0].is_null()) return Value::Null();
+      return Value(ToUpper(args[0].as_string()));
+    }
+    if (fn == "LOWER") {
+      if (auto st = need(1); !st.ok()) return st;
+      if (args[0].is_null()) return Value::Null();
+      return Value(ToLower(args[0].as_string()));
+    }
+    if (fn == "TRIM" || fn == "LTRIM" || fn == "RTRIM") {
+      if (auto st = need(1); !st.ok()) return st;
+      if (args[0].is_null()) return Value::Null();
+      std::string s = args[0].as_string();
+      if (fn == "TRIM") return Value(std::string(Trim(s)));
+      if (fn == "LTRIM") return Value(std::string(TrimLeft(s)));
+      return Value(std::string(TrimRight(s)));
+    }
+    if (fn == "SUBSTRING" || fn == "SUBSTR" || fn == "MID") {
+      if (auto st = need_between(2, 3); !st.ok()) return st;
+      if (args[0].is_null()) return Value::Null();
+      std::string s = args[0].as_string();
+      std::int64_t pos = args[1].as_int();  // 1-based; negative from end
+      std::int64_t len = args.size() == 3
+                             ? args[2].as_int()
+                             : static_cast<std::int64_t>(s.size());
+      if (pos == 0 || len <= 0) return Value(std::string());
+      std::size_t start;
+      if (pos > 0) {
+        if (static_cast<std::size_t>(pos) > s.size()) {
+          return Value(std::string());
+        }
+        start = static_cast<std::size_t>(pos - 1);
+      } else {
+        if (static_cast<std::size_t>(-pos) > s.size()) {
+          return Value(std::string());
+        }
+        start = s.size() - static_cast<std::size_t>(-pos);
+      }
+      return Value(s.substr(start, static_cast<std::size_t>(len)));
+    }
+    if (fn == "INSTR") {
+      if (auto st = need(2); !st.ok()) return st;
+      if (args[0].is_null() || args[1].is_null()) return Value::Null();
+      std::size_t pos =
+          FindIgnoreCase(args[0].as_string(), args[1].as_string());
+      return Value(static_cast<std::int64_t>(
+          pos == std::string_view::npos ? 0 : pos + 1));
+    }
+    if (fn == "ASCII") {
+      if (auto st = need(1); !st.ok()) return st;
+      if (args[0].is_null()) return Value::Null();
+      std::string s = args[0].as_string();
+      return Value(static_cast<std::int64_t>(
+          s.empty() ? 0 : static_cast<unsigned char>(s[0])));
+    }
+    if (fn == "HEX") {
+      if (auto st = need(1); !st.ok()) return st;
+      if (args[0].is_null()) return Value::Null();
+      static constexpr char kHexDigits[] = "0123456789ABCDEF";
+      std::string out;
+      for (unsigned char c : args[0].as_string()) {
+        out.push_back(kHexDigits[c >> 4]);
+        out.push_back(kHexDigits[c & 0xf]);
+      }
+      return Value(std::move(out));
+    }
+    if (fn == "UNHEX") {
+      if (auto st = need(1); !st.ok()) return st;
+      if (args[0].is_null()) return Value::Null();
+      std::string s = args[0].as_string();
+      if (s.size() % 2 != 0) return Value::Null();
+      auto hexv = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      std::string out;
+      for (std::size_t i = 0; i < s.size(); i += 2) {
+        int hi = hexv(s[i]), lo = hexv(s[i + 1]);
+        if (hi < 0 || lo < 0) return Value::Null();
+        out.push_back(static_cast<char>((hi << 4) | lo));
+      }
+      return Value(std::move(out));
+    }
+    if (fn == "MD5") {
+      // Simulated digest: a keyed 128-bit FNV rendered as 32 hex chars.
+      // Collision-resistance is irrelevant here; determinism is what the
+      // attack corpus needs. Documented in DESIGN.md.
+      if (auto st = need(1); !st.ok()) return st;
+      if (args[0].is_null()) return Value::Null();
+      std::string s = args[0].as_string();
+      std::uint64_t h1 = Fnv1a64(s);
+      std::uint64_t h2 = Fnv1a64(s, h1 ^ kFnvPrime);
+      char buf[33];
+      std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                    static_cast<unsigned long long>(h1),
+                    static_cast<unsigned long long>(h2));
+      return Value(std::string(buf));
+    }
+    if (fn == "ABS") {
+      if (auto st = need(1); !st.ok()) return st;
+      if (args[0].is_null()) return Value::Null();
+      if (args[0].is_int()) return Value(std::abs(args[0].as_int()));
+      return Value(std::fabs(args[0].as_double()));
+    }
+    if (fn == "CEIL") {
+      if (auto st = need(1); !st.ok()) return st;
+      if (args[0].is_null()) return Value::Null();
+      return Value(static_cast<std::int64_t>(std::ceil(args[0].as_double())));
+    }
+    if (fn == "FLOOR") {
+      if (auto st = need(1); !st.ok()) return st;
+      if (args[0].is_null()) return Value::Null();
+      return Value(static_cast<std::int64_t>(std::floor(args[0].as_double())));
+    }
+    if (fn == "ROUND") {
+      if (auto st = need_between(1, 2); !st.ok()) return st;
+      if (args[0].is_null()) return Value::Null();
+      double scale = args.size() == 2 ? std::pow(10, args[1].as_double()) : 1;
+      return Value(std::round(args[0].as_double() * scale) / scale);
+    }
+    if (fn == "CAST" || fn == "CONVERT") {
+      if (auto st = need(2); !st.ok()) return st;
+      std::string type = ToUpper(args[1].as_string());
+      if (args[0].is_null()) return Value::Null();
+      if (type.find("INT") != std::string::npos ||
+          type.find("SIGNED") != std::string::npos) {
+        return Value(args[0].as_int());
+      }
+      if (type.find("DOUBLE") != std::string::npos ||
+          type.find("DECIMAL") != std::string::npos ||
+          type.find("FLOAT") != std::string::npos) {
+        return Value(args[0].as_double());
+      }
+      return Value(args[0].as_string());
+    }
+    if (fn == "EXTRACTVALUE" || fn == "UPDATEXML") {
+      // MySQL raises an XPATH syntax error showing its argument — the error
+      // channel error-based injections use. Faithfully reproduce that.
+      std::string probe = args.size() > 1 ? args[1].as_string() : "";
+      return Status::InvalidArgument("XPATH syntax error: '" + probe + "'");
+    }
+    return Status::InvalidArgument("unknown function " + fn + "()");
+  }
+
+  Database* db_;
+  double* vtime_;
+  Rng* rng_;
+};
+
+// ---------------------------------------------------------------------------
+// Database
+// ---------------------------------------------------------------------------
+
+int Table::ColumnIndex(std::string_view col) const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (EqualsIgnoreCase(columns[i].name, col)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+StatusOr<ExecResult> Database::Execute(std::string_view sql_text) {
+  auto stmt = sql::Parse(sql_text);
+  if (!stmt.ok()) return stmt.status();
+  return Execute(stmt.value());
+}
+
+StatusOr<ExecResult> Database::ExecutePrepared(
+    std::string_view sql_text, const std::vector<Value>& params) {
+  auto stmt = sql::Parse(sql_text);
+  if (!stmt.ok()) return stmt.status();
+  const int count = sql::BindPlaceholderOrdinals(stmt.value());
+  if (static_cast<std::size_t>(count) != params.size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: statement has " + std::to_string(count) +
+        ", got " + std::to_string(params.size()));
+  }
+  bound_params_ = &params;
+  auto result = Execute(stmt.value());
+  bound_params_ = nullptr;
+  return result;
+}
+
+StatusOr<ExecResult> Database::Execute(const sql::Statement& stmt) {
+  switch (stmt.kind) {
+    case sql::StatementKind::kSelect: return ExecSelect(*stmt.select);
+    case sql::StatementKind::kInsert: return ExecInsert(*stmt.insert);
+    case sql::StatementKind::kUpdate: return ExecUpdate(*stmt.update);
+    case sql::StatementKind::kDelete: return ExecDelete(*stmt.del);
+    case sql::StatementKind::kCreateTable: return ExecCreate(*stmt.create);
+    case sql::StatementKind::kDropTable: return ExecDrop(*stmt.drop);
+    case sql::StatementKind::kShowTables: return ExecShowTables();
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+StatusOr<ExecResult> Database::ExecShowTables() const {
+  RefreshInfoSchema();
+  ExecResult result;
+  result.columns = {"Tables"};
+  for (const Row& row : info_tables_.rows) {
+    result.rows.push_back({row[0]});
+  }
+  return result;
+}
+
+bool Database::HasTable(std::string_view name) const {
+  return tables_.contains(ToLower(name));
+}
+
+void Database::RefreshInfoSchema() const {
+  using T = sql::ColumnDef::Type;
+  info_tables_.name = "information_schema.tables";
+  info_tables_.columns = {{"table_name", T::kText}, {"table_rows", T::kInt}};
+  info_tables_.rows.clear();
+  info_columns_.name = "information_schema.columns";
+  info_columns_.columns = {{"table_name", T::kText},
+                           {"column_name", T::kText},
+                           {"data_type", T::kText}};
+  info_columns_.rows.clear();
+
+  // Deterministic order for stable results.
+  std::vector<const Table*> ordered;
+  for (const auto& [key, table] : tables_) ordered.push_back(&table);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Table* a, const Table* b) { return a->name < b->name; });
+  for (const Table* t : ordered) {
+    info_tables_.rows.push_back(
+        {Value(t->name), Value(static_cast<std::int64_t>(t->rows.size()))});
+    for (const Column& c : t->columns) {
+      const char* type = c.type == sql::ColumnDef::Type::kInt      ? "int"
+                         : c.type == sql::ColumnDef::Type::kDouble ? "double"
+                                                                   : "text";
+      info_columns_.rows.push_back(
+          {Value(t->name), Value(c.name), Value(std::string(type))});
+    }
+  }
+}
+
+const Table* Database::FindTable(std::string_view name) const {
+  const std::string key = ToLower(name);
+  if (key == "information_schema.tables") {
+    RefreshInfoSchema();
+    return &info_tables_;
+  }
+  if (key == "information_schema.columns") {
+    RefreshInfoSchema();
+    return &info_columns_;
+  }
+  auto it = tables_.find(key);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Table* Database::FindTableMutable(std::string_view name) {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Table& Database::CreateTable(std::string name, std::vector<Column> columns) {
+  std::string key = ToLower(name);
+  Table& t = tables_[key];
+  t.name = std::move(name);
+  t.columns = std::move(columns);
+  t.rows.clear();
+  return t;
+}
+
+Status Database::InsertRow(std::string_view table, Row row) {
+  Table* t = FindTableMutable(table);
+  if (t == nullptr) {
+    return Status::NotFound("no such table: " + std::string(table));
+  }
+  if (row.size() != t->columns.size()) {
+    return Status::InvalidArgument("column count mismatch");
+  }
+  t->rows.push_back(std::move(row));
+  return Status::Ok();
+}
+
+StatusOr<ExecResult> Database::ExecSelectForEval(const sql::SelectStmt& stmt,
+                                                 double* vtime) {
+  auto r = ExecSelect(stmt);
+  if (r.ok()) *vtime += r.value().virtual_time_ms;
+  return r;
+}
+
+StatusOr<ExecResult> Database::ExecSelect(const sql::SelectStmt& stmt) {
+  ExecResult result;
+  Evaluator eval(this, &result.virtual_time_ms, &rng_);
+
+  std::vector<const sql::Expr*> order_exprs;
+  order_exprs.reserve(stmt.order_by.size());
+  for (const auto& item : stmt.order_by) order_exprs.push_back(item.expr.get());
+
+  std::vector<Row> combined;
+  std::vector<std::string> columns;
+  for (std::size_t ci = 0; ci < stmt.cores.size(); ++ci) {
+    auto core_result = ExecCore(stmt.cores[ci], eval, order_exprs);
+    if (!core_result.ok()) return core_result.status();
+    auto& [core_cols, core_rows] = core_result.value();
+    if (ci == 0) {
+      columns = std::move(core_cols);
+    } else if (core_cols.size() != columns.size()) {
+      // MySQL: "The used SELECT statements have a different number of
+      // columns" — the error union-based column sweeps probe for.
+      return Status::InvalidArgument(
+          "The used SELECT statements have a different number of columns");
+    }
+    for (auto& row : core_rows) combined.push_back(std::move(row));
+  }
+
+  // UNION (without ALL) de-duplicates the combined result.
+  bool any_plain_union = false;
+  for (bool all : stmt.union_all) {
+    if (!all) any_plain_union = true;
+  }
+  if (stmt.cores.size() > 1 && any_plain_union) {
+    std::vector<Row> unique;
+    for (Row& row : combined) {
+      bool dup = false;
+      for (const Row& u : unique) {
+        bool same = u.size() == row.size();
+        for (std::size_t i = 0; same && i < u.size(); ++i) {
+          same = Value::OrderCompare(u[i], row[i]) == 0;
+        }
+        if (same) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) unique.push_back(std::move(row));
+    }
+    combined = std::move(unique);
+  }
+
+  // ORDER BY sorts on the hidden key columns ExecCore appended after the
+  // visible columns, then the keys are stripped.
+  const std::size_t ncols = columns.size();
+  if (!order_exprs.empty()) {
+    std::vector<bool> descending;
+    for (const auto& item : stmt.order_by) {
+      descending.push_back(item.descending);
+    }
+    std::stable_sort(
+        combined.begin(), combined.end(),
+        [&descending, ncols](const Row& a, const Row& b) {
+          for (std::size_t k = 0; k < descending.size(); ++k) {
+            int c = Value::OrderCompare(a[ncols + k], b[ncols + k]);
+            if (c != 0) return descending[k] ? c > 0 : c < 0;
+          }
+          return false;
+        });
+    for (Row& row : combined) row.resize(ncols);
+  }
+
+  // OFFSET / LIMIT.
+  std::size_t begin = 0, end = combined.size();
+  if (stmt.offset) {
+    begin = std::min<std::size_t>(
+        static_cast<std::size_t>(std::max<std::int64_t>(*stmt.offset, 0)),
+        combined.size());
+  }
+  if (stmt.limit) {
+    end = std::min(combined.size(),
+                   begin + static_cast<std::size_t>(
+                               std::max<std::int64_t>(*stmt.limit, 0)));
+  }
+  result.columns = std::move(columns);
+  result.rows.assign(std::make_move_iterator(combined.begin() + begin),
+                     std::make_move_iterator(combined.begin() + end));
+  return result;
+}
+
+namespace {
+
+// Resolves one ORDER BY expression for a projected row: 1-based position,
+// output-column/alias name, or (via `fallback`) evaluation against the
+// source row. Appends the key value to `row`.
+Status AppendOrderKey(
+    const sql::Expr& e, const std::vector<std::string>& columns, Row& row,
+    std::size_t ncols,
+    const std::function<StatusOr<Value>(const sql::Expr&)>& fallback) {
+  if (e.kind == sql::ExprKind::kIntLiteral) {
+    if (e.int_value < 1 ||
+        static_cast<std::size_t>(e.int_value) > ncols) {
+      return Status::InvalidArgument("Unknown column '" +
+                                     std::to_string(e.int_value) +
+                                     "' in 'order clause'");
+    }
+    row.push_back(row[static_cast<std::size_t>(e.int_value - 1)]);
+    return Status::Ok();
+  }
+  if (e.kind == sql::ExprKind::kColumnRef && e.qualifier.empty()) {
+    for (std::size_t i = 0; i < ncols && i < columns.size(); ++i) {
+      if (EqualsIgnoreCase(columns[i], e.column)) {
+        row.push_back(row[i]);
+        return Status::Ok();
+      }
+    }
+  }
+  auto v = fallback(e);
+  if (!v.ok()) return v.status();
+  row.push_back(std::move(v.value()));
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<std::pair<std::vector<std::string>, std::vector<Row>>>
+Database::ExecCore(const sql::SelectCore& core, Evaluator& eval,
+                   const std::vector<const sql::Expr*>& order_exprs) {
+  // 1. Build the scope list from FROM/JOINs.
+  std::vector<Scope> scopes;
+  if (!core.from.has_value()) {
+    scopes.emplace_back();  // SELECT without FROM: one empty scope
+  } else {
+    const Table* base = FindTable(core.from->table);
+    if (base == nullptr) {
+      return Status::NotFound("Table '" + core.from->table +
+                              "' doesn't exist");
+    }
+    std::string base_alias =
+        core.from->alias.empty() ? core.from->table : core.from->alias;
+    for (const Row& row : base->rows) {
+      Scope s;
+      s.Append(base_alias, *base, &row);
+      scopes.push_back(std::move(s));
+    }
+    for (const auto& join : core.joins) {
+      const Table* jt = FindTable(join.table.table);
+      if (jt == nullptr) {
+        return Status::NotFound("Table '" + join.table.table +
+                                "' doesn't exist");
+      }
+      std::string alias =
+          join.table.alias.empty() ? join.table.table : join.table.alias;
+      std::vector<Scope> joined;
+      for (const Scope& left : scopes) {
+        bool matched = false;
+        for (const Row& row : jt->rows) {
+          Scope s = left;
+          s.Append(alias, *jt, &row);
+          if (join.on != nullptr) {
+            auto cond = eval.Eval(*join.on, s);
+            if (!cond.ok()) return cond.status();
+            if (!cond.value().truthy()) continue;
+          }
+          matched = true;
+          joined.push_back(std::move(s));
+        }
+        if (!matched && join.kind == sql::JoinClause::Kind::kLeft) {
+          Scope s = left;
+          s.Append(alias, *jt, nullptr);  // NULL-extended row
+          joined.push_back(std::move(s));
+        }
+      }
+      scopes = std::move(joined);
+    }
+  }
+
+  // 2. WHERE filter.
+  if (core.where != nullptr) {
+    std::vector<Scope> kept;
+    for (Scope& s : scopes) {
+      auto cond = eval.Eval(*core.where, s);
+      if (!cond.ok()) return cond.status();
+      if (cond.value().truthy()) kept.push_back(std::move(s));
+    }
+    scopes = std::move(kept);
+  }
+
+  // 3. Determine output columns (star expansion uses the first scope's
+  // names; with no FROM, '*' is an error).
+  std::vector<std::string> columns;
+  bool has_aggregate = !core.group_by.empty();
+  for (const auto& item : core.items) {
+    if (ContainsAggregate(item.expr.get())) has_aggregate = true;
+  }
+  if (ContainsAggregate(core.having.get())) has_aggregate = true;
+
+  auto output_name = [](const sql::SelectItem& item) -> std::string {
+    if (!item.alias.empty()) return item.alias;
+    const sql::Expr& e = *item.expr;
+    if (e.kind == sql::ExprKind::kColumnRef) return e.column;
+    if (e.kind == sql::ExprKind::kFunctionCall) {
+      return e.function_name + "(...)";
+    }
+    return "expr";
+  };
+
+  const bool has_star = std::any_of(
+      core.items.begin(), core.items.end(), [](const sql::SelectItem& i) {
+        return i.expr->kind == sql::ExprKind::kColumnRef &&
+               i.expr->column == "*";
+      });
+  if (has_star && !core.from.has_value()) {
+    return Status::InvalidArgument("SELECT * requires FROM");
+  }
+  if (has_star && has_aggregate) {
+    return Status::InvalidArgument("SELECT * cannot mix with aggregates");
+  }
+
+  // 4a. Aggregate path.
+  if (has_aggregate) {
+    std::map<std::vector<std::string>, Group> groups;
+    if (core.group_by.empty()) {
+      Group g;
+      for (std::size_t i = 0; i < scopes.size(); ++i) {
+        g.member_indexes.push_back(i);
+      }
+      groups[{}] = std::move(g);
+    } else {
+      for (std::size_t i = 0; i < scopes.size(); ++i) {
+        std::vector<std::string> key;
+        for (const auto& ge : core.group_by) {
+          auto v = eval.Eval(*ge, scopes[i]);
+          if (!v.ok()) return v.status();
+          key.push_back(v.value().as_string() +
+                        (v.value().is_string() ? "#s" : "#n"));
+        }
+        groups[key].member_indexes.push_back(i);
+      }
+    }
+    for (const auto& item : core.items) columns.push_back(output_name(item));
+    std::vector<Row> rows;
+    for (auto& [key, group] : groups) {
+      if (core.group_by.empty() && group.member_indexes.empty() &&
+          scopes.empty()) {
+        // Aggregate over empty input still yields one row (COUNT=0 etc.).
+      }
+      if (core.having != nullptr) {
+        auto h = eval.EvalGrouped(*core.having, scopes, group);
+        if (!h.ok()) return h.status();
+        if (!h.value().truthy()) continue;
+      }
+      Row row;
+      for (const auto& item : core.items) {
+        auto v = eval.EvalGrouped(*item.expr, scopes, group);
+        if (!v.ok()) return v.status();
+        row.push_back(std::move(v.value()));
+      }
+      const std::size_t ncols = row.size();
+      for (const sql::Expr* oe : order_exprs) {
+        auto st = AppendOrderKey(
+            *oe, columns, row, ncols, [&](const sql::Expr& e) {
+              return eval.EvalGrouped(e, scopes, group);
+            });
+        if (!st.ok()) return st;
+      }
+      rows.push_back(std::move(row));
+    }
+    return std::make_pair(std::move(columns), std::move(rows));
+  }
+
+  // 4b. Plain projection path.
+  // Column headers.
+  for (const auto& item : core.items) {
+    const sql::Expr& e = *item.expr;
+    if (e.kind == sql::ExprKind::kColumnRef && e.column == "*") {
+      // Star expansion: use the table's declared columns.
+      if (scopes.empty()) {
+        // Need names even with zero rows; reconstruct from tables.
+        const Table* base = FindTable(core.from->table);
+        for (const auto& col : base->columns) columns.push_back(col.name);
+        for (const auto& join : core.joins) {
+          const Table* jt = FindTable(join.table.table);
+          for (const auto& col : jt->columns) columns.push_back(col.name);
+        }
+      } else {
+        const std::string q = ToLower(e.qualifier);
+        for (const auto& [qual, col] : scopes[0].names) {
+          if (q.empty() || qual == q) columns.push_back(col);
+        }
+      }
+    } else {
+      columns.push_back(output_name(item));
+    }
+  }
+
+  std::vector<Row> rows;
+  rows.reserve(scopes.size());
+  for (const Scope& s : scopes) {
+    Row row;
+    for (const auto& item : core.items) {
+      const sql::Expr& e = *item.expr;
+      if (e.kind == sql::ExprKind::kColumnRef && e.column == "*") {
+        const std::string q = ToLower(e.qualifier);
+        for (std::size_t i = 0; i < s.names.size(); ++i) {
+          if (q.empty() || s.names[i].first == q) row.push_back(s.values[i]);
+        }
+      } else {
+        auto v = eval.Eval(e, s);
+        if (!v.ok()) return v.status();
+        row.push_back(std::move(v.value()));
+      }
+    }
+    const std::size_t ncols = columns.size();
+    for (const sql::Expr* oe : order_exprs) {
+      auto st = AppendOrderKey(*oe, columns, row, ncols,
+                               [&](const sql::Expr& e) {
+                                 return eval.Eval(e, s);
+                               });
+      if (!st.ok()) return st;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // DISTINCT compares only the visible columns (hidden sort keys are
+  // derived values and must not resurrect duplicates).
+  if (core.distinct) {
+    const std::size_t ncols = columns.size();
+    std::vector<Row> unique;
+    for (Row& row : rows) {
+      bool dup = false;
+      for (const Row& u : unique) {
+        bool same = true;
+        for (std::size_t i = 0; same && i < ncols; ++i) {
+          same = Value::OrderCompare(u[i], row[i]) == 0;
+        }
+        if (same) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) unique.push_back(std::move(row));
+    }
+    rows = std::move(unique);
+  }
+  return std::make_pair(std::move(columns), std::move(rows));
+}
+
+StatusOr<ExecResult> Database::ExecInsert(const sql::InsertStmt& stmt) {
+  Table* t = FindTableMutable(stmt.table);
+  if (t == nullptr) {
+    return Status::NotFound("Table '" + stmt.table + "' doesn't exist");
+  }
+  ExecResult result;
+  Evaluator eval(this, &result.virtual_time_ms, &rng_);
+  Scope empty;
+
+  std::vector<int> targets;
+  if (stmt.columns.empty()) {
+    for (std::size_t i = 0; i < t->columns.size(); ++i) {
+      targets.push_back(static_cast<int>(i));
+    }
+  } else {
+    for (const std::string& c : stmt.columns) {
+      int idx = t->ColumnIndex(c);
+      if (idx < 0) {
+        return Status::InvalidArgument("Unknown column '" + c + "'");
+      }
+      targets.push_back(idx);
+    }
+  }
+  for (const auto& exprs : stmt.rows) {
+    if (exprs.size() != targets.size()) {
+      return Status::InvalidArgument("Column count doesn't match value count");
+    }
+    Row row(t->columns.size());
+    for (std::size_t i = 0; i < exprs.size(); ++i) {
+      auto v = eval.Eval(*exprs[i], empty);
+      if (!v.ok()) return v.status();
+      row[static_cast<std::size_t>(targets[i])] = std::move(v.value());
+    }
+    t->rows.push_back(std::move(row));
+    ++result.affected;
+  }
+  return result;
+}
+
+StatusOr<ExecResult> Database::ExecUpdate(const sql::UpdateStmt& stmt) {
+  Table* t = FindTableMutable(stmt.table);
+  if (t == nullptr) {
+    return Status::NotFound("Table '" + stmt.table + "' doesn't exist");
+  }
+  ExecResult result;
+  Evaluator eval(this, &result.virtual_time_ms, &rng_);
+
+  std::vector<std::pair<int, const sql::Expr*>> sets;
+  for (const auto& [col, expr] : stmt.assignments) {
+    int idx = t->ColumnIndex(col);
+    if (idx < 0) {
+      return Status::InvalidArgument("Unknown column '" + col + "'");
+    }
+    sets.emplace_back(idx, expr.get());
+  }
+  std::size_t limit = stmt.limit ? static_cast<std::size_t>(*stmt.limit)
+                                 : t->rows.size();
+  for (Row& row : t->rows) {
+    if (result.affected >= limit) break;
+    Scope s;
+    s.Append(t->name, *t, &row);
+    if (stmt.where != nullptr) {
+      auto cond = eval.Eval(*stmt.where, s);
+      if (!cond.ok()) return cond.status();
+      if (!cond.value().truthy()) continue;
+    }
+    for (const auto& [idx, expr] : sets) {
+      auto v = eval.Eval(*expr, s);
+      if (!v.ok()) return v.status();
+      row[static_cast<std::size_t>(idx)] = std::move(v.value());
+    }
+    ++result.affected;
+  }
+  return result;
+}
+
+StatusOr<ExecResult> Database::ExecDelete(const sql::DeleteStmt& stmt) {
+  Table* t = FindTableMutable(stmt.table);
+  if (t == nullptr) {
+    return Status::NotFound("Table '" + stmt.table + "' doesn't exist");
+  }
+  ExecResult result;
+  Evaluator eval(this, &result.virtual_time_ms, &rng_);
+  std::size_t limit = stmt.limit ? static_cast<std::size_t>(*stmt.limit)
+                                 : t->rows.size();
+  std::vector<Row> kept;
+  kept.reserve(t->rows.size());
+  for (Row& row : t->rows) {
+    bool remove = false;
+    if (result.affected < limit) {
+      if (stmt.where == nullptr) {
+        remove = true;
+      } else {
+        Scope s;
+        s.Append(t->name, *t, &row);
+        auto cond = eval.Eval(*stmt.where, s);
+        if (!cond.ok()) return cond.status();
+        remove = cond.value().truthy();
+      }
+    }
+    if (remove) {
+      ++result.affected;
+    } else {
+      kept.push_back(std::move(row));
+    }
+  }
+  t->rows = std::move(kept);
+  return result;
+}
+
+StatusOr<ExecResult> Database::ExecCreate(const sql::CreateTableStmt& stmt) {
+  if (HasTable(stmt.table)) {
+    if (stmt.if_not_exists) return ExecResult{};
+    return Status::InvalidArgument("Table '" + stmt.table +
+                                   "' already exists");
+  }
+  std::vector<Column> cols;
+  for (const auto& def : stmt.columns) {
+    cols.push_back(Column{def.name, def.type});
+  }
+  CreateTable(stmt.table, std::move(cols));
+  return ExecResult{};
+}
+
+StatusOr<ExecResult> Database::ExecDrop(const sql::DropTableStmt& stmt) {
+  auto it = tables_.find(ToLower(stmt.table));
+  if (it == tables_.end()) {
+    if (stmt.if_exists) return ExecResult{};
+    return Status::NotFound("Unknown table '" + stmt.table + "'");
+  }
+  tables_.erase(it);
+  return ExecResult{};
+}
+
+}  // namespace joza::db

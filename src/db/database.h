@@ -1,0 +1,103 @@
+// In-memory SQL database engine.
+//
+// This is the MySQL stand-in behind the protected application. It executes
+// the AST from sqlparse/ with enough fidelity that the paper's four attack
+// classes work end-to-end: union-based exploits really exfiltrate rows,
+// tautologies really bypass WHERE clauses, blind attacks really observe
+// error/row-count channels, and double-blind attacks really observe timing
+// (SLEEP/BENCHMARK accumulate virtual time on the result).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "db/table.h"
+#include "sqlparse/ast.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace joza::db {
+
+class Evaluator;
+
+struct ExecResult {
+  std::vector<std::string> columns;  // empty for non-SELECT
+  std::vector<Row> rows;
+  std::size_t affected = 0;          // INSERT/UPDATE/DELETE row count
+  // Virtual time consumed by SLEEP()/BENCHMARK(), in milliseconds. The
+  // webapp layer adds this to the response time, giving double-blind
+  // attacks their timing side channel without real sleeping.
+  double virtual_time_ms = 0.0;
+};
+
+class Database {
+ public:
+  Database() : rng_(0xdb) {}
+
+  // Parses and executes one statement.
+  StatusOr<ExecResult> Execute(std::string_view sql);
+
+  // Executes an already-parsed statement.
+  StatusOr<ExecResult> Execute(const sql::Statement& stmt);
+
+  // Prepared-statement execution: parses `sql`, binds `params` to its
+  // placeholders ('?' and ':name', in query byte order), executes. Bound
+  // values are pure data — they never re-enter SQL parsing, which is
+  // exactly why prepared statements resist injection (and why the Drupal
+  // CVE, which let user input shape the *placeholder names*, still lost).
+  StatusOr<ExecResult> ExecutePrepared(std::string_view sql,
+                                       const std::vector<Value>& params);
+
+  bool HasTable(std::string_view name) const;
+  // Resolves user tables and the read-only virtual tables
+  // "information_schema.tables" (table_name, table_rows) and
+  // "information_schema.columns" (table_name, column_name, data_type),
+  // which are what union-based schema enumeration targets.
+  const Table* FindTable(std::string_view name) const;
+  std::size_t table_count() const { return tables_.size(); }
+
+  // Direct table creation/population helpers for fixtures.
+  Table& CreateTable(std::string name, std::vector<Column> columns);
+  Status InsertRow(std::string_view table, Row row);
+
+ private:
+  StatusOr<ExecResult> ExecSelect(const sql::SelectStmt& stmt);
+  // Runs a nested SELECT for the expression evaluator, folding its virtual
+  // time into the outer query's accumulator.
+  StatusOr<ExecResult> ExecSelectForEval(const sql::SelectStmt& stmt,
+                                         double* vtime);
+  // Executes one SELECT core. For every expression in `order_exprs` a
+  // hidden sort-key column is appended to each row (so ORDER BY can
+  // reference source columns that are not projected); the caller sorts by
+  // and then strips these.
+  StatusOr<std::pair<std::vector<std::string>, std::vector<Row>>> ExecCore(
+      const sql::SelectCore& core, Evaluator& eval,
+      const std::vector<const sql::Expr*>& order_exprs);
+  StatusOr<ExecResult> ExecInsert(const sql::InsertStmt& stmt);
+  StatusOr<ExecResult> ExecUpdate(const sql::UpdateStmt& stmt);
+  StatusOr<ExecResult> ExecDelete(const sql::DeleteStmt& stmt);
+  StatusOr<ExecResult> ExecCreate(const sql::CreateTableStmt& stmt);
+  StatusOr<ExecResult> ExecDrop(const sql::DropTableStmt& stmt);
+  StatusOr<ExecResult> ExecShowTables() const;
+
+  Table* FindTableMutable(std::string_view name);
+  // Rebuilds the virtual information_schema tables from current state.
+  void RefreshInfoSchema() const;
+
+  std::unordered_map<std::string, Table> tables_;  // key: lowercase name
+  // Lazily rebuilt virtual tables; mutable because FindTable is const.
+  mutable Table info_tables_;
+  mutable Table info_columns_;
+  Rng rng_;
+  // Set only for the duration of ExecutePrepared; read by the evaluator
+  // when it reaches a placeholder expression.
+  const std::vector<Value>* bound_params_ = nullptr;
+
+  friend class Evaluator;
+};
+
+}  // namespace joza::db

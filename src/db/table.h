@@ -1,0 +1,28 @@
+// In-memory table storage.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/value.h"
+#include "sqlparse/ast.h"
+
+namespace joza::db {
+
+using Row = std::vector<Value>;
+
+struct Column {
+  std::string name;
+  sql::ColumnDef::Type type = sql::ColumnDef::Type::kText;
+};
+
+struct Table {
+  std::string name;
+  std::vector<Column> columns;
+  std::vector<Row> rows;
+
+  // Index of a column by (case-insensitive) name, or -1.
+  int ColumnIndex(std::string_view col) const;
+};
+
+}  // namespace joza::db

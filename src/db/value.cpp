@@ -1,0 +1,108 @@
+#include "db/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace joza::db {
+
+double MysqlNumericPrefix(std::string_view s) {
+  std::string_view t = Trim(s);
+  std::string buf(t);
+  const char* start = buf.c_str();
+  char* end = nullptr;
+  double v = std::strtod(start, &end);
+  if (end == start) return 0.0;
+  return v;
+}
+
+std::int64_t Value::as_int() const {
+  if (is_int()) return std::get<std::int64_t>(data_);
+  if (is_double()) return static_cast<std::int64_t>(std::llround(std::get<double>(data_)));
+  if (is_string()) {
+    return static_cast<std::int64_t>(
+        std::llround(MysqlNumericPrefix(std::get<std::string>(data_))));
+  }
+  return 0;  // NULL
+}
+
+double Value::as_double() const {
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(data_));
+  if (is_double()) return std::get<double>(data_);
+  if (is_string()) return MysqlNumericPrefix(std::get<std::string>(data_));
+  return 0.0;
+}
+
+std::string Value::as_string() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(std::get<std::int64_t>(data_));
+  if (is_double()) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", std::get<double>(data_));
+    return buf;
+  }
+  return std::get<std::string>(data_);
+}
+
+bool Value::truthy() const {
+  if (is_null()) return false;
+  if (is_int()) return std::get<std::int64_t>(data_) != 0;
+  if (is_double()) return std::get<double>(data_) != 0.0;
+  // MySQL: a string is truthy iff its numeric prefix is non-zero.
+  return MysqlNumericPrefix(std::get<std::string>(data_)) != 0.0;
+}
+
+namespace {
+
+// Compares with MySQL coercion rules; requires both non-null.
+// Returns -1/0/+1.
+int CoercedCompare(const Value& a, const Value& b) {
+  if (a.is_string() && b.is_string()) {
+    const std::string& x = a.raw_string();
+    const std::string& y = b.raw_string();
+    // MySQL default collations are case-insensitive.
+    std::string lx = ToLower(x), ly = ToLower(y);
+    if (lx < ly) return -1;
+    if (lx > ly) return 1;
+    return 0;
+  }
+  double x = a.as_double();
+  double y = b.as_double();
+  if (x < y) return -1;
+  if (x > y) return 1;
+  return 0;
+}
+
+}  // namespace
+
+Value Value::CompareEq(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  return Value::Bool(CoercedCompare(a, b) == 0);
+}
+
+Value Value::CompareLt(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  return Value::Bool(CoercedCompare(a, b) < 0);
+}
+
+Value Value::CompareLe(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  return Value::Bool(CoercedCompare(a, b) <= 0);
+}
+
+int Value::OrderCompare(const Value& a, const Value& b) {
+  const int ra = a.is_null() ? 0 : (a.is_string() ? 2 : 1);
+  const int rb = b.is_null() ? 0 : (b.is_string() ? 2 : 1);
+  if (ra != rb) {
+    // Numeric-vs-string still compares by coerced value (MySQL semantics),
+    // NULL always sorts first.
+    if (ra == 0 || rb == 0) return ra < rb ? -1 : 1;
+    return CoercedCompare(a, b) != 0 ? CoercedCompare(a, b) : (ra < rb ? -1 : 1);
+  }
+  if (ra == 0) return 0;  // both NULL
+  return CoercedCompare(a, b);
+}
+
+}  // namespace joza::db

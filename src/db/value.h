@@ -1,0 +1,56 @@
+// SQL value type with MySQL-style coercions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace joza::db {
+
+class Value {
+ public:
+  Value() = default;  // NULL
+  explicit Value(std::int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(std::int64_t{b ? 1 : 0}); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  std::int64_t as_int() const;       // MySQL-style coercion (string -> num)
+  double as_double() const;
+  std::string as_string() const;     // rendering, NULL -> "NULL"
+  const std::string& raw_string() const { return std::get<std::string>(data_); }
+
+  // SQL truthiness: non-zero numeric value; NULL is false.
+  bool truthy() const;
+
+  // Three-valued comparison: returns NULL value if either side is NULL,
+  // else Bool. Strings compare numerically when the other side is numeric.
+  static Value CompareEq(const Value& a, const Value& b);
+  static Value CompareLt(const Value& a, const Value& b);
+  static Value CompareLe(const Value& a, const Value& b);
+
+  // Total ordering for ORDER BY / DISTINCT / GROUP BY keys: NULL sorts
+  // first, then numerics, then strings.
+  static int OrderCompare(const Value& a, const Value& b);
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return OrderCompare(a, b) == 0;
+  }
+
+ private:
+  std::variant<std::monostate, std::int64_t, double, std::string> data_;
+};
+
+// Parses the numeric prefix of a string the way MySQL does ('12abc' -> 12,
+// 'abc' -> 0, '3.5x' -> 3.5).
+double MysqlNumericPrefix(std::string_view s);
+
+}  // namespace joza::db

@@ -1,0 +1,173 @@
+#include "http/request.h"
+
+#include "util/codec.h"
+#include "util/strings.h"
+
+namespace joza::http {
+
+const char* InputKindName(InputKind k) {
+  switch (k) {
+    case InputKind::kGet: return "GET";
+    case InputKind::kPost: return "POST";
+    case InputKind::kCookie: return "COOKIE";
+    case InputKind::kHeader: return "HEADER";
+  }
+  return "?";
+}
+
+std::vector<Input> Request::AllInputs() const {
+  std::vector<Input> all;
+  all.reserve(get_params.size() + post_params.size() + cookies.size() +
+              headers.size());
+  all.insert(all.end(), get_params.begin(), get_params.end());
+  all.insert(all.end(), post_params.begin(), post_params.end());
+  all.insert(all.end(), cookies.begin(), cookies.end());
+  all.insert(all.end(), headers.begin(), headers.end());
+  return all;
+}
+
+std::string_view Request::Param(std::string_view name) const {
+  for (const Input& i : get_params) {
+    if (i.name == name) return i.value;
+  }
+  for (const Input& i : post_params) {
+    if (i.name == name) return i.value;
+  }
+  return {};
+}
+
+std::string_view Request::Cookie(std::string_view name) const {
+  for (const Input& i : cookies) {
+    if (i.name == name) return i.value;
+  }
+  return {};
+}
+
+bool Request::HasParam(std::string_view name) const {
+  for (const Input& i : get_params) {
+    if (i.name == name) return true;
+  }
+  for (const Input& i : post_params) {
+    if (i.name == name) return true;
+  }
+  return false;
+}
+
+Request Request::Get(
+    std::string path,
+    std::vector<std::pair<std::string, std::string>> params) {
+  Request r;
+  r.method = "GET";
+  r.path = std::move(path);
+  for (auto& [k, v] : params) {
+    r.get_params.push_back({InputKind::kGet, std::move(k), std::move(v)});
+  }
+  return r;
+}
+
+Request Request::Post(
+    std::string path,
+    std::vector<std::pair<std::string, std::string>> params) {
+  Request r;
+  r.method = "POST";
+  r.path = std::move(path);
+  for (auto& [k, v] : params) {
+    r.post_params.push_back({InputKind::kPost, std::move(k), std::move(v)});
+  }
+  return r;
+}
+
+Request& Request::WithCookie(std::string name, std::string value) {
+  cookies.push_back({InputKind::kCookie, std::move(name), std::move(value)});
+  return *this;
+}
+
+Request& Request::WithHeader(std::string name, std::string value) {
+  headers.push_back({InputKind::kHeader, std::move(name), std::move(value)});
+  return *this;
+}
+
+std::vector<Input> ParseQueryString(std::string_view qs, InputKind kind) {
+  std::vector<Input> out;
+  if (qs.empty()) return out;
+  for (const std::string& pair : Split(qs, '&')) {
+    if (pair.empty()) continue;
+    std::size_t eq = pair.find('=');
+    Input input;
+    input.kind = kind;
+    if (eq == std::string::npos) {
+      input.name = UrlDecode(pair);
+    } else {
+      input.name = UrlDecode(std::string_view(pair).substr(0, eq));
+      input.value = UrlDecode(std::string_view(pair).substr(eq + 1));
+    }
+    out.push_back(std::move(input));
+  }
+  return out;
+}
+
+StatusOr<Request> ParseRawRequest(std::string_view raw) {
+  std::size_t line_end = raw.find("\r\n");
+  if (line_end == std::string_view::npos) line_end = raw.find('\n');
+  if (line_end == std::string_view::npos) {
+    return Status::ParseError("missing request line terminator");
+  }
+  std::string_view request_line = raw.substr(0, line_end);
+  auto parts = Split(request_line, ' ');
+  if (parts.size() < 2) {
+    return Status::ParseError("malformed request line");
+  }
+  Request req;
+  req.method = ToUpper(parts[0]);
+
+  std::string_view target = parts[1];
+  std::size_t qpos = target.find('?');
+  if (qpos == std::string_view::npos) {
+    req.path = std::string(target);
+  } else {
+    req.path = std::string(target.substr(0, qpos));
+    req.get_params = ParseQueryString(target.substr(qpos + 1), InputKind::kGet);
+  }
+
+  // Headers until blank line.
+  std::size_t pos = line_end + (raw[line_end] == '\r' ? 2 : 1);
+  while (pos < raw.size()) {
+    std::size_t end = raw.find("\r\n", pos);
+    std::size_t skip = 2;
+    if (end == std::string_view::npos) {
+      end = raw.find('\n', pos);
+      skip = 1;
+      if (end == std::string_view::npos) end = raw.size();
+    }
+    std::string_view line = raw.substr(pos, end - pos);
+    pos = end + (end < raw.size() ? skip : 0);
+    if (line.empty()) break;  // end of headers
+    std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::ParseError("malformed header line");
+    }
+    std::string name = ToLower(Trim(line.substr(0, colon)));
+    std::string value(Trim(line.substr(colon + 1)));
+    if (name == "cookie") {
+      for (const std::string& c : Split(value, ';')) {
+        std::string_view cv = Trim(c);
+        std::size_t eq = cv.find('=');
+        if (eq == std::string_view::npos) continue;
+        req.cookies.push_back({InputKind::kCookie,
+                               std::string(cv.substr(0, eq)),
+                               std::string(cv.substr(eq + 1))});
+      }
+    } else {
+      req.headers.push_back(
+          {InputKind::kHeader, std::move(name), std::move(value)});
+    }
+  }
+
+  // Body: form-encoded POST parameters.
+  if (pos < raw.size() && req.method == "POST") {
+    req.post_params = ParseQueryString(raw.substr(pos), InputKind::kPost);
+  }
+  return req;
+}
+
+}  // namespace joza::http

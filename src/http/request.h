@@ -1,0 +1,70 @@
+// HTTP request model and input-source enumeration.
+//
+// NTI must see every input the application can see: GET and POST
+// parameters, cookies, and request headers (Section IV-D). The preprocessor
+// snapshots these *before* the application mutates them.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace joza::http {
+
+enum class InputKind { kGet, kPost, kCookie, kHeader };
+
+const char* InputKindName(InputKind k);
+
+struct Input {
+  InputKind kind;
+  std::string name;
+  std::string value;
+};
+
+struct Request {
+  std::string method = "GET";
+  std::string path = "/";
+  std::vector<Input> get_params;
+  std::vector<Input> post_params;
+  std::vector<Input> cookies;
+  std::vector<Input> headers;
+
+  // Enumerates all inputs in NTI analysis order (GET, POST, cookies,
+  // headers).
+  std::vector<Input> AllInputs() const;
+
+  // First value for a GET-or-POST parameter, or empty string.
+  std::string_view Param(std::string_view name) const;
+  std::string_view Cookie(std::string_view name) const;
+
+  bool HasParam(std::string_view name) const;
+
+  // Convenience builders used by the workload generators.
+  static Request Get(std::string path,
+                     std::vector<std::pair<std::string, std::string>> params);
+  static Request Post(std::string path,
+                      std::vector<std::pair<std::string, std::string>> params);
+
+  Request& WithCookie(std::string name, std::string value);
+  Request& WithHeader(std::string name, std::string value);
+};
+
+struct Response {
+  int status = 200;
+  std::string body;
+  // Virtual processing time in milliseconds; double-blind (timing) attacks
+  // observe this channel. SLEEP() in the database engine adds to it.
+  double virtual_time_ms = 0.0;
+};
+
+// Parses "a=1&b=x%20y" into decoded name/value pairs with the given kind.
+std::vector<Input> ParseQueryString(std::string_view qs, InputKind kind);
+
+// Parses a raw HTTP/1.1 request (request line, headers, optional
+// x-www-form-urlencoded body) into a Request. Cookie headers are split into
+// individual cookies.
+StatusOr<Request> ParseRawRequest(std::string_view raw);
+
+}  // namespace joza::http

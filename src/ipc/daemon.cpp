@@ -1,0 +1,199 @@
+#include "ipc/daemon.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "sqlparse/lexer.h"
+
+namespace joza::ipc {
+
+std::size_t ServePtiDaemon(int read_fd, int write_fd,
+                           php::FragmentSet fragments,
+                           pti::PtiConfig config) {
+  pti::PtiAnalyzer analyzer(std::move(fragments), config);
+  std::size_t served = 0;
+  for (;;) {
+    auto frame = ReadFrame(read_fd);
+    if (!frame.ok()) break;  // EOF or broken pipe: the app went away
+    switch (frame->type) {
+      case MessageType::kPing:
+        if (!WriteFrame(write_fd, {MessageType::kPong, ""}).ok()) return served;
+        break;
+      case MessageType::kAnalyzeRequest: {
+        const std::string& query = frame->payload;
+        pti::PtiResult r = analyzer.Analyze(query);
+        PtiVerdictWire wire;
+        wire.attack_detected = r.attack_detected;
+        wire.untrusted_critical_tokens =
+            static_cast<std::uint32_t>(r.untrusted_critical_tokens.size());
+        wire.hits = static_cast<std::uint32_t>(r.hits);
+        wire.fragments_scanned =
+            static_cast<std::uint32_t>(r.fragments_scanned);
+        for (const auto& t : r.untrusted_critical_tokens) {
+          wire.untrusted_texts.emplace_back(t.text);
+        }
+        ++served;
+        if (!WriteFrame(write_fd,
+                        {MessageType::kAnalyzeResponse, EncodeVerdict(wire)})
+                 .ok()) {
+          return served;
+        }
+        break;
+      }
+      case MessageType::kAddFragments: {
+        auto list = DecodeStringList(frame->payload);
+        if (!list.ok()) {
+          WriteFrame(write_fd, {MessageType::kError, list.status().message()});
+          break;
+        }
+        // Raw fragments arrive pre-extracted; rebuild the index once.
+        php::FragmentSet merged = analyzer.fragments();
+        for (const std::string& f : list.value()) merged.AddRaw(f);
+        analyzer = pti::PtiAnalyzer(std::move(merged), config);
+        WriteFrame(write_fd, {MessageType::kAck, ""});
+        break;
+      }
+      case MessageType::kShutdown:
+        WriteFrame(write_fd, {MessageType::kAck, ""});
+        return served;
+      default:
+        WriteFrame(write_fd, {MessageType::kError, "unexpected message type"});
+        break;
+    }
+  }
+  return served;
+}
+
+DaemonClient::DaemonClient(Mode mode, php::FragmentSet fragments,
+                           pti::PtiConfig config)
+    : mode_(mode), fragments_(std::move(fragments)), config_(config) {}
+
+DaemonClient::~DaemonClient() { Shutdown(); }
+
+Status DaemonClient::SpawnChild(Fd& to_child_w, Fd& from_child_r) {
+  auto req_pipe = MakePipe();  // parent -> child
+  if (!req_pipe.ok()) return req_pipe.status();
+  auto resp_pipe = MakePipe();  // child -> parent
+  if (!resp_pipe.ok()) return resp_pipe.status();
+
+  pid_t pid = ::fork();
+  if (pid < 0) return Status::Internal("fork() failed");
+  if (pid == 0) {
+    // Child: the daemon. Close the parent-side ends, serve, exit.
+    req_pipe->second.Close();
+    resp_pipe->first.Close();
+    ServePtiDaemon(req_pipe->first.get(), resp_pipe->second.get(), fragments_,
+                   config_);
+    ::_exit(0);
+  }
+  // Parent.
+  req_pipe->first.Close();
+  resp_pipe->second.Close();
+  to_child_w = std::move(req_pipe->second);
+  from_child_r = std::move(resp_pipe->first);
+  child_pid_ = pid;
+  return Status::Ok();
+}
+
+Status DaemonClient::EnsureSpawned() {
+  if (to_daemon_.valid()) return Status::Ok();
+  return SpawnChild(to_daemon_, from_daemon_);
+}
+
+StatusOr<Frame> DaemonClient::RoundTrip(const Frame& request) {
+  if (mode_ == Mode::kSpawnPerRequest) {
+    // Fresh daemon for this one request: its index build cost lands in the
+    // round-trip latency, exactly like the paper's unoptimized tier.
+    Fd w, r;
+    if (auto st = SpawnChild(w, r); !st.ok()) return st;
+    if (auto st = WriteFrame(w.get(), request); !st.ok()) return st;
+    auto response = ReadFrame(r.get());
+    w.Close();  // EOF lets the child exit
+    int status = 0;
+    ::waitpid(child_pid_, &status, 0);
+    child_pid_ = -1;
+    return response;
+  }
+  if (auto st = EnsureSpawned(); !st.ok()) return st;
+  if (auto st = WriteFrame(to_daemon_.get(), request); !st.ok()) return st;
+  return ReadFrame(from_daemon_.get());
+}
+
+StatusOr<PtiVerdictWire> DaemonClient::Analyze(std::string_view query) {
+  auto response =
+      RoundTrip(Frame{MessageType::kAnalyzeRequest, std::string(query)});
+  if (!response.ok()) return response.status();
+  if (response->type != MessageType::kAnalyzeResponse) {
+    return Status::Internal("daemon returned unexpected frame type");
+  }
+  return DecodeVerdict(response->payload);
+}
+
+Status DaemonClient::Ping() {
+  auto response = RoundTrip(Frame{MessageType::kPing, ""});
+  if (!response.ok()) return response.status();
+  if (response->type != MessageType::kPong) {
+    return Status::Internal("daemon returned unexpected frame type");
+  }
+  return Status::Ok();
+}
+
+Status DaemonClient::AddFragments(
+    const std::vector<std::string>& fragment_texts) {
+  for (const std::string& f : fragment_texts) fragments_.AddRaw(f);
+  if (mode_ == Mode::kSpawnPerRequest || !to_daemon_.valid()) {
+    return Status::Ok();  // next spawn picks them up
+  }
+  auto response = RoundTrip(
+      Frame{MessageType::kAddFragments, EncodeStringList(fragment_texts)});
+  if (!response.ok()) return response.status();
+  if (response->type != MessageType::kAck) {
+    return Status::Internal("daemon rejected fragment update");
+  }
+  return Status::Ok();
+}
+
+void DaemonClient::Shutdown() {
+  if (to_daemon_.valid()) {
+    WriteFrame(to_daemon_.get(), Frame{MessageType::kShutdown, ""});
+    // Best-effort ack read, then close.
+    ReadFrame(from_daemon_.get());
+    to_daemon_.Close();
+    from_daemon_.Close();
+  }
+  if (child_pid_ > 0) {
+    int status = 0;
+    ::waitpid(child_pid_, &status, 0);
+    child_pid_ = -1;
+  }
+}
+
+core::PtiFn DaemonClient::AsPtiBackend() {
+  return [this](std::string_view query,
+                const std::vector<sql::Token>& tokens) -> pti::PtiResult {
+    pti::PtiResult result;
+    auto wire = Analyze(query);
+    if (!wire.ok()) {
+      // Fail closed: an unreachable daemon must not let queries through.
+      result.attack_detected = true;
+      return result;
+    }
+    result.attack_detected = wire->attack_detected;
+    result.hits = wire->hits;
+    result.fragments_scanned = wire->fragments_scanned;
+    // Recover token metadata locally for diagnostics.
+    if (wire->attack_detected) {
+      for (const sql::Token& t : tokens) {
+        for (const std::string& text : wire->untrusted_texts) {
+          if (t.IsCritical() && t.text == text) {
+            result.untrusted_critical_tokens.push_back(t);
+            break;
+          }
+        }
+      }
+    }
+    return result;
+  };
+}
+
+}  // namespace joza::ipc

@@ -1,0 +1,79 @@
+// PTI daemon: server loop and client (Section IV-C1).
+//
+// The daemon is a native process holding the fragment automaton in memory.
+// The application launches it on demand and talks to it over anonymous
+// pipes. Two lifetimes exist, matching the paper:
+//   * spawn-per-request — a fresh daemon per analysis (the "unoptimized"
+//     tier of Figure 7: the child rebuilds the fragment index every time);
+//   * persistent — one long-lived daemon reused across requests (the
+//     optimized tier).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/joza.h"
+#include "ipc/framing.h"
+#include "phpsrc/fragments.h"
+#include "pti/pti.h"
+#include "util/status.h"
+
+namespace joza::ipc {
+
+// Runs the daemon side: reads frames from `read_fd`, answers on
+// `write_fd`, until Shutdown or EOF. Returns the number of queries served.
+// `fragments` seeds the analyzer; AddFragments frames extend it.
+std::size_t ServePtiDaemon(int read_fd, int write_fd,
+                           php::FragmentSet fragments,
+                           pti::PtiConfig config = {});
+
+class DaemonClient {
+ public:
+  enum class Mode {
+    kPersistent,       // fork once, reuse across Analyze calls
+    kSpawnPerRequest,  // fork + index build per Analyze call
+  };
+
+  // The client owns a copy of the fragment texts so spawned children can
+  // rebuild the analyzer (models the daemon loading fragments at startup).
+  DaemonClient(Mode mode, php::FragmentSet fragments,
+               pti::PtiConfig config = {});
+  ~DaemonClient();
+
+  DaemonClient(const DaemonClient&) = delete;
+  DaemonClient& operator=(const DaemonClient&) = delete;
+
+  Mode mode() const { return mode_; }
+
+  // Round-trips one query through the daemon.
+  StatusOr<PtiVerdictWire> Analyze(std::string_view query);
+
+  // Health check round trip.
+  Status Ping();
+
+  // Ships additional fragments to the (persistent) daemon.
+  Status AddFragments(const std::vector<std::string>& fragment_texts);
+
+  // Stops the persistent daemon (no-op for spawn-per-request).
+  void Shutdown();
+
+  // Adapts this client as a Joza PTI backend. The wire verdict carries no
+  // token spans, so the adapter re-derives `untrusted_critical_tokens`
+  // length only; detection semantics are identical.
+  core::PtiFn AsPtiBackend();
+
+ private:
+  Status EnsureSpawned();
+  StatusOr<Frame> RoundTrip(const Frame& request);
+  Status SpawnChild(Fd& to_child_w, Fd& from_child_r);
+
+  Mode mode_;
+  php::FragmentSet fragments_;
+  pti::PtiConfig config_;
+  Fd to_daemon_;    // parent writes requests
+  Fd from_daemon_;  // parent reads responses
+  int child_pid_ = -1;
+};
+
+}  // namespace joza::ipc

@@ -1,0 +1,196 @@
+#include "ipc/framing.h"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+namespace joza::ipc {
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int Fd::Release() {
+  int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+StatusOr<std::pair<Fd, Fd>> MakePipe() {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    return Status::Internal(std::string("pipe(): ") + std::strerror(errno));
+  }
+  return std::make_pair(Fd(fds[0]), Fd(fds[1]));
+}
+
+namespace {
+
+Status WriteAll(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("write(): ") +
+                                 std::strerror(errno));
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+// Returns 0 bytes read as clean EOF (only legal before the first byte).
+StatusOr<bool> ReadAll(int fd, void* data, std::size_t size,
+                       bool eof_ok_at_start) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    ssize_t n = ::read(fd, p + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("read(): ") +
+                                 std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0 && eof_ok_at_start) return false;  // clean EOF
+      return Status::Unavailable("unexpected EOF mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void AppendU32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+StatusOr<std::uint32_t> TakeU32(std::string_view& in) {
+  if (in.size() < 4) return Status::ParseError("truncated u32");
+  std::uint32_t v = static_cast<std::uint8_t>(in[0]) |
+                    (static_cast<std::uint8_t>(in[1]) << 8) |
+                    (static_cast<std::uint8_t>(in[2]) << 16) |
+                    (static_cast<std::uint32_t>(static_cast<std::uint8_t>(in[3])) << 24);
+  in.remove_prefix(4);
+  return v;
+}
+
+StatusOr<std::string> TakeString(std::string_view& in) {
+  auto len = TakeU32(in);
+  if (!len.ok()) return len.status();
+  if (in.size() < len.value()) return Status::ParseError("truncated string");
+  std::string s(in.substr(0, len.value()));
+  in.remove_prefix(len.value());
+  return s;
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, const Frame& frame) {
+  std::string header;
+  AppendU32(header, static_cast<std::uint32_t>(frame.payload.size()));
+  header.push_back(static_cast<char>(frame.type));
+  if (auto st = WriteAll(fd, header.data(), header.size()); !st.ok()) {
+    return st;
+  }
+  return WriteAll(fd, frame.payload.data(), frame.payload.size());
+}
+
+StatusOr<Frame> ReadFrame(int fd, std::size_t max_payload) {
+  unsigned char header[5];
+  auto got = ReadAll(fd, header, sizeof header, /*eof_ok_at_start=*/true);
+  if (!got.ok()) return got.status();
+  if (!got.value()) return Status::NotFound("peer closed the pipe");
+  std::uint32_t len = header[0] | (header[1] << 8) | (header[2] << 16) |
+                      (static_cast<std::uint32_t>(header[3]) << 24);
+  if (len > max_payload) {
+    return Status::InvalidArgument("frame payload exceeds limit");
+  }
+  Frame frame;
+  frame.type = static_cast<MessageType>(header[4]);
+  frame.payload.resize(len);
+  if (len > 0) {
+    auto body = ReadAll(fd, frame.payload.data(), len, false);
+    if (!body.ok()) return body.status();
+  }
+  return frame;
+}
+
+std::string EncodeVerdict(const PtiVerdictWire& v) {
+  std::string out;
+  out.push_back(v.attack_detected ? 1 : 0);
+  AppendU32(out, v.untrusted_critical_tokens);
+  AppendU32(out, v.hits);
+  AppendU32(out, v.fragments_scanned);
+  AppendU32(out, static_cast<std::uint32_t>(v.untrusted_texts.size()));
+  for (const std::string& s : v.untrusted_texts) {
+    AppendU32(out, static_cast<std::uint32_t>(s.size()));
+    out += s;
+  }
+  return out;
+}
+
+StatusOr<PtiVerdictWire> DecodeVerdict(std::string_view in) {
+  if (in.empty()) return Status::ParseError("empty verdict payload");
+  PtiVerdictWire v;
+  v.attack_detected = in[0] != 0;
+  in.remove_prefix(1);
+  auto a = TakeU32(in);
+  if (!a.ok()) return a.status();
+  v.untrusted_critical_tokens = a.value();
+  auto h = TakeU32(in);
+  if (!h.ok()) return h.status();
+  v.hits = h.value();
+  auto f = TakeU32(in);
+  if (!f.ok()) return f.status();
+  v.fragments_scanned = f.value();
+  auto n = TakeU32(in);
+  if (!n.ok()) return n.status();
+  for (std::uint32_t i = 0; i < n.value(); ++i) {
+    auto s = TakeString(in);
+    if (!s.ok()) return s.status();
+    v.untrusted_texts.push_back(std::move(s.value()));
+  }
+  return v;
+}
+
+std::string EncodeStringList(const std::vector<std::string>& strings) {
+  std::string out;
+  AppendU32(out, static_cast<std::uint32_t>(strings.size()));
+  for (const std::string& s : strings) {
+    AppendU32(out, static_cast<std::uint32_t>(s.size()));
+    out += s;
+  }
+  return out;
+}
+
+StatusOr<std::vector<std::string>> DecodeStringList(std::string_view in) {
+  auto n = TakeU32(in);
+  if (!n.ok()) return n.status();
+  std::vector<std::string> out;
+  out.reserve(n.value());
+  for (std::uint32_t i = 0; i < n.value(); ++i) {
+    auto s = TakeString(in);
+    if (!s.ok()) return s.status();
+    out.push_back(std::move(s.value()));
+  }
+  return out;
+}
+
+}  // namespace joza::ipc

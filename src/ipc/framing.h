@@ -1,0 +1,80 @@
+// Length-prefixed message framing over POSIX pipe file descriptors.
+//
+// The PTI daemon is a separate native process that communicates with the
+// web application over named or anonymous pipes (Section IV-C1). Frames
+// are: u32 little-endian payload length, u8 message type, payload bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace joza::ipc {
+
+enum class MessageType : std::uint8_t {
+  kPing = 0,
+  kPong = 1,
+  kAnalyzeRequest = 2,   // payload: query text
+  kAnalyzeResponse = 3,  // payload: serialized PtiVerdictWire
+  kAddFragments = 4,     // payload: serialized fragment list
+  kAck = 5,
+  kShutdown = 6,
+  kError = 7,            // payload: error message
+};
+
+struct Frame {
+  MessageType type = MessageType::kPing;
+  std::string payload;
+};
+
+// RAII file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Close(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+  // Releases ownership without closing.
+  int Release();
+
+ private:
+  int fd_ = -1;
+};
+
+// Creates a unidirectional pipe; [0] is the read end, [1] the write end.
+StatusOr<std::pair<Fd, Fd>> MakePipe();
+
+// Blocking full-frame write/read with EINTR handling. ReadFrame returns
+// NotFound on clean EOF (peer closed before any byte of a frame).
+Status WriteFrame(int fd, const Frame& frame);
+StatusOr<Frame> ReadFrame(int fd, std::size_t max_payload = 64u << 20);
+
+// --- Wire encodings ---------------------------------------------------------
+
+// Subset of pti::PtiResult that crosses the pipe.
+struct PtiVerdictWire {
+  bool attack_detected = false;
+  std::uint32_t untrusted_critical_tokens = 0;
+  std::uint32_t hits = 0;
+  std::uint32_t fragments_scanned = 0;
+  // Texts of untrusted critical tokens, for diagnostics.
+  std::vector<std::string> untrusted_texts;
+};
+
+std::string EncodeVerdict(const PtiVerdictWire& verdict);
+StatusOr<PtiVerdictWire> DecodeVerdict(std::string_view payload);
+
+std::string EncodeStringList(const std::vector<std::string>& strings);
+StatusOr<std::vector<std::string>> DecodeStringList(std::string_view payload);
+
+}  // namespace joza::ipc

@@ -1,0 +1,87 @@
+#include "match/aho_corasick.h"
+
+#include <cassert>
+#include <deque>
+
+namespace joza::match {
+
+std::int32_t AhoCorasick::Add(std::string_view pattern, std::int32_t id) {
+  assert(!built_ && "Add() after Build()");
+  if (pattern.empty()) return -1;
+  std::int32_t node = 0;
+  for (unsigned char c : pattern) {
+    if (nodes_[node].next[c] < 0) {
+      nodes_[node].next[c] = static_cast<std::int32_t>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    node = nodes_[node].next[c];
+  }
+  const auto pattern_index = static_cast<std::int32_t>(patterns_.size());
+  patterns_.push_back({id, pattern.size()});
+  // If multiple identical patterns are added, keep the first.
+  if (nodes_[node].pattern_at < 0) nodes_[node].pattern_at = pattern_index;
+  return pattern_index;
+}
+
+void AhoCorasick::Build() {
+  assert(!built_);
+  std::deque<std::int32_t> queue;
+  // Depth-1 nodes fail to root; missing root transitions loop to root.
+  for (int c = 0; c < 256; ++c) {
+    std::int32_t v = nodes_[0].next[c];
+    if (v < 0) {
+      nodes_[0].next[c] = 0;
+    } else {
+      nodes_[v].fail = 0;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    std::int32_t u = queue.front();
+    queue.pop_front();
+    // Output link: nearest pattern-bearing node on the failure chain.
+    const std::int32_t f = nodes_[u].fail;
+    nodes_[u].output_link =
+        nodes_[f].pattern_at >= 0 ? f : nodes_[f].output_link;
+    for (int c = 0; c < 256; ++c) {
+      std::int32_t v = nodes_[u].next[c];
+      if (v < 0) {
+        // Path-compress: borrow the failure node's transition.
+        nodes_[u].next[c] = nodes_[f].next[c];
+      } else {
+        nodes_[v].fail = nodes_[f].next[c];
+        queue.push_back(v);
+      }
+    }
+  }
+  built_ = true;
+}
+
+void AhoCorasick::FindAll(
+    std::string_view text,
+    const std::function<void(const Hit&)>& on_hit) const {
+  assert(built_ && "FindAll() before Build()");
+  std::int32_t node = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    node = nodes_[node].next[static_cast<unsigned char>(text[i])];
+    for (std::int32_t v = node; v >= 0; v = nodes_[v].output_link) {
+      if (nodes_[v].pattern_at >= 0) {
+        const PatternInfo& p = patterns_[nodes_[v].pattern_at];
+        Hit hit;
+        hit.length = p.length;
+        hit.begin = i + 1 - p.length;
+        hit.pattern_id = p.id;
+        on_hit(hit);
+      }
+    }
+  }
+}
+
+std::vector<AhoCorasick::Hit> AhoCorasick::FindAll(
+    std::string_view text) const {
+  std::vector<Hit> hits;
+  FindAll(text, [&hits](const Hit& h) { hits.push_back(h); });
+  return hits;
+}
+
+}  // namespace joza::match

@@ -1,0 +1,67 @@
+// Aho–Corasick multi-pattern matcher.
+//
+// PTI must find every occurrence of every application fragment inside a
+// query. A naive per-fragment scan is O(fragments × query²); Aho–Corasick
+// does all fragments in one O(query + hits) pass. The naive path is kept in
+// pti/ for the ablation bench.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace joza::match {
+
+class AhoCorasick {
+ public:
+  struct Hit {
+    std::size_t begin = 0;  // byte offset of the match start in the text
+    std::size_t length = 0;
+    std::int32_t pattern_id = -1;
+  };
+
+  // Adds a pattern; empty patterns are ignored. Must be called before
+  // Build(). Returns the internal pattern index (== insertion order).
+  std::int32_t Add(std::string_view pattern, std::int32_t id);
+
+  // Finalizes failure/output links. Must be called exactly once, after all
+  // Add() calls and before FindAll().
+  void Build();
+
+  bool built() const { return built_; }
+  std::size_t pattern_count() const { return patterns_.size(); }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  // Invokes `on_hit` for every occurrence of every pattern in `text`.
+  void FindAll(std::string_view text,
+               const std::function<void(const Hit&)>& on_hit) const;
+
+  // Convenience: collects all hits.
+  std::vector<Hit> FindAll(std::string_view text) const;
+
+ private:
+  struct Node {
+    // Dense transition table; fragment sets are small enough (thousands of
+    // nodes) that 1 KiB per node buys branch-free matching.
+    std::array<std::int32_t, 256> next;
+    std::int32_t fail = 0;
+    std::int32_t output_link = -1;   // deepest proper suffix that is a pattern
+    std::int32_t pattern_at = -1;    // pattern ending exactly at this node
+    Node() { next.fill(-1); }
+  };
+
+  struct PatternInfo {
+    std::int32_t id;
+    std::size_t length;
+  };
+
+  std::vector<Node> nodes_{Node{}};
+  std::vector<PatternInfo> patterns_;
+  bool built_ = false;
+};
+
+}  // namespace joza::match

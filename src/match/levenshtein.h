@@ -1,0 +1,27 @@
+// Levenshtein edit-distance implementations.
+//
+// NTI's approximate matcher is built on edit distance (the paper uses PHP's
+// builtin levenshtein() for short strings and a linear-memory variant for
+// long ones; Section VI-B). We provide the same tiers plus a banded variant
+// with early exit, ablated in bench_ablation_lev.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace joza::match {
+
+// Classic full-matrix O(n*m) time, O(n*m) space. Reference implementation;
+// useful for testing and for traceback-based span recovery.
+std::size_t LevenshteinFull(std::string_view a, std::string_view b);
+
+// Two-row O(n*m) time, O(min(n,m)) space. The workhorse.
+std::size_t LevenshteinTwoRow(std::string_view a, std::string_view b);
+
+// Banded variant: only computes cells within `max_distance` of the diagonal.
+// Returns max_distance + 1 if the true distance exceeds max_distance.
+// O(max_distance * min(n,m)) time.
+std::size_t LevenshteinBanded(std::string_view a, std::string_view b,
+                              std::size_t max_distance);
+
+}  // namespace joza::match

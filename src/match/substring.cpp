@@ -1,0 +1,100 @@
+#include "match/substring.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace joza::match {
+
+namespace {
+
+SubstringMatch RunSellers(std::string_view query, std::string_view input,
+                          std::size_t prune_above) {
+  const std::size_t n = input.size();  // pattern rows
+  const std::size_t m = query.size();  // text columns
+  SubstringMatch none;
+  none.distance = prune_above + 1;
+  none.ratio = 1.0;
+  if (n == 0) return none;
+
+  // Exact-occurrence fast path: distance 0.
+  if (std::size_t pos = query.find(input); pos != std::string_view::npos) {
+    SubstringMatch m0;
+    m0.distance = 0;
+    m0.span = {pos, pos + n};
+    m0.ratio = 0.0;
+    return m0;
+  }
+  if (prune_above == 0) return none;
+
+  // D[j]: best distance aligning input[0..i) to a query substring ending at
+  // column j. Row 0 is all zeros (free start). start[j] records where that
+  // substring begins, propagated along the DP predecessors.
+  std::vector<std::size_t> prev(m + 1), cur(m + 1);
+  std::vector<std::size_t> prev_start(m + 1), cur_start(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) {
+    prev[j] = 0;
+    prev_start[j] = j;
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    cur_start[0] = 0;
+    std::size_t row_min = cur[0];
+    for (std::size_t j = 1; j <= m; ++j) {
+      const bool eq = input[i - 1] == query[j - 1];
+      const std::size_t sub = prev[j - 1] + (eq ? 0 : 1);
+      const std::size_t del = prev[j] + 1;      // drop input char
+      const std::size_t ins = cur[j - 1] + 1;   // extra query char
+      std::size_t best = sub;
+      std::size_t best_start = prev_start[j - 1];
+      if (del < best || (del == best && prev_start[j] < best_start)) {
+        best = del;
+        best_start = prev_start[j];
+      }
+      if (ins < best || (ins == best && cur_start[j - 1] < best_start)) {
+        best = ins;
+        best_start = cur_start[j - 1];
+      }
+      cur[j] = best;
+      cur_start[j] = best_start;
+      row_min = std::min(row_min, best);
+    }
+    if (row_min > prune_above) return none;  // no span can recover
+    std::swap(prev, cur);
+    std::swap(prev_start, cur_start);
+  }
+
+  // Free end: best cell in the final row. Ties prefer the longer span.
+  SubstringMatch best;
+  best.distance = std::numeric_limits<std::size_t>::max();
+  for (std::size_t j = 0; j <= m; ++j) {
+    const std::size_t len = j - prev_start[j];
+    if (prev[j] < best.distance ||
+        (prev[j] == best.distance && len > best.span.length())) {
+      best.distance = prev[j];
+      best.span = {prev_start[j], j};
+    }
+  }
+  if (best.distance > prune_above) return none;
+  best.ratio = best.span.length() == 0
+                   ? 1.0
+                   : static_cast<double>(best.distance) /
+                         static_cast<double>(best.span.length());
+  return best;
+}
+
+}  // namespace
+
+SubstringMatch BestSubstringMatch(std::string_view query,
+                                  std::string_view input) {
+  // Unbounded: prune threshold above any achievable distance.
+  return RunSellers(query, input, query.size() + input.size());
+}
+
+SubstringMatch BestSubstringMatchBounded(std::string_view query,
+                                         std::string_view input,
+                                         std::size_t max_distance) {
+  return RunSellers(query, input, max_distance);
+}
+
+}  // namespace joza::match

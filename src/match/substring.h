@@ -1,0 +1,38 @@
+// Approximate substring matching for NTI (Section III-A).
+//
+// Computes the minimum edit distance between an input parameter and any
+// substring of the query (semi-global alignment / Sellers' algorithm), and
+// recovers the matched query span so taint markings can be applied.
+// The paper's difference ratio is distance ÷ matched-span length.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "util/span.h"
+
+namespace joza::match {
+
+struct SubstringMatch {
+  std::size_t distance = 0;  // edit distance input <-> matched query span
+  ByteSpan span;             // matched byte range in the query
+  // distance / span.length(); 0 when the input appears verbatim. A span of
+  // length 0 (empty input) yields ratio 1 so it never matches.
+  double ratio = 1.0;
+};
+
+// Finds the query substring with minimal edit distance to `input`.
+// Ties on distance are broken in favour of the longer span (lower ratio).
+// O(|input| * |query|) time, O(|query|) memory (Sellers, two rows).
+SubstringMatch BestSubstringMatch(std::string_view query,
+                                  std::string_view input);
+
+// Same, but abandons the computation as soon as no substring can achieve an
+// edit distance <= max_distance (per-row minimum pruning). Returns a match
+// with distance == max_distance + 1 and ratio 1.0 when pruned. This is the
+// optimization tier NTI uses for long inputs.
+SubstringMatch BestSubstringMatchBounded(std::string_view query,
+                                         std::string_view input,
+                                         std::size_t max_distance);
+
+}  // namespace joza::match

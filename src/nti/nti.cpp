@@ -1,0 +1,86 @@
+#include "nti/nti.h"
+
+#include <cmath>
+
+#include "match/substring.h"
+#include "sqlparse/lexer.h"
+
+namespace joza::nti {
+
+NtiResult NtiAnalyzer::Analyze(std::string_view query,
+                               const std::vector<http::Input>& inputs) const {
+  return Analyze(query, sql::Lex(query), inputs);
+}
+
+NtiResult NtiAnalyzer::Analyze(std::string_view query,
+                               const std::vector<sql::Token>& tokens,
+                               const std::vector<http::Input>& inputs) const {
+  NtiResult result;
+
+  for (const http::Input& input : inputs) {
+    // Plausibility pruning: inputs too short to mark safely, or too long to
+    // fit any query substring within the threshold, are skipped outright.
+    if (input.value.size() < config_.min_input_length) {
+      ++result.inputs_skipped;
+      continue;
+    }
+    const double max_ratio = config_.threshold;
+    if (static_cast<double>(input.value.size()) >
+        static_cast<double>(query.size()) * (1.0 + max_ratio)) {
+      ++result.inputs_skipped;
+      continue;
+    }
+    ++result.inputs_considered;
+
+    match::SubstringMatch best;
+    bool have_match = false;
+    if (config_.exact_fast_path) {
+      std::size_t pos = query.find(input.value);
+      if (pos != std::string_view::npos) {
+        best.distance = 0;
+        best.span = {pos, pos + input.value.size()};
+        best.ratio = 0.0;
+        have_match = true;
+      }
+    }
+    if (!have_match) {
+      ++result.dp_runs;
+      if (config_.bounded_search) {
+        // dist <= t*span_len and span_len <= |input| + dist imply
+        // dist <= t*|input| / (1-t): the tightest sound DP bound.
+        const std::size_t bound = static_cast<std::size_t>(std::ceil(
+            max_ratio * static_cast<double>(input.value.size()) /
+            (1.0 - max_ratio)));
+        best = match::BestSubstringMatchBounded(query, input.value, bound);
+      } else {
+        best = match::BestSubstringMatch(query, input.value);
+      }
+    }
+
+    if (best.span.empty() || best.ratio > max_ratio) continue;
+
+    TaintMarking marking;
+    marking.span = best.span;
+    marking.input_name = input.name;
+    marking.input_kind = input.kind;
+    marking.ratio = best.ratio;
+    marking.distance = best.distance;
+
+    // Whole-token rule: this input's marking is an attack only if it fully
+    // covers at least one critical token. Markings from different inputs
+    // are never combined (that would flood false positives; Section III-A).
+    for (const sql::Token& t : tokens) {
+      const bool critical =
+          t.IsCritical() || (config_.strict_tokens &&
+                             t.kind == sql::TokenKind::kIdentifier);
+      if (critical && marking.span.contains(t.span)) {
+        result.attack_detected = true;
+        result.tainted_critical_tokens.push_back(t);
+      }
+    }
+    result.markings.push_back(std::move(marking));
+  }
+  return result;
+}
+
+}  // namespace joza::nti

@@ -1,0 +1,86 @@
+// Negative Taint Inference (Section III-A).
+//
+// NTI correlates every application input with the intercepted query using
+// approximate substring matching. Query spans whose difference ratio
+// (edit distance ÷ matched-span length) falls below the threshold are
+// marked negatively tainted (untrusted). An attack is reported when one
+// input's tainted span fully covers at least one whole critical SQL token.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "http/request.h"
+#include "sqlparse/token.h"
+#include "util/span.h"
+
+namespace joza::nti {
+
+struct NtiConfig {
+  // Maximum difference ratio that still counts as a match. The paper uses
+  // 20% in its worked example (Figure 2C) and shows no fixed value is
+  // attack-proof — the evasion benches sweep this.
+  double threshold = 0.20;
+
+  // Inputs shorter than this never produce taint markings: very short
+  // inputs (single letters) would mark ubiquitous substrings and flood the
+  // analysis with false positives (Section III-A).
+  std::size_t min_input_length = 3;
+
+  // Optimization tier: prune the Sellers DP as soon as no substring can
+  // match within the threshold (bound = ceil(threshold * |input| * 2)).
+  bool bounded_search = true;
+
+  // Exact-substring fast path before the DP (std::string::find).
+  bool exact_fast_path = true;
+
+  // Strict Ray-Ligatti-style policy (Section II): identifiers are critical
+  // too, so user-supplied field/table names are treated as attacks. Breaks
+  // applications with advanced-search features; off by default, matching
+  // the paper's pragmatic stance.
+  bool strict_tokens = false;
+};
+
+struct TaintMarking {
+  ByteSpan span;              // tainted query byte range
+  std::string input_name;    // which input produced it
+  http::InputKind input_kind;
+  double ratio = 0.0;
+  std::size_t distance = 0;
+};
+
+struct NtiResult {
+  bool attack_detected = false;
+  std::vector<TaintMarking> markings;
+  // Critical tokens covered by a single input's marking (the evidence).
+  std::vector<sql::Token> tainted_critical_tokens;
+  // Diagnostics for the perf benches.
+  std::size_t inputs_considered = 0;
+  std::size_t inputs_skipped = 0;
+  std::size_t dp_runs = 0;
+};
+
+class NtiAnalyzer {
+ public:
+  explicit NtiAnalyzer(NtiConfig config = {}) : config_(config) {}
+
+  const NtiConfig& config() const { return config_; }
+
+  // Analyzes one query against the request's stored inputs. `tokens` must
+  // be the lex of `query` (shared with PTI per Section IV-D: "reuses the
+  // critical tokens and keywords previously obtained").
+  NtiResult Analyze(std::string_view query,
+                    const std::vector<sql::Token>& tokens,
+                    const std::vector<http::Input>& inputs) const;
+
+  // Convenience: lexes the query itself.
+  NtiResult Analyze(std::string_view query,
+                    const std::vector<http::Input>& inputs) const;
+
+ private:
+  NtiConfig config_;
+};
+
+}  // namespace joza::nti

@@ -1,0 +1,77 @@
+#include "phpsrc/fragments.h"
+
+#include "phpsrc/php_lexer.h"
+#include "sqlparse/keywords.h"
+#include "util/strings.h"
+
+namespace joza::php {
+
+std::vector<std::string> SplitAtPlaceholders(std::string_view piece) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (std::size_t i = 0; i < piece.size(); ++i) {
+    if (piece[i] != '%' || i + 1 >= piece.size()) {
+      current.push_back(piece[i]);
+      continue;
+    }
+    // "%%" is a literal percent sign, not a placeholder.
+    if (piece[i + 1] == '%') {
+      current.push_back('%');
+      ++i;
+      continue;
+    }
+    // Parse a conversion spec: %[argnum$][flags][width][.precision]type
+    std::size_t j = i + 1;
+    while (j < piece.size() && (IsAsciiDigit(piece[j]) || piece[j] == '$' ||
+                                piece[j] == '-' || piece[j] == '+' ||
+                                piece[j] == '.' || piece[j] == '\'')) {
+      ++j;
+    }
+    static constexpr std::string_view kTypes = "bcdeEfFgGosuxX";
+    if (j < piece.size() && kTypes.find(piece[j]) != std::string_view::npos) {
+      parts.push_back(current);
+      current.clear();
+      i = j;  // skip the whole spec
+    } else {
+      current.push_back('%');  // stray percent, keep literally
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+bool FragmentSet::AddRaw(std::string_view text, std::string_view source_path,
+                         std::size_t line) {
+  if (text.empty()) return false;
+  // Only fragments containing at least one valid SQL token are retained.
+  if (!sql::ContainsSqlToken(text)) return false;
+  auto [it, inserted] = texts_.insert(std::string(text));
+  if (!inserted) return false;
+  fragments_.push_back(Fragment{std::string(text), std::string(source_path),
+                                line});
+  return true;
+}
+
+void FragmentSet::AddSource(const SourceFile& file) {
+  for (const StringLiteral& lit : ExtractStringLiterals(file.content)) {
+    // Interpolation already split the literal into constant pieces; each
+    // piece is further split at sprintf-style placeholders.
+    for (const std::string& piece : lit.pieces) {
+      for (const std::string& part : SplitAtPlaceholders(piece)) {
+        AddRaw(part, file.path, lit.line);
+      }
+    }
+  }
+}
+
+FragmentSet FragmentSet::FromSources(const std::vector<SourceFile>& files) {
+  FragmentSet set;
+  for (const SourceFile& f : files) set.AddSource(f);
+  return set;
+}
+
+bool FragmentSet::Contains(std::string_view text) const {
+  return texts_.contains(std::string(text));
+}
+
+}  // namespace joza::php

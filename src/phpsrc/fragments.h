@@ -1,0 +1,57 @@
+// Application fragment extraction for PTI (Section IV-A).
+//
+// The installer walks every source file of the application (core + plugins),
+// pulls out string literals, splits them at interpolation/placeholder
+// points, and retains only the pieces containing at least one valid SQL
+// token. The surviving set is PTI's trust vocabulary.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace joza::php {
+
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+struct Fragment {
+  std::string text;
+  std::string source_path;
+  std::size_t line = 0;
+};
+
+// Splits a literal piece at sprintf-style placeholders (%s, %d, %f, %u,
+// %1$s, %%, ...) returning the constant parts.
+std::vector<std::string> SplitAtPlaceholders(std::string_view piece);
+
+class FragmentSet {
+ public:
+  // Extracts fragments from one in-memory source file and adds them.
+  void AddSource(const SourceFile& file);
+
+  // Adds a raw fragment directly (used by tests and by incremental
+  // re-installation when a plugin is updated). Applies the same SQL-token
+  // filter and deduplication as AddSource. Returns true if retained.
+  bool AddRaw(std::string_view text, std::string_view source_path = "<raw>",
+              std::size_t line = 0);
+
+  static FragmentSet FromSources(const std::vector<SourceFile>& files);
+
+  const std::vector<Fragment>& fragments() const { return fragments_; }
+  std::size_t size() const { return fragments_.size(); }
+  bool empty() const { return fragments_.empty(); }
+
+  // True if `text` is (exactly, case-sensitively) one of the fragments.
+  bool Contains(std::string_view text) const;
+
+ private:
+  std::vector<Fragment> fragments_;
+  std::unordered_set<std::string> texts_;  // dedupe + Contains()
+};
+
+}  // namespace joza::php

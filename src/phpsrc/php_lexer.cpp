@@ -1,0 +1,246 @@
+#include "phpsrc/php_lexer.h"
+
+#include "util/strings.h"
+
+namespace joza::php {
+
+namespace {
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view src) : src_(src) {}
+
+  std::vector<StringLiteral> Run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        SkipLineComment();
+        continue;
+      }
+      if (c == '#') {
+        SkipLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        SkipBlockComment();
+        continue;
+      }
+      if (c == '\'') {
+        ScanSingleQuoted();
+        continue;
+      }
+      if (c == '"') {
+        ScanDoubleQuoted();
+        continue;
+      }
+      if (c == '<' && src_.substr(pos_).starts_with("<<<")) {
+        ScanHeredoc();
+        continue;
+      }
+      ++pos_;
+    }
+    return literals_;
+  }
+
+ private:
+  char Peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void SkipLineComment() {
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+  }
+
+  void SkipBlockComment() {
+    pos_ += 2;
+    while (pos_ + 1 < src_.size()) {
+      if (src_[pos_] == '\n') ++line_;
+      if (src_[pos_] == '*' && src_[pos_ + 1] == '/') {
+        pos_ += 2;
+        return;
+      }
+      ++pos_;
+    }
+    pos_ = src_.size();
+  }
+
+  // 'literal': only \' and \\ are escapes, everything else is verbatim.
+  void ScanSingleQuoted() {
+    ++pos_;
+    StringLiteral lit;
+    lit.line = line_;
+    std::string value;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\\' && (Peek(1) == '\'' || Peek(1) == '\\')) {
+        value.push_back(Peek(1));
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\'') {
+        ++pos_;
+        lit.value = value;
+        lit.pieces.push_back(std::move(value));
+        literals_.push_back(std::move(lit));
+        return;
+      }
+      if (c == '\n') ++line_;
+      value.push_back(c);
+      ++pos_;
+    }
+    // Unterminated string: drop it (real PHP would be a parse error).
+  }
+
+  // "text $var more {$expr} end": escapes are decoded, interpolation points
+  // split the literal into constant pieces.
+  void ScanDoubleQuoted() {
+    ++pos_;
+    StringLiteral lit;
+    lit.line = line_;
+    std::string piece;
+    auto flush_piece = [&] {
+      lit.pieces.push_back(piece);
+      lit.value += piece;
+      piece.clear();
+    };
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        char n = Peek(1);
+        switch (n) {
+          case 'n': piece.push_back('\n'); break;
+          case 't': piece.push_back('\t'); break;
+          case 'r': piece.push_back('\r'); break;
+          case '"': piece.push_back('"'); break;
+          case '$': piece.push_back('$'); break;
+          case '\\': piece.push_back('\\'); break;
+          default:
+            piece.push_back('\\');
+            piece.push_back(n);
+            break;
+        }
+        pos_ += 2;
+        continue;
+      }
+      if (c == '$' && (IsAsciiAlpha(Peek(1)) || Peek(1) == '_')) {
+        // $variable[index] or $object->member interpolation.
+        lit.interpolated = true;
+        flush_piece();
+        pos_ += 2;
+        while (pos_ < src_.size() &&
+               (IsAsciiAlnum(src_[pos_]) || src_[pos_] == '_')) {
+          ++pos_;
+        }
+        if (Peek() == '[') {  // simple array index
+          while (pos_ < src_.size() && src_[pos_] != ']') ++pos_;
+          if (pos_ < src_.size()) ++pos_;
+        } else if (Peek() == '-' && Peek(1) == '>') {
+          pos_ += 2;
+          while (pos_ < src_.size() &&
+                 (IsAsciiAlnum(src_[pos_]) || src_[pos_] == '_')) {
+            ++pos_;
+          }
+        }
+        continue;
+      }
+      if (c == '{' && Peek(1) == '$') {  // {$expr} interpolation
+        lit.interpolated = true;
+        flush_piece();
+        int depth = 1;
+        pos_ += 2;
+        while (pos_ < src_.size() && depth > 0) {
+          if (src_[pos_] == '{') ++depth;
+          if (src_[pos_] == '}') --depth;
+          if (src_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        continue;
+      }
+      if (c == '"') {
+        ++pos_;
+        flush_piece();
+        literals_.push_back(std::move(lit));
+        return;
+      }
+      if (c == '\n') ++line_;
+      piece.push_back(c);
+      ++pos_;
+    }
+  }
+
+  // <<<TAG ... TAG; — treated like a double-quoted string with interpolation.
+  void ScanHeredoc() {
+    pos_ += 3;
+    bool nowdoc = false;
+    if (Peek() == '\'') {
+      nowdoc = true;
+      ++pos_;
+    } else if (Peek() == '"') {
+      ++pos_;
+    }
+    std::string tag;
+    while (pos_ < src_.size() &&
+           (IsAsciiAlnum(src_[pos_]) || src_[pos_] == '_')) {
+      tag.push_back(src_[pos_]);
+      ++pos_;
+    }
+    if (Peek() == '\'' || Peek() == '"') ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    if (pos_ < src_.size()) {
+      ++pos_;
+      ++line_;
+    }
+    if (tag.empty()) return;
+
+    StringLiteral lit;
+    lit.line = line_;
+    std::string piece;
+    auto flush_piece = [&] {
+      lit.pieces.push_back(piece);
+      lit.value += piece;
+      piece.clear();
+    };
+    while (pos_ < src_.size()) {
+      // Terminator: the tag at the start of a line.
+      if ((pos_ == 0 || src_[pos_ - 1] == '\n') &&
+          src_.substr(pos_).starts_with(tag)) {
+        pos_ += tag.size();
+        break;
+      }
+      char c = src_[pos_];
+      if (!nowdoc && c == '$' && (IsAsciiAlpha(Peek(1)) || Peek(1) == '_')) {
+        lit.interpolated = true;
+        flush_piece();
+        pos_ += 2;
+        while (pos_ < src_.size() &&
+               (IsAsciiAlnum(src_[pos_]) || src_[pos_] == '_')) {
+          ++pos_;
+        }
+        continue;
+      }
+      if (c == '\n') ++line_;
+      piece.push_back(c);
+      ++pos_;
+    }
+    flush_piece();
+    literals_.push_back(std::move(lit));
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::vector<StringLiteral> literals_;
+};
+
+}  // namespace
+
+std::vector<StringLiteral> ExtractStringLiterals(std::string_view source) {
+  return Scanner(source).Run();
+}
+
+}  // namespace joza::php

@@ -1,0 +1,29 @@
+// PHP-subset source scanner.
+//
+// Joza's installer recursively parses every source file of the protected
+// application and extracts string literals (Section IV-A). This scanner
+// understands enough PHP to do that faithfully: single-quoted strings
+// (literal, \' and \\ escapes only), double-quoted strings (full escapes and
+// $variable / {$expr} interpolation), heredocs, and both comment styles —
+// so string-looking text inside comments is NOT extracted.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace joza::php {
+
+struct StringLiteral {
+  std::string value;       // decoded value with interpolations removed
+  // For interpolated strings the literal is pre-split: each element is the
+  // constant text between interpolation points.
+  std::vector<std::string> pieces;
+  std::size_t line = 0;
+  bool interpolated = false;
+};
+
+// Extracts all string literals from PHP source text.
+std::vector<StringLiteral> ExtractStringLiterals(std::string_view source);
+
+}  // namespace joza::php

@@ -1,0 +1,94 @@
+// Positive Taint Inference (Section III-B).
+//
+// PTI marks query spans matching application string fragments as trusted
+// (positively tainted). A query is safe iff every critical token is fully
+// contained within a single fragment occurrence; comments count as one
+// critical token and must likewise come whole from one fragment — the rule
+// that stops attackers from assembling critical tokens out of fragment
+// shards.
+//
+// String-literal delimiter quotes are critical units too (the threat model
+// counts delimiters): each opening and closing quote of a string literal
+// must lie inside some fragment occurrence. Application-built strings
+// satisfy this naturally (the quotes live in the query template fragments,
+// e.g. "... name = '" and "' LIMIT 1"); an attacker's breakout quote has no
+// fragment to come from and is flagged.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "match/aho_corasick.h"
+#include "phpsrc/fragments.h"
+#include "sqlparse/token.h"
+#include "util/span.h"
+
+namespace joza::pti {
+
+struct PtiConfig {
+  // Multi-pattern automaton vs the paper's original per-fragment scan;
+  // ablated in bench_ablation_match.
+  bool use_aho_corasick = true;
+
+  // Paper optimization #2: parse the query for critical tokens first, then
+  // match only until every critical token is covered (naive path only —
+  // benign queries finish after a few fragments, malicious ones scan all).
+  bool parse_first = true;
+
+  // Paper optimization #1: most-recently-used fragment ordering exploiting
+  // the application's SQL working set (naive path only).
+  std::size_t mru_size = 64;
+
+  // Strict Ray-Ligatti-style policy (Section II): identifiers must come
+  // from fragments too, so user-supplied field/table names are rejected.
+  // Breaks advanced-search applications; off by default like the paper.
+  bool strict_tokens = false;
+};
+
+struct PtiResult {
+  bool attack_detected = false;
+  // Fragment occurrences found in the query (positive taint markings).
+  std::vector<ByteSpan> positive_spans;
+  // Critical tokens not covered by any single fragment (the evidence).
+  std::vector<sql::Token> untrusted_critical_tokens;
+  // Diagnostics for the perf benches.
+  std::size_t fragments_scanned = 0;
+  std::size_t hits = 0;
+};
+
+class PtiAnalyzer {
+ public:
+  explicit PtiAnalyzer(php::FragmentSet fragments, PtiConfig config = {});
+
+  const php::FragmentSet& fragments() const { return fragments_; }
+  const PtiConfig& config() const { return config_; }
+
+  // Adds fragments discovered after installation (plugin update) and
+  // rebuilds the match index — the preprocessing component re-invokes the
+  // installer when new or modified files appear (Section IV-B).
+  void AddFragments(const std::vector<php::SourceFile>& files);
+
+  // Analyzes one query. `tokens` must be the lex of `query`.
+  PtiResult Analyze(std::string_view query,
+                    const std::vector<sql::Token>& tokens) const;
+
+  // Convenience: lexes the query itself.
+  PtiResult Analyze(std::string_view query) const;
+
+ private:
+  void BuildIndex();
+  PtiResult AnalyzeAho(std::string_view query,
+                       const std::vector<sql::Token>& tokens) const;
+  PtiResult AnalyzeNaive(std::string_view query,
+                         const std::vector<sql::Token>& tokens) const;
+
+  php::FragmentSet fragments_;
+  PtiConfig config_;
+  match::AhoCorasick automaton_;
+  // MRU ordering of fragment indexes for the naive path; mutated during
+  // analysis (performance state only, results are order-independent).
+  mutable std::vector<std::size_t> mru_;
+};
+
+}  // namespace joza::pti

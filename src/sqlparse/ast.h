@@ -1,0 +1,194 @@
+// SQL abstract syntax tree.
+//
+// The AST serves three consumers: the in-memory database engine executes it,
+// the structure cache hashes it with data nodes blanked (Section VI-A), and
+// the PTI daemon reports the critical-token skeleton derived from it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/span.h"
+
+namespace joza::sql {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class BinaryOp {
+  kOr, kAnd, kXor,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kLike, kNotLike, kRegexp,
+  kAdd, kSub, kMul, kDiv, kMod,
+  kConcatPipes,  // ||  (string concat in some dialects, logical OR in MySQL)
+};
+
+enum class UnaryOp { kNot, kNeg, kIsNull, kIsNotNull };
+
+const char* BinaryOpName(BinaryOp op);
+const char* UnaryOpName(UnaryOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct SelectStmt;  // forward, for subqueries
+
+enum class ExprKind {
+  kNullLiteral,
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  kBoolLiteral,
+  kColumnRef,    // [table.]column or *
+  kBinary,
+  kUnary,
+  kFunctionCall,
+  kInList,       // expr [NOT] IN (e1, e2, ...)
+  kBetween,      // expr [NOT] BETWEEN lo AND hi
+  kSubquery,     // (SELECT ...)
+  kPlaceholder,  // ? or :name
+};
+
+struct Expr {
+  ExprKind kind;
+  ByteSpan span;  // byte extent of this expression in the query text
+
+  // Literals.
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+  std::string string_value;  // unescaped contents for kStringLiteral
+  bool bool_value = false;
+
+  // kColumnRef: qualifier may be empty; column of "*" means star.
+  std::string qualifier;
+  std::string column;
+
+  // kBinary / kUnary.
+  BinaryOp binary_op = BinaryOp::kEq;
+  UnaryOp unary_op = UnaryOp::kNot;
+  ExprPtr lhs, rhs;   // kUnary and kBetween use lhs (+ rhs/extra)
+  ExprPtr extra;      // BETWEEN hi bound
+
+  // kFunctionCall.
+  std::string function_name;  // uppercased
+  std::vector<ExprPtr> args;
+
+  // kInList.
+  std::vector<ExprPtr> in_list;
+  bool negated = false;  // NOT IN / NOT BETWEEN
+
+  // kSubquery.
+  std::unique_ptr<SelectStmt> subquery;
+
+  // kPlaceholder.
+  std::string placeholder_name;  // "?" or ":name"
+  int placeholder_ordinal = -1;  // set by BindPlaceholderOrdinals
+};
+
+ExprPtr MakeIntLiteral(std::int64_t v);
+ExprPtr MakeStringLiteral(std::string v);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct TableRef {
+  std::string table;
+  std::string alias;  // empty if none
+};
+
+struct JoinClause {
+  enum class Kind { kInner, kLeft, kCross } kind = Kind::kInner;
+  TableRef table;
+  ExprPtr on;  // null for CROSS or comma-join
+};
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // empty if none
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+struct SelectCore {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::optional<TableRef> from;
+  std::vector<JoinClause> joins;
+  ExprPtr where;                    // may be null
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;                   // may be null
+};
+
+struct SelectStmt {
+  // UNION chain: cores[0] UNION [ALL] cores[1] ...
+  std::vector<SelectCore> cores;
+  std::vector<bool> union_all;  // size == cores.size()-1
+  std::vector<OrderItem> order_by;
+  std::optional<std::int64_t> limit;
+  std::optional<std::int64_t> offset;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  // may be empty (all columns)
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  // may be null
+  std::optional<std::int64_t> limit;
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;  // may be null
+  std::optional<std::int64_t> limit;
+};
+
+struct ColumnDef {
+  std::string name;
+  enum class Type { kInt, kDouble, kText } type = Type::kText;
+};
+
+struct CreateTableStmt {
+  std::string table;
+  bool if_not_exists = false;
+  std::vector<ColumnDef> columns;
+};
+
+struct DropTableStmt {
+  std::string table;
+  bool if_exists = false;
+};
+
+enum class StatementKind {
+  kSelect, kInsert, kUpdate, kDelete, kCreateTable, kDropTable,
+  kShowTables,  // SHOW TABLES — no further payload
+};
+
+struct Statement {
+  StatementKind kind;
+  std::unique_ptr<SelectStmt> select;
+  std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<UpdateStmt> update;
+  std::unique_ptr<DeleteStmt> del;
+  std::unique_ptr<CreateTableStmt> create;
+  std::unique_ptr<DropTableStmt> drop;
+};
+
+// Assigns 0-based ordinals to every placeholder in the statement, in query
+// byte order, and returns how many there are. Prepared-statement execution
+// uses the ordinal to bind positional parameters.
+int BindPlaceholderOrdinals(Statement& stmt);
+
+}  // namespace joza::sql

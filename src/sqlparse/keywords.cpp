@@ -1,0 +1,87 @@
+#include "sqlparse/keywords.h"
+
+#include <algorithm>
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sqlparse/lexer.h"
+#include "util/strings.h"
+
+namespace joza::sql {
+
+namespace {
+
+// Sorted uppercase keyword list (binary-searched; sortedness is unit-tested).
+// MySQL-flavoured subset covering everything WordPress-class applications and
+// the attack corpus use.
+constexpr std::array<std::string_view, 76> kKeywords = {
+    "ALL",       "ALTER",     "AND",        "AS",        "ASC",
+    "AUTO_INCREMENT",         "BEGIN",      "BETWEEN",   "BY",
+    "CASCADE",   "CASE",      "COLLATE",    "COLUMN",    "COMMIT",
+    "CREATE",    "CROSS",     "DEFAULT",    "DELETE",    "DESC",
+    "DISTINCT",  "DROP",      "ELSE",       "END",       "ESCAPE",
+    "EXISTS",    "FALSE",     "FOREIGN",    "FROM",      "FULL",
+    "GRANT",     "GROUP",     "HAVING",     "IN",        "INDEX",
+    "INNER",     "INSERT",    "INTERVAL",   "INTO",      "IS",
+    "JOIN",      "KEY",       "LEFT",       "LIKE",      "LIMIT",
+    "NOT",       "NULL",      "OFFSET",     "ON",        "OR",
+    "ORDER",     "OUTER",     "PRIMARY",    "PROCEDURE", "REFERENCES",
+    "REGEXP",    "RENAME",    "REPLACE",    "REVOKE",    "RIGHT",
+    "ROLLBACK",  "SELECT",    "SET",        "SHOW",      "TABLE",
+    "THEN",      "TRUE",      "TRUNCATE",   "UNION",     "UNIQUE",
+    "UPDATE",    "USING",     "VALUES",     "WHEN",      "WHERE",
+    "WHILE",     "XOR",
+};
+
+// Sorted uppercase builtin function names.
+constexpr std::array<std::string_view, 45> kFunctions = {
+    "ABS",       "ASCII",        "AVG",         "BENCHMARK",  "CAST",
+    "CEIL",      "CHAR",         "CHAR_LENGTH", "COALESCE",   "CONCAT",
+    "CONCAT_WS", "CONVERT",      "COUNT",       "CURDATE",    "CURRENT_USER",
+    "DATABASE",  "EXTRACTVALUE", "FLOOR",       "GROUP_CONCAT", "HEX",
+    "IF",        "IFNULL",       "INSTR",       "LENGTH",     "LOWER",
+    "LTRIM",     "MAX",          "MD5",         "MID",        "MIN",
+    "NOW",       "RAND",         "ROUND",       "RTRIM",      "SLEEP",
+    "SUBSTR",    "SUBSTRING",    "SUM",         "TRIM",       "UNHEX",
+    "UPDATEXML", "UPPER",        "USER",        "USERNAME",   "VERSION",
+};
+
+template <std::size_t N>
+bool SortedContains(const std::array<std::string_view, N>& arr,
+                    std::string_view upper) {
+  auto it = std::lower_bound(arr.begin(), arr.end(), upper);
+  return it != arr.end() && *it == upper;
+}
+
+}  // namespace
+
+bool IsKeyword(std::string_view word) {
+  if (word.size() > 16) return false;
+  std::string upper = ToUpper(word);
+  return SortedContains(kKeywords, upper);
+}
+
+bool IsBuiltinFunction(std::string_view word) {
+  if (word.size() > 16) return false;
+  std::string upper = ToUpper(word);
+  return SortedContains(kFunctions, upper);
+}
+
+bool ContainsSqlToken(std::string_view text) {
+  // Quote characters are SQL string/identifier delimiters; fragments carry
+  // them frequently (a quoted query template splits into "... = '" and
+  // "' ...") and Table III of the paper lists bare quotes as retained
+  // fragments. They also defeat the lexer below (an unbalanced quote
+  // swallows the rest of the fragment), so test for them first.
+  if (text.find_first_of("'\"`") != std::string_view::npos) return true;
+  const std::vector<Token> tokens = Lex(text);
+  return std::any_of(tokens.begin(), tokens.end(), [](const Token& t) {
+    // Bare builtin-function names (CHAR, CAST, ...) count even without a
+    // call parenthesis — Table III lists them as retained fragments.
+    return t.IsCritical() || (t.kind == TokenKind::kIdentifier &&
+                              IsBuiltinFunction(t.text));
+  });
+}
+
+}  // namespace joza::sql

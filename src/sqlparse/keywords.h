@@ -1,0 +1,20 @@
+// SQL keyword and builtin-function tables (MySQL-flavoured subset).
+#pragma once
+
+#include <string_view>
+
+namespace joza::sql {
+
+// True if `word` (any case) is a reserved SQL keyword.
+bool IsKeyword(std::string_view word);
+
+// True if `word` (any case) is a recognized builtin function name.
+bool IsBuiltinFunction(std::string_view word);
+
+// True if `text` contains at least one token a SQL lexer classifies as
+// critical (keyword/function/operator/comment). Used to filter extracted
+// application fragments: only fragments containing a valid SQL token are
+// retained by PTI (Section IV-A).
+bool ContainsSqlToken(std::string_view text);
+
+}  // namespace joza::sql

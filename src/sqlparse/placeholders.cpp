@@ -1,0 +1,69 @@
+#include <algorithm>
+
+#include "sqlparse/ast.h"
+
+namespace joza::sql {
+
+namespace {
+
+void Collect(Expr* e, std::vector<Expr*>& out);
+
+void CollectSelect(SelectStmt* s, std::vector<Expr*>& out) {
+  for (auto& core : s->cores) {
+    for (auto& item : core.items) Collect(item.expr.get(), out);
+    for (auto& j : core.joins) Collect(j.on.get(), out);
+    Collect(core.where.get(), out);
+    for (auto& g : core.group_by) Collect(g.get(), out);
+    Collect(core.having.get(), out);
+  }
+  for (auto& o : s->order_by) Collect(o.expr.get(), out);
+}
+
+void Collect(Expr* e, std::vector<Expr*>& out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kPlaceholder) out.push_back(e);
+  Collect(e->lhs.get(), out);
+  Collect(e->rhs.get(), out);
+  Collect(e->extra.get(), out);
+  for (auto& a : e->args) Collect(a.get(), out);
+  for (auto& a : e->in_list) Collect(a.get(), out);
+  if (e->subquery != nullptr) CollectSelect(e->subquery.get(), out);
+}
+
+}  // namespace
+
+int BindPlaceholderOrdinals(Statement& stmt) {
+  std::vector<Expr*> found;
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      CollectSelect(stmt.select.get(), found);
+      break;
+    case StatementKind::kInsert:
+      for (auto& row : stmt.insert->rows) {
+        for (auto& e : row) Collect(e.get(), found);
+      }
+      break;
+    case StatementKind::kUpdate:
+      for (auto& [col, e] : stmt.update->assignments) Collect(e.get(), found);
+      Collect(stmt.update->where.get(), found);
+      break;
+    case StatementKind::kDelete:
+      Collect(stmt.del->where.get(), found);
+      break;
+    case StatementKind::kCreateTable:
+    case StatementKind::kDropTable:
+    case StatementKind::kShowTables:
+      break;
+  }
+  // Query byte order, stable for placeholders sharing a position (never
+  // happens in practice).
+  std::stable_sort(found.begin(), found.end(), [](const Expr* a, const Expr* b) {
+    return a->span.begin < b->span.begin;
+  });
+  for (std::size_t i = 0; i < found.size(); ++i) {
+    found[i]->placeholder_ordinal = static_cast<int>(i);
+  }
+  return static_cast<int>(found.size());
+}
+
+}  // namespace joza::sql

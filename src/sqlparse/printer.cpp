@@ -1,0 +1,216 @@
+#include "sqlparse/printer.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace joza::sql {
+
+namespace {
+
+// Re-quotes a string literal, escaping embedded quotes and backslashes.
+std::string QuoteString(const std::string& value) {
+  std::string out = "'";
+  for (char c : value) {
+    if (c == '\'' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('\'');
+  return out;
+}
+
+std::string PrintDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  std::string s = buf;
+  // Force a decimal marker so the round trip keeps the kDoubleLiteral kind.
+  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+      s.find("inf") == std::string::npos && s.find("nan") == std::string::npos) {
+    s += ".0";
+  }
+  return s;
+}
+
+std::string PrintColumnRef(const Expr& e) {
+  std::string out;
+  if (!e.qualifier.empty()) out = e.qualifier + ".";
+  out += e.column;
+  return out;
+}
+
+std::string PrintTableRef(const TableRef& t) {
+  std::string out = t.table;
+  if (!t.alias.empty()) out += " AS " + t.alias;
+  return out;
+}
+
+}  // namespace
+
+std::string Print(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kNullLiteral: return "NULL";
+    case ExprKind::kIntLiteral: return std::to_string(e.int_value);
+    case ExprKind::kDoubleLiteral: return PrintDouble(e.double_value);
+    case ExprKind::kStringLiteral: return QuoteString(e.string_value);
+    case ExprKind::kBoolLiteral: return e.bool_value ? "TRUE" : "FALSE";
+    case ExprKind::kColumnRef: return PrintColumnRef(e);
+    case ExprKind::kPlaceholder: return e.placeholder_name;
+    case ExprKind::kBinary: {
+      const char* op = BinaryOpName(e.binary_op);
+      return "(" + Print(*e.lhs) + " " + op + " " + Print(*e.rhs) + ")";
+    }
+    case ExprKind::kUnary:
+      switch (e.unary_op) {
+        case UnaryOp::kNot: return "(NOT " + Print(*e.lhs) + ")";
+        case UnaryOp::kNeg: return "(- " + Print(*e.lhs) + ")";
+        case UnaryOp::kIsNull: return "(" + Print(*e.lhs) + " IS NULL)";
+        case UnaryOp::kIsNotNull:
+          return "(" + Print(*e.lhs) + " IS NOT NULL)";
+      }
+      return "?";
+    case ExprKind::kFunctionCall: {
+      std::string out = e.function_name + "(";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += Print(*e.args[i]);
+      }
+      return out + ")";
+    }
+    case ExprKind::kInList: {
+      std::string out = "(" + Print(*e.lhs);
+      out += e.negated ? " NOT IN (" : " IN (";
+      for (std::size_t i = 0; i < e.in_list.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += Print(*e.in_list[i]);
+      }
+      return out + "))";
+    }
+    case ExprKind::kBetween: {
+      std::string out = "(" + Print(*e.lhs);
+      out += e.negated ? " NOT BETWEEN " : " BETWEEN ";
+      return out + Print(*e.rhs) + " AND " + Print(*e.extra) + ")";
+    }
+    case ExprKind::kSubquery:
+      return "(" + Print(*e.subquery) + ")";
+  }
+  return "?";
+}
+
+std::string Print(const SelectStmt& stmt) {
+  std::string out;
+  for (std::size_t ci = 0; ci < stmt.cores.size(); ++ci) {
+    if (ci > 0) {
+      out += stmt.union_all[ci - 1] ? " UNION ALL " : " UNION ";
+    }
+    const SelectCore& core = stmt.cores[ci];
+    out += "SELECT ";
+    if (core.distinct) out += "DISTINCT ";
+    for (std::size_t i = 0; i < core.items.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += Print(*core.items[i].expr);
+      if (!core.items[i].alias.empty()) out += " AS " + core.items[i].alias;
+    }
+    if (core.from) {
+      out += " FROM " + PrintTableRef(*core.from);
+      for (const JoinClause& j : core.joins) {
+        switch (j.kind) {
+          case JoinClause::Kind::kInner: out += " INNER JOIN "; break;
+          case JoinClause::Kind::kLeft: out += " LEFT JOIN "; break;
+          case JoinClause::Kind::kCross: out += " CROSS JOIN "; break;
+        }
+        out += PrintTableRef(j.table);
+        if (j.on != nullptr) out += " ON " + Print(*j.on);
+      }
+    }
+    if (core.where != nullptr) out += " WHERE " + Print(*core.where);
+    if (!core.group_by.empty()) {
+      out += " GROUP BY ";
+      for (std::size_t i = 0; i < core.group_by.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += Print(*core.group_by[i]);
+      }
+    }
+    if (core.having != nullptr) out += " HAVING " + Print(*core.having);
+  }
+  if (!stmt.order_by.empty()) {
+    out += " ORDER BY ";
+    for (std::size_t i = 0; i < stmt.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += Print(*stmt.order_by[i].expr);
+      if (stmt.order_by[i].descending) out += " DESC";
+    }
+  }
+  if (stmt.limit) out += " LIMIT " + std::to_string(*stmt.limit);
+  if (stmt.offset) out += " OFFSET " + std::to_string(*stmt.offset);
+  return out;
+}
+
+std::string Print(const Statement& stmt) {
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      return Print(*stmt.select);
+    case StatementKind::kInsert: {
+      const InsertStmt& s = *stmt.insert;
+      std::string out = "INSERT INTO " + s.table;
+      if (!s.columns.empty()) {
+        out += " (" + Join(s.columns, ", ") + ")";
+      }
+      out += " VALUES ";
+      for (std::size_t r = 0; r < s.rows.size(); ++r) {
+        if (r > 0) out += ", ";
+        out += "(";
+        for (std::size_t i = 0; i < s.rows[r].size(); ++i) {
+          if (i > 0) out += ", ";
+          out += Print(*s.rows[r][i]);
+        }
+        out += ")";
+      }
+      return out;
+    }
+    case StatementKind::kUpdate: {
+      const UpdateStmt& s = *stmt.update;
+      std::string out = "UPDATE " + s.table + " SET ";
+      for (std::size_t i = 0; i < s.assignments.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += s.assignments[i].first + " = " + Print(*s.assignments[i].second);
+      }
+      if (s.where != nullptr) out += " WHERE " + Print(*s.where);
+      if (s.limit) out += " LIMIT " + std::to_string(*s.limit);
+      return out;
+    }
+    case StatementKind::kDelete: {
+      const DeleteStmt& s = *stmt.del;
+      std::string out = "DELETE FROM " + s.table;
+      if (s.where != nullptr) out += " WHERE " + Print(*s.where);
+      if (s.limit) out += " LIMIT " + std::to_string(*s.limit);
+      return out;
+    }
+    case StatementKind::kCreateTable: {
+      const CreateTableStmt& s = *stmt.create;
+      std::string out = "CREATE TABLE ";
+      if (s.if_not_exists) out += "IF NOT EXISTS ";
+      out += s.table + " (";
+      for (std::size_t i = 0; i < s.columns.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += s.columns[i].name;
+        switch (s.columns[i].type) {
+          case ColumnDef::Type::kInt: out += " INT"; break;
+          case ColumnDef::Type::kDouble: out += " DOUBLE"; break;
+          case ColumnDef::Type::kText: out += " TEXT"; break;
+        }
+      }
+      return out + ")";
+    }
+    case StatementKind::kDropTable: {
+      const DropTableStmt& s = *stmt.drop;
+      std::string out = "DROP TABLE ";
+      if (s.if_exists) out += "IF EXISTS ";
+      return out + s.table;
+    }
+    case StatementKind::kShowTables:
+      return "SHOW TABLES";
+  }
+  return "?";
+}
+
+}  // namespace joza::sql

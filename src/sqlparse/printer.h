@@ -1,0 +1,18 @@
+// AST-to-SQL rendering.
+//
+// Used by diagnostics (showing the parsed shape of an intercepted query)
+// and by the parser round-trip property tests: Parse(Print(ast)) must be
+// structurally identical to ast.
+#pragma once
+
+#include <string>
+
+#include "sqlparse/ast.h"
+
+namespace joza::sql {
+
+std::string Print(const Statement& stmt);
+std::string Print(const SelectStmt& stmt);
+std::string Print(const Expr& expr);
+
+}  // namespace joza::sql

@@ -1,0 +1,34 @@
+// Query-structure fingerprinting for Joza's structure cache (Section VI-A).
+//
+// Two queries that differ only in the *contents* of data nodes (number and
+// string literals) have the same structure hash. Any injected SQL changes
+// the token skeleton — additional keywords, operators or comments alter the
+// parse tree — and therefore changes the hash, so a cache hit on a
+// previously-safe structure is itself safe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sqlparse/ast.h"
+#include "util/status.h"
+
+namespace joza::sql {
+
+// Hash of the statement's shape with literal values blanked.
+std::uint64_t StructureHash(const Statement& stmt);
+
+// Convenience: parse + hash. Fails if the query does not parse.
+StatusOr<std::uint64_t> StructureHashOf(std::string_view query);
+
+// Token-skeleton fallback used when a query does not parse: the sequence of
+// token kinds and critical-token texts with literal contents blanked. Never
+// fails. Distinct from StructureHash's domain (the two are never compared).
+std::uint64_t TokenSkeletonHash(std::string_view query);
+
+// Human-readable skeleton, e.g. "SELECT * FROM <id> WHERE <id> = <num>".
+// Useful for debugging and for the PTI daemon's reporting.
+std::string TokenSkeleton(std::string_view query);
+
+}  // namespace joza::sql

@@ -1,0 +1,61 @@
+// SQL token model. Tokens carry byte-accurate spans into the original query
+// string because taint markings (both NTI and PTI) are expressed as byte
+// ranges and must be compared against token extents.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/span.h"
+
+namespace joza::sql {
+
+enum class TokenKind {
+  kKeyword,           // reserved word: SELECT, UNION, OR, ...
+  kFunction,          // builtin function name followed by '('
+  kIdentifier,        // table/column name (bare or `backtick` quoted)
+  kNumber,            // integer or decimal literal
+  kString,            // quoted string literal, span includes quotes
+  kOperator,          // = < > <= >= <> != || && + - * / %
+  kPunct,             // , ( ) . ;
+  kComment,           // -- line, # line, or /* block */ (span includes markers)
+  kPlaceholder,       // ? or :name (prepared-statement placeholder)
+  kEndOfInput,
+  kError,             // unterminated string/comment or stray byte
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kError;
+  ByteSpan span;            // byte range in the query, half-open
+  std::string_view text;    // view into the query for [span.begin, span.end)
+
+  bool Is(TokenKind k) const { return kind == k; }
+
+  // A critical token is one whose injection constitutes an attack per the
+  // paper's threat model: SQL keywords, built-in function names, operators,
+  // statement delimiters, and comments (each comment is one critical token).
+  // Identifiers, numbers, string-literal contents, commas and parentheses
+  // are data/plumbing and deliberately not critical — the threat model
+  // permits user-supplied field and table names (Section II).
+  bool IsCritical() const {
+    switch (kind) {
+      case TokenKind::kKeyword:
+      case TokenKind::kFunction:
+      case TokenKind::kOperator:
+      case TokenKind::kComment:
+        return true;
+      case TokenKind::kPunct:
+        return text == ";";
+      default:
+        return false;
+    }
+  }
+};
+
+// Returns only the critical tokens from a token stream.
+std::vector<Token> CriticalTokens(const std::vector<Token>& tokens);
+
+const char* TokenKindName(TokenKind k);
+
+}  // namespace joza::sql

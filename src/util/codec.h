@@ -1,0 +1,24 @@
+// Base64 and URL (percent) codecs — the encodings web applications apply to
+// inputs, which NTI evasion exploits and PTI is resistant to.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace joza {
+
+std::string Base64Encode(std::string_view data);
+
+// Strict decoder: rejects non-alphabet characters and bad padding.
+StatusOr<std::string> Base64Decode(std::string_view data);
+
+// Percent-encodes everything outside [A-Za-z0-9-_.~]; space becomes %20.
+std::string UrlEncode(std::string_view s);
+
+// Decodes %XX escapes and '+' (as space). Malformed escapes pass through
+// verbatim, matching typical web-server leniency.
+std::string UrlDecode(std::string_view s);
+
+}  // namespace joza

@@ -1,0 +1,28 @@
+// FNV-1a hashing used by the query cache and structure cache.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace joza {
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+constexpr std::uint64_t Fnv1a64(std::string_view data,
+                                std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+constexpr std::uint64_t HashCombine(std::uint64_t h, std::uint64_t v) {
+  // Mix the value through the FNV prime and a xorshift to avoid clustering.
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace joza

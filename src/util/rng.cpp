@@ -1,0 +1,43 @@
+#include "util/rng.h"
+
+namespace joza {
+
+std::uint64_t Rng::Next() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::NextBelow(std::uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    std::uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::NextInRange(std::int64_t lo, std::int64_t hi) {
+  return lo + static_cast<std::int64_t>(
+                  NextBelow(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::NextBool(double p_true) { return NextDouble() < p_true; }
+
+std::string Rng::NextToken(std::size_t n) {
+  static constexpr std::string_view kChars =
+      "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(kChars[NextBelow(kChars.size())]);
+  }
+  return out;
+}
+
+}  // namespace joza

@@ -1,0 +1,47 @@
+// Deterministic RNG (SplitMix64) so testbed generation, workloads and attack
+// mutation are reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace joza {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next();
+
+  // Uniform in [0, bound), bound > 0.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  bool NextBool(double p_true = 0.5);
+
+  // Random lowercase alphanumeric string of length n.
+  std::string NextToken(std::size_t n);
+
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[NextBelow(v.size())];
+  }
+
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[NextBelow(i)]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace joza

@@ -1,0 +1,55 @@
+// Byte-range span over a query string, the unit of taint marking.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace joza {
+
+// Half-open byte range [begin, end) into some externally-owned string.
+struct ByteSpan {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t length() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+  bool contains(const ByteSpan& other) const {
+    return begin <= other.begin && other.end <= end;
+  }
+  bool contains(std::size_t pos) const { return begin <= pos && pos < end; }
+  bool overlaps(const ByteSpan& other) const {
+    return begin < other.end && other.begin < end;
+  }
+  friend bool operator==(const ByteSpan&, const ByteSpan&) = default;
+};
+
+// Merges overlapping/adjacent spans; result is sorted and disjoint.
+inline std::vector<ByteSpan> MergeSpans(std::vector<ByteSpan> spans) {
+  if (spans.empty()) return spans;
+  std::sort(spans.begin(), spans.end(), [](const ByteSpan& a, const ByteSpan& b) {
+    return a.begin < b.begin || (a.begin == b.begin && a.end < b.end);
+  });
+  std::vector<ByteSpan> out;
+  out.push_back(spans.front());
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    if (spans[i].begin <= out.back().end) {
+      out.back().end = std::max(out.back().end, spans[i].end);
+    } else {
+      out.push_back(spans[i]);
+    }
+  }
+  return out;
+}
+
+// True if `inner` is fully covered by one span in the (merged) list.
+inline bool CoveredBySingle(const std::vector<ByteSpan>& spans,
+                            const ByteSpan& inner) {
+  for (const auto& s : spans) {
+    if (s.contains(inner)) return true;
+  }
+  return false;
+}
+
+}  // namespace joza

@@ -1,0 +1,58 @@
+// Wall-clock stopwatch for the per-component timing breakdowns (Fig. 7/8).
+#pragma once
+
+#include <chrono>
+
+namespace joza {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates time across many scopes, for component-level breakdowns.
+class TimeBucket {
+ public:
+  void Add(double seconds) {
+    total_ += seconds;
+    ++count_;
+  }
+  double total_seconds() const { return total_; }
+  std::size_t count() const { return count_; }
+  void Reset() {
+    total_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  double total_ = 0;
+  std::size_t count_ = 0;
+};
+
+// RAII helper: adds the scope's duration to a bucket on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimeBucket& bucket) : bucket_(bucket) {}
+  ~ScopedTimer() { bucket_.Add(watch_.ElapsedSeconds()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimeBucket& bucket_;
+  Stopwatch watch_;
+};
+
+}  // namespace joza

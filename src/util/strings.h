@@ -1,0 +1,50 @@
+// ASCII string helpers shared across Joza modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace joza {
+
+char AsciiToLower(char c);
+char AsciiToUpper(char c);
+bool IsAsciiSpace(char c);
+bool IsAsciiDigit(char c);
+bool IsAsciiAlpha(char c);
+bool IsAsciiAlnum(char c);
+
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+// Case-insensitive ASCII comparison.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+std::string_view TrimLeft(std::string_view s);
+std::string_view TrimRight(std::string_view s);
+std::string_view Trim(std::string_view s);
+
+std::vector<std::string> Split(std::string_view s, char sep);
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+// PHP addslashes(): backslash-escape single quote, double quote, backslash
+// and NUL. This is the "magic quotes" transformation WordPress enforces.
+std::string AddSlashes(std::string_view s);
+
+// PHP stripslashes(): inverse of AddSlashes.
+std::string StripSlashes(std::string_view s);
+
+// Collapses runs of ASCII whitespace to a single space.
+std::string CollapseWhitespace(std::string_view s);
+
+// True if `needle` occurs in `haystack` ignoring ASCII case.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+// Index of the first case-insensitive occurrence, or npos.
+std::size_t FindIgnoreCase(std::string_view haystack, std::string_view needle);
+
+}  // namespace joza

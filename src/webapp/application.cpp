@@ -1,0 +1,371 @@
+#include "webapp/application.h"
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace joza::webapp {
+
+// ---------------------------------------------------------------------------
+// Endpoint
+// ---------------------------------------------------------------------------
+
+std::string Endpoint::BuildQuery(std::string_view transformed_value) const {
+  std::string q = query_prefix;
+  if (!param.empty()) {
+    if (quoted) q.push_back('\'');
+    q.append(transformed_value);
+    if (quoted) q.push_back('\'');
+  }
+  q.append(query_suffix);
+  return q;
+}
+
+std::string Endpoint::SynthesizePhpSource() const {
+  std::string src = "<?php\n";
+  if (!param.empty()) {
+    src += "$val = $_REQUEST['" + param + "'];\n";
+    for (Transform t : transforms) {
+      switch (t) {
+        case Transform::kMagicQuotes: src += "$val = addslashes($val);\n"; break;
+        case Transform::kStripSlashes: src += "$val = stripslashes($val);\n"; break;
+        case Transform::kTrim: src += "$val = trim($val);\n"; break;
+        case Transform::kBase64Decode: src += "$val = base64_decode($val);\n"; break;
+        case Transform::kUrlDecode: src += "$val = urldecode($val);\n"; break;
+        case Transform::kCollapseSpaces:
+          src += "$val = preg_replace('/\\s+/', ' ', $val);\n";
+          break;
+        case Transform::kToLower: src += "$val = strtolower($val);\n"; break;
+        case Transform::kIntCast: src += "$val = intval($val);\n"; break;
+        case Transform::kEscapeSql:
+          src += "$val = mysql_real_escape_string($val);\n";
+          break;
+      }
+    }
+  }
+  // The query template as a double-quoted interpolated PHP string — the
+  // fragment extractor splits it exactly where the runtime concatenates.
+  std::string tmpl = query_prefix;
+  if (!param.empty()) {
+    if (quoted) tmpl.push_back('\'');
+    tmpl += "$val";
+    if (quoted) tmpl.push_back('\'');
+  }
+  tmpl += query_suffix;
+  // Escape for a double-quoted PHP string: backslashes and double quotes.
+  std::string escaped;
+  for (char c : tmpl) {
+    if (c == '\\' || c == '"') escaped.push_back('\\');
+    escaped.push_back(c);
+  }
+  src += "$query = \"" + escaped + "\";\n";
+  src += "$result = mysql_query($query);\n";
+  return src;
+}
+
+// ---------------------------------------------------------------------------
+// Application
+// ---------------------------------------------------------------------------
+
+Application::Application(std::unique_ptr<db::Database> database)
+    : db_(std::move(database)) {}
+
+void Application::AddEndpoint(Endpoint endpoint, std::string source_name) {
+  sources_.push_back(
+      php::SourceFile{std::move(source_name), endpoint.SynthesizePhpSource()});
+  endpoints_.push_back(std::move(endpoint));
+}
+
+void Application::AddSourceFile(php::SourceFile file) {
+  sources_.push_back(std::move(file));
+}
+
+void Application::AddRoute(std::string path, RouteHandler handler,
+                           php::SourceFile source) {
+  routes_.emplace_back(std::move(path), std::move(handler));
+  sources_.push_back(std::move(source));
+}
+
+void Application::SetBoilerplateQueries(std::vector<std::string> queries) {
+  boilerplate_ = std::move(queries);
+}
+
+Application::QueryOutcome Application::RunQuery(const std::string& sql,
+                                                const http::Request& request) {
+  QueryOutcome out;
+  ++stats_.queries_issued;
+  if (gate_) {
+    GateDecision decision = gate_(sql, request);
+    if (decision.action == GateDecision::Action::kBlockTerminate) {
+      ++stats_.queries_blocked;
+      out.blocked_terminate = true;
+      return out;
+    }
+    if (decision.action == GateDecision::Action::kBlockError) {
+      ++stats_.queries_blocked;
+      // Error virtualization: the application sees an ordinary query
+      // failure and handles it through its normal error path.
+      out.db_error = true;
+      out.error_message = "query failed";
+      return out;
+    }
+  }
+  auto result = db_->Execute(sql);
+  if (!result.ok()) {
+    out.db_error = true;
+    out.error_message = result.status().message();
+    return out;
+  }
+  stats_.db_virtual_time_ms += result.value().virtual_time_ms;
+  out.result = std::move(result.value());
+  return out;
+}
+
+http::Response Application::Handle(const http::Request& request) {
+  stats_ = RequestStats{};
+  request_terminated_ = false;
+
+  // Boilerplate queries (options, current user, ...) run on every request.
+  for (const std::string& q : boilerplate_) {
+    QueryOutcome out = RunQuery(q, request);
+    if (out.blocked_terminate) {
+      return http::Response{500, "", 0.0};  // blank page
+    }
+  }
+
+  for (const auto& [path, handler] : routes_) {
+    if (path != request.path) continue;
+    QueryRunner runner =
+        [this, &request](const std::string& sql) -> StatusOr<db::ExecResult> {
+      QueryOutcome out = RunQuery(sql, request);
+      if (out.blocked_terminate) {
+        request_terminated_ = true;
+        return Status::Unavailable("request terminated by Joza");
+      }
+      if (out.db_error) {
+        return Status::InvalidArgument(out.error_message);
+      }
+      return std::move(out.result);
+    };
+    http::Response resp = handler(request, runner);
+    if (request_terminated_) {
+      return http::Response{500, "", stats_.db_virtual_time_ms};
+    }
+    resp.virtual_time_ms = stats_.db_virtual_time_ms;
+    return resp;
+  }
+
+  for (const Endpoint& ep : endpoints_) {
+    if (ep.path == request.path) return HandleEndpoint(ep, request);
+  }
+  return http::Response{404, "Not Found", stats_.db_virtual_time_ms};
+}
+
+http::Response Application::HandleEndpoint(const Endpoint& ep,
+                                           const http::Request& request) {
+  std::string value;
+  if (!ep.param.empty()) {
+    value = ApplyChain(ep.transforms, request.Param(ep.param));
+  }
+  const std::string sql = ep.BuildQuery(value);
+  QueryOutcome out = RunQuery(sql, request);
+  if (out.blocked_terminate) {
+    return http::Response{500, "", stats_.db_virtual_time_ms};
+  }
+
+  http::Response resp;
+  resp.virtual_time_ms = stats_.db_virtual_time_ms;
+  switch (ep.mode) {
+    case ResponseMode::kData: {
+      if (out.db_error) {
+        resp.status = 200;
+        resp.body = "<div class=\"error\">Database error: " +
+                    out.error_message + "</div>";
+        break;
+      }
+      std::string body = "<ul>";
+      for (const auto& row : out.result.rows) {
+        body += "<li>";
+        for (std::size_t i = 0; i < row.size(); ++i) {
+          if (i > 0) body += " | ";
+          body += row[i].as_string();
+        }
+        body += "</li>";
+      }
+      body += "</ul>";
+      if (out.result.columns.empty()) {
+        body = "<p>rows affected: " + std::to_string(out.result.affected) +
+               "</p>";
+      }
+      resp.body = std::move(body);
+      break;
+    }
+    case ResponseMode::kBlind: {
+      // Standard blind channel: error page vs results vs empty.
+      if (out.db_error) {
+        resp.status = 500;
+        resp.body = "<h1>Error</h1>";
+      } else if (out.result.rows.empty() && out.result.affected == 0) {
+        resp.body = "<p>no results</p>";
+      } else {
+        resp.body = "<p>results found</p>";
+      }
+      break;
+    }
+    case ResponseMode::kDoubleBlind: {
+      // Constant body regardless of outcome; only timing leaks.
+      resp.body = "<p>ok</p>";
+      break;
+    }
+  }
+  return resp;
+}
+
+// ---------------------------------------------------------------------------
+// WordPress-like testbed application
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Core sources contributing the base fragment vocabulary. Mirrors Table
+// III: real WordPress ships fragments like UNION, AND, OR, SELECT, CHAR,
+// comment markers, quotes, GROUP BY, ORDER BY, CAST, WHERE 1.
+const char* kCoreSource = R"PHP(<?php
+// wp-includes/query.php (abridged model)
+$found_rows = "SELECT COUNT(*) FROM wp_posts WHERE post_status = 'publish'";
+$join_clause = " LEFT JOIN wp_postmeta ON wp_posts.id = wp_postmeta.post_id ";
+$where_one = "WHERE 1";
+$and_kw = " AND ";
+$or_kw = " OR ";
+$union_kw = "UNION";
+$select_kw = "SELECT";
+$charfn = "CHAR";
+$castfn = "CAST";
+$hash_comment = "#";
+$dq = "\"";
+$bt = "`";
+$group_by = "GROUP BY";
+$order_by = "ORDER BY";
+$eq = "=";
+$limit_kw = " LIMIT ";
+$options = "SELECT option_value FROM wp_options WHERE option_name = '$name' LIMIT 1";
+$user_q = "SELECT id, login FROM wp_users WHERE id = ";
+$recent = "SELECT id, title FROM wp_posts ORDER BY id DESC LIMIT 10";
+$count_comments = "SELECT COUNT(*) FROM wp_comments WHERE post_id = ";
+$meta_q = "SELECT post_id, meta_key, meta_value FROM wp_postmeta WHERE post_id = ";
+$popular = "SELECT id, title FROM wp_posts WHERE post_status = 'publish' ORDER BY views DESC LIMIT 5";
+)PHP";
+
+// Rendering a WordPress page takes roughly 20 database queries (options,
+// user, theme, menus, widgets, counters — Section VI-A). All constant
+// text, which is exactly why the query cache dominates read traffic.
+std::vector<std::string> MakeBoilerplate() {
+  std::vector<std::string> queries = {
+      "SELECT id, login FROM wp_users WHERE id = 1",
+      "SELECT COUNT(*) FROM wp_posts WHERE post_status = 'publish'",
+      "SELECT id, title FROM wp_posts ORDER BY id DESC LIMIT 10",
+      "SELECT COUNT(*) FROM wp_comments WHERE post_id = 1",
+      "SELECT post_id, meta_key, meta_value FROM wp_postmeta "
+      "WHERE post_id = 1",
+      "SELECT id, title FROM wp_posts WHERE post_status = 'publish' "
+      "ORDER BY views DESC LIMIT 5",
+  };
+  for (const char* option :
+       {"siteurl", "template", "blogname", "stylesheet", "home",
+        "active_plugins", "timezone", "permalink_structure", "sidebar",
+        "widget_recent", "theme_mods", "blog_charset", "date_format"}) {
+    queries.push_back(
+        "SELECT option_value FROM wp_options WHERE option_name = '" +
+        std::string(option) + "' LIMIT 1");
+  }
+  return queries;
+}
+
+}  // namespace
+
+std::unique_ptr<Application> MakeWordpressLikeApp(std::uint64_t seed,
+                                                  std::size_t posts) {
+  auto database = std::make_unique<db::Database>();
+  using db::Column;
+  using T = sql::ColumnDef::Type;
+
+  database->CreateTable("wp_options", {{"option_name", T::kText},
+                                       {"option_value", T::kText}});
+  database->InsertRow("wp_options",
+                      {db::Value(std::string("siteurl")),
+                       db::Value(std::string("http://testbed.local"))});
+  database->InsertRow("wp_options", {db::Value(std::string("template")),
+                                     db::Value(std::string("twentyten"))});
+  database->InsertRow("wp_options", {db::Value(std::string("blogname")),
+                                     db::Value(std::string("WP-SQLI-LAB"))});
+
+  database->CreateTable("wp_users", {{"id", T::kInt},
+                                     {"login", T::kText},
+                                     {"pass", T::kText},
+                                     {"email", T::kText}});
+  database->InsertRow("wp_users", {db::Value(std::int64_t{1}),
+                                   db::Value(std::string("admin")),
+                                   db::Value(std::string("s3cr3t_hash")),
+                                   db::Value(std::string("admin@testbed"))});
+  database->InsertRow("wp_users", {db::Value(std::int64_t{2}),
+                                   db::Value(std::string("editor")),
+                                   db::Value(std::string("ed_hash")),
+                                   db::Value(std::string("ed@testbed"))});
+
+  database->CreateTable("wp_posts", {{"id", T::kInt},
+                                     {"title", T::kText},
+                                     {"body", T::kText},
+                                     {"post_status", T::kText},
+                                     {"views", T::kInt}});
+  Rng rng(seed);
+  for (std::size_t i = 1; i <= posts; ++i) {
+    database->InsertRow(
+        "wp_posts",
+        {db::Value(static_cast<std::int64_t>(i)),
+         db::Value("Post " + std::to_string(i) + " " + rng.NextToken(6)),
+         db::Value("Body text " + rng.NextToken(24)),
+         db::Value(std::string("publish")),
+         db::Value(static_cast<std::int64_t>(rng.NextBelow(1000)))});
+  }
+
+  database->CreateTable("wp_comments", {{"id", T::kInt},
+                                        {"post_id", T::kInt},
+                                        {"author", T::kText},
+                                        {"body", T::kText}});
+  database->CreateTable("wp_postmeta", {{"post_id", T::kInt},
+                                        {"meta_key", T::kText},
+                                        {"meta_value", T::kText}});
+
+  auto app = std::make_unique<Application>(std::move(database));
+  app->AddSourceFile({"wp-includes/query.php", kCoreSource});
+  app->SetBoilerplateQueries(MakeBoilerplate());
+
+  // Built-in, correctly-coded core routes.
+  // "/" — front page (pure boilerplate + recent posts).
+  app->AddEndpoint(
+      Endpoint{"/", "", {}, "SELECT id, title FROM wp_posts "
+               "WHERE post_status = 'publish' ORDER BY id DESC",
+               " LIMIT 10", false, ResponseMode::kData},
+      "wp-core/front.php");
+  // "/post?id=N" — sanitized with intval, not injectable.
+  app->AddEndpoint(
+      Endpoint{"/post", "id", {Transform::kIntCast},
+               "SELECT id, title, body FROM wp_posts WHERE id = ",
+               "", false, ResponseMode::kData},
+      "wp-core/single.php");
+  // "/search?s=..." — escaped, quoted context, not injectable.
+  app->AddEndpoint(
+      Endpoint{"/search", "s", {Transform::kEscapeSql},
+               "SELECT id, title FROM wp_posts WHERE title LIKE '%",
+               "%' ORDER BY id DESC LIMIT 10", false, ResponseMode::kData},
+      "wp-core/search.php");
+  // "/comment" POST — escaped insert (the write workload).
+  app->AddEndpoint(
+      Endpoint{"/comment", "body", {Transform::kEscapeSql},
+               "INSERT INTO wp_comments (id, post_id, author, body) "
+               "VALUES (1, 1, 'anon', ",
+               ")", true, ResponseMode::kData},
+      "wp-core/comment.php");
+  return app;
+}
+
+}  // namespace joza::webapp

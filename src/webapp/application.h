@@ -1,0 +1,151 @@
+// Mini web-application framework: the WordPress stand-in.
+//
+// An Application owns the backing Database, a set of routes (built-in core
+// routes plus plugin endpoints), and the synthesized PHP source corpus that
+// Joza's installer scans for fragments. Every SQL query the application
+// issues flows through an interception gate — the hook Joza's wrappers
+// install (Section IV-A "wraps all standard PHP functions ... that interact
+// with backend databases").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "db/database.h"
+#include "http/request.h"
+#include "phpsrc/fragments.h"
+#include "webapp/transforms.h"
+
+namespace joza::webapp {
+
+// Decision returned by the interception gate for one query.
+struct GateDecision {
+  enum class Action {
+    kAllow,             // pass the query to the DBMS
+    kBlockError,        // error virtualization: report a failed query
+    kBlockTerminate,    // terminate the request (blank page)
+  };
+  Action action = Action::kAllow;
+  std::string reason;  // detector diagnostics, for logging/tests
+};
+
+// The gate sees the query and the unmodified original request (Joza's
+// preprocessing stores a copy of all inputs before the application can
+// transform them).
+using QueryGate =
+    std::function<GateDecision(std::string_view sql, const http::Request&)>;
+
+// How an endpoint turns query results into an HTTP response — this decides
+// which side channels an attacker can observe.
+enum class ResponseMode {
+  kData,         // renders result rows (union attacks read data directly)
+  kBlind,        // only reveals rows-found vs none / SQL error (blind)
+  kDoubleBlind,  // constant body; only the timing channel leaks (SLEEP)
+};
+
+// Declarative description of one (possibly vulnerable) endpoint: one
+// request parameter flows through a transform chain into a query template.
+struct Endpoint {
+  std::string path;
+  std::string param;            // request parameter that is interpolated
+  TransformChain transforms;    // applied before query construction
+  std::string query_prefix;     // SQL before the value
+  std::string query_suffix;     // SQL after the value
+  bool quoted = false;          // wrap the value in single quotes
+  ResponseMode mode = ResponseMode::kData;
+
+  // Builds the SQL for a (transformed) value.
+  std::string BuildQuery(std::string_view transformed_value) const;
+
+  // Synthesizes the PHP source that would construct this query, so the
+  // fragment-extraction pass sees exactly what a real plugin would contain.
+  std::string SynthesizePhpSource() const;
+};
+
+struct RequestStats {
+  std::size_t queries_issued = 0;
+  std::size_t queries_blocked = 0;
+  double db_virtual_time_ms = 0.0;
+};
+
+// Issues one SQL query through the interception gate. Returns the database
+// result, a database error, or Unavailable when the gate terminated the
+// request (the enclosing Handle() then renders the blank page regardless of
+// what the handler does next).
+using QueryRunner =
+    std::function<StatusOr<db::ExecResult>(const std::string& sql)>;
+
+// A free-form route for flows the declarative Endpoint cannot express:
+// multi-parameter payload construction, second-order (store-then-use)
+// flows, and anything needing custom rendering.
+using RouteHandler =
+    std::function<http::Response(const http::Request&, const QueryRunner&)>;
+
+class Application {
+ public:
+  explicit Application(std::unique_ptr<db::Database> database);
+
+  db::Database& database() { return *db_; }
+  const db::Database& database() const { return *db_; }
+
+  // Registers a plugin endpoint plus its synthesized source file.
+  void AddEndpoint(Endpoint endpoint, std::string source_name);
+
+  // Registers a free-form route; `source` is the PHP the plugin would ship
+  // (its string literals feed the fragment vocabulary like any other file).
+  void AddRoute(std::string path, RouteHandler handler,
+                php::SourceFile source);
+
+  // Adds a raw PHP source file to the corpus (e.g. WordPress core files).
+  void AddSourceFile(php::SourceFile file);
+
+  // Constant queries issued on *every* request before the routed handler —
+  // the options/user/meta loads that make a WordPress page cost ~20 queries
+  // (Section VI-A). They flow through the gate like any other query.
+  void SetBoilerplateQueries(std::vector<std::string> queries);
+
+  const std::vector<php::SourceFile>& sources() const { return sources_; }
+  const std::vector<Endpoint>& endpoints() const { return endpoints_; }
+
+  // Installs/clears the interception gate.
+  void SetQueryGate(QueryGate gate) { gate_ = std::move(gate); }
+
+  // Serves one request. Unknown paths get 404. Detected attacks follow the
+  // gate's recovery policy (error virtualization or termination).
+  http::Response Handle(const http::Request& request);
+
+  const RequestStats& last_stats() const { return stats_; }
+
+ private:
+  struct QueryOutcome {
+    bool blocked_terminate = false;
+    bool db_error = false;
+    std::string error_message;
+    db::ExecResult result;
+  };
+  QueryOutcome RunQuery(const std::string& sql, const http::Request& request);
+
+  http::Response HandleEndpoint(const Endpoint& ep,
+                                const http::Request& request);
+
+  std::unique_ptr<db::Database> db_;
+  std::vector<Endpoint> endpoints_;
+  std::vector<std::pair<std::string, RouteHandler>> routes_;
+  std::vector<php::SourceFile> sources_;
+  std::vector<std::string> boilerplate_;
+  QueryGate gate_;
+  RequestStats stats_;
+  bool request_terminated_ = false;  // set when the gate terminates
+};
+
+// Builds the standard testbed application: a WordPress-like core with
+// posts/users/comments/options tables, seeded content, built-in routes
+// ("/", "/post", "/search", "/comment" — all correctly escaped), and core
+// PHP sources contributing the base fragment vocabulary of Table III.
+std::unique_ptr<Application> MakeWordpressLikeApp(std::uint64_t seed,
+                                                  std::size_t posts = 50);
+
+}  // namespace joza::webapp

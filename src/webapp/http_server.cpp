@@ -1,0 +1,213 @@
+#include "webapp/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/strings.h"
+
+namespace joza::webapp {
+
+namespace {
+
+Status SendAll(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("send(): ") +
+                                 std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+// Reads until the header terminator, then content-length more bytes.
+StatusOr<std::string> ReadHttpRequest(int fd) {
+  std::string data;
+  char buf[4096];
+  std::size_t header_end = std::string::npos;
+  while (header_end == std::string::npos) {
+    ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("recv(): ") +
+                                 std::strerror(errno));
+    }
+    if (n == 0) break;  // peer closed
+    data.append(buf, static_cast<std::size_t>(n));
+    header_end = data.find("\r\n\r\n");
+    if (data.size() > (1u << 20)) {
+      return Status::InvalidArgument("request too large");
+    }
+  }
+  if (header_end == std::string::npos) {
+    if (data.empty()) return Status::NotFound("empty connection");
+    return data;  // header-only request without terminator: best effort
+  }
+  // Honour Content-Length for the body.
+  std::size_t content_length = 0;
+  std::size_t cl = FindIgnoreCase(data.substr(0, header_end),
+                                  "content-length:");
+  if (cl != std::string_view::npos) {
+    content_length = static_cast<std::size_t>(
+        std::strtoul(data.c_str() + cl + 15, nullptr, 10));
+  }
+  const std::size_t body_start = header_end + 4;
+  while (data.size() < body_start + content_length) {
+    ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("recv() during body");
+    }
+    if (n == 0) break;
+    data.append(buf, static_cast<std::size_t>(n));
+  }
+  return data;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 500: return "Internal Server Error";
+    default: return "Status";
+  }
+}
+
+}  // namespace
+
+StatusOr<int> HttpServer::Start(int port) {
+  if (running_.load()) return Status::InvalidArgument("already running");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Unavailable(std::string("socket(): ") +
+                               std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable(std::string("bind(): ") +
+                               std::strerror(errno));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable(std::string("listen(): ") +
+                               std::strerror(errno));
+  }
+  running_.store(true);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return port_;
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Shutting down the listening socket unblocks accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (thread_.joinable()) thread_.join();
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by Stop()
+    }
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  auto raw = ReadHttpRequest(fd);
+  if (!raw.ok()) return;
+  http::Response response;
+  auto request = http::ParseRawRequest(raw.value());
+  if (!request.ok()) {
+    response.status = 400;
+    response.body = "Bad Request";
+  } else {
+    response = app_.Handle(request.value());
+  }
+  ++served_;
+  std::string out = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                    ReasonPhrase(response.status) + "\r\n";
+  out += "Content-Type: text/html\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "X-Virtual-Time-Ms: " + std::to_string(response.virtual_time_ms) +
+         "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  SendAll(fd, out);
+}
+
+StatusOr<std::string> FetchRaw(int port, const std::string& raw_request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Unavailable("socket()");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return Status::Unavailable(std::string("connect(): ") +
+                               std::strerror(errno));
+  }
+  if (auto st = SendAll(fd, raw_request); !st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::Unavailable("recv()");
+    }
+    if (n == 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+StatusOr<SimpleResponse> HttpGet(int port,
+                                 const std::string& path_and_query) {
+  auto raw = FetchRaw(port, "GET " + path_and_query +
+                                " HTTP/1.0\r\nHost: localhost\r\n\r\n");
+  if (!raw.ok()) return raw.status();
+  const std::string& text = raw.value();
+  SimpleResponse out;
+  // Status line: "HTTP/1.0 200 OK".
+  std::size_t sp = text.find(' ');
+  if (sp == std::string::npos) return Status::ParseError("bad status line");
+  out.status = std::atoi(text.c_str() + sp + 1);
+  std::size_t body = text.find("\r\n\r\n");
+  if (body != std::string::npos) out.body = text.substr(body + 4);
+  return out;
+}
+
+}  // namespace joza::webapp

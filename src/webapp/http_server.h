@@ -1,0 +1,61 @@
+// Minimal blocking HTTP/1.0 server over loopback TCP.
+//
+// Serves a webapp::Application so the whole stack — wire bytes, header
+// parsing, input snapshotting, Joza interception, rendering — can be
+// exercised through real sockets, like the paper's Apache deployment.
+// One request per connection, single accept thread.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "http/request.h"
+#include "util/status.h"
+#include "webapp/application.h"
+
+namespace joza::webapp {
+
+class HttpServer {
+ public:
+  // The application must outlive the server.
+  explicit HttpServer(Application& app) : app_(app) {}
+  ~HttpServer() { Stop(); }
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 picks a free port), starts the accept loop
+  // in a background thread. Returns the bound port.
+  StatusOr<int> Start(int port = 0);
+
+  // Stops accepting and joins the thread. Idempotent.
+  void Stop();
+
+  int port() const { return port_; }
+  std::size_t requests_served() const { return served_.load(); }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  Application& app_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::size_t> served_{0};
+};
+
+// Tiny blocking client for tests/examples: sends one request, returns the
+// raw response ("HTTP/1.0 <code> ...\r\n...\r\n\r\n<body>").
+StatusOr<std::string> FetchRaw(int port, const std::string& raw_request);
+
+// Convenience GET; returns (status, body).
+struct SimpleResponse {
+  int status = 0;
+  std::string body;
+};
+StatusOr<SimpleResponse> HttpGet(int port, const std::string& path_and_query);
+
+}  // namespace joza::webapp

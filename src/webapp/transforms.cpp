@@ -1,0 +1,76 @@
+#include "webapp/transforms.h"
+
+#include <cstdlib>
+
+#include "util/codec.h"
+#include "util/strings.h"
+
+namespace joza::webapp {
+
+const char* TransformName(Transform t) {
+  switch (t) {
+    case Transform::kMagicQuotes: return "magic_quotes";
+    case Transform::kStripSlashes: return "stripslashes";
+    case Transform::kTrim: return "trim";
+    case Transform::kBase64Decode: return "base64_decode";
+    case Transform::kUrlDecode: return "urldecode";
+    case Transform::kCollapseSpaces: return "collapse_spaces";
+    case Transform::kToLower: return "strtolower";
+    case Transform::kIntCast: return "intval";
+    case Transform::kEscapeSql: return "escape_sql";
+  }
+  return "?";
+}
+
+std::string ApplyTransform(Transform t, std::string_view input) {
+  switch (t) {
+    case Transform::kMagicQuotes:
+      return AddSlashes(input);
+    case Transform::kStripSlashes:
+      return StripSlashes(input);
+    case Transform::kTrim:
+      return std::string(Trim(input));
+    case Transform::kBase64Decode: {
+      auto decoded = Base64Decode(input);
+      return decoded.ok() ? std::move(decoded.value()) : std::string();
+    }
+    case Transform::kUrlDecode:
+      return UrlDecode(input);
+    case Transform::kCollapseSpaces:
+      return CollapseWhitespace(input);
+    case Transform::kToLower:
+      return ToLower(input);
+    case Transform::kIntCast: {
+      // PHP intval(): numeric prefix, base 10.
+      std::string buf(Trim(input));
+      long long v = std::strtoll(buf.c_str(), nullptr, 10);
+      return std::to_string(v);
+    }
+    case Transform::kEscapeSql:
+      // mysql_real_escape_string escapes the same set as addslashes plus
+      // newlines; the quote/backslash behaviour is what matters here.
+      return AddSlashes(input);
+  }
+  return std::string(input);
+}
+
+std::string ApplyChain(const TransformChain& chain, std::string_view input) {
+  std::string current(input);
+  for (Transform t : chain) {
+    current = ApplyTransform(t, current);
+  }
+  return current;
+}
+
+bool ChainTransformsInput(const TransformChain& chain) {
+  // A magic-quotes immediately undone by stripslashes is the identity on
+  // every input; any other non-empty chain changes at least some inputs.
+  if (chain.empty()) return false;
+  if (chain.size() == 2 && chain[0] == Transform::kMagicQuotes &&
+      chain[1] == Transform::kStripSlashes) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace joza::webapp

@@ -1,0 +1,43 @@
+// Application-level input transformations.
+//
+// These are the transformations real web applications apply to inputs
+// between HTTP parsing and query construction — the exact mechanism NTI
+// evasion exploits (Section III-A): any transformation widens the edit
+// distance between the raw input NTI stored and the bytes that reach the
+// query.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace joza::webapp {
+
+enum class Transform {
+  kMagicQuotes,    // PHP addslashes — WordPress enforces this on all input
+  kStripSlashes,   // plugins frequently undo magic quotes (the classic bug)
+  kTrim,           // WordPress trims input from authenticated users
+  kBase64Decode,   // plugins passing state through base64 (AdRotate-style)
+  kUrlDecode,      // an extra decode layer on top of the server's
+  kCollapseSpaces, // normalize runs of whitespace to one space
+  kToLower,        // case normalization
+  kIntCast,        // PHP intval() — a *sanitizing* transform
+  kEscapeSql,      // mysql_real_escape_string equivalent — also sanitizing
+};
+
+const char* TransformName(Transform t);
+
+using TransformChain = std::vector<Transform>;
+
+// Applies one transformation. kBase64Decode on malformed input yields the
+// empty string (PHP returns false, used as '').
+std::string ApplyTransform(Transform t, std::string_view input);
+
+// Applies the whole chain left to right.
+std::string ApplyChain(const TransformChain& chain, std::string_view input);
+
+// True if the chain leaves *some* inputs changed (i.e. it can break the
+// input↔query correspondence NTI relies on). Sanitizing transforms count.
+bool ChainTransformsInput(const TransformChain& chain);
+
+}  // namespace joza::webapp

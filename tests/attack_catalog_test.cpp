@@ -1,0 +1,92 @@
+#include "attack/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "attack/exploit.h"
+
+namespace joza::attack {
+namespace {
+
+TEST(Catalog, FiftyThreeEntries) {
+  EXPECT_EQ(PluginCatalog().size(), 53u);
+  EXPECT_EQ(TestbedPlugins().size(), 50u);
+  EXPECT_EQ(CaseStudyApps().size(), 3u);
+}
+
+TEST(Catalog, TableOneAttackTypeMix) {
+  // Table I: 15 union / 17 standard blind / 14 double blind / 4 tautology.
+  std::map<AttackType, int> counts;
+  for (const PluginSpec* p : TestbedPlugins()) ++counts[p->type];
+  EXPECT_EQ(counts[AttackType::kUnionBased], 15);
+  EXPECT_EQ(counts[AttackType::kStandardBlind], 17);
+  EXPECT_EQ(counts[AttackType::kDoubleBlind], 14);
+  EXPECT_EQ(counts[AttackType::kTautology], 4);
+}
+
+TEST(Catalog, UniqueRoutes) {
+  std::set<std::string> routes;
+  for (const PluginSpec& p : PluginCatalog()) {
+    EXPECT_TRUE(routes.insert(p.route).second) << p.route;
+  }
+}
+
+TEST(Catalog, CaseStudyNames) {
+  auto apps = CaseStudyApps();
+  ASSERT_EQ(apps.size(), 3u);
+  EXPECT_EQ(apps[0]->name, "Joomla");
+  EXPECT_EQ(apps[1]->name, "Drupal");
+  EXPECT_EQ(apps[2]->name, "osCommerce");
+}
+
+TEST(Catalog, TestbedInstallsAndServesBenign) {
+  auto app = MakeTestbed();
+  for (const PluginSpec& p : PluginCatalog()) {
+    auto resp = app->Handle(http::Request::Get(p.route, {{p.param, "1"}}));
+    EXPECT_NE(resp.status, 404) << p.name;
+  }
+}
+
+TEST(Catalog, EveryOriginalExploitWorksUnprotected) {
+  // The testbed ground truth: all 53 harvested exploits genuinely exploit
+  // the unprotected application.
+  auto app = MakeTestbed();
+  for (const PluginSpec& p : PluginCatalog()) {
+    Exploit e = OriginalExploit(p);
+    EXPECT_TRUE(ExploitSucceeds(*app, p, e))
+        << p.name << " [" << AttackTypeName(p.type) << "] payload \""
+        << e.payload << '"';
+  }
+}
+
+TEST(Catalog, BenignRequestsDoNotLeakViaExploitCriterion) {
+  // Sanity for the success criterion: benign values don't count as leaks
+  // on endpoints that don't project the secret.
+  auto app = MakeTestbed();
+  for (const PluginSpec& p : PluginCatalog()) {
+    if (p.type == AttackType::kTautology) continue;  // they query wp_users
+    if (p.route == "/apps/drupal") continue;         // also on wp_users
+    auto resp = app->Handle(http::Request::Get(p.route, {{p.param, "1"}}));
+    EXPECT_EQ(resp.body.find(kSecretMarker), std::string::npos) << p.name;
+  }
+}
+
+TEST(Catalog, QueryForMatchesServedQuery) {
+  // QueryFor (used to drive detectors in isolation) must reproduce exactly
+  // the query the application issues for the same payload.
+  auto app = MakeTestbed();
+  const PluginSpec& plugin = *TestbedPlugins()[0];
+  std::string captured;
+  app->SetQueryGate([&captured](std::string_view sql, const http::Request&) {
+    captured = std::string(sql);
+    return webapp::GateDecision{};
+  });
+  Exploit e = OriginalExploit(plugin);
+  SendPayload(*app, plugin, e.payload);
+  EXPECT_EQ(captured, QueryFor(plugin, e.payload));
+}
+
+}  // namespace
+}  // namespace joza::attack

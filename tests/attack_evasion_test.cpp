@@ -1,0 +1,115 @@
+// Unit tests for the evasion engines themselves (the security fixture
+// exercises them end-to-end; these pin the mechanics).
+#include "attack/evasion.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/vocab_kits.h"
+#include "match/substring.h"
+
+namespace joza::attack {
+namespace {
+
+const PluginSpec& Find(const char* name) {
+  for (const PluginSpec& p : PluginCatalog()) {
+    if (p.name == name) return p;
+  }
+  ADD_FAILURE() << name;
+  static PluginSpec dummy;
+  return dummy;
+}
+
+TEST(Recase, UppercasesOnlyKeywordsAndFunctions) {
+  EXPECT_EQ(RecaseSqlTokens("-1 union select login, pass from wp_users"),
+            "-1 UNION SELECT login, pass FROM wp_users");
+  EXPECT_EQ(RecaseSqlTokens("0 or char(65) > 0"), "0 OR CHAR(65) > 0");
+  // Identifiers and string contents untouched.
+  EXPECT_EQ(RecaseSqlTokens("select 'keep or this' from t"),
+            "SELECT 'keep or this' FROM t");
+  // An unbalanced breakout quote swallows the tail into one string token:
+  // nothing lexes as a keyword, so recasing is a no-op — which is why
+  // Taintless' case-match step cannot rescue quoted-context payloads.
+  EXPECT_EQ(RecaseSqlTokens("x' or 1=1 -- a"), "x' or 1=1 -- a");
+}
+
+TEST(NtiMutation, TechniqueSelectionFollowsTransformChain) {
+  nti::NtiConfig cfg;
+  auto technique = [&cfg](const char* plugin) {
+    return MutateForNtiEvasion(Find(plugin), OriginalExploit(Find(plugin)),
+                               cfg)
+        .technique;
+  };
+  EXPECT_EQ(technique("AdRotate"), "transport-encoding");        // base64
+  EXPECT_EQ(technique("Community Events"), "quote-comment");     // magic only
+  EXPECT_EQ(technique("Eventify"), "whitespace-padding");        // identity+trim
+  EXPECT_EQ(technique("GD Star Rating"), "quote-comment");       // rich blind
+  NtiMutation m = MutateForNtiEvasion(Find("Profiles"),
+                                      OriginalExploit(Find("Profiles")), cfg);
+  EXPECT_FALSE(m.possible);  // identity chain, nothing to hide behind
+}
+
+TEST(NtiMutation, QuoteCommentClearsThresholdWithMargin) {
+  // The mutated payload's own difference ratio must exceed the threshold
+  // it was built against — verified with the real matcher.
+  const PluginSpec& plugin = Find("Community Events");
+  nti::NtiConfig cfg;  // t = 0.20
+  Exploit original = OriginalExploit(plugin);
+  NtiMutation m = MutateForNtiEvasion(plugin, original, cfg);
+  ASSERT_TRUE(m.possible);
+  const std::string query = QueryFor(plugin, m.exploit.payload);
+  auto match = match::BestSubstringMatch(query, m.exploit.payload);
+  EXPECT_GT(match.ratio, cfg.threshold * 1.2)
+      << "mutation must clear the threshold with margin";
+}
+
+TEST(NtiMutation, WhitespacePaddingScalesWithThreshold) {
+  const PluginSpec& plugin = Find("Eventify");
+  Exploit original = OriginalExploit(plugin);
+  nti::NtiConfig strict;
+  strict.threshold = 0.10;
+  nti::NtiConfig loose;
+  loose.threshold = 0.40;
+  auto pad = [&](const nti::NtiConfig& cfg) {
+    NtiMutation m = MutateForNtiEvasion(plugin, original, cfg);
+    return m.exploit.payload.size() - original.payload.size();
+  };
+  EXPECT_GT(pad(loose), pad(strict))
+      << "a higher threshold demands more padding";
+}
+
+TEST(NtiMutation, ProbePairsGetBothPayloadsMutated) {
+  const PluginSpec& plugin = Find("MyStat");  // blind: probe pair
+  Exploit original = OriginalExploit(plugin);
+  NtiMutation m = MutateForNtiEvasion(plugin, original, {});
+  ASSERT_TRUE(m.possible);
+  EXPECT_TRUE(m.exploit.is_probe_pair);
+  EXPECT_GT(m.exploit.payload.size(), original.payload.size());
+  EXPECT_GT(m.exploit.false_payload.size(), original.false_payload.size());
+}
+
+TEST(Taintless, ReportsStrategyAndCandidateCount) {
+  auto app = MakeTestbed();
+  pti::PtiAnalyzer pti(php::FragmentSet::FromSources(app->sources()));
+  TaintlessResult r = RunTaintless(Find("Community Events"), pti, *app);
+  EXPECT_TRUE(r.success);
+  EXPECT_FALSE(r.strategy.empty());
+  EXPECT_GE(r.candidates_tried, 1u);
+
+  TaintlessResult fail = RunTaintless(Find("Eventify"), pti, *app);
+  EXPECT_FALSE(fail.success);
+  EXPECT_GE(fail.candidates_tried, 2u) << "all candidates were tried";
+}
+
+TEST(Taintless, KitPayloadsUseExactKitBytes) {
+  auto app = MakeTestbed();
+  pti::PtiAnalyzer pti(php::FragmentSet::FromSources(app->sources()));
+  TaintlessResult r = RunTaintless(Find("Count per Day"), pti, *app);
+  ASSERT_TRUE(r.success);
+  EXPECT_NE(r.exploit.payload.find(std::string(kKitUnion2)),
+            std::string::npos)
+      << "the adapted payload must be assembled from the plugin's own "
+         "vocabulary bytes";
+}
+
+}  // namespace
+}  // namespace joza::attack

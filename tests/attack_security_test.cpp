@@ -1,0 +1,217 @@
+// The testbed-wide security assertions behind Tables II and IV: per-variant
+// detection by NTI alone, PTI alone, and the Joza hybrid.
+#include <gtest/gtest.h>
+
+#include "attack/catalog.h"
+#include "attack/evasion.h"
+#include "attack/exploit.h"
+#include "attack/payload_gen.h"
+#include "attack/workload.h"
+#include "core/joza.h"
+#include "nti/nti.h"
+#include "pti/pti.h"
+
+namespace joza::attack {
+namespace {
+
+class SecurityFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    app_ = MakeTestbed();
+    fragments_ = php::FragmentSet::FromSources(app_->sources());
+    pti_ = std::make_unique<pti::PtiAnalyzer>(fragments_);
+  }
+
+  bool NtiDetects(const PluginSpec& p, const std::string& payload) {
+    return nti_
+        .Analyze(QueryFor(p, payload), InputsFor(p, payload))
+        .attack_detected;
+  }
+  bool PtiDetects(const PluginSpec& p, const std::string& payload) {
+    return pti_->Analyze(QueryFor(p, payload)).attack_detected;
+  }
+  bool NtiDetectsExploit(const PluginSpec& p, const Exploit& e) {
+    return NtiDetects(p, e.payload) ||
+           (e.is_probe_pair && NtiDetects(p, e.false_payload));
+  }
+  bool PtiDetectsExploit(const PluginSpec& p, const Exploit& e) {
+    return PtiDetects(p, e.payload) ||
+           (e.is_probe_pair && PtiDetects(p, e.false_payload));
+  }
+
+  std::unique_ptr<webapp::Application> app_;
+  php::FragmentSet fragments_;
+  std::unique_ptr<pti::PtiAnalyzer> pti_;
+  nti::NtiAnalyzer nti_;
+};
+
+// --- Table II: baseline effectiveness ----------------------------------------
+
+TEST_F(SecurityFixture, Baseline_NtiDetects49Of50) {
+  int detected = 0;
+  std::string missed;
+  for (const PluginSpec* p : TestbedPlugins()) {
+    if (NtiDetectsExploit(*p, OriginalExploit(*p))) {
+      ++detected;
+    } else {
+      missed += p->name + ";";
+    }
+  }
+  EXPECT_EQ(detected, 49);
+  EXPECT_EQ(missed, "AdRotate;") << "only the base64 plugin evades NTI";
+}
+
+TEST_F(SecurityFixture, Baseline_PtiDetects50Of50) {
+  for (const PluginSpec* p : TestbedPlugins()) {
+    EXPECT_TRUE(PtiDetectsExploit(*p, OriginalExploit(*p))) << p->name;
+  }
+}
+
+TEST_F(SecurityFixture, Baseline_CaseStudiesDetected) {
+  for (const PluginSpec* p : CaseStudyApps()) {
+    Exploit e = OriginalExploit(*p);
+    EXPECT_TRUE(NtiDetectsExploit(*p, e)) << p->name;
+    EXPECT_TRUE(PtiDetectsExploit(*p, e)) << p->name;
+  }
+}
+
+// --- Section V-A: NTI evasion -------------------------------------------------
+
+TEST_F(SecurityFixture, NtiEvasion_51Of53Bypass) {
+  int bypassed = 0;
+  std::vector<std::string> resistant;
+  for (const PluginSpec& p : PluginCatalog()) {
+    Exploit original = OriginalExploit(p);
+    NtiMutation m = MutateForNtiEvasion(p, original, nti_.config());
+    if (!m.possible) {
+      resistant.push_back(p.name);
+      continue;
+    }
+    // The mutated exploit must actually evade NTI...
+    EXPECT_FALSE(NtiDetectsExploit(p, m.exploit))
+        << p.name << " via " << m.technique;
+    // ...and still work end-to-end.
+    EXPECT_TRUE(ExploitSucceeds(*app_, p, m.exploit))
+        << p.name << " via " << m.technique;
+    ++bypassed;
+  }
+  EXPECT_EQ(bypassed, 51);
+  ASSERT_EQ(resistant.size(), 2u);
+  EXPECT_EQ(resistant[0], "Profiles");
+  EXPECT_EQ(resistant[1], "PureHTML");
+}
+
+TEST_F(SecurityFixture, NtiEvasion_MutatedStillCaughtByPti) {
+  // The hybrid's first leg: every NTI-evading mutation is PTI-visible.
+  for (const PluginSpec& p : PluginCatalog()) {
+    NtiMutation m = MutateForNtiEvasion(p, OriginalExploit(p), nti_.config());
+    if (!m.possible) continue;
+    EXPECT_TRUE(PtiDetectsExploit(p, m.exploit)) << p.name;
+  }
+}
+
+// --- Section V-A: PTI evasion (Taintless) -------------------------------------
+
+TEST_F(SecurityFixture, Taintless_13Of50Testbed) {
+  int evaded = 0;
+  for (const PluginSpec* p : TestbedPlugins()) {
+    TaintlessResult r = RunTaintless(*p, *pti_, *app_);
+    if (!r.success) continue;
+    ++evaded;
+    // Double-check the tool's claim.
+    EXPECT_FALSE(PtiDetectsExploit(*p, r.exploit))
+        << p->name << " strategy " << r.strategy;
+    EXPECT_TRUE(ExploitSucceeds(*app_, *p, r.exploit)) << p->name;
+  }
+  EXPECT_EQ(evaded, 13);
+}
+
+TEST_F(SecurityFixture, Taintless_OsCommerceOnlyCaseStudy) {
+  for (const PluginSpec* p : CaseStudyApps()) {
+    TaintlessResult r = RunTaintless(*p, *pti_, *app_);
+    EXPECT_EQ(r.success, p->name == "osCommerce") << p->name;
+  }
+}
+
+TEST_F(SecurityFixture, Taintless_AdaptedStillCaughtByNti) {
+  // The hybrid's second leg: Taintless outputs reach the query verbatim
+  // (they are built quote-free / transformation-free), so NTI sees them.
+  for (const PluginSpec& p : PluginCatalog()) {
+    TaintlessResult r = RunTaintless(p, *pti_, *app_);
+    if (!r.success) continue;
+    if (p.name == "AdRotate") continue;  // base64 blinds NTI by design
+    EXPECT_TRUE(NtiDetectsExploit(p, r.exploit)) << p.name;
+  }
+}
+
+// --- Table IV: the hybrid ------------------------------------------------------
+
+TEST_F(SecurityFixture, Joza_BlocksEveryVariantEndToEnd) {
+  core::Joza joza = core::Joza::Install(*app_);
+  app_->SetQueryGate(joza.MakeGate());
+
+  for (const PluginSpec& p : PluginCatalog()) {
+    const Exploit original = OriginalExploit(p);
+    EXPECT_FALSE(ExploitSucceeds(*app_, p, original))
+        << p.name << " original must be blocked";
+
+    NtiMutation m = MutateForNtiEvasion(p, original, nti_.config());
+    if (m.possible) {
+      EXPECT_FALSE(ExploitSucceeds(*app_, p, m.exploit))
+          << p.name << " NTI-mutated must be blocked";
+    }
+
+    TaintlessResult t = RunTaintless(p, *pti_, *app_);
+    if (t.success) {
+      // Taintless succeeded against PTI alone; the hybrid still blocks.
+      EXPECT_FALSE(ExploitSucceeds(*app_, p, t.exploit))
+          << p.name << " Taintless-adapted must be blocked";
+    }
+  }
+  app_->SetQueryGate(nullptr);
+}
+
+TEST_F(SecurityFixture, Joza_BenignWorkloadZeroFalsePositives) {
+  core::Joza joza = core::Joza::Install(*app_);
+  app_->SetQueryGate(joza.MakeGate());
+  std::size_t blocked = 0;
+  auto run = [&](const std::vector<WorkloadRequest>& reqs) {
+    for (const auto& wr : reqs) {
+      app_->Handle(wr.request);
+      blocked += app_->last_stats().queries_blocked;
+    }
+  };
+  run(MakeCrawlWorkload(120, 1));
+  run(MakeCommentWorkload(60, 2));
+  run(MakeSearchWorkload(60, 3));
+  EXPECT_EQ(blocked, 0u);
+  EXPECT_EQ(joza.stats().attacks_detected, 0u);
+  app_->SetQueryGate(nullptr);
+}
+
+// --- Table II: SQLMap-generated payloads --------------------------------------
+
+TEST_F(SecurityFixture, SqlmapVariants_AllDetectedByBoth) {
+  // One plugin per attack class, ~40 valid payloads each (the paper's
+  // SQLMap experiment). Both analyses must catch all of them.
+  const char* chosen[] = {"A to Z Category Listing", "Eventify", "MyStat",
+                          "Mingle Forum"};
+  for (const char* name : chosen) {
+    const PluginSpec* plugin = nullptr;
+    for (const PluginSpec& p : PluginCatalog()) {
+      if (p.name == name) plugin = &p;
+    }
+    ASSERT_NE(plugin, nullptr) << name;
+    auto variants = GenerateSqlmapPayloads(*plugin, 40, 99);
+    ASSERT_EQ(variants.size(), 40u) << name;
+    for (const Exploit& e : variants) {
+      EXPECT_TRUE(ExploitSucceeds(*app_, *plugin, e))
+          << name << ": " << e.payload;
+      EXPECT_TRUE(NtiDetectsExploit(*plugin, e)) << name << ": " << e.payload;
+      EXPECT_TRUE(PtiDetectsExploit(*plugin, e)) << name << ": " << e.payload;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace joza::attack

@@ -1,0 +1,77 @@
+#include "attack/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attack/catalog.h"
+
+namespace joza::attack {
+namespace {
+
+TEST(Workload, CrawlIsAllReads) {
+  for (const auto& wr : MakeCrawlWorkload(100, 1)) {
+    EXPECT_FALSE(wr.is_write);
+    EXPECT_EQ(wr.request.method, "GET");
+  }
+}
+
+TEST(Workload, CommentsAreWritesWithUniqueBodies) {
+  auto w = MakeCommentWorkload(200, 2);
+  std::set<std::string_view> bodies;
+  for (const auto& wr : w) {
+    EXPECT_TRUE(wr.is_write);
+    EXPECT_EQ(wr.request.method, "POST");
+    bodies.insert(wr.request.Param("body"));
+  }
+  // Textual uniqueness is what defeats the query cache for writes.
+  EXPECT_EQ(bodies.size(), w.size());
+}
+
+TEST(Workload, Deterministic) {
+  auto a = MakeMixedWorkload(50, 0.3, 7);
+  auto b = MakeMixedWorkload(50, 0.3, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].request.path, b[i].request.path);
+    EXPECT_EQ(a[i].is_write, b[i].is_write);
+  }
+}
+
+TEST(Workload, MixedWriteFractionApproximatelyHonored) {
+  auto w = MakeMixedWorkload(1000, 0.3, 11);
+  std::size_t writes = 0;
+  for (const auto& wr : w) writes += wr.is_write;
+  EXPECT_NEAR(static_cast<double>(writes) / static_cast<double>(w.size()), 0.3,
+              0.06);
+}
+
+TEST(Workload, AllRequestsServeableOnTestbed) {
+  auto app = MakeTestbed(1);
+  for (const auto& wr : MakeMixedWorkload(120, 0.25, 3)) {
+    auto resp = app->Handle(wr.request);
+    EXPECT_NE(resp.status, 404) << wr.request.path;
+  }
+  for (const auto& wr : MakeSearchWorkload(40, 4)) {
+    EXPECT_EQ(app->Handle(wr.request).status, 200);
+  }
+}
+
+TEST(WpComStats, WriteFractionBelowOnePercent) {
+  // The Table VII takeaway.
+  const double wf = WpComWriteFraction();
+  EXPECT_GT(wf, 0.0);
+  EXPECT_LT(wf, 0.01);
+}
+
+TEST(WpComStats, FiveYearsMonotoneGrowth) {
+  const auto& stats = WordpressComStats();
+  ASSERT_EQ(stats.size(), 5u);
+  for (std::size_t i = 1; i < stats.size(); ++i) {
+    EXPECT_EQ(stats[i].year, stats[i - 1].year + 1);
+    EXPECT_GT(stats[i].page_views_millions, stats[i - 1].page_views_millions);
+  }
+}
+
+}  // namespace
+}  // namespace joza::attack

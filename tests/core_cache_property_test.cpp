@@ -1,0 +1,111 @@
+// Soundness properties of the structure cache: data-only variation never
+// changes the hash (so benign dynamic queries hit), while grafting SQL
+// onto a cached-safe template always changes it (so a hit is never granted
+// to an injected query).
+#include <gtest/gtest.h>
+
+#include "attack/catalog.h"
+#include "attack/exploit.h"
+#include "core/joza.h"
+#include "sqlparse/structure.h"
+#include "util/rng.h"
+
+namespace joza::core {
+namespace {
+
+class StructureCacheProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(StructureCacheProperty, DataVariantsShareOneHash) {
+  Rng rng(GetParam());
+  struct Template {
+    const char* prefix;
+    bool quoted;
+    const char* suffix;
+  };
+  const Template templates[] = {
+      {"SELECT id, title FROM wp_posts WHERE id = ", false, ""},
+      {"SELECT id FROM wp_posts WHERE title = ", true, " LIMIT 10"},
+      {"INSERT INTO wp_comments (id, post_id, author, body) "
+       "VALUES (1, 2, 'anon', ",
+       true, ")"},
+      {"UPDATE wp_posts SET views = views + 1 WHERE id = ", false, ""},
+  };
+  for (const Template& t : templates) {
+    std::optional<std::uint64_t> expected;
+    for (int i = 0; i < 25; ++i) {
+      // Non-negative numbers only: "-42" lexes as unary minus + literal,
+      // which is a (correctly) different structure from "42".
+      std::string value = t.quoted
+                              ? "'" + rng.NextToken(1 + rng.NextBelow(20)) + "'"
+                              : std::to_string(rng.NextInRange(0, 9999));
+      auto h = sql::StructureHashOf(std::string(t.prefix) + value + t.suffix);
+      ASSERT_TRUE(h.ok());
+      if (!expected) {
+        expected = h.value();
+      } else {
+        EXPECT_EQ(h.value(), *expected) << t.prefix;
+      }
+    }
+  }
+}
+
+TEST_P(StructureCacheProperty, InjectionAlwaysChangesHash) {
+  Rng rng(GetParam() * 13 + 7);
+  const char* injections[] = {
+      " OR 1=1",
+      " UNION SELECT pass FROM wp_users",
+      " AND SLEEP(2)",
+      " OR (SELECT COUNT(*) FROM wp_users) > 0",
+  };
+  for (int i = 0; i < 25; ++i) {
+    std::string benign = "SELECT id, title FROM wp_posts WHERE id = " +
+                         std::to_string(rng.NextInRange(1, 9999));
+    auto h_benign = sql::StructureHashOf(benign);
+    ASSERT_TRUE(h_benign.ok());
+    for (const char* inj : injections) {
+      auto h_attack = sql::StructureHashOf(benign + inj);
+      ASSERT_TRUE(h_attack.ok());
+      EXPECT_NE(h_attack.value(), h_benign.value()) << inj;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StructureCacheProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+// End-to-end: after the structure cache is warmed with benign traffic on
+// every catalogued endpoint, injected variants still get caught.
+TEST(StructureCacheEndToEnd, WarmCacheGrantsNoAmnesty) {
+  auto app = attack::MakeTestbed();
+  Joza joza = Joza::Install(*app);
+  app->SetQueryGate(joza.MakeGate());
+  // Warm: benign request to every endpoint.
+  for (const attack::PluginSpec& p : attack::PluginCatalog()) {
+    app->Handle(http::Request::Get(p.route, {{p.param, "1"}}));
+  }
+  EXPECT_EQ(joza.stats().attacks_detected, 0u);
+  // Attack: the original exploits, now against warm caches.
+  for (const attack::PluginSpec& p : attack::PluginCatalog()) {
+    attack::Exploit e = attack::OriginalExploit(p);
+    EXPECT_FALSE(attack::ExploitSucceeds(*app, p, e)) << p.name;
+  }
+  app->SetQueryGate(nullptr);
+}
+
+// Benign-per-endpoint PTI coverage: with the full testbed vocabulary,
+// every endpoint's benign query must be PTI-trusted (per-plugin FP check).
+TEST(PerEndpointCoverage, BenignQueriesFullyTrusted) {
+  auto app = attack::MakeTestbed();
+  pti::PtiAnalyzer pti(php::FragmentSet::FromSources(app->sources()));
+  for (const attack::PluginSpec& p : attack::PluginCatalog()) {
+    for (const char* value : {"1", "42", "0"}) {
+      const std::string q = attack::QueryFor(p, value);
+      auto r = pti.Analyze(q);
+      EXPECT_FALSE(r.attack_detected) << p.name << " query: " << q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace joza::core

@@ -1,0 +1,274 @@
+#include "core/joza.h"
+
+#include <gtest/gtest.h>
+
+namespace joza::core {
+namespace {
+
+using http::Input;
+using http::InputKind;
+
+Input Get(std::string name, std::string value) {
+  return Input{InputKind::kGet, std::move(name), std::move(value)};
+}
+
+php::FragmentSet RichFragments() {
+  php::FragmentSet set;
+  set.AddRaw("SELECT * FROM records WHERE ID=");
+  set.AddRaw(" LIMIT 5");
+  set.AddRaw("OR");
+  set.AddRaw("=");
+  set.AddRaw(" AND ");
+  return set;
+}
+
+// --- Figure 4: the complementary nature of NTI and PTI ----------------------
+
+TEST(Hybrid, Figure4A_ShortPayloadEvadesPtiCaughtByNti) {
+  // "1 OR 1 = 1": every critical token (OR, =) exists in the application's
+  // fragments, so PTI misses it; NTI sees the verbatim input and flags it.
+  Joza joza(RichFragments());
+  auto v = joza.Check("SELECT * FROM records WHERE ID=1 OR 1 = 1 LIMIT 5",
+                      {Get("id", "1 OR 1 = 1")});
+  EXPECT_TRUE(v.attack);
+  EXPECT_EQ(v.detected_by, DetectedBy::kNti);
+  EXPECT_FALSE(v.pti.attack_detected);
+  EXPECT_TRUE(v.nti.attack_detected);
+}
+
+// Builds the paper's NTI-evasion payload: a base injection plus a comment
+// block of `quotes` quote characters that the application's magic quotes
+// will escape. Ratio = quotes / (len(base) + 2*quotes); quotes > 10 beats
+// a 20% threshold for this base.
+std::pair<std::string, std::string> EvasivePayload(int quotes) {
+  std::string input = "-1 UNION SELECT username()/*";
+  std::string in_query = input;
+  for (int i = 0; i < quotes; ++i) {
+    input += "'";
+    in_query += "\\'";
+  }
+  input += "*/";
+  in_query += "*/";
+  return {input, in_query};
+}
+
+TEST(Hybrid, Figure4B_TransformedPayloadEvadesNtiCaughtByPti) {
+  // Magic-quoted comment block pushes NTI's ratio over threshold; PTI sees
+  // the UNION/SELECT tokens and the assembled comment as untrusted.
+  Joza joza(RichFragments());
+  auto [input, in_query] = EvasivePayload(15);
+  std::string query =
+      "SELECT * FROM records WHERE ID=" + in_query + " LIMIT 5";
+  auto v = joza.Check(query, {Get("id", input)});
+  EXPECT_TRUE(v.attack);
+  EXPECT_EQ(v.detected_by, DetectedBy::kPti);
+  EXPECT_TRUE(v.pti.attack_detected);
+  EXPECT_FALSE(v.nti.attack_detected);
+}
+
+TEST(Hybrid, BothDetectPlainAttack) {
+  Joza joza(RichFragments());
+  auto v = joza.Check(
+      "SELECT * FROM records WHERE ID=-1 UNION SELECT username() LIMIT 5",
+      {Get("id", "-1 UNION SELECT username()")});
+  EXPECT_TRUE(v.attack);
+  EXPECT_EQ(v.detected_by, DetectedBy::kBoth);
+}
+
+TEST(Hybrid, BenignSafe) {
+  Joza joza(RichFragments());
+  auto v = joza.Check("SELECT * FROM records WHERE ID=17 LIMIT 5",
+                      {Get("id", "17")});
+  EXPECT_FALSE(v.attack);
+  EXPECT_EQ(v.detected_by, DetectedBy::kNone);
+}
+
+// --- Caches ------------------------------------------------------------------
+
+TEST(Caches, QueryCacheSkipsPtiOnRepeat) {
+  Joza joza(RichFragments());
+  const std::string q = "SELECT * FROM records WHERE ID=17 LIMIT 5";
+  auto v1 = joza.Check(q, {Get("id", "17")});
+  EXPECT_FALSE(v1.attack);
+  EXPECT_FALSE(v1.query_cache_hit);
+  auto v2 = joza.Check(q, {Get("id", "17")});
+  EXPECT_FALSE(v2.attack);
+  EXPECT_TRUE(v2.query_cache_hit);
+  EXPECT_EQ(joza.stats().pti_full_runs, 1u);
+  EXPECT_EQ(joza.stats().nti_runs, 2u) << "NTI must run on every request";
+}
+
+TEST(Caches, StructureCacheCoversDataVariants) {
+  Joza joza(RichFragments());
+  auto v1 = joza.Check("SELECT * FROM records WHERE ID=17 LIMIT 5",
+                       {Get("id", "17")});
+  EXPECT_FALSE(v1.attack);
+  // Different literal, same shape: structure hit, no PTI re-run.
+  auto v2 = joza.Check("SELECT * FROM records WHERE ID=99 LIMIT 5",
+                       {Get("id", "99")});
+  EXPECT_FALSE(v2.attack);
+  EXPECT_FALSE(v2.query_cache_hit);
+  EXPECT_TRUE(v2.structure_cache_hit);
+  EXPECT_EQ(joza.stats().pti_full_runs, 1u);
+}
+
+TEST(Caches, InjectedQueryNeverHitsCaches) {
+  Joza joza(RichFragments());
+  auto v1 = joza.Check("SELECT * FROM records WHERE ID=17 LIMIT 5",
+                       {Get("id", "17")});
+  EXPECT_FALSE(v1.attack);
+  // Injection changes the AST shape: full PTI runs and still detects.
+  auto v2 = joza.Check(
+      "SELECT * FROM records WHERE ID=17 UNION SELECT username() LIMIT 5",
+      {Get("id", "17 UNION SELECT username()")});
+  EXPECT_TRUE(v2.attack);
+  EXPECT_FALSE(v2.query_cache_hit);
+  EXPECT_FALSE(v2.structure_cache_hit);
+}
+
+TEST(Caches, UnsafeQueriesNotCached) {
+  Joza joza(RichFragments());
+  const std::string q =
+      "SELECT * FROM records WHERE ID=1 UNION SELECT username() LIMIT 5";
+  auto v1 = joza.Check(q, {});
+  EXPECT_TRUE(v1.attack);
+  auto v2 = joza.Check(q, {});
+  EXPECT_TRUE(v2.attack);
+  EXPECT_FALSE(v2.query_cache_hit);
+  EXPECT_EQ(joza.stats().pti_full_runs, 2u);
+}
+
+TEST(Caches, DisabledCachesAlwaysRunPti) {
+  JozaConfig cfg;
+  cfg.query_cache = false;
+  cfg.structure_cache = false;
+  Joza joza(RichFragments(), cfg);
+  const std::string q = "SELECT * FROM records WHERE ID=17 LIMIT 5";
+  joza.Check(q, {});
+  joza.Check(q, {});
+  EXPECT_EQ(joza.stats().pti_full_runs, 2u);
+}
+
+TEST(Caches, UnparseableQueryBypassesStructureCache) {
+  JozaConfig cfg;
+  cfg.query_cache = false;  // isolate the structure cache
+  Joza joza(RichFragments(), cfg);
+  // A dynamically-mangled query that the parser rejects still gets PTI'd.
+  const std::string q = "SELECT * FROM records WHERE ID= LIMIT";
+  joza.Check(q, {});
+  joza.Check(q, {});
+  EXPECT_EQ(joza.stats().pti_full_runs, 2u);
+  EXPECT_EQ(joza.stats().structure_cache_hits, 0u);
+}
+
+TEST(Caches, SourceUpdateInvalidates) {
+  Joza joza(RichFragments());
+  const std::string q = "SELECT * FROM records WHERE ID=17 LIMIT 5";
+  joza.Check(q, {});
+  joza.OnSourcesChanged({{"new_plugin.php", "$q = 'SELECT 1';"}});
+  auto v = joza.Check(q, {});
+  EXPECT_FALSE(v.query_cache_hit);
+  EXPECT_FALSE(v.structure_cache_hit);
+  EXPECT_EQ(joza.stats().pti_full_runs, 2u);
+}
+
+// --- Component toggles -------------------------------------------------------
+
+TEST(Toggles, NtiOnlyMissesFigure4B) {
+  JozaConfig cfg;
+  cfg.enable_pti = false;
+  Joza joza(RichFragments(), cfg);
+  auto [input, in_query] = EvasivePayload(15);
+  std::string query =
+      "SELECT * FROM records WHERE ID=" + in_query + " LIMIT 5";
+  auto v = joza.Check(query, {Get("id", input)});
+  EXPECT_FALSE(v.attack) << "NTI alone must miss the transformed payload";
+}
+
+TEST(Toggles, PtiOnlyMissesFigure4A) {
+  JozaConfig cfg;
+  cfg.enable_nti = false;
+  Joza joza(RichFragments(), cfg);
+  auto v = joza.Check("SELECT * FROM records WHERE ID=1 OR 1 = 1 LIMIT 5",
+                      {Get("id", "1 OR 1 = 1")});
+  EXPECT_FALSE(v.attack) << "PTI alone must miss the in-vocabulary payload";
+}
+
+// --- Gate integration --------------------------------------------------------
+
+TEST(Gate, ProtectsWordpressApp) {
+  auto app = webapp::MakeWordpressLikeApp(7);
+  app->AddEndpoint(
+      webapp::Endpoint{"/vuln", "id", {},
+                       "SELECT title FROM wp_posts WHERE id = ", "", false,
+                       webapp::ResponseMode::kData},
+      "wp-content/plugins/vuln.php");
+  auto joza = std::make_unique<Joza>(Joza::Install(*app));
+  app->SetQueryGate(joza->MakeGate());
+
+  // Benign request passes untouched.
+  auto ok = app->Handle(http::Request::Get("/vuln", {{"id", "3"}}));
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_NE(ok.body.find("Post 3"), std::string::npos);
+
+  // Exploit blocked with a blank page (termination policy).
+  auto blocked = app->Handle(http::Request::Get(
+      "/vuln", {{"id", "-1 UNION SELECT pass FROM wp_users"}}));
+  EXPECT_EQ(blocked.status, 500);
+  EXPECT_TRUE(blocked.body.empty());
+  EXPECT_EQ(blocked.body.find("s3cr3t_hash"), std::string::npos);
+}
+
+TEST(Gate, ErrorVirtualizationKeepsAppAlive) {
+  auto app = webapp::MakeWordpressLikeApp(7);
+  app->AddEndpoint(
+      webapp::Endpoint{"/vuln", "id", {},
+                       "SELECT title FROM wp_posts WHERE id = ", "", false,
+                       webapp::ResponseMode::kBlind},
+      "wp-content/plugins/vuln.php");
+  JozaConfig cfg;
+  cfg.recovery = RecoveryPolicy::kErrorVirtualization;
+  auto joza = std::make_unique<Joza>(Joza::Install(*app, cfg));
+  app->SetQueryGate(joza->MakeGate());
+  auto blocked = app->Handle(http::Request::Get(
+      "/vuln", {{"id", "-1 UNION SELECT pass FROM wp_users"}}));
+  // The app's own blind error page renders — not a blank termination.
+  EXPECT_EQ(blocked.status, 500);
+  EXPECT_NE(blocked.body.find("Error"), std::string::npos);
+}
+
+TEST(Gate, NoFalsePositivesOnCoreRoutes) {
+  auto app = webapp::MakeWordpressLikeApp(7);
+  auto joza = std::make_unique<Joza>(Joza::Install(*app));
+  app->SetQueryGate(joza->MakeGate());
+  const http::Request benign[] = {
+      http::Request::Get("/", {}),
+      http::Request::Get("/post", {{"id", "5"}}),
+      http::Request::Get("/search", {{"s", "Post"}}),
+      http::Request::Get("/search", {{"s", "it's a test"}}),
+      http::Request::Post("/comment", {{"body", "I love this post!"}}),
+      http::Request::Post("/comment", {{"body", "quote ' and \" chars"}}),
+  };
+  for (const auto& req : benign) {
+    auto resp = app->Handle(req);
+    EXPECT_NE(resp.status, 500) << req.path;
+    EXPECT_EQ(app->last_stats().queries_blocked, 0u) << req.path;
+  }
+}
+
+TEST(Gate, PluggablePtiBackend) {
+  Joza joza(RichFragments());
+  bool called = false;
+  joza.SetPtiBackend([&called](std::string_view,
+                               const std::vector<sql::Token>&) {
+    called = true;
+    pti::PtiResult r;
+    r.attack_detected = false;
+    return r;
+  });
+  joza.Check("SELECT * FROM records WHERE ID=1 LIMIT 5", {});
+  EXPECT_TRUE(called);
+}
+
+}  // namespace
+}  // namespace joza::core

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "core/joza.h"
+
+namespace joza::core {
+namespace {
+
+using http::Input;
+using http::InputKind;
+
+php::FragmentSet BasicFragments() {
+  php::FragmentSet set;
+  set.AddRaw("SELECT * FROM records WHERE ID=");
+  set.AddRaw(" LIMIT 5");
+  return set;
+}
+
+TEST(AttackSink, InvokedOncePerAttack) {
+  Joza joza(BasicFragments());
+  std::vector<AttackReport> reports;
+  joza.SetAttackSink([&reports](const AttackReport& r) {
+    reports.push_back(r);
+  });
+  joza.Check("SELECT * FROM records WHERE ID=5 LIMIT 5", {});
+  EXPECT_TRUE(reports.empty());
+  joza.Check("SELECT * FROM records WHERE ID=1 OR 1=1 LIMIT 5",
+             {Input{InputKind::kGet, "id", "1 OR 1=1"}});
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].detected_by, DetectedBy::kBoth);
+  EXPECT_EQ(reports[0].sequence, 1u);
+  EXPECT_NE(reports[0].query.find("OR 1=1"), std::string::npos);
+}
+
+TEST(AttackSink, CarriesPtiEvidence) {
+  Joza joza(BasicFragments());
+  std::vector<AttackReport> reports;
+  joza.SetAttackSink([&reports](const AttackReport& r) {
+    reports.push_back(r);
+  });
+  joza.Check("SELECT * FROM records WHERE ID=1 UNION SELECT username() LIMIT 5",
+             {});
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].detected_by, DetectedBy::kPti);
+  bool has_union = false;
+  for (const std::string& t : reports[0].untrusted_tokens) {
+    if (t == "UNION") has_union = true;
+  }
+  EXPECT_TRUE(has_union);
+  EXPECT_TRUE(reports[0].matched_input_name.empty());
+}
+
+TEST(AttackSink, CarriesNtiEvidence) {
+  // Rich vocabulary so PTI stays quiet and the NTI path fills the report.
+  php::FragmentSet set = BasicFragments();
+  set.AddRaw("OR");
+  set.AddRaw("=");
+  Joza joza(std::move(set));
+  std::vector<AttackReport> reports;
+  joza.SetAttackSink([&reports](const AttackReport& r) {
+    reports.push_back(r);
+  });
+  joza.Check("SELECT * FROM records WHERE ID=1 OR 1 = 1 LIMIT 5",
+             {Input{InputKind::kCookie, "track", "1 OR 1 = 1"}});
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].detected_by, DetectedBy::kNti);
+  EXPECT_EQ(reports[0].matched_input_name, "track");
+  EXPECT_EQ(reports[0].matched_input_kind, InputKind::kCookie);
+  EXPECT_GT(reports[0].matched_span.length(), 0u);
+  EXPECT_DOUBLE_EQ(reports[0].match_ratio, 0.0);
+}
+
+TEST(AttackSink, LogLineRendering) {
+  AttackReport r;
+  r.sequence = 7;
+  r.detected_by = DetectedBy::kBoth;
+  r.query = "SELECT 1 OR 1=1";
+  r.matched_input_name = "id";
+  r.matched_input_kind = InputKind::kGet;
+  r.matched_span = {9, 15};
+  r.untrusted_tokens = {"OR"};
+  std::string line = r.ToLogLine();
+  EXPECT_NE(line.find("JOZA-ATTACK #7"), std::string::npos);
+  EXPECT_NE(line.find("by=NTI+PTI"), std::string::npos);
+  EXPECT_NE(line.find("GET:id"), std::string::npos);
+  EXPECT_NE(line.find("\"OR\""), std::string::npos);
+  EXPECT_NE(line.find("span=[9,15)"), std::string::npos);
+}
+
+TEST(AttackSink, NotInvokedOnCacheHitSafeQueries) {
+  Joza joza(BasicFragments());
+  std::size_t calls = 0;
+  joza.SetAttackSink([&calls](const AttackReport&) { ++calls; });
+  const std::string q = "SELECT * FROM records WHERE ID=3 LIMIT 5";
+  joza.Check(q, {});
+  joza.Check(q, {});  // query-cache hit
+  EXPECT_EQ(calls, 0u);
+}
+
+}  // namespace
+}  // namespace joza::core

@@ -1,0 +1,331 @@
+#include "db/database.h"
+
+#include <gtest/gtest.h>
+
+namespace joza::db {
+namespace {
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE posts (id INT, title VARCHAR(255),"
+                            " views INT)")
+                    .ok());
+    ASSERT_TRUE(db_.Execute("INSERT INTO posts (id, title, views) VALUES "
+                            "(1, 'Hello World', 100), "
+                            "(2, 'Second Post', 50), "
+                            "(3, 'Drafts', 0)")
+                    .ok());
+    ASSERT_TRUE(
+        db_.Execute("CREATE TABLE users (id INT, login VARCHAR(64), "
+                    "pass VARCHAR(64), secret VARCHAR(64))")
+            .ok());
+    ASSERT_TRUE(db_.Execute("INSERT INTO users VALUES "
+                            "(1, 'admin', 'p4ss', 'topsecret'), "
+                            "(2, 'bob', 'hunter2', 'bobsecret')")
+                    .ok());
+  }
+  Database db_;
+};
+
+TEST_F(DatabaseTest, SimpleSelect) {
+  auto r = db_.Execute("SELECT title FROM posts WHERE id = 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].as_string(), "Second Post");
+}
+
+TEST_F(DatabaseTest, SelectStar) {
+  auto r = db_.Execute("SELECT * FROM posts");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->columns.size(), 3u);
+  EXPECT_EQ(r->rows.size(), 3u);
+  EXPECT_EQ(r->columns[1], "title");
+}
+
+TEST_F(DatabaseTest, WhereComparisons) {
+  auto r = db_.Execute("SELECT id FROM posts WHERE views >= 50");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+  r = db_.Execute("SELECT id FROM posts WHERE title LIKE '%post%'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 1u);
+  r = db_.Execute("SELECT id FROM posts WHERE id BETWEEN 2 AND 3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+  r = db_.Execute("SELECT id FROM posts WHERE id IN (1, 3)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+TEST_F(DatabaseTest, TautologyBypassesWhere) {
+  // The attack class: WHERE id = -1 OR 1=1 returns everything.
+  auto r = db_.Execute("SELECT * FROM users WHERE id = -1 OR 1 = 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+TEST_F(DatabaseTest, UnionExfiltratesOtherTable) {
+  // Union-based attack: pivot from posts into users.
+  auto r = db_.Execute(
+      "SELECT title FROM posts WHERE id = -1 "
+      "UNION SELECT secret FROM users");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0][0].as_string(), "topsecret");
+}
+
+TEST_F(DatabaseTest, UnionColumnCountMismatchErrors) {
+  // The probe signal used when sweeping column counts in union attacks.
+  auto r = db_.Execute("SELECT id, title FROM posts UNION SELECT 1");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("different number of columns"),
+            std::string::npos);
+}
+
+TEST_F(DatabaseTest, UnionDeduplicates) {
+  auto r = db_.Execute("SELECT 1 UNION SELECT 1 UNION SELECT 2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+  r = db_.Execute("SELECT 1 UNION ALL SELECT 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+TEST_F(DatabaseTest, OrderByAndLimit) {
+  auto r = db_.Execute("SELECT id FROM posts ORDER BY views DESC LIMIT 2");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0][0].as_int(), 1);
+  EXPECT_EQ(r->rows[1][0].as_int(), 2);
+}
+
+TEST_F(DatabaseTest, OrderByPosition) {
+  auto r = db_.Execute("SELECT id, views FROM posts ORDER BY 2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][1].as_int(), 0);
+  // ORDER BY out-of-range position errors — another classic probe channel.
+  EXPECT_FALSE(db_.Execute("SELECT id FROM posts ORDER BY 99").ok());
+}
+
+TEST_F(DatabaseTest, LimitOffset) {
+  auto r = db_.Execute("SELECT id FROM posts ORDER BY id LIMIT 1 OFFSET 1");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].as_int(), 2);
+  r = db_.Execute("SELECT id FROM posts ORDER BY id LIMIT 1, 2");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0][0].as_int(), 2);
+}
+
+TEST_F(DatabaseTest, Aggregates) {
+  auto r = db_.Execute("SELECT COUNT(*), SUM(views), MIN(views), MAX(views),"
+                       " AVG(views) FROM posts");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].as_int(), 3);
+  EXPECT_EQ(r->rows[0][1].as_int(), 150);
+  EXPECT_EQ(r->rows[0][2].as_int(), 0);
+  EXPECT_EQ(r->rows[0][3].as_int(), 100);
+  EXPECT_DOUBLE_EQ(r->rows[0][4].as_double(), 50.0);
+}
+
+TEST_F(DatabaseTest, GroupBy) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE votes (post_id INT, v INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO votes VALUES (1,1),(1,1),(2,1)").ok());
+  auto r = db_.Execute(
+      "SELECT post_id, COUNT(*) AS n FROM votes GROUP BY post_id "
+      "ORDER BY n DESC");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0][0].as_int(), 1);
+  EXPECT_EQ(r->rows[0][1].as_int(), 2);
+}
+
+TEST_F(DatabaseTest, GroupConcat) {
+  auto r = db_.Execute("SELECT GROUP_CONCAT(login) FROM users");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].as_string(), "admin,bob");
+}
+
+TEST_F(DatabaseTest, Having) {
+  auto r = db_.Execute(
+      "SELECT COUNT(*) FROM posts GROUP BY id HAVING COUNT(*) > 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->rows.empty());
+}
+
+TEST_F(DatabaseTest, Joins) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE meta (post_id INT, k VARCHAR(32),"
+                          " v VARCHAR(32))")
+                  .ok());
+  ASSERT_TRUE(
+      db_.Execute("INSERT INTO meta VALUES (1, 'color', 'red')").ok());
+  auto r = db_.Execute(
+      "SELECT p.title, m.v FROM posts p "
+      "JOIN meta m ON p.id = m.post_id");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][1].as_string(), "red");
+
+  r = db_.Execute(
+      "SELECT p.id, m.v FROM posts p "
+      "LEFT JOIN meta m ON p.id = m.post_id ORDER BY 1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 3u);
+  EXPECT_TRUE(r->rows[1][1].is_null());  // NULL-extended
+}
+
+TEST_F(DatabaseTest, Subqueries) {
+  auto r = db_.Execute(
+      "SELECT login FROM users WHERE id IN (SELECT id FROM posts WHERE "
+      "views > 60)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].as_string(), "admin");
+
+  r = db_.Execute("SELECT (SELECT MAX(views) FROM posts) + 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].as_int(), 101);
+}
+
+TEST_F(DatabaseTest, InsertUpdateDelete) {
+  auto r = db_.Execute("INSERT INTO posts VALUES (4, 'New', 1)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->affected, 1u);
+  r = db_.Execute("UPDATE posts SET views = views + 10 WHERE id = 4");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->affected, 1u);
+  auto check = db_.Execute("SELECT views FROM posts WHERE id = 4");
+  EXPECT_EQ(check->rows[0][0].as_int(), 11);
+  r = db_.Execute("DELETE FROM posts WHERE id = 4");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->affected, 1u);
+  check = db_.Execute("SELECT COUNT(*) FROM posts");
+  EXPECT_EQ(check->rows[0][0].as_int(), 3);
+}
+
+TEST_F(DatabaseTest, InsertColumnSubset) {
+  ASSERT_TRUE(db_.Execute("INSERT INTO posts (id) VALUES (9)").ok());
+  auto r = db_.Execute("SELECT title FROM posts WHERE id = 9");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->rows[0][0].is_null());
+}
+
+TEST_F(DatabaseTest, StringFunctions) {
+  auto r = db_.Execute(
+      "SELECT UPPER('abc'), LENGTH('abcd'), SUBSTRING('abcdef', 2, 3), "
+      "CONCAT('a', 'b', 1), ASCII('A'), HEX('AB'), INSTR('hello', 'LL')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& row = r->rows[0];
+  EXPECT_EQ(row[0].as_string(), "ABC");
+  EXPECT_EQ(row[1].as_int(), 4);
+  EXPECT_EQ(row[2].as_string(), "bcd");
+  EXPECT_EQ(row[3].as_string(), "ab1");
+  EXPECT_EQ(row[4].as_int(), 65);
+  EXPECT_EQ(row[5].as_string(), "4142");
+  EXPECT_EQ(row[6].as_int(), 3);
+}
+
+TEST_F(DatabaseTest, SubstringNegativePosition) {
+  auto r = db_.Execute("SELECT SUBSTRING('abcdef', -2)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].as_string(), "ef");
+}
+
+TEST_F(DatabaseTest, InfoFunctions) {
+  auto r = db_.Execute("SELECT VERSION(), DATABASE(), USER()");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r->rows[0][0].as_string().find("joza"), std::string::npos);
+  EXPECT_EQ(r->rows[0][1].as_string(), "wordpress");
+  EXPECT_NE(r->rows[0][2].as_string().find("@"), std::string::npos);
+}
+
+TEST_F(DatabaseTest, SleepAccumulatesVirtualTime) {
+  // The double-blind timing channel.
+  auto r = db_.Execute("SELECT IF(1=1, SLEEP(2), 0)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(r->virtual_time_ms, 2000.0);
+  r = db_.Execute("SELECT IF(1=2, SLEEP(2), 0)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->virtual_time_ms, 0.0);
+}
+
+TEST_F(DatabaseTest, BenchmarkVirtualTime) {
+  auto r = db_.Execute("SELECT BENCHMARK(1000000, MD5('x'))");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->virtual_time_ms, 50.0);
+}
+
+TEST_F(DatabaseTest, ConditionalCase) {
+  auto r = db_.Execute(
+      "SELECT CASE WHEN views > 60 THEN 'hot' ELSE 'cold' END FROM posts "
+      "ORDER BY id");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].as_string(), "hot");
+  EXPECT_EQ(r->rows[1][0].as_string(), "cold");
+}
+
+TEST_F(DatabaseTest, CastFunction) {
+  auto r = db_.Execute("SELECT CAST('12abc' AS SIGNED), CAST(5 AS CHAR)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].as_int(), 12);
+  EXPECT_EQ(r->rows[0][1].as_string(), "5");
+}
+
+TEST_F(DatabaseTest, ErrorBasedInjectionChannel) {
+  // EXTRACTVALUE leaks its argument through the error message.
+  auto r = db_.Execute(
+      "SELECT EXTRACTVALUE(1, CONCAT('~', (SELECT pass FROM users "
+      "WHERE login = 'admin')))");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("p4ss"), std::string::npos);
+}
+
+TEST_F(DatabaseTest, ErrorsSurfaceCleanly) {
+  EXPECT_FALSE(db_.Execute("SELECT * FROM nonexistent").ok());
+  EXPECT_FALSE(db_.Execute("SELECT nocolumn FROM posts").ok());
+  EXPECT_FALSE(db_.Execute("totally not sql").ok());
+  EXPECT_FALSE(db_.Execute("SELECT UNKNOWNFN(1)").ok());
+}
+
+TEST_F(DatabaseTest, CreateDropLifecycle) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE tmp (a INT)").ok());
+  EXPECT_TRUE(db_.HasTable("tmp"));
+  EXPECT_FALSE(db_.Execute("CREATE TABLE tmp (a INT)").ok());
+  EXPECT_TRUE(db_.Execute("CREATE TABLE IF NOT EXISTS tmp (a INT)").ok());
+  ASSERT_TRUE(db_.Execute("DROP TABLE tmp").ok());
+  EXPECT_FALSE(db_.HasTable("tmp"));
+  EXPECT_FALSE(db_.Execute("DROP TABLE tmp").ok());
+  EXPECT_TRUE(db_.Execute("DROP TABLE IF EXISTS tmp").ok());
+}
+
+TEST_F(DatabaseTest, MysqlCoercionInWhere) {
+  // WHERE title = 0 matches all non-numeric titles (MySQL coercion), the
+  // subtle behaviour several real exploits rely on.
+  auto r = db_.Execute("SELECT COUNT(*) FROM posts WHERE title = 0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].as_int(), 3);
+}
+
+TEST_F(DatabaseTest, CommentsInQueryIgnoredByEngine) {
+  auto r = db_.Execute("SELECT id FROM posts /* inline */ WHERE id = 1 -- x");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 1u);
+}
+
+TEST_F(DatabaseTest, SelectWithoutFrom) {
+  auto r = db_.Execute("SELECT 1 + 1, 'x'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].as_int(), 2);
+}
+
+TEST_F(DatabaseTest, DistinctRows) {
+  auto r = db_.Execute("SELECT DISTINCT 1 FROM posts");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace joza::db

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "attack/catalog.h"
+#include "attack/extractor.h"
+#include "core/joza.h"
+#include "db/database.h"
+
+namespace joza::db {
+namespace {
+
+class InfoSchemaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.Execute("CREATE TABLE alpha (id INT, name TEXT)");
+    db_.Execute("CREATE TABLE beta (x DOUBLE)");
+    db_.Execute("INSERT INTO alpha VALUES (1, 'a'), (2, 'b')");
+  }
+  Database db_;
+};
+
+TEST_F(InfoSchemaTest, ShowTables) {
+  auto r = db_.Execute("SHOW TABLES");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0][0].as_string(), "alpha");
+  EXPECT_EQ(r->rows[1][0].as_string(), "beta");
+}
+
+TEST_F(InfoSchemaTest, TablesVirtualTable) {
+  auto r = db_.Execute(
+      "SELECT table_name, table_rows FROM information_schema.tables "
+      "ORDER BY table_name");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0][0].as_string(), "alpha");
+  EXPECT_EQ(r->rows[0][1].as_int(), 2);
+  EXPECT_EQ(r->rows[1][1].as_int(), 0);
+}
+
+TEST_F(InfoSchemaTest, ColumnsVirtualTable) {
+  auto r = db_.Execute(
+      "SELECT column_name, data_type FROM information_schema.columns "
+      "WHERE table_name = 'alpha' ORDER BY column_name");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0][0].as_string(), "id");
+  EXPECT_EQ(r->rows[0][1].as_string(), "int");
+  EXPECT_EQ(r->rows[1][0].as_string(), "name");
+  EXPECT_EQ(r->rows[1][1].as_string(), "text");
+}
+
+TEST_F(InfoSchemaTest, ReflectsDdlChanges) {
+  db_.Execute("CREATE TABLE gamma (g INT)");
+  auto r = db_.Execute("SHOW TABLES");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 3u);
+  db_.Execute("DROP TABLE gamma");
+  r = db_.Execute("SHOW TABLES");
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+TEST_F(InfoSchemaTest, UnionPivotExfiltratesSchema) {
+  // The SQLMap schema-discovery query shape works end to end.
+  auto r = db_.Execute(
+      "SELECT name FROM alpha WHERE id = -1 "
+      "UNION SELECT GROUP_CONCAT(table_name) FROM information_schema.tables");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].as_string(), "alpha,beta");
+}
+
+TEST_F(InfoSchemaTest, VirtualTablesAreReadOnly) {
+  EXPECT_FALSE(db_.Execute("INSERT INTO information_schema.tables "
+                           "VALUES ('x', 1)")
+                   .ok());
+  EXPECT_FALSE(db_.Execute("DROP TABLE information_schema.tables").ok());
+}
+
+TEST(ExtractorSchema, EnumeratesTestbedTables) {
+  auto app = attack::MakeTestbed();
+  const attack::PluginSpec* plugin = nullptr;
+  for (const attack::PluginSpec& p : attack::PluginCatalog()) {
+    if (p.name == "Count per Day") plugin = &p;
+  }
+  ASSERT_NE(plugin, nullptr);
+  attack::Extractor ex(*app, *plugin);
+  auto tables = ex.EnumerateTables();
+  ASSERT_FALSE(tables.empty());
+  bool found_users = false;
+  for (const std::string& t : tables) {
+    if (t == "wp_users") found_users = true;
+  }
+  EXPECT_TRUE(found_users)
+      << "schema discovery must reveal the credentials table";
+}
+
+TEST(ExtractorSchema, JozaBlocksSchemaDiscovery) {
+  auto app = attack::MakeTestbed();
+  core::Joza joza = core::Joza::Install(*app);
+  app->SetQueryGate(joza.MakeGate());
+  const attack::PluginSpec* plugin = nullptr;
+  for (const attack::PluginSpec& p : attack::PluginCatalog()) {
+    if (p.name == "Count per Day") plugin = &p;
+  }
+  attack::Extractor ex(*app, *plugin);
+  EXPECT_TRUE(ex.EnumerateTables().empty());
+  app->SetQueryGate(nullptr);
+}
+
+}  // namespace
+}  // namespace joza::db

@@ -1,0 +1,116 @@
+// Prepared-statement execution and the Drupal lesson: bound parameters are
+// injection-proof, but the *prepared text* itself is not if user input can
+// shape it (CVE-2014-3704).
+#include <gtest/gtest.h>
+
+#include "core/joza.h"
+#include "db/database.h"
+#include "phpsrc/fragments.h"
+
+namespace joza::db {
+namespace {
+
+class PreparedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE users (id INT, login TEXT, "
+                            "pass TEXT)")
+                    .ok());
+    ASSERT_TRUE(db_.Execute("INSERT INTO users VALUES "
+                            "(1, 'admin', 'hash1'), (2, 'bob', 'hash2')")
+                    .ok());
+  }
+  Database db_;
+};
+
+TEST_F(PreparedTest, PositionalBinding) {
+  auto r = db_.ExecutePrepared("SELECT login FROM users WHERE id = ?",
+                               {Value(std::int64_t{2})});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].as_string(), "bob");
+}
+
+TEST_F(PreparedTest, MultiplePlaceholdersInQueryOrder) {
+  auto r = db_.ExecutePrepared(
+      "SELECT login FROM users WHERE id > ? AND id < ?",
+      {Value(std::int64_t{0}), Value(std::int64_t{2})});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].as_string(), "admin");
+}
+
+TEST_F(PreparedTest, NamedPlaceholders) {
+  auto r = db_.ExecutePrepared("SELECT login FROM users WHERE id = :uid",
+                               {Value(std::int64_t{1})});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].as_string(), "admin");
+}
+
+TEST_F(PreparedTest, PlaceholdersInInsertAndUpdate) {
+  auto r = db_.ExecutePrepared("INSERT INTO users VALUES (?, ?, ?)",
+                               {Value(std::int64_t{3}),
+                                Value(std::string("eve")),
+                                Value(std::string("hash3"))});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->affected, 1u);
+  r = db_.ExecutePrepared("UPDATE users SET pass = ? WHERE id = ?",
+                          {Value(std::string("newhash")),
+                           Value(std::int64_t{3})});
+  ASSERT_TRUE(r.ok());
+  auto check = db_.Execute("SELECT pass FROM users WHERE id = 3");
+  EXPECT_EQ(check->rows[0][0].as_string(), "newhash");
+}
+
+TEST_F(PreparedTest, ParamCountMismatchRejected) {
+  EXPECT_FALSE(db_.ExecutePrepared("SELECT ? + ?", {Value(std::int64_t{1})})
+                   .ok());
+  EXPECT_FALSE(db_.ExecutePrepared("SELECT 1", {Value(std::int64_t{1})}).ok());
+}
+
+TEST_F(PreparedTest, BoundSqlTextStaysData) {
+  // The whole point of prepared statements: an injection payload bound as
+  // a parameter is compared as a string, never parsed as SQL.
+  auto r = db_.ExecutePrepared(
+      "SELECT COUNT(*) FROM users WHERE login = ?",
+      {Value(std::string("x' OR '1'='1"))});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].as_int(), 0);
+}
+
+TEST_F(PreparedTest, UnboundPlaceholderOutsidePreparedPathErrors) {
+  EXPECT_FALSE(db_.Execute("SELECT * FROM users WHERE id = ?").ok());
+}
+
+TEST_F(PreparedTest, JozaPassesProperPreparedText) {
+  // The prepared text is application-constant: a fragment covers it fully,
+  // and the bound payload never appears in any checked query.
+  php::FragmentSet set;
+  set.AddRaw("SELECT login FROM users WHERE id = ?");
+  core::Joza joza{std::move(set)};
+  auto v = joza.Check("SELECT login FROM users WHERE id = ?", {});
+  EXPECT_FALSE(v.attack);
+}
+
+TEST_F(PreparedTest, JozaCatchesDrupalStylePlaceholderInjection) {
+  // CVE-2014-3704: user input forms the placeholder *names*, letting the
+  // attacker append SQL to the prepared text itself.
+  php::FragmentSet set;
+  set.AddRaw("SELECT login FROM users WHERE id IN (:id_");
+  set.AddRaw(")");
+  core::Joza joza{std::move(set)};
+  // name[0; UPDATE users SET pass = 'owned' -- ] style expansion:
+  const std::string malicious_prepared_text =
+      "SELECT login FROM users WHERE id IN (:id_0); "
+      "UPDATE users SET pass = 'owned' -- )";
+  auto v = joza.Check(
+      malicious_prepared_text,
+      {{http::InputKind::kPost, "name",
+        "0); UPDATE users SET pass = 'owned' -- "}});
+  EXPECT_TRUE(v.attack);
+  EXPECT_TRUE(v.pti.attack_detected)
+      << "UPDATE/SET never came from application fragments";
+}
+
+}  // namespace
+}  // namespace joza::db

@@ -1,0 +1,151 @@
+// Property-style sweeps over the database engine: the evaluator must agree
+// with directly computed ground truth on randomized data.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "db/database.h"
+#include "sqlparse/parser.h"
+#include "sqlparse/printer.h"
+#include "util/rng.h"
+
+namespace joza::db {
+namespace {
+
+class DbPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  struct Fixture {
+    Database db;
+    std::vector<std::int64_t> a, b;
+    std::vector<std::string> s;
+  };
+
+  Fixture MakeFixture(Rng& rng, std::size_t rows) {
+    Fixture f;
+    f.db.Execute("CREATE TABLE t (a INT, b INT, s TEXT)");
+    for (std::size_t i = 0; i < rows; ++i) {
+      f.a.push_back(rng.NextInRange(-20, 20));
+      f.b.push_back(rng.NextInRange(0, 9));
+      f.s.push_back(rng.NextToken(1 + rng.NextBelow(6)));
+      f.db.InsertRow("t", {Value(f.a.back()), Value(f.b.back()),
+                           Value(f.s.back())});
+    }
+    return f;
+  }
+};
+
+TEST_P(DbPropertyTest, WhereComparisonMatchesGroundTruth) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    Fixture f = MakeFixture(rng, 1 + rng.NextBelow(30));
+    const std::int64_t pivot = rng.NextInRange(-20, 20);
+    auto r = f.db.Execute("SELECT COUNT(*) FROM t WHERE a > " +
+                          std::to_string(pivot));
+    ASSERT_TRUE(r.ok());
+    const auto expected = std::count_if(
+        f.a.begin(), f.a.end(), [pivot](std::int64_t v) { return v > pivot; });
+    EXPECT_EQ(r->rows[0][0].as_int(), expected);
+  }
+}
+
+TEST_P(DbPropertyTest, AggregatesMatchGroundTruth) {
+  Rng rng(GetParam() * 7 + 1);
+  Fixture f = MakeFixture(rng, 2 + rng.NextBelow(40));
+  auto r = f.db.Execute("SELECT SUM(a), MIN(a), MAX(a), COUNT(*) FROM t");
+  ASSERT_TRUE(r.ok());
+  std::int64_t sum = 0, mn = f.a[0], mx = f.a[0];
+  for (std::int64_t v : f.a) {
+    sum += v;
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  EXPECT_EQ(r->rows[0][0].as_int(), sum);
+  EXPECT_EQ(r->rows[0][1].as_int(), mn);
+  EXPECT_EQ(r->rows[0][2].as_int(), mx);
+  EXPECT_EQ(r->rows[0][3].as_int(), static_cast<std::int64_t>(f.a.size()));
+}
+
+TEST_P(DbPropertyTest, OrderByProducesSortedOutput) {
+  Rng rng(GetParam() * 31 + 3);
+  Fixture f = MakeFixture(rng, 1 + rng.NextBelow(40));
+  auto r = f.db.Execute("SELECT a FROM t ORDER BY a");
+  ASSERT_TRUE(r.ok());
+  for (std::size_t i = 1; i < r->rows.size(); ++i) {
+    EXPECT_LE(r->rows[i - 1][0].as_int(), r->rows[i][0].as_int());
+  }
+  r = f.db.Execute("SELECT a FROM t ORDER BY a DESC");
+  ASSERT_TRUE(r.ok());
+  for (std::size_t i = 1; i < r->rows.size(); ++i) {
+    EXPECT_GE(r->rows[i - 1][0].as_int(), r->rows[i][0].as_int());
+  }
+}
+
+TEST_P(DbPropertyTest, LimitOffsetSliceInvariant) {
+  Rng rng(GetParam() * 131 + 5);
+  Fixture f = MakeFixture(rng, 5 + rng.NextBelow(30));
+  auto all = f.db.Execute("SELECT a FROM t ORDER BY a, s");
+  ASSERT_TRUE(all.ok());
+  const std::size_t n = all->rows.size();
+  const std::size_t offset = rng.NextBelow(n);
+  const std::size_t limit = 1 + rng.NextBelow(n);
+  auto sliced = f.db.Execute("SELECT a FROM t ORDER BY a, s LIMIT " +
+                             std::to_string(limit) + " OFFSET " +
+                             std::to_string(offset));
+  ASSERT_TRUE(sliced.ok());
+  const std::size_t expected = std::min(limit, n - offset);
+  ASSERT_EQ(sliced->rows.size(), expected);
+  for (std::size_t i = 0; i < expected; ++i) {
+    EXPECT_EQ(sliced->rows[i][0].as_int(), all->rows[offset + i][0].as_int());
+  }
+}
+
+TEST_P(DbPropertyTest, UnionAllCountsAdd) {
+  Rng rng(GetParam() * 733 + 11);
+  Fixture f = MakeFixture(rng, 1 + rng.NextBelow(20));
+  auto r = f.db.Execute(
+      "SELECT a FROM t WHERE b < 5 UNION ALL SELECT a FROM t WHERE b >= 5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), f.a.size());
+}
+
+TEST_P(DbPropertyTest, GroupByPartitionsRows) {
+  Rng rng(GetParam() * 997 + 13);
+  Fixture f = MakeFixture(rng, 1 + rng.NextBelow(40));
+  auto r = f.db.Execute("SELECT b, COUNT(*) FROM t GROUP BY b");
+  ASSERT_TRUE(r.ok());
+  std::int64_t total = 0;
+  for (const auto& row : r->rows) total += row[1].as_int();
+  EXPECT_EQ(total, static_cast<std::int64_t>(f.a.size()));
+}
+
+TEST_P(DbPropertyTest, ParsePrintParseExecutesIdentically) {
+  // Executing the printed form of a parsed query gives the same result.
+  Rng rng(GetParam() * 17 + 19);
+  Fixture f = MakeFixture(rng, 1 + rng.NextBelow(25));
+  const std::string queries[] = {
+      "SELECT a, b FROM t WHERE a > 0 AND b < 5 ORDER BY a, b LIMIT 7",
+      "SELECT COUNT(*), SUM(b) FROM t WHERE s LIKE 'a%'",
+      "SELECT DISTINCT b FROM t ORDER BY b",
+  };
+  for (const std::string& q : queries) {
+    auto parsed = sql::Parse(q);
+    ASSERT_TRUE(parsed.ok());
+    auto direct = f.db.Execute(q);
+    auto printed = f.db.Execute(sql::Print(parsed.value()));
+    ASSERT_TRUE(direct.ok() && printed.ok()) << q;
+    ASSERT_EQ(direct->rows.size(), printed->rows.size()) << q;
+    for (std::size_t i = 0; i < direct->rows.size(); ++i) {
+      for (std::size_t j = 0; j < direct->rows[i].size(); ++j) {
+        EXPECT_EQ(Value::OrderCompare(direct->rows[i][j], printed->rows[i][j]),
+                  0)
+            << q;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbPropertyTest,
+                         ::testing::Values(2, 4, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace joza::db

@@ -1,0 +1,76 @@
+#include "db/value.h"
+
+#include <gtest/gtest.h>
+
+namespace joza::db {
+namespace {
+
+TEST(Value, NullBasics) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.truthy());
+  EXPECT_EQ(v.as_string(), "NULL");
+  EXPECT_EQ(v.as_int(), 0);
+}
+
+TEST(Value, IntAndDouble) {
+  EXPECT_EQ(Value(std::int64_t{42}).as_int(), 42);
+  EXPECT_EQ(Value(3.5).as_double(), 3.5);
+  EXPECT_EQ(Value(3.5).as_int(), 4);  // rounds
+  EXPECT_TRUE(Value(std::int64_t{1}).truthy());
+  EXPECT_FALSE(Value(std::int64_t{0}).truthy());
+}
+
+TEST(Value, MysqlStringCoercion) {
+  EXPECT_EQ(Value(std::string("12abc")).as_int(), 12);
+  EXPECT_EQ(Value(std::string("abc")).as_int(), 0);
+  EXPECT_DOUBLE_EQ(Value(std::string(" 3.5x")).as_double(), 3.5);
+  EXPECT_TRUE(Value(std::string("1")).truthy());
+  EXPECT_FALSE(Value(std::string("abc")).truthy());  // numeric prefix 0
+  EXPECT_FALSE(Value(std::string("0")).truthy());
+}
+
+TEST(Value, CompareEqCoerces) {
+  // MySQL: '1' = 1 is true.
+  EXPECT_TRUE(Value::CompareEq(Value(std::string("1")), Value(std::int64_t{1}))
+                  .truthy());
+  // 'abc' = 0 is true (string coerces to 0) — the root of many tautologies.
+  EXPECT_TRUE(
+      Value::CompareEq(Value(std::string("abc")), Value(std::int64_t{0}))
+          .truthy());
+  EXPECT_FALSE(
+      Value::CompareEq(Value(std::int64_t{1}), Value(std::int64_t{2}))
+          .truthy());
+}
+
+TEST(Value, StringComparisonCaseInsensitive) {
+  EXPECT_TRUE(
+      Value::CompareEq(Value(std::string("Admin")), Value(std::string("admin")))
+          .truthy());
+  EXPECT_TRUE(
+      Value::CompareLt(Value(std::string("apple")), Value(std::string("Banana")))
+          .truthy());
+}
+
+TEST(Value, NullPropagatesThroughComparison) {
+  EXPECT_TRUE(Value::CompareEq(Value::Null(), Value(std::int64_t{1})).is_null());
+  EXPECT_TRUE(Value::CompareLt(Value(std::int64_t{1}), Value::Null()).is_null());
+}
+
+TEST(Value, OrderCompare) {
+  EXPECT_LT(Value::OrderCompare(Value::Null(), Value(std::int64_t{0})), 0);
+  EXPECT_EQ(Value::OrderCompare(Value::Null(), Value::Null()), 0);
+  EXPECT_LT(Value::OrderCompare(Value(std::int64_t{1}), Value(std::int64_t{2})), 0);
+  EXPECT_GT(Value::OrderCompare(Value(std::string("b")), Value(std::string("a"))), 0);
+  EXPECT_EQ(Value::OrderCompare(Value(std::int64_t{2}), Value(2.0)), 0);
+}
+
+TEST(Value, NumericPrefixParsing) {
+  EXPECT_DOUBLE_EQ(MysqlNumericPrefix("-1 OR 1=1"), -1.0);
+  EXPECT_DOUBLE_EQ(MysqlNumericPrefix("1e3"), 1000.0);
+  EXPECT_DOUBLE_EQ(MysqlNumericPrefix(""), 0.0);
+  EXPECT_DOUBLE_EQ(MysqlNumericPrefix("  7 "), 7.0);
+}
+
+}  // namespace
+}  // namespace joza::db

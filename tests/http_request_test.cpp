@@ -1,0 +1,110 @@
+#include "http/request.h"
+
+#include <gtest/gtest.h>
+
+namespace joza::http {
+namespace {
+
+TEST(Request, Builders) {
+  Request r = Request::Get("/page", {{"id", "5"}, {"q", "search term"}});
+  EXPECT_EQ(r.method, "GET");
+  EXPECT_EQ(r.path, "/page");
+  EXPECT_EQ(r.Param("id"), "5");
+  EXPECT_EQ(r.Param("q"), "search term");
+  EXPECT_TRUE(r.HasParam("id"));
+  EXPECT_FALSE(r.HasParam("missing"));
+  EXPECT_EQ(r.Param("missing"), "");
+}
+
+TEST(Request, PostParams) {
+  Request r = Request::Post("/comment", {{"body", "nice post"}});
+  EXPECT_EQ(r.method, "POST");
+  EXPECT_EQ(r.Param("body"), "nice post");
+}
+
+TEST(Request, CookiesAndHeaders) {
+  Request r = Request::Get("/", {});
+  r.WithCookie("session", "abc123").WithHeader("user-agent", "JozaBot/1.0");
+  EXPECT_EQ(r.Cookie("session"), "abc123");
+  EXPECT_EQ(r.Cookie("none"), "");
+  auto all = r.AllInputs();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].kind, InputKind::kCookie);
+  EXPECT_EQ(all[1].kind, InputKind::kHeader);
+}
+
+TEST(Request, AllInputsOrder) {
+  Request r = Request::Get("/", {{"g", "1"}});
+  r.post_params.push_back({InputKind::kPost, "p", "2"});
+  r.WithCookie("c", "3").WithHeader("h", "4");
+  auto all = r.AllInputs();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].name, "g");
+  EXPECT_EQ(all[1].name, "p");
+  EXPECT_EQ(all[2].name, "c");
+  EXPECT_EQ(all[3].name, "h");
+}
+
+TEST(ParseQueryString, DecodesPairs) {
+  auto inputs = ParseQueryString("id=5&q=a%20b&flag", InputKind::kGet);
+  ASSERT_EQ(inputs.size(), 3u);
+  EXPECT_EQ(inputs[0].name, "id");
+  EXPECT_EQ(inputs[0].value, "5");
+  EXPECT_EQ(inputs[1].value, "a b");
+  EXPECT_EQ(inputs[2].name, "flag");
+  EXPECT_EQ(inputs[2].value, "");
+}
+
+TEST(ParseQueryString, PlusAsSpace) {
+  auto inputs = ParseQueryString("q=hello+world", InputKind::kGet);
+  ASSERT_EQ(inputs.size(), 1u);
+  EXPECT_EQ(inputs[0].value, "hello world");
+}
+
+TEST(ParseQueryString, Empty) {
+  EXPECT_TRUE(ParseQueryString("", InputKind::kGet).empty());
+}
+
+TEST(ParseRawRequest, GetWithQuery) {
+  auto r = ParseRawRequest(
+      "GET /plugin.php?id=-1%20OR%201%3D1 HTTP/1.1\r\n"
+      "Host: victim.example\r\n"
+      "Cookie: wp_session=tok123; theme=dark\r\n"
+      "\r\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->method, "GET");
+  EXPECT_EQ(r->path, "/plugin.php");
+  EXPECT_EQ(r->Param("id"), "-1 OR 1=1");
+  EXPECT_EQ(r->Cookie("wp_session"), "tok123");
+  EXPECT_EQ(r->Cookie("theme"), "dark");
+  ASSERT_EQ(r->headers.size(), 1u);
+  EXPECT_EQ(r->headers[0].name, "host");
+}
+
+TEST(ParseRawRequest, PostBody) {
+  auto r = ParseRawRequest(
+      "POST /comment HTTP/1.1\r\n"
+      "Content-Type: application/x-www-form-urlencoded\r\n"
+      "\r\n"
+      "author=eve&body=x%27%20OR%201%3D1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->Param("author"), "eve");
+  EXPECT_EQ(r->Param("body"), "x' OR 1=1");
+}
+
+TEST(ParseRawRequest, BareNewlinesAccepted) {
+  auto r = ParseRawRequest("GET /x?a=1 HTTP/1.1\nHost: h\n\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->Param("a"), "1");
+}
+
+TEST(ParseRawRequest, Malformed) {
+  EXPECT_FALSE(ParseRawRequest("").ok());
+  EXPECT_FALSE(ParseRawRequest("GARBAGE").ok());
+  EXPECT_FALSE(ParseRawRequest("GET\r\n\r\n").ok());
+  EXPECT_FALSE(
+      ParseRawRequest("GET / HTTP/1.1\r\nBadHeaderNoColon\r\n\r\n").ok());
+}
+
+}  // namespace
+}  // namespace joza::http

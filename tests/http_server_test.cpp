@@ -1,0 +1,127 @@
+// Full-stack-over-sockets tests: wire bytes in, Joza verdicts out.
+#include "webapp/http_server.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/catalog.h"
+#include "core/joza.h"
+#include "util/codec.h"
+
+namespace joza::webapp {
+namespace {
+
+class HttpServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    app_ = attack::MakeTestbed();
+    server_ = std::make_unique<HttpServer>(*app_);
+    auto port = server_->Start();
+    ASSERT_TRUE(port.ok()) << port.status().ToString();
+    port_ = port.value();
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  std::unique_ptr<Application> app_;
+  std::unique_ptr<HttpServer> server_;
+  int port_ = 0;
+};
+
+TEST_F(HttpServerTest, ServesFrontPage) {
+  auto r = HttpGet(port_, "/");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->status, 200);
+  EXPECT_NE(r->body.find("Post "), std::string::npos);
+}
+
+TEST_F(HttpServerTest, UrlDecodingThroughTheWire) {
+  auto r = HttpGet(port_, "/search?s=Post%201");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 200);
+}
+
+TEST_F(HttpServerTest, NotFound) {
+  auto r = HttpGet(port_, "/missing");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 404);
+}
+
+TEST_F(HttpServerTest, MalformedRequestGets400) {
+  auto raw = FetchRaw(port_, "GARBAGE\r\n\r\n");
+  ASSERT_TRUE(raw.ok());
+  EXPECT_NE(raw->find("400"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, PostBodyReachesApplication) {
+  const std::string body = "body=hello%20from%20the%20wire";
+  auto raw = FetchRaw(
+      port_, "POST /comment HTTP/1.0\r\nHost: x\r\nContent-Type: "
+             "application/x-www-form-urlencoded\r\nContent-Length: " +
+                 std::to_string(body.size()) + "\r\n\r\n" + body);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_NE(raw->find("rows affected: 1"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, ExploitOverWireLeaksWhenUnprotected) {
+  auto r = HttpGet(port_,
+                   "/plugins/community-events?uid=-1%20or%201%3D1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r->body.find("s3cr3t_hash"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, JozaBlocksExploitOverWire) {
+  core::Joza joza = core::Joza::Install(*app_);
+  app_->SetQueryGate(joza.MakeGate());
+  auto attack = HttpGet(port_,
+                        "/plugins/community-events?uid=-1%20or%201%3D1");
+  ASSERT_TRUE(attack.ok());
+  EXPECT_EQ(attack->status, 500);
+  EXPECT_TRUE(attack->body.empty());
+  // Benign traffic still flows.
+  auto ok = HttpGet(port_, "/plugins/community-events?uid=1");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->status, 200);
+  app_->SetQueryGate(nullptr);
+}
+
+TEST_F(HttpServerTest, CookieInputsVisibleToNti) {
+  core::Joza joza = core::Joza::Install(*app_);
+  app_->SetQueryGate(joza.MakeGate());
+  // Attack delivered via cookie: the endpoint reads a GET param, so this
+  // specific cookie is inert, but NTI must still have seen it (no crash,
+  // no false block on the benign param).
+  auto raw = FetchRaw(port_,
+                      "GET /plugins/community-events?uid=1 HTTP/1.0\r\n"
+                      "Host: x\r\nCookie: tracker=-1 or 1=1\r\n\r\n");
+  ASSERT_TRUE(raw.ok());
+  EXPECT_NE(raw->find("200"), std::string::npos);
+  app_->SetQueryGate(nullptr);
+}
+
+TEST_F(HttpServerTest, VirtualTimeHeaderExposesTimingChannel) {
+  auto raw = FetchRaw(
+      port_,
+      "GET /plugins/advertiser?id=1%20and%20sleep(2) HTTP/1.0\r\n"
+      "Host: x\r\n\r\n");
+  ASSERT_TRUE(raw.ok());
+  // The double-blind plugin keeps its body constant; the simulated timing
+  // channel is surfaced in a response header for test observability.
+  EXPECT_NE(raw->find("X-Virtual-Time-Ms: 2000"), std::string::npos) << *raw;
+}
+
+TEST_F(HttpServerTest, ManySequentialConnections) {
+  for (int i = 0; i < 25; ++i) {
+    auto r = HttpGet(port_, "/post?id=" + std::to_string(i % 50 + 1));
+    ASSERT_TRUE(r.ok()) << i;
+    EXPECT_EQ(r->status, 200);
+  }
+  EXPECT_GE(server_->requests_served(), 25u);
+}
+
+TEST_F(HttpServerTest, StopIsIdempotent) {
+  server_->Stop();
+  server_->Stop();
+}
+
+}  // namespace
+}  // namespace joza::webapp

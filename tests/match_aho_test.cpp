@@ -1,0 +1,166 @@
+#include "match/aho_corasick.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace joza::match {
+namespace {
+
+using Hit = AhoCorasick::Hit;
+
+std::vector<Hit> NaiveFindAll(const std::vector<std::string>& patterns,
+                              std::string_view text) {
+  std::vector<Hit> hits;
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    const std::string& pat = patterns[p];
+    if (pat.empty()) continue;
+    std::size_t pos = text.find(pat);
+    while (pos != std::string_view::npos) {
+      hits.push_back({pos, pat.size(), static_cast<std::int32_t>(p)});
+      pos = text.find(pat, pos + 1);
+    }
+  }
+  return hits;
+}
+
+void SortHits(std::vector<Hit>& hits) {
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    return std::tie(a.begin, a.length, a.pattern_id) <
+           std::tie(b.begin, b.length, b.pattern_id);
+  });
+}
+
+TEST(AhoCorasick, BasicMatches) {
+  AhoCorasick ac;
+  ac.Add("he", 0);
+  ac.Add("she", 1);
+  ac.Add("his", 2);
+  ac.Add("hers", 3);
+  ac.Build();
+  auto hits = ac.FindAll("ushers");
+  SortHits(hits);
+  // "ushers" contains she@1, he@2, hers@2.
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].pattern_id, 1);
+  EXPECT_EQ(hits[0].begin, 1u);
+  EXPECT_EQ(hits[1].pattern_id, 0);
+  EXPECT_EQ(hits[1].begin, 2u);
+  EXPECT_EQ(hits[2].pattern_id, 3);
+  EXPECT_EQ(hits[2].begin, 2u);
+}
+
+TEST(AhoCorasick, OverlappingOccurrences) {
+  AhoCorasick ac;
+  ac.Add("aa", 7);
+  ac.Build();
+  auto hits = ac.FindAll("aaaa");
+  EXPECT_EQ(hits.size(), 3u);
+}
+
+TEST(AhoCorasick, NoMatches) {
+  AhoCorasick ac;
+  ac.Add("xyz", 0);
+  ac.Build();
+  EXPECT_TRUE(ac.FindAll("abcabc").empty());
+}
+
+TEST(AhoCorasick, EmptyPatternIgnored) {
+  AhoCorasick ac;
+  EXPECT_EQ(ac.Add("", 0), -1);
+  ac.Add("a", 1);
+  ac.Build();
+  EXPECT_EQ(ac.FindAll("aa").size(), 2u);
+}
+
+TEST(AhoCorasick, EmptyText) {
+  AhoCorasick ac;
+  ac.Add("a", 0);
+  ac.Build();
+  EXPECT_TRUE(ac.FindAll("").empty());
+}
+
+TEST(AhoCorasick, SqlFragmentScenario) {
+  // PTI's actual use: fragments from an application matched against a query.
+  AhoCorasick ac;
+  std::vector<std::string> fragments = {
+      "SELECT * FROM records WHERE ID=", " LIMIT 5", "OR", "="};
+  for (std::size_t i = 0; i < fragments.size(); ++i) {
+    ac.Add(fragments[i], static_cast<std::int32_t>(i));
+  }
+  ac.Build();
+  std::string query = "SELECT * FROM records WHERE ID=5 LIMIT 5";
+  auto hits = ac.FindAll(query);
+  // The long prefix fragment must be found at position 0.
+  bool prefix_found = false;
+  for (const auto& h : hits) {
+    if (h.pattern_id == 0 && h.begin == 0) prefix_found = true;
+    EXPECT_EQ(query.substr(h.begin, h.length),
+              fragments[static_cast<std::size_t>(h.pattern_id)]);
+  }
+  EXPECT_TRUE(prefix_found);
+}
+
+TEST(AhoCorasick, BinaryBytes) {
+  AhoCorasick ac;
+  std::string pat;
+  pat.push_back('\0');
+  pat.push_back('\xff');
+  ac.Add(pat, 0);
+  ac.Build();
+  std::string text = "x" + pat + "y" + pat;
+  EXPECT_EQ(ac.FindAll(text).size(), 2u);
+}
+
+class AhoPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: agrees with naive multi-pattern search on random inputs.
+TEST_P(AhoPropertyTest, MatchesNaiveSearch) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::string> patterns;
+    std::set<std::string> seen;
+    const std::size_t np = 1 + rng.NextBelow(12);
+    for (std::size_t i = 0; i < np; ++i) {
+      // Tiny alphabet to force overlaps and shared prefixes/suffixes.
+      std::string p;
+      std::size_t len = 1 + rng.NextBelow(5);
+      for (std::size_t j = 0; j < len; ++j) {
+        p.push_back(static_cast<char>('a' + rng.NextBelow(3)));
+      }
+      if (!seen.insert(p).second) continue;  // AC dedupes; keep sets equal
+      patterns.push_back(p);
+    }
+    AhoCorasick ac;
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+      ac.Add(patterns[i], static_cast<std::int32_t>(i));
+    }
+    ac.Build();
+    std::string text;
+    std::size_t tlen = rng.NextBelow(120);
+    for (std::size_t j = 0; j < tlen; ++j) {
+      text.push_back(static_cast<char>('a' + rng.NextBelow(3)));
+    }
+    auto got = ac.FindAll(text);
+    auto want = NaiveFindAll(patterns, text);
+    SortHits(got);
+    SortHits(want);
+    ASSERT_EQ(got.size(), want.size()) << "text=" << text;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].begin, want[i].begin);
+      EXPECT_EQ(got[i].length, want[i].length);
+      EXPECT_EQ(got[i].pattern_id, want[i].pattern_id);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AhoPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace joza::match

@@ -1,0 +1,138 @@
+#include "match/substring.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "match/levenshtein.h"
+#include "util/rng.h"
+
+namespace joza::match {
+namespace {
+
+TEST(Substring, ExactOccurrence) {
+  auto m = BestSubstringMatch("SELECT * FROM data WHERE ID=-1 OR 1=1",
+                              "-1 OR 1=1");
+  EXPECT_EQ(m.distance, 0u);
+  EXPECT_DOUBLE_EQ(m.ratio, 0.0);
+  EXPECT_EQ(m.span.length(), 9u);
+}
+
+TEST(Substring, VerbatimInputPosition) {
+  std::string q = "SELECT * FROM t WHERE name = 'alice'";
+  auto m = BestSubstringMatch(q, "alice");
+  EXPECT_EQ(m.distance, 0u);
+  EXPECT_EQ(q.substr(m.span.begin, m.span.length()), "alice");
+}
+
+TEST(Substring, ApproximateMatch) {
+  // Input transformed by magic quotes: distance equals added backslashes.
+  std::string input = "x' OR '1'='1";
+  std::string query = "SELECT * FROM t WHERE a = 'x\\' OR \\'1\\'=\\'1'";
+  auto m = BestSubstringMatch(query, input);
+  EXPECT_EQ(m.distance, 4u);
+  EXPECT_GT(m.ratio, 0.0);
+  EXPECT_LT(m.ratio, 0.5);
+}
+
+TEST(Substring, EmptyInputNeverMatches) {
+  auto m = BestSubstringMatch("SELECT 1", "");
+  EXPECT_DOUBLE_EQ(m.ratio, 1.0);
+}
+
+TEST(Substring, EmptyQuery) {
+  auto m = BestSubstringMatch("", "abc");
+  EXPECT_GE(m.distance, 3u);
+}
+
+TEST(Substring, NoSimilarityHighRatio) {
+  auto m = BestSubstringMatch("SELECT * FROM zzzz", "qqqqqqqqqq");
+  // Best possible alignment still needs many edits.
+  EXPECT_GT(m.ratio, 0.5);
+}
+
+TEST(Substring, BoundedPrunes) {
+  auto m = BestSubstringMatchBounded("SELECT * FROM zzzz", "qqqqqqqqqq", 2);
+  EXPECT_EQ(m.distance, 3u);  // reported as bound + 1
+  EXPECT_DOUBLE_EQ(m.ratio, 1.0);
+}
+
+TEST(Substring, BoundedFindsWithinBound) {
+  std::string query = "SELECT * FROM t WHERE a = 'heIlo'";
+  auto m = BestSubstringMatchBounded(query, "hello", 2);
+  EXPECT_EQ(m.distance, 1u);
+}
+
+// Property: substring distance <= full edit distance against whole query.
+TEST(SubstringProperty, NeverWorseThanGlobalDistance) {
+  Rng rng(99);
+  for (int i = 0; i < 100; ++i) {
+    std::string q = rng.NextToken(1 + rng.NextBelow(40));
+    std::string p = rng.NextToken(1 + rng.NextBelow(15));
+    auto m = BestSubstringMatch(q, p);
+    EXPECT_LE(m.distance, LevenshteinTwoRow(q, p)) << q << " / " << p;
+  }
+}
+
+// Property: the reported span really achieves the reported distance.
+TEST(SubstringProperty, SpanAchievesDistance) {
+  Rng rng(123);
+  for (int i = 0; i < 100; ++i) {
+    std::string q = rng.NextToken(1 + rng.NextBelow(40));
+    std::string p = rng.NextToken(1 + rng.NextBelow(12));
+    auto m = BestSubstringMatch(q, p);
+    std::string sub = q.substr(m.span.begin, m.span.length());
+    EXPECT_EQ(LevenshteinTwoRow(sub, p), m.distance) << q << " / " << p;
+  }
+}
+
+// Property: the reported distance is minimal over all substrings
+// (brute-force verification on short strings).
+TEST(SubstringProperty, DistanceIsMinimal) {
+  Rng rng(7);
+  for (int i = 0; i < 40; ++i) {
+    std::string q = rng.NextToken(1 + rng.NextBelow(14));
+    std::string p = rng.NextToken(1 + rng.NextBelow(8));
+    auto m = BestSubstringMatch(q, p);
+    std::size_t brute = q.size() + p.size();
+    for (std::size_t b = 0; b <= q.size(); ++b) {
+      for (std::size_t e = b; e <= q.size(); ++e) {
+        brute = std::min(
+            brute, LevenshteinTwoRow(std::string_view(q).substr(b, e - b), p));
+      }
+    }
+    EXPECT_EQ(m.distance, brute) << q << " / " << p;
+  }
+}
+
+// Property: embedding the pattern verbatim anywhere gives distance 0 with
+// the right span.
+TEST(SubstringProperty, EmbeddedPatternFound) {
+  Rng rng(55);
+  for (int i = 0; i < 100; ++i) {
+    std::string pat = rng.NextToken(1 + rng.NextBelow(10));
+    std::string pre = rng.NextToken(rng.NextBelow(20));
+    std::string post = rng.NextToken(rng.NextBelow(20));
+    std::string q = pre + pat + post;
+    auto m = BestSubstringMatch(q, pat);
+    EXPECT_EQ(m.distance, 0u);
+    EXPECT_EQ(q.substr(m.span.begin, m.span.length()), pat);
+  }
+}
+
+TEST(Substring, PaperFigure2CExample) {
+  // Part C of Figure 2: escaped input inside a comment block drives the
+  // difference ratio above the threshold.
+  std::string input = "-1 OR 1=1/*'''''*/";
+  // Magic quotes escape each quote; the query sees backslashes added.
+  std::string query =
+      "SELECT * FROM data WHERE ID=-1 OR 1=1/*\\'\\'\\'\\'\\'*/";
+  auto m = BestSubstringMatch(query, input);
+  EXPECT_EQ(m.distance, 5u);  // five added backslashes
+  // diff ratio ~= 5/23; with enough quotes an attacker can push this over
+  // any fixed threshold.
+  EXPECT_GT(m.ratio, 0.20);
+}
+
+}  // namespace
+}  // namespace joza::match

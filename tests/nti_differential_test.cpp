@@ -1,0 +1,111 @@
+// Differential testing of NTI's optimized matcher against a brute-force
+// reference on small random instances: the optimizations (exact fast path,
+// bounded DP with pruning) must never change the verdict.
+#include <gtest/gtest.h>
+
+#include "match/levenshtein.h"
+#include "nti/nti.h"
+#include "sqlparse/lexer.h"
+#include "util/rng.h"
+
+namespace joza::nti {
+namespace {
+
+// Reference: try every substring, keep the best ratio.
+struct RefMatch {
+  double ratio = 1.0;
+  ByteSpan span;
+};
+
+RefMatch BruteForceBest(std::string_view query, std::string_view input) {
+  RefMatch best;
+  std::size_t best_dist = query.size() + input.size();
+  for (std::size_t b = 0; b <= query.size(); ++b) {
+    for (std::size_t e = b; e <= query.size(); ++e) {
+      std::size_t d = match::LevenshteinTwoRow(query.substr(b, e - b), input);
+      if (d < best_dist || (d == best_dist && e - b > best.span.length())) {
+        best_dist = d;
+        best.span = {b, e};
+      }
+    }
+  }
+  if (best.span.length() > 0) {
+    best.ratio = static_cast<double>(best_dist) /
+                 static_cast<double>(best.span.length());
+  }
+  return best;
+}
+
+// Reference NTI verdict built directly from the definition.
+bool ReferenceVerdict(std::string_view query,
+                      const std::vector<http::Input>& inputs,
+                      const NtiConfig& cfg) {
+  const auto tokens = sql::Lex(query);
+  for (const http::Input& input : inputs) {
+    if (input.value.size() < cfg.min_input_length) continue;
+    if (static_cast<double>(input.value.size()) >
+        static_cast<double>(query.size()) * (1.0 + cfg.threshold)) {
+      continue;
+    }
+    RefMatch m = BruteForceBest(query, input.value);
+    if (m.ratio > cfg.threshold) continue;
+    for (const auto& t : tokens) {
+      if (t.IsCritical() && m.span.contains(t.span)) return true;
+    }
+  }
+  return false;
+}
+
+class NtiDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NtiDifferentialTest, OptimizedMatchesBruteForce) {
+  Rng rng(GetParam());
+  NtiConfig cfg;  // defaults: fast path + bounded DP on
+  NtiAnalyzer optimized(cfg);
+
+  static const char* kQueryTemplates[] = {
+      "SELECT a FROM t WHERE x = ",
+      "SELECT a FROM t WHERE s = 'v' AND x = ",
+      "UPDATE t SET a = 1 WHERE k = ",
+  };
+  static const char* kPayloads[] = {
+      "1 OR 1=1", "9", "abc", "1 UNION SELECT x", "zz' OR 'a'='a",
+  };
+
+  int verdict_diffs = 0;
+  for (int i = 0; i < 120; ++i) {
+    std::string payload;
+    if (rng.NextBool(0.5)) {
+      payload = kPayloads[rng.NextBelow(std::size(kPayloads))];
+      // Random light mutation: insert a char, as a transformation would.
+      if (rng.NextBool(0.5) && !payload.empty()) {
+        payload.insert(rng.NextBelow(payload.size()), 1,
+                       static_cast<char>('a' + rng.NextBelow(26)));
+      }
+    } else {
+      payload = rng.NextToken(1 + rng.NextBelow(10));
+    }
+    std::string query =
+        std::string(kQueryTemplates[rng.NextBelow(std::size(kQueryTemplates))]);
+    // The query sees a (possibly different) variant of the payload.
+    std::string in_query = payload;
+    if (rng.NextBool(0.3) && !in_query.empty()) {
+      in_query.erase(rng.NextBelow(in_query.size()), 1);
+    }
+    query += in_query;
+
+    std::vector<http::Input> inputs = {
+        {http::InputKind::kGet, "p", payload}};
+    const bool opt = optimized.Analyze(query, inputs).attack_detected;
+    const bool ref = ReferenceVerdict(query, inputs, cfg);
+    if (opt != ref) ++verdict_diffs;
+    EXPECT_EQ(opt, ref) << "query: " << query << "  input: " << payload;
+  }
+  EXPECT_EQ(verdict_diffs, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NtiDifferentialTest,
+                         ::testing::Values(10, 20, 30, 40));
+
+}  // namespace
+}  // namespace joza::nti

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "phpsrc/fragments.h"
+#include "phpsrc/php_lexer.h"
+
+namespace joza::php {
+namespace {
+
+TEST(PhpLexer, SingleQuotedLiteral) {
+  auto lits = ExtractStringLiterals("<?php $q = 'SELECT * FROM t';");
+  ASSERT_EQ(lits.size(), 1u);
+  EXPECT_EQ(lits[0].value, "SELECT * FROM t");
+  EXPECT_FALSE(lits[0].interpolated);
+}
+
+TEST(PhpLexer, SingleQuotedEscapes) {
+  auto lits = ExtractStringLiterals(R"($x = 'it\'s a \\ test';)");
+  ASSERT_EQ(lits.size(), 1u);
+  EXPECT_EQ(lits[0].value, "it's a \\ test");
+}
+
+TEST(PhpLexer, DoubleQuotedEscapes) {
+  auto lits = ExtractStringLiterals(R"($x = "line\n\ttab \"q\"";)");
+  ASSERT_EQ(lits.size(), 1u);
+  EXPECT_EQ(lits[0].value, "line\n\ttab \"q\"");
+}
+
+TEST(PhpLexer, InterpolationSplitsPieces) {
+  // The paper's running example from Section IV-A.
+  auto lits = ExtractStringLiterals(
+      R"($query = "SELECT * from users where id = $id and password=$password";)");
+  ASSERT_EQ(lits.size(), 1u);
+  EXPECT_TRUE(lits[0].interpolated);
+  ASSERT_EQ(lits[0].pieces.size(), 3u);
+  EXPECT_EQ(lits[0].pieces[0], "SELECT * from users where id = ");
+  EXPECT_EQ(lits[0].pieces[1], " and password=");
+  EXPECT_EQ(lits[0].pieces[2], "");
+}
+
+TEST(PhpLexer, BraceInterpolation) {
+  auto lits =
+      ExtractStringLiterals(R"($q = "WHERE id = {$row['id']} LIMIT 5";)");
+  ASSERT_EQ(lits.size(), 1u);
+  ASSERT_EQ(lits[0].pieces.size(), 2u);
+  EXPECT_EQ(lits[0].pieces[0], "WHERE id = ");
+  EXPECT_EQ(lits[0].pieces[1], " LIMIT 5");
+}
+
+TEST(PhpLexer, ArrayIndexInterpolation) {
+  auto lits = ExtractStringLiterals(R"($q = "a $x[3] b";)");
+  ASSERT_EQ(lits.size(), 1u);
+  ASSERT_EQ(lits[0].pieces.size(), 2u);
+  EXPECT_EQ(lits[0].pieces[0], "a ");
+  EXPECT_EQ(lits[0].pieces[1], " b");
+}
+
+TEST(PhpLexer, ObjectMemberInterpolation) {
+  auto lits = ExtractStringLiterals(R"($q = "x $obj->id y";)");
+  ASSERT_EQ(lits.size(), 1u);
+  ASSERT_EQ(lits[0].pieces.size(), 2u);
+  EXPECT_EQ(lits[0].pieces[1], " y");
+}
+
+TEST(PhpLexer, EscapedDollarNotInterpolated) {
+  auto lits = ExtractStringLiterals(R"($q = "costs \$5";)");
+  ASSERT_EQ(lits.size(), 1u);
+  EXPECT_FALSE(lits[0].interpolated);
+  EXPECT_EQ(lits[0].value, "costs $5");
+}
+
+TEST(PhpLexer, CommentsNotExtracted) {
+  auto lits = ExtractStringLiterals(
+      "// 'not this'\n"
+      "# \"nor this\"\n"
+      "/* 'not' \"these\" */\n"
+      "$x = 'only this';");
+  ASSERT_EQ(lits.size(), 1u);
+  EXPECT_EQ(lits[0].value, "only this");
+}
+
+TEST(PhpLexer, MultipleLiteralsAndLines) {
+  auto lits = ExtractStringLiterals("$a='one';\n$b='two';\n\n$c='three';");
+  ASSERT_EQ(lits.size(), 3u);
+  EXPECT_EQ(lits[0].line, 1u);
+  EXPECT_EQ(lits[1].line, 2u);
+  EXPECT_EQ(lits[2].line, 4u);
+}
+
+TEST(PhpLexer, Heredoc) {
+  auto lits = ExtractStringLiterals(
+      "$q = <<<SQL\nSELECT * FROM t WHERE id = $id\nSQL;\n");
+  ASSERT_EQ(lits.size(), 1u);
+  EXPECT_TRUE(lits[0].interpolated);
+  EXPECT_EQ(lits[0].pieces[0], "SELECT * FROM t WHERE id = ");
+}
+
+TEST(PhpLexer, NowdocNoInterpolation) {
+  auto lits = ExtractStringLiterals(
+      "$q = <<<'SQL'\nSELECT $notvar FROM t\nSQL;\n");
+  ASSERT_EQ(lits.size(), 1u);
+  EXPECT_FALSE(lits[0].interpolated);
+  EXPECT_EQ(lits[0].pieces[0], "SELECT $notvar FROM t\n");
+}
+
+TEST(PhpLexer, UnterminatedStringDropped) {
+  auto lits = ExtractStringLiterals("$x = 'oops");
+  EXPECT_TRUE(lits.empty());
+}
+
+TEST(Placeholders, SprintfSplit) {
+  auto parts = SplitAtPlaceholders("SELECT * FROM t WHERE a = %s AND b = %d");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "SELECT * FROM t WHERE a = ");
+  EXPECT_EQ(parts[1], " AND b = ");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Placeholders, PositionalAndPrecision) {
+  auto parts = SplitAtPlaceholders("a %1$s b %.2f c");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a ");
+  EXPECT_EQ(parts[1], " b ");
+  EXPECT_EQ(parts[2], " c");
+}
+
+TEST(Placeholders, DoublePercentLiteral) {
+  auto parts = SplitAtPlaceholders("100%% sure");
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "100% sure");
+}
+
+TEST(Placeholders, StrayPercentKept) {
+  auto parts = SplitAtPlaceholders("50% off");
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "50% off");
+}
+
+TEST(FragmentSet, FiltersNonSqlFragments) {
+  FragmentSet set;
+  EXPECT_TRUE(set.AddRaw("SELECT * FROM t WHERE id ="));
+  EXPECT_FALSE(set.AddRaw("hello world"));     // no SQL token
+  EXPECT_FALSE(set.AddRaw("wp_posts"));        // bare identifier
+  EXPECT_TRUE(set.AddRaw(" LIMIT 5"));
+  EXPECT_TRUE(set.AddRaw("OR"));
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(FragmentSet, Dedupes) {
+  FragmentSet set;
+  EXPECT_TRUE(set.AddRaw("SELECT"));
+  EXPECT_FALSE(set.AddRaw("SELECT"));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(FragmentSet, CaseSensitiveVocabulary) {
+  // PTI matching is byte-exact; "select" and "SELECT" are distinct
+  // fragments (this is why Taintless case-matches attack tokens).
+  FragmentSet set;
+  EXPECT_TRUE(set.AddRaw("SELECT"));
+  EXPECT_TRUE(set.AddRaw("select"));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.Contains("SELECT"));
+  EXPECT_TRUE(set.Contains("select"));
+  EXPECT_FALSE(set.Contains("SeLeCt"));
+}
+
+TEST(FragmentSet, FromSourcesEndToEnd) {
+  // The paper's Section IV-A worked example: interpolated query string
+  // yields exactly the SQL-bearing constant pieces.
+  std::vector<SourceFile> files = {
+      {"plugin.php",
+       R"(<?php
+$postid = $_GET['id'];
+$query = "SELECT * FROM records WHERE ID=$postid LIMIT 5";
+$result = mysql_query($query);
+)"}};
+  auto set = FragmentSet::FromSources(files);
+  EXPECT_TRUE(set.Contains("SELECT * FROM records WHERE ID="));
+  EXPECT_TRUE(set.Contains(" LIMIT 5"));
+  // 'id' has no SQL token and must have been filtered.
+  EXPECT_FALSE(set.Contains("id"));
+}
+
+TEST(FragmentSet, RecordsProvenance) {
+  std::vector<SourceFile> files = {{"wp-content/x.php", "$q='SELECT 1';"}};
+  auto set = FragmentSet::FromSources(files);
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.fragments()[0].source_path, "wp-content/x.php");
+  EXPECT_EQ(set.fragments()[0].line, 1u);
+}
+
+}  // namespace
+}  // namespace joza::php

@@ -1,0 +1,205 @@
+#include "pti/pti.h"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+
+namespace joza::pti {
+namespace {
+
+php::FragmentSet MakeSet(std::initializer_list<const char*> fragments) {
+  php::FragmentSet set;
+  for (const char* f : fragments) set.AddRaw(f);
+  return set;
+}
+
+// Fragment set for the paper's Section III-B example program.
+php::FragmentSet PaperFragments() {
+  return MakeSet({"SELECT * FROM records WHERE ID=", " LIMIT 5"});
+}
+
+// --- Figure 3 of the paper ---------------------------------------------------
+
+TEST(Pti, Figure3A_BenignQuerySafe) {
+  PtiAnalyzer pti(PaperFragments());
+  auto r = pti.Analyze("SELECT * FROM records WHERE ID=5 LIMIT 5");
+  EXPECT_FALSE(r.attack_detected)
+      << "every critical token comes from a fragment";
+}
+
+TEST(Pti, Figure3B_UnionAttackDetected) {
+  PtiAnalyzer pti(PaperFragments());
+  auto r = pti.Analyze(
+      "SELECT * FROM records WHERE ID=-1 UNION SELECT username() LIMIT 5");
+  EXPECT_TRUE(r.attack_detected);
+  // UNION, the inner SELECT and username() are untrusted.
+  bool union_untrusted = false, fn_untrusted = false;
+  int selects_untrusted = 0;
+  for (const auto& t : r.untrusted_critical_tokens) {
+    if (EqualsIgnoreCase(t.text, "UNION")) union_untrusted = true;
+    if (EqualsIgnoreCase(t.text, "username")) fn_untrusted = true;
+    if (EqualsIgnoreCase(t.text, "SELECT")) ++selects_untrusted;
+  }
+  EXPECT_TRUE(union_untrusted);
+  EXPECT_TRUE(fn_untrusted);
+  EXPECT_EQ(selects_untrusted, 1) << "only the injected SELECT is untrusted";
+}
+
+TEST(Pti, Figure3C_RichVocabularyMissesTautology) {
+  // Part C: if the application itself contains OR and =, the tautology's
+  // critical tokens are all trusted — PTI misses the attack.
+  auto set = PaperFragments();
+  set.AddRaw("OR");
+  set.AddRaw("=");
+  PtiAnalyzer pti(std::move(set));
+  auto r = pti.Analyze("SELECT * FROM records WHERE ID=1 OR 1 = 1 LIMIT 5");
+  EXPECT_FALSE(r.attack_detected)
+      << "the paper's PTI weakness: application-dependent attack surface";
+}
+
+// --- Core semantics ----------------------------------------------------------
+
+TEST(Pti, CriticalTokenMustBeInsideSingleFragment) {
+  // "O" and "R" fragments must not combine into a trusted OR.
+  auto set = MakeSet({"SELECT * FROM t WHERE a=", "O) (SELECT", "R LIMIT"});
+  // Those composite fragments contain SQL tokens so they are retained; now
+  // craft a query where OR spans a fragment boundary.
+  PtiAnalyzer pti(std::move(set));
+  auto r = pti.Analyze("SELECT * FROM t WHERE a=1 OR 1");
+  EXPECT_TRUE(r.attack_detected);
+}
+
+TEST(Pti, CommentsMustComeWholeFromOneFragment) {
+  auto set = MakeSet({"SELECT * FROM t WHERE a=", "/* safe", "block */"});
+  PtiAnalyzer pti(std::move(set));
+  // The comment is assembled from two fragments -> untrusted.
+  auto r = pti.Analyze("SELECT * FROM t WHERE a=1 /* safe block */");
+  EXPECT_TRUE(r.attack_detected);
+  bool comment_flagged = false;
+  for (const auto& t : r.untrusted_critical_tokens) {
+    if (t.kind == sql::TokenKind::kComment) comment_flagged = true;
+  }
+  EXPECT_TRUE(comment_flagged);
+}
+
+TEST(Pti, WholeCommentFragmentTrusted) {
+  auto set = MakeSet({"SELECT * FROM t WHERE a=", "/* cache hint */"});
+  PtiAnalyzer pti(std::move(set));
+  auto r = pti.Analyze("SELECT * FROM t WHERE a=1 /* cache hint */");
+  EXPECT_FALSE(r.attack_detected);
+}
+
+TEST(Pti, CaseSensitiveMatching) {
+  // Fragments are matched byte-exactly: "select" != "SELECT".
+  auto set = MakeSet({"SELECT * FROM t WHERE a="});
+  PtiAnalyzer pti(std::move(set));
+  auto r = pti.Analyze("select * from t where a=1");
+  EXPECT_TRUE(r.attack_detected);
+}
+
+TEST(Pti, InputIndependenceSecondOrder) {
+  // Second-order attack: the payload arrives via the database, not HTTP.
+  // PTI doesn't care where the query text came from — only whether its
+  // critical tokens originate from program fragments.
+  PtiAnalyzer pti(PaperFragments());
+  std::string cached_payload = "-1 UNION SELECT pass FROM users";
+  auto r = pti.Analyze("SELECT * FROM records WHERE ID=" + cached_payload +
+                       " LIMIT 5");
+  EXPECT_TRUE(r.attack_detected);
+}
+
+TEST(Pti, QueryWithNoCriticalTokensSafe) {
+  PtiAnalyzer pti(MakeSet({"SELECT"}));
+  auto r = pti.Analyze("foo bar 42");
+  EXPECT_FALSE(r.attack_detected);
+}
+
+TEST(Pti, EmptyFragmentSetFlagsEverything) {
+  PtiAnalyzer pti{php::FragmentSet{}};
+  auto r = pti.Analyze("SELECT 1");
+  EXPECT_TRUE(r.attack_detected);
+}
+
+TEST(Pti, NaiveAndAhoAgree) {
+  auto make_set = [] {
+    return MakeSet({"SELECT * FROM records WHERE ID=", " LIMIT 5", "OR",
+                    " ORDER BY id DESC", "GROUP BY"});
+  };
+  PtiConfig aho;
+  aho.use_aho_corasick = true;
+  PtiConfig naive;
+  naive.use_aho_corasick = false;
+  PtiAnalyzer a(make_set(), aho);
+  PtiAnalyzer b(make_set(), naive);
+  const char* queries[] = {
+      "SELECT * FROM records WHERE ID=5 LIMIT 5",
+      "SELECT * FROM records WHERE ID=-1 UNION SELECT 1 LIMIT 5",
+      "SELECT * FROM records WHERE ID=1 OR 2 LIMIT 5",
+      "DROP TABLE users",
+      "SELECT * FROM records WHERE ID=3 ORDER BY id DESC",
+  };
+  for (const char* q : queries) {
+    EXPECT_EQ(a.Analyze(q).attack_detected, b.Analyze(q).attack_detected)
+        << q;
+  }
+}
+
+TEST(Pti, NaiveParseFirstEarlyExit) {
+  // With parse-first, a benign query stops scanning once all critical
+  // tokens are trusted; an attack query scans the full set.
+  php::FragmentSet set;
+  set.AddRaw("SELECT * FROM records WHERE ID=");  // covers the benign query
+  for (int i = 0; i < 50; ++i) {
+    set.AddRaw("SELECT something_" + std::to_string(i) + " FROM");
+  }
+  PtiConfig cfg;
+  cfg.use_aho_corasick = false;
+  cfg.parse_first = true;
+  cfg.mru_size = 0;
+  PtiAnalyzer pti(std::move(set), cfg);
+  auto benign = pti.Analyze("SELECT * FROM records WHERE ID=5");
+  auto attack = pti.Analyze("SELECT * FROM records WHERE ID=5 OR 1=1");
+  EXPECT_FALSE(benign.attack_detected);
+  EXPECT_TRUE(attack.attack_detected);
+  EXPECT_LT(benign.fragments_scanned, attack.fragments_scanned);
+  EXPECT_EQ(attack.fragments_scanned, 51u);
+}
+
+TEST(Pti, MruMovesHotFragmentsForward) {
+  php::FragmentSet set;
+  for (int i = 0; i < 40; ++i) {
+    set.AddRaw("SELECT col_" + std::to_string(i) + " FROM table_x WHERE");
+  }
+  set.AddRaw("SELECT * FROM hot_table WHERE id=");  // index 40, scanned last
+  PtiConfig cfg;
+  cfg.use_aho_corasick = false;
+  cfg.parse_first = true;
+  cfg.mru_size = 8;
+  PtiAnalyzer pti(std::move(set), cfg);
+  auto first = pti.Analyze("SELECT * FROM hot_table WHERE id=1");
+  auto second = pti.Analyze("SELECT * FROM hot_table WHERE id=2");
+  EXPECT_FALSE(first.attack_detected);
+  EXPECT_FALSE(second.attack_detected);
+  EXPECT_GT(first.fragments_scanned, second.fragments_scanned)
+      << "the second identical-workload query must hit the MRU front";
+  EXPECT_EQ(second.fragments_scanned, 1u);
+}
+
+TEST(Pti, AddFragmentsRebuildIndex) {
+  PtiAnalyzer pti(MakeSet({"SELECT a FROM t"}));
+  auto r = pti.Analyze("SELECT a FROM t WHERE b = 1");
+  EXPECT_TRUE(r.attack_detected);  // WHERE/= not yet trusted
+  pti.AddFragments({{"plugin2.php", "$q = \" WHERE b = \";\n"}});
+  r = pti.Analyze("SELECT a FROM t WHERE b = 1");
+  EXPECT_FALSE(r.attack_detected);
+}
+
+TEST(Pti, PositiveSpansReported) {
+  PtiAnalyzer pti(PaperFragments());
+  auto r = pti.Analyze("SELECT * FROM records WHERE ID=5 LIMIT 5");
+  EXPECT_GE(r.positive_spans.size(), 2u);
+  EXPECT_GE(r.hits, 2u);
+}
+
+}  // namespace
+}  // namespace joza::pti

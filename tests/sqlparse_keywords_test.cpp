@@ -1,0 +1,57 @@
+#include "sqlparse/keywords.h"
+
+#include <gtest/gtest.h>
+
+namespace joza::sql {
+namespace {
+
+TEST(Keywords, CoreKeywordsRecognized) {
+  for (const char* kw : {"SELECT", "union", "Or", "AND", "WHERE", "from",
+                         "LIMIT", "order", "BY", "insert", "VALUES"}) {
+    EXPECT_TRUE(IsKeyword(kw)) << kw;
+  }
+}
+
+TEST(Keywords, NonKeywordsRejected) {
+  for (const char* w : {"users", "id", "wp_posts", "", "SELECTX", "uni on"}) {
+    EXPECT_FALSE(IsKeyword(w)) << w;
+  }
+}
+
+TEST(Keywords, BuiltinFunctionsRecognized) {
+  for (const char* f : {"version", "CHAR", "concat", "SLEEP", "count",
+                        "group_concat", "md5", "benchmark"}) {
+    EXPECT_TRUE(IsBuiltinFunction(f)) << f;
+  }
+}
+
+TEST(Keywords, NonFunctionsRejected) {
+  for (const char* f : {"my_func", "tbl", "", "versions"}) {
+    EXPECT_FALSE(IsBuiltinFunction(f)) << f;
+  }
+}
+
+// The binary search requires sorted tables; probe boundaries.
+TEST(Keywords, SortedTableBoundaries) {
+  EXPECT_TRUE(IsKeyword("ALL"));    // first
+  EXPECT_TRUE(IsKeyword("XOR"));    // last
+  EXPECT_TRUE(IsKeyword("AUTO_INCREMENT"));
+  EXPECT_TRUE(IsBuiltinFunction("ABS"));      // first
+  EXPECT_TRUE(IsBuiltinFunction("VERSION"));  // last
+}
+
+TEST(ContainsSqlToken, FragmentFiltering) {
+  // Fragments retained by PTI must contain at least one critical token.
+  EXPECT_TRUE(ContainsSqlToken("SELECT * FROM records WHERE ID="));
+  EXPECT_TRUE(ContainsSqlToken(" LIMIT 5"));
+  EXPECT_TRUE(ContainsSqlToken("OR"));
+  EXPECT_TRUE(ContainsSqlToken("="));
+  EXPECT_TRUE(ContainsSqlToken("-- comment"));
+  EXPECT_FALSE(ContainsSqlToken("id"));          // bare identifier
+  EXPECT_FALSE(ContainsSqlToken("hello world"));
+  EXPECT_FALSE(ContainsSqlToken("12345"));
+  EXPECT_FALSE(ContainsSqlToken(""));
+}
+
+}  // namespace
+}  // namespace joza::sql

@@ -1,0 +1,174 @@
+#include "sqlparse/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace joza::sql {
+namespace {
+
+std::vector<std::string> Texts(const std::vector<Token>& ts) {
+  std::vector<std::string> out;
+  for (const auto& t : ts) out.emplace_back(t.text);
+  return out;
+}
+
+TEST(Lexer, SimpleSelect) {
+  auto ts = Lex("SELECT * FROM records WHERE ID=5");
+  auto texts = Texts(ts);
+  std::vector<std::string> expected = {"SELECT", "*", "FROM", "records",
+                                       "WHERE",  "ID", "=",   "5"};
+  EXPECT_EQ(texts, expected);
+  EXPECT_EQ(ts[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ(ts[1].kind, TokenKind::kOperator);
+  EXPECT_EQ(ts[3].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(ts[7].kind, TokenKind::kNumber);
+}
+
+TEST(Lexer, SpansAreByteAccurate) {
+  std::string q = "SELECT id FROM t";
+  auto ts = Lex(q);
+  for (const auto& t : ts) {
+    EXPECT_EQ(q.substr(t.span.begin, t.span.length()), t.text);
+  }
+}
+
+TEST(Lexer, KeywordsAreCaseInsensitive) {
+  auto ts = Lex("select UnIoN oR");
+  ASSERT_EQ(ts.size(), 3u);
+  for (const auto& t : ts) EXPECT_EQ(t.kind, TokenKind::kKeyword);
+}
+
+TEST(Lexer, StringLiteralsIncludeQuotes) {
+  auto ts = Lex("SELECT 'a b c' FROM t");
+  ASSERT_GE(ts.size(), 2u);
+  EXPECT_EQ(ts[1].kind, TokenKind::kString);
+  EXPECT_EQ(ts[1].text, "'a b c'");
+}
+
+TEST(Lexer, StringEscapes) {
+  // Backslash escape keeps the string one token.
+  auto ts = Lex(R"(SELECT 'it\'s ok')");
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts[1].kind, TokenKind::kString);
+  // Doubled-quote escape.
+  ts = Lex("SELECT 'it''s ok'");
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts[1].kind, TokenKind::kString);
+}
+
+TEST(Lexer, UnterminatedStringIsError) {
+  auto ts = Lex("SELECT 'oops");
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts[1].kind, TokenKind::kError);
+}
+
+TEST(Lexer, CommentsAreSingleTokens) {
+  auto ts = Lex("SELECT 1 -- trailing comment");
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts[2].kind, TokenKind::kComment);
+  EXPECT_EQ(ts[2].text, "-- trailing comment");
+
+  ts = Lex("SELECT /* block ''' quotes */ 1");
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts[1].kind, TokenKind::kComment);
+
+  ts = Lex("SELECT 1 # hash comment");
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts[2].kind, TokenKind::kComment);
+}
+
+TEST(Lexer, CommentIsCritical) {
+  auto ts = Lex("SELECT 1 /* x */");
+  EXPECT_TRUE(ts[2].IsCritical());
+}
+
+TEST(Lexer, FunctionsRequireCallParens) {
+  auto ts = Lex("SELECT version(), version FROM t");
+  EXPECT_EQ(ts[1].kind, TokenKind::kFunction);  // version(
+  // bare "version" is just an identifier
+  bool found_ident = false;
+  for (const auto& t : ts) {
+    if (t.text == "version" && t.kind == TokenKind::kIdentifier) {
+      found_ident = true;
+    }
+  }
+  EXPECT_TRUE(found_ident);
+}
+
+TEST(Lexer, FunctionNameWithSpaceBeforeParen) {
+  auto ts = Lex("SELECT count (1)");
+  EXPECT_EQ(ts[1].kind, TokenKind::kFunction);
+}
+
+TEST(Lexer, Operators) {
+  auto ts = Lex("a<=b<>c!=d>=e||f");
+  std::vector<TokenKind> kinds;
+  for (const auto& t : ts) kinds.push_back(t.kind);
+  std::vector<TokenKind> expected = {
+      TokenKind::kIdentifier, TokenKind::kOperator, TokenKind::kIdentifier,
+      TokenKind::kOperator,   TokenKind::kIdentifier, TokenKind::kOperator,
+      TokenKind::kIdentifier, TokenKind::kOperator, TokenKind::kIdentifier,
+      TokenKind::kOperator,   TokenKind::kIdentifier};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(Lexer, NumbersIncludingHexAndFloat) {
+  auto ts = Lex("SELECT 12, 3.14, 0x1F, 1e5");
+  int numbers = 0;
+  for (const auto& t : ts) {
+    if (t.kind == TokenKind::kNumber) ++numbers;
+  }
+  EXPECT_EQ(numbers, 4);
+}
+
+TEST(Lexer, Placeholders) {
+  auto ts = Lex("SELECT * FROM t WHERE a = ? AND b = :name");
+  int ph = 0;
+  for (const auto& t : ts) {
+    if (t.kind == TokenKind::kPlaceholder) ++ph;
+  }
+  EXPECT_EQ(ph, 2);
+}
+
+TEST(Lexer, BacktickIdentifiers) {
+  auto ts = Lex("SELECT `weird name` FROM `t`");
+  EXPECT_EQ(ts[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(ts[1].text, "`weird name`");
+}
+
+TEST(Lexer, CriticalTokenClassification) {
+  auto ts = Lex("SELECT * FROM data WHERE ID=1 OR TRUE -- c");
+  auto crit = CriticalTokens(ts);
+  std::vector<std::string> texts = Texts(crit);
+  std::vector<std::string> expected = {"SELECT", "*",    "FROM",
+                                       "WHERE",  "=",    "OR",
+                                       "TRUE",   "-- c"};
+  EXPECT_EQ(texts, expected);
+}
+
+TEST(Lexer, DataTokensAreNotCritical) {
+  auto ts = Lex("SELECT name FROM users WHERE id = 42 AND bio = 'hi'");
+  for (const auto& t : ts) {
+    if (t.kind == TokenKind::kIdentifier || t.kind == TokenKind::kNumber ||
+        t.kind == TokenKind::kString) {
+      EXPECT_FALSE(t.IsCritical()) << t.text;
+    }
+  }
+}
+
+TEST(Lexer, SemicolonIsCritical) {
+  auto ts = Lex("SELECT 1; DROP TABLE users");
+  bool semi_critical = false;
+  for (const auto& t : ts) {
+    if (t.text == ";") semi_critical = t.IsCritical();
+  }
+  EXPECT_TRUE(semi_critical);
+}
+
+TEST(Lexer, EmptyInput) { EXPECT_TRUE(Lex("").empty()); }
+
+TEST(Lexer, WhitespaceOnly) { EXPECT_TRUE(Lex("  \t\n ").empty()); }
+
+}  // namespace
+}  // namespace joza::sql

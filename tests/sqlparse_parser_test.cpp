@@ -1,0 +1,267 @@
+#include "sqlparse/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace joza::sql {
+namespace {
+
+TEST(Parser, SimpleSelect) {
+  auto r = Parse("SELECT * FROM records WHERE ID = 5 LIMIT 5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& stmt = r.value();
+  ASSERT_EQ(stmt.kind, StatementKind::kSelect);
+  const auto& sel = *stmt.select;
+  ASSERT_EQ(sel.cores.size(), 1u);
+  const auto& core = sel.cores[0];
+  ASSERT_EQ(core.items.size(), 1u);
+  EXPECT_EQ(core.items[0].expr->kind, ExprKind::kColumnRef);
+  EXPECT_EQ(core.items[0].expr->column, "*");
+  ASSERT_TRUE(core.from.has_value());
+  EXPECT_EQ(core.from->table, "records");
+  ASSERT_NE(core.where, nullptr);
+  EXPECT_EQ(core.where->kind, ExprKind::kBinary);
+  EXPECT_EQ(core.where->binary_op, BinaryOp::kEq);
+  ASSERT_TRUE(sel.limit.has_value());
+  EXPECT_EQ(*sel.limit, 5);
+}
+
+TEST(Parser, UnionChain) {
+  auto r = Parse("SELECT a FROM t UNION ALL SELECT b FROM u UNION SELECT 1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& sel = *r.value().select;
+  ASSERT_EQ(sel.cores.size(), 3u);
+  ASSERT_EQ(sel.union_all.size(), 2u);
+  EXPECT_TRUE(sel.union_all[0]);
+  EXPECT_FALSE(sel.union_all[1]);
+}
+
+TEST(Parser, OrderByLimitOffset) {
+  auto r = Parse("SELECT a FROM t ORDER BY a DESC, b LIMIT 10 OFFSET 20");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& sel = *r.value().select;
+  ASSERT_EQ(sel.order_by.size(), 2u);
+  EXPECT_TRUE(sel.order_by[0].descending);
+  EXPECT_FALSE(sel.order_by[1].descending);
+  EXPECT_EQ(*sel.limit, 10);
+  EXPECT_EQ(*sel.offset, 20);
+}
+
+TEST(Parser, MysqlLimitCommaForm) {
+  auto r = Parse("SELECT a FROM t LIMIT 20, 10");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& sel = *r.value().select;
+  EXPECT_EQ(*sel.limit, 10);
+  EXPECT_EQ(*sel.offset, 20);
+}
+
+TEST(Parser, OperatorPrecedence) {
+  // a OR b AND c parses as a OR (b AND c)
+  auto r = ParseExpression("a OR b AND c");
+  ASSERT_TRUE(r.ok());
+  const auto& e = *r.value();
+  EXPECT_EQ(e.binary_op, BinaryOp::kOr);
+  EXPECT_EQ(e.rhs->binary_op, BinaryOp::kAnd);
+}
+
+TEST(Parser, ArithmeticPrecedence) {
+  // 1 + 2 * 3 parses as 1 + (2 * 3)
+  auto r = ParseExpression("1 + 2 * 3");
+  ASSERT_TRUE(r.ok());
+  const auto& e = *r.value();
+  EXPECT_EQ(e.binary_op, BinaryOp::kAdd);
+  EXPECT_EQ(e.rhs->binary_op, BinaryOp::kMul);
+}
+
+TEST(Parser, TautologyExpression) {
+  auto r = ParseExpression("1 OR 1 = 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->binary_op, BinaryOp::kOr);
+}
+
+TEST(Parser, FunctionCalls) {
+  auto r = ParseExpression("CONCAT(a, 'x', 1+2)");
+  ASSERT_TRUE(r.ok());
+  const auto& e = *r.value();
+  EXPECT_EQ(e.kind, ExprKind::kFunctionCall);
+  EXPECT_EQ(e.function_name, "CONCAT");
+  EXPECT_EQ(e.args.size(), 3u);
+}
+
+TEST(Parser, CountStar) {
+  auto r = ParseExpression("COUNT(*)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->args.size(), 1u);
+  EXPECT_EQ(r.value()->args[0]->column, "*");
+}
+
+TEST(Parser, InList) {
+  auto r = ParseExpression("id IN (1, 2, 3)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->kind, ExprKind::kInList);
+  EXPECT_EQ(r.value()->in_list.size(), 3u);
+  r = ParseExpression("id NOT IN (1)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value()->negated);
+}
+
+TEST(Parser, Between) {
+  auto r = ParseExpression("x BETWEEN 1 AND 10");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->kind, ExprKind::kBetween);
+}
+
+TEST(Parser, IsNull) {
+  auto r = ParseExpression("x IS NULL");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->unary_op, UnaryOp::kIsNull);
+  r = ParseExpression("x IS NOT NULL");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->unary_op, UnaryOp::kIsNotNull);
+}
+
+TEST(Parser, LikeAndNotLike) {
+  auto r = ParseExpression("name LIKE '%abc%'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->binary_op, BinaryOp::kLike);
+  r = ParseExpression("name NOT LIKE 'x'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->binary_op, BinaryOp::kNotLike);
+}
+
+TEST(Parser, Subquery) {
+  auto r = Parse("SELECT * FROM t WHERE id IN (SELECT id FROM u)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& where = r.value().select->cores[0].where;
+  ASSERT_EQ(where->kind, ExprKind::kInList);
+  ASSERT_EQ(where->in_list.size(), 1u);
+  EXPECT_EQ(where->in_list[0]->kind, ExprKind::kSubquery);
+}
+
+TEST(Parser, ScalarSubquery) {
+  auto r = Parse("SELECT (SELECT MAX(id) FROM u) FROM t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().select->cores[0].items[0].expr->kind,
+            ExprKind::kSubquery);
+}
+
+TEST(Parser, Joins) {
+  auto r = Parse(
+      "SELECT a.x, b.y FROM posts a "
+      "LEFT JOIN meta b ON a.id = b.post_id WHERE a.id = 3");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& core = r.value().select->cores[0];
+  EXPECT_EQ(core.from->alias, "a");
+  ASSERT_EQ(core.joins.size(), 1u);
+  EXPECT_EQ(core.joins[0].kind, JoinClause::Kind::kLeft);
+  ASSERT_NE(core.joins[0].on, nullptr);
+}
+
+TEST(Parser, CommaJoin) {
+  auto r = Parse("SELECT * FROM a, b WHERE a.id = b.id");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().select->cores[0].joins.size(), 1u);
+}
+
+TEST(Parser, Insert) {
+  auto r = Parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& ins = *r.value().insert;
+  EXPECT_EQ(ins.table, "t");
+  ASSERT_EQ(ins.columns.size(), 2u);
+  ASSERT_EQ(ins.rows.size(), 2u);
+  EXPECT_EQ(ins.rows[1][0]->int_value, 2);
+}
+
+TEST(Parser, Update) {
+  auto r = Parse("UPDATE t SET a = 1, b = 'x' WHERE id = 9 LIMIT 1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& upd = *r.value().update;
+  EXPECT_EQ(upd.table, "t");
+  ASSERT_EQ(upd.assignments.size(), 2u);
+  ASSERT_NE(upd.where, nullptr);
+  EXPECT_EQ(*upd.limit, 1);
+}
+
+TEST(Parser, Delete) {
+  auto r = Parse("DELETE FROM t WHERE id = 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().del->table, "t");
+}
+
+TEST(Parser, CreateTable) {
+  auto r = Parse(
+      "CREATE TABLE IF NOT EXISTS wp_posts ("
+      "id INT PRIMARY KEY AUTO_INCREMENT, title VARCHAR(255), "
+      "views INT, rating DOUBLE)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& c = *r.value().create;
+  EXPECT_TRUE(c.if_not_exists);
+  EXPECT_EQ(c.table, "wp_posts");
+  ASSERT_EQ(c.columns.size(), 4u);
+  EXPECT_EQ(c.columns[0].type, ColumnDef::Type::kInt);
+  EXPECT_EQ(c.columns[1].type, ColumnDef::Type::kText);
+  EXPECT_EQ(c.columns[3].type, ColumnDef::Type::kDouble);
+}
+
+TEST(Parser, DropTable) {
+  auto r = Parse("DROP TABLE IF EXISTS junk");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().drop->if_exists);
+  EXPECT_EQ(r.value().drop->table, "junk");
+}
+
+TEST(Parser, CaseExpressionDesugarsToIf) {
+  auto r = ParseExpression("CASE WHEN a = 1 THEN 'x' ELSE 'y' END");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value()->kind, ExprKind::kFunctionCall);
+  EXPECT_EQ(r.value()->function_name, "IF");
+  EXPECT_EQ(r.value()->args.size(), 3u);
+}
+
+TEST(Parser, CommentsSkippedTransparently) {
+  auto r = Parse("SELECT /* c1 */ a FROM t -- tail");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(Parser, InjectedQueryStillParses) {
+  // The classic tautology injection must parse so the engine can run it —
+  // detection is the taint layer's job, not the parser's.
+  auto r = Parse("SELECT * FROM data WHERE ID = -1 OR 1 = 1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().select->cores[0].where->binary_op, BinaryOp::kOr);
+}
+
+TEST(Parser, UnionInjectionParses) {
+  auto r = Parse(
+      "SELECT * FROM records WHERE ID = -1 "
+      "UNION SELECT username() LIMIT 5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().select->cores.size(), 2u);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("SELEC * FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT FROM").ok());
+  EXPECT_FALSE(Parse("INSERT INTO t VALUES").ok());
+  EXPECT_FALSE(Parse("SELECT 1 garbage garbage garbage +").ok());
+  EXPECT_FALSE(ParseExpression("1 +").ok());
+  EXPECT_FALSE(ParseExpression("(1").ok());
+}
+
+TEST(Parser, PlaceholdersInQuery) {
+  auto r = Parse("SELECT * FROM t WHERE a = ? AND b = :uid");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(Parser, StringUnescaping) {
+  auto r = ParseExpression(R"('a\'b')");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->string_value, "a'b");
+  r = ParseExpression("'a''b'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->string_value, "a'b");
+}
+
+}  // namespace
+}  // namespace joza::sql

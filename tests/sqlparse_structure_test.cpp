@@ -1,0 +1,96 @@
+#include "sqlparse/structure.h"
+
+#include <gtest/gtest.h>
+
+namespace joza::sql {
+namespace {
+
+std::uint64_t MustHash(std::string_view q) {
+  auto h = StructureHashOf(q);
+  EXPECT_TRUE(h.ok()) << q;
+  return h.ok() ? h.value() : 0;
+}
+
+TEST(Structure, DataChangesPreserveHash) {
+  // The structure cache's core guarantee: literal values don't affect shape.
+  EXPECT_EQ(MustHash("SELECT * FROM t WHERE id = 5"),
+            MustHash("SELECT * FROM t WHERE id = 99999"));
+  EXPECT_EQ(MustHash("SELECT * FROM t WHERE name = 'alice'"),
+            MustHash("SELECT * FROM t WHERE name = 'bob the builder'"));
+  EXPECT_EQ(MustHash("INSERT INTO t (a) VALUES ('x')"),
+            MustHash("INSERT INTO t (a) VALUES ('completely different')"));
+}
+
+TEST(Structure, InjectionChangesHash) {
+  const auto benign = MustHash("SELECT * FROM t WHERE id = 5");
+  EXPECT_NE(benign, MustHash("SELECT * FROM t WHERE id = 5 OR 1 = 1"));
+  EXPECT_NE(benign,
+            MustHash("SELECT * FROM t WHERE id = 5 UNION SELECT version()"));
+}
+
+TEST(Structure, DifferentTablesDiffer) {
+  EXPECT_NE(MustHash("SELECT * FROM a"), MustHash("SELECT * FROM b"));
+}
+
+TEST(Structure, DifferentColumnsDiffer) {
+  EXPECT_NE(MustHash("SELECT x FROM t"), MustHash("SELECT y FROM t"));
+}
+
+TEST(Structure, OperatorMatters) {
+  EXPECT_NE(MustHash("SELECT * FROM t WHERE a = 1"),
+            MustHash("SELECT * FROM t WHERE a < 1"));
+}
+
+TEST(Structure, LimitPresenceMattersButValueDoesNot) {
+  EXPECT_EQ(MustHash("SELECT a FROM t LIMIT 5"),
+            MustHash("SELECT a FROM t LIMIT 10"));
+  EXPECT_NE(MustHash("SELECT a FROM t LIMIT 5"), MustHash("SELECT a FROM t"));
+}
+
+TEST(Structure, TableNameCaseInsensitive) {
+  EXPECT_EQ(MustHash("SELECT * FROM Users"), MustHash("SELECT * FROM users"));
+}
+
+TEST(Structure, IntVsStringLiteralSameSlotDiffers) {
+  // Changing the literal *kind* is a structural change.
+  EXPECT_NE(MustHash("SELECT * FROM t WHERE a = 1"),
+            MustHash("SELECT * FROM t WHERE a = '1'"));
+}
+
+TEST(Structure, UnionAllVsUnionDiffers) {
+  EXPECT_NE(MustHash("SELECT a FROM t UNION SELECT b FROM u"),
+            MustHash("SELECT a FROM t UNION ALL SELECT b FROM u"));
+}
+
+TEST(Structure, SubqueryStructureCounts) {
+  EXPECT_NE(MustHash("SELECT * FROM t WHERE id IN (SELECT id FROM u)"),
+            MustHash("SELECT * FROM t WHERE id IN (SELECT pid FROM u)"));
+  EXPECT_EQ(
+      MustHash("SELECT * FROM t WHERE id IN (SELECT id FROM u WHERE x = 1)"),
+      MustHash("SELECT * FROM t WHERE id IN (SELECT id FROM u WHERE x = 2)"));
+}
+
+TEST(Structure, UnparseableQueryFails) {
+  EXPECT_FALSE(StructureHashOf("SELECT FROM WHERE").ok());
+}
+
+TEST(TokenSkeleton, BlanksData) {
+  EXPECT_EQ(TokenSkeleton("SELECT * FROM t WHERE id = 42"),
+            "SELECT * FROM <id> WHERE <id> = <num>");
+  EXPECT_EQ(TokenSkeleton("SELECT 'abc'"), "SELECT <str>");
+}
+
+TEST(TokenSkeleton, HashConsistentWithSkeleton) {
+  EXPECT_EQ(TokenSkeletonHash("SELECT * FROM t WHERE id = 1"),
+            TokenSkeletonHash("SELECT * FROM t WHERE id = 777"));
+  EXPECT_NE(TokenSkeletonHash("SELECT * FROM t WHERE id = 1"),
+            TokenSkeletonHash("SELECT * FROM t WHERE id = 1 OR 1 = 1"));
+}
+
+TEST(TokenSkeleton, KeywordCaseNormalized) {
+  EXPECT_EQ(TokenSkeletonHash("select * from T"),
+            TokenSkeletonHash("SELECT * FROM t"));
+}
+
+}  // namespace
+}  // namespace joza::sql

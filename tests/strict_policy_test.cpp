@@ -1,0 +1,98 @@
+// Section II: the threat-model dial. The default pragmatic policy permits
+// user-supplied field/table names (advanced-search apps depend on it); the
+// strict Ray-Ligatti-style policy treats identifiers as critical, catching
+// column-reference smuggling at the cost of breaking those apps.
+#include <gtest/gtest.h>
+
+#include "nti/nti.h"
+#include "phpsrc/fragments.h"
+#include "pti/pti.h"
+
+namespace joza {
+namespace {
+
+using http::Input;
+using http::InputKind;
+
+Input Get(std::string name, std::string value) {
+  return Input{InputKind::kGet, std::move(name), std::move(value)};
+}
+
+php::FragmentSet SearchAppFragments() {
+  php::FragmentSet set;
+  set.AddRaw("SELECT id FROM wp_posts ORDER BY ");
+  set.AddRaw(" DESC LIMIT 10");
+  return set;
+}
+
+TEST(StrictPolicy, PragmaticNtiPermitsFieldNames) {
+  // An advanced-search app sorts by a user-chosen column.
+  nti::NtiAnalyzer nti;  // default: pragmatic
+  auto r = nti.Analyze("SELECT id FROM wp_posts ORDER BY views DESC LIMIT 10",
+                       {Get("sort", "views")});
+  EXPECT_FALSE(r.attack_detected);
+}
+
+TEST(StrictPolicy, StrictNtiFlagsFieldNames) {
+  nti::NtiConfig cfg;
+  cfg.strict_tokens = true;
+  nti::NtiAnalyzer nti(cfg);
+  auto r = nti.Analyze("SELECT id FROM wp_posts ORDER BY views DESC LIMIT 10",
+                       {Get("sort", "views")});
+  EXPECT_TRUE(r.attack_detected)
+      << "strict policy: the user-controlled identifier is an attack";
+}
+
+TEST(StrictPolicy, PragmaticPtiPermitsFieldNames) {
+  pti::PtiAnalyzer pti(SearchAppFragments());
+  auto r = pti.Analyze("SELECT id FROM wp_posts ORDER BY views DESC LIMIT 10");
+  EXPECT_FALSE(r.attack_detected);
+}
+
+TEST(StrictPolicy, StrictPtiFlagsUnvettedIdentifiers) {
+  pti::PtiConfig cfg;
+  cfg.strict_tokens = true;
+  pti::PtiAnalyzer pti(SearchAppFragments(), cfg);
+  auto r = pti.Analyze("SELECT id FROM wp_posts ORDER BY views DESC LIMIT 10");
+  EXPECT_TRUE(r.attack_detected);
+  bool ident_flagged = false;
+  for (const auto& t : r.untrusted_critical_tokens) {
+    if (t.kind == sql::TokenKind::kIdentifier && t.text == "views") {
+      ident_flagged = true;
+    }
+  }
+  EXPECT_TRUE(ident_flagged);
+}
+
+TEST(StrictPolicy, StrictPtiStillPassesFullyProgramBuiltQueries) {
+  // A query assembled entirely from fragments is fine even in strict mode.
+  php::FragmentSet set;
+  set.AddRaw("SELECT id FROM wp_posts ORDER BY views DESC LIMIT 10");
+  pti::PtiConfig cfg;
+  cfg.strict_tokens = true;
+  pti::PtiAnalyzer pti(std::move(set), cfg);
+  auto r = pti.Analyze("SELECT id FROM wp_posts ORDER BY views DESC LIMIT 10");
+  EXPECT_FALSE(r.attack_detected);
+}
+
+TEST(StrictPolicy, StrictCatchesColumnSmuggling) {
+  // The attack class the strict policy exists for: steering a query to a
+  // sensitive column without injecting any keyword.
+  nti::NtiConfig cfg;
+  cfg.strict_tokens = true;
+  auto detect = [&cfg](const char* col) {
+    std::string q = std::string("SELECT ") + col + " FROM wp_users WHERE id = 1";
+    return nti::NtiAnalyzer(cfg)
+        .Analyze(q, {Get("field", col)})
+        .attack_detected;
+  };
+  EXPECT_TRUE(detect("pass"));
+  // Pragmatic mode misses it by design.
+  EXPECT_FALSE(nti::NtiAnalyzer()
+                   .Analyze("SELECT pass FROM wp_users WHERE id = 1",
+                            {Get("field", "pass")})
+                   .attack_detected);
+}
+
+}  // namespace
+}  // namespace joza

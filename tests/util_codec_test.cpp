@@ -1,0 +1,78 @@
+#include "util/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace joza {
+namespace {
+
+TEST(Base64, KnownVectors) {
+  EXPECT_EQ(Base64Encode(""), "");
+  EXPECT_EQ(Base64Encode("f"), "Zg==");
+  EXPECT_EQ(Base64Encode("fo"), "Zm8=");
+  EXPECT_EQ(Base64Encode("foo"), "Zm9v");
+  EXPECT_EQ(Base64Encode("foob"), "Zm9vYg==");
+  EXPECT_EQ(Base64Encode("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(Base64Encode("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeKnownVectors) {
+  auto r = Base64Decode("Zm9vYmFy");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "foobar");
+  r = Base64Decode("Zg==");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "f");
+}
+
+TEST(Base64, RejectsMalformed) {
+  EXPECT_FALSE(Base64Decode("abc").ok());      // bad length
+  EXPECT_FALSE(Base64Decode("ab=c").ok());     // data after padding
+  EXPECT_FALSE(Base64Decode("a&==").ok());     // invalid character
+  EXPECT_FALSE(Base64Decode("=abc").ok());     // misplaced padding
+}
+
+TEST(Base64, RoundTripProperty) {
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    std::string data;
+    std::size_t len = rng.NextBelow(64);
+    for (std::size_t j = 0; j < len; ++j) {
+      data.push_back(static_cast<char>(rng.NextBelow(256)));
+    }
+    auto decoded = Base64Decode(Base64Encode(data));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), data);
+  }
+}
+
+TEST(Url, EncodeBasics) {
+  EXPECT_EQ(UrlEncode("a b"), "a%20b");
+  EXPECT_EQ(UrlEncode("1' OR 1=1"), "1%27%20OR%201%3D1");
+  EXPECT_EQ(UrlEncode("safe-._~AZaz09"), "safe-._~AZaz09");
+}
+
+TEST(Url, DecodeBasics) {
+  EXPECT_EQ(UrlDecode("a%20b"), "a b");
+  EXPECT_EQ(UrlDecode("a+b"), "a b");
+  EXPECT_EQ(UrlDecode("1%27%20OR%201%3D1"), "1' OR 1=1");
+  // Malformed escapes pass through.
+  EXPECT_EQ(UrlDecode("100%"), "100%");
+  EXPECT_EQ(UrlDecode("%zz"), "%zz");
+}
+
+TEST(Url, RoundTripProperty) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    std::string data;
+    std::size_t len = rng.NextBelow(48);
+    for (std::size_t j = 0; j < len; ++j) {
+      data.push_back(static_cast<char>(rng.NextBelow(256)));
+    }
+    EXPECT_EQ(UrlDecode(UrlEncode(data)), data);
+  }
+}
+
+}  // namespace
+}  // namespace joza

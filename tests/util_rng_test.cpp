@@ -1,0 +1,77 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/hash.h"
+
+namespace joza {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    auto v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit over 500 draws
+}
+
+TEST(Rng, NextDoubleUnit) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, TokenAlphabet) {
+  Rng rng(3);
+  std::string t = rng.NextToken(64);
+  EXPECT_EQ(t.size(), 64u);
+  for (char c : t) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) << c;
+  }
+}
+
+TEST(Hash, Fnv1aKnownValue) {
+  // FNV-1a of empty input is the offset basis.
+  EXPECT_EQ(Fnv1a64(""), kFnvOffset);
+  EXPECT_NE(Fnv1a64("a"), Fnv1a64("b"));
+  EXPECT_NE(Fnv1a64("ab"), Fnv1a64("ba"));
+}
+
+TEST(Hash, CombineOrderSensitive) {
+  auto h1 = HashCombine(HashCombine(1, 2), 3);
+  auto h2 = HashCombine(HashCombine(1, 3), 2);
+  EXPECT_NE(h1, h2);
+}
+
+}  // namespace
+}  // namespace joza

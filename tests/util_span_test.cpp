@@ -1,0 +1,60 @@
+#include "util/span.h"
+
+#include <gtest/gtest.h>
+
+namespace joza {
+namespace {
+
+TEST(ByteSpan, Basics) {
+  ByteSpan s{2, 5};
+  EXPECT_EQ(s.length(), 3u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE((ByteSpan{3, 3}).empty());
+  EXPECT_TRUE((ByteSpan{3, 2}).empty());
+}
+
+TEST(ByteSpan, Contains) {
+  ByteSpan outer{2, 10};
+  EXPECT_TRUE(outer.contains(ByteSpan{2, 10}));
+  EXPECT_TRUE(outer.contains(ByteSpan{3, 9}));
+  EXPECT_FALSE(outer.contains(ByteSpan{1, 5}));
+  EXPECT_FALSE(outer.contains(ByteSpan{5, 11}));
+  EXPECT_TRUE(outer.contains(std::size_t{2}));
+  EXPECT_TRUE(outer.contains(std::size_t{9}));
+  EXPECT_FALSE(outer.contains(std::size_t{10}));
+}
+
+TEST(ByteSpan, Overlaps) {
+  ByteSpan a{2, 5};
+  EXPECT_TRUE(a.overlaps(ByteSpan{4, 8}));
+  EXPECT_TRUE(a.overlaps(ByteSpan{0, 3}));
+  EXPECT_FALSE(a.overlaps(ByteSpan{5, 8}));  // adjacent, half-open
+  EXPECT_FALSE(a.overlaps(ByteSpan{0, 2}));
+}
+
+TEST(MergeSpans, MergesOverlappingAndAdjacent) {
+  auto merged = MergeSpans({{5, 8}, {1, 3}, {2, 6}, {10, 12}});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0], (ByteSpan{1, 8}));
+  EXPECT_EQ(merged[1], (ByteSpan{10, 12}));
+}
+
+TEST(MergeSpans, AdjacentSpansJoin) {
+  auto merged = MergeSpans({{0, 3}, {3, 6}});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], (ByteSpan{0, 6}));
+}
+
+TEST(MergeSpans, Empty) { EXPECT_TRUE(MergeSpans({}).empty()); }
+
+TEST(CoveredBySingle, RequiresOneCoveringSpan) {
+  std::vector<ByteSpan> spans = {{0, 4}, {6, 10}};
+  EXPECT_TRUE(CoveredBySingle(spans, {1, 3}));
+  EXPECT_TRUE(CoveredBySingle(spans, {6, 10}));
+  // Straddles the gap: covered by the union but by no single span.
+  EXPECT_FALSE(CoveredBySingle(spans, {3, 7}));
+  EXPECT_FALSE(CoveredBySingle(spans, {4, 6}));
+}
+
+}  // namespace
+}  // namespace joza

@@ -1,0 +1,83 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace joza {
+namespace {
+
+TEST(Strings, CaseConversion) {
+  EXPECT_EQ(ToLower("SeLeCt * FROM t"), "select * from t");
+  EXPECT_EQ(ToUpper("union all"), "UNION ALL");
+  EXPECT_EQ(ToLower(""), "");
+  EXPECT_EQ(ToUpper("123-_"), "123-_");
+}
+
+TEST(Strings, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("UNION", "union"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("UNION", "UNIONS"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "b"));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\n x y \r"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(TrimLeft("  a "), "a ");
+  EXPECT_EQ(TrimRight(" a  "), " a");
+}
+
+TEST(Strings, Split) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(ReplaceAll("no hits", "x", "y"), "no hits");
+  EXPECT_EQ(ReplaceAll("abcabc", "bc", ""), "aa");
+  EXPECT_EQ(ReplaceAll("x", "", "y"), "x");  // empty needle is a no-op
+}
+
+TEST(Strings, AddSlashesMatchesMagicQuotes) {
+  // The WordPress magic-quotes transformation NTI evasion leans on.
+  EXPECT_EQ(AddSlashes("it's"), "it\\'s");
+  EXPECT_EQ(AddSlashes("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(AddSlashes("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(AddSlashes("plain"), "plain");
+}
+
+TEST(Strings, StripSlashesInvertsAddSlashes) {
+  for (const char* s : {"it's", "a\\b", "\"q\"", "mixed '\\\" end", ""}) {
+    EXPECT_EQ(StripSlashes(AddSlashes(s)), s) << s;
+  }
+}
+
+TEST(Strings, CollapseWhitespace) {
+  EXPECT_EQ(CollapseWhitespace("a   b\t\nc"), "a b c");
+  EXPECT_EQ(CollapseWhitespace("  lead and trail  "), "lead and trail");
+  EXPECT_EQ(CollapseWhitespace(""), "");
+}
+
+TEST(Strings, FindIgnoreCase) {
+  EXPECT_EQ(FindIgnoreCase("SELECT * FROM t", "select"), 0u);
+  EXPECT_EQ(FindIgnoreCase("abc UNION def", "union"), 4u);
+  EXPECT_EQ(FindIgnoreCase("abc", "z"), std::string_view::npos);
+  EXPECT_EQ(FindIgnoreCase("abc", ""), 0u);
+  EXPECT_TRUE(ContainsIgnoreCase("x Or y", "OR"));
+  EXPECT_FALSE(ContainsIgnoreCase("xory", "z"));
+}
+
+}  // namespace
+}  // namespace joza

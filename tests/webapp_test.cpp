@@ -1,0 +1,198 @@
+#include "webapp/application.h"
+
+#include <gtest/gtest.h>
+
+#include "util/codec.h"
+
+namespace joza::webapp {
+namespace {
+
+TEST(Transforms, MagicQuotes) {
+  EXPECT_EQ(ApplyTransform(Transform::kMagicQuotes, "1' OR '1'='1"),
+            "1\\' OR \\'1\\'=\\'1");
+}
+
+TEST(Transforms, TrimAndCollapse) {
+  EXPECT_EQ(ApplyTransform(Transform::kTrim, "  x  "), "x");
+  EXPECT_EQ(ApplyTransform(Transform::kCollapseSpaces, "a   b"), "a b");
+}
+
+TEST(Transforms, Base64RejectsGarbage) {
+  EXPECT_EQ(ApplyTransform(Transform::kBase64Decode, "!!!"), "");
+  EXPECT_EQ(ApplyTransform(Transform::kBase64Decode, Base64Encode("abc")),
+            "abc");
+}
+
+TEST(Transforms, IntCastSanitizes) {
+  EXPECT_EQ(ApplyTransform(Transform::kIntCast, "5 OR 1=1"), "5");
+  EXPECT_EQ(ApplyTransform(Transform::kIntCast, "-12"), "-12");
+  EXPECT_EQ(ApplyTransform(Transform::kIntCast, "abc"), "0");
+}
+
+TEST(Transforms, ChainApplication) {
+  TransformChain chain = {Transform::kBase64Decode, Transform::kTrim};
+  EXPECT_EQ(ApplyChain(chain, Base64Encode("  x  ")), "x");
+}
+
+TEST(Transforms, ChainTransformsInputDetection) {
+  EXPECT_FALSE(ChainTransformsInput({}));
+  EXPECT_FALSE(ChainTransformsInput(
+      {Transform::kMagicQuotes, Transform::kStripSlashes}));
+  EXPECT_TRUE(ChainTransformsInput({Transform::kMagicQuotes}));
+  EXPECT_TRUE(ChainTransformsInput({Transform::kTrim}));
+}
+
+TEST(Endpoint, BuildQueryUnquoted) {
+  Endpoint ep{"/p", "id", {}, "SELECT * FROM t WHERE id = ", " LIMIT 5",
+              false, ResponseMode::kData};
+  EXPECT_EQ(ep.BuildQuery("7"), "SELECT * FROM t WHERE id = 7 LIMIT 5");
+}
+
+TEST(Endpoint, BuildQueryQuoted) {
+  Endpoint ep{"/p", "name", {}, "SELECT * FROM t WHERE n = ", "", true,
+              ResponseMode::kData};
+  EXPECT_EQ(ep.BuildQuery("x"), "SELECT * FROM t WHERE n = 'x'");
+}
+
+TEST(Endpoint, SynthesizedSourceYieldsMatchingFragments) {
+  Endpoint ep{"/p", "id", {Transform::kTrim},
+              "SELECT * FROM records WHERE ID=", " LIMIT 5", false,
+              ResponseMode::kData};
+  php::FragmentSet set;
+  set.AddSource({"p.php", ep.SynthesizePhpSource()});
+  EXPECT_TRUE(set.Contains("SELECT * FROM records WHERE ID="));
+  EXPECT_TRUE(set.Contains(" LIMIT 5"));
+}
+
+TEST(Endpoint, SynthesizedQuotedSourceKeepsQuotesInFragments) {
+  Endpoint ep{"/p", "n", {}, "SELECT * FROM t WHERE n = ", " LIMIT 1", true,
+              ResponseMode::kData};
+  php::FragmentSet set;
+  set.AddSource({"p.php", ep.SynthesizePhpSource()});
+  EXPECT_TRUE(set.Contains("SELECT * FROM t WHERE n = '"));
+  EXPECT_TRUE(set.Contains("' LIMIT 1"));
+}
+
+class WordpressAppTest : public ::testing::Test {
+ protected:
+  void SetUp() override { app_ = MakeWordpressLikeApp(/*seed=*/1); }
+  std::unique_ptr<Application> app_;
+};
+
+TEST_F(WordpressAppTest, FrontPageListsPosts) {
+  auto resp = app_->Handle(http::Request::Get("/", {}));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("Post "), std::string::npos);
+  // Boilerplate + endpoint query all executed.
+  EXPECT_GE(app_->last_stats().queries_issued, 7u);
+}
+
+TEST_F(WordpressAppTest, PostPageSanitized) {
+  auto resp = app_->Handle(http::Request::Get("/post", {{"id", "3"}}));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("Post 3"), std::string::npos);
+  // intval() neutralizes injection in the core route.
+  resp = app_->Handle(
+      http::Request::Get("/post", {{"id", "3 UNION SELECT 1,2,3"}}));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("Post 3"), std::string::npos);
+  EXPECT_EQ(resp.body.find("error"), std::string::npos);
+}
+
+TEST_F(WordpressAppTest, SearchEscaped) {
+  auto resp = app_->Handle(http::Request::Get("/search", {{"s", "Post 1"}}));
+  EXPECT_EQ(resp.status, 200);
+  // Injection attempt stays inside the string literal.
+  resp = app_->Handle(
+      http::Request::Get("/search", {{"s", "x' OR '1'='1"}}));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body.find("Database error"), std::string::npos);
+  EXPECT_EQ(resp.body, "<ul></ul>");  // no titles contain that junk
+}
+
+TEST_F(WordpressAppTest, CommentWriteWorks) {
+  auto resp = app_->Handle(
+      http::Request::Post("/comment", {{"body", "nice article!"}}));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("rows affected: 1"), std::string::npos);
+  auto check = app_->database().Execute("SELECT COUNT(*) FROM wp_comments");
+  EXPECT_EQ(check->rows[0][0].as_int(), 1);
+}
+
+TEST_F(WordpressAppTest, UnknownPath404) {
+  auto resp = app_->Handle(http::Request::Get("/nope", {}));
+  EXPECT_EQ(resp.status, 404);
+}
+
+TEST_F(WordpressAppTest, VulnerablePluginExploitable) {
+  // A typical vulnerable plugin: unquoted numeric context, no sanitization.
+  app_->AddEndpoint(Endpoint{"/plugin", "id", {},
+                             "SELECT title FROM wp_posts WHERE id = ", "",
+                             false, ResponseMode::kData},
+                    "wp-content/plugins/vuln.php");
+  auto resp = app_->Handle(http::Request::Get(
+      "/plugin", {{"id", "-1 UNION SELECT pass FROM wp_users"}}));
+  EXPECT_NE(resp.body.find("s3cr3t_hash"), std::string::npos)
+      << "union exploit must exfiltrate the password hash";
+}
+
+TEST_F(WordpressAppTest, GateBlocksQueries) {
+  app_->AddEndpoint(Endpoint{"/plugin", "id", {},
+                             "SELECT title FROM wp_posts WHERE id = ", "",
+                             false, ResponseMode::kData},
+                    "wp-content/plugins/vuln.php");
+  app_->SetQueryGate([](std::string_view, const http::Request&) {
+    return GateDecision{GateDecision::Action::kBlockTerminate, "test"};
+  });
+  auto resp = app_->Handle(http::Request::Get("/plugin", {{"id", "1"}}));
+  EXPECT_EQ(resp.status, 500);
+  EXPECT_TRUE(resp.body.empty());  // blank page on termination
+  EXPECT_GT(app_->last_stats().queries_blocked, 0u);
+}
+
+TEST_F(WordpressAppTest, ErrorVirtualizationGate) {
+  app_->AddEndpoint(Endpoint{"/plugin", "id", {},
+                             "SELECT title FROM wp_posts WHERE id = ", "",
+                             false, ResponseMode::kBlind},
+                    "wp-content/plugins/vuln.php");
+  app_->SetQueryGate([](std::string_view sql, const http::Request&) {
+    if (sql.find("UNION") != std::string_view::npos) {
+      return GateDecision{GateDecision::Action::kBlockError, "test"};
+    }
+    return GateDecision{GateDecision::Action::kAllow, ""};
+  });
+  // Benign flows normally; blocked query surfaces as the app's own error
+  // page, not a crash.
+  auto resp = app_->Handle(http::Request::Get("/plugin", {{"id", "1"}}));
+  EXPECT_EQ(resp.status, 200);
+  resp = app_->Handle(
+      http::Request::Get("/plugin", {{"id", "-1 UNION SELECT 1"}}));
+  EXPECT_EQ(resp.status, 500);
+  EXPECT_NE(resp.body.find("Error"), std::string::npos);
+}
+
+TEST_F(WordpressAppTest, DoubleBlindTimingChannel) {
+  app_->AddEndpoint(Endpoint{"/plugin", "id", {},
+                             "SELECT title FROM wp_posts WHERE id = ", "",
+                             false, ResponseMode::kDoubleBlind},
+                    "wp-content/plugins/vuln.php");
+  auto fast = app_->Handle(http::Request::Get("/plugin", {{"id", "1"}}));
+  auto slow = app_->Handle(http::Request::Get(
+      "/plugin", {{"id", "1 AND SLEEP(3)"}}));
+  EXPECT_EQ(fast.body, slow.body) << "double-blind body must be constant";
+  EXPECT_GE(slow.virtual_time_ms - fast.virtual_time_ms, 2999.0)
+      << "timing channel must leak";
+}
+
+TEST_F(WordpressAppTest, Base64PluginDecodesInput) {
+  app_->AddEndpoint(Endpoint{"/b64", "data", {Transform::kBase64Decode},
+                             "SELECT title FROM wp_posts WHERE id = ", "",
+                             false, ResponseMode::kData},
+                    "wp-content/plugins/b64.php");
+  auto resp = app_->Handle(http::Request::Get(
+      "/b64", {{"data", Base64Encode("-1 UNION SELECT pass FROM wp_users")}}));
+  EXPECT_NE(resp.body.find("s3cr3t_hash"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace joza::webapp
