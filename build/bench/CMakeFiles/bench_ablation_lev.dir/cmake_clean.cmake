@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lev.dir/bench_ablation_lev.cpp.o"
+  "CMakeFiles/bench_ablation_lev.dir/bench_ablation_lev.cpp.o.d"
+  "bench_ablation_lev"
+  "bench_ablation_lev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_match.dir/bench_ablation_match.cpp.o"
+  "CMakeFiles/bench_ablation_match.dir/bench_ablation_match.cpp.o.d"
+  "bench_ablation_match"
+  "bench_ablation_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crawl_scale.dir/bench_crawl_scale.cpp.o"
+  "CMakeFiles/bench_crawl_scale.dir/bench_crawl_scale.cpp.o.d"
+  "bench_crawl_scale"
+  "bench_crawl_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crawl_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

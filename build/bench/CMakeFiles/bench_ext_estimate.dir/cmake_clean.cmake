@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_estimate.dir/bench_ext_estimate.cpp.o"
+  "CMakeFiles/bench_ext_estimate.dir/bench_ext_estimate.cpp.o.d"
+  "bench_ext_estimate"
+  "bench_ext_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

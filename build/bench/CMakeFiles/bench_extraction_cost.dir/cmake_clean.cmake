@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extraction_cost.dir/bench_extraction_cost.cpp.o"
+  "CMakeFiles/bench_extraction_cost.dir/bench_extraction_cost.cpp.o.d"
+  "bench_extraction_cost"
+  "bench_extraction_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extraction_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_testbed.dir/bench_table1_testbed.cpp.o"
+  "CMakeFiles/bench_table1_testbed.dir/bench_table1_testbed.cpp.o.d"
+  "bench_table1_testbed"
+  "bench_table1_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_fragments.dir/bench_table3_fragments.cpp.o"
+  "CMakeFiles/bench_table3_fragments.dir/bench_table3_fragments.cpp.o.d"
+  "bench_table3_fragments"
+  "bench_table3_fragments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_fragments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

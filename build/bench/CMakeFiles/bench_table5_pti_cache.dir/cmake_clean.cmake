@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_pti_cache.dir/bench_table5_pti_cache.cpp.o"
+  "CMakeFiles/bench_table5_pti_cache.dir/bench_table5_pti_cache.cpp.o.d"
+  "bench_table5_pti_cache"
+  "bench_table5_pti_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_pti_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_wpcom.dir/bench_table7_wpcom.cpp.o"
+  "CMakeFiles/bench_table7_wpcom.dir/bench_table7_wpcom.cpp.o.d"
+  "bench_table7_wpcom"
+  "bench_table7_wpcom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_wpcom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_extract.dir/auto_extract.cpp.o"
+  "CMakeFiles/auto_extract.dir/auto_extract.cpp.o.d"
+  "auto_extract"
+  "auto_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protect_webapp.dir/protect_webapp.cpp.o"
+  "CMakeFiles/protect_webapp.dir/protect_webapp.cpp.o.d"
+  "protect_webapp"
+  "protect_webapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protect_webapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pti_daemon.dir/pti_daemon.cpp.o"
+  "CMakeFiles/pti_daemon.dir/pti_daemon.cpp.o.d"
+  "pti_daemon"
+  "pti_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pti_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

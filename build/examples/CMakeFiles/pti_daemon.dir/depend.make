@@ -1,0 +1,2 @@
+# Empty dependencies file for pti_daemon.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_http.dir/serve_http.cpp.o"
+  "CMakeFiles/serve_http.dir/serve_http.cpp.o.d"
+  "serve_http"
+  "serve_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

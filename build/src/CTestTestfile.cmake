@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sqlparse")
+subdirs("match")
+subdirs("phpsrc")
+subdirs("http")
+subdirs("db")
+subdirs("webapp")
+subdirs("nti")
+subdirs("pti")
+subdirs("core")
+subdirs("ipc")
+subdirs("attack")

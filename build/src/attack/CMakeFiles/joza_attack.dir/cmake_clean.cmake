@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joza_attack.dir/catalog.cpp.o"
+  "CMakeFiles/joza_attack.dir/catalog.cpp.o.d"
+  "CMakeFiles/joza_attack.dir/evasion.cpp.o"
+  "CMakeFiles/joza_attack.dir/evasion.cpp.o.d"
+  "CMakeFiles/joza_attack.dir/exploit.cpp.o"
+  "CMakeFiles/joza_attack.dir/exploit.cpp.o.d"
+  "CMakeFiles/joza_attack.dir/extractor.cpp.o"
+  "CMakeFiles/joza_attack.dir/extractor.cpp.o.d"
+  "CMakeFiles/joza_attack.dir/payload_gen.cpp.o"
+  "CMakeFiles/joza_attack.dir/payload_gen.cpp.o.d"
+  "CMakeFiles/joza_attack.dir/workload.cpp.o"
+  "CMakeFiles/joza_attack.dir/workload.cpp.o.d"
+  "libjoza_attack.a"
+  "libjoza_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joza_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

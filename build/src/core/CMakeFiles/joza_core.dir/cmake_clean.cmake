@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joza_core.dir/joza.cpp.o"
+  "CMakeFiles/joza_core.dir/joza.cpp.o.d"
+  "libjoza_core.a"
+  "libjoza_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joza_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joza_db.dir/database.cpp.o"
+  "CMakeFiles/joza_db.dir/database.cpp.o.d"
+  "CMakeFiles/joza_db.dir/value.cpp.o"
+  "CMakeFiles/joza_db.dir/value.cpp.o.d"
+  "libjoza_db.a"
+  "libjoza_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joza_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joza_http.dir/request.cpp.o"
+  "CMakeFiles/joza_http.dir/request.cpp.o.d"
+  "libjoza_http.a"
+  "libjoza_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joza_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

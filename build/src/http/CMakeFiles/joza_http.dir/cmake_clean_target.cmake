@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjoza_http.a"
+)

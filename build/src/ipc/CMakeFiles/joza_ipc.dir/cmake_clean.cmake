@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joza_ipc.dir/daemon.cpp.o"
+  "CMakeFiles/joza_ipc.dir/daemon.cpp.o.d"
+  "CMakeFiles/joza_ipc.dir/framing.cpp.o"
+  "CMakeFiles/joza_ipc.dir/framing.cpp.o.d"
+  "libjoza_ipc.a"
+  "libjoza_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joza_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

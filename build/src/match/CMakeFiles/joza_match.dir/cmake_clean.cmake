@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joza_match.dir/aho_corasick.cpp.o"
+  "CMakeFiles/joza_match.dir/aho_corasick.cpp.o.d"
+  "CMakeFiles/joza_match.dir/levenshtein.cpp.o"
+  "CMakeFiles/joza_match.dir/levenshtein.cpp.o.d"
+  "CMakeFiles/joza_match.dir/substring.cpp.o"
+  "CMakeFiles/joza_match.dir/substring.cpp.o.d"
+  "libjoza_match.a"
+  "libjoza_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joza_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

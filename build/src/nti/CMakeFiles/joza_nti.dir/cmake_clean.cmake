@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joza_nti.dir/nti.cpp.o"
+  "CMakeFiles/joza_nti.dir/nti.cpp.o.d"
+  "libjoza_nti.a"
+  "libjoza_nti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joza_nti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

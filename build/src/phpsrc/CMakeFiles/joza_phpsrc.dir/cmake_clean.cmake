@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joza_phpsrc.dir/fragments.cpp.o"
+  "CMakeFiles/joza_phpsrc.dir/fragments.cpp.o.d"
+  "CMakeFiles/joza_phpsrc.dir/installer.cpp.o"
+  "CMakeFiles/joza_phpsrc.dir/installer.cpp.o.d"
+  "CMakeFiles/joza_phpsrc.dir/php_lexer.cpp.o"
+  "CMakeFiles/joza_phpsrc.dir/php_lexer.cpp.o.d"
+  "libjoza_phpsrc.a"
+  "libjoza_phpsrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joza_phpsrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

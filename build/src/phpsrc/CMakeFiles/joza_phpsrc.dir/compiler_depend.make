@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for joza_phpsrc.
+# This may be replaced when dependencies are built.

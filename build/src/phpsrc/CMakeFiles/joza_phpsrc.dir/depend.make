@@ -1,0 +1,2 @@
+# Empty dependencies file for joza_phpsrc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joza_pti.dir/pti.cpp.o"
+  "CMakeFiles/joza_pti.dir/pti.cpp.o.d"
+  "libjoza_pti.a"
+  "libjoza_pti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joza_pti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sqlparse/keywords.cpp" "src/sqlparse/CMakeFiles/joza_sqlparse.dir/keywords.cpp.o" "gcc" "src/sqlparse/CMakeFiles/joza_sqlparse.dir/keywords.cpp.o.d"
+  "/root/repo/src/sqlparse/lexer.cpp" "src/sqlparse/CMakeFiles/joza_sqlparse.dir/lexer.cpp.o" "gcc" "src/sqlparse/CMakeFiles/joza_sqlparse.dir/lexer.cpp.o.d"
+  "/root/repo/src/sqlparse/parser.cpp" "src/sqlparse/CMakeFiles/joza_sqlparse.dir/parser.cpp.o" "gcc" "src/sqlparse/CMakeFiles/joza_sqlparse.dir/parser.cpp.o.d"
+  "/root/repo/src/sqlparse/placeholders.cpp" "src/sqlparse/CMakeFiles/joza_sqlparse.dir/placeholders.cpp.o" "gcc" "src/sqlparse/CMakeFiles/joza_sqlparse.dir/placeholders.cpp.o.d"
+  "/root/repo/src/sqlparse/printer.cpp" "src/sqlparse/CMakeFiles/joza_sqlparse.dir/printer.cpp.o" "gcc" "src/sqlparse/CMakeFiles/joza_sqlparse.dir/printer.cpp.o.d"
+  "/root/repo/src/sqlparse/structure.cpp" "src/sqlparse/CMakeFiles/joza_sqlparse.dir/structure.cpp.o" "gcc" "src/sqlparse/CMakeFiles/joza_sqlparse.dir/structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/joza_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joza_sqlparse.dir/keywords.cpp.o"
+  "CMakeFiles/joza_sqlparse.dir/keywords.cpp.o.d"
+  "CMakeFiles/joza_sqlparse.dir/lexer.cpp.o"
+  "CMakeFiles/joza_sqlparse.dir/lexer.cpp.o.d"
+  "CMakeFiles/joza_sqlparse.dir/parser.cpp.o"
+  "CMakeFiles/joza_sqlparse.dir/parser.cpp.o.d"
+  "CMakeFiles/joza_sqlparse.dir/placeholders.cpp.o"
+  "CMakeFiles/joza_sqlparse.dir/placeholders.cpp.o.d"
+  "CMakeFiles/joza_sqlparse.dir/printer.cpp.o"
+  "CMakeFiles/joza_sqlparse.dir/printer.cpp.o.d"
+  "CMakeFiles/joza_sqlparse.dir/structure.cpp.o"
+  "CMakeFiles/joza_sqlparse.dir/structure.cpp.o.d"
+  "libjoza_sqlparse.a"
+  "libjoza_sqlparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joza_sqlparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joza_util.dir/codec.cpp.o"
+  "CMakeFiles/joza_util.dir/codec.cpp.o.d"
+  "CMakeFiles/joza_util.dir/rng.cpp.o"
+  "CMakeFiles/joza_util.dir/rng.cpp.o.d"
+  "CMakeFiles/joza_util.dir/strings.cpp.o"
+  "CMakeFiles/joza_util.dir/strings.cpp.o.d"
+  "libjoza_util.a"
+  "libjoza_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joza_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/webapp/application.cpp" "src/webapp/CMakeFiles/joza_webapp.dir/application.cpp.o" "gcc" "src/webapp/CMakeFiles/joza_webapp.dir/application.cpp.o.d"
+  "/root/repo/src/webapp/http_server.cpp" "src/webapp/CMakeFiles/joza_webapp.dir/http_server.cpp.o" "gcc" "src/webapp/CMakeFiles/joza_webapp.dir/http_server.cpp.o.d"
+  "/root/repo/src/webapp/transforms.cpp" "src/webapp/CMakeFiles/joza_webapp.dir/transforms.cpp.o" "gcc" "src/webapp/CMakeFiles/joza_webapp.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/joza_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/joza_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/joza_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/phpsrc/CMakeFiles/joza_phpsrc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlparse/CMakeFiles/joza_sqlparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

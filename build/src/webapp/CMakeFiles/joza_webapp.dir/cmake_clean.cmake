@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joza_webapp.dir/application.cpp.o"
+  "CMakeFiles/joza_webapp.dir/application.cpp.o.d"
+  "CMakeFiles/joza_webapp.dir/http_server.cpp.o"
+  "CMakeFiles/joza_webapp.dir/http_server.cpp.o.d"
+  "CMakeFiles/joza_webapp.dir/transforms.cpp.o"
+  "CMakeFiles/joza_webapp.dir/transforms.cpp.o.d"
+  "libjoza_webapp.a"
+  "libjoza_webapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joza_webapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

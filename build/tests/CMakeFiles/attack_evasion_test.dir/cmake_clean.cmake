@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_evasion_test.dir/attack_evasion_test.cpp.o"
+  "CMakeFiles/attack_evasion_test.dir/attack_evasion_test.cpp.o.d"
+  "attack_evasion_test"
+  "attack_evasion_test.pdb"
+  "attack_evasion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_evasion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_extractor_test.dir/attack_extractor_test.cpp.o"
+  "CMakeFiles/attack_extractor_test.dir/attack_extractor_test.cpp.o.d"
+  "attack_extractor_test"
+  "attack_extractor_test.pdb"
+  "attack_extractor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_extractor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_security_test.dir/attack_security_test.cpp.o"
+  "CMakeFiles/attack_security_test.dir/attack_security_test.cpp.o.d"
+  "attack_security_test"
+  "attack_security_test.pdb"
+  "attack_security_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_security_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

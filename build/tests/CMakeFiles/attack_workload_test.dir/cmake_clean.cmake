@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_workload_test.dir/attack_workload_test.cpp.o"
+  "CMakeFiles/attack_workload_test.dir/attack_workload_test.cpp.o.d"
+  "attack_workload_test"
+  "attack_workload_test.pdb"
+  "attack_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

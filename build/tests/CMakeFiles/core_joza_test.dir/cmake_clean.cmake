@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_joza_test.dir/core_joza_test.cpp.o"
+  "CMakeFiles/core_joza_test.dir/core_joza_test.cpp.o.d"
+  "core_joza_test"
+  "core_joza_test.pdb"
+  "core_joza_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_joza_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/db_database_test.cpp" "tests/CMakeFiles/db_database_test.dir/db_database_test.cpp.o" "gcc" "tests/CMakeFiles/db_database_test.dir/db_database_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/joza_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlparse/CMakeFiles/joza_sqlparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/joza_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

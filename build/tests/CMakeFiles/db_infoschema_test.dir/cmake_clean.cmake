@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_infoschema_test.dir/db_infoschema_test.cpp.o"
+  "CMakeFiles/db_infoschema_test.dir/db_infoschema_test.cpp.o.d"
+  "db_infoschema_test"
+  "db_infoschema_test.pdb"
+  "db_infoschema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_infoschema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

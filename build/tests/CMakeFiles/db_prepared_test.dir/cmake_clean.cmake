@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_prepared_test.dir/db_prepared_test.cpp.o"
+  "CMakeFiles/db_prepared_test.dir/db_prepared_test.cpp.o.d"
+  "db_prepared_test"
+  "db_prepared_test.pdb"
+  "db_prepared_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_prepared_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

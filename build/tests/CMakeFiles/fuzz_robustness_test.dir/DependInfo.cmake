@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fuzz_robustness_test.cpp" "tests/CMakeFiles/fuzz_robustness_test.dir/fuzz_robustness_test.cpp.o" "gcc" "tests/CMakeFiles/fuzz_robustness_test.dir/fuzz_robustness_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/joza_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/joza_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/nti/CMakeFiles/joza_nti.dir/DependInfo.cmake"
+  "/root/repo/build/src/pti/CMakeFiles/joza_pti.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/joza_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/webapp/CMakeFiles/joza_webapp.dir/DependInfo.cmake"
+  "/root/repo/build/src/phpsrc/CMakeFiles/joza_phpsrc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlparse/CMakeFiles/joza_sqlparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/joza_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/joza_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_request_test.dir/http_request_test.cpp.o"
+  "CMakeFiles/http_request_test.dir/http_request_test.cpp.o.d"
+  "http_request_test"
+  "http_request_test.pdb"
+  "http_request_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_request_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

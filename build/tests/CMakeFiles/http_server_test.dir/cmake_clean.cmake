@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_server_test.dir/http_server_test.cpp.o"
+  "CMakeFiles/http_server_test.dir/http_server_test.cpp.o.d"
+  "http_server_test"
+  "http_server_test.pdb"
+  "http_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

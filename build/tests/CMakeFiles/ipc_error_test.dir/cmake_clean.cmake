@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipc_error_test.dir/ipc_error_test.cpp.o"
+  "CMakeFiles/ipc_error_test.dir/ipc_error_test.cpp.o.d"
+  "ipc_error_test"
+  "ipc_error_test.pdb"
+  "ipc_error_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipc_error_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_levenshtein_test.dir/match_levenshtein_test.cpp.o"
+  "CMakeFiles/match_levenshtein_test.dir/match_levenshtein_test.cpp.o.d"
+  "match_levenshtein_test"
+  "match_levenshtein_test.pdb"
+  "match_levenshtein_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_levenshtein_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_substring_test.dir/match_substring_test.cpp.o"
+  "CMakeFiles/match_substring_test.dir/match_substring_test.cpp.o.d"
+  "match_substring_test"
+  "match_substring_test.pdb"
+  "match_substring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_substring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nti_differential_test.dir/nti_differential_test.cpp.o"
+  "CMakeFiles/nti_differential_test.dir/nti_differential_test.cpp.o.d"
+  "nti_differential_test"
+  "nti_differential_test.pdb"
+  "nti_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nti_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nti_test.dir/nti_test.cpp.o"
+  "CMakeFiles/nti_test.dir/nti_test.cpp.o.d"
+  "nti_test"
+  "nti_test.pdb"
+  "nti_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nti_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phpsrc_installer_test.dir/phpsrc_installer_test.cpp.o"
+  "CMakeFiles/phpsrc_installer_test.dir/phpsrc_installer_test.cpp.o.d"
+  "phpsrc_installer_test"
+  "phpsrc_installer_test.pdb"
+  "phpsrc_installer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phpsrc_installer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

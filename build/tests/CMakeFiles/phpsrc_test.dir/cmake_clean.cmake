@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phpsrc_test.dir/phpsrc_test.cpp.o"
+  "CMakeFiles/phpsrc_test.dir/phpsrc_test.cpp.o.d"
+  "phpsrc_test"
+  "phpsrc_test.pdb"
+  "phpsrc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phpsrc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

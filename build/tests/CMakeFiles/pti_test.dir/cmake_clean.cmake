@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pti_test.dir/pti_test.cpp.o"
+  "CMakeFiles/pti_test.dir/pti_test.cpp.o.d"
+  "pti_test"
+  "pti_test.pdb"
+  "pti_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pti_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

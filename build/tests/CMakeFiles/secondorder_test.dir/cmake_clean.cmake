@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secondorder_test.dir/secondorder_test.cpp.o"
+  "CMakeFiles/secondorder_test.dir/secondorder_test.cpp.o.d"
+  "secondorder_test"
+  "secondorder_test.pdb"
+  "secondorder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secondorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

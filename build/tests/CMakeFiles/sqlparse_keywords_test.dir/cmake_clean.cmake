@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlparse_keywords_test.dir/sqlparse_keywords_test.cpp.o"
+  "CMakeFiles/sqlparse_keywords_test.dir/sqlparse_keywords_test.cpp.o.d"
+  "sqlparse_keywords_test"
+  "sqlparse_keywords_test.pdb"
+  "sqlparse_keywords_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlparse_keywords_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

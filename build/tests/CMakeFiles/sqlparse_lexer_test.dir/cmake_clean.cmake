@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlparse_lexer_test.dir/sqlparse_lexer_test.cpp.o"
+  "CMakeFiles/sqlparse_lexer_test.dir/sqlparse_lexer_test.cpp.o.d"
+  "sqlparse_lexer_test"
+  "sqlparse_lexer_test.pdb"
+  "sqlparse_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlparse_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlparse_parser_test.dir/sqlparse_parser_test.cpp.o"
+  "CMakeFiles/sqlparse_parser_test.dir/sqlparse_parser_test.cpp.o.d"
+  "sqlparse_parser_test"
+  "sqlparse_parser_test.pdb"
+  "sqlparse_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlparse_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlparse_printer_test.dir/sqlparse_printer_test.cpp.o"
+  "CMakeFiles/sqlparse_printer_test.dir/sqlparse_printer_test.cpp.o.d"
+  "sqlparse_printer_test"
+  "sqlparse_printer_test.pdb"
+  "sqlparse_printer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlparse_printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

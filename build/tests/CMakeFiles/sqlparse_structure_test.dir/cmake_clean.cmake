@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlparse_structure_test.dir/sqlparse_structure_test.cpp.o"
+  "CMakeFiles/sqlparse_structure_test.dir/sqlparse_structure_test.cpp.o.d"
+  "sqlparse_structure_test"
+  "sqlparse_structure_test.pdb"
+  "sqlparse_structure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlparse_structure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strict_policy_test.dir/strict_policy_test.cpp.o"
+  "CMakeFiles/strict_policy_test.dir/strict_policy_test.cpp.o.d"
+  "strict_policy_test"
+  "strict_policy_test.pdb"
+  "strict_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strict_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_codec_test.dir/util_codec_test.cpp.o"
+  "CMakeFiles/util_codec_test.dir/util_codec_test.cpp.o.d"
+  "util_codec_test"
+  "util_codec_test.pdb"
+  "util_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

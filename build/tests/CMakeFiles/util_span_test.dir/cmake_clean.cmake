@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_span_test.dir/util_span_test.cpp.o"
+  "CMakeFiles/util_span_test.dir/util_span_test.cpp.o.d"
+  "util_span_test"
+  "util_span_test.pdb"
+  "util_span_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_span_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

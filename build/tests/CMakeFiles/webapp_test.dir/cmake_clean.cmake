@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webapp_test.dir/webapp_test.cpp.o"
+  "CMakeFiles/webapp_test.dir/webapp_test.cpp.o.d"
+  "webapp_test"
+  "webapp_test.pdb"
+  "webapp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webapp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

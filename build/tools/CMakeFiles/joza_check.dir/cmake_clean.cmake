@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joza_check.dir/joza_check.cpp.o"
+  "CMakeFiles/joza_check.dir/joza_check.cpp.o.d"
+  "joza_check"
+  "joza_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joza_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joza_scan.dir/joza_scan.cpp.o"
+  "CMakeFiles/joza_scan.dir/joza_scan.cpp.o.d"
+  "joza_scan"
+  "joza_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joza_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
