@@ -16,33 +16,82 @@ const char* DetectedByName(DetectedBy d) {
   return "?";
 }
 
+JozaStats& JozaStats::operator+=(const JozaStats& other) {
+  queries_checked += other.queries_checked;
+  attacks_detected += other.attacks_detected;
+  query_cache_hits += other.query_cache_hits;
+  structure_cache_hits += other.structure_cache_hits;
+  pti_full_runs += other.pti_full_runs;
+  nti_runs += other.nti_runs;
+  cache_evictions += other.cache_evictions;
+  return *this;
+}
+
 Joza::Joza(php::FragmentSet fragments, JozaConfig config)
     : config_(config),
       pti_(std::move(fragments), config.pti),
-      nti_(config.nti) {}
+      nti_(config.nti),
+      state_(std::make_unique<SharedState>(config.cache_capacity,
+                                           config.cache_shards)) {}
 
 Joza Joza::Install(const webapp::Application& app, JozaConfig config) {
   return Joza(php::FragmentSet::FromSources(app.sources()), config);
 }
 
+JozaStats Joza::stats() const {
+  JozaStats out;
+  const AtomicStats& a = state_->stats;
+  out.queries_checked = a.queries_checked.load(std::memory_order_relaxed);
+  out.attacks_detected = a.attacks_detected.load(std::memory_order_relaxed);
+  out.query_cache_hits = a.query_cache_hits.load(std::memory_order_relaxed);
+  out.structure_cache_hits =
+      a.structure_cache_hits.load(std::memory_order_relaxed);
+  out.pti_full_runs = a.pti_full_runs.load(std::memory_order_relaxed);
+  out.nti_runs = a.nti_runs.load(std::memory_order_relaxed);
+  out.cache_evictions =
+      state_->query_cache.evictions() + state_->structure_cache.evictions() -
+      state_->evictions_baseline.load(std::memory_order_relaxed);
+  return out;
+}
+
+void Joza::ResetStats() {
+  AtomicStats& a = state_->stats;
+  a.queries_checked.store(0, std::memory_order_relaxed);
+  a.attacks_detected.store(0, std::memory_order_relaxed);
+  a.query_cache_hits.store(0, std::memory_order_relaxed);
+  a.structure_cache_hits.store(0, std::memory_order_relaxed);
+  a.pti_full_runs.store(0, std::memory_order_relaxed);
+  a.nti_runs.store(0, std::memory_order_relaxed);
+  state_->evictions_baseline.store(
+      state_->query_cache.evictions() + state_->structure_cache.evictions(),
+      std::memory_order_relaxed);
+}
+
 void Joza::OnSourcesChanged(const std::vector<php::SourceFile>& files) {
+  // Writer lock: quiesce concurrent checks while the automaton rebuilds.
+  std::unique_lock<std::shared_mutex> lock(state_->fragments_mu);
   pti_.AddFragments(files);
   // New fragments can only widen the trusted set, but cached verdicts were
   // computed against the old vocabulary; drop them for simplicity.
-  safe_query_cache_.clear();
-  safe_structure_cache_.clear();
+  state_->query_cache.Clear();
+  state_->structure_cache.Clear();
 }
 
 pti::PtiResult Joza::RunPti(std::string_view query,
                             const std::vector<sql::Token>& tokens) {
-  ++stats_.pti_full_runs;
+  state_->stats.pti_full_runs.fetch_add(1, std::memory_order_relaxed);
   if (pti_backend_) return pti_backend_(query, tokens);
+  if (config_.pti.use_aho_corasick) return pti_.Analyze(query, tokens);
+  // The naive path reorders its MRU fragment list during analysis.
+  std::lock_guard<std::mutex> lock(state_->pti_mru_mu);
   return pti_.Analyze(query, tokens);
 }
 
 Verdict Joza::Check(std::string_view query,
                     const std::vector<http::Input>& inputs) {
-  ++stats_.queries_checked;
+  // Reader lock against OnSourcesChanged; checks never block each other.
+  std::shared_lock<std::shared_mutex> fragments_lock(state_->fragments_mu);
+  state_->stats.queries_checked.fetch_add(1, std::memory_order_relaxed);
   Verdict verdict;
   const std::vector<sql::Token> tokens = sql::Lex(query);
 
@@ -51,8 +100,8 @@ Verdict Joza::Check(std::string_view query,
   if (config_.enable_pti) {
     bool resolved = false;
     const std::uint64_t qhash = Fnv1a64(query);
-    if (config_.query_cache && safe_query_cache_.contains(qhash)) {
-      ++stats_.query_cache_hits;
+    if (config_.query_cache && state_->query_cache.Lookup(qhash)) {
+      state_->stats.query_cache_hits.fetch_add(1, std::memory_order_relaxed);
       verdict.query_cache_hit = true;
       resolved = true;  // safe
     }
@@ -64,8 +113,9 @@ Verdict Joza::Check(std::string_view query,
       if (parsed.ok()) {
         shash = parsed.value();
         have_shash = true;
-        if (safe_structure_cache_.contains(shash)) {
-          ++stats_.structure_cache_hits;
+        if (state_->structure_cache.Lookup(shash)) {
+          state_->stats.structure_cache_hits.fetch_add(
+              1, std::memory_order_relaxed);
           verdict.structure_cache_hit = true;
           resolved = true;  // same shape as a previously PTI-safe query
         }
@@ -76,7 +126,7 @@ Verdict Joza::Check(std::string_view query,
       verdict.pti = RunPti(query, tokens);
       pti_safe = !verdict.pti.attack_detected;
       if (pti_safe) {
-        if (config_.query_cache) safe_query_cache_.insert(qhash);
+        if (config_.query_cache) state_->query_cache.Insert(qhash);
         if (config_.structure_cache) {
           if (!have_shash) {
             auto parsed = sql::StructureHashOf(query);
@@ -85,7 +135,7 @@ Verdict Joza::Check(std::string_view query,
               have_shash = true;
             }
           }
-          if (have_shash) safe_structure_cache_.insert(shash);
+          if (have_shash) state_->structure_cache.Insert(shash);
         }
       }
     }
@@ -94,7 +144,7 @@ Verdict Joza::Check(std::string_view query,
   // --- NTI (never cached: depends on this request's inputs) ---------------
   bool nti_safe = true;
   if (config_.enable_nti) {
-    ++stats_.nti_runs;
+    state_->stats.nti_runs.fetch_add(1, std::memory_order_relaxed);
     verdict.nti = nti_.Analyze(query, tokens, inputs);
     nti_safe = !verdict.nti.attack_detected;
   }
@@ -108,12 +158,14 @@ Verdict Joza::Check(std::string_view query,
     verdict.detected_by = DetectedBy::kNti;
   }
   if (verdict.attack) {
-    ++stats_.attacks_detected;
+    const std::size_t sequence =
+        state_->stats.attacks_detected.fetch_add(1, std::memory_order_relaxed) +
+        1;
     if (attack_sink_) {
       AttackReport report;
       report.query = std::string(query);
       report.detected_by = verdict.detected_by;
-      report.sequence = stats_.attacks_detected;
+      report.sequence = sequence;
       for (const sql::Token& t : verdict.pti.untrusted_critical_tokens) {
         report.untrusted_tokens.emplace_back(t.text);
       }
@@ -132,6 +184,7 @@ Verdict Joza::Check(std::string_view query,
           break;
         }
       }
+      std::lock_guard<std::mutex> sink_lock(state_->sink_mu);
       attack_sink_(report);
     }
   }

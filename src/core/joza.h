@@ -6,16 +6,27 @@
 // cache (AST shape with data nodes blanked — safe because injected SQL
 // always alters the shape). NTI is never cached: its verdict depends on
 // the request's inputs.
+//
+// Thread safety: Check(), MakeGate()'s gate, stats() and OnSourcesChanged()
+// may be called concurrently from any number of threads (the gateway shares
+// one engine across its whole worker pool). The caches are sharded with
+// striped locks, stats counters are atomic, and fragment updates take a
+// writer lock that briefly quiesces checks. The setters (SetPtiBackend,
+// SetAttackSink) and ResetStats are setup-time operations: call them before
+// concurrent checking starts.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "core/sharded_cache.h"
 #include "http/request.h"
 #include "nti/nti.h"
 #include "phpsrc/fragments.h"
@@ -39,6 +50,14 @@ struct JozaConfig {
   bool query_cache = true;
   bool structure_cache = true;
   RecoveryPolicy recovery = RecoveryPolicy::kTerminate;
+  // Bound on each safety cache's entry count. 0 keeps the seed behaviour
+  // (unbounded, as the Table V/VI benches assume); the gateway sets a bound
+  // so memory stays stable under unbounded distinct-query traffic. Eviction
+  // is CLOCK (LRU-ish) and can only forget safe verdicts, never grant one.
+  std::size_t cache_capacity = 0;
+  // Lock-striping width of the safety caches (rounded up to a power of
+  // two). More shards = less contention between worker threads.
+  std::size_t cache_shards = 16;
 };
 
 enum class DetectedBy { kNone, kNti, kPti, kBoth };
@@ -61,6 +80,10 @@ struct JozaStats {
   std::size_t structure_cache_hits = 0;
   std::size_t pti_full_runs = 0;
   std::size_t nti_runs = 0;
+  std::size_t cache_evictions = 0;
+
+  // Aggregation across engines / snapshot intervals (gateway roll-ups).
+  JozaStats& operator+=(const JozaStats& other);
 };
 
 // Structured record of one detected attack, for audit logs / operators.
@@ -99,8 +122,9 @@ class Joza {
   static Joza Install(const webapp::Application& app, JozaConfig config = {});
 
   const JozaConfig& config() const { return config_; }
-  const JozaStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = JozaStats{}; }
+  // Consistent point-in-time snapshot of the atomic counters.
+  JozaStats stats() const;
+  void ResetStats();
   const pti::PtiAnalyzer& pti_analyzer() const { return pti_; }
 
   // Re-routes PTI analysis (e.g. through the daemon). Pass nullptr to
@@ -122,21 +146,51 @@ class Joza {
   void OnSourcesChanged(const std::vector<php::SourceFile>& files);
 
  private:
+  // Per-field atomic mirror of JozaStats, relaxed increments on the hot
+  // path; stats() sums them into a plain snapshot.
+  struct AtomicStats {
+    std::atomic<std::size_t> queries_checked{0};
+    std::atomic<std::size_t> attacks_detected{0};
+    std::atomic<std::size_t> query_cache_hits{0};
+    std::atomic<std::size_t> structure_cache_hits{0};
+    std::atomic<std::size_t> pti_full_runs{0};
+    std::atomic<std::size_t> nti_runs{0};
+  };
+
+  // All concurrently-mutated state lives behind one pointer so Joza itself
+  // stays movable (Install returns by value). Moving an engine while other
+  // threads are checking through it is, of course, still undefined.
+  struct SharedState {
+    SharedState(std::size_t capacity, std::size_t shards)
+        : query_cache(capacity, shards), structure_cache(capacity, shards) {}
+    // Query cache: hashes of exact query strings previously PTI-safe.
+    ShardedSafetyCache query_cache;
+    // Structure cache: AST-structure hashes of previously PTI-safe queries.
+    ShardedSafetyCache structure_cache;
+    AtomicStats stats;
+    // Counter snapshot subtracted by ResetStats (cache eviction counters
+    // are cumulative inside the cache).
+    std::atomic<std::size_t> evictions_baseline{0};
+    // Readers = Check; writer = OnSourcesChanged (mutates the PTI
+    // analyzer's automaton and flushes both caches).
+    std::shared_mutex fragments_mu;
+    // The naive PTI path mutates its MRU ordering; serialize it. The
+    // default Aho-Corasick path is lock-free and never takes this.
+    std::mutex pti_mru_mu;
+    // Attack sinks are user callbacks with no thread-safety contract.
+    std::mutex sink_mu;
+  };
+
   pti::PtiResult RunPti(std::string_view query,
                         const std::vector<sql::Token>& tokens);
 
   JozaConfig config_;
   pti::PtiAnalyzer pti_;
   nti::NtiAnalyzer nti_;
-  PtiFn pti_backend_;  // empty -> in-process
+  PtiFn pti_backend_;  // empty -> in-process; must be thread-safe if the
+                       // engine is checked from multiple threads
   AttackSink attack_sink_;
-
-  // Query cache: hashes of exact query strings previously deemed PTI-safe.
-  std::unordered_set<std::uint64_t> safe_query_cache_;
-  // Structure cache: AST-structure hashes of previously PTI-safe queries.
-  std::unordered_set<std::uint64_t> safe_structure_cache_;
-
-  JozaStats stats_;
+  std::unique_ptr<SharedState> state_;
 };
 
 }  // namespace joza::core

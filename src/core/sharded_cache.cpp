@@ -1,0 +1,107 @@
+#include "core/sharded_cache.h"
+
+#include <algorithm>
+
+namespace joza::core {
+
+namespace {
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::size_t Log2(std::size_t pow2) {
+  std::size_t bits = 0;
+  while (pow2 > 1) {
+    pow2 >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+ShardedSafetyCache::ShardedSafetyCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity),
+      shards_(RoundUpPow2(shards == 0 ? 1 : shards)) {
+  // With a tiny capacity, fewer shards than requested keep every shard
+  // non-degenerate (at least one slot each is guaranteed regardless).
+  per_shard_cap_ =
+      capacity_ == 0 ? 0
+                     : std::max<std::size_t>(1, capacity_ / shards_.size());
+  shard_shift_ = 64 - Log2(shards_.size());
+}
+
+ShardedSafetyCache::Shard& ShardedSafetyCache::ShardFor(std::uint64_t hash) {
+  // Multiply-shift spreads FNV hashes evenly over the power-of-two shards;
+  // taking high bits keeps shard choice independent of the index buckets.
+  const std::uint64_t mixed = hash * 0x9e3779b97f4a7c15ull;
+  return shards_[shard_shift_ >= 64 ? 0 : mixed >> shard_shift_];
+}
+
+bool ShardedSafetyCache::Lookup(std::uint64_t hash) {
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (per_shard_cap_ == 0) return shard.set.contains(hash);
+  auto it = shard.index.find(hash);
+  if (it == shard.index.end()) return false;
+  shard.slots[it->second].referenced = true;
+  return true;
+}
+
+void ShardedSafetyCache::Insert(std::uint64_t hash) {
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (per_shard_cap_ == 0) {
+    shard.set.insert(hash);
+    return;
+  }
+  if (auto it = shard.index.find(hash); it != shard.index.end()) {
+    shard.slots[it->second].referenced = true;
+    return;
+  }
+  if (shard.slots.size() < per_shard_cap_) {
+    shard.index.emplace(hash, shard.slots.size());
+    shard.slots.push_back(Slot{hash, false});
+    return;
+  }
+  // CLOCK: sweep until a slot with a clear reference bit turns up; each
+  // pass clears bits, so the sweep terminates within two revolutions.
+  for (;;) {
+    Slot& victim = shard.slots[shard.hand];
+    if (victim.referenced) {
+      victim.referenced = false;
+      shard.hand = (shard.hand + 1) % shard.slots.size();
+      continue;
+    }
+    shard.index.erase(victim.hash);
+    shard.index.emplace(hash, shard.hand);
+    victim = Slot{hash, false};
+    shard.hand = (shard.hand + 1) % shard.slots.size();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+}
+
+void ShardedSafetyCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.slots.clear();
+    shard.index.clear();
+    shard.set.clear();
+    shard.hand = 0;
+  }
+}
+
+std::size_t ShardedSafetyCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += per_shard_cap_ == 0 ? shard.set.size() : shard.slots.size();
+  }
+  return total;
+}
+
+}  // namespace joza::core

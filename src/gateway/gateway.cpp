@@ -1,0 +1,347 @@
+#include "gateway/gateway.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/strings.h"
+#include "webapp/http_server.h"
+
+namespace joza::gateway {
+
+namespace {
+
+// Reads one full HTTP request out of the connection stream. `buf` carries
+// leftover bytes between calls (keep-alive pipelining); on success the
+// request's raw bytes are returned and removed from `buf`. NotFound means
+// the peer closed cleanly between requests; Unavailable covers idle
+// timeouts (SO_RCVTIMEO) and resets.
+StatusOr<std::string> ReadOneRequest(int fd, std::string& buf) {
+  std::size_t header_end = buf.find("\r\n\r\n");
+  char chunk[4096];
+  while (header_end == std::string::npos) {
+    ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("recv(): ") +
+                                 std::strerror(errno));
+    }
+    if (n == 0) {
+      if (buf.empty()) return Status::NotFound("peer closed");
+      return Status::Unavailable("connection closed mid-request");
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+    if (buf.size() > (1u << 20)) {
+      return Status::InvalidArgument("request too large");
+    }
+    header_end = buf.find("\r\n\r\n");
+  }
+
+  std::size_t content_length = 0;
+  const std::size_t cl =
+      FindIgnoreCase(std::string_view(buf).substr(0, header_end),
+                     "content-length:");
+  if (cl != std::string_view::npos) {
+    content_length = static_cast<std::size_t>(
+        std::strtoul(buf.c_str() + cl + 15, nullptr, 10));
+    if (content_length > (1u << 20)) {
+      return Status::InvalidArgument("request body too large");
+    }
+  }
+  const std::size_t total = header_end + 4 + content_length;
+  while (buf.size() < total) {
+    ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("recv() during body");
+    }
+    if (n == 0) return Status::Unavailable("connection closed mid-body");
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  std::string raw = buf.substr(0, total);
+  buf.erase(0, total);
+  return raw;
+}
+
+// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an explicit
+// Connection header on the first line block overrides either way.
+bool WantsKeepAlive(std::string_view raw) {
+  const std::size_t line_end = raw.find("\r\n");
+  const bool http11 =
+      raw.substr(0, line_end == std::string_view::npos ? 0 : line_end)
+          .find("HTTP/1.1") != std::string_view::npos;
+  const std::size_t header_end = raw.find("\r\n\r\n");
+  const std::string_view headers =
+      raw.substr(0, header_end == std::string_view::npos ? raw.size()
+                                                         : header_end);
+  const std::size_t conn = FindIgnoreCase(headers, "connection:");
+  if (conn == std::string_view::npos) return http11;
+  const std::size_t value_end = headers.find("\r\n", conn);
+  const std::string_view value = headers.substr(
+      conn, value_end == std::string_view::npos ? headers.size() - conn
+                                                : value_end - conn);
+  if (FindIgnoreCase(value, "close") != std::string_view::npos) return false;
+  if (FindIgnoreCase(value, "keep-alive") != std::string_view::npos) {
+    return true;
+  }
+  return http11;
+}
+
+std::string RenderResponse(const http::Response& response, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    webapp::ReasonPhrase(response.status) + "\r\n";
+  out += "Content-Type: text/html\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "X-Virtual-Time-Ms: " + std::to_string(response.virtual_time_ms) +
+         "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                    : "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace
+
+GatewayServer::GatewayServer(AppFactory factory, core::Joza* joza,
+                             GatewayConfig config)
+    : factory_(std::move(factory)), joza_(joza), config_(config) {
+  if (config_.workers == 0) config_.workers = 1;
+  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+}
+
+GatewayServer::~GatewayServer() { Stop(); }
+
+StatusOr<int> GatewayServer::Start() {
+  if (running_.load()) return Status::InvalidArgument("already running");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Unavailable(std::string("socket(): ") +
+                               std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable(std::string("bind(): ") +
+                               std::strerror(errno));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, config_.listen_backlog) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable(std::string("listen(): ") +
+                               std::strerror(errno));
+  }
+
+  running_.store(true);
+  stopping_.store(false);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    draining_ = false;
+  }
+  workers_.clear();
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.push_back(std::make_unique<WorkerSlot>());
+  }
+  for (auto& slot : workers_) {
+    WorkerSlot* s = slot.get();
+    s->thread = std::thread([this, s] { WorkerLoop(*s); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return port_;
+}
+
+void GatewayServer::Stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+
+  // 1. Stop accepting: closing the listener unblocks accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. Drain: workers serve whatever is queued, then exit.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    draining_ = true;
+  }
+  queue_cv_.notify_all();
+
+  // 3. Sever idle keep-alive connections so no worker waits out a client
+  //    that never sends another request. In-flight handling and the
+  //    response write are unaffected (SHUT_RD only); re-arm periodically
+  //    until every worker has wound down, covering connections picked up
+  //    from the drained queue after the first pass.
+  for (;;) {
+    bool any_alive = false;
+    for (auto& slot : workers_) {
+      if (!slot->done.load()) any_alive = true;
+      std::lock_guard<std::mutex> lock(slot->conn_mu);
+      if (slot->active_fd >= 0) ::shutdown(slot->active_fd, SHUT_RD);
+    }
+    if (!any_alive) break;
+    queue_cv_.notify_all();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (auto& slot : workers_) {
+    if (slot->thread.joinable()) slot->thread.join();
+  }
+  workers_.clear();
+}
+
+void GatewayServer::AcceptLoop() {
+  while (running_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by Stop()
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    // Idle keep-alive timeout: a worker's recv for the *next* request on a
+    // connection returns EAGAIN after this long, closing the connection.
+    timeval tv{};
+    tv.tv_sec =
+        static_cast<time_t>(config_.keepalive_timeout.count() / 1000);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (config_.keepalive_timeout.count() % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    bool rejected = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (queue_.size() >= config_.queue_capacity) {
+        rejected = true;
+      } else {
+        queue_.push_back(fd);
+      }
+    }
+    if (rejected) {
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      Reject503(fd);
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+}
+
+void GatewayServer::Reject503(int fd) {
+  // Drain the request already in flight before answering: closing with
+  // unread bytes in the receive buffer makes the kernel send RST, and the
+  // peer would never see the 503. The short timeout bounds how long an
+  // overloaded accept loop can stall on a slow client.
+  timeval tv{};
+  tv.tv_usec = 250 * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  std::string buf;
+  (void)ReadOneRequest(fd, buf);
+  http::Response overloaded;
+  overloaded.status = 503;
+  overloaded.body = "overloaded";
+  webapp::SendAll(fd, RenderResponse(overloaded, false));
+  // Half-close and wait for the peer's EOF so the response is delivered
+  // before the full close.
+  ::shutdown(fd, SHUT_WR);
+  char sink[256];
+  while (::recv(fd, sink, sizeof sink, 0) > 0) {
+  }
+  ::close(fd);
+}
+
+void GatewayServer::WorkerLoop(WorkerSlot& slot) {
+  // One private application per worker: handlers and the in-memory db are
+  // single-threaded; only the Joza engine is shared.
+  std::unique_ptr<webapp::Application> app = factory_();
+  if (joza_ != nullptr) app->SetQueryGate(joza_->MakeGate());
+
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return !queue_.empty() || draining_; });
+      if (queue_.empty()) break;  // draining and nothing left to serve
+      fd = queue_.front();
+      queue_.pop_front();
+    }
+    {
+      std::lock_guard<std::mutex> lock(slot.conn_mu);
+      slot.active_fd = fd;
+    }
+    ServeConnection(*app, fd);
+    {
+      std::lock_guard<std::mutex> lock(slot.conn_mu);
+      slot.active_fd = -1;
+    }
+    ::close(fd);
+  }
+  app->SetQueryGate(nullptr);
+  slot.done.store(true);
+}
+
+void GatewayServer::ServeConnection(webapp::Application& app, int fd) {
+  std::string buf;
+  std::size_t served_on_connection = 0;
+  while (served_on_connection < config_.max_requests_per_connection) {
+    auto raw = ReadOneRequest(fd, buf);
+    if (!raw.ok()) break;  // clean close, idle timeout, oversize, reset
+
+    http::Response response;
+    bool keep_alive = false;
+    auto request = http::ParseRawRequest(raw.value());
+    if (!request.ok()) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      response.status = 400;
+      response.body = "Bad Request";
+    } else {
+      keep_alive = WantsKeepAlive(raw.value());
+      response = app.Handle(request.value());
+    }
+    // During drain, finish this request but do not start another.
+    if (stopping_.load(std::memory_order_relaxed)) keep_alive = false;
+    if (served_on_connection + 1 >= config_.max_requests_per_connection) {
+      keep_alive = false;
+    }
+
+    // Count before the send: a client that has its response in hand must
+    // observe the request in stats() (tests and monitoring read it there).
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    if (served_on_connection > 0) {
+      keepalive_reuses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!webapp::SendAll(fd, RenderResponse(response, keep_alive)).ok()) {
+      break;  // peer went away mid-response
+    }
+    ++served_on_connection;
+    if (!keep_alive) break;
+  }
+}
+
+GatewayStats GatewayServer::stats() const {
+  GatewayStats out;
+  out.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  out.connections_rejected =
+      connections_rejected_.load(std::memory_order_relaxed);
+  out.requests_served = requests_served_.load(std::memory_order_relaxed);
+  out.keepalive_reuses = keepalive_reuses_.load(std::memory_order_relaxed);
+  out.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace joza::gateway

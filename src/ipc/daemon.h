@@ -46,6 +46,11 @@ class DaemonClient {
 
   Mode mode() const { return mode_; }
 
+  // Pid of the live daemon child, or -1 before the first spawn / after
+  // Shutdown. The pool uses it for health accounting; tests use it to kill
+  // daemons and exercise fail-closed replacement.
+  int child_pid() const { return child_pid_; }
+
   // Round-trips one query through the daemon.
   StatusOr<PtiVerdictWire> Analyze(std::string_view query);
 

@@ -1,0 +1,223 @@
+#include "ipc/daemon_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace joza::ipc {
+
+DaemonPool::DaemonPool(php::FragmentSet fragments, Options options,
+                       pti::PtiConfig config)
+    : fragments_(std::move(fragments)), config_(config), options_(options) {
+  if (options_.max_size == 0) options_.max_size = 1;
+  options_.min_size = std::min(options_.min_size, options_.max_size);
+}
+
+DaemonPool::~DaemonPool() { Shutdown(); }
+
+StatusOr<DaemonPool::Entry> DaemonPool::Checkout() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (idle_.empty() && live_ >= options_.max_size && !shutdown_) {
+    ++stats_.waits;
+    cv_.wait(lock);
+  }
+  if (shutdown_) return Status::Unavailable("daemon pool is shut down");
+
+  Entry entry;
+  if (!idle_.empty()) {
+    entry = std::move(idle_.back());
+    idle_.pop_back();
+  } else {
+    ++live_;
+    ++stats_.spawned;
+    // Copy the fragment set under the lock; fork and handshake outside it
+    // so a slow spawn never stalls the whole pool.
+    php::FragmentSet fragments = fragments_;
+    entry.fragments_applied = added_texts_.size();
+    lock.unlock();
+    entry.client = std::make_unique<DaemonClient>(
+        DaemonClient::Mode::kPersistent, std::move(fragments), config_);
+    if (Status st = entry.client->Ping(); !st.ok()) {
+      Discard(std::move(entry));
+      return st;
+    }
+    return entry;
+  }
+
+  // Ship fragment updates this daemon has not seen yet.
+  std::vector<std::string> pending(
+      added_texts_.begin() +
+          static_cast<std::ptrdiff_t>(entry.fragments_applied),
+      added_texts_.end());
+  entry.fragments_applied = added_texts_.size();
+  lock.unlock();
+  if (!pending.empty()) {
+    if (Status st = entry.client->AddFragments(pending); !st.ok()) {
+      Discard(std::move(entry));
+      return st;
+    }
+  }
+  return entry;
+}
+
+void DaemonPool::Return(Entry entry) {
+  entry.last_used = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) {
+    --live_;
+    lock.unlock();
+    cv_.notify_all();
+    return;  // entry destructor shuts the daemon down
+  }
+  idle_.push_back(std::move(entry));
+  lock.unlock();
+  cv_.notify_one();
+  ReapIdle();
+}
+
+void DaemonPool::Discard(Entry entry) {
+  (void)entry;  // destroyed on scope exit: shutdown frame + waitpid
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --live_;
+    ++stats_.replaced;
+  }
+  cv_.notify_all();  // blocked checkouts (or Shutdown) may proceed
+  // entry destructor: best-effort shutdown frame + waitpid.
+}
+
+StatusOr<PtiVerdictWire> DaemonPool::Analyze(std::string_view query) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    auto entry = Checkout();
+    if (!entry.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.failures;
+      return entry.status();
+    }
+    auto wire = entry->client->Analyze(query);
+    if (wire.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.analyzed;
+      }
+      Return(std::move(entry).value());
+      return wire;
+    }
+    // The daemon died mid-flight (killed, OOM, crashed): replace it and
+    // retry the query once on a fresh daemon.
+    Discard(std::move(entry).value());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.failures;
+  return Status::Unavailable("PTI daemon unreachable after retry");
+}
+
+Status DaemonPool::Ping() {
+  auto entry = Checkout();
+  if (!entry.ok()) return entry.status();
+  Status st = entry->client->Ping();
+  if (st.ok()) {
+    Return(std::move(entry).value());
+  } else {
+    Discard(std::move(entry).value());
+  }
+  return st;
+}
+
+Status DaemonPool::AddFragments(
+    const std::vector<std::string>& fragment_texts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) return Status::Unavailable("daemon pool is shut down");
+  for (const std::string& f : fragment_texts) {
+    fragments_.AddRaw(f);
+    added_texts_.push_back(f);
+  }
+  // Idle daemons pick the delta up at their next checkout (lazy broadcast);
+  // nothing round-trips while the lock is held.
+  return Status::Ok();
+}
+
+core::PtiFn DaemonPool::AsPtiBackend() {
+  return [this](std::string_view query,
+                const std::vector<sql::Token>& tokens) -> pti::PtiResult {
+    pti::PtiResult result;
+    auto wire = Analyze(query);
+    if (!wire.ok()) {
+      // Fail closed: an unreachable pool must not let queries through.
+      result.attack_detected = true;
+      return result;
+    }
+    result.attack_detected = wire->attack_detected;
+    result.hits = wire->hits;
+    result.fragments_scanned = wire->fragments_scanned;
+    if (wire->attack_detected) {
+      for (const sql::Token& t : tokens) {
+        for (const std::string& text : wire->untrusted_texts) {
+          if (t.IsCritical() && t.text == text) {
+            result.untrusted_critical_tokens.push_back(t);
+            break;
+          }
+        }
+      }
+    }
+    return result;
+  };
+}
+
+void DaemonPool::ReapIdle() {
+  std::vector<Entry> victims;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto now = std::chrono::steady_clock::now();
+    // Oldest entries sit at the front of the LIFO stack.
+    while (live_ > options_.min_size && !idle_.empty() &&
+           now - idle_.front().last_used > options_.idle_timeout) {
+      victims.push_back(std::move(idle_.front()));
+      idle_.erase(idle_.begin());
+      --live_;
+      ++stats_.reaped;
+    }
+  }
+  victims.clear();  // daemon shutdowns happen outside the lock
+}
+
+void DaemonPool::Shutdown() {
+  std::vector<Entry> victims;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_ && live_ == 0) return;
+    shutdown_ = true;
+    victims = std::move(idle_);
+    idle_.clear();
+    live_ -= victims.size();
+    cv_.notify_all();
+    // Checked-out daemons drain through Return/Discard, which decrement
+    // live_ under shutdown_.
+    cv_.wait(lock, [&] { return live_ == 0; });
+  }
+  victims.clear();
+}
+
+DaemonPool::PoolStats DaemonPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t DaemonPool::live() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_;
+}
+
+std::size_t DaemonPool::idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return idle_.size();
+}
+
+std::vector<int> DaemonPool::child_pids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> pids;
+  pids.reserve(idle_.size());
+  for (const Entry& e : idle_) pids.push_back(e.client->child_pid());
+  return pids;
+}
+
+}  // namespace joza::ipc

@@ -1,0 +1,119 @@
+// Pool of persistent PTI daemons for the concurrent gateway.
+//
+// One DaemonClient serializes every analysis through a single pipe pair —
+// fine for the paper's single-threaded Apache module, a bottleneck for a
+// worker pool. DaemonPool multiplexes PTI analysis over N persistent daemon
+// processes with checkout/return semantics: a worker checks a daemon out,
+// round-trips its query, and returns it; when all daemons are busy and the
+// pool is at its cap, callers block until one frees up.
+//
+// Failure policy is fail-closed, matching DaemonClient::AsPtiBackend: a
+// daemon that dies mid-flight is discarded (reaped via waitpid) and the
+// query retried once on a fresh daemon; if that also fails the verdict is
+// "attack" — an unreachable analyzer never waves queries through. Idle
+// daemons beyond `min_size` are reaped after `idle_timeout` so a traffic
+// spike does not pin processes forever.
+//
+// Thread safety: Analyze/AddFragments/stats/ReapIdle may be called from any
+// number of threads. Shutdown (and destruction) must not race in-flight
+// Analyze calls on other threads — stop traffic first; late callers get
+// Unavailable, which the backend adapter fails closed.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/joza.h"
+#include "ipc/daemon.h"
+#include "ipc/framing.h"
+#include "phpsrc/fragments.h"
+#include "pti/pti.h"
+#include "util/status.h"
+
+namespace joza::ipc {
+
+class DaemonPool {
+ public:
+  struct Options {
+    std::size_t min_size = 1;   // survivors of idle reaping
+    std::size_t max_size = 4;   // hard cap on live daemons
+    std::chrono::milliseconds idle_timeout{30000};
+  };
+
+  struct PoolStats {
+    std::size_t spawned = 0;    // daemons forked over the pool's lifetime
+    std::size_t replaced = 0;   // dead daemons discarded mid-flight
+    std::size_t reaped = 0;     // idle daemons retired
+    std::size_t analyzed = 0;   // successful round trips
+    std::size_t failures = 0;   // round trips that failed even after retry
+    std::size_t waits = 0;      // checkouts that had to block
+  };
+
+  explicit DaemonPool(php::FragmentSet fragments)
+      : DaemonPool(std::move(fragments), Options{}) {}
+  DaemonPool(php::FragmentSet fragments, Options options,
+             pti::PtiConfig config = {});
+  ~DaemonPool();
+
+  DaemonPool(const DaemonPool&) = delete;
+  DaemonPool& operator=(const DaemonPool&) = delete;
+
+  // Round-trips one query through any pooled daemon. Spawns up to max_size
+  // daemons on demand; blocks when all are checked out.
+  StatusOr<PtiVerdictWire> Analyze(std::string_view query);
+
+  Status Ping();
+
+  // Records fragments for every daemon. Running daemons receive them lazily
+  // at their next checkout; future spawns start with them.
+  Status AddFragments(const std::vector<std::string>& fragment_texts);
+
+  // Thread-safe, fail-closed Joza PTI backend over the pool.
+  core::PtiFn AsPtiBackend();
+
+  // Retires daemons idle for longer than idle_timeout, down to min_size.
+  // Also runs opportunistically on every return.
+  void ReapIdle();
+
+  // Shuts every daemon down and rejects further work.
+  void Shutdown();
+
+  PoolStats stats() const;
+  std::size_t live() const;   // spawned and not yet retired (busy + idle)
+  std::size_t idle() const;
+
+  // Pids of the currently idle daemons (diagnostics / kill-tests).
+  std::vector<int> child_pids() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<DaemonClient> client;
+    std::chrono::steady_clock::time_point last_used;
+    std::size_t fragments_applied = 0;  // prefix of added_texts_ shipped
+  };
+
+  // Pops an idle daemon or spawns one; blocks at the cap. Applies pending
+  // fragment updates before handing the entry out.
+  StatusOr<Entry> Checkout();
+  void Return(Entry entry);
+  void Discard(Entry entry);  // dead daemon: destroy and free its slot
+
+  php::FragmentSet fragments_;   // grows with AddFragments; seeds spawns
+  pti::PtiConfig config_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Entry> idle_;      // LIFO: the hottest daemon goes out first
+  std::size_t live_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::string> added_texts_;  // broadcast log for late joiners
+  PoolStats stats_;
+};
+
+}  // namespace joza::ipc

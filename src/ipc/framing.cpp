@@ -1,7 +1,9 @@
 #include "ipc/framing.h"
 
 #include <cerrno>
+#include <csignal>
 #include <cstring>
+#include <pthread.h>
 #include <unistd.h>
 
 namespace joza::ipc {
@@ -39,18 +41,43 @@ StatusOr<std::pair<Fd, Fd>> MakePipe() {
 namespace {
 
 Status WriteAll(int fd, const void* data, std::size_t size) {
+  // Writing to a pipe whose reader died raises SIGPIPE, whose default
+  // action terminates the process. A crashed daemon must surface as EPIPE
+  // here (the pool then replaces it, fail closed) — not take the serving
+  // process down. Block the signal for this thread around the write and
+  // consume any instance it generated before restoring the mask.
+  sigset_t pipe_set;
+  sigset_t old_set;
+  sigemptyset(&pipe_set);
+  sigaddset(&pipe_set, SIGPIPE);
+  const bool masked =
+      pthread_sigmask(SIG_BLOCK, &pipe_set, &old_set) == 0;
+
+  Status result = Status::Ok();
   const char* p = static_cast<const char*>(data);
   while (size > 0) {
     ssize_t n = ::write(fd, p, size);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Status::Unavailable(std::string("write(): ") +
-                                 std::strerror(errno));
+      result = Status::Unavailable(std::string("write(): ") +
+                                   std::strerror(errno));
+      break;
     }
     p += n;
     size -= static_cast<std::size_t>(n);
   }
-  return Status::Ok();
+
+  if (masked) {
+    if (!result.ok()) {
+      // Drain the pending (thread-directed) SIGPIPE so it is not
+      // delivered the moment the original mask comes back.
+      timespec zero{};
+      while (sigtimedwait(&pipe_set, nullptr, &zero) > 0) {
+      }
+    }
+    pthread_sigmask(SIG_SETMASK, &old_set, nullptr);
+  }
+  return result;
 }
 
 // Returns 0 bytes read as clean EOF (only legal before the first byte).

@@ -12,12 +12,14 @@
 
 namespace joza::webapp {
 
-namespace {
-
 Status SendAll(int fd, std::string_view data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
-    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    // MSG_NOSIGNAL: a peer that disconnected mid-response must surface as
+    // EPIPE here, not as a process-wide SIGPIPE (fatal under the
+    // multi-threaded gateway, where client resets are routine).
+    ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::Unavailable(std::string("send(): ") +
@@ -27,6 +29,19 @@ Status SendAll(int fd, std::string_view data) {
   }
   return Status::Ok();
 }
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
+
+namespace {
 
 // Reads until the header terminator, then content-length more bytes.
 StatusOr<std::string> ReadHttpRequest(int fd) {
@@ -70,15 +85,6 @@ StatusOr<std::string> ReadHttpRequest(int fd) {
     data.append(buf, static_cast<std::size_t>(n));
   }
   return data;
-}
-
-const char* ReasonPhrase(int status) {
-  switch (status) {
-    case 200: return "OK";
-    case 404: return "Not Found";
-    case 500: return "Internal Server Error";
-    default: return "Status";
-  }
 }
 
 }  // namespace
@@ -168,7 +174,9 @@ StatusOr<std::string> FetchRaw(int port, const std::string& raw_request) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+  while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno == EINTR || errno == EALREADY) continue;  // in-progress: retry
+    if (errno == EISCONN) break;  // the interrupted connect completed
     ::close(fd);
     return Status::Unavailable(std::string("connect(): ") +
                                std::strerror(errno));

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <string>
+#include <string_view>
 #include <thread>
 
 #include "http/request.h"
@@ -47,8 +48,17 @@ class HttpServer {
   std::atomic<std::size_t> served_{0};
 };
 
+// Writes all of `data`, looping over partial sends; EINTR is retried and a
+// disconnected peer yields EPIPE (MSG_NOSIGNAL), never a SIGPIPE.
+Status SendAll(int fd, std::string_view data);
+
+// Standard reason phrase for the status codes this stack emits.
+const char* ReasonPhrase(int status);
+
 // Tiny blocking client for tests/examples: sends one request, returns the
-// raw response ("HTTP/1.0 <code> ...\r\n...\r\n\r\n<body>").
+// raw response ("HTTP/1.0 <code> ...\r\n...\r\n\r\n<body>"). Handles
+// partial send/recv and interrupted connect explicitly so concurrent load
+// (the gateway bench) cannot flake it.
 StatusOr<std::string> FetchRaw(int port, const std::string& raw_request);
 
 // Convenience GET; returns (status, body).

@@ -1,0 +1,551 @@
+// Concurrency suite for the protection gateway: a shared Joza engine, the
+// PTI daemon pool, and the thread-pool HTTP server hammered from many
+// threads with mixed benign/attack traffic. Runs under ThreadSanitizer in
+// CI — every assertion here is also a data-race probe.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "attack/catalog.h"
+#include "core/joza.h"
+#include "core/sharded_cache.h"
+#include "gateway/client.h"
+#include "gateway/gateway.h"
+#include "ipc/daemon_pool.h"
+#include "webapp/http_server.h"
+
+namespace joza {
+namespace {
+
+constexpr std::size_t kThreads = 8;
+
+// ---------------------------------------------------------------------------
+// ShardedSafetyCache
+// ---------------------------------------------------------------------------
+
+TEST(ShardedSafetyCache, UnboundedNeverEvicts) {
+  core::ShardedSafetyCache cache(/*capacity=*/0, /*shards=*/4);
+  for (std::uint64_t h = 0; h < 10000; ++h) cache.Insert(h);
+  EXPECT_EQ(cache.size(), 10000u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  for (std::uint64_t h = 0; h < 10000; ++h) EXPECT_TRUE(cache.Lookup(h));
+}
+
+TEST(ShardedSafetyCache, BoundedStaysWithinCapacity) {
+  core::ShardedSafetyCache cache(/*capacity=*/256, /*shards=*/8);
+  for (std::uint64_t h = 0; h < 100000; ++h) cache.Insert(h);
+  EXPECT_LE(cache.size(), 256u);
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+TEST(ShardedSafetyCache, ClockKeepsHotEntriesResident) {
+  // One shard so the clock hand sweeps a single ring deterministically.
+  core::ShardedSafetyCache cache(/*capacity=*/64, /*shards=*/1);
+  const std::uint64_t hot = 42;
+  cache.Insert(hot);
+  for (std::uint64_t h = 1000; h < 5000; ++h) {
+    EXPECT_TRUE(cache.Lookup(hot)) << "hot entry evicted at " << h;
+    cache.Insert(h);
+  }
+}
+
+TEST(ShardedSafetyCache, ClearDropsEverything) {
+  core::ShardedSafetyCache cache(/*capacity=*/128, /*shards=*/4);
+  for (std::uint64_t h = 0; h < 100; ++h) cache.Insert(h);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(1));
+}
+
+TEST(ShardedSafetyCache, ConcurrentInsertLookupIsRaceFree) {
+  core::ShardedSafetyCache cache(/*capacity=*/1024, /*shards=*/16);
+  std::vector<std::thread> threads;
+  std::atomic<std::size_t> hits{0};
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < 5000; ++i) {
+        const std::uint64_t h = (t << 32) | (i % 512);
+        cache.Insert(h);
+        if (cache.Lookup(h)) hits.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // An entry this thread just inserted can only disappear via eviction
+  // pressure; with 8*512 distinct keys under a 1024 cap, most lookups hit.
+  EXPECT_GT(hits.load(), 0u);
+  EXPECT_LE(cache.size(), 1024u);
+}
+
+// ---------------------------------------------------------------------------
+// JozaStats aggregation
+// ---------------------------------------------------------------------------
+
+TEST(JozaStats, AggregatesAcrossSnapshots) {
+  core::JozaStats a;
+  a.queries_checked = 10;
+  a.attacks_detected = 2;
+  core::JozaStats b;
+  b.queries_checked = 5;
+  b.nti_runs = 5;
+  a += b;
+  EXPECT_EQ(a.queries_checked, 15u);
+  EXPECT_EQ(a.attacks_detected, 2u);
+  EXPECT_EQ(a.nti_runs, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Shared engine under concurrent Check()
+// ---------------------------------------------------------------------------
+
+struct TrafficItem {
+  std::string query;
+  std::vector<http::Input> inputs;
+  bool is_attack = false;
+};
+
+std::vector<TrafficItem> MakeMixedTraffic() {
+  std::vector<TrafficItem> items;
+  // Benign: the template family every worker shares (cache-friendly).
+  for (int id = 1; id <= 40; ++id) {
+    TrafficItem benign;
+    benign.query =
+        "SELECT id, title, body FROM wp_posts WHERE id = " + std::to_string(id);
+    benign.inputs = {{http::InputKind::kGet, "id", std::to_string(id)}};
+    items.push_back(std::move(benign));
+  }
+  // Attacks: tautology and union through the same template.
+  for (const char* payload :
+       {"-1 or 1=1", "-1 union select login, pass from wp_users",
+        "0 or sleep(2)"}) {
+    TrafficItem attack;
+    attack.query =
+        std::string("SELECT id, title, body FROM wp_posts WHERE id = ") +
+        payload;
+    attack.inputs = {{http::InputKind::kGet, "id", payload}};
+    attack.is_attack = true;
+    items.push_back(std::move(attack));
+  }
+  return items;
+}
+
+TEST(ConcurrentJoza, EightThreadsSharedEngineVerdictsAndStats) {
+  auto app = attack::MakeTestbed();
+  core::JozaConfig config;
+  config.cache_capacity = 4096;  // bounded shards on the concurrent path
+  core::Joza joza = core::Joza::Install(*app, config);
+
+  const std::vector<TrafficItem> traffic = MakeMixedTraffic();
+  constexpr std::size_t kRounds = 50;
+  std::atomic<std::size_t> wrong_verdicts{0};
+  std::atomic<std::size_t> attacks_sent{0};
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        for (std::size_t i = 0; i < traffic.size(); ++i) {
+          // Stagger start positions so threads collide on the caches.
+          const TrafficItem& item =
+              traffic[(i + t * 7 + round) % traffic.size()];
+          core::Verdict v = joza.Check(item.query, item.inputs);
+          if (v.attack != item.is_attack) {
+            wrong_verdicts.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (item.is_attack) {
+            attacks_sent.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(wrong_verdicts.load(), 0u)
+      << "concurrent checking changed verdicts";
+  const core::JozaStats stats = joza.stats();
+  EXPECT_EQ(stats.queries_checked, kThreads * kRounds * traffic.size());
+  EXPECT_EQ(stats.attacks_detected, attacks_sent.load());
+  // Every check either hit a cache or ran full PTI; nothing lost.
+  EXPECT_EQ(stats.nti_runs, stats.queries_checked);
+  EXPECT_GT(stats.query_cache_hits + stats.structure_cache_hits, 0u);
+}
+
+TEST(ConcurrentJoza, AttackSinkSequencesAreUniqueUnderConcurrency) {
+  auto app = attack::MakeTestbed();
+  core::Joza joza = core::Joza::Install(*app);
+  std::vector<std::size_t> sequences;
+  joza.SetAttackSink([&](const core::AttackReport& report) {
+    sequences.push_back(report.sequence);  // sink_mu serializes this
+  });
+  const std::string attack =
+      "SELECT id FROM wp_posts WHERE id = -1 or 1=1";
+  const std::vector<http::Input> inputs = {
+      {http::InputKind::kGet, "id", "-1 or 1=1"}};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) joza.Check(attack, inputs);
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(sequences.size(), kThreads * 25u);
+  std::sort(sequences.begin(), sequences.end());
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    EXPECT_EQ(sequences[i], i + 1) << "duplicate or skipped sequence";
+  }
+}
+
+TEST(ConcurrentJoza, BoundedCachePreservesVerdictsInSingleThread) {
+  // Satellite check: a tiny cache forgets verdicts (more PTI re-runs) but
+  // never changes them — eviction is safety-preserving.
+  auto app = attack::MakeTestbed();
+  core::JozaConfig tiny;
+  tiny.cache_capacity = 8;
+  tiny.cache_shards = 2;
+  // The benign family shares one AST shape; without this the structure
+  // cache absorbs it and the tiny query cache never feels pressure.
+  tiny.structure_cache = false;
+  core::Joza bounded = core::Joza::Install(*app, tiny);
+  core::Joza unbounded = core::Joza::Install(*app);
+
+  const std::vector<TrafficItem> traffic = MakeMixedTraffic();
+  for (int round = 0; round < 3; ++round) {
+    for (const TrafficItem& item : traffic) {
+      core::Verdict vb = bounded.Check(item.query, item.inputs);
+      core::Verdict vu = unbounded.Check(item.query, item.inputs);
+      EXPECT_EQ(vb.attack, vu.attack) << item.query;
+      EXPECT_EQ(vb.attack, item.is_attack) << item.query;
+    }
+  }
+  EXPECT_GT(bounded.stats().cache_evictions, 0u);
+  EXPECT_EQ(unbounded.stats().cache_evictions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// DaemonPool
+// ---------------------------------------------------------------------------
+
+class DaemonPoolTest : public ::testing::Test {
+ protected:
+  // The paper's running example (Fig. 2): a tiny fragment vocabulary with
+  // deterministic PTI verdicts, same corpus as ipc_test.
+  void SetUp() override {
+    fragments_.AddRaw("SELECT * FROM records WHERE ID=");
+    fragments_.AddRaw(" LIMIT 5");
+  }
+  php::FragmentSet fragments_;
+  const std::string benign_ = "SELECT * FROM records WHERE ID=5 LIMIT 5";
+  const std::string attack_ =
+      "SELECT * FROM records WHERE ID=1 OR 1=1 LIMIT 5";
+};
+
+TEST_F(DaemonPoolTest, ConcurrentAnalyzeCorrectVerdicts) {
+  ipc::DaemonPool::Options options;
+  options.max_size = 4;
+  ipc::DaemonPool pool(fragments_, options);
+
+  std::atomic<std::size_t> wrong{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 20; ++i) {
+        const bool send_attack = (i + t) % 3 == 0;
+        auto wire = pool.Analyze(send_attack ? attack_ : benign_);
+        if (!wire.ok() || wire->attack_detected != send_attack) {
+          wrong.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wrong.load(), 0u);
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.analyzed, kThreads * 20u);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_LE(pool.live(), options.max_size);
+  EXPECT_GE(stats.spawned, 1u);
+}
+
+TEST_F(DaemonPoolTest, DeadDaemonIsReplacedFailClosed) {
+  ipc::DaemonPool::Options options;
+  options.min_size = 1;
+  options.max_size = 2;
+  ipc::DaemonPool pool(fragments_, options);
+
+  auto first = pool.Analyze(benign_);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->attack_detected);
+
+  // Kill every idle daemon out from under the pool.
+  for (int pid : pool.child_pids()) {
+    ASSERT_GT(pid, 0);
+    ::kill(pid, SIGKILL);
+  }
+  // The pool must notice the corpse, replace it, and still answer
+  // correctly (retry path) — not hang and not fail open.
+  auto after = pool.Analyze(benign_);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_FALSE(after->attack_detected);
+  EXPECT_GE(pool.stats().replaced, 1u);
+  EXPECT_TRUE(pool.Analyze(attack_)->attack_detected);
+}
+
+TEST_F(DaemonPoolTest, BackendFailsClosedAfterShutdown) {
+  ipc::DaemonPool pool(fragments_);
+  core::PtiFn backend = pool.AsPtiBackend();
+  pool.Shutdown();
+  pti::PtiResult result = backend("SELECT 1", {});
+  EXPECT_TRUE(result.attack_detected) << "shut-down pool must fail closed";
+}
+
+TEST_F(DaemonPoolTest, IdleReapingRespectsMinSize) {
+  ipc::DaemonPool::Options options;
+  options.min_size = 1;
+  options.max_size = 4;
+  options.idle_timeout = std::chrono::milliseconds(0);  // reap immediately
+  ipc::DaemonPool pool(fragments_, options);
+
+  // Drive enough parallel traffic to spawn several daemons.
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5; ++i) {
+        (void)pool.Analyze(benign_);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  pool.ReapIdle();
+  EXPECT_LE(pool.live(), std::max<std::size_t>(1, options.min_size));
+  // Still serving after the reap.
+  auto wire = pool.Analyze(benign_);
+  ASSERT_TRUE(wire.ok());
+  EXPECT_FALSE(wire->attack_detected);
+}
+
+TEST(DaemonPoolIntegration, SharedEngineWithPoolBackendConcurrently) {
+  // Full stack, concurrently: one shared Joza engine routing PTI through
+  // the daemon pool, checked from kThreads threads at once.
+  auto app = attack::MakeTestbed();
+  core::Joza joza = core::Joza::Install(*app);
+  ipc::DaemonPool::Options options;
+  options.max_size = 4;
+  ipc::DaemonPool pool(php::FragmentSet::FromSources(app->sources()), options);
+  joza.SetPtiBackend(pool.AsPtiBackend());
+
+  const std::vector<TrafficItem> traffic = MakeMixedTraffic();
+  std::atomic<std::size_t> wrong{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < traffic.size(); ++i) {
+        const TrafficItem& item = traffic[(i + t) % traffic.size()];
+        core::Verdict v = joza.Check(item.query, item.inputs);
+        if (v.attack != item.is_attack) {
+          wrong.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wrong.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// GatewayServer end-to-end
+// ---------------------------------------------------------------------------
+
+TEST(GatewayServer, ConcurrentMixedTrafficOverTheWire) {
+  auto proto = attack::MakeTestbed();
+  core::JozaConfig config;
+  config.cache_capacity = 8192;
+  core::Joza joza = core::Joza::Install(*proto, config);
+
+  gateway::GatewayConfig gcfg;
+  gcfg.workers = kThreads;
+  gateway::GatewayServer server([] { return attack::MakeTestbed(); }, &joza,
+                                gcfg);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  constexpr std::size_t kClientThreads = 8;
+  constexpr int kPerClient = 30;
+  std::atomic<std::size_t> errors{0};
+  std::atomic<std::size_t> blocked{0};
+  std::atomic<std::size_t> ok_responses{0};
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      gateway::KeepAliveClient client(port.value());
+      for (int i = 0; i < kPerClient; ++i) {
+        const bool send_attack = (i + t) % 5 == 0;
+        auto r = send_attack
+                     ? client.Get(
+                           "/plugins/community-events?uid=-1%20or%201%3D1")
+                     : client.Get("/post?id=" + std::to_string(i % 50 + 1));
+        if (!r.ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (send_attack) {
+          // Terminated request: blank 500 page.
+          if (r->status == 500 && r->body.empty()) {
+            blocked.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else if (r->status == 200) {
+          ok_responses.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+
+  const std::size_t total = kClientThreads * kPerClient;
+  const std::size_t attacks = [] {
+    std::size_t n = 0;
+    for (std::size_t t = 0; t < kClientThreads; ++t) {
+      for (int i = 0; i < kPerClient; ++i) {
+        if ((i + static_cast<std::size_t>(t)) % 5 == 0) ++n;
+      }
+    }
+    return n;
+  }();
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(blocked.load(), attacks) << "every attack must be terminated";
+  EXPECT_EQ(ok_responses.load(), total - attacks);
+  EXPECT_GE(joza.stats().attacks_detected, attacks);
+
+  const gateway::GatewayStats stats = server.stats();
+  EXPECT_EQ(stats.requests_served, total);
+  EXPECT_GT(stats.keepalive_reuses, 0u) << "keep-alive must be in effect";
+  server.Stop();
+}
+
+TEST(GatewayServer, KeepAliveServesManyRequestsPerConnection) {
+  gateway::GatewayConfig gcfg;
+  gcfg.workers = 2;
+  gateway::GatewayServer server([] { return webapp::MakeWordpressLikeApp(7); },
+                                nullptr, gcfg);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  gateway::KeepAliveClient client(port.value());
+  for (int i = 0; i < 20; ++i) {
+    auto r = client.Get("/post?id=" + std::to_string(i % 50 + 1));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->status, 200);
+  }
+  EXPECT_EQ(client.reconnects(), 0u) << "one connection should suffice";
+  const gateway::GatewayStats stats = server.stats();
+  EXPECT_EQ(stats.requests_served, 20u);
+  EXPECT_EQ(stats.connections_accepted, 1u);
+  EXPECT_EQ(stats.keepalive_reuses, 19u);
+  server.Stop();
+}
+
+TEST(GatewayServer, PerConnectionRequestCapForcesReconnect) {
+  gateway::GatewayConfig gcfg;
+  gcfg.workers = 1;
+  gcfg.max_requests_per_connection = 5;
+  gateway::GatewayServer server([] { return webapp::MakeWordpressLikeApp(7); },
+                                nullptr, gcfg);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+  gateway::KeepAliveClient client(port.value());
+  for (int i = 0; i < 12; ++i) {
+    auto r = client.Get("/");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->status, 200);
+  }
+  // The server announces Connection: close at the cap; the client closes
+  // cleanly and dials fresh. 12 requests at 5 per connection = 3 dials.
+  EXPECT_EQ(server.stats().connections_accepted, 3u);
+  EXPECT_EQ(server.stats().requests_served, 12u);
+  server.Stop();
+}
+
+TEST(GatewayServer, BoundedQueueRejectsOverloadWith503) {
+  // One deliberately slow worker and a tiny queue: a burst must drain into
+  // 503s, not an unbounded backlog.
+  auto factory = [] {
+    auto app = webapp::MakeWordpressLikeApp(7);
+    app->AddRoute(
+        "/slow",
+        [](const http::Request&, const webapp::QueryRunner&) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(150));
+          return http::Response{200, "slept", 0.0};
+        },
+        php::SourceFile{"slow.php", "<?php $q = \"SELECT 1\";"});
+    return app;
+  };
+  gateway::GatewayConfig gcfg;
+  gcfg.workers = 1;
+  gcfg.queue_capacity = 1;
+  gateway::GatewayServer server(factory, nullptr, gcfg);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  constexpr std::size_t kBurst = 6;
+  std::atomic<std::size_t> served{0};
+  std::atomic<std::size_t> rejected{0};
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < kBurst; ++t) {
+    clients.emplace_back([&] {
+      auto r = webapp::HttpGet(port.value(), "/slow");
+      if (!r.ok()) return;
+      if (r->status == 200) served.fetch_add(1);
+      if (r->status == 503) rejected.fetch_add(1);
+    });
+  }
+  for (auto& th : clients) th.join();
+  EXPECT_EQ(served.load() + rejected.load(), kBurst);
+  EXPECT_GE(rejected.load(), 1u) << "bounded queue never rejected";
+  EXPECT_GE(served.load(), 1u);
+  EXPECT_EQ(server.stats().connections_rejected, rejected.load());
+  server.Stop();
+}
+
+TEST(GatewayServer, GracefulStopDrainsAndIsIdempotent) {
+  gateway::GatewayConfig gcfg;
+  gcfg.workers = 4;
+  gateway::GatewayServer server([] { return webapp::MakeWordpressLikeApp(7); },
+                                nullptr, gcfg);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+  // Leave idle keep-alive connections hanging; Stop must sever them
+  // instead of waiting out the idle timeout.
+  gateway::KeepAliveClient a(port.value());
+  gateway::KeepAliveClient b(port.value());
+  ASSERT_TRUE(a.Get("/").ok());
+  ASSERT_TRUE(b.Get("/post?id=1").ok());
+  server.Stop();
+  server.Stop();  // idempotent
+  EXPECT_EQ(server.stats().requests_served, 2u);
+}
+
+TEST(GatewayServer, MalformedRequestGets400) {
+  gateway::GatewayConfig gcfg;
+  gcfg.workers = 1;
+  gateway::GatewayServer server([] { return webapp::MakeWordpressLikeApp(7); },
+                                nullptr, gcfg);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+  gateway::KeepAliveClient client(port.value());
+  auto raw = client.RoundTrip("GARBAGE\r\n\r\n");
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  EXPECT_NE(raw->find("400"), std::string::npos);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace joza

@@ -1,0 +1,145 @@
+// joza_gateway: serve the protected testbed behind the concurrent gateway.
+//
+//   joza_gateway [--port N] [--workers N] [--cache-capacity N]
+//                [--pti inproc|pool] [--pool-size N] [--duration SECONDS]
+//
+// Binds 127.0.0.1 (port 0 picks a free port), installs one shared Joza
+// engine across the whole worker pool, and serves until the duration
+// elapses (0 = forever, until SIGINT/SIGTERM). With --pti pool, PTI
+// analysis runs out-of-process through the daemon pool, the deployment
+// shape Section IV-C1 describes. Prints engine + gateway stats on exit.
+#include <csignal>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "attack/catalog.h"
+#include "core/joza.h"
+#include "gateway/gateway.h"
+#include "ipc/daemon_pool.h"
+#include "phpsrc/fragments.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void OnSignal(int) { g_stop.store(true); }
+
+int UsageError(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port N] [--workers N] [--cache-capacity N]\n"
+               "          [--pti inproc|pool] [--pool-size N] "
+               "[--duration SECONDS]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace joza;
+
+  int port = 0;
+  std::size_t workers = 4;
+  std::size_t cache_capacity = 1 << 16;
+  std::size_t pool_size = 4;
+  bool use_pool = false;
+  long duration_s = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (std::strcmp(argv[i], "--port") == 0 && (value = next())) {
+      port = std::atoi(value);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && (value = next())) {
+      workers = static_cast<std::size_t>(std::atol(value));
+    } else if (std::strcmp(argv[i], "--cache-capacity") == 0 &&
+               (value = next())) {
+      cache_capacity = static_cast<std::size_t>(std::atol(value));
+    } else if (std::strcmp(argv[i], "--pool-size") == 0 && (value = next())) {
+      pool_size = static_cast<std::size_t>(std::atol(value));
+    } else if (std::strcmp(argv[i], "--pti") == 0 && (value = next())) {
+      if (std::strcmp(value, "pool") == 0) {
+        use_pool = true;
+      } else if (std::strcmp(value, "inproc") != 0) {
+        return UsageError(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--duration") == 0 && (value = next())) {
+      duration_s = std::atol(value);
+    } else {
+      return UsageError(argv[0]);
+    }
+  }
+
+  auto proto = attack::MakeTestbed();
+  core::JozaConfig config;
+  config.cache_capacity = cache_capacity;
+  core::Joza joza = core::Joza::Install(*proto, config);
+
+  std::unique_ptr<ipc::DaemonPool> pool;
+  if (use_pool) {
+    ipc::DaemonPool::Options options;
+    options.max_size = pool_size;
+    pool = std::make_unique<ipc::DaemonPool>(
+        php::FragmentSet::FromSources(proto->sources()), options);
+    joza.SetPtiBackend(pool->AsPtiBackend());
+  }
+
+  gateway::GatewayConfig gcfg;
+  gcfg.port = port;
+  gcfg.workers = workers;
+  gateway::GatewayServer server([] { return attack::MakeTestbed(); }, &joza,
+                                gcfg);
+  auto bound = server.Start();
+  if (!bound.ok()) {
+    std::fprintf(stderr, "start failed: %s\n",
+                 bound.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "joza_gateway on 127.0.0.1:%d  (%zu workers, cache %zu, PTI %s)\n",
+      bound.value(), workers, cache_capacity,
+      use_pool ? "daemon pool" : "in-process");
+  std::printf("try: curl 'http://127.0.0.1:%d/post?id=7'\n", bound.value());
+  std::printf("     curl 'http://127.0.0.1:%d"
+              "/plugins/community-events?uid=-1%%20or%%201%%3D1'\n",
+              bound.value());
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(duration_s);
+  while (!g_stop.load()) {
+    if (duration_s > 0 && std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (pool) pool->ReapIdle();
+  }
+
+  server.Stop();
+  const gateway::GatewayStats gs = server.stats();
+  const core::JozaStats js = joza.stats();
+  std::printf("\nconnections: %zu accepted, %zu rejected (503)\n",
+              gs.connections_accepted, gs.connections_rejected);
+  std::printf("requests:    %zu served, %zu keep-alive reuses, %zu bad\n",
+              gs.requests_served, gs.keepalive_reuses, gs.bad_requests);
+  std::printf("joza:        %zu queries, %zu attacks blocked, "
+              "%zu+%zu cache hits, %zu evictions\n",
+              js.queries_checked, js.attacks_detected, js.query_cache_hits,
+              js.structure_cache_hits, js.cache_evictions);
+  if (pool) {
+    const auto ps = pool->stats();
+    std::printf("pti pool:    %zu analyzed, %zu spawned, %zu replaced, "
+                "%zu failures\n",
+                ps.analyzed, ps.spawned, ps.replaced, ps.failures);
+    pool->Shutdown();
+  }
+  return 0;
+}
