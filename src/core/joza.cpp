@@ -16,6 +16,14 @@ const char* DetectedByName(DetectedBy d) {
   return "?";
 }
 
+const char* DegradedModeName(DegradedMode mode) {
+  switch (mode) {
+    case DegradedMode::kFailClosed: return "fail-closed";
+    case DegradedMode::kNtiOnly: return "nti-only";
+  }
+  return "?";
+}
+
 JozaStats& JozaStats::operator+=(const JozaStats& other) {
   queries_checked += other.queries_checked;
   attacks_detected += other.attacks_detected;
@@ -24,6 +32,10 @@ JozaStats& JozaStats::operator+=(const JozaStats& other) {
   pti_full_runs += other.pti_full_runs;
   nti_runs += other.nti_runs;
   cache_evictions += other.cache_evictions;
+  pti_failures += other.pti_failures;
+  breaker_fast_rejects += other.breaker_fast_rejects;
+  degraded_checks += other.degraded_checks;
+  degraded_blocks += other.degraded_blocks;
   return *this;
 }
 
@@ -32,7 +44,8 @@ Joza::Joza(php::FragmentSet fragments, JozaConfig config)
       pti_(std::move(fragments), config.pti),
       nti_(config.nti),
       state_(std::make_unique<SharedState>(config.cache_capacity,
-                                           config.cache_shards)) {}
+                                           config.cache_shards,
+                                           config.breaker)) {}
 
 Joza Joza::Install(const webapp::Application& app, JozaConfig config) {
   return Joza(php::FragmentSet::FromSources(app.sources()), config);
@@ -48,6 +61,11 @@ JozaStats Joza::stats() const {
       a.structure_cache_hits.load(std::memory_order_relaxed);
   out.pti_full_runs = a.pti_full_runs.load(std::memory_order_relaxed);
   out.nti_runs = a.nti_runs.load(std::memory_order_relaxed);
+  out.pti_failures = a.pti_failures.load(std::memory_order_relaxed);
+  out.breaker_fast_rejects =
+      a.breaker_fast_rejects.load(std::memory_order_relaxed);
+  out.degraded_checks = a.degraded_checks.load(std::memory_order_relaxed);
+  out.degraded_blocks = a.degraded_blocks.load(std::memory_order_relaxed);
   out.cache_evictions =
       state_->query_cache.evictions() + state_->structure_cache.evictions() -
       state_->evictions_baseline.load(std::memory_order_relaxed);
@@ -62,6 +80,10 @@ void Joza::ResetStats() {
   a.structure_cache_hits.store(0, std::memory_order_relaxed);
   a.pti_full_runs.store(0, std::memory_order_relaxed);
   a.nti_runs.store(0, std::memory_order_relaxed);
+  a.pti_failures.store(0, std::memory_order_relaxed);
+  a.breaker_fast_rejects.store(0, std::memory_order_relaxed);
+  a.degraded_checks.store(0, std::memory_order_relaxed);
+  a.degraded_blocks.store(0, std::memory_order_relaxed);
   state_->evictions_baseline.store(
       state_->query_cache.evictions() + state_->structure_cache.evictions(),
       std::memory_order_relaxed);
@@ -77,10 +99,26 @@ void Joza::OnSourcesChanged(const std::vector<php::SourceFile>& files) {
   state_->structure_cache.Clear();
 }
 
-pti::PtiResult Joza::RunPti(std::string_view query,
-                            const std::vector<sql::Token>& tokens) {
+StatusOr<pti::PtiResult> Joza::RunPti(std::string_view query,
+                                      const std::vector<sql::Token>& tokens,
+                                      util::Deadline deadline) {
   state_->stats.pti_full_runs.fetch_add(1, std::memory_order_relaxed);
-  if (pti_backend_) return pti_backend_(query, tokens);
+  if (pti_backend_) {
+    if (!state_->breaker.Allow()) {
+      state_->stats.breaker_fast_rejects.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      state_->stats.pti_failures.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("PTI circuit breaker open");
+    }
+    auto result = pti_backend_(query, tokens, deadline);
+    if (!result.ok()) {
+      state_->breaker.RecordFailure();
+      state_->stats.pti_failures.fetch_add(1, std::memory_order_relaxed);
+      return result.status();
+    }
+    state_->breaker.RecordSuccess();
+    return result;
+  }
   if (config_.pti.use_aho_corasick) return pti_.Analyze(query, tokens);
   // The naive path reorders its MRU fragment list during analysis.
   std::lock_guard<std::mutex> lock(state_->pti_mru_mu);
@@ -88,7 +126,8 @@ pti::PtiResult Joza::RunPti(std::string_view query,
 }
 
 Verdict Joza::Check(std::string_view query,
-                    const std::vector<http::Input>& inputs) {
+                    const std::vector<http::Input>& inputs,
+                    util::Deadline deadline) {
   // Reader lock against OnSourcesChanged; checks never block each other.
   std::shared_lock<std::shared_mutex> fragments_lock(state_->fragments_mu);
   state_->stats.queries_checked.fetch_add(1, std::memory_order_relaxed);
@@ -123,19 +162,37 @@ Verdict Joza::Check(std::string_view query,
     }
 
     if (!resolved) {
-      verdict.pti = RunPti(query, tokens);
-      pti_safe = !verdict.pti.attack_detected;
-      if (pti_safe) {
-        if (config_.query_cache) state_->query_cache.Insert(qhash);
-        if (config_.structure_cache) {
-          if (!have_shash) {
-            auto parsed = sql::StructureHashOf(query);
-            if (parsed.ok()) {
-              shash = parsed.value();
-              have_shash = true;
+      auto pti_or = RunPti(query, tokens, deadline);
+      if (pti_or.ok()) {
+        verdict.pti = std::move(pti_or).value();
+        pti_safe = !verdict.pti.attack_detected;
+        if (pti_safe) {
+          if (config_.query_cache) state_->query_cache.Insert(qhash);
+          if (config_.structure_cache) {
+            if (!have_shash) {
+              auto parsed = sql::StructureHashOf(query);
+              if (parsed.ok()) {
+                shash = parsed.value();
+                have_shash = true;
+              }
             }
+            if (have_shash) state_->structure_cache.Insert(shash);
           }
-          if (have_shash) state_->structure_cache.Insert(shash);
+        }
+      } else {
+        // No PTI verdict: degraded-mode policy decides. Never cache —
+        // nothing was proven safe.
+        verdict.degraded = true;
+        verdict.pti_unavailable = true;
+        state_->stats.degraded_checks.fetch_add(1, std::memory_order_relaxed);
+        if (config_.degraded_mode == DegradedMode::kNtiOnly &&
+            config_.enable_nti) {
+          // NTI alone decides; PTI treated as (unproven) safe.
+        } else {
+          // Fail closed — also the forced fallback for kNtiOnly when NTI
+          // is disabled: with no analyzer at all, nothing may pass.
+          pti_safe = false;
+          verdict.pti.attack_detected = true;
         }
       }
     }
@@ -150,12 +207,22 @@ Verdict Joza::Check(std::string_view query,
   }
 
   verdict.attack = !pti_safe || !nti_safe;
-  if (!pti_safe && !nti_safe) {
+  // A degraded fail-closed block is not a PTI *detection*: attribute only
+  // what an analyzer actually found.
+  const bool pti_detected = !pti_safe && !verdict.pti_unavailable;
+  if (pti_detected && !nti_safe) {
     verdict.detected_by = DetectedBy::kBoth;
-  } else if (!pti_safe) {
+  } else if (pti_detected) {
     verdict.detected_by = DetectedBy::kPti;
   } else if (!nti_safe) {
     verdict.detected_by = DetectedBy::kNti;
+  }
+  // A block caused only by PTI being unavailable is counted separately and
+  // kept out of the attack audit log (a daemon outage must not flood the
+  // sink with one phantom attack per request).
+  if (verdict.attack && verdict.detected_by == DetectedBy::kNone) {
+    state_->stats.degraded_blocks.fetch_add(1, std::memory_order_relaxed);
+    return verdict;
   }
   if (verdict.attack) {
     const std::size_t sequence =
@@ -218,6 +285,15 @@ webapp::QueryGate Joza::MakeGate() {
     webapp::GateDecision decision;
     if (!v.attack) {
       decision.action = webapp::GateDecision::Action::kAllow;
+      return decision;
+    }
+    if (v.detected_by == DetectedBy::kNone) {
+      // Degraded fail-closed block, not a detection: always virtualize the
+      // error — the app sees a failed query and renders its own error page,
+      // so an analyzer outage looks like a database hiccup, never a
+      // site-wide hard 500 (and never an open door).
+      decision.reason = "PTI unavailable: degraded fail-closed";
+      decision.action = webapp::GateDecision::Action::kBlockError;
       return decision;
     }
     decision.reason = std::string("SQL injection detected by ") +

@@ -27,12 +27,15 @@
 #include <vector>
 
 #include "core/sharded_cache.h"
+#include "fault/circuit_breaker.h"
 #include "http/request.h"
 #include "nti/nti.h"
 #include "phpsrc/fragments.h"
 #include "pti/pti.h"
 #include "sqlparse/token.h"
+#include "util/deadline.h"
 #include "util/span.h"
+#include "util/status.h"
 #include "webapp/application.h"
 
 namespace joza::core {
@@ -42,6 +45,20 @@ enum class RecoveryPolicy {
   kErrorVirtualization, // report a failed query, let the app handle it
 };
 
+// What the engine does while the PTI backend is unavailable (circuit
+// breaker open, deadline misses, dead daemons).
+enum class DegradedMode {
+  // Every un-cached query is blocked via error virtualization: the app
+  // sees a failed query, the attacker sees a database error. No request
+  // is ever waved through without a PTI verdict (paper §IV-C policy).
+  kFailClosed,
+  // NTI alone decides while PTI is down. Trades the hybrid guarantee for
+  // availability; every such check is loudly counted in JozaStats.
+  kNtiOnly,
+};
+
+const char* DegradedModeName(DegradedMode mode);
+
 struct JozaConfig {
   nti::NtiConfig nti;
   pti::PtiConfig pti;
@@ -50,6 +67,13 @@ struct JozaConfig {
   bool query_cache = true;
   bool structure_cache = true;
   RecoveryPolicy recovery = RecoveryPolicy::kTerminate;
+  // Degraded-mode policy when the PTI backend fails or the breaker is
+  // open. kNtiOnly silently behaves as kFailClosed when enable_nti is
+  // false: with neither analyzer available nothing may pass.
+  DegradedMode degraded_mode = DegradedMode::kFailClosed;
+  // Circuit breaker wrapping the external PTI backend (ignored for the
+  // in-process analyzer, which cannot fail). threshold 0 disables.
+  fault::CircuitBreakerOptions breaker;
   // Bound on each safety cache's entry count. 0 keeps the seed behaviour
   // (unbounded, as the Table V/VI benches assume); the gateway sets a bound
   // so memory stays stable under unbounded distinct-query traffic. Eviction
@@ -69,6 +93,10 @@ struct Verdict {
   DetectedBy detected_by = DetectedBy::kNone;
   bool query_cache_hit = false;
   bool structure_cache_hit = false;
+  // This check ran without a PTI verdict (backend failure or breaker fast
+  // reject) and the degraded-mode policy decided the outcome.
+  bool degraded = false;
+  bool pti_unavailable = false;
   nti::NtiResult nti;
   pti::PtiResult pti;
 };
@@ -81,6 +109,14 @@ struct JozaStats {
   std::size_t pti_full_runs = 0;
   std::size_t nti_runs = 0;
   std::size_t cache_evictions = 0;
+  // Degraded-path accounting: backend calls that returned an error (incl.
+  // deadline misses), calls the open breaker refused without trying, checks
+  // decided without a PTI verdict, and checks blocked solely because of
+  // degradation (not counted as attacks_detected — nothing was detected).
+  std::size_t pti_failures = 0;
+  std::size_t breaker_fast_rejects = 0;
+  std::size_t degraded_checks = 0;
+  std::size_t degraded_blocks = 0;
 
   // Aggregation across engines / snapshot intervals (gateway roll-ups).
   JozaStats& operator+=(const JozaStats& other);
@@ -108,9 +144,14 @@ using AttackSink = std::function<void(const AttackReport&)>;
 
 // Pluggable PTI execution: in-process by default, or the IPC daemon client
 // (Section IV-C1) — the architecture the paper ships to avoid requiring a
-// PHP extension.
-using PtiFn = std::function<pti::PtiResult(
-    std::string_view query, const std::vector<sql::Token>& tokens)>;
+// PHP extension. An error Status means "no verdict" (dead daemon, deadline
+// miss, pool shut down); the engine's circuit breaker and degraded-mode
+// policy decide what that means — backends must NOT bake in their own
+// fail-closed fake verdicts. `deadline` bounds the whole call; backends
+// that cannot honour it should return promptly on a best-effort basis.
+using PtiFn = std::function<StatusOr<pti::PtiResult>(
+    std::string_view query, const std::vector<sql::Token>& tokens,
+    util::Deadline deadline)>;
 
 class Joza {
  public:
@@ -134,8 +175,17 @@ class Joza {
   // Installs an audit sink invoked for every detected attack.
   void SetAttackSink(AttackSink sink) { attack_sink_ = std::move(sink); }
 
-  // Checks one query against the stored request inputs.
-  Verdict Check(std::string_view query, const std::vector<http::Input>& inputs);
+  // Circuit breaker guarding the external PTI backend. Exposed for stats
+  // snapshots and tests; resetting it mid-traffic is safe.
+  const fault::CircuitBreaker& breaker() const { return state_->breaker; }
+  fault::CircuitBreaker& breaker() { return state_->breaker; }
+
+  // Checks one query against the stored request inputs. The default
+  // deadline is the ambient per-request deadline installed by
+  // util::ScopedRequestDeadline (infinite when none is active); it bounds
+  // the external PTI backend call.
+  Verdict Check(std::string_view query, const std::vector<http::Input>& inputs,
+                util::Deadline deadline = util::ScopedRequestDeadline::current());
 
   // Binds this engine as an application interception gate applying the
   // configured recovery policy. The Joza object must outlive the gate.
@@ -155,14 +205,21 @@ class Joza {
     std::atomic<std::size_t> structure_cache_hits{0};
     std::atomic<std::size_t> pti_full_runs{0};
     std::atomic<std::size_t> nti_runs{0};
+    std::atomic<std::size_t> pti_failures{0};
+    std::atomic<std::size_t> breaker_fast_rejects{0};
+    std::atomic<std::size_t> degraded_checks{0};
+    std::atomic<std::size_t> degraded_blocks{0};
   };
 
   // All concurrently-mutated state lives behind one pointer so Joza itself
   // stays movable (Install returns by value). Moving an engine while other
   // threads are checking through it is, of course, still undefined.
   struct SharedState {
-    SharedState(std::size_t capacity, std::size_t shards)
-        : query_cache(capacity, shards), structure_cache(capacity, shards) {}
+    SharedState(std::size_t capacity, std::size_t shards,
+                fault::CircuitBreakerOptions breaker_options)
+        : query_cache(capacity, shards),
+          structure_cache(capacity, shards),
+          breaker(breaker_options) {}
     // Query cache: hashes of exact query strings previously PTI-safe.
     ShardedSafetyCache query_cache;
     // Structure cache: AST-structure hashes of previously PTI-safe queries.
@@ -179,10 +236,14 @@ class Joza {
     std::mutex pti_mru_mu;
     // Attack sinks are user callbacks with no thread-safety contract.
     std::mutex sink_mu;
+    // Guards the external PTI backend; the in-process path never consults
+    // it (an in-process analyzer cannot fail).
+    fault::CircuitBreaker breaker;
   };
 
-  pti::PtiResult RunPti(std::string_view query,
-                        const std::vector<sql::Token>& tokens);
+  StatusOr<pti::PtiResult> RunPti(std::string_view query,
+                                  const std::vector<sql::Token>& tokens,
+                                  util::Deadline deadline);
 
   JozaConfig config_;
   pti::PtiAnalyzer pti_;

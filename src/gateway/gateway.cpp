@@ -3,13 +3,16 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <thread>
 
+#include "fault/injector.h"
 #include "util/strings.h"
 #include "webapp/http_server.h"
 
@@ -17,15 +20,50 @@ namespace joza::gateway {
 
 namespace {
 
+// Waits for `fd` to become readable before the deadline (only called with a
+// finite one). Timeout = the slowloris guard fired.
+Status WaitReadable(int fd, const util::Deadline& deadline) {
+  for (;;) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int n = ::poll(&pfd, 1, deadline.poll_timeout_ms());
+    if (n > 0) return Status::Ok();
+    if (n == 0) return Status::DeadlineExceeded("request read deadline");
+    if (errno == EINTR) continue;
+    return Status::Unavailable(std::string("poll(): ") +
+                               std::strerror(errno));
+  }
+}
+
 // Reads one full HTTP request out of the connection stream. `buf` carries
 // leftover bytes between calls (keep-alive pipelining); on success the
 // request's raw bytes are returned and removed from `buf`. NotFound means
 // the peer closed cleanly between requests; Unavailable covers idle
-// timeouts (SO_RCVTIMEO) and resets.
-StatusOr<std::string> ReadOneRequest(int fd, std::string& buf) {
+// timeouts (SO_RCVTIMEO) and resets. Two guards bound hostile clients:
+// once a request's first byte is in, the rest must arrive within
+// `read_timeout` (kDeadlineExceeded -> 408, a slowloris dribbling bytes
+// cannot pin the worker) and the whole request must fit in
+// `max_request_bytes` (kInvalidArgument -> 413).
+StatusOr<std::string> ReadOneRequest(int fd, std::string& buf,
+                                     const GatewayConfig& config) {
+  // The read deadline arms at the first byte of the request, not at idle
+  // wait: keep-alive connections may legitimately sit quiet for the whole
+  // keepalive_timeout between requests.
+  util::Deadline deadline;
+  auto arm = [&] {
+    if (!deadline.finite() && config.read_timeout.count() > 0) {
+      deadline = util::Deadline::After(config.read_timeout);
+    }
+  };
+  if (!buf.empty()) arm();  // pipelined leftovers already started the clock
+
   std::size_t header_end = buf.find("\r\n\r\n");
   char chunk[4096];
   while (header_end == std::string::npos) {
+    if (deadline.finite()) {
+      if (Status st = WaitReadable(fd, deadline); !st.ok()) return st;
+    }
     ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -37,7 +75,8 @@ StatusOr<std::string> ReadOneRequest(int fd, std::string& buf) {
       return Status::Unavailable("connection closed mid-request");
     }
     buf.append(chunk, static_cast<std::size_t>(n));
-    if (buf.size() > (1u << 20)) {
+    arm();
+    if (buf.size() > config.max_request_bytes) {
       return Status::InvalidArgument("request too large");
     }
     header_end = buf.find("\r\n\r\n");
@@ -50,12 +89,16 @@ StatusOr<std::string> ReadOneRequest(int fd, std::string& buf) {
   if (cl != std::string_view::npos) {
     content_length = static_cast<std::size_t>(
         std::strtoul(buf.c_str() + cl + 15, nullptr, 10));
-    if (content_length > (1u << 20)) {
+    if (content_length > config.max_request_bytes ||
+        header_end + 4 + content_length > config.max_request_bytes) {
       return Status::InvalidArgument("request body too large");
     }
   }
   const std::size_t total = header_end + 4 + content_length;
   while (buf.size() < total) {
+    if (deadline.finite()) {
+      if (Status st = WaitReadable(fd, deadline); !st.ok()) return st;
+    }
     ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -63,6 +106,7 @@ StatusOr<std::string> ReadOneRequest(int fd, std::string& buf) {
     }
     if (n == 0) return Status::Unavailable("connection closed mid-body");
     buf.append(chunk, static_cast<std::size_t>(n));
+    arm();
   }
   std::string raw = buf.substr(0, total);
   buf.erase(0, total);
@@ -211,6 +255,13 @@ void GatewayServer::AcceptLoop() {
       if (errno == EINTR) continue;
       break;  // listener closed by Stop()
     }
+    if (fault::FaultInjector::Global().ShouldFire(
+            fault::FaultPoint::kAcceptFail)) {
+      // Simulated post-accept failure (fd exhaustion, dying client): drop
+      // the connection on the floor; the client sees a reset.
+      ::close(fd);
+      continue;
+    }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     // Idle keep-alive timeout: a worker's recv for the *next* request on a
     // connection returns EAGAIN after this long, closing the connection.
@@ -250,7 +301,7 @@ void GatewayServer::Reject503(int fd) {
   tv.tv_usec = 250 * 1000;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
   std::string buf;
-  (void)ReadOneRequest(fd, buf);
+  (void)ReadOneRequest(fd, buf, config_);
   http::Response overloaded;
   overloaded.status = 503;
   overloaded.body = "overloaded";
@@ -298,8 +349,31 @@ void GatewayServer::ServeConnection(webapp::Application& app, int fd) {
   std::string buf;
   std::size_t served_on_connection = 0;
   while (served_on_connection < config_.max_requests_per_connection) {
-    auto raw = ReadOneRequest(fd, buf);
-    if (!raw.ok()) break;  // clean close, idle timeout, oversize, reset
+    auto& injector = fault::FaultInjector::Global();
+    if (injector.ShouldFire(fault::FaultPoint::kSlowClient)) {
+      // Stall this worker before it reads, as if the client dribbled the
+      // request in slowly — saturates the pool without touching sockets.
+      std::this_thread::sleep_for(injector.hang());
+    }
+    auto raw = ReadOneRequest(fd, buf, config_);
+    if (!raw.ok()) {
+      // The two hostile-client guards get an explicit answer; everything
+      // else (clean close, idle timeout, reset) just ends the connection.
+      if (raw.status().code() == StatusCode::kDeadlineExceeded) {
+        request_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        http::Response timeout;
+        timeout.status = 408;
+        timeout.body = "Request Timeout";
+        webapp::SendAll(fd, RenderResponse(timeout, false));
+      } else if (raw.status().code() == StatusCode::kInvalidArgument) {
+        oversized_requests_.fetch_add(1, std::memory_order_relaxed);
+        http::Response too_large;
+        too_large.status = 413;
+        too_large.body = "Payload Too Large";
+        webapp::SendAll(fd, RenderResponse(too_large, false));
+      }
+      break;
+    }
 
     http::Response response;
     bool keep_alive = false;
@@ -310,6 +384,13 @@ void GatewayServer::ServeConnection(webapp::Application& app, int fd) {
       response.body = "Bad Request";
     } else {
       keep_alive = WantsKeepAlive(raw.value());
+      // Per-request budget, visible to the Joza engine (and through it the
+      // daemon pool) as the ambient deadline for this worker thread.
+      util::Deadline request_deadline;
+      if (config_.request_deadline.count() > 0) {
+        request_deadline = util::Deadline::After(config_.request_deadline);
+      }
+      util::ScopedRequestDeadline scope(request_deadline);
       response = app.Handle(request.value());
     }
     // During drain, finish this request but do not start another.
@@ -341,6 +422,9 @@ GatewayStats GatewayServer::stats() const {
   out.requests_served = requests_served_.load(std::memory_order_relaxed);
   out.keepalive_reuses = keepalive_reuses_.load(std::memory_order_relaxed);
   out.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  out.request_timeouts = request_timeouts_.load(std::memory_order_relaxed);
+  out.oversized_requests =
+      oversized_requests_.load(std::memory_order_relaxed);
   return out;
 }
 

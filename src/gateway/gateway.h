@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/joza.h"
+#include "util/deadline.h"
 #include "util/status.h"
 #include "webapp/application.h"
 
@@ -50,6 +51,17 @@ struct GatewayConfig {
   // a worker waits for the next request before closing an idle connection.
   std::size_t max_requests_per_connection = 1024;
   std::chrono::milliseconds keepalive_timeout{5000};
+  // Slowloris guard: once the first byte of a request has arrived, the
+  // whole request (headers + body) must arrive within this long or the
+  // worker answers 408 and closes. 0 disables the bound.
+  std::chrono::milliseconds read_timeout{2000};
+  // Total request size cap (headers + body); beyond it the worker answers
+  // 413 and closes instead of buffering without bound.
+  std::size_t max_request_bytes = 1u << 20;
+  // Per-request processing budget threaded to the Joza engine as the
+  // ambient deadline (bounds the PTI daemon round trip; a miss degrades
+  // the verdict fail-closed instead of pinning the worker). 0 disables.
+  std::chrono::milliseconds request_deadline{2000};
 };
 
 struct GatewayStats {
@@ -58,6 +70,8 @@ struct GatewayStats {
   std::size_t requests_served = 0;
   std::size_t keepalive_reuses = 0;      // requests beyond a conn's first
   std::size_t bad_requests = 0;
+  std::size_t request_timeouts = 0;      // slowloris guard fired (408)
+  std::size_t oversized_requests = 0;    // size cap fired (413)
 };
 
 // Builds one worker's private Application. Called once per worker thread at
@@ -124,6 +138,8 @@ class GatewayServer {
   std::atomic<std::size_t> requests_served_{0};
   std::atomic<std::size_t> keepalive_reuses_{0};
   std::atomic<std::size_t> bad_requests_{0};
+  std::atomic<std::size_t> request_timeouts_{0};
+  std::atomic<std::size_t> oversized_requests_{0};
 };
 
 }  // namespace joza::gateway

@@ -1,8 +1,11 @@
 #include "ipc/daemon.h"
 
+#include <csignal>
 #include <sys/wait.h>
+#include <thread>
 #include <unistd.h>
 
+#include "fault/injector.h"
 #include "sqlparse/lexer.h"
 
 namespace joza::ipc {
@@ -20,6 +23,15 @@ std::size_t ServePtiDaemon(int read_fd, int write_fd,
         if (!WriteFrame(write_fd, {MessageType::kPong, ""}).ok()) return served;
         break;
       case MessageType::kAnalyzeRequest: {
+        auto& injector = fault::FaultInjector::Global();
+        if (injector.ShouldFire(fault::FaultPoint::kDaemonKill)) {
+          ::_exit(3);  // crash mid-request: the client sees EOF
+        }
+        if (injector.ShouldFire(fault::FaultPoint::kDaemonHang)) {
+          // Stall without answering; the client's deadline machinery must
+          // kill and replace this daemon.
+          std::this_thread::sleep_for(injector.hang());
+        }
         const std::string& query = frame->payload;
         pti::PtiResult r = analyzer.Analyze(query);
         PtiVerdictWire wire;
@@ -86,11 +98,14 @@ Status DaemonClient::SpawnChild(Fd& to_child_w, Fd& from_child_r) {
                    config_);
     ::_exit(0);
   }
-  // Parent.
+  // Parent. Non-blocking ends so deadline-bounded I/O can never stall
+  // inside a syscall (the child keeps plain blocking pipes).
   req_pipe->first.Close();
   resp_pipe->second.Close();
   to_child_w = std::move(req_pipe->second);
   from_child_r = std::move(resp_pipe->first);
+  SetNonBlocking(to_child_w.get(), true);
+  SetNonBlocking(from_child_r.get(), true);
   child_pid_ = pid;
   return Status::Ok();
 }
@@ -100,28 +115,41 @@ Status DaemonClient::EnsureSpawned() {
   return SpawnChild(to_daemon_, from_daemon_);
 }
 
-StatusOr<Frame> DaemonClient::RoundTrip(const Frame& request) {
+StatusOr<Frame> DaemonClient::RoundTrip(const Frame& request,
+                                        util::Deadline deadline) {
   if (mode_ == Mode::kSpawnPerRequest) {
     // Fresh daemon for this one request: its index build cost lands in the
     // round-trip latency, exactly like the paper's unoptimized tier.
     Fd w, r;
     if (auto st = SpawnChild(w, r); !st.ok()) return st;
-    if (auto st = WriteFrame(w.get(), request); !st.ok()) return st;
-    auto response = ReadFrame(r.get());
+    auto respond = [&]() -> StatusOr<Frame> {
+      if (auto st = WriteFrame(w.get(), request, deadline); !st.ok()) {
+        return st;
+      }
+      return ReadFrame(r.get(), 64u << 20, deadline);
+    };
+    auto response = respond();
     w.Close();  // EOF lets the child exit
+    if (!response.ok() &&
+        response.status().code() == StatusCode::kDeadlineExceeded) {
+      ::kill(child_pid_, SIGKILL);  // a hung one-shot child never exits
+    }
     int status = 0;
     ::waitpid(child_pid_, &status, 0);
     child_pid_ = -1;
     return response;
   }
   if (auto st = EnsureSpawned(); !st.ok()) return st;
-  if (auto st = WriteFrame(to_daemon_.get(), request); !st.ok()) return st;
-  return ReadFrame(from_daemon_.get());
+  if (auto st = WriteFrame(to_daemon_.get(), request, deadline); !st.ok()) {
+    return st;
+  }
+  return ReadFrame(from_daemon_.get(), 64u << 20, deadline);
 }
 
-StatusOr<PtiVerdictWire> DaemonClient::Analyze(std::string_view query) {
-  auto response =
-      RoundTrip(Frame{MessageType::kAnalyzeRequest, std::string(query)});
+StatusOr<PtiVerdictWire> DaemonClient::Analyze(std::string_view query,
+                                               util::Deadline deadline) {
+  auto response = RoundTrip(
+      Frame{MessageType::kAnalyzeRequest, std::string(query)}, deadline);
   if (!response.ok()) return response.status();
   if (response->type != MessageType::kAnalyzeResponse) {
     return Status::Internal("daemon returned unexpected frame type");
@@ -129,8 +157,8 @@ StatusOr<PtiVerdictWire> DaemonClient::Analyze(std::string_view query) {
   return DecodeVerdict(response->payload);
 }
 
-Status DaemonClient::Ping() {
-  auto response = RoundTrip(Frame{MessageType::kPing, ""});
+Status DaemonClient::Ping(util::Deadline deadline) {
+  auto response = RoundTrip(Frame{MessageType::kPing, ""}, deadline);
   if (!response.ok()) return response.status();
   if (response->type != MessageType::kPong) {
     return Status::Internal("daemon returned unexpected frame type");
@@ -139,13 +167,14 @@ Status DaemonClient::Ping() {
 }
 
 Status DaemonClient::AddFragments(
-    const std::vector<std::string>& fragment_texts) {
+    const std::vector<std::string>& fragment_texts, util::Deadline deadline) {
   for (const std::string& f : fragment_texts) fragments_.AddRaw(f);
   if (mode_ == Mode::kSpawnPerRequest || !to_daemon_.valid()) {
     return Status::Ok();  // next spawn picks them up
   }
   auto response = RoundTrip(
-      Frame{MessageType::kAddFragments, EncodeStringList(fragment_texts)});
+      Frame{MessageType::kAddFragments, EncodeStringList(fragment_texts)},
+      deadline);
   if (!response.ok()) return response.status();
   if (response->type != MessageType::kAck) {
     return Status::Internal("daemon rejected fragment update");
@@ -154,14 +183,32 @@ Status DaemonClient::AddFragments(
 }
 
 void DaemonClient::Shutdown() {
+  bool handshake_ok = true;
   if (to_daemon_.valid()) {
-    WriteFrame(to_daemon_.get(), Frame{MessageType::kShutdown, ""});
-    // Best-effort ack read, then close.
-    ReadFrame(from_daemon_.get());
+    // Bounded handshake: a hung daemon must not turn shutdown into a hang.
+    const auto deadline =
+        util::Deadline::After(std::chrono::milliseconds(500));
+    handshake_ok =
+        WriteFrame(to_daemon_.get(), Frame{MessageType::kShutdown, ""},
+                   deadline)
+            .ok() &&
+        ReadFrame(from_daemon_.get(), 64u << 20, deadline).ok();
     to_daemon_.Close();
     from_daemon_.Close();
   }
   if (child_pid_ > 0) {
+    if (!handshake_ok) ::kill(child_pid_, SIGKILL);
+    int status = 0;
+    ::waitpid(child_pid_, &status, 0);
+    child_pid_ = -1;
+  }
+}
+
+void DaemonClient::Kill() {
+  to_daemon_.Close();
+  from_daemon_.Close();
+  if (child_pid_ > 0) {
+    ::kill(child_pid_, SIGKILL);
     int status = 0;
     ::waitpid(child_pid_, &status, 0);
     child_pid_ = -1;
@@ -169,15 +216,19 @@ void DaemonClient::Shutdown() {
 }
 
 core::PtiFn DaemonClient::AsPtiBackend() {
-  return [this](std::string_view query,
-                const std::vector<sql::Token>& tokens) -> pti::PtiResult {
-    pti::PtiResult result;
-    auto wire = Analyze(query);
+  return [this](std::string_view query, const std::vector<sql::Token>& tokens,
+                util::Deadline deadline) -> StatusOr<pti::PtiResult> {
+    auto wire = Analyze(query, deadline);
     if (!wire.ok()) {
-      // Fail closed: an unreachable daemon must not let queries through.
-      result.attack_detected = true;
-      return result;
+      // No verdict. Whether the daemon hung (deadline miss, pipe now
+      // desynchronized) or died, the client is unusable: kill what is left
+      // so the next call spawns a fresh daemon instead of reusing a broken
+      // stream. The engine's degraded-mode policy decides what the missing
+      // verdict means (fail closed by default).
+      Kill();
+      return wire.status();
     }
+    pti::PtiResult result;
     result.attack_detected = wire->attack_detected;
     result.hits = wire->hits;
     result.fragments_scanned = wire->fragments_scanned;

@@ -24,6 +24,8 @@ namespace joza::ipc {
 // Runs the daemon side: reads frames from `read_fd`, answers on
 // `write_fd`, until Shutdown or EOF. Returns the number of queries served.
 // `fragments` seeds the analyzer; AddFragments frames extend it.
+// Honours the daemon-hang / daemon-kill fault-injection points (inherited
+// across fork) so chaos tests can stall or crash daemons mid-request.
 std::size_t ServePtiDaemon(int read_fd, int write_fd,
                            php::FragmentSet fragments,
                            pti::PtiConfig config = {});
@@ -51,26 +53,38 @@ class DaemonClient {
   // daemons and exercise fail-closed replacement.
   int child_pid() const { return child_pid_; }
 
-  // Round-trips one query through the daemon.
-  StatusOr<PtiVerdictWire> Analyze(std::string_view query);
+  // Round-trips one query through the daemon. A finite deadline bounds the
+  // whole round trip; a miss leaves the stream desynchronized, so the
+  // caller must Kill() and discard this client (a hung daemon is
+  // indistinguishable from a dead one on the request path).
+  StatusOr<PtiVerdictWire> Analyze(std::string_view query,
+                                   util::Deadline deadline = util::Deadline());
 
   // Health check round trip.
-  Status Ping();
+  Status Ping(util::Deadline deadline = util::Deadline());
 
   // Ships additional fragments to the (persistent) daemon.
-  Status AddFragments(const std::vector<std::string>& fragment_texts);
+  Status AddFragments(const std::vector<std::string>& fragment_texts,
+                      util::Deadline deadline = util::Deadline());
 
-  // Stops the persistent daemon (no-op for spawn-per-request).
+  // Stops the persistent daemon (no-op for spawn-per-request). The
+  // handshake is time-bounded; an unresponsive daemon is killed instead.
   void Shutdown();
+
+  // SIGKILLs the daemon and reaps it without any handshake — for daemons
+  // that missed a deadline (hung) or broke the protocol.
+  void Kill();
 
   // Adapts this client as a Joza PTI backend. The wire verdict carries no
   // token spans, so the adapter re-derives `untrusted_critical_tokens`
-  // length only; detection semantics are identical.
+  // length only; detection semantics are identical. RPC failures surface
+  // as error Status — the engine's degraded-mode policy decides what a
+  // missing verdict means (fail closed by default).
   core::PtiFn AsPtiBackend();
 
  private:
   Status EnsureSpawned();
-  StatusOr<Frame> RoundTrip(const Frame& request);
+  StatusOr<Frame> RoundTrip(const Frame& request, util::Deadline deadline);
   Status SpawnChild(Fd& to_child_w, Fd& from_child_r);
 
   Mode mode_;

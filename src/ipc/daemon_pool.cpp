@@ -14,11 +14,19 @@ DaemonPool::DaemonPool(php::FragmentSet fragments, Options options,
 
 DaemonPool::~DaemonPool() { Shutdown(); }
 
-StatusOr<DaemonPool::Entry> DaemonPool::Checkout() {
+StatusOr<DaemonPool::Entry> DaemonPool::Checkout(util::Deadline deadline) {
   std::unique_lock<std::mutex> lock(mu_);
   while (idle_.empty() && live_ >= options_.max_size && !shutdown_) {
     ++stats_.waits;
-    cv_.wait(lock);
+    if (!deadline.finite()) {
+      cv_.wait(lock);
+    } else if (cv_.wait_until(lock, deadline.point()) ==
+               std::cv_status::timeout) {
+      // Re-check once: a Return may have raced the timeout.
+      if (idle_.empty() && live_ >= options_.max_size && !shutdown_) {
+        return Status::DeadlineExceeded("daemon checkout deadline");
+      }
+    }
   }
   if (shutdown_) return Status::Unavailable("daemon pool is shut down");
 
@@ -36,7 +44,7 @@ StatusOr<DaemonPool::Entry> DaemonPool::Checkout() {
     lock.unlock();
     entry.client = std::make_unique<DaemonClient>(
         DaemonClient::Mode::kPersistent, std::move(fragments), config_);
-    if (Status st = entry.client->Ping(); !st.ok()) {
+    if (Status st = entry.client->Ping(deadline); !st.ok()) {
       Discard(std::move(entry));
       return st;
     }
@@ -51,7 +59,7 @@ StatusOr<DaemonPool::Entry> DaemonPool::Checkout() {
   entry.fragments_applied = added_texts_.size();
   lock.unlock();
   if (!pending.empty()) {
-    if (Status st = entry.client->AddFragments(pending); !st.ok()) {
+    if (Status st = entry.client->AddFragments(pending, deadline); !st.ok()) {
       Discard(std::move(entry));
       return st;
     }
@@ -75,25 +83,48 @@ void DaemonPool::Return(Entry entry) {
 }
 
 void DaemonPool::Discard(Entry entry) {
-  (void)entry;  // destroyed on scope exit: shutdown frame + waitpid
+  // SIGKILL, no handshake: a hung daemon would stall the graceful shutdown
+  // for its full 500 ms bound — and a dead one cannot answer anyway.
+  if (entry.client) entry.client->Kill();
   {
     std::lock_guard<std::mutex> lock(mu_);
     --live_;
     ++stats_.replaced;
   }
   cv_.notify_all();  // blocked checkouts (or Shutdown) may proceed
-  // entry destructor: best-effort shutdown frame + waitpid.
 }
 
-StatusOr<PtiVerdictWire> DaemonPool::Analyze(std::string_view query) {
+StatusOr<PtiVerdictWire> DaemonPool::Analyze(std::string_view query,
+                                             util::Deadline deadline) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return Status::Unavailable("daemon pool is shut down");
+    ++in_flight_;
+  }
+  InFlight flight(this);
+  Status last = Status::Unavailable("PTI daemon unreachable after retry");
   for (int attempt = 0; attempt < 2; ++attempt) {
-    auto entry = Checkout();
+    // Each attempt gets at most per_call_timeout; the retry runs on
+    // whatever remains of the caller's budget.
+    util::Deadline attempt_deadline = deadline;
+    if (options_.per_call_timeout.count() > 0) {
+      attempt_deadline = util::Deadline::EarlierOf(
+          deadline, util::Deadline::After(options_.per_call_timeout));
+    }
+    if (attempt_deadline.expired()) {
+      last = Status::DeadlineExceeded("PTI deadline budget exhausted");
+      break;
+    }
+    auto entry = Checkout(attempt_deadline);
     if (!entry.ok()) {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.failures;
+      if (entry.status().code() == StatusCode::kDeadlineExceeded) {
+        ++stats_.deadline_misses;
+      }
       return entry.status();
     }
-    auto wire = entry->client->Analyze(query);
+    auto wire = entry->client->Analyze(query, attempt_deadline);
     if (wire.ok()) {
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -102,19 +133,30 @@ StatusOr<PtiVerdictWire> DaemonPool::Analyze(std::string_view query) {
       Return(std::move(entry).value());
       return wire;
     }
-    // The daemon died mid-flight (killed, OOM, crashed): replace it and
-    // retry the query once on a fresh daemon.
+    last = wire.status();
+    if (last.code() == StatusCode::kDeadlineExceeded) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.deadline_misses;
+    }
+    // The daemon died or hung mid-flight: kill it, replace it, and retry
+    // the query once on a fresh daemon.
     Discard(std::move(entry).value());
   }
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.failures;
-  return Status::Unavailable("PTI daemon unreachable after retry");
+  return last;
 }
 
-Status DaemonPool::Ping() {
-  auto entry = Checkout();
+Status DaemonPool::Ping(util::Deadline deadline) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return Status::Unavailable("daemon pool is shut down");
+    ++in_flight_;
+  }
+  InFlight flight(this);
+  auto entry = Checkout(deadline);
   if (!entry.ok()) return entry.status();
-  Status st = entry->client->Ping();
+  Status st = entry->client->Ping(deadline);
   if (st.ok()) {
     Return(std::move(entry).value());
   } else {
@@ -137,15 +179,15 @@ Status DaemonPool::AddFragments(
 }
 
 core::PtiFn DaemonPool::AsPtiBackend() {
-  return [this](std::string_view query,
-                const std::vector<sql::Token>& tokens) -> pti::PtiResult {
-    pti::PtiResult result;
-    auto wire = Analyze(query);
+  return [this](std::string_view query, const std::vector<sql::Token>& tokens,
+                util::Deadline deadline) -> StatusOr<pti::PtiResult> {
+    auto wire = Analyze(query, deadline);
     if (!wire.ok()) {
-      // Fail closed: an unreachable pool must not let queries through.
-      result.attack_detected = true;
-      return result;
+      // No verdict: surface the error — the engine's breaker/degraded
+      // policy decides (fail closed by default).
+      return wire.status();
     }
+    pti::PtiResult result;
     result.attack_detected = wire->attack_detected;
     result.hits = wire->hits;
     result.fragments_scanned = wire->fragments_scanned;
@@ -184,15 +226,18 @@ void DaemonPool::Shutdown() {
   std::vector<Entry> victims;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    if (shutdown_ && live_ == 0) return;
+    if (shutdown_ && live_ == 0 && in_flight_ == 0) return;
     shutdown_ = true;
     victims = std::move(idle_);
     idle_.clear();
     live_ -= victims.size();
     cv_.notify_all();
-    // Checked-out daemons drain through Return/Discard, which decrement
-    // live_ under shutdown_.
-    cv_.wait(lock, [&] { return live_ == 0; });
+    // Checked-out daemons drain through Return/Discard (which decrement
+    // live_ under shutdown_) and the calls themselves drain through the
+    // InFlight guards; their bounded deadlines guarantee progress. Waiting
+    // for both means no racing thread can still touch pool state after
+    // Shutdown returns, so destruction is safe.
+    cv_.wait(lock, [&] { return live_ == 0 && in_flight_ == 0; });
   }
   victims.clear();
 }

@@ -7,17 +7,20 @@
 // round-trips its query, and returns it; when all daemons are busy and the
 // pool is at its cap, callers block until one frees up.
 //
-// Failure policy is fail-closed, matching DaemonClient::AsPtiBackend: a
-// daemon that dies mid-flight is discarded (reaped via waitpid) and the
-// query retried once on a fresh daemon; if that also fails the verdict is
-// "attack" — an unreachable analyzer never waves queries through. Idle
-// daemons beyond `min_size` are reaped after `idle_timeout` so a traffic
-// spike does not pin processes forever.
+// Failure policy: a daemon that dies or hangs mid-flight is SIGKILLed and
+// discarded, and the query retried once on a fresh daemon within the
+// remaining deadline budget; if that also fails the pool reports an error
+// Status and the engine's degraded-mode policy decides (fail closed by
+// default — an unreachable analyzer never waves queries through). Every
+// round trip is bounded by min(caller deadline, per_call_timeout), so a
+// hung daemon costs one budget, not a pinned worker. Idle daemons beyond
+// `min_size` are reaped after `idle_timeout` so a traffic spike does not
+// pin processes forever.
 //
-// Thread safety: Analyze/AddFragments/stats/ReapIdle may be called from any
-// number of threads. Shutdown (and destruction) must not race in-flight
-// Analyze calls on other threads — stop traffic first; late callers get
-// Unavailable, which the backend adapter fails closed.
+// Thread safety: every method may be called from any number of threads,
+// including Shutdown/destruction racing in-flight Analyze calls: Shutdown
+// waits for in-flight calls to drain, and calls that arrive after it
+// began get Unavailable.
 #pragma once
 
 #include <chrono>
@@ -33,6 +36,7 @@
 #include "ipc/framing.h"
 #include "phpsrc/fragments.h"
 #include "pti/pti.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace joza::ipc {
@@ -43,15 +47,21 @@ class DaemonPool {
     std::size_t min_size = 1;   // survivors of idle reaping
     std::size_t max_size = 4;   // hard cap on live daemons
     std::chrono::milliseconds idle_timeout{30000};
+    // Upper bound on each checkout + round trip, combined with the
+    // caller's deadline (whichever is earlier). A miss means the daemon is
+    // treated as dead: killed, replaced, the call retried on the budget
+    // that remains. 0 disables the per-call bound (caller deadline only).
+    std::chrono::milliseconds per_call_timeout{2000};
   };
 
   struct PoolStats {
     std::size_t spawned = 0;    // daemons forked over the pool's lifetime
-    std::size_t replaced = 0;   // dead daemons discarded mid-flight
+    std::size_t replaced = 0;   // dead/hung daemons discarded mid-flight
     std::size_t reaped = 0;     // idle daemons retired
     std::size_t analyzed = 0;   // successful round trips
     std::size_t failures = 0;   // round trips that failed even after retry
     std::size_t waits = 0;      // checkouts that had to block
+    std::size_t deadline_misses = 0;  // round trips abandoned on deadline
   };
 
   explicit DaemonPool(php::FragmentSet fragments)
@@ -64,23 +74,28 @@ class DaemonPool {
   DaemonPool& operator=(const DaemonPool&) = delete;
 
   // Round-trips one query through any pooled daemon. Spawns up to max_size
-  // daemons on demand; blocks when all are checked out.
-  StatusOr<PtiVerdictWire> Analyze(std::string_view query);
+  // daemons on demand; blocks when all are checked out (bounded by the
+  // deadline). Each attempt is additionally bounded by per_call_timeout.
+  StatusOr<PtiVerdictWire> Analyze(std::string_view query,
+                                   util::Deadline deadline = util::Deadline());
 
-  Status Ping();
+  Status Ping(util::Deadline deadline = util::Deadline());
 
   // Records fragments for every daemon. Running daemons receive them lazily
   // at their next checkout; future spawns start with them.
   Status AddFragments(const std::vector<std::string>& fragment_texts);
 
-  // Thread-safe, fail-closed Joza PTI backend over the pool.
+  // Thread-safe Joza PTI backend over the pool. RPC failures surface as
+  // error Status; the engine's breaker/degraded policy decides.
   core::PtiFn AsPtiBackend();
 
   // Retires daemons idle for longer than idle_timeout, down to min_size.
   // Also runs opportunistically on every return.
   void ReapIdle();
 
-  // Shuts every daemon down and rejects further work.
+  // Shuts every daemon down and rejects further work. Safe to race with
+  // in-flight Analyze/Ping calls: it blocks until they drain (their bounded
+  // deadlines guarantee that terminates); late arrivals get Unavailable.
   void Shutdown();
 
   PoolStats stats() const;
@@ -97,11 +112,29 @@ class DaemonPool {
     std::size_t fragments_applied = 0;  // prefix of added_texts_ shipped
   };
 
-  // Pops an idle daemon or spawns one; blocks at the cap. Applies pending
-  // fragment updates before handing the entry out.
-  StatusOr<Entry> Checkout();
+  // Pops an idle daemon or spawns one; blocks at the cap until `deadline`.
+  // Applies pending fragment updates before handing the entry out.
+  StatusOr<Entry> Checkout(util::Deadline deadline);
   void Return(Entry entry);
-  void Discard(Entry entry);  // dead daemon: destroy and free its slot
+  // Dead or hung daemon: SIGKILL (no handshake — a hung daemon would stall
+  // the graceful shutdown), reap, free its slot.
+  void Discard(Entry entry);
+
+  // RAII in-flight marker: constructed after the shutdown check admits the
+  // call, destroyed as the call's very last touch of pool state. Shutdown
+  // waits for in_flight_ == 0, so the pool cannot be destroyed under a
+  // racing call's feet.
+  struct InFlight {
+    DaemonPool* pool;
+    explicit InFlight(DaemonPool* p) : pool(p) {}
+    InFlight(const InFlight&) = delete;
+    InFlight& operator=(const InFlight&) = delete;
+    ~InFlight() {
+      std::lock_guard<std::mutex> lock(pool->mu_);
+      --pool->in_flight_;
+      pool->cv_.notify_all();
+    }
+  };
 
   php::FragmentSet fragments_;   // grows with AddFragments; seeds spawns
   pti::PtiConfig config_;
@@ -111,6 +144,7 @@ class DaemonPool {
   std::condition_variable cv_;
   std::vector<Entry> idle_;      // LIFO: the hottest daemon goes out first
   std::size_t live_ = 0;
+  std::size_t in_flight_ = 0;    // Analyze/Ping calls between entry and exit
   bool shutdown_ = false;
   std::vector<std::string> added_texts_;  // broadcast log for late joiners
   PoolStats stats_;

@@ -3,8 +3,12 @@
 #include <cerrno>
 #include <csignal>
 #include <cstring>
+#include <fcntl.h>
+#include <poll.h>
 #include <pthread.h>
 #include <unistd.h>
+
+#include "fault/injector.h"
 
 namespace joza::ipc {
 
@@ -38,9 +42,41 @@ StatusOr<std::pair<Fd, Fd>> MakePipe() {
   return std::make_pair(Fd(fds[0]), Fd(fds[1]));
 }
 
+Status SetNonBlocking(int fd, bool enabled) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) {
+    return Status::Internal(std::string("fcntl(F_GETFL): ") +
+                            std::strerror(errno));
+  }
+  const int wanted = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (wanted != flags && ::fcntl(fd, F_SETFL, wanted) != 0) {
+    return Status::Internal(std::string("fcntl(F_SETFL): ") +
+                            std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
 namespace {
 
-Status WriteAll(int fd, const void* data, std::size_t size) {
+// Blocks until `fd` is ready for `events` (POLLIN/POLLOUT) or the deadline
+// passes. POLLHUP/POLLERR count as ready: the subsequent read/write
+// surfaces the precise error.
+Status PollWait(int fd, short events, const util::Deadline& deadline) {
+  for (;;) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int n = ::poll(&pfd, 1, deadline.poll_timeout_ms());
+    if (n > 0) return Status::Ok();
+    if (n == 0) return Status::DeadlineExceeded("pipe I/O deadline");
+    if (errno == EINTR) continue;
+    return Status::Unavailable(std::string("poll(): ") +
+                               std::strerror(errno));
+  }
+}
+
+Status WriteAll(int fd, const void* data, std::size_t size,
+                const util::Deadline& deadline) {
   // Writing to a pipe whose reader died raises SIGPIPE, whose default
   // action terminates the process. A crashed daemon must surface as EPIPE
   // here (the pool then replaces it, fail closed) — not take the serving
@@ -59,6 +95,17 @@ Status WriteAll(int fd, const void* data, std::size_t size) {
     ssize_t n = ::write(fd, p, size);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (deadline.expired()) {
+          result = Status::DeadlineExceeded("write deadline");
+          break;
+        }
+        if (Status st = PollWait(fd, POLLOUT, deadline); !st.ok()) {
+          result = st;
+          break;
+        }
+        continue;
+      }
       result = Status::Unavailable(std::string("write(): ") +
                                    std::strerror(errno));
       break;
@@ -82,13 +129,22 @@ Status WriteAll(int fd, const void* data, std::size_t size) {
 
 // Returns 0 bytes read as clean EOF (only legal before the first byte).
 StatusOr<bool> ReadAll(int fd, void* data, std::size_t size,
-                       bool eof_ok_at_start) {
+                       bool eof_ok_at_start, const util::Deadline& deadline) {
   char* p = static_cast<char*>(data);
   std::size_t got = 0;
   while (got < size) {
+    // A blocking read would ignore the deadline; wait for readability
+    // first whenever the deadline is finite.
+    if (deadline.finite()) {
+      if (Status st = PollWait(fd, POLLIN, deadline); !st.ok()) return st;
+    }
     ssize_t n = ::read(fd, p + got, size - got);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (Status st = PollWait(fd, POLLIN, deadline); !st.ok()) return st;
+        continue;
+      }
       return Status::Unavailable(std::string("read(): ") +
                                  std::strerror(errno));
     }
@@ -129,31 +185,53 @@ StatusOr<std::string> TakeString(std::string_view& in) {
 
 }  // namespace
 
-Status WriteFrame(int fd, const Frame& frame) {
+Status WriteFrame(int fd, const Frame& frame, util::Deadline deadline) {
   std::string header;
   AppendU32(header, static_cast<std::uint32_t>(frame.payload.size()));
   header.push_back(static_cast<char>(frame.type));
-  if (auto st = WriteAll(fd, header.data(), header.size()); !st.ok()) {
+
+  auto& injector = fault::FaultInjector::Global();
+  if (injector.ShouldFire(fault::FaultPoint::kFrameCorrupt)) {
+    // Declare an absurd payload length; the reader must reject it cleanly
+    // (and the stream is desynchronized, like real corruption would be).
+    header[0] = header[1] = header[2] = static_cast<char>(0xff);
+    header[3] = 0x7f;
+  }
+  if (injector.ShouldFire(fault::FaultPoint::kShortWrite)) {
+    // Truncate mid-frame and report success: the peer is now stuck waiting
+    // for bytes that never come — exactly a stalled writer.
+    std::string partial = header + frame.payload.substr(
+        0, frame.payload.size() / 2);
+    if (!partial.empty()) partial.pop_back();
+    return WriteAll(fd, partial.data(), partial.size(), deadline);
+  }
+
+  if (auto st = WriteAll(fd, header.data(), header.size(), deadline);
+      !st.ok()) {
     return st;
   }
-  return WriteAll(fd, frame.payload.data(), frame.payload.size());
+  return WriteAll(fd, frame.payload.data(), frame.payload.size(), deadline);
 }
 
-StatusOr<Frame> ReadFrame(int fd, std::size_t max_payload) {
+StatusOr<Frame> ReadFrame(int fd, std::size_t max_payload,
+                          util::Deadline deadline) {
   unsigned char header[5];
-  auto got = ReadAll(fd, header, sizeof header, /*eof_ok_at_start=*/true);
+  auto got =
+      ReadAll(fd, header, sizeof header, /*eof_ok_at_start=*/true, deadline);
   if (!got.ok()) return got.status();
   if (!got.value()) return Status::NotFound("peer closed the pipe");
   std::uint32_t len = header[0] | (header[1] << 8) | (header[2] << 16) |
                       (static_cast<std::uint32_t>(header[3]) << 24);
   if (len > max_payload) {
+    // Reject before allocating: a corrupt or hostile length declaration
+    // must not turn into a multi-gigabyte resize.
     return Status::InvalidArgument("frame payload exceeds limit");
   }
   Frame frame;
   frame.type = static_cast<MessageType>(header[4]);
   frame.payload.resize(len);
   if (len > 0) {
-    auto body = ReadAll(fd, frame.payload.data(), len, false);
+    auto body = ReadAll(fd, frame.payload.data(), len, false, deadline);
     if (!body.ok()) return body.status();
   }
   return frame;
@@ -210,6 +288,12 @@ std::string EncodeStringList(const std::vector<std::string>& strings) {
 StatusOr<std::vector<std::string>> DecodeStringList(std::string_view in) {
   auto n = TakeU32(in);
   if (!n.ok()) return n.status();
+  // Every string costs at least its 4-byte length prefix; a count the
+  // remaining payload cannot possibly hold is a malformed frame, not a
+  // reason to reserve gigabytes.
+  if (n.value() > in.size() / 4) {
+    return Status::ParseError("string list count exceeds payload");
+  }
   std::vector<std::string> out;
   out.reserve(n.value());
   for (std::uint32_t i = 0; i < n.value(); ++i) {

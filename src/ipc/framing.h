@@ -10,6 +10,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace joza::ipc {
@@ -54,10 +55,22 @@ class Fd {
 // Creates a unidirectional pipe; [0] is the read end, [1] the write end.
 StatusOr<std::pair<Fd, Fd>> MakePipe();
 
-// Blocking full-frame write/read with EINTR handling. ReadFrame returns
-// NotFound on clean EOF (peer closed before any byte of a frame).
-Status WriteFrame(int fd, const Frame& frame);
-StatusOr<Frame> ReadFrame(int fd, std::size_t max_payload = 64u << 20);
+// Toggles O_NONBLOCK. Deadline-bounded writes need a non-blocking fd: a
+// blocking pipe write can stall inside the kernel past any deadline.
+Status SetNonBlocking(int fd, bool enabled);
+
+// Full-frame write/read with EINTR handling, bounded by `deadline`
+// (poll(2)-based; the default infinite deadline preserves fully blocking
+// behaviour). A deadline miss returns kDeadlineExceeded with the transfer
+// abandoned mid-frame — the stream is unusable afterwards and the peer
+// must be discarded, exactly like a dead daemon. ReadFrame returns
+// NotFound on clean EOF (peer closed before any byte of a frame) and
+// InvalidArgument for frames whose declared length exceeds `max_payload`
+// (nothing is allocated for oversized declarations).
+Status WriteFrame(int fd, const Frame& frame,
+                  util::Deadline deadline = util::Deadline());
+StatusOr<Frame> ReadFrame(int fd, std::size_t max_payload = 64u << 20,
+                          util::Deadline deadline = util::Deadline());
 
 // --- Wire encodings ---------------------------------------------------------
 

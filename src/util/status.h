@@ -18,6 +18,7 @@ enum class StatusCode {
   kParseError,
   kUnavailable,
   kInternal,
+  kDeadlineExceeded,
 };
 
 // A success/error result carrying a code and a human-readable message.
@@ -43,6 +44,9 @@ class Status {
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
   }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -61,6 +65,7 @@ class Status {
       case StatusCode::kParseError: return "PARSE_ERROR";
       case StatusCode::kUnavailable: return "UNAVAILABLE";
       case StatusCode::kInternal: return "INTERNAL";
+      case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     }
     return "UNKNOWN";
   }

@@ -35,6 +35,8 @@ const char* ReasonPhrase(int status) {
     case 200: return "OK";
     case 400: return "Bad Request";
     case 404: return "Not Found";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
     default: return "Status";

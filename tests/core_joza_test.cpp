@@ -260,7 +260,8 @@ TEST(Gate, PluggablePtiBackend) {
   Joza joza(RichFragments());
   bool called = false;
   joza.SetPtiBackend([&called](std::string_view,
-                               const std::vector<sql::Token>&) {
+                               const std::vector<sql::Token>&,
+                               util::Deadline) -> StatusOr<pti::PtiResult> {
     called = true;
     pti::PtiResult r;
     r.attack_detected = false;

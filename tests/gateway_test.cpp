@@ -300,12 +300,25 @@ TEST_F(DaemonPoolTest, DeadDaemonIsReplacedFailClosed) {
   EXPECT_TRUE(pool.Analyze(attack_)->attack_detected);
 }
 
-TEST_F(DaemonPoolTest, BackendFailsClosedAfterShutdown) {
+TEST_F(DaemonPoolTest, BackendErrorsAfterShutdownAndEngineFailsClosed) {
   ipc::DaemonPool pool(fragments_);
   core::PtiFn backend = pool.AsPtiBackend();
   pool.Shutdown();
-  pti::PtiResult result = backend("SELECT 1", {});
-  EXPECT_TRUE(result.attack_detected) << "shut-down pool must fail closed";
+  // The adapter reports "no verdict" rather than inventing one...
+  auto result = backend("SELECT 1", {}, util::Deadline());
+  ASSERT_FALSE(result.ok()) << "shut-down pool must not return a verdict";
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  // ...and an engine wired to the dead pool blocks the query (default
+  // degraded mode is fail-closed).
+  core::JozaConfig cfg;
+  cfg.enable_nti = false;
+  cfg.query_cache = false;
+  cfg.structure_cache = false;
+  core::Joza joza(fragments_, cfg);
+  joza.SetPtiBackend(pool.AsPtiBackend());
+  core::Verdict v = joza.Check("SELECT 1", {});
+  EXPECT_TRUE(v.attack) << "engine must fail closed on a dead backend";
+  EXPECT_TRUE(v.degraded);
 }
 
 TEST_F(DaemonPoolTest, IdleReapingRespectsMinSize) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <thread>
+#include <unistd.h>
 
 #include "core/joza.h"
 #include "ipc/daemon.h"
@@ -94,18 +95,111 @@ TEST(DaemonErrors, JozaAdapterFailsClosedOnDeadDaemon) {
   // Healthy: the trivially-covered query is safe.
   EXPECT_FALSE(joza.Check("SELECT 1", {}).attack);
 
-  // Shutdown closes the pipes; the next spawn succeeds (the client
-  // re-forks) so simulate a hard failure instead: move-close the pipes by
-  // shutting down and then poisoning with a second shutdown is not enough.
-  // Destroying the client would leave a dangling backend, so instead test
-  // the adapter's contract directly: a backend whose Analyze errors must
-  // report an attack (fail closed).
-  joza.SetPtiBackend([](std::string_view, const std::vector<sql::Token>&) {
-    pti::PtiResult r;
-    r.attack_detected = true;  // what AsPtiBackend returns on RPC failure
-    return r;
+  // Destroying the client would leave a dangling backend, so test the
+  // engine's contract directly: a backend that cannot produce a verdict
+  // returns an error Status, and the engine's default degraded mode
+  // (fail-closed) must block the query.
+  joza.SetPtiBackend([](std::string_view, const std::vector<sql::Token>&,
+                        util::Deadline) -> StatusOr<pti::PtiResult> {
+    return Status::Unavailable("daemon unreachable");
   });
-  EXPECT_TRUE(joza.Check("SELECT 1", {}).attack);
+  core::Verdict v = joza.Check("SELECT 1", {});
+  EXPECT_TRUE(v.attack);
+  EXPECT_TRUE(v.degraded);
+  EXPECT_TRUE(v.pti_unavailable);
+  // A degraded block is not a detection: nothing to attribute, nothing in
+  // the attack counter, but the degraded counters light up.
+  EXPECT_EQ(v.detected_by, core::DetectedBy::kNone);
+  const core::JozaStats stats = joza.stats();
+  EXPECT_EQ(stats.attacks_detected, 0u);
+  EXPECT_EQ(stats.pti_failures, 1u);
+  EXPECT_EQ(stats.degraded_checks, 1u);
+  EXPECT_EQ(stats.degraded_blocks, 1u);
+}
+
+// --- Malformed-frame hardening ----------------------------------------------
+// Fuzz-style fixed cases: hostile or corrupt bytes on the pipe must come
+// back as clean Status errors, never unbounded allocation or a hang.
+
+TEST(FrameHardening, OversizedDeclaredLengthRejectedWithoutAllocation) {
+  auto pipe = MakePipe();
+  ASSERT_TRUE(pipe.ok());
+  // Header declares a ~2 GiB payload; nothing but the header is sent.
+  const char header[5] = {'\xff', '\xff', '\xff', '\x7f',
+                          static_cast<char>(MessageType::kAnalyzeRequest)};
+  ASSERT_EQ(::write(pipe->second.get(), header, sizeof header),
+            static_cast<ssize_t>(sizeof header));
+  auto frame = ReadFrame(pipe->first.get(), /*max_payload=*/64u << 20);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameHardening, TruncatedPayloadIsCleanError) {
+  auto pipe = MakePipe();
+  ASSERT_TRUE(pipe.ok());
+  // Declares 100 payload bytes but delivers 3, then EOF.
+  const char header[5] = {100, 0, 0, 0,
+                          static_cast<char>(MessageType::kAnalyzeRequest)};
+  ASSERT_EQ(::write(pipe->second.get(), header, sizeof header),
+            static_cast<ssize_t>(sizeof header));
+  ASSERT_EQ(::write(pipe->second.get(), "abc", 3), 3);
+  pipe->second.Close();
+  auto frame = ReadFrame(pipe->first.get());
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FrameHardening, TruncatedHeaderIsCleanError) {
+  auto pipe = MakePipe();
+  ASSERT_TRUE(pipe.ok());
+  ASSERT_EQ(::write(pipe->second.get(), "\x01\x00", 2), 2);
+  pipe->second.Close();
+  auto frame = ReadFrame(pipe->first.get());
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FrameHardening, DecodeVerdictGarbageRejected) {
+  EXPECT_FALSE(DecodeVerdict("").ok());
+  EXPECT_FALSE(DecodeVerdict("\x01").ok());          // flag, then truncated
+  EXPECT_FALSE(DecodeVerdict("\x01\x02\x03").ok());  // mid-u32 truncation
+  // Valid counters but a string-table count with no string bytes behind it.
+  std::string payload;
+  payload.push_back(1);
+  for (int i = 0; i < 3; ++i) payload += std::string(4, '\0');
+  payload += std::string("\xff\xff\xff\xff", 4);  // 4 billion strings
+  EXPECT_FALSE(DecodeVerdict(payload).ok());
+}
+
+TEST(FrameHardening, DecodeStringListAbsurdCountRejected) {
+  // Count = 0xffffffff with an empty remainder: must fail before reserving.
+  EXPECT_FALSE(DecodeStringList(std::string("\xff\xff\xff\xff", 4)).ok());
+  // Count that the remaining bytes cannot possibly hold.
+  std::string payload("\x10\x00\x00\x00", 4);
+  payload += "junk";
+  auto r = DecodeStringList(payload);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(FrameHardening, DaemonSurvivesOversizedFrameFromClient) {
+  // The serving loop rejects the frame and exits cleanly (stream is
+  // desynchronized past repair), rather than allocating or crashing.
+  auto req = MakePipe();
+  auto resp = MakePipe();
+  ASSERT_TRUE(req.ok() && resp.ok());
+  std::size_t served = 0;
+  std::thread server([&served, rfd = req->first.get(),
+                      wfd = resp->second.get()] {
+    served = ServePtiDaemon(rfd, wfd, OneFragment());
+  });
+  const char header[5] = {'\xff', '\xff', '\xff', '\x7f',
+                          static_cast<char>(MessageType::kAnalyzeRequest)};
+  ASSERT_EQ(::write(req->second.get(), header, sizeof header),
+            static_cast<ssize_t>(sizeof header));
+  req->second.Close();
+  server.join();
+  EXPECT_EQ(served, 0u);
 }
 
 TEST(DaemonErrors, ShutdownThenReuseRespawns) {

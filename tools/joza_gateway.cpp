@@ -2,12 +2,22 @@
 //
 //   joza_gateway [--port N] [--workers N] [--cache-capacity N]
 //                [--pti inproc|pool] [--pool-size N] [--duration SECONDS]
+//                [--deadline-ms N] [--degraded fail-closed|nti-only]
+//                [--breaker-threshold N] [--fault point[:rate]]...
 //
 // Binds 127.0.0.1 (port 0 picks a free port), installs one shared Joza
 // engine across the whole worker pool, and serves until the duration
 // elapses (0 = forever, until SIGINT/SIGTERM). With --pti pool, PTI
 // analysis runs out-of-process through the daemon pool, the deployment
 // shape Section IV-C1 describes. Prints engine + gateway stats on exit.
+//
+// Fault tolerance knobs: --deadline-ms bounds each request's processing
+// budget (0 disables), --degraded picks what happens while the PTI backend
+// is down (blocked via error virtualization, or NTI-only verdicts),
+// --breaker-threshold sets the circuit breaker's consecutive-failure trip
+// point (0 disables the breaker), and each --fault arms a fault-injection
+// point (daemon-hang, daemon-kill, frame-corrupt, short-write, accept-fail,
+// slow-client) at the given rate in [0,1] (bare name = always fire).
 #include <csignal>
 
 #include <atomic>
@@ -21,6 +31,8 @@
 
 #include "attack/catalog.h"
 #include "core/joza.h"
+#include "fault/circuit_breaker.h"
+#include "fault/injector.h"
 #include "gateway/gateway.h"
 #include "ipc/daemon_pool.h"
 #include "phpsrc/fragments.h"
@@ -35,7 +47,9 @@ int UsageError(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--workers N] [--cache-capacity N]\n"
                "          [--pti inproc|pool] [--pool-size N] "
-               "[--duration SECONDS]\n",
+               "[--duration SECONDS]\n"
+               "          [--deadline-ms N] [--degraded fail-closed|nti-only]\n"
+               "          [--breaker-threshold N] [--fault point[:rate]]...\n",
                argv0);
   return 2;
 }
@@ -51,6 +65,10 @@ int main(int argc, char** argv) {
   std::size_t pool_size = 4;
   bool use_pool = false;
   long duration_s = 0;
+  long deadline_ms = 2000;
+  std::size_t breaker_threshold = 5;
+  joza::core::DegradedMode degraded_mode =
+      joza::core::DegradedMode::kFailClosed;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
@@ -74,6 +92,24 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--duration") == 0 && (value = next())) {
       duration_s = std::atol(value);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && (value = next())) {
+      deadline_ms = std::atol(value);
+    } else if (std::strcmp(argv[i], "--breaker-threshold") == 0 &&
+               (value = next())) {
+      breaker_threshold = static_cast<std::size_t>(std::atol(value));
+    } else if (std::strcmp(argv[i], "--degraded") == 0 && (value = next())) {
+      if (std::strcmp(value, "nti-only") == 0) {
+        degraded_mode = core::DegradedMode::kNtiOnly;
+      } else if (std::strcmp(value, "fail-closed") != 0) {
+        return UsageError(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--fault") == 0 && (value = next())) {
+      if (Status st = fault::ArmFromSpec(fault::FaultInjector::Global(), value);
+          !st.ok()) {
+        std::fprintf(stderr, "bad --fault spec '%s': %s\n", value,
+                     st.ToString().c_str());
+        return UsageError(argv[0]);
+      }
     } else {
       return UsageError(argv[0]);
     }
@@ -82,6 +118,8 @@ int main(int argc, char** argv) {
   auto proto = attack::MakeTestbed();
   core::JozaConfig config;
   config.cache_capacity = cache_capacity;
+  config.degraded_mode = degraded_mode;
+  config.breaker.failure_threshold = breaker_threshold;
   core::Joza joza = core::Joza::Install(*proto, config);
 
   std::unique_ptr<ipc::DaemonPool> pool;
@@ -96,6 +134,7 @@ int main(int argc, char** argv) {
   gateway::GatewayConfig gcfg;
   gcfg.port = port;
   gcfg.workers = workers;
+  gcfg.request_deadline = std::chrono::milliseconds(deadline_ms);
   gateway::GatewayServer server([] { return attack::MakeTestbed(); }, &joza,
                                 gcfg);
   auto bound = server.Start();
@@ -105,9 +144,19 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf(
-      "joza_gateway on 127.0.0.1:%d  (%zu workers, cache %zu, PTI %s)\n",
+      "joza_gateway on 127.0.0.1:%d  (%zu workers, cache %zu, PTI %s,\n"
+      "              deadline %ld ms, degraded %s, breaker threshold %zu)\n",
       bound.value(), workers, cache_capacity,
-      use_pool ? "daemon pool" : "in-process");
+      use_pool ? "daemon pool" : "in-process", deadline_ms,
+      core::DegradedModeName(degraded_mode), breaker_threshold);
+  for (unsigned p = 0; p < static_cast<unsigned>(fault::FaultPoint::kCount);
+       ++p) {
+    const auto point = static_cast<fault::FaultPoint>(p);
+    if (fault::FaultInjector::Global().armed(point)) {
+      std::printf("fault armed:  %s at rate %.3f\n", fault::FaultPointName(point),
+                  fault::FaultInjector::Global().rate(point));
+    }
+  }
   std::printf("try: curl 'http://127.0.0.1:%d/post?id=7'\n", bound.value());
   std::printf("     curl 'http://127.0.0.1:%d"
               "/plugins/community-events?uid=-1%%20or%%201%%3D1'\n",
@@ -128,17 +177,29 @@ int main(int argc, char** argv) {
   const core::JozaStats js = joza.stats();
   std::printf("\nconnections: %zu accepted, %zu rejected (503)\n",
               gs.connections_accepted, gs.connections_rejected);
-  std::printf("requests:    %zu served, %zu keep-alive reuses, %zu bad\n",
-              gs.requests_served, gs.keepalive_reuses, gs.bad_requests);
+  std::printf("requests:    %zu served, %zu keep-alive reuses, %zu bad, "
+              "%zu timeouts (408), %zu oversized (413)\n",
+              gs.requests_served, gs.keepalive_reuses, gs.bad_requests,
+              gs.request_timeouts, gs.oversized_requests);
   std::printf("joza:        %zu queries, %zu attacks blocked, "
               "%zu+%zu cache hits, %zu evictions\n",
               js.queries_checked, js.attacks_detected, js.query_cache_hits,
               js.structure_cache_hits, js.cache_evictions);
+  const auto bs = joza.breaker().stats();
+  std::printf("degraded:    mode %s, %zu pti failures, %zu degraded checks, "
+              "%zu degraded blocks, %zu breaker fast-rejects\n",
+              core::DegradedModeName(degraded_mode), js.pti_failures,
+              js.degraded_checks, js.degraded_blocks,
+              js.breaker_fast_rejects);
+  std::printf("breaker:     state %s, %zu opens, %zu closes, %zu probes\n",
+              fault::BreakerStateName(joza.breaker().state()), bs.opens,
+              bs.closes, bs.probes);
   if (pool) {
     const auto ps = pool->stats();
     std::printf("pti pool:    %zu analyzed, %zu spawned, %zu replaced, "
-                "%zu failures\n",
-                ps.analyzed, ps.spawned, ps.replaced, ps.failures);
+                "%zu failures, %zu deadline misses\n",
+                ps.analyzed, ps.spawned, ps.replaced, ps.failures,
+                ps.deadline_misses);
     pool->Shutdown();
   }
   return 0;
