@@ -197,6 +197,93 @@ int main() {
   std::printf("\nGateway x8 vs single-threaded HTTP/1.0 baseline: %.2fx\n",
               gateway8_qps / baseline_qps);
 
+  // --- Snapshot churn: lock-free readers vs RCU ruleset swaps -------------
+  // Same 8-worker gateway, same traffic, run twice: once read-only and once
+  // with a background thread swapping ruleset snapshots the whole time.
+  // With a lock-free analyze path the readers should barely notice the
+  // churn; this doubles as the CI regression gate for the RCU design.
+  auto churn_pass = [&](bool churn) -> std::pair<RunResult, std::size_t> {
+    auto proto = attack::MakeTestbed();
+    core::JozaConfig config;
+    config.cache_capacity = 1 << 16;
+    core::Joza joza = core::Joza::Install(*proto, config);
+    gateway::GatewayConfig gcfg;
+    gcfg.workers = 8;
+    gateway::GatewayServer server([] { return attack::MakeTestbed(); }, &joza,
+                                  gcfg);
+    auto port = server.Start();
+    if (!port.ok()) {
+      std::fprintf(stderr, "churn gateway start failed\n");
+      std::exit(1);
+    }
+    std::atomic<bool> stop{false};
+    std::thread churner;
+    if (churn) {
+      churner = std::thread([&] {
+        std::size_t i = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          joza.OnSourcesChanged(
+              {{"churn.php",
+                "$q = 'SELECT col" + std::to_string(i++) + " FROM t';"}});
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      });
+    }
+    RunResult r = DriveClients(kClients, kPerClient, [&](std::size_t c) {
+      auto conn = std::make_shared<gateway::KeepAliveClient>(port.value());
+      return [&, conn, c](std::size_t i) {
+        auto resp =
+            conn->RoundTrip(crawl[(c * kPerClient + i) % crawl.size()]);
+        return resp.ok();
+      };
+    });
+    stop.store(true);
+    if (churner.joinable()) churner.join();
+    const std::size_t swaps = joza.stats().ruleset_swaps;
+    server.Stop();
+    return {r, swaps};
+  };
+  const auto [read_only, ro_swaps] = churn_pass(false);
+  const auto [churned, churn_swaps] = churn_pass(true);
+
+  bench::Table churn_table(
+      {"Mode", "Swaps", "QPS", "p50 ms", "p99 ms", "Fail"});
+  churn_table.AddRow({"read-only", std::to_string(ro_swaps),
+                      bench::Num(read_only.qps(), 0),
+                      bench::Num(read_only.p50_ms, 3),
+                      bench::Num(read_only.p99_ms, 3),
+                      std::to_string(read_only.failures)});
+  churn_table.AddRow({"snapshot churn", std::to_string(churn_swaps),
+                      bench::Num(churned.qps(), 0),
+                      bench::Num(churned.p50_ms, 3),
+                      bench::Num(churned.p99_ms, 3),
+                      std::to_string(churned.failures)});
+  churn_table.Print("Reader cost of ruleset snapshot churn (8 workers)");
+
+  // Regression gate: churn may cost readers at most 25% of p99/throughput.
+  // The small absolute grace keeps sub-millisecond timer noise from
+  // flaking CI while still catching any reader-side lock contention,
+  // which shows up as multi-millisecond p99 jumps.
+  const double p99_limit = read_only.p99_ms * 1.25 + 0.25;
+  const double qps_floor = read_only.qps() * 0.75;
+  if (churned.p99_ms > p99_limit) {
+    std::fprintf(stderr,
+                 "FAIL: churn reader p99 %.3f ms exceeds limit %.3f ms "
+                 "(read-only p99 %.3f ms + 25%%)\n",
+                 churned.p99_ms, p99_limit, read_only.p99_ms);
+    return 1;
+  }
+  if (churned.qps() < qps_floor) {
+    std::fprintf(stderr,
+                 "FAIL: churn throughput %.0f qps below floor %.0f qps "
+                 "(read-only %.0f qps - 25%%)\n",
+                 churned.qps(), qps_floor, read_only.qps());
+    return 1;
+  }
+  std::printf("\nOK: %zu snapshot swaps cost readers <=25%% "
+              "(p99 %.3f -> %.3f ms)\n",
+              churn_swaps, read_only.p99_ms, churned.p99_ms);
+
   // --- Verdict consistency: sequential vs concurrent ----------------------
   // Mixed benign/attack traffic must block exactly the same requests no
   // matter how many workers race on the shared engine.

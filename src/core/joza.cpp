@@ -1,5 +1,8 @@
 #include "core/joza.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "sqlparse/lexer.h"
 #include "sqlparse/structure.h"
 #include "util/hash.h"
@@ -36,19 +39,34 @@ JozaStats& JozaStats::operator+=(const JozaStats& other) {
   breaker_fast_rejects += other.breaker_fast_rejects;
   degraded_checks += other.degraded_checks;
   degraded_blocks += other.degraded_blocks;
+  // Version is an identity, not a counter: a roll-up reports the newest
+  // snapshot any engine has published. Swap counts add like counters.
+  ruleset_version = std::max(ruleset_version, other.ruleset_version);
+  ruleset_swaps += other.ruleset_swaps;
   return *this;
 }
 
 Joza::Joza(php::FragmentSet fragments, JozaConfig config)
     : config_(config),
-      pti_(std::move(fragments), config.pti),
-      nti_(config.nti),
       state_(std::make_unique<SharedState>(config.cache_capacity,
                                            config.cache_shards,
-                                           config.breaker)) {}
+                                           config.breaker)) {
+  auto ruleset =
+      pti::Ruleset::Build(std::move(fragments), config.pti, /*version=*/0);
+  state_->snapshot.Publish(std::make_shared<const RulesetSnapshot>(
+      RulesetSnapshot{std::move(ruleset), config.nti, /*version=*/0}));
+}
 
 Joza Joza::Install(const webapp::Application& app, JozaConfig config) {
   return Joza(php::FragmentSet::FromSources(app.sources()), config);
+}
+
+std::shared_ptr<const RulesetSnapshot> Joza::ruleset() const {
+  return state_->snapshot.Load();
+}
+
+std::uint64_t Joza::ruleset_version() const {
+  return state_->snapshot.Load()->version;
 }
 
 JozaStats Joza::stats() const {
@@ -69,6 +87,8 @@ JozaStats Joza::stats() const {
   out.cache_evictions =
       state_->query_cache.evictions() + state_->structure_cache.evictions() -
       state_->evictions_baseline.load(std::memory_order_relaxed);
+  out.ruleset_version = state_->snapshot.Load()->version;
+  out.ruleset_swaps = a.ruleset_swaps.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -84,24 +104,33 @@ void Joza::ResetStats() {
   a.breaker_fast_rejects.store(0, std::memory_order_relaxed);
   a.degraded_checks.store(0, std::memory_order_relaxed);
   a.degraded_blocks.store(0, std::memory_order_relaxed);
+  a.ruleset_swaps.store(0, std::memory_order_relaxed);
   state_->evictions_baseline.store(
       state_->query_cache.evictions() + state_->structure_cache.evictions(),
       std::memory_order_relaxed);
 }
 
 void Joza::OnSourcesChanged(const std::vector<php::SourceFile>& files) {
-  // Writer lock: quiesce concurrent checks while the automaton rebuilds.
-  std::unique_lock<std::shared_mutex> lock(state_->fragments_mu);
-  pti_.AddFragments(files);
-  // New fragments can only widen the trusted set, but cached verdicts were
-  // computed against the old vocabulary; drop them for simplicity.
+  // Writers serialize against each other only. Readers are never blocked:
+  // a check already in flight finishes against the snapshot it pinned, and
+  // the successor is built entirely off the hot path.
+  std::lock_guard<std::mutex> lock(state_->swap_mu);
+  const auto current = state_->snapshot.Load();
+  auto next_pti = current->pti->WithSources(files);
+  const std::uint64_t next_version = next_pti->version();
+  state_->snapshot.Publish(std::make_shared<const RulesetSnapshot>(
+      RulesetSnapshot{std::move(next_pti), current->nti, next_version}));
+  state_->stats.ruleset_swaps.fetch_add(1, std::memory_order_relaxed);
+  // Cache keys are salted with the snapshot version, so entries proven
+  // under the old vocabulary can never satisfy a lookup against the new
+  // one — including entries a racing reader inserts after this swap (it
+  // inserts under the old version's keys). Clearing just reclaims the now
+  // unreachable entries' memory.
   state_->query_cache.Clear();
   state_->structure_cache.Clear();
 }
 
-StatusOr<pti::PtiResult> Joza::RunPti(std::string_view query,
-                                      const std::vector<sql::Token>& tokens,
-                                      util::Deadline deadline) {
+StatusOr<pti::PtiResult> Joza::RunPti(const AnalysisContext& ctx) {
   state_->stats.pti_full_runs.fetch_add(1, std::memory_order_relaxed);
   if (pti_backend_) {
     if (!state_->breaker.Allow()) {
@@ -110,7 +139,7 @@ StatusOr<pti::PtiResult> Joza::RunPti(std::string_view query,
       state_->stats.pti_failures.fetch_add(1, std::memory_order_relaxed);
       return Status::Unavailable("PTI circuit breaker open");
     }
-    auto result = pti_backend_(query, tokens, deadline);
+    auto result = pti_backend_(ctx.query, ctx.tokens, ctx.deadline);
     if (!result.ok()) {
       state_->breaker.RecordFailure();
       state_->stats.pti_failures.fetch_add(1, std::memory_order_relaxed);
@@ -119,26 +148,36 @@ StatusOr<pti::PtiResult> Joza::RunPti(std::string_view query,
     state_->breaker.RecordSuccess();
     return result;
   }
-  if (config_.pti.use_aho_corasick) return pti_.Analyze(query, tokens);
-  // The naive path reorders its MRU fragment list during analysis.
-  std::lock_guard<std::mutex> lock(state_->pti_mru_mu);
-  return pti_.Analyze(query, tokens);
+  // In-process: pure functions over the pinned immutable snapshot. No
+  // locks on either strategy — the naive path runs stateless here (MRU
+  // ordering is a single-owner optimization; results are identical).
+  return pti::AnalyzeUnits(*ctx.snapshot->pti, ctx.query, ctx.pti_units);
 }
 
 Verdict Joza::Check(std::string_view query,
                     const std::vector<http::Input>& inputs,
                     util::Deadline deadline) {
-  // Reader lock against OnSourcesChanged; checks never block each other.
-  std::shared_lock<std::shared_mutex> fragments_lock(state_->fragments_mu);
+  // Single-pass pipeline: pin the snapshot (one atomic load — the only
+  // synchronization on this path), lex exactly once, then thread the
+  // shared working set through caches, PTI and NTI.
+  AnalysisContext ctx;
+  ctx.query = query;
+  ctx.snapshot = state_->snapshot.Load();
+  ctx.deadline = deadline;
+  ctx.tokens = sql::Lex(query);
+  const RulesetSnapshot& snap = *ctx.snapshot;
+
   state_->stats.queries_checked.fetch_add(1, std::memory_order_relaxed);
   Verdict verdict;
-  const std::vector<sql::Token> tokens = sql::Lex(query);
+  verdict.ruleset_version = snap.version;
 
   // --- PTI (with caches) ---------------------------------------------------
   bool pti_safe = true;
   if (config_.enable_pti) {
     bool resolved = false;
-    const std::uint64_t qhash = Fnv1a64(query);
+    // Both cache keys are salted with the snapshot version: a hit proves
+    // safety under *this* vocabulary, never an older one.
+    const std::uint64_t qhash = HashCombine(Fnv1a64(query), snap.version);
     if (config_.query_cache && state_->query_cache.Lookup(qhash)) {
       state_->stats.query_cache_hits.fetch_add(1, std::memory_order_relaxed);
       verdict.query_cache_hit = true;
@@ -148,9 +187,9 @@ Verdict Joza::Check(std::string_view query,
     std::uint64_t shash = 0;
     bool have_shash = false;
     if (!resolved && config_.structure_cache) {
-      auto parsed = sql::StructureHashOf(query);
+      auto parsed = sql::StructureHashOf(query, ctx.tokens);
       if (parsed.ok()) {
-        shash = parsed.value();
+        shash = HashCombine(parsed.value(), snap.version);
         have_shash = true;
         if (state_->structure_cache.Lookup(shash)) {
           state_->stats.structure_cache_hits.fetch_add(
@@ -162,7 +201,9 @@ Verdict Joza::Check(std::string_view query,
     }
 
     if (!resolved) {
-      auto pti_or = RunPti(query, tokens, deadline);
+      ctx.pti_units =
+          sql::BuildCriticalUnits(ctx.tokens, snap.pti->config().strict_tokens);
+      auto pti_or = RunPti(ctx);
       if (pti_or.ok()) {
         verdict.pti = std::move(pti_or).value();
         pti_safe = !verdict.pti.attack_detected;
@@ -170,9 +211,9 @@ Verdict Joza::Check(std::string_view query,
           if (config_.query_cache) state_->query_cache.Insert(qhash);
           if (config_.structure_cache) {
             if (!have_shash) {
-              auto parsed = sql::StructureHashOf(query);
+              auto parsed = sql::StructureHashOf(query, ctx.tokens);
               if (parsed.ok()) {
-                shash = parsed.value();
+                shash = HashCombine(parsed.value(), snap.version);
                 have_shash = true;
               }
             }
@@ -202,7 +243,9 @@ Verdict Joza::Check(std::string_view query,
   bool nti_safe = true;
   if (config_.enable_nti) {
     state_->stats.nti_runs.fetch_add(1, std::memory_order_relaxed);
-    verdict.nti = nti_.Analyze(query, tokens, inputs);
+    ctx.nti_critical = sql::CriticalTokens(ctx.tokens, snap.nti.strict_tokens);
+    verdict.nti = nti::NtiAnalyzer(snap.nti)
+                      .AnalyzeCritical(query, ctx.nti_critical, inputs);
     nti_safe = !verdict.nti.attack_detected;
   }
 
@@ -228,54 +271,66 @@ Verdict Joza::Check(std::string_view query,
     const std::size_t sequence =
         state_->stats.attacks_detected.fetch_add(1, std::memory_order_relaxed) +
         1;
-    if (attack_sink_) {
-      AttackReport report;
-      report.query = std::string(query);
-      report.detected_by = verdict.detected_by;
-      report.sequence = sequence;
-      for (const sql::Token& t : verdict.pti.untrusted_critical_tokens) {
-        report.untrusted_tokens.emplace_back(t.text);
-      }
-      // Report the marking that actually covered a critical token, if any.
-      if (verdict.nti.attack_detected && !verdict.nti.markings.empty()) {
-        for (const nti::TaintMarking& m : verdict.nti.markings) {
-          bool covers = false;
-          for (const sql::Token& t : verdict.nti.tainted_critical_tokens) {
-            if (m.span.contains(t.span)) covers = true;
-          }
-          if (!covers) continue;
-          report.matched_input_name = m.input_name;
-          report.matched_input_kind = m.input_kind;
-          report.matched_span = m.span;
-          report.match_ratio = m.ratio;
-          break;
-        }
-      }
-      std::lock_guard<std::mutex> sink_lock(state_->sink_mu);
-      attack_sink_(report);
-    }
+    // The structured report (string copies, token texts) is materialized
+    // only when someone is listening.
+    if (attack_sink_) EmitAttackReport(verdict, query, sequence);
   }
   return verdict;
 }
 
-std::string AttackReport::ToLogLine() const {
-  std::string line = "JOZA-ATTACK #" + std::to_string(sequence) + " by=" +
-                     DetectedByName(detected_by);
-  if (!matched_input_name.empty()) {
-    line += " input=" + std::string(http::InputKindName(matched_input_kind)) +
-            ":" + matched_input_name + " span=[" +
-            std::to_string(matched_span.begin) + "," +
-            std::to_string(matched_span.end) + ") ratio=" +
-            std::to_string(match_ratio);
+void Joza::EmitAttackReport(const Verdict& verdict, std::string_view query,
+                            std::size_t sequence) {
+  AttackReport report;
+  report.query = std::string(query);
+  report.detected_by = verdict.detected_by;
+  report.sequence = sequence;
+  report.untrusted_tokens.reserve(verdict.pti.untrusted_critical_tokens.size());
+  for (const sql::Token& t : verdict.pti.untrusted_critical_tokens) {
+    report.untrusted_tokens.emplace_back(t.text);
   }
-  if (!untrusted_tokens.empty()) {
-    line += " untrusted=";
-    for (std::size_t i = 0; i < untrusted_tokens.size(); ++i) {
-      if (i > 0) line += ",";
-      line += "\"" + untrusted_tokens[i] + "\"";
+  // Report the marking that actually covered a critical token, if any.
+  if (verdict.nti.attack_detected && !verdict.nti.markings.empty()) {
+    for (const nti::TaintMarking& m : verdict.nti.markings) {
+      bool covers = false;
+      for (const sql::Token& t : verdict.nti.tainted_critical_tokens) {
+        if (m.span.contains(t.span)) covers = true;
+      }
+      if (!covers) continue;
+      report.matched_input_name = m.input_name;
+      report.matched_input_kind = m.input_kind;
+      report.matched_span = m.span;
+      report.match_ratio = m.ratio;
+      break;
     }
   }
-  line += " query=\"" + query + "\"";
+  std::lock_guard<std::mutex> sink_lock(state_->sink_mu);
+  attack_sink_(report);
+}
+
+std::string AttackReport::ToLogLine() const {
+  std::string line;
+  // One pre-sized buffer: fixed text + numbers comfortably fit in the
+  // slack; the variable-length pieces are accounted for exactly.
+  std::size_t cap = 96 + query.size() + matched_input_name.size();
+  for (const std::string& t : untrusted_tokens) cap += t.size() + 3;
+  line.reserve(cap);
+  line.append("JOZA-ATTACK #").append(std::to_string(sequence));
+  line.append(" by=").append(DetectedByName(detected_by));
+  if (!matched_input_name.empty()) {
+    line.append(" input=").append(http::InputKindName(matched_input_kind));
+    line.append(":").append(matched_input_name);
+    line.append(" span=[").append(std::to_string(matched_span.begin));
+    line.append(",").append(std::to_string(matched_span.end));
+    line.append(") ratio=").append(std::to_string(match_ratio));
+  }
+  if (!untrusted_tokens.empty()) {
+    line.append(" untrusted=");
+    for (std::size_t i = 0; i < untrusted_tokens.size(); ++i) {
+      if (i > 0) line.append(",");
+      line.append("\"").append(untrusted_tokens[i]).append("\"");
+    }
+  }
+  line.append(" query=\"").append(query).append("\"");
   return line;
 }
 

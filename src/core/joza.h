@@ -9,11 +9,14 @@
 //
 // Thread safety: Check(), MakeGate()'s gate, stats() and OnSourcesChanged()
 // may be called concurrently from any number of threads (the gateway shares
-// one engine across its whole worker pool). The caches are sharded with
-// striped locks, stats counters are atomic, and fragment updates take a
-// writer lock that briefly quiesces checks. The setters (SetPtiBackend,
-// SetAttackSink) and ResetStats are setup-time operations: call them before
-// concurrent checking starts.
+// one engine across its whole worker pool). The analyze path is lock-free:
+// every check pins the current immutable RulesetSnapshot with one atomic
+// load and runs entirely against it; OnSourcesChanged builds a successor
+// snapshot off to the side and publishes it RCU-style, so updates never
+// quiesce readers. The caches are sharded with striped locks, and stats
+// counters are atomic. The setters (SetPtiBackend, SetAttackSink) and
+// ResetStats are setup-time operations: call them before concurrent
+// checking starts.
 #pragma once
 
 #include <atomic>
@@ -21,7 +24,6 @@
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -31,9 +33,11 @@
 #include "http/request.h"
 #include "nti/nti.h"
 #include "phpsrc/fragments.h"
-#include "pti/pti.h"
+#include "pti/ruleset.h"
+#include "sqlparse/critical.h"
 #include "sqlparse/token.h"
 #include "util/deadline.h"
+#include "util/rcu.h"
 #include "util/span.h"
 #include "util/status.h"
 #include "webapp/application.h"
@@ -84,6 +88,21 @@ struct JozaConfig {
   std::size_t cache_shards = 16;
 };
 
+// Everything a check needs to judge one query, bundled as one immutable
+// object behind a single shared_ptr. A check pins the snapshot with one
+// atomic load; OnSourcesChanged builds a successor and swaps the pointer.
+// Old snapshots retire when their last in-flight check drops its pin.
+struct RulesetSnapshot {
+  // PTI vocabulary + prebuilt Aho–Corasick automaton + PtiConfig.
+  std::shared_ptr<const pti::Ruleset> pti;
+  // NTI policy travels with the snapshot too, so every layer a check
+  // touches agrees on one configuration generation.
+  nti::NtiConfig nti;
+  // Update-log position == pti->version(); salted into cache hashes and
+  // carried through verdicts and the daemon wire protocol.
+  std::uint64_t version = 0;
+};
+
 enum class DetectedBy { kNone, kNti, kPti, kBoth };
 
 const char* DetectedByName(DetectedBy d);
@@ -97,6 +116,8 @@ struct Verdict {
   // reject) and the degraded-mode policy decided the outcome.
   bool degraded = false;
   bool pti_unavailable = false;
+  // Version of the ruleset snapshot this check was pinned to.
+  std::uint64_t ruleset_version = 0;
   nti::NtiResult nti;
   pti::PtiResult pti;
 };
@@ -117,6 +138,11 @@ struct JozaStats {
   std::size_t breaker_fast_rejects = 0;
   std::size_t degraded_checks = 0;
   std::size_t degraded_blocks = 0;
+  // Snapshot lifecycle: version currently published and the number of
+  // publishes since construction (version is an identity — aggregation
+  // takes the max; swaps is a counter — aggregation sums).
+  std::uint64_t ruleset_version = 0;
+  std::size_t ruleset_swaps = 0;
 
   // Aggregation across engines / snapshot intervals (gateway roll-ups).
   JozaStats& operator+=(const JozaStats& other);
@@ -135,7 +161,7 @@ struct AttackReport {
   double match_ratio = 0.0;
   std::size_t sequence = 0;  // detection counter at report time
 
-  // One-line rendering for log files.
+  // One-line rendering for log files (single pre-sized buffer).
   std::string ToLogLine() const;
 };
 
@@ -166,7 +192,11 @@ class Joza {
   // Consistent point-in-time snapshot of the atomic counters.
   JozaStats stats() const;
   void ResetStats();
-  const pti::PtiAnalyzer& pti_analyzer() const { return pti_; }
+
+  // The currently-published ruleset snapshot (one atomic load). Callers
+  // may hold it for as long as they like; it never mutates.
+  std::shared_ptr<const RulesetSnapshot> ruleset() const;
+  std::uint64_t ruleset_version() const;
 
   // Re-routes PTI analysis (e.g. through the daemon). Pass nullptr to
   // restore in-process analysis. Caches still apply in front of it.
@@ -192,10 +222,23 @@ class Joza {
   webapp::QueryGate MakeGate();
 
   // Preprocessing hook (Section IV-B): folds newly discovered sources into
-  // the fragment set and invalidates the caches.
+  // a successor snapshot (built off the hot path) and publishes it; checks
+  // already in flight finish against the snapshot they pinned.
   void OnSourcesChanged(const std::vector<php::SourceFile>& files);
 
  private:
+  // Per-query working set of the single-pass pipeline: the query is lexed
+  // exactly once and every derived view (critical units for PTI, critical
+  // tokens for NTI) is computed at most once and shared by all layers.
+  struct AnalysisContext {
+    std::string_view query;
+    std::shared_ptr<const RulesetSnapshot> snapshot;
+    util::Deadline deadline;
+    std::vector<sql::Token> tokens;          // the one and only Lex
+    std::vector<sql::CriticalUnit> pti_units;  // per snapshot->pti policy
+    std::vector<sql::Token> nti_critical;      // per snapshot->nti policy
+  };
+
   // Per-field atomic mirror of JozaStats, relaxed increments on the hot
   // path; stats() sums them into a plain snapshot.
   struct AtomicStats {
@@ -209,6 +252,7 @@ class Joza {
     std::atomic<std::size_t> breaker_fast_rejects{0};
     std::atomic<std::size_t> degraded_checks{0};
     std::atomic<std::size_t> degraded_blocks{0};
+    std::atomic<std::size_t> ruleset_swaps{0};
   };
 
   // All concurrently-mutated state lives behind one pointer so Joza itself
@@ -220,20 +264,21 @@ class Joza {
         : query_cache(capacity, shards),
           structure_cache(capacity, shards),
           breaker(breaker_options) {}
-    // Query cache: hashes of exact query strings previously PTI-safe.
+    // The published ruleset snapshot; readers pin it lock-free.
+    RcuCell<RulesetSnapshot> snapshot;
+    // Query cache: hashes of exact query strings previously PTI-safe
+    // (salted with the snapshot version they were proven under).
     ShardedSafetyCache query_cache;
-    // Structure cache: AST-structure hashes of previously PTI-safe queries.
+    // Structure cache: AST-structure hashes of previously PTI-safe queries
+    // (same version salt).
     ShardedSafetyCache structure_cache;
     AtomicStats stats;
     // Counter snapshot subtracted by ResetStats (cache eviction counters
     // are cumulative inside the cache).
     std::atomic<std::size_t> evictions_baseline{0};
-    // Readers = Check; writer = OnSourcesChanged (mutates the PTI
-    // analyzer's automaton and flushes both caches).
-    std::shared_mutex fragments_mu;
-    // The naive PTI path mutates its MRU ordering; serialize it. The
-    // default Aho-Corasick path is lock-free and never takes this.
-    std::mutex pti_mru_mu;
+    // Serializes writers (OnSourcesChanged) against each other only;
+    // checks never touch it.
+    std::mutex swap_mu;
     // Attack sinks are user callbacks with no thread-safety contract.
     std::mutex sink_mu;
     // Guards the external PTI backend; the in-process path never consults
@@ -241,13 +286,11 @@ class Joza {
     fault::CircuitBreaker breaker;
   };
 
-  StatusOr<pti::PtiResult> RunPti(std::string_view query,
-                                  const std::vector<sql::Token>& tokens,
-                                  util::Deadline deadline);
+  StatusOr<pti::PtiResult> RunPti(const AnalysisContext& ctx);
+  void EmitAttackReport(const Verdict& verdict, std::string_view query,
+                        std::size_t sequence);
 
   JozaConfig config_;
-  pti::PtiAnalyzer pti_;
-  nti::NtiAnalyzer nti_;
   PtiFn pti_backend_;  // empty -> in-process; must be thread-safe if the
                        // engine is checked from multiple threads
   AttackSink attack_sink_;

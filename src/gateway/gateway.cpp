@@ -425,6 +425,11 @@ GatewayStats GatewayServer::stats() const {
   out.request_timeouts = request_timeouts_.load(std::memory_order_relaxed);
   out.oversized_requests =
       oversized_requests_.load(std::memory_order_relaxed);
+  if (joza_ != nullptr) {
+    const core::JozaStats engine = joza_->stats();
+    out.ruleset_version = engine.ruleset_version;
+    out.ruleset_swaps = engine.ruleset_swaps;
+  }
   return out;
 }
 

@@ -72,6 +72,10 @@ struct GatewayStats {
   std::size_t bad_requests = 0;
   std::size_t request_timeouts = 0;      // slowloris guard fired (408)
   std::size_t oversized_requests = 0;    // size cap fired (413)
+  // From the shared Joza engine (0 when serving unprotected): the ruleset
+  // snapshot version currently published and how many times it was swapped.
+  std::uint64_t ruleset_version = 0;
+  std::size_t ruleset_swaps = 0;
 };
 
 // Builds one worker's private Application. Called once per worker thread at

@@ -12,15 +12,24 @@ namespace joza::ipc {
 
 std::size_t ServePtiDaemon(int read_fd, int write_fd,
                            php::FragmentSet fragments,
-                           pti::PtiConfig config) {
+                           pti::PtiConfig config,
+                           std::uint64_t initial_version) {
   pti::PtiAnalyzer analyzer(std::move(fragments), config);
+  // The analyzer's own snapshot starts at 0; the daemon's externally
+  // visible version is the update-log position the client seeded it with.
+  std::uint64_t version = initial_version;
   std::size_t served = 0;
   for (;;) {
     auto frame = ReadFrame(read_fd);
     if (!frame.ok()) break;  // EOF or broken pipe: the app went away
     switch (frame->type) {
       case MessageType::kPing:
-        if (!WriteFrame(write_fd, {MessageType::kPong, ""}).ok()) return served;
+        // Version handshake: the Pong carries the daemon's current ruleset
+        // version so the client can detect a stale replica.
+        if (!WriteFrame(write_fd, {MessageType::kPong, EncodeU64(version)})
+                 .ok()) {
+          return served;
+        }
         break;
       case MessageType::kAnalyzeRequest: {
         auto& injector = fault::FaultInjector::Global();
@@ -41,6 +50,7 @@ std::size_t ServePtiDaemon(int read_fd, int write_fd,
         wire.hits = static_cast<std::uint32_t>(r.hits);
         wire.fragments_scanned =
             static_cast<std::uint32_t>(r.fragments_scanned);
+        wire.ruleset_version = version;
         for (const auto& t : r.untrusted_critical_tokens) {
           wire.untrusted_texts.emplace_back(t.text);
         }
@@ -53,20 +63,22 @@ std::size_t ServePtiDaemon(int read_fd, int write_fd,
         break;
       }
       case MessageType::kAddFragments: {
-        auto list = DecodeStringList(frame->payload);
-        if (!list.ok()) {
-          WriteFrame(write_fd, {MessageType::kError, list.status().message()});
+        auto update = DecodeFragmentUpdate(frame->payload);
+        if (!update.ok()) {
+          WriteFrame(write_fd,
+                     {MessageType::kError, update.status().message()});
           break;
         }
-        // Raw fragments arrive pre-extracted; rebuild the index once.
-        php::FragmentSet merged = analyzer.fragments();
-        for (const std::string& f : list.value()) merged.AddRaw(f);
-        analyzer = pti::PtiAnalyzer(std::move(merged), config);
-        WriteFrame(write_fd, {MessageType::kAck, ""});
+        // Raw fragments arrive pre-extracted; one successor snapshot is
+        // built, stamped with the version the update names, and the Ack
+        // echoes it so the client can verify convergence.
+        analyzer.AddRawFragments(update->fragments, update->version);
+        version = update->version;
+        WriteFrame(write_fd, {MessageType::kAck, EncodeU64(version)});
         break;
       }
       case MessageType::kShutdown:
-        WriteFrame(write_fd, {MessageType::kAck, ""});
+        WriteFrame(write_fd, {MessageType::kAck, EncodeU64(version)});
         return served;
       default:
         WriteFrame(write_fd, {MessageType::kError, "unexpected message type"});
@@ -77,8 +89,12 @@ std::size_t ServePtiDaemon(int read_fd, int write_fd,
 }
 
 DaemonClient::DaemonClient(Mode mode, php::FragmentSet fragments,
-                           pti::PtiConfig config)
-    : mode_(mode), fragments_(std::move(fragments)), config_(config) {}
+                           pti::PtiConfig config,
+                           std::uint64_t initial_version)
+    : mode_(mode),
+      fragments_(std::move(fragments)),
+      config_(config),
+      version_(initial_version) {}
 
 DaemonClient::~DaemonClient() { Shutdown(); }
 
@@ -95,7 +111,7 @@ Status DaemonClient::SpawnChild(Fd& to_child_w, Fd& from_child_r) {
     req_pipe->second.Close();
     resp_pipe->first.Close();
     ServePtiDaemon(req_pipe->first.get(), resp_pipe->second.get(), fragments_,
-                   config_);
+                   config_, version_);
     ::_exit(0);
   }
   // Parent. Non-blocking ends so deadline-bounded I/O can never stall
@@ -158,28 +174,46 @@ StatusOr<PtiVerdictWire> DaemonClient::Analyze(std::string_view query,
 }
 
 Status DaemonClient::Ping(util::Deadline deadline) {
+  auto version = Handshake(deadline);
+  return version.ok() ? Status::Ok() : version.status();
+}
+
+StatusOr<std::uint64_t> DaemonClient::Handshake(util::Deadline deadline) {
   auto response = RoundTrip(Frame{MessageType::kPing, ""}, deadline);
   if (!response.ok()) return response.status();
   if (response->type != MessageType::kPong) {
     return Status::Internal("daemon returned unexpected frame type");
   }
-  return Status::Ok();
+  return DecodeU64(response->payload);
 }
 
 Status DaemonClient::AddFragments(
     const std::vector<std::string>& fragment_texts, util::Deadline deadline) {
+  auto acked =
+      AddFragmentsAt(fragment_texts, version_ + fragment_texts.size(),
+                     deadline);
+  return acked.ok() ? Status::Ok() : acked.status();
+}
+
+StatusOr<std::uint64_t> DaemonClient::AddFragmentsAt(
+    const std::vector<std::string>& fragment_texts,
+    std::uint64_t target_version, util::Deadline deadline) {
   for (const std::string& f : fragment_texts) fragments_.AddRaw(f);
+  version_ = target_version;
   if (mode_ == Mode::kSpawnPerRequest || !to_daemon_.valid()) {
-    return Status::Ok();  // next spawn picks them up
+    return target_version;  // next spawn starts at this version
   }
+  FragmentUpdate update;
+  update.version = target_version;
+  update.fragments = fragment_texts;
   auto response = RoundTrip(
-      Frame{MessageType::kAddFragments, EncodeStringList(fragment_texts)},
+      Frame{MessageType::kAddFragments, EncodeFragmentUpdate(update)},
       deadline);
   if (!response.ok()) return response.status();
   if (response->type != MessageType::kAck) {
     return Status::Internal("daemon rejected fragment update");
   }
-  return Status::Ok();
+  return DecodeU64(response->payload);
 }
 
 void DaemonClient::Shutdown() {
@@ -232,6 +266,7 @@ core::PtiFn DaemonClient::AsPtiBackend() {
     result.attack_detected = wire->attack_detected;
     result.hits = wire->hits;
     result.fragments_scanned = wire->fragments_scanned;
+    result.ruleset_version = wire->ruleset_version;
     // Recover token metadata locally for diagnostics.
     if (wire->attack_detected) {
       for (const sql::Token& t : tokens) {

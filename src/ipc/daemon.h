@@ -23,12 +23,17 @@ namespace joza::ipc {
 
 // Runs the daemon side: reads frames from `read_fd`, answers on
 // `write_fd`, until Shutdown or EOF. Returns the number of queries served.
-// `fragments` seeds the analyzer; AddFragments frames extend it.
+// `fragments` seeds the analyzer at ruleset version `initial_version`;
+// kAddFragments frames (FragmentUpdate payloads) extend it and move the
+// version to the one each update names. Pong and Ack payloads carry the
+// current version (EncodeU64) so the client can prove convergence, and
+// every analyze verdict is stamped with the version it was computed under.
 // Honours the daemon-hang / daemon-kill fault-injection points (inherited
 // across fork) so chaos tests can stall or crash daemons mid-request.
 std::size_t ServePtiDaemon(int read_fd, int write_fd,
                            php::FragmentSet fragments,
-                           pti::PtiConfig config = {});
+                           pti::PtiConfig config = {},
+                           std::uint64_t initial_version = 0);
 
 class DaemonClient {
  public:
@@ -39,8 +44,10 @@ class DaemonClient {
 
   // The client owns a copy of the fragment texts so spawned children can
   // rebuild the analyzer (models the daemon loading fragments at startup).
+  // `initial_version` is the ruleset version those fragments correspond to
+  // (the pool's update-log position at spawn time).
   DaemonClient(Mode mode, php::FragmentSet fragments,
-               pti::PtiConfig config = {});
+               pti::PtiConfig config = {}, std::uint64_t initial_version = 0);
   ~DaemonClient();
 
   DaemonClient(const DaemonClient&) = delete;
@@ -63,9 +70,27 @@ class DaemonClient {
   // Health check round trip.
   Status Ping(util::Deadline deadline = util::Deadline());
 
-  // Ships additional fragments to the (persistent) daemon.
+  // Version handshake: pings the daemon and returns the ruleset version it
+  // reports (the Pong payload). A daemon answering with a version other
+  // than ruleset_version() is stale and should be replaced.
+  StatusOr<std::uint64_t> Handshake(util::Deadline deadline = util::Deadline());
+
+  // The ruleset version this client believes the daemon is at (bumped by
+  // one per fragment text shipped, matching the pool's update log).
+  std::uint64_t ruleset_version() const { return version_; }
+
+  // Ships additional fragments to the (persistent) daemon; each text bumps
+  // the version by one.
   Status AddFragments(const std::vector<std::string>& fragment_texts,
                       util::Deadline deadline = util::Deadline());
+
+  // Same, naming the exact version the daemon must land on. Returns the
+  // version the daemon acked; a value != target_version means the daemon
+  // diverged (stale replica) and must be discarded.
+  StatusOr<std::uint64_t> AddFragmentsAt(
+      const std::vector<std::string>& fragment_texts,
+      std::uint64_t target_version,
+      util::Deadline deadline = util::Deadline());
 
   // Stops the persistent daemon (no-op for spawn-per-request). The
   // handshake is time-bounded; an unresponsive daemon is killed instead.
@@ -90,6 +115,7 @@ class DaemonClient {
   Mode mode_;
   php::FragmentSet fragments_;
   pti::PtiConfig config_;
+  std::uint64_t version_ = 0;  // ruleset version fragments_ corresponds to
   Fd to_daemon_;    // parent writes requests
   Fd from_daemon_;  // parent reads responses
   int child_pid_ = -1;

@@ -43,25 +43,48 @@ StatusOr<DaemonPool::Entry> DaemonPool::Checkout(util::Deadline deadline) {
     entry.fragments_applied = added_texts_.size();
     lock.unlock();
     entry.client = std::make_unique<DaemonClient>(
-        DaemonClient::Mode::kPersistent, std::move(fragments), config_);
-    if (Status st = entry.client->Ping(deadline); !st.ok()) {
+        DaemonClient::Mode::kPersistent, std::move(fragments), config_,
+        /*initial_version=*/entry.fragments_applied);
+    // Version handshake: the fresh daemon must report the version it was
+    // seeded with; anything else is a stale or broken replica.
+    auto reported = entry.client->Handshake(deadline);
+    if (!reported.ok()) {
       Discard(std::move(entry));
-      return st;
+      return reported.status();
+    }
+    if (reported.value() != entry.fragments_applied) {
+      {
+        std::lock_guard<std::mutex> relock(mu_);
+        ++stats_.version_mismatches;
+      }
+      Discard(std::move(entry));
+      return Status::Internal("stale daemon: version handshake mismatch");
     }
     return entry;
   }
 
-  // Ship fragment updates this daemon has not seen yet.
+  // Ship fragment updates this daemon has not seen yet; the update names
+  // the exact version the daemon must land on and the Ack echoes it back.
   std::vector<std::string> pending(
       added_texts_.begin() +
           static_cast<std::ptrdiff_t>(entry.fragments_applied),
       added_texts_.end());
+  const std::uint64_t target = added_texts_.size();
   entry.fragments_applied = added_texts_.size();
   lock.unlock();
   if (!pending.empty()) {
-    if (Status st = entry.client->AddFragments(pending, deadline); !st.ok()) {
+    auto acked = entry.client->AddFragmentsAt(pending, target, deadline);
+    if (!acked.ok()) {
       Discard(std::move(entry));
-      return st;
+      return acked.status();
+    }
+    if (acked.value() != target) {
+      {
+        std::lock_guard<std::mutex> relock(mu_);
+        ++stats_.version_mismatches;
+      }
+      Discard(std::move(entry));
+      return Status::Internal("stale daemon: update ack version mismatch");
     }
   }
   return entry;
@@ -117,6 +140,15 @@ StatusOr<PtiVerdictWire> DaemonPool::Analyze(std::string_view query,
     }
     auto entry = Checkout(attempt_deadline);
     if (!entry.ok()) {
+      // A stale replica was detected and discarded during checkout; the
+      // replacement spawned by the retry starts at the target version.
+      const bool stale =
+          entry.status().code() == StatusCode::kInternal &&
+          entry.status().message().find("stale daemon") != std::string::npos;
+      if (stale && attempt == 0) {
+        last = entry.status();
+        continue;
+      }
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.failures;
       if (entry.status().code() == StatusCode::kDeadlineExceeded) {
@@ -191,6 +223,7 @@ core::PtiFn DaemonPool::AsPtiBackend() {
     result.attack_detected = wire->attack_detected;
     result.hits = wire->hits;
     result.fragments_scanned = wire->fragments_scanned;
+    result.ruleset_version = wire->ruleset_version;
     if (wire->attack_detected) {
       for (const sql::Token& t : tokens) {
         for (const std::string& text : wire->untrusted_texts) {
@@ -244,7 +277,22 @@ void DaemonPool::Shutdown() {
 
 DaemonPool::PoolStats DaemonPool::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  PoolStats out = stats_;
+  out.target_version = added_texts_.size();
+  return out;
+}
+
+std::uint64_t DaemonPool::target_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return added_texts_.size();
+}
+
+std::vector<std::uint64_t> DaemonPool::idle_versions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::uint64_t> versions;
+  versions.reserve(idle_.size());
+  for (const Entry& e : idle_) versions.push_back(e.fragments_applied);
+  return versions;
 }
 
 std::size_t DaemonPool::live() const {

@@ -62,6 +62,11 @@ class DaemonPool {
     std::size_t failures = 0;   // round trips that failed even after retry
     std::size_t waits = 0;      // checkouts that had to block
     std::size_t deadline_misses = 0;  // round trips abandoned on deadline
+    // Daemons whose handshake or update Ack reported a ruleset version
+    // other than the pool's target — stale replicas, discarded on sight.
+    std::size_t version_mismatches = 0;
+    // The pool's current target ruleset version (== fragment texts added).
+    std::uint64_t target_version = 0;
   };
 
   explicit DaemonPool(php::FragmentSet fragments)
@@ -81,9 +86,19 @@ class DaemonPool {
 
   Status Ping(util::Deadline deadline = util::Deadline());
 
-  // Records fragments for every daemon. Running daemons receive them lazily
-  // at their next checkout; future spawns start with them.
+  // Records fragments for every daemon and advances the pool's target
+  // ruleset version by one per text. Running daemons receive them lazily
+  // at their next checkout (the update frame names the exact version they
+  // must land on); future spawns start with them.
   Status AddFragments(const std::vector<std::string>& fragment_texts);
+
+  // The version every daemon must converge on: the update-log position
+  // (one per fragment text ever added).
+  std::uint64_t target_version() const;
+
+  // Ruleset versions of the currently idle daemons (convergence tests).
+  // Idle daemons may lag the target — they converge at next checkout.
+  std::vector<std::uint64_t> idle_versions() const;
 
   // Thread-safe Joza PTI backend over the pool. RPC failures surface as
   // error Status; the engine's breaker/degraded policy decides.
@@ -109,7 +124,9 @@ class DaemonPool {
   struct Entry {
     std::unique_ptr<DaemonClient> client;
     std::chrono::steady_clock::time_point last_used;
-    std::size_t fragments_applied = 0;  // prefix of added_texts_ shipped
+    // Prefix of added_texts_ shipped to this daemon — identically its
+    // ruleset version (one version per fragment text).
+    std::size_t fragments_applied = 0;
   };
 
   // Pops an idle daemon or spawns one; blocks at the cap until `deadline`.

@@ -174,6 +174,20 @@ StatusOr<std::uint32_t> TakeU32(std::string_view& in) {
   return v;
 }
 
+void AppendU64(std::string& out, std::uint64_t v) {
+  AppendU32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  AppendU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+StatusOr<std::uint64_t> TakeU64(std::string_view& in) {
+  auto lo = TakeU32(in);
+  if (!lo.ok()) return lo.status();
+  auto hi = TakeU32(in);
+  if (!hi.ok()) return hi.status();
+  return static_cast<std::uint64_t>(lo.value()) |
+         (static_cast<std::uint64_t>(hi.value()) << 32);
+}
+
 StatusOr<std::string> TakeString(std::string_view& in) {
   auto len = TakeU32(in);
   if (!len.ok()) return len.status();
@@ -243,6 +257,7 @@ std::string EncodeVerdict(const PtiVerdictWire& v) {
   AppendU32(out, v.untrusted_critical_tokens);
   AppendU32(out, v.hits);
   AppendU32(out, v.fragments_scanned);
+  AppendU64(out, v.ruleset_version);
   AppendU32(out, static_cast<std::uint32_t>(v.untrusted_texts.size()));
   for (const std::string& s : v.untrusted_texts) {
     AppendU32(out, static_cast<std::uint32_t>(s.size()));
@@ -265,6 +280,9 @@ StatusOr<PtiVerdictWire> DecodeVerdict(std::string_view in) {
   auto f = TakeU32(in);
   if (!f.ok()) return f.status();
   v.fragments_scanned = f.value();
+  auto ver = TakeU64(in);
+  if (!ver.ok()) return ver.status();
+  v.ruleset_version = ver.value();
   auto n = TakeU32(in);
   if (!n.ok()) return n.status();
   for (std::uint32_t i = 0; i < n.value(); ++i) {
@@ -302,6 +320,37 @@ StatusOr<std::vector<std::string>> DecodeStringList(std::string_view in) {
     out.push_back(std::move(s.value()));
   }
   return out;
+}
+
+std::string EncodeFragmentUpdate(const FragmentUpdate& update) {
+  std::string out;
+  AppendU64(out, update.version);
+  out += EncodeStringList(update.fragments);
+  return out;
+}
+
+StatusOr<FragmentUpdate> DecodeFragmentUpdate(std::string_view in) {
+  FragmentUpdate update;
+  auto ver = TakeU64(in);
+  if (!ver.ok()) return ver.status();
+  update.version = ver.value();
+  auto list = DecodeStringList(in);
+  if (!list.ok()) return list.status();
+  update.fragments = std::move(list).value();
+  return update;
+}
+
+std::string EncodeU64(std::uint64_t v) {
+  std::string out;
+  AppendU64(out, v);
+  return out;
+}
+
+StatusOr<std::uint64_t> DecodeU64(std::string_view in) {
+  auto v = TakeU64(in);
+  if (!v.ok()) return v.status();
+  if (!in.empty()) return Status::ParseError("trailing bytes after u64");
+  return v;
 }
 
 }  // namespace joza::ipc

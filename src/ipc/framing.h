@@ -20,7 +20,7 @@ enum class MessageType : std::uint8_t {
   kPong = 1,
   kAnalyzeRequest = 2,   // payload: query text
   kAnalyzeResponse = 3,  // payload: serialized PtiVerdictWire
-  kAddFragments = 4,     // payload: serialized fragment list
+  kAddFragments = 4,     // payload: serialized FragmentUpdate
   kAck = 5,
   kShutdown = 6,
   kError = 7,            // payload: error message
@@ -80,6 +80,9 @@ struct PtiVerdictWire {
   std::uint32_t untrusted_critical_tokens = 0;
   std::uint32_t hits = 0;
   std::uint32_t fragments_scanned = 0;
+  // Version of the fragment vocabulary the daemon judged the query under;
+  // lets the client detect a verdict computed against a stale ruleset.
+  std::uint64_t ruleset_version = 0;
   // Texts of untrusted critical tokens, for diagnostics.
   std::vector<std::string> untrusted_texts;
 };
@@ -89,5 +92,22 @@ StatusOr<PtiVerdictWire> DecodeVerdict(std::string_view payload);
 
 std::string EncodeStringList(const std::vector<std::string>& strings);
 StatusOr<std::vector<std::string>> DecodeStringList(std::string_view payload);
+
+// Versioned fragment broadcast (kAddFragments payload): the raw fragment
+// texts plus the vocabulary version the receiver must land on after
+// applying them. Client and daemon therefore agree on the version by
+// construction, and the kAck echo proves convergence.
+struct FragmentUpdate {
+  std::uint64_t version = 0;
+  std::vector<std::string> fragments;
+};
+
+std::string EncodeFragmentUpdate(const FragmentUpdate& update);
+StatusOr<FragmentUpdate> DecodeFragmentUpdate(std::string_view payload);
+
+// Bare u64 payload, used by kPong and kAck to report the daemon's current
+// ruleset version (the version handshake).
+std::string EncodeU64(std::uint64_t v);
+StatusOr<std::uint64_t> DecodeU64(std::string_view payload);
 
 }  // namespace joza::ipc

@@ -61,20 +61,7 @@ void AhoCorasick::FindAll(
     std::string_view text,
     const std::function<void(const Hit&)>& on_hit) const {
   assert(built_ && "FindAll() before Build()");
-  std::int32_t node = 0;
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    node = nodes_[node].next[static_cast<unsigned char>(text[i])];
-    for (std::int32_t v = node; v >= 0; v = nodes_[v].output_link) {
-      if (nodes_[v].pattern_at >= 0) {
-        const PatternInfo& p = patterns_[nodes_[v].pattern_at];
-        Hit hit;
-        hit.length = p.length;
-        hit.begin = i + 1 - p.length;
-        hit.pattern_id = p.id;
-        on_hit(hit);
-      }
-    }
-  }
+  Scan(text, on_hit);
 }
 
 std::vector<AhoCorasick::Hit> AhoCorasick::FindAll(

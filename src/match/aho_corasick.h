@@ -43,6 +43,27 @@ class AhoCorasick {
   // Convenience: collects all hits.
   std::vector<Hit> FindAll(std::string_view text) const;
 
+  // Statically-dispatched matching loop: identical semantics to FindAll but
+  // the callback inlines, so the per-request serving path pays no
+  // std::function indirection per hit. FindAll delegates here.
+  template <typename Fn>
+  void Scan(std::string_view text, Fn&& on_hit) const {
+    std::int32_t node = 0;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      node = nodes_[node].next[static_cast<unsigned char>(text[i])];
+      for (std::int32_t v = node; v >= 0; v = nodes_[v].output_link) {
+        if (nodes_[v].pattern_at >= 0) {
+          const PatternInfo& p = patterns_[nodes_[v].pattern_at];
+          Hit hit;
+          hit.length = p.length;
+          hit.begin = i + 1 - p.length;
+          hit.pattern_id = p.id;
+          on_hit(hit);
+        }
+      }
+    }
+  }
+
  private:
   struct Node {
     // Dense transition table; fragment sets are small enough (thousands of

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "match/substring.h"
+#include "sqlparse/critical.h"
 #include "sqlparse/lexer.h"
 
 namespace joza::nti {
@@ -15,6 +16,13 @@ NtiResult NtiAnalyzer::Analyze(std::string_view query,
 NtiResult NtiAnalyzer::Analyze(std::string_view query,
                                const std::vector<sql::Token>& tokens,
                                const std::vector<http::Input>& inputs) const {
+  return AnalyzeCritical(
+      query, sql::CriticalTokens(tokens, config_.strict_tokens), inputs);
+}
+
+NtiResult NtiAnalyzer::AnalyzeCritical(
+    std::string_view query, const std::vector<sql::Token>& critical,
+    const std::vector<http::Input>& inputs) const {
   NtiResult result;
 
   for (const http::Input& input : inputs) {
@@ -69,11 +77,8 @@ NtiResult NtiAnalyzer::Analyze(std::string_view query,
     // Whole-token rule: this input's marking is an attack only if it fully
     // covers at least one critical token. Markings from different inputs
     // are never combined (that would flood false positives; Section III-A).
-    for (const sql::Token& t : tokens) {
-      const bool critical =
-          t.IsCritical() || (config_.strict_tokens &&
-                             t.kind == sql::TokenKind::kIdentifier);
-      if (critical && marking.span.contains(t.span)) {
+    for (const sql::Token& t : critical) {
+      if (marking.span.contains(t.span)) {
         result.attack_detected = true;
         result.tainted_critical_tokens.push_back(t);
       }

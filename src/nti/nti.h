@@ -79,6 +79,13 @@ class NtiAnalyzer {
   NtiResult Analyze(std::string_view query,
                     const std::vector<http::Input>& inputs) const;
 
+  // The single-pass hot path: `critical` must be
+  // sql::CriticalTokens(tokens, config().strict_tokens) for the lex of
+  // `query` — computed once per request and shared, never re-derived here.
+  NtiResult AnalyzeCritical(std::string_view query,
+                            const std::vector<sql::Token>& critical,
+                            const std::vector<http::Input>& inputs) const;
+
  private:
   NtiConfig config_;
 };

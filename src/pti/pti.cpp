@@ -1,30 +1,31 @@
 #include "pti/pti.h"
 
-#include <algorithm>
+#include <utility>
 
+#include "sqlparse/critical.h"
 #include "sqlparse/lexer.h"
 
 namespace joza::pti {
 
 PtiAnalyzer::PtiAnalyzer(php::FragmentSet fragments, PtiConfig config)
-    : fragments_(std::move(fragments)), config_(config) {
-  BuildIndex();
+    : ruleset_(Ruleset::Build(std::move(fragments), config, /*version=*/0)) {
+  ResetMru();
+}
+
+void PtiAnalyzer::ResetMru() {
+  mru_.resize(ruleset_->fragments().size());
+  for (std::size_t i = 0; i < mru_.size(); ++i) mru_[i] = i;
 }
 
 void PtiAnalyzer::AddFragments(const std::vector<php::SourceFile>& files) {
-  for (const auto& f : files) fragments_.AddSource(f);
-  BuildIndex();
+  ruleset_ = ruleset_->WithSources(files);
+  ResetMru();
 }
 
-void PtiAnalyzer::BuildIndex() {
-  automaton_ = match::AhoCorasick();
-  const auto& frags = fragments_.fragments();
-  for (std::size_t i = 0; i < frags.size(); ++i) {
-    automaton_.Add(frags[i].text, static_cast<std::int32_t>(i));
-  }
-  automaton_.Build();
-  mru_.resize(frags.size());
-  for (std::size_t i = 0; i < mru_.size(); ++i) mru_[i] = i;
+void PtiAnalyzer::AddRawFragments(const std::vector<std::string>& texts,
+                                  std::uint64_t new_version) {
+  ruleset_ = ruleset_->WithRawFragments(texts, new_version);
+  ResetMru();
 }
 
 PtiResult PtiAnalyzer::Analyze(std::string_view query) const {
@@ -33,130 +34,22 @@ PtiResult PtiAnalyzer::Analyze(std::string_view query) const {
 
 PtiResult PtiAnalyzer::Analyze(std::string_view query,
                                const std::vector<sql::Token>& tokens) const {
-  return config_.use_aho_corasick ? AnalyzeAho(query, tokens)
-                                  : AnalyzeNaive(query, tokens);
+  return config().use_aho_corasick ? AnalyzeAho(query, tokens)
+                                   : AnalyzeNaive(query, tokens);
 }
 
-namespace {
-
-// One thing a fragment occurrence must cover: a whole critical token, or a
-// single string-delimiter quote byte.
-struct CriticalUnit {
-  ByteSpan span;
-  sql::Token token;  // the token this unit belongs to (for reporting)
-};
-
-std::vector<CriticalUnit> BuildCriticalUnits(
-    const std::vector<sql::Token>& tokens, bool strict_tokens) {
-  std::vector<CriticalUnit> units;
-  for (const sql::Token& t : tokens) {
-    if (t.IsCritical() ||
-        (strict_tokens && t.kind == sql::TokenKind::kIdentifier)) {
-      units.push_back({t.span, t});
-    } else if (t.kind == sql::TokenKind::kString && t.span.length() >= 2) {
-      // Opening and closing delimiter quotes of a string literal.
-      units.push_back({{t.span.begin, t.span.begin + 1}, t});
-      units.push_back({{t.span.end - 1, t.span.end}, t});
-    }
-  }
-  return units;
-}
-
-// Marks units covered by `span`; returns how many were newly covered.
-std::size_t MarkCovered(const ByteSpan& span,
-                        const std::vector<CriticalUnit>& units,
-                        std::vector<bool>& covered) {
-  std::size_t newly = 0;
-  for (std::size_t i = 0; i < units.size(); ++i) {
-    if (!covered[i] && span.contains(units[i].span)) {
-      covered[i] = true;
-      ++newly;
-    }
-  }
-  return newly;
-}
-
-void FillVerdict(PtiResult& result, const std::vector<CriticalUnit>& units,
-                 const std::vector<bool>& covered) {
-  for (std::size_t i = 0; i < units.size(); ++i) {
-    if (!covered[i]) {
-      result.attack_detected = true;
-      result.untrusted_critical_tokens.push_back(units[i].token);
-    }
-  }
-}
-
-}  // namespace
-
-PtiResult PtiAnalyzer::AnalyzeAho(std::string_view query,
-                                  const std::vector<sql::Token>& tokens) const {
-  PtiResult result;
-  const auto units = BuildCriticalUnits(tokens, config_.strict_tokens);
-  std::vector<bool> covered(units.size(), false);
-
-  automaton_.FindAll(query, [&](const match::AhoCorasick::Hit& hit) {
-    ++result.hits;
-    ByteSpan span{hit.begin, hit.begin + hit.length};
-    MarkCovered(span, units, covered);
-    result.positive_spans.push_back(span);
-  });
-  result.fragments_scanned = fragments_.size();  // one automaton pass
-  FillVerdict(result, units, covered);
-  return result;
+PtiResult PtiAnalyzer::AnalyzeAho(
+    std::string_view query, const std::vector<sql::Token>& tokens) const {
+  return pti::AnalyzeAho(
+      *ruleset_, query,
+      sql::BuildCriticalUnits(tokens, config().strict_tokens));
 }
 
 PtiResult PtiAnalyzer::AnalyzeNaive(
     std::string_view query, const std::vector<sql::Token>& tokens) const {
-  PtiResult result;
-  const auto units = BuildCriticalUnits(tokens, config_.strict_tokens);
-  std::vector<bool> covered(units.size(), false);
-  std::size_t remaining = units.size();
-
-  const auto& frags = fragments_.fragments();
-  std::vector<std::size_t> order = mru_;
-  std::vector<std::size_t> matched_fragments;
-
-  for (std::size_t oi = 0; oi < order.size(); ++oi) {
-    const std::size_t fi = order[oi];
-    const std::string& pattern = frags[fi].text;
-    ++result.fragments_scanned;
-    bool fragment_matched = false;
-    std::size_t pos = query.find(pattern);
-    while (pos != std::string_view::npos) {
-      ++result.hits;
-      fragment_matched = true;
-      ByteSpan span{pos, pos + pattern.size()};
-      result.positive_spans.push_back(span);
-      remaining -= MarkCovered(span, units, covered);
-      pos = query.find(pattern, pos + 1);
-    }
-    if (fragment_matched) matched_fragments.push_back(fi);
-    // Paper optimization: with the critical set known up front, stop as
-    // soon as every critical token is trusted. Benign queries exit after a
-    // handful of fragments; attack queries scan the whole set.
-    if (config_.parse_first && remaining == 0) break;
-  }
-
-  // MRU update: move fragments that matched to the front of the ordering.
-  if (config_.mru_size > 0 && !matched_fragments.empty()) {
-    std::vector<std::size_t> next;
-    next.reserve(mru_.size());
-    const std::size_t take =
-        std::min(matched_fragments.size(), config_.mru_size);
-    for (std::size_t i = 0; i < take; ++i) {
-      next.push_back(matched_fragments[i]);
-    }
-    for (std::size_t fi : mru_) {
-      if (std::find(next.begin(), next.begin() + static_cast<std::ptrdiff_t>(take),
-                    fi) == next.begin() + static_cast<std::ptrdiff_t>(take)) {
-        next.push_back(fi);
-      }
-    }
-    mru_ = std::move(next);
-  }
-
-  FillVerdict(result, units, covered);
-  return result;
+  return pti::AnalyzeNaive(
+      *ruleset_, query,
+      sql::BuildCriticalUnits(tokens, config().strict_tokens), &mru_);
 }
 
 }  // namespace joza::pti

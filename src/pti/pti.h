@@ -13,61 +13,45 @@
 // satisfy this naturally (the quotes live in the query template fragments,
 // e.g. "... name = '" and "' LIMIT 1"); an attacker's breakout quote has no
 // fragment to come from and is flagged.
+//
+// The analysis itself lives in pti/ruleset.h as pure functions over an
+// immutable Ruleset snapshot. PtiAnalyzer is the convenience owner of one
+// snapshot plus the naive path's MRU ordering state — single-threaded use
+// (the daemon process, the benches, tests). Concurrent callers should hold
+// a `std::shared_ptr<const Ruleset>` directly and call the free functions.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <string_view>
 #include <vector>
 
-#include "match/aho_corasick.h"
 #include "phpsrc/fragments.h"
+#include "pti/ruleset.h"
 #include "sqlparse/token.h"
-#include "util/span.h"
 
 namespace joza::pti {
-
-struct PtiConfig {
-  // Multi-pattern automaton vs the paper's original per-fragment scan;
-  // ablated in bench_ablation_match.
-  bool use_aho_corasick = true;
-
-  // Paper optimization #2: parse the query for critical tokens first, then
-  // match only until every critical token is covered (naive path only —
-  // benign queries finish after a few fragments, malicious ones scan all).
-  bool parse_first = true;
-
-  // Paper optimization #1: most-recently-used fragment ordering exploiting
-  // the application's SQL working set (naive path only).
-  std::size_t mru_size = 64;
-
-  // Strict Ray-Ligatti-style policy (Section II): identifiers must come
-  // from fragments too, so user-supplied field/table names are rejected.
-  // Breaks advanced-search applications; off by default like the paper.
-  bool strict_tokens = false;
-};
-
-struct PtiResult {
-  bool attack_detected = false;
-  // Fragment occurrences found in the query (positive taint markings).
-  std::vector<ByteSpan> positive_spans;
-  // Critical tokens not covered by any single fragment (the evidence).
-  std::vector<sql::Token> untrusted_critical_tokens;
-  // Diagnostics for the perf benches.
-  std::size_t fragments_scanned = 0;
-  std::size_t hits = 0;
-};
 
 class PtiAnalyzer {
  public:
   explicit PtiAnalyzer(php::FragmentSet fragments, PtiConfig config = {});
 
-  const php::FragmentSet& fragments() const { return fragments_; }
-  const PtiConfig& config() const { return config_; }
+  const php::FragmentSet& fragments() const { return ruleset_->fragments(); }
+  const PtiConfig& config() const { return ruleset_->config(); }
+  std::uint64_t version() const { return ruleset_->version(); }
+  const std::shared_ptr<const Ruleset>& ruleset() const { return ruleset_; }
 
   // Adds fragments discovered after installation (plugin update) and
-  // rebuilds the match index — the preprocessing component re-invokes the
+  // replaces the snapshot — the preprocessing component re-invokes the
   // installer when new or modified files appear (Section IV-B).
   void AddFragments(const std::vector<php::SourceFile>& files);
+
+  // Same, from raw fragment texts, stamping the successor snapshot with an
+  // externally-assigned version (the daemon wire protocol names the target
+  // version in each update frame).
+  void AddRawFragments(const std::vector<std::string>& texts,
+                       std::uint64_t new_version);
 
   // Analyzes one query. `tokens` must be the lex of `query`.
   PtiResult Analyze(std::string_view query,
@@ -76,18 +60,21 @@ class PtiAnalyzer {
   // Convenience: lexes the query itself.
   PtiResult Analyze(std::string_view query) const;
 
- private:
-  void BuildIndex();
+  // The two matching strategies, individually addressable so tests can
+  // check them against each other (they must agree on every verdict).
   PtiResult AnalyzeAho(std::string_view query,
                        const std::vector<sql::Token>& tokens) const;
   PtiResult AnalyzeNaive(std::string_view query,
                          const std::vector<sql::Token>& tokens) const;
 
-  php::FragmentSet fragments_;
-  PtiConfig config_;
-  match::AhoCorasick automaton_;
+ private:
+  void ResetMru();
+
+  std::shared_ptr<const Ruleset> ruleset_;
   // MRU ordering of fragment indexes for the naive path; mutated during
-  // analysis (performance state only, results are order-independent).
+  // analysis (performance state only, results are order-independent). This
+  // is what makes PtiAnalyzer single-threaded — the snapshot itself is
+  // freely shareable.
   mutable std::vector<std::size_t> mru_;
 };
 

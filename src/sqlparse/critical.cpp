@@ -1,0 +1,29 @@
+#include "sqlparse/critical.h"
+
+namespace joza::sql {
+
+std::vector<CriticalUnit> BuildCriticalUnits(const std::vector<Token>& tokens,
+                                             bool strict_tokens) {
+  std::vector<CriticalUnit> units;
+  for (const Token& t : tokens) {
+    if (IsCriticalToken(t, strict_tokens)) {
+      units.push_back({t.span, t});
+    } else if (t.kind == TokenKind::kString && t.span.length() >= 2) {
+      // Opening and closing delimiter quotes of a string literal.
+      units.push_back({{t.span.begin, t.span.begin + 1}, t});
+      units.push_back({{t.span.end - 1, t.span.end}, t});
+    }
+  }
+  return units;
+}
+
+std::vector<Token> CriticalTokens(const std::vector<Token>& tokens,
+                                  bool strict_tokens) {
+  std::vector<Token> out;
+  for (const Token& t : tokens) {
+    if (IsCriticalToken(t, strict_tokens)) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace joza::sql

@@ -1,0 +1,44 @@
+// Shared critical-unit computation for the taint analyzers.
+//
+// Both inference components reason about the same objects: the critical
+// tokens of the lexed query (Section II's threat model) and, for PTI, the
+// string-literal delimiter quotes. Historically each analyzer rebuilt its
+// own list with subtly different strict_tokens handling; this module is the
+// single implementation both layers share, so the policy can never drift.
+#pragma once
+
+#include <vector>
+
+#include "sqlparse/token.h"
+#include "util/span.h"
+
+namespace joza::sql {
+
+// The policy predicate: critical per the paper's pragmatic threat model,
+// plus identifiers under the strict Ray-Ligatti-style policy (Section II).
+inline bool IsCriticalToken(const Token& t, bool strict_tokens) {
+  return t.IsCritical() ||
+         (strict_tokens && t.kind == TokenKind::kIdentifier);
+}
+
+// One thing a PTI fragment occurrence must cover: a whole critical token,
+// or a single string-literal delimiter quote byte (the rule that stops
+// attackers from assembling critical tokens — or breakout quotes — out of
+// fragment shards).
+struct CriticalUnit {
+  ByteSpan span;
+  Token token;  // the token this unit belongs to (for reporting)
+};
+
+// Builds PTI's unit list: every critical token (per `strict_tokens`) as a
+// whole-token unit, plus the opening and closing delimiter quotes of each
+// string literal as single-byte units.
+std::vector<CriticalUnit> BuildCriticalUnits(const std::vector<Token>& tokens,
+                                             bool strict_tokens);
+
+// NTI's view: just the critical tokens under the given policy. The
+// zero-argument-policy CriticalTokens() in token.h is the pragmatic subset.
+std::vector<Token> CriticalTokens(const std::vector<Token>& tokens,
+                                  bool strict_tokens);
+
+}  // namespace joza::sql

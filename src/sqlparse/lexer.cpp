@@ -1,5 +1,8 @@
 #include "sqlparse/lexer.h"
 
+#include <atomic>
+
+#include "sqlparse/critical.h"
 #include "sqlparse/keywords.h"
 #include "util/strings.h"
 
@@ -192,16 +195,24 @@ class Lexer {
   std::size_t pos_ = 0;
 };
 
+// Test-only accounting: the single-pass analysis contract ("exactly one
+// Lex per analyzed query") is asserted by counting calls. A relaxed atomic
+// increment costs nothing measurable next to tokenization itself.
+std::atomic<std::uint64_t> g_lex_calls{0};
+
 }  // namespace
 
-std::vector<Token> Lex(std::string_view query) { return Lexer(query).Run(); }
+std::uint64_t LexCallsForTest() {
+  return g_lex_calls.load(std::memory_order_relaxed);
+}
+
+std::vector<Token> Lex(std::string_view query) {
+  g_lex_calls.fetch_add(1, std::memory_order_relaxed);
+  return Lexer(query).Run();
+}
 
 std::vector<Token> CriticalTokens(const std::vector<Token>& tokens) {
-  std::vector<Token> out;
-  for (const Token& t : tokens) {
-    if (t.IsCritical()) out.push_back(t);
-  }
-  return out;
+  return CriticalTokens(tokens, /*strict_tokens=*/false);
 }
 
 const char* TokenKindName(TokenKind k) {

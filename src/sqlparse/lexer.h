@@ -5,6 +5,7 @@
 // over the critical tokens this lexer yields.
 #pragma once
 
+#include <cstdint>
 #include <string_view>
 #include <vector>
 
@@ -18,5 +19,10 @@ namespace joza::sql {
 //
 // Token::text views point into `query`, which must outlive the result.
 std::vector<Token> Lex(std::string_view query);
+
+// Process-wide count of Lex() calls (relaxed, monotonically increasing).
+// Test instrumentation for the single-pass analysis contract: the engine
+// must lex each checked query exactly once.
+std::uint64_t LexCallsForTest();
 
 }  // namespace joza::sql

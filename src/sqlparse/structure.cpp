@@ -170,6 +170,13 @@ StatusOr<std::uint64_t> StructureHashOf(std::string_view query) {
   return StructureHash(stmt.value());
 }
 
+StatusOr<std::uint64_t> StructureHashOf(std::string_view query,
+                                        const std::vector<Token>& tokens) {
+  auto stmt = Parse(query, tokens);
+  if (!stmt.ok()) return stmt.status();
+  return StructureHash(stmt.value());
+}
+
 std::uint64_t TokenSkeletonHash(std::string_view query) {
   std::uint64_t h = kFnvOffset ^ 0xabcdef;  // domain-separated from AST hash
   for (const Token& t : Lex(query)) {

@@ -10,8 +10,10 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "sqlparse/ast.h"
+#include "sqlparse/token.h"
 #include "util/status.h"
 
 namespace joza::sql {
@@ -21,6 +23,11 @@ std::uint64_t StructureHash(const Statement& stmt);
 
 // Convenience: parse + hash. Fails if the query does not parse.
 StatusOr<std::uint64_t> StructureHashOf(std::string_view query);
+
+// Same, over an already-lexed token stream (`tokens` must be the lex of
+// `query`) — the hot path's variant, which never re-lexes.
+StatusOr<std::uint64_t> StructureHashOf(std::string_view query,
+                                        const std::vector<Token>& tokens);
 
 // Token-skeleton fallback used when a query does not parse: the sequence of
 // token kinds and critical-token texts with literal contents blanked. Never

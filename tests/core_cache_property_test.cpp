@@ -7,6 +7,7 @@
 #include "attack/catalog.h"
 #include "attack/exploit.h"
 #include "core/joza.h"
+#include "pti/pti.h"
 #include "sqlparse/structure.h"
 #include "util/rng.h"
 

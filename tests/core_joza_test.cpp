@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sqlparse/lexer.h"
+
 namespace joza::core {
 namespace {
 
@@ -170,6 +172,53 @@ TEST(Caches, SourceUpdateInvalidates) {
   EXPECT_FALSE(v.query_cache_hit);
   EXPECT_FALSE(v.structure_cache_hit);
   EXPECT_EQ(joza.stats().pti_full_runs, 2u);
+}
+
+// --- Snapshot versioning -----------------------------------------------------
+
+TEST(Snapshot, VersionBumpsAndIsStampedEverywhere) {
+  Joza joza(RichFragments());
+  EXPECT_EQ(joza.ruleset_version(), 0u);
+  const std::string q = "SELECT * FROM records WHERE ID=5 LIMIT 5";
+  auto v = joza.Check(q, {});
+  EXPECT_EQ(v.ruleset_version, 0u);
+  EXPECT_EQ(joza.stats().ruleset_version, 0u);
+  EXPECT_EQ(joza.stats().ruleset_swaps, 0u);
+
+  joza.OnSourcesChanged({{"new_plugin.php", "$q = 'SELECT 1';"}});
+  EXPECT_EQ(joza.ruleset_version(), 1u);
+  v = joza.Check(q, {});
+  EXPECT_EQ(v.ruleset_version, 1u);
+  const JozaStats stats = joza.stats();
+  EXPECT_EQ(stats.ruleset_version, 1u);
+  EXPECT_EQ(stats.ruleset_swaps, 1u);
+}
+
+TEST(Snapshot, ExactlyOneLexPerCheck) {
+  // The single-pass pipeline lexes once per Check and threads the tokens
+  // through structure hashing, parsing, NTI and PTI — cold, cached and
+  // attack paths alike.
+  Joza joza(RichFragments());
+  const std::string q = "SELECT * FROM records WHERE ID=17 LIMIT 5";
+
+  std::uint64_t before = sql::LexCallsForTest();
+  joza.Check(q, {});  // cold: full PTI run
+  EXPECT_EQ(sql::LexCallsForTest() - before, 1u);
+
+  before = sql::LexCallsForTest();
+  auto v = joza.Check(q, {});  // warm: query-cache hit
+  EXPECT_TRUE(v.query_cache_hit);
+  EXPECT_EQ(sql::LexCallsForTest() - before, 1u);
+
+  before = sql::LexCallsForTest();
+  v = joza.Check("SELECT * FROM records WHERE ID=1 UNION SELECT 9 LIMIT 5",
+                 {});
+  EXPECT_TRUE(v.attack);
+  EXPECT_EQ(sql::LexCallsForTest() - before, 1u);
+
+  before = sql::LexCallsForTest();
+  joza.Check("SELECT * FROM records WHERE ID= LIMIT", {});  // unparseable
+  EXPECT_EQ(sql::LexCallsForTest() - before, 1u);
 }
 
 // --- Component toggles -------------------------------------------------------

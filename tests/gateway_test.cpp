@@ -232,6 +232,86 @@ TEST(ConcurrentJoza, BoundedCachePreservesVerdictsInSingleThread) {
 }
 
 // ---------------------------------------------------------------------------
+// Snapshot churn: lock-free readers vs RCU ruleset swaps
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotChurn, ReadersStayCorrectWhileRulesetSwaps) {
+  // kThreads readers hammer Check() while the main thread churns
+  // OnSourcesChanged: every swap publishes a fresh immutable snapshot and
+  // the readers pin whichever one is current with a single atomic load.
+  // Under TSan this is the data-race probe for the RCU publication path.
+  php::FragmentSet fragments;
+  fragments.AddRaw("SELECT * FROM records WHERE ID=");
+  fragments.AddRaw(" LIMIT 5");
+  core::Joza joza{std::move(fragments)};
+
+  const std::string benign = "SELECT * FROM records WHERE ID=5 LIMIT 5";
+  const std::string attack =
+      "SELECT * FROM records WHERE ID=1 UNION SELECT 2 LIMIT 5";
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> wrong{0};
+  std::vector<std::thread> readers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (joza.Check(benign, {}).attack) {
+          wrong.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!joza.Check(attack, {}).attack) {
+          wrong.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Each swap adds sources that never mention UNION, so no snapshot along
+  // the way can flip either verdict: benign stays trusted, attack stays
+  // detected, across every version the readers might pin.
+  constexpr std::size_t kSwaps = 50;
+  for (std::size_t i = 0; i < kSwaps; ++i) {
+    joza.OnSourcesChanged(
+        {{"live_plugin.php",
+          "$q = 'SELECT name" + std::to_string(i) + " FROM t';"}});
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(wrong.load(), 0u) << "snapshot churn changed a verdict";
+  EXPECT_EQ(joza.ruleset_version(), kSwaps);
+  const core::JozaStats stats = joza.stats();
+  EXPECT_EQ(stats.ruleset_version, kSwaps);
+  EXPECT_EQ(stats.ruleset_swaps, kSwaps);
+  // A check issued after the churn settles carries the final version.
+  EXPECT_EQ(joza.Check(benign, {}).ruleset_version, kSwaps);
+}
+
+TEST(SnapshotChurn, ConcurrentSwappersSerializeAndAllPublish) {
+  // Writer-writer: concurrent OnSourcesChanged calls serialize on swap_mu;
+  // every swap must land (version advances by exactly one per call).
+  php::FragmentSet fragments;
+  fragments.AddRaw("SELECT * FROM records WHERE ID=");
+  core::Joza joza{std::move(fragments)};
+
+  constexpr std::size_t kWriters = 4;
+  constexpr std::size_t kSwapsEach = 10;
+  std::vector<std::thread> writers;
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (std::size_t i = 0; i < kSwapsEach; ++i) {
+        joza.OnSourcesChanged(
+            {{"w" + std::to_string(w) + "_" + std::to_string(i) + ".php",
+              "$q = 'SELECT col" + std::to_string(w * kSwapsEach + i) +
+                  " FROM t';"}});
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  EXPECT_EQ(joza.ruleset_version(), kWriters * kSwapsEach);
+  EXPECT_EQ(joza.stats().ruleset_swaps, kWriters * kSwapsEach);
+}
+
+// ---------------------------------------------------------------------------
 // DaemonPool
 // ---------------------------------------------------------------------------
 
@@ -344,6 +424,76 @@ TEST_F(DaemonPoolTest, IdleReapingRespectsMinSize) {
   auto wire = pool.Analyze(benign_);
   ASSERT_TRUE(wire.ok());
   EXPECT_FALSE(wire->attack_detected);
+}
+
+TEST_F(DaemonPoolTest, LazyBroadcastConvergesOnTargetVersion) {
+  ipc::DaemonPool::Options options;
+  options.max_size = 2;
+  ipc::DaemonPool pool(fragments_, options);
+
+  // Spawn one daemon at version 0 and park it idle.
+  auto wire = pool.Analyze(attack_);
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  EXPECT_TRUE(wire->attack_detected);
+  EXPECT_EQ(wire->ruleset_version, 0u);
+  EXPECT_EQ(pool.idle_versions(), (std::vector<std::uint64_t>{0}));
+
+  // Update the vocabulary: the pool's target moves, the idle daemon lags
+  // behind it (lazy broadcast — nothing round-trips on AddFragments).
+  ASSERT_TRUE(pool.AddFragments({" OR 1=1 LIMIT 5"}).ok());
+  EXPECT_EQ(pool.target_version(), 1u);
+  EXPECT_EQ(pool.idle_versions(), (std::vector<std::uint64_t>{0}));
+
+  // Next checkout ships the pending delta; the daemon converges on the
+  // named target version and the new fragment whitens the old attack.
+  wire = pool.Analyze(attack_);
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  EXPECT_FALSE(wire->attack_detected);
+  EXPECT_EQ(wire->ruleset_version, 1u);
+  EXPECT_EQ(pool.idle_versions(), (std::vector<std::uint64_t>{1}));
+
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.target_version, 1u);
+  EXPECT_EQ(stats.version_mismatches, 0u);
+}
+
+TEST_F(DaemonPoolTest, ConcurrentAnalyzeDuringFragmentUpdates) {
+  // Analyze traffic races AddFragments: verdicts must never be wrong
+  // (fragment updates only widen trust; benign stays benign) and every
+  // daemon must converge on the final target version.
+  ipc::DaemonPool::Options options;
+  options.max_size = 3;
+  ipc::DaemonPool pool(fragments_, options);
+
+  constexpr std::size_t kUpdates = 10;
+  std::atomic<std::size_t> wrong{0};
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20; ++i) {
+        auto w = pool.Analyze(benign_);
+        if (!w.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        } else if (w->attack_detected) {
+          wrong.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::size_t i = 0; i < kUpdates; ++i) {
+    ASSERT_TRUE(
+        pool.AddFragments({" ORDER BY col" + std::to_string(i)}).ok());
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(wrong.load(), 0u);
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(pool.target_version(), kUpdates);
+  // One more round trip after the updates settle: fully converged.
+  auto wire = pool.Analyze(benign_);
+  ASSERT_TRUE(wire.ok());
+  EXPECT_EQ(wire->ruleset_version, kUpdates);
 }
 
 TEST(DaemonPoolIntegration, SharedEngineWithPoolBackendConcurrently) {
@@ -544,6 +694,22 @@ TEST(GatewayServer, GracefulStopDrainsAndIsIdempotent) {
   server.Stop();
   server.Stop();  // idempotent
   EXPECT_EQ(server.stats().requests_served, 2u);
+}
+
+TEST(GatewayServer, StatsExposeRulesetVersionAndSwaps) {
+  auto proto = attack::MakeTestbed();
+  core::Joza joza = core::Joza::Install(*proto);
+  gateway::GatewayServer server([] { return attack::MakeTestbed(); }, &joza);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  EXPECT_EQ(server.stats().ruleset_version, 0u);
+  EXPECT_EQ(server.stats().ruleset_swaps, 0u);
+
+  joza.OnSourcesChanged({{"live_update.php", "$q = 'SELECT 1';"}});
+  const gateway::GatewayStats stats = server.stats();
+  EXPECT_EQ(stats.ruleset_version, 1u);
+  EXPECT_EQ(stats.ruleset_swaps, 1u);
+  server.Stop();
 }
 
 TEST(GatewayServer, MalformedRequestGets400) {

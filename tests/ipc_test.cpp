@@ -81,6 +81,7 @@ TEST(Framing, VerdictWireRoundTrip) {
   v.untrusted_critical_tokens = 3;
   v.hits = 17;
   v.fragments_scanned = 99;
+  v.ruleset_version = (std::uint64_t{7} << 32) | 42u;  // exercises both words
   v.untrusted_texts = {"UNION", "SELECT", "-- x"};
   auto decoded = DecodeVerdict(EncodeVerdict(v));
   ASSERT_TRUE(decoded.ok());
@@ -88,6 +89,7 @@ TEST(Framing, VerdictWireRoundTrip) {
   EXPECT_EQ(decoded->untrusted_critical_tokens, 3u);
   EXPECT_EQ(decoded->hits, 17u);
   EXPECT_EQ(decoded->fragments_scanned, 99u);
+  EXPECT_EQ(decoded->ruleset_version, v.ruleset_version);
   EXPECT_EQ(decoded->untrusted_texts, v.untrusted_texts);
 }
 
@@ -105,6 +107,35 @@ TEST(Framing, StringListRoundTrip) {
   auto decoded = DecodeStringList(EncodeStringList(list));
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded.value(), list);
+}
+
+TEST(Framing, FragmentUpdateRoundTrip) {
+  FragmentUpdate update;
+  update.version = (std::uint64_t{1} << 40) + 3;
+  update.fragments = {" ORDER BY id", "", "a'b"};
+  auto decoded = DecodeFragmentUpdate(EncodeFragmentUpdate(update));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->version, update.version);
+  EXPECT_EQ(decoded->fragments, update.fragments);
+}
+
+TEST(Framing, FragmentUpdateRejectsTruncated) {
+  FragmentUpdate update;
+  update.version = 9;
+  update.fragments = {"abc"};
+  std::string enc = EncodeFragmentUpdate(update);
+  for (std::size_t cut = 0; cut < enc.size(); ++cut) {
+    EXPECT_FALSE(DecodeFragmentUpdate(enc.substr(0, cut)).ok()) << cut;
+  }
+}
+
+TEST(Framing, U64RoundTripAndTrailingBytesRejected) {
+  const std::uint64_t v = (std::uint64_t{0xdead} << 32) | 0xbeef;
+  auto decoded = DecodeU64(EncodeU64(v));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), v);
+  EXPECT_FALSE(DecodeU64(EncodeU64(v) + "x").ok());
+  EXPECT_FALSE(DecodeU64("short").ok());
 }
 
 // --- In-process daemon loop (threads, no fork) --------------------------------
@@ -166,11 +197,19 @@ TEST(DaemonServe, AddFragmentsTakesEffect) {
   ASSERT_TRUE(before.ok());
   EXPECT_TRUE(before->attack_detected);  // ORDER BY untrusted
 
+  FragmentUpdate update;
+  update.version = 1;
+  update.fragments = {" ORDER BY id LIMIT 5"};
   ASSERT_TRUE(WriteFrame(req->second.get(),
                          {MessageType::kAddFragments,
-                          EncodeStringList({" ORDER BY id LIMIT 5"})})
+                          EncodeFragmentUpdate(update)})
                   .ok());
-  EXPECT_EQ(ReadFrame(resp->first.get())->type, MessageType::kAck);
+  auto ack = ReadFrame(resp->first.get());
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->type, MessageType::kAck);
+  auto acked_version = DecodeU64(ack->payload);
+  ASSERT_TRUE(acked_version.ok());
+  EXPECT_EQ(acked_version.value(), 1u);  // daemon landed on the named version
 
   ASSERT_TRUE(
       WriteFrame(req->second.get(), {MessageType::kAnalyzeRequest, query})
@@ -180,6 +219,34 @@ TEST(DaemonServe, AddFragmentsTakesEffect) {
   EXPECT_FALSE(after->attack_detected);
 
   req->second.Close();  // EOF terminates the daemon loop
+  server.join();
+}
+
+TEST(DaemonServe, PongEchoesSeededVersion) {
+  auto req = MakePipe();
+  auto resp = MakePipe();
+  ASSERT_TRUE(req.ok() && resp.ok());
+  std::thread server([rfd = req->first.get(), wfd = resp->second.get()] {
+    ServePtiDaemon(rfd, wfd, PaperFragments(), {}, /*initial_version=*/7);
+  });
+  ASSERT_TRUE(WriteFrame(req->second.get(), {MessageType::kPing, ""}).ok());
+  auto pong = ReadFrame(resp->first.get());
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(pong->type, MessageType::kPong);
+  auto version = DecodeU64(pong->payload);
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(version.value(), 7u);
+
+  // Analyze verdicts are stamped with the same version.
+  ASSERT_TRUE(WriteFrame(req->second.get(),
+                         {MessageType::kAnalyzeRequest,
+                          "SELECT * FROM records WHERE ID=5 LIMIT 5"})
+                  .ok());
+  auto verdict = DecodeVerdict(ReadFrame(resp->first.get())->payload);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_EQ(verdict->ruleset_version, 7u);
+
+  req->second.Close();
   server.join();
 }
 
@@ -216,6 +283,38 @@ TEST(DaemonClient, AddFragmentsPersistent) {
   v = client.Analyze("SELECT * FROM records WHERE ID=5 ORDER BY id");
   ASSERT_TRUE(v.ok());
   EXPECT_FALSE(v->attack_detected);
+}
+
+TEST(DaemonClient, VersionAdvancesThroughHandshakeAndUpdates) {
+  DaemonClient client(DaemonClient::Mode::kPersistent, PaperFragments(),
+                      pti::PtiConfig{}, /*initial_version=*/3);
+  EXPECT_EQ(client.ruleset_version(), 3u);
+  auto reported = client.Handshake();
+  ASSERT_TRUE(reported.ok()) << reported.status().ToString();
+  EXPECT_EQ(reported.value(), 3u);  // forked daemon echoes the seed version
+
+  // One fragment text advances the update log by one.
+  ASSERT_TRUE(client.AddFragments({" ORDER BY id"}).ok());
+  EXPECT_EQ(client.ruleset_version(), 4u);
+  reported = client.Handshake();
+  ASSERT_TRUE(reported.ok());
+  EXPECT_EQ(reported.value(), 4u);
+
+  // Verdicts now carry the converged version.
+  auto v = client.Analyze("SELECT * FROM records WHERE ID=5 ORDER BY id");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ruleset_version, 4u);
+  client.Shutdown();
+}
+
+TEST(DaemonClient, AddFragmentsAtNamesExactTarget) {
+  DaemonClient client(DaemonClient::Mode::kPersistent, PaperFragments());
+  auto acked =
+      client.AddFragmentsAt({" ORDER BY id", " LIMIT 9"}, /*target_version=*/2);
+  ASSERT_TRUE(acked.ok()) << acked.status().ToString();
+  EXPECT_EQ(acked.value(), 2u);
+  EXPECT_EQ(client.ruleset_version(), 2u);
+  client.Shutdown();
 }
 
 TEST(DaemonClient, JozaBackendIntegration) {

@@ -1,0 +1,158 @@
+// Aho–Corasick vs naive-scan parity: both PTI matchers must return the
+// same verdict (and, without the naive path's early exit, the same set of
+// positive taint spans) for every query. The automaton is an optimization,
+// never a behaviour change — this is the differential check that keeps the
+// two implementations honest against each other across the whole attack
+// catalog and randomized fragment vocabularies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "attack/catalog.h"
+#include "attack/exploit.h"
+#include "phpsrc/fragments.h"
+#include "pti/ruleset.h"
+#include "sqlparse/critical.h"
+#include "sqlparse/lexer.h"
+#include "util/rng.h"
+
+namespace joza::pti {
+namespace {
+
+std::vector<ByteSpan> Sorted(std::vector<ByteSpan> spans) {
+  std::sort(spans.begin(), spans.end(),
+            [](const ByteSpan& a, const ByteSpan& b) {
+              return a.begin != b.begin ? a.begin < b.begin : a.end < b.end;
+            });
+  return spans;
+}
+
+std::vector<std::string> UntrustedTexts(const PtiResult& r) {
+  std::vector<std::string> texts;
+  texts.reserve(r.untrusted_critical_tokens.size());
+  for (const sql::Token& t : r.untrusted_critical_tokens) {
+    texts.emplace_back(t.text);
+  }
+  return texts;
+}
+
+// Runs both matchers over one query and asserts parity. `full_scan` rulesets
+// (parse_first=false) additionally compare the complete span sets; with the
+// early exit enabled only the verdict is comparable (the naive path stops
+// scanning once every critical token is covered).
+void ExpectParity(const Ruleset& rs, const std::string& query) {
+  const std::vector<sql::Token> tokens = sql::Lex(query);
+  const std::vector<sql::CriticalUnit> units =
+      sql::BuildCriticalUnits(tokens, rs.config().strict_tokens);
+
+  const PtiResult aho = AnalyzeAho(rs, query, units);
+  const PtiResult naive = AnalyzeNaive(rs, query, units, /*mru=*/nullptr);
+
+  EXPECT_EQ(aho.attack_detected, naive.attack_detected) << query;
+  EXPECT_EQ(UntrustedTexts(aho), UntrustedTexts(naive)) << query;
+  EXPECT_EQ(aho.ruleset_version, naive.ruleset_version);
+  if (!rs.config().parse_first) {
+    EXPECT_EQ(Sorted(aho.positive_spans), Sorted(naive.positive_spans))
+        << query;
+    EXPECT_EQ(aho.hits, naive.hits) << query;
+  }
+}
+
+PtiConfig FullScanConfig() {
+  PtiConfig config;
+  config.parse_first = false;
+  return config;
+}
+
+TEST(PtiParity, AttackCatalogVerdictsAndSpans) {
+  auto app = attack::MakeTestbed();
+  php::FragmentSet fragments = php::FragmentSet::FromSources(app->sources());
+  const Ruleset full(fragments, FullScanConfig(), /*version=*/1);
+  const Ruleset early(fragments, PtiConfig{}, /*version=*/1);
+
+  for (const attack::PluginSpec& plugin : attack::PluginCatalog()) {
+    const attack::Exploit exploit = attack::OriginalExploit(plugin);
+    const std::string attack_query = attack::QueryFor(plugin, exploit.payload);
+    const std::string benign_query = attack::QueryFor(plugin, "7");
+    ExpectParity(full, attack_query);
+    ExpectParity(full, benign_query);
+    ExpectParity(early, attack_query);
+    ExpectParity(early, benign_query);
+  }
+}
+
+TEST(PtiParity, RandomizedVocabularies) {
+  Rng rng(20260806);
+  const std::vector<std::string> keywords = {
+      "SELECT", "FROM",  "WHERE", "ORDER BY", "LIMIT", "UNION",
+      "AND",    "OR",    "=",     "IN",       "LIKE",  "--",
+  };
+
+  for (int round = 0; round < 40; ++round) {
+    // A random vocabulary of SQL-looking fragments.
+    php::FragmentSet fragments;
+    std::vector<std::string> vocabulary;
+    const std::size_t vocab_size = 3 + rng.NextBelow(12);
+    for (std::size_t i = 0; i < vocab_size; ++i) {
+      std::string frag;
+      const std::size_t words = 1 + rng.NextBelow(4);
+      for (std::size_t w = 0; w < words; ++w) {
+        if (w > 0) frag += ' ';
+        frag += rng.NextBool(0.7) ? rng.Pick(keywords) : rng.NextToken(4);
+      }
+      if (fragments.AddRaw(frag)) vocabulary.push_back(frag);
+    }
+    if (vocabulary.empty()) continue;
+
+    const Ruleset full(fragments, FullScanConfig(), /*version=*/round);
+    const Ruleset early(fragments, PtiConfig{}, /*version=*/round);
+
+    // Random queries stitched from vocabulary fragments (trusted material)
+    // and injected tokens the vocabulary never produced (untrusted).
+    for (int q = 0; q < 10; ++q) {
+      std::string query;
+      const std::size_t pieces = 1 + rng.NextBelow(6);
+      for (std::size_t p = 0; p < pieces; ++p) {
+        if (p > 0) query += ' ';
+        if (rng.NextBool(0.6)) {
+          query += rng.Pick(vocabulary);
+        } else if (rng.NextBool()) {
+          query += rng.Pick(keywords);
+        } else {
+          query += rng.NextToken(3);
+        }
+      }
+      ExpectParity(full, query);
+      ExpectParity(early, query);
+    }
+  }
+}
+
+TEST(PtiParity, MruOrderingDoesNotChangeResults) {
+  // The MRU permutation is performance state only: scanning in a rotated
+  // order must produce the same verdict and span set as vocabulary order.
+  php::FragmentSet fragments;
+  fragments.AddRaw("SELECT * FROM records WHERE ID=");
+  fragments.AddRaw(" ORDER BY id");
+  fragments.AddRaw(" LIMIT 5");
+  const Ruleset rs(fragments, FullScanConfig(), /*version=*/0);
+
+  const std::string query =
+      "SELECT * FROM records WHERE ID=1 UNION SELECT 2 LIMIT 5";
+  const std::vector<sql::Token> tokens = sql::Lex(query);
+  const std::vector<sql::CriticalUnit> units =
+      sql::BuildCriticalUnits(tokens, rs.config().strict_tokens);
+
+  const PtiResult stateless = AnalyzeNaive(rs, query, units, nullptr);
+  std::vector<std::size_t> mru = {2, 0, 1};
+  const PtiResult rotated = AnalyzeNaive(rs, query, units, &mru);
+
+  EXPECT_EQ(stateless.attack_detected, rotated.attack_detected);
+  EXPECT_EQ(UntrustedTexts(stateless), UntrustedTexts(rotated));
+  EXPECT_EQ(Sorted(stateless.positive_spans), Sorted(rotated.positive_spans));
+}
+
+}  // namespace
+}  // namespace joza::pti

@@ -185,6 +185,9 @@ int main(int argc, char** argv) {
               "%zu+%zu cache hits, %zu evictions\n",
               js.queries_checked, js.attacks_detected, js.query_cache_hits,
               js.structure_cache_hits, js.cache_evictions);
+  std::printf("ruleset:     version %llu, %zu snapshot swaps\n",
+              static_cast<unsigned long long>(js.ruleset_version),
+              js.ruleset_swaps);
   const auto bs = joza.breaker().stats();
   std::printf("degraded:    mode %s, %zu pti failures, %zu degraded checks, "
               "%zu degraded blocks, %zu breaker fast-rejects\n",
@@ -200,6 +203,9 @@ int main(int argc, char** argv) {
                 "%zu failures, %zu deadline misses\n",
                 ps.analyzed, ps.spawned, ps.replaced, ps.failures,
                 ps.deadline_misses);
+    std::printf("pti pool:    target version %llu, %zu version mismatches\n",
+                static_cast<unsigned long long>(ps.target_version),
+                ps.version_mismatches);
     pool->Shutdown();
   }
   return 0;
