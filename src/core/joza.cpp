@@ -34,6 +34,12 @@ JozaStats& JozaStats::operator+=(const JozaStats& other) {
   structure_cache_hits += other.structure_cache_hits;
   pti_full_runs += other.pti_full_runs;
   nti_runs += other.nti_runs;
+  nti_exact_hits += other.nti_exact_hits;
+  nti_seed_candidates += other.nti_seed_candidates;
+  nti_dp_runs += other.nti_dp_runs;
+  nti_tier_reference += other.nti_tier_reference;
+  nti_tier_bounded += other.nti_tier_bounded;
+  nti_tier_staged += other.nti_tier_staged;
   cache_evictions += other.cache_evictions;
   pti_failures += other.pti_failures;
   breaker_fast_rejects += other.breaker_fast_rejects;
@@ -79,6 +85,14 @@ JozaStats Joza::stats() const {
       a.structure_cache_hits.load(std::memory_order_relaxed);
   out.pti_full_runs = a.pti_full_runs.load(std::memory_order_relaxed);
   out.nti_runs = a.nti_runs.load(std::memory_order_relaxed);
+  out.nti_exact_hits = a.nti_exact_hits.load(std::memory_order_relaxed);
+  out.nti_seed_candidates =
+      a.nti_seed_candidates.load(std::memory_order_relaxed);
+  out.nti_dp_runs = a.nti_dp_runs.load(std::memory_order_relaxed);
+  out.nti_tier_reference =
+      a.nti_tier_reference.load(std::memory_order_relaxed);
+  out.nti_tier_bounded = a.nti_tier_bounded.load(std::memory_order_relaxed);
+  out.nti_tier_staged = a.nti_tier_staged.load(std::memory_order_relaxed);
   out.pti_failures = a.pti_failures.load(std::memory_order_relaxed);
   out.breaker_fast_rejects =
       a.breaker_fast_rejects.load(std::memory_order_relaxed);
@@ -100,6 +114,12 @@ void Joza::ResetStats() {
   a.structure_cache_hits.store(0, std::memory_order_relaxed);
   a.pti_full_runs.store(0, std::memory_order_relaxed);
   a.nti_runs.store(0, std::memory_order_relaxed);
+  a.nti_exact_hits.store(0, std::memory_order_relaxed);
+  a.nti_seed_candidates.store(0, std::memory_order_relaxed);
+  a.nti_dp_runs.store(0, std::memory_order_relaxed);
+  a.nti_tier_reference.store(0, std::memory_order_relaxed);
+  a.nti_tier_bounded.store(0, std::memory_order_relaxed);
+  a.nti_tier_staged.store(0, std::memory_order_relaxed);
   a.pti_failures.store(0, std::memory_order_relaxed);
   a.breaker_fast_rejects.store(0, std::memory_order_relaxed);
   a.degraded_checks.store(0, std::memory_order_relaxed);
@@ -157,6 +177,18 @@ StatusOr<pti::PtiResult> Joza::RunPti(const AnalysisContext& ctx) {
 Verdict Joza::Check(std::string_view query,
                     const std::vector<http::Input>& inputs,
                     util::Deadline deadline) {
+  return CheckViews(query, http::ViewsOf(inputs), deadline);
+}
+
+Verdict Joza::CheckRequest(std::string_view query,
+                           const http::Request& request,
+                           util::Deadline deadline) {
+  return CheckViews(query, request.InputViews(), deadline);
+}
+
+Verdict Joza::CheckViews(std::string_view query,
+                         const std::vector<http::InputView>& inputs,
+                         util::Deadline deadline) {
   // Single-pass pipeline: pin the snapshot (one atomic load — the only
   // synchronization on this path), lex exactly once, then thread the
   // shared working set through caches, PTI and NTI.
@@ -247,6 +279,18 @@ Verdict Joza::Check(std::string_view query,
     verdict.nti = nti::NtiAnalyzer(snap.nti)
                       .AnalyzeCritical(query, ctx.nti_critical, inputs);
     nti_safe = !verdict.nti.attack_detected;
+    AtomicStats& a = state_->stats;
+    a.nti_exact_hits.fetch_add(verdict.nti.exact_hits,
+                               std::memory_order_relaxed);
+    a.nti_seed_candidates.fetch_add(verdict.nti.seed_candidates,
+                                    std::memory_order_relaxed);
+    a.nti_dp_runs.fetch_add(verdict.nti.dp_runs, std::memory_order_relaxed);
+    a.nti_tier_reference.fetch_add(verdict.nti.tier_reference,
+                                   std::memory_order_relaxed);
+    a.nti_tier_bounded.fetch_add(verdict.nti.tier_bounded,
+                                 std::memory_order_relaxed);
+    a.nti_tier_staged.fetch_add(verdict.nti.tier_staged,
+                                std::memory_order_relaxed);
   }
 
   verdict.attack = !pti_safe || !nti_safe;
@@ -336,7 +380,9 @@ std::string AttackReport::ToLogLine() const {
 
 webapp::QueryGate Joza::MakeGate() {
   return [this](std::string_view sql, const http::Request& request) {
-    Verdict v = Check(sql, request.AllInputs());
+    // Zero-copy interception: the stored request's inputs are analyzed as
+    // borrowed views, never materialized through AllInputs().
+    Verdict v = CheckRequest(sql, request);
     webapp::GateDecision decision;
     if (!v.attack) {
       decision.action = webapp::GateDecision::Action::kAllow;

@@ -129,6 +129,16 @@ struct JozaStats {
   std::size_t structure_cache_hits = 0;
   std::size_t pti_full_runs = 0;
   std::size_t nti_runs = 0;
+  // NTI matcher-pipeline roll-up (sums of the per-check NtiResult
+  // counters): inputs resolved by the exact stage, candidates that reached
+  // the kernel after q-gram seeding, full Sellers verifications, and the
+  // tier histogram of which matching tier decided each considered input.
+  std::size_t nti_exact_hits = 0;
+  std::size_t nti_seed_candidates = 0;
+  std::size_t nti_dp_runs = 0;
+  std::size_t nti_tier_reference = 0;
+  std::size_t nti_tier_bounded = 0;
+  std::size_t nti_tier_staged = 0;
   std::size_t cache_evictions = 0;
   // Degraded-path accounting: backend calls that returned an error (incl.
   // deadline misses), calls the open breaker refused without trying, checks
@@ -213,9 +223,18 @@ class Joza {
   // Checks one query against the stored request inputs. The default
   // deadline is the ambient per-request deadline installed by
   // util::ScopedRequestDeadline (infinite when none is active); it bounds
-  // the external PTI backend call.
-  Verdict Check(std::string_view query, const std::vector<http::Input>& inputs,
-                util::Deadline deadline = util::ScopedRequestDeadline::current());
+  // the external PTI backend call. No input is copied: the analysis reads
+  // borrowed views of the caller's vector.
+  Verdict Check(
+      std::string_view query, const std::vector<http::Input>& inputs,
+      util::Deadline deadline = util::ScopedRequestDeadline::current());
+
+  // Zero-copy entry over a whole stored request (the gate's hot path):
+  // enumerates the request's inputs as views, never materializing the
+  // AllInputs() copy vector.
+  Verdict CheckRequest(
+      std::string_view query, const http::Request& request,
+      util::Deadline deadline = util::ScopedRequestDeadline::current());
 
   // Binds this engine as an application interception gate applying the
   // configured recovery policy. The Joza object must outlive the gate.
@@ -248,6 +267,12 @@ class Joza {
     std::atomic<std::size_t> structure_cache_hits{0};
     std::atomic<std::size_t> pti_full_runs{0};
     std::atomic<std::size_t> nti_runs{0};
+    std::atomic<std::size_t> nti_exact_hits{0};
+    std::atomic<std::size_t> nti_seed_candidates{0};
+    std::atomic<std::size_t> nti_dp_runs{0};
+    std::atomic<std::size_t> nti_tier_reference{0};
+    std::atomic<std::size_t> nti_tier_bounded{0};
+    std::atomic<std::size_t> nti_tier_staged{0};
     std::atomic<std::size_t> pti_failures{0};
     std::atomic<std::size_t> breaker_fast_rejects{0};
     std::atomic<std::size_t> degraded_checks{0};
@@ -287,6 +312,11 @@ class Joza {
   };
 
   StatusOr<pti::PtiResult> RunPti(const AnalysisContext& ctx);
+  // The single-pass pipeline shared by both public entries; `inputs` are
+  // borrowed views that must stay valid for the duration of the call.
+  Verdict CheckViews(std::string_view query,
+                     const std::vector<http::InputView>& inputs,
+                     util::Deadline deadline);
   void EmitAttackReport(const Verdict& verdict, std::string_view query,
                         std::size_t sequence);
 

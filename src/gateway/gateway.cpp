@@ -429,6 +429,12 @@ GatewayStats GatewayServer::stats() const {
     const core::JozaStats engine = joza_->stats();
     out.ruleset_version = engine.ruleset_version;
     out.ruleset_swaps = engine.ruleset_swaps;
+    out.nti_exact_hits = engine.nti_exact_hits;
+    out.nti_seed_candidates = engine.nti_seed_candidates;
+    out.nti_dp_runs = engine.nti_dp_runs;
+    out.nti_tier_reference = engine.nti_tier_reference;
+    out.nti_tier_bounded = engine.nti_tier_bounded;
+    out.nti_tier_staged = engine.nti_tier_staged;
   }
   return out;
 }

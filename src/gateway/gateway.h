@@ -76,6 +76,15 @@ struct GatewayStats {
   // snapshot version currently published and how many times it was swapped.
   std::uint64_t ruleset_version = 0;
   std::size_t ruleset_swaps = 0;
+  // NTI matcher pipeline counters mirrored from the engine (0 when serving
+  // unprotected): exact multi-pattern hits, q-gram survivors that reached
+  // the kernel, full DP verifications, and the per-input tier histogram.
+  std::uint64_t nti_exact_hits = 0;
+  std::uint64_t nti_seed_candidates = 0;
+  std::uint64_t nti_dp_runs = 0;
+  std::uint64_t nti_tier_reference = 0;
+  std::uint64_t nti_tier_bounded = 0;
+  std::uint64_t nti_tier_staged = 0;
 };
 
 // Builds one worker's private Application. Called once per worker thread at

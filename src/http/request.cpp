@@ -1,9 +1,45 @@
 #include "http/request.h"
 
+#include <atomic>
+
 #include "util/codec.h"
 #include "util/strings.h"
 
 namespace joza::http {
+
+namespace {
+
+// Test-only accounting for the zero-copy analysis contract, mirroring
+// sql::LexCallsForTest: a relaxed increment per deep copy is free next to
+// the string allocations the copy itself performs.
+std::atomic<std::uint64_t> g_input_copies{0};
+
+// Zero-copy lookup helper shared by Param/Cookie/HasParam.
+const Input* FindIn(const std::vector<Input>& list, std::string_view name) {
+  for (const Input& i : list) {
+    if (i.name == name) return &i;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::uint64_t InputCopiesForTest() {
+  return g_input_copies.load(std::memory_order_relaxed);
+}
+
+Input::Input(const Input& other)
+    : kind(other.kind), name(other.name), value(other.value) {
+  g_input_copies.fetch_add(1, std::memory_order_relaxed);
+}
+
+Input& Input::operator=(const Input& other) {
+  kind = other.kind;
+  name = other.name;
+  value = other.value;
+  g_input_copies.fetch_add(1, std::memory_order_relaxed);
+  return *this;
+}
 
 const char* InputKindName(InputKind k) {
   switch (k) {
@@ -26,31 +62,35 @@ std::vector<Input> Request::AllInputs() const {
   return all;
 }
 
+std::vector<InputView> ViewsOf(const std::vector<Input>& inputs) {
+  std::vector<InputView> views;
+  views.reserve(inputs.size());
+  for (const Input& i : inputs) views.push_back(ViewOf(i));
+  return views;
+}
+
+std::vector<InputView> Request::InputViews() const {
+  std::vector<InputView> views;
+  views.reserve(get_params.size() + post_params.size() + cookies.size() +
+                headers.size());
+  ForEachInput([&views](const InputView& v) { views.push_back(v); });
+  return views;
+}
+
 std::string_view Request::Param(std::string_view name) const {
-  for (const Input& i : get_params) {
-    if (i.name == name) return i.value;
-  }
-  for (const Input& i : post_params) {
-    if (i.name == name) return i.value;
-  }
+  if (const Input* i = FindIn(get_params, name)) return i->value;
+  if (const Input* i = FindIn(post_params, name)) return i->value;
   return {};
 }
 
 std::string_view Request::Cookie(std::string_view name) const {
-  for (const Input& i : cookies) {
-    if (i.name == name) return i.value;
-  }
+  if (const Input* i = FindIn(cookies, name)) return i->value;
   return {};
 }
 
 bool Request::HasParam(std::string_view name) const {
-  for (const Input& i : get_params) {
-    if (i.name == name) return true;
-  }
-  for (const Input& i : post_params) {
-    if (i.name == name) return true;
-  }
-  return false;
+  return FindIn(get_params, name) != nullptr ||
+         FindIn(post_params, name) != nullptr;
 }
 
 Request Request::Get(

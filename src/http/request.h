@@ -5,6 +5,7 @@
 // snapshots these *before* the application mutates them.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -18,10 +19,42 @@ enum class InputKind { kGet, kPost, kCookie, kHeader };
 const char* InputKindName(InputKind k);
 
 struct Input {
-  InputKind kind;
+  InputKind kind = InputKind::kGet;
   std::string name;
   std::string value;
+
+  Input() = default;
+  Input(InputKind k, std::string n, std::string v)
+      : kind(k), name(std::move(n)), value(std::move(v)) {}
+  // Copies are instrumented (InputCopiesForTest): the analysis hot path is
+  // contractually zero-copy, so every deep copy of a stored input must be
+  // deliberate (compatibility shims like AllInputs, taint-marking capture).
+  Input(const Input& other);
+  Input& operator=(const Input& other);
+  Input(Input&&) noexcept = default;
+  Input& operator=(Input&&) noexcept = default;
 };
+
+// Borrowed, zero-copy view of one stored input. Valid only while the
+// owning Request (or Input container) is alive and unmodified — exactly
+// the lifetime of one Check, which is why the analysis layers take views.
+struct InputView {
+  InputKind kind = InputKind::kGet;
+  std::string_view name;
+  std::string_view value;
+};
+
+inline InputView ViewOf(const Input& input) {
+  return InputView{input.kind, input.name, input.value};
+}
+
+// Borrowed views over a whole Input vector (no string copies).
+std::vector<InputView> ViewsOf(const std::vector<Input>& inputs);
+
+// Process-wide count of Input deep copies (relaxed, monotonically
+// increasing). Test instrumentation for the zero-copy analysis contract:
+// checking a query must never copy the request's inputs.
+std::uint64_t InputCopiesForTest();
 
 struct Request {
   std::string method = "GET";
@@ -32,8 +65,22 @@ struct Request {
   std::vector<Input> headers;
 
   // Enumerates all inputs in NTI analysis order (GET, POST, cookies,
-  // headers).
+  // headers). Deep-copies every input; kept for compatibility only — the
+  // analysis path uses InputViews()/ForEachInput instead.
   std::vector<Input> AllInputs() const;
+
+  // Zero-copy enumeration in the same NTI analysis order. The views borrow
+  // from this request and stay valid while it is alive and unmodified.
+  template <typename Fn>
+  void ForEachInput(Fn&& fn) const {
+    for (const Input& i : get_params) fn(ViewOf(i));
+    for (const Input& i : post_params) fn(ViewOf(i));
+    for (const Input& i : cookies) fn(ViewOf(i));
+    for (const Input& i : headers) fn(ViewOf(i));
+  }
+
+  // Zero-copy snapshot of all inputs (vector of borrowed views).
+  std::vector<InputView> InputViews() const;
 
   // First value for a GET-or-POST parameter, or empty string.
   std::string_view Param(std::string_view name) const;

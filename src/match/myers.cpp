@@ -1,0 +1,57 @@
+#include "match/myers.h"
+
+#include <array>
+#include <cstdint>
+
+namespace joza::match {
+
+bool MyersEligible(std::string_view input) {
+  if (input.empty() || input.size() > kMyersMaxPattern) return false;
+  for (unsigned char c : input) {
+    if (c >= 0x80) return false;
+  }
+  return true;
+}
+
+std::size_t MyersMinDistance(std::string_view query, std::string_view input) {
+  const std::size_t n = input.size();
+  // Peq[c]: bit i set iff input[i] == c. ASCII-only by eligibility, but the
+  // table covers all bytes so arbitrary query bytes simply never match.
+  std::array<std::uint64_t, 256> peq{};
+  for (std::size_t i = 0; i < n; ++i) {
+    peq[static_cast<unsigned char>(input[i])] |= std::uint64_t{1} << i;
+  }
+
+  // Hyyrö's formulation of Myers' algorithm. VP/VN encode the vertical
+  // deltas of the previous DP column; score tracks the bottom cell D[n][j].
+  // The top row is free (semi-global), so the horizontal vectors shift in
+  // zeros. Bits above n-1 are garbage but never flow downward: the only
+  // upward-propagating operation is the carry in the D0 addition.
+  const std::uint64_t high = std::uint64_t{1} << (n - 1);
+  std::uint64_t vp = ~std::uint64_t{0};
+  std::uint64_t vn = 0;
+  std::size_t score = n;
+  std::size_t best = n;  // D[n][0]: the empty substring
+  for (char qc : query) {
+    const std::uint64_t eq = peq[static_cast<unsigned char>(qc)];
+    const std::uint64_t d0 = (((eq & vp) + vp) ^ vp) | eq | vn;
+    const std::uint64_t hp = vn | ~(d0 | vp);
+    const std::uint64_t hn = vp & d0;
+    if (hp & high) {
+      ++score;
+    } else if (hn & high) {
+      --score;
+    }
+    const std::uint64_t hp_shift = hp << 1;
+    const std::uint64_t hn_shift = hn << 1;
+    vp = hn_shift | ~(d0 | hp_shift);
+    vn = hp_shift & d0;
+    if (score < best) {
+      best = score;
+      if (best == 0) break;
+    }
+  }
+  return best;
+}
+
+}  // namespace joza::match

@@ -1,0 +1,34 @@
+// Bit-parallel approximate matching kernel (Myers' algorithm).
+//
+// Computes the semi-global edit-distance profile of a short pattern
+// against a text in O(|text|) word operations: column j of the Sellers DP
+// is encoded as two 64-bit delta vectors, so one loop iteration advances
+// all |pattern| rows at once. NTI's staged matcher uses it as an exact
+// *reject* filter: if the minimum distance over every text substring
+// already exceeds the threshold bound, the full Sellers verification (and
+// its span recovery) is skipped entirely. The kernel never decides a
+// match by itself — accepts are re-verified by the reference DP — so the
+// staged pipeline stays verdict-identical to the reference tier.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace joza::match {
+
+// Word width of the kernel: patterns longer than this take the Sellers
+// fallback tier.
+inline constexpr std::size_t kMyersMaxPattern = 64;
+
+// Eligibility policy for the bit-parallel tier: 1..64 bytes, plain ASCII.
+// (The kernel itself is byte-clean; the ASCII restriction keeps the staged
+// tier conservative on multi-byte encodings, whose q-gram statistics the
+// seeding stage was not tuned for.)
+bool MyersEligible(std::string_view input);
+
+// Minimum edit distance between `input` and any substring of `query` —
+// exactly min_j of Sellers' final DP row (including the empty substring,
+// distance |input|). Requires MyersEligible(input); |query| unbounded.
+std::size_t MyersMinDistance(std::string_view query, std::string_view input);
+
+}  // namespace joza::match

@@ -1,0 +1,42 @@
+#include "match/qgram.h"
+
+namespace joza::match {
+
+QGramIndex::QGramIndex(std::string_view text) {
+  if (text.size() < kQ) return;
+  for (std::size_t i = 0; i + kQ <= text.size(); ++i) {
+    const std::size_t gram = Pack(text, i);
+    bits_[gram >> 6] |= std::uint64_t{1} << (gram & 63);
+  }
+}
+
+std::size_t QGramIndex::CountPresent(std::string_view input) const {
+  if (input.size() < kQ) return 0;
+  std::size_t present = 0;
+  for (std::size_t i = 0; i + kQ <= input.size(); ++i) {
+    if (Has(Pack(input, i))) ++present;
+  }
+  return present;
+}
+
+bool QGramIndex::Rejects(std::string_view input,
+                         std::size_t max_distance) const {
+  if (input.size() < kQ) return false;  // no grams, no evidence
+  const std::size_t total = input.size() - kQ + 1;
+  // At least `total - k*q` grams must survive k edits; when that bound is
+  // non-positive the filter has no power over this input.
+  if (max_distance * kQ >= total) return false;
+  const std::size_t required = total - max_distance * kQ;
+  std::size_t present = 0;
+  for (std::size_t i = 0; i + kQ <= input.size(); ++i) {
+    if (Has(Pack(input, i))) {
+      if (++present >= required) return false;  // enough evidence: no reject
+    }
+    // Even if every remaining gram were present we could not reach the
+    // requirement: reject early.
+    if (present + (total - i - 1) < required) return true;
+  }
+  return present < required;
+}
+
+}  // namespace joza::match

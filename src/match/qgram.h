@@ -1,0 +1,49 @@
+// Q-gram candidate seeding for approximate substring matching.
+//
+// Counting lemma: every edit destroys at most q of a pattern's q-grams, so
+// a pattern within edit distance k of some text substring shares at least
+// (n - q + 1) - k*q q-grams with the text. Indexing the text's q-grams
+// once therefore lets each pattern be rejected in O(n) set probes — before
+// any DP cell is touched. NTI builds one index per intercepted query and
+// filters every request input through it; like the Myers kernel this is a
+// pure reject filter, so it can never change a verdict.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace joza::match {
+
+class QGramIndex {
+ public:
+  // Bigrams: the smallest gram that still rejects at NTI's input lengths
+  // (min_input_length is 3), packed into 16 bits for a flat 8 KiB bitset —
+  // no hashing, no per-entry allocation, byte-clean.
+  static constexpr std::size_t kQ = 2;
+
+  explicit QGramIndex(std::string_view text);
+
+  // True if no substring of the indexed text can be within `max_distance`
+  // edits of `input` (the counting argument proves absence). False means
+  // "cannot reject" — the input may or may not match.
+  bool Rejects(std::string_view input, std::size_t max_distance) const;
+
+  // Number of `input` grams present in the text (diagnostics/tests).
+  std::size_t CountPresent(std::string_view input) const;
+
+ private:
+  static constexpr std::size_t kWords = (std::size_t{1} << 16) / 64;
+  bool Has(std::size_t gram) const {
+    return (bits_[gram >> 6] >> (gram & 63)) & 1;
+  }
+  static std::size_t Pack(std::string_view s, std::size_t at) {
+    return (static_cast<std::size_t>(static_cast<unsigned char>(s[at])) << 8) |
+           static_cast<std::size_t>(static_cast<unsigned char>(s[at + 1]));
+  }
+
+  std::array<std::uint64_t, kWords> bits_{};
+};
+
+}  // namespace joza::match

@@ -1,12 +1,19 @@
 #include "nti/nti.h"
 
-#include <cmath>
-
-#include "match/substring.h"
+#include "nti/pipeline.h"
 #include "sqlparse/critical.h"
 #include "sqlparse/lexer.h"
 
 namespace joza::nti {
+
+const char* MatchTierName(MatchTier tier) {
+  switch (tier) {
+    case MatchTier::kReference: return "reference";
+    case MatchTier::kBounded: return "bounded";
+    case MatchTier::kStaged: return "staged";
+  }
+  return "?";
+}
 
 NtiResult NtiAnalyzer::Analyze(std::string_view query,
                                const std::vector<http::Input>& inputs) const {
@@ -23,53 +30,40 @@ NtiResult NtiAnalyzer::Analyze(std::string_view query,
 NtiResult NtiAnalyzer::AnalyzeCritical(
     std::string_view query, const std::vector<sql::Token>& critical,
     const std::vector<http::Input>& inputs) const {
+  return AnalyzeCritical(query, critical, http::ViewsOf(inputs));
+}
+
+NtiResult NtiAnalyzer::AnalyzeCritical(
+    std::string_view query, const std::vector<sql::Token>& critical,
+    const std::vector<http::InputView>& inputs) const {
   NtiResult result;
 
-  for (const http::Input& input : inputs) {
-    // Plausibility pruning: inputs too short to mark safely, or too long to
-    // fit any query substring within the threshold, are skipped outright.
-    if (input.value.size() < config_.min_input_length) {
+  // Plausibility pruning (identical across tiers): inputs too short to
+  // mark safely, or too long to fit any query substring within the
+  // threshold, are skipped outright.
+  std::vector<std::size_t> eligible;
+  eligible.reserve(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (inputs[i].value.size() < config_.min_input_length ||
+        static_cast<double>(inputs[i].value.size()) >
+            static_cast<double>(query.size()) * (1.0 + config_.threshold)) {
       ++result.inputs_skipped;
       continue;
     }
-    const double max_ratio = config_.threshold;
-    if (static_cast<double>(input.value.size()) >
-        static_cast<double>(query.size()) * (1.0 + max_ratio)) {
-      ++result.inputs_skipped;
-      continue;
-    }
-    ++result.inputs_considered;
+    eligible.push_back(i);
+  }
+  result.inputs_considered = eligible.size();
+  if (eligible.empty()) return result;
 
-    match::SubstringMatch best;
-    bool have_match = false;
-    if (config_.exact_fast_path) {
-      std::size_t pos = query.find(input.value);
-      if (pos != std::string_view::npos) {
-        best.distance = 0;
-        best.span = {pos, pos + input.value.size()};
-        best.ratio = 0.0;
-        have_match = true;
-      }
-    }
-    if (!have_match) {
-      ++result.dp_runs;
-      if (config_.bounded_search) {
-        // dist <= t*span_len and span_len <= |input| + dist imply
-        // dist <= t*|input| / (1-t): the tightest sound DP bound.
-        const std::size_t bound = static_cast<std::size_t>(std::ceil(
-            max_ratio * static_cast<double>(input.value.size()) /
-            (1.0 - max_ratio)));
-        best = match::BestSubstringMatchBounded(query, input.value, bound);
-      } else {
-        best = match::BestSubstringMatch(query, input.value);
-      }
-    }
+  const MatcherPipeline pipeline(query, config_, inputs, eligible);
+  for (std::size_t index : eligible) {
+    const match::SubstringMatch best = pipeline.Match(index, result);
+    if (best.span.empty() || best.ratio > config_.threshold) continue;
 
-    if (best.span.empty() || best.ratio > max_ratio) continue;
-
+    const http::InputView& input = inputs[index];
     TaintMarking marking;
     marking.span = best.span;
-    marking.input_name = input.name;
+    marking.input_name = std::string(input.name);
     marking.input_kind = input.kind;
     marking.ratio = best.ratio;
     marking.distance = best.distance;

@@ -1,0 +1,187 @@
+#include "nti/pipeline.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+
+#include "match/aho_corasick.h"
+#include "match/myers.h"
+
+namespace joza::nti {
+
+namespace {
+
+constexpr std::size_t kNpos = std::string_view::npos;
+
+// A match object meaning "no substring within the bound" — identical to
+// what the pruned Sellers DP reports.
+match::SubstringMatch NoMatch(std::size_t bound) {
+  match::SubstringMatch none;
+  none.distance = bound + 1;
+  none.ratio = 1.0;
+  return none;
+}
+
+match::SubstringMatch ExactMatch(std::size_t pos, std::size_t length) {
+  match::SubstringMatch m;
+  m.distance = 0;
+  m.span = {pos, pos + length};
+  m.ratio = 0.0;
+  return m;
+}
+
+}  // namespace
+
+MatcherPipeline::MatcherPipeline(std::string_view query,
+                                 const NtiConfig& config,
+                                 const std::vector<http::InputView>& inputs,
+                                 const std::vector<std::size_t>& eligible)
+    : query_(query), config_(config), inputs_(inputs) {
+  if (config_.tier != MatchTier::kStaged || eligible.empty()) return;
+
+  // Stage 1 (exact): resolve every input's earliest exact occurrence with
+  // one multi-pattern scan. Duplicated values (the same payload arriving
+  // via several parameters) share one pattern.
+  //
+  // The automaton is built per check (the analyzer is stateless), and its
+  // dense nodes cost ~1 KiB of zeroed memory per pattern byte — so one
+  // multi-pattern scan only beats memchr-driven per-input find() when the
+  // query is long enough to amortize the build across all inputs.
+  constexpr std::size_t kAutomatonAmortization = 64;
+  std::size_t total_value_bytes = 0;
+  for (std::size_t index : eligible) {
+    total_value_bytes += inputs_[index].value.size();
+  }
+  const bool use_automaton =
+      eligible.size() >= config_.multi_pattern_min_inputs &&
+      eligible.size() * query_.size() >=
+          kAutomatonAmortization * total_value_bytes;
+  exact_pos_.assign(inputs_.size(), kNpos);
+  if (use_automaton) {
+    match::AhoCorasick ac;
+    std::unordered_map<std::string_view, std::int32_t> dedup;
+    std::vector<std::size_t> first_hit;
+    for (std::size_t index : eligible) {
+      const std::string_view value = inputs_[index].value;
+      if (value.empty() || value.size() > query_.size()) continue;
+      if (dedup.emplace(value, static_cast<std::int32_t>(first_hit.size()))
+              .second) {
+        ac.Add(value, static_cast<std::int32_t>(first_hit.size()));
+        first_hit.push_back(kNpos);
+      }
+    }
+    ac.Build();
+    // Hits arrive in increasing end position; for equal-length occurrences
+    // of one pattern that is also increasing start position, so the first
+    // hit recorded per pattern is the earliest occurrence — the same span
+    // query.find() (and the reference DP's tie-breaking) reports.
+    ac.Scan(query_, [&first_hit](const match::AhoCorasick::Hit& hit) {
+      if (first_hit[static_cast<std::size_t>(hit.pattern_id)] == kNpos) {
+        first_hit[static_cast<std::size_t>(hit.pattern_id)] = hit.begin;
+      }
+    });
+    for (std::size_t index : eligible) {
+      auto it = dedup.find(inputs_[index].value);
+      if (it != dedup.end()) {
+        exact_pos_[index] = first_hit[static_cast<std::size_t>(it->second)];
+      }
+    }
+  } else {
+    for (std::size_t index : eligible) {
+      exact_pos_[index] = query_.find(inputs_[index].value);
+    }
+  }
+
+  // Stage 2 precomputation (seeding): the q-gram index is shared by every
+  // input that was not resolved exactly. Skip it when none needs it.
+  for (std::size_t index : eligible) {
+    if (exact_pos_[index] == kNpos) {
+      qgrams_.emplace(query_);
+      break;
+    }
+  }
+}
+
+std::size_t MatcherPipeline::ThresholdBound(std::size_t input_length) const {
+  return static_cast<std::size_t>(
+      std::ceil(config_.threshold * static_cast<double>(input_length) /
+                (1.0 - config_.threshold)));
+}
+
+match::SubstringMatch MatcherPipeline::Match(std::size_t index,
+                                             NtiResult& stats) const {
+  switch (config_.tier) {
+    case MatchTier::kReference:
+      ++stats.tier_reference;
+      return MatchReference(inputs_[index].value, stats);
+    case MatchTier::kBounded:
+      ++stats.tier_bounded;
+      return MatchBounded(inputs_[index].value, stats);
+    case MatchTier::kStaged: {
+      const std::string_view value = inputs_[index].value;
+      // Kernel eligibility and a well-defined bound gate the staged path;
+      // everything else takes the existing Sellers tier.
+      if (!match::MyersEligible(value) || config_.threshold >= 1.0) {
+        ++stats.tier_bounded;
+        return MatchBounded(value, stats);
+      }
+      ++stats.tier_staged;
+      return MatchStaged(index, stats);
+    }
+  }
+  ++stats.tier_reference;
+  return MatchReference(inputs_[index].value, stats);
+}
+
+match::SubstringMatch MatcherPipeline::MatchReference(std::string_view value,
+                                                      NtiResult& stats) const {
+  ++stats.dp_runs;
+  return match::BestSubstringMatch(query_, value);
+}
+
+match::SubstringMatch MatcherPipeline::MatchBounded(std::string_view value,
+                                                    NtiResult& stats) const {
+  if (config_.exact_fast_path) {
+    const std::size_t pos = query_.find(value);
+    if (pos != kNpos) {
+      ++stats.exact_hits;
+      return ExactMatch(pos, value.size());
+    }
+  }
+  ++stats.dp_runs;
+  if (config_.bounded_search && config_.threshold < 1.0) {
+    return match::BestSubstringMatchBounded(query_, value,
+                                            ThresholdBound(value.size()));
+  }
+  return match::BestSubstringMatch(query_, value);
+}
+
+match::SubstringMatch MatcherPipeline::MatchStaged(std::size_t index,
+                                                   NtiResult& stats) const {
+  const std::string_view value = inputs_[index].value;
+  if (exact_pos_[index] != kNpos) {
+    ++stats.exact_hits;
+    return ExactMatch(exact_pos_[index], value.size());
+  }
+  const std::size_t bound = ThresholdBound(value.size());
+  // No exact occurrence and only distance-0 matches can pass the ratio
+  // threshold: nothing to find.
+  if (bound == 0) return NoMatch(bound);
+  if (qgrams_ && qgrams_->Rejects(value, bound)) {
+    ++stats.seed_rejects;
+    return NoMatch(bound);
+  }
+  ++stats.seed_candidates;
+  if (match::MyersMinDistance(query_, value) > bound) {
+    ++stats.kernel_rejects;
+    return NoMatch(bound);
+  }
+  // A sub-bound match exists: run the reference DP for exact distance,
+  // span and tie-breaking. The bound can never prune it away (row minima
+  // are monotone, and the best final distance is <= bound).
+  ++stats.dp_runs;
+  return match::BestSubstringMatchBounded(query_, value, bound);
+}
+
+}  // namespace joza::nti

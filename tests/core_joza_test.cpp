@@ -221,6 +221,30 @@ TEST(Snapshot, ExactlyOneLexPerCheck) {
   EXPECT_EQ(sql::LexCallsForTest() - before, 1u);
 }
 
+TEST(Snapshot, NoInputCopiesPerCheckRequest) {
+  // The request-facing entry analyzes stored inputs as borrowed views;
+  // materializing per-Check copies (the old AllInputs() path) is a
+  // regression. Same counter idiom as ExactlyOneLexPerCheck.
+  Joza joza(RichFragments());
+  http::Request request = http::Request::Get(
+      "/page", {{"id", "17"}, {"q", "search term"}});
+  request.WithCookie("session", "abcdef123").WithHeader("user-agent", "Bot");
+
+  std::uint64_t before = http::InputCopiesForTest();
+  auto v = joza.CheckRequest("SELECT * FROM records WHERE ID=17 LIMIT 5",
+                             request);
+  EXPECT_FALSE(v.attack);
+  v = joza.CheckRequest(
+      "SELECT * FROM records WHERE ID=-1 UNION SELECT 9 LIMIT 5", request);
+  EXPECT_TRUE(v.attack);
+  EXPECT_EQ(http::InputCopiesForTest() - before, 0u);
+
+  // The compatibility path still copies — the counter itself works.
+  before = http::InputCopiesForTest();
+  const auto all = request.AllInputs();
+  EXPECT_EQ(http::InputCopiesForTest() - before, all.size());
+}
+
 // --- Component toggles -------------------------------------------------------
 
 TEST(Toggles, NtiOnlyMissesFigure4B) {

@@ -45,6 +45,50 @@ TEST(Request, AllInputsOrder) {
   EXPECT_EQ(all[3].name, "h");
 }
 
+TEST(Request, InputViewsMatchAllInputsOrderWithoutCopies) {
+  Request r = Request::Get("/", {{"g", "1x"}});
+  r.post_params.push_back({InputKind::kPost, "p", "2y"});
+  r.WithCookie("c", "3z").WithHeader("h", "4w");
+  const auto all = r.AllInputs();
+
+  const std::uint64_t before = InputCopiesForTest();
+  const auto views = r.InputViews();
+  EXPECT_EQ(InputCopiesForTest() - before, 0u);
+
+  ASSERT_EQ(views.size(), all.size());
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    EXPECT_EQ(views[i].kind, all[i].kind);
+    EXPECT_EQ(views[i].name, all[i].name);
+    EXPECT_EQ(views[i].value, all[i].value);
+  }
+  // The views alias the request's own storage.
+  EXPECT_EQ(views[0].value.data(), r.get_params[0].value.data());
+}
+
+TEST(Request, ForEachInputVisitsEverySourceInOrder) {
+  Request r = Request::Get("/", {{"g", "1"}});
+  r.post_params.push_back({InputKind::kPost, "p", "2"});
+  r.WithCookie("c", "3").WithHeader("h", "4");
+  std::string order;
+  r.ForEachInput([&order](const InputView& v) {
+    order += v.name;
+    order += v.value;
+  });
+  EXPECT_EQ(order, "g1p2c3h4");
+}
+
+TEST(ViewsOf, BorrowsWithoutCopying) {
+  const std::vector<Input> inputs = {{InputKind::kGet, "a", "hello"},
+                                     {InputKind::kCookie, "b", "world"}};
+  const std::uint64_t before = InputCopiesForTest();
+  const auto views = ViewsOf(inputs);
+  EXPECT_EQ(InputCopiesForTest() - before, 0u);
+  ASSERT_EQ(views.size(), 2u);
+  EXPECT_EQ(views[0].name, "a");
+  EXPECT_EQ(views[1].kind, InputKind::kCookie);
+  EXPECT_EQ(views[0].value.data(), inputs[0].value.data());
+}
+
 TEST(ParseQueryString, DecodesPairs) {
   auto inputs = ParseQueryString("id=5&q=a%20b&flag", InputKind::kGet);
   ASSERT_EQ(inputs.size(), 3u);

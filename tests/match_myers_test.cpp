@@ -1,0 +1,124 @@
+// The staged NTI matcher's filter kernels: the bit-parallel Myers distance
+// must agree exactly with the Sellers reference (it is used as a REJECT
+// filter, so any disagreement would change verdicts), and q-gram seeding
+// must be sound (never reject an input that has a within-bound match).
+#include "match/myers.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "match/levenshtein.h"
+#include "match/qgram.h"
+#include "match/substring.h"
+#include "util/rng.h"
+
+namespace joza::match {
+namespace {
+
+TEST(Myers, Eligibility) {
+  EXPECT_FALSE(MyersEligible(""));
+  EXPECT_TRUE(MyersEligible("a"));
+  EXPECT_TRUE(MyersEligible(std::string(64, 'x')));
+  EXPECT_FALSE(MyersEligible(std::string(65, 'x')));
+  EXPECT_FALSE(MyersEligible("caf\xC3\xA9"));  // non-ASCII falls back
+}
+
+TEST(Myers, ExactOccurrenceIsZero) {
+  EXPECT_EQ(MyersMinDistance("SELECT * FROM t WHERE id=-1 OR 1=1",
+                             "-1 OR 1=1"),
+            0u);
+}
+
+TEST(Myers, EmptyQueryCostsWholeInput) {
+  // The only substring of "" is "": distance = |input|.
+  EXPECT_EQ(MyersMinDistance("", "abc"), 3u);
+}
+
+TEST(Myers, KnownDistances) {
+  // One backslash inserted by escaping.
+  EXPECT_EQ(MyersMinDistance("WHERE a = 'x\\' OR 1'", "x' OR 1"), 1u);
+  // Nothing in common: best is the empty substring.
+  EXPECT_EQ(MyersMinDistance("zzzz", "qq"), 2u);
+}
+
+// Property: the kernel computes exactly the Sellers minimum — same value
+// the reference matcher reports. Random strings over small alphabets to
+// force interesting alignments.
+TEST(MyersProperty, AgreesWithSellersReference) {
+  Rng rng(2024);
+  for (int i = 0; i < 400; ++i) {
+    const std::size_t qlen = rng.NextBelow(60);
+    const std::size_t plen = 1 + rng.NextBelow(64);
+    std::string q, p;
+    const char base = rng.NextBool(0.5) ? 'a' : 'x';
+    for (std::size_t j = 0; j < qlen; ++j) {
+      q += static_cast<char>(base + rng.NextBelow(4));
+    }
+    for (std::size_t j = 0; j < plen; ++j) {
+      p += static_cast<char>(base + rng.NextBelow(4));
+    }
+    ASSERT_TRUE(MyersEligible(p));
+    EXPECT_EQ(MyersMinDistance(q, p), BestSubstringMatch(q, p).distance)
+        << q << " / " << p;
+  }
+}
+
+TEST(MyersProperty, WordBoundaryPatterns) {
+  // Exactly 64 pattern bytes: the high-bit bookkeeping has no slack.
+  Rng rng(31);
+  for (int i = 0; i < 60; ++i) {
+    std::string p = rng.NextToken(64);
+    std::string q = rng.NextToken(20 + rng.NextBelow(80));
+    EXPECT_EQ(MyersMinDistance(q, p), BestSubstringMatch(q, p).distance);
+    // Embedding the pattern drives the minimum to zero.
+    std::string q2 = rng.NextToken(10) + p + rng.NextToken(10);
+    EXPECT_EQ(MyersMinDistance(q2, p), 0u);
+  }
+}
+
+TEST(QGram, ShortInputsNeverRejected) {
+  QGramIndex index("SELECT 1");
+  EXPECT_FALSE(index.Rejects("a", 0));
+  EXPECT_FALSE(index.Rejects("", 5));
+}
+
+TEST(QGram, DisjointInputRejected) {
+  QGramIndex index("SELECT name FROM users");
+  // No bigram of "zzzzzzzz" occurs in the query; 0 shared grams but
+  // (8-2+1) - 1*2 = 5 required.
+  EXPECT_TRUE(index.Rejects("zzzzzzzz", 1));
+  // A large enough bound always disables the filter.
+  EXPECT_FALSE(index.Rejects("zzzzzzzz", 4));
+}
+
+TEST(QGram, CountPresent) {
+  QGramIndex index("abcd");
+  EXPECT_EQ(index.CountPresent("abcd"), 3u);   // ab, bc, cd
+  EXPECT_EQ(index.CountPresent("abxcd"), 2u);  // ab, cd
+  EXPECT_EQ(index.CountPresent("zz"), 0u);
+}
+
+// Soundness: whenever the true best substring distance is d, Rejects(input,
+// d) must be false — the filter may only discard inputs that genuinely
+// cannot match within the bound.
+TEST(QGramProperty, NeverRejectsAWithinBoundMatch) {
+  Rng rng(77);
+  for (int i = 0; i < 300; ++i) {
+    std::string q, p;
+    const std::size_t qlen = rng.NextBelow(50);
+    const std::size_t plen = 1 + rng.NextBelow(20);
+    for (std::size_t j = 0; j < qlen; ++j) {
+      q += static_cast<char>('a' + rng.NextBelow(5));
+    }
+    for (std::size_t j = 0; j < plen; ++j) {
+      p += static_cast<char>('a' + rng.NextBelow(5));
+    }
+    const std::size_t d = BestSubstringMatch(q, p).distance;
+    QGramIndex index(q);
+    EXPECT_FALSE(index.Rejects(p, d)) << q << " / " << p << " d=" << d;
+  }
+}
+
+}  // namespace
+}  // namespace joza::match

@@ -120,6 +120,21 @@ TEST(SubstringProperty, EmbeddedPatternFound) {
   }
 }
 
+// Regression: ties on distance favour the longer span (lower ratio),
+// regardless of which candidate appears first in the query. "abd" (one
+// deletion) and "abXcd" (one insertion) are both distance 1 from "abcd";
+// the length-5 span must win because 1/5 < 1/3.
+TEST(Substring, TieOnDistanceFavoursLongerSpan) {
+  for (const char* q : {"ii abd jj abXcd kk", "ii abXcd jj abd kk"}) {
+    auto m = BestSubstringMatch(q, "abcd");
+    EXPECT_EQ(m.distance, 1u) << q;
+    EXPECT_EQ(std::string_view(q).substr(m.span.begin, m.span.length()),
+              "abXcd")
+        << q;
+    EXPECT_DOUBLE_EQ(m.ratio, 0.2) << q;
+  }
+}
+
 TEST(Substring, PaperFigure2CExample) {
   // Part C of Figure 2: escaped input inside a comment block drives the
   // difference ratio above the threshold.

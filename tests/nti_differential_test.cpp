@@ -3,9 +3,13 @@
 // bounded DP with pruning) must never change the verdict.
 #include <gtest/gtest.h>
 
+#include "attack/catalog.h"
+#include "attack/evasion.h"
+#include "attack/exploit.h"
 #include "match/levenshtein.h"
 #include "nti/nti.h"
 #include "sqlparse/lexer.h"
+#include "util/codec.h"
 #include "util/rng.h"
 
 namespace joza::nti {
@@ -106,6 +110,135 @@ TEST_P(NtiDifferentialTest, OptimizedMatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, NtiDifferentialTest,
                          ::testing::Values(10, 20, 30, 40));
+
+// --- Staged pipeline vs reference tier: full-result equality --------------
+//
+// The staged engine (multi-pattern exact scan, q-gram seeding, Myers reject
+// kernel, bounded verification) claims verdict-identity with the reference
+// Sellers tier: same attack bit, same marking spans, same tainted critical
+// tokens. These tests enforce it over randomized corpora (plain ASCII and
+// URL-encoded payloads, including the >64-byte and non-ASCII inputs that
+// exercise the kernel fallback) and over the full attack catalog, at
+// several threshold values.
+
+bool SameOutcome(const NtiResult& a, const NtiResult& b) {
+  if (a.attack_detected != b.attack_detected) return false;
+  if (a.markings.size() != b.markings.size()) return false;
+  for (std::size_t i = 0; i < a.markings.size(); ++i) {
+    const TaintMarking& ma = a.markings[i];
+    const TaintMarking& mb = b.markings[i];
+    if (ma.span.begin != mb.span.begin || ma.span.end != mb.span.end ||
+        ma.distance != mb.distance || ma.input_name != mb.input_name ||
+        ma.input_kind != mb.input_kind || ma.ratio != mb.ratio) {
+      return false;
+    }
+  }
+  if (a.tainted_critical_tokens.size() != b.tainted_critical_tokens.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.tainted_critical_tokens.size(); ++i) {
+    if (a.tainted_critical_tokens[i].span.begin !=
+            b.tainted_critical_tokens[i].span.begin ||
+        a.tainted_critical_tokens[i].span.end !=
+            b.tainted_critical_tokens[i].span.end) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ExpectTierParity(std::string_view query,
+                      const std::vector<http::Input>& inputs,
+                      double threshold) {
+  NtiConfig cfg;
+  cfg.threshold = threshold;
+  cfg.tier = MatchTier::kReference;
+  const NtiResult ref = NtiAnalyzer(cfg).Analyze(query, inputs);
+  cfg.tier = MatchTier::kBounded;
+  const NtiResult bounded = NtiAnalyzer(cfg).Analyze(query, inputs);
+  cfg.tier = MatchTier::kStaged;
+  const NtiResult staged = NtiAnalyzer(cfg).Analyze(query, inputs);
+  EXPECT_TRUE(SameOutcome(staged, ref))
+      << "staged diverged at t=" << threshold << " query: " << query;
+  EXPECT_TRUE(SameOutcome(bounded, ref))
+      << "bounded diverged at t=" << threshold << " query: " << query;
+}
+
+constexpr double kThresholds[] = {0.0, 0.10, 0.20, 0.40};
+
+class StagedFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StagedFuzzTest, RandomCorporaAllTiersAgree) {
+  Rng rng(GetParam());
+  static const char* kTemplates[] = {
+      "SELECT a FROM t WHERE x = ",
+      "SELECT a FROM t WHERE s = 'v' AND x = ",
+      "UPDATE t SET a = 1 WHERE k = ",
+      "SELECT login, pass FROM wp_users WHERE id = ",
+  };
+  static const char* kPayloads[] = {
+      "1 OR 1=1",    "9",       "abc", "1 UNION SELECT x",
+      "zz' OR 'a'='a", "-1 or 1=1 union select login, pass from wp_users",
+  };
+
+  for (int i = 0; i < 150; ++i) {
+    std::string payload;
+    if (rng.NextBool(0.5)) {
+      payload = kPayloads[rng.NextBelow(std::size(kPayloads))];
+      if (rng.NextBool(0.5) && !payload.empty()) {
+        payload.insert(rng.NextBelow(payload.size()), 1,
+                       static_cast<char>('a' + rng.NextBelow(26)));
+      }
+    } else {
+      payload = rng.NextToken(1 + rng.NextBelow(14));
+    }
+    // Kernel-fallback shapes: oversized (>64 byte) and non-ASCII inputs.
+    if (rng.NextBool(0.1)) payload.append(70, 'q');
+    if (rng.NextBool(0.1) && !payload.empty()) {
+      payload[rng.NextBelow(payload.size())] = static_cast<char>(0xE2);
+    }
+
+    // The query sees a (possibly different) variant of the payload; the
+    // stored input is sometimes still transport-encoded (an application
+    // that decodes twice), driving edit distance through %-escapes.
+    std::string in_query = payload;
+    if (rng.NextBool(0.3) && !in_query.empty()) {
+      in_query.erase(rng.NextBelow(in_query.size()), 1);
+    }
+    std::string stored = payload;
+    if (rng.NextBool(0.3)) stored = UrlEncode(payload);
+
+    const std::string query =
+        std::string(kTemplates[rng.NextBelow(std::size(kTemplates))]) +
+        in_query;
+    const std::vector<http::Input> inputs = {
+        {http::InputKind::kGet, "p", stored},
+        {http::InputKind::kCookie, "session", rng.NextToken(12)},
+        {http::InputKind::kHeader, "x-trace", rng.NextToken(6)},
+    };
+    ExpectTierParity(query, inputs, kThresholds[i % std::size(kThresholds)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StagedFuzzTest,
+                         ::testing::Values(1000, 2000, 3000));
+
+TEST(StagedCatalogTest, AttackCatalogAllTiersAgree) {
+  for (const attack::PluginSpec& p : attack::PluginCatalog()) {
+    const attack::Exploit orig = attack::OriginalExploit(p);
+    std::vector<std::string> payloads = {orig.payload};
+    const attack::NtiMutation m =
+        attack::MutateForNtiEvasion(p, orig, NtiConfig{});
+    if (m.possible) payloads.push_back(m.exploit.payload);
+    for (const std::string& payload : payloads) {
+      const std::string query = attack::QueryFor(p, payload);
+      const std::vector<http::Input> inputs = attack::InputsFor(p, payload);
+      for (double threshold : kThresholds) {
+        ExpectTierParity(query, inputs, threshold);
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace joza::nti

@@ -9,6 +9,8 @@
 #include "http/request.h"
 #include "nti/nti.h"
 #include "pti/pti.h"
+#include "sqlparse/critical.h"
+#include "sqlparse/lexer.h"
 #include "webapp/application.h"
 
 namespace joza {
@@ -99,8 +101,13 @@ TEST_F(SecondOrderTest, NtiBlindToSecondOrder) {
 
   nti::NtiAnalyzer nti;
   bool nti_detects = false;
+  const std::vector<http::InputView> views = firing.InputViews();
   for (const std::string& q : queries) {
-    if (nti.Analyze(q, firing.AllInputs()).attack_detected) nti_detects = true;
+    const auto critical =
+        sql::CriticalTokens(sql::Lex(q), nti.config().strict_tokens);
+    if (nti.AnalyzeCritical(q, critical, views).attack_detected) {
+      nti_detects = true;
+    }
   }
   EXPECT_FALSE(nti_detects)
       << "the firing request carries no attack input for NTI to correlate";
@@ -200,7 +207,10 @@ TEST(PayloadConstruction, NtiMissesPtiCatchesJozaBlocks) {
   ASSERT_FALSE(q.empty());
 
   nti::NtiAnalyzer nti;
-  EXPECT_FALSE(nti.Analyze(q, attack.AllInputs()).attack_detected)
+  EXPECT_FALSE(nti.AnalyzeCritical(
+                      q, sql::CriticalTokens(sql::Lex(q), false),
+                      attack.InputViews())
+                   .attack_detected)
       << "no single input covers a whole critical token";
   pti::PtiAnalyzer pti(php::FragmentSet::FromSources(app->sources()));
   EXPECT_TRUE(pti.Analyze(q).attack_detected);

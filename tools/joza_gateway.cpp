@@ -188,6 +188,10 @@ int main(int argc, char** argv) {
   std::printf("ruleset:     version %llu, %zu snapshot swaps\n",
               static_cast<unsigned long long>(js.ruleset_version),
               js.ruleset_swaps);
+  std::printf("nti match:   %zu exact hits, %zu seed candidates, %zu DP runs; "
+              "tiers %zu ref / %zu bounded / %zu staged\n",
+              js.nti_exact_hits, js.nti_seed_candidates, js.nti_dp_runs,
+              js.nti_tier_reference, js.nti_tier_bounded, js.nti_tier_staged);
   const auto bs = joza.breaker().stats();
   std::printf("degraded:    mode %s, %zu pti failures, %zu degraded checks, "
               "%zu degraded blocks, %zu breaker fast-rejects\n",
