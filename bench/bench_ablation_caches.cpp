@@ -1,8 +1,9 @@
 // Ablation: the two PTI caches — hit rates and how many full PTI analyses
 // each configuration avoids on a realistic mixed workload.
 #include "attack/catalog.h"
-#include "perf_util.h"
-#include "report.h"
+#include "benchkit/serve.h"
+#include "core/joza.h"
+#include "benchkit/metrics.h"
 
 using namespace joza;
 
@@ -21,7 +22,7 @@ int main() {
 
   const auto workload = attack::MakeMixedWorkload(400, 0.3, 13);
 
-  bench::Table table({"Configuration", "Queries", "Query-cache hits",
+  benchkit::Table table({"Configuration", "Queries", "Query-cache hits",
                       "Structure hits", "Full PTI runs", "Time (s)"});
   for (const Config& cfg : configs) {
     auto app = attack::MakeTestbed();
@@ -30,12 +31,12 @@ int main() {
     jc.structure_cache = cfg.structure_cache;
     core::Joza joza = core::Joza::Install(*app, jc);
     app->SetQueryGate(joza.MakeGate());
-    const double secs = bench::ServeOnce(*app, workload);
+    const double secs = benchkit::ServeOnce(*app, workload);
     const core::JozaStats& s = joza.stats();
     table.AddRow({cfg.name, std::to_string(s.queries_checked),
                   std::to_string(s.query_cache_hits),
                   std::to_string(s.structure_cache_hits),
-                  std::to_string(s.pti_full_runs), bench::Num(secs)});
+                  std::to_string(s.pti_full_runs), benchkit::Num(secs)});
   }
   table.Print(
       "Ablation: PTI cache tiers on a 30%-write workload "

@@ -1,363 +1,11 @@
-// Ablation: matching engines, both detectors.
-//
-// Phase 1 (PTI): Aho-Corasick automaton vs the paper's per-fragment scan
-// (with and without the MRU + parse-first optimizations) as the fragment
-// vocabulary grows. Informational rows.
-//
-// Phase 2 (NTI): the staged matcher pipeline (multi-pattern exact scan,
-// q-gram seeding, Myers reject kernel, bounded verification) vs the bounded
-// and reference Sellers tiers on a benign many-input workload. GATING: the
-// staged tier must deliver at least 2x the reference tier's throughput.
-//
-// Phase 3 (parity): staged vs reference full-result equality — attack bit,
-// marking spans, tainted critical tokens — over the attack catalog
-// (originals + NTI evasions) and a randomized corpus, at several threshold
-// values. GATING: zero differences.
-//
-// Exits nonzero when a gate fails; CI's bench-smoke job runs this.
-#include <chrono>
-#include <cstdio>
-#include <string>
-#include <vector>
+// Thin wrapper: the matcher-ablation workload now lives in
+// src/benchkit/suite_smoke.cpp. This binary keeps the historical entry
+// point and exit-code contract (0 = gates passed, 1 = a gate failed, with
+// every failure naming the offending metric and threshold). Run
+// `tools/joza_bench --suite smoke` for the JSON-emitting, baseline-checked
+// version of the same workload.
+#include "benchkit/runner.h"
 
-#include "attack/catalog.h"
-#include "attack/evasion.h"
-#include "attack/exploit.h"
-#include "attack/workload.h"
-#include "http/request.h"
-#include "nti/nti.h"
-#include "phpsrc/fragments.h"
-#include "pti/pti.h"
-#include "report.h"
-#include "sqlparse/critical.h"
-#include "sqlparse/lexer.h"
-#include "util/rng.h"
-#include "webapp/application.h"
-
-using namespace joza;
-
-namespace {
-
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
-// --- Phase 1: PTI fragment matching --------------------------------------
-
-php::FragmentSet MakeVocabulary(std::size_t extra_fragments) {
-  auto app = attack::MakeTestbed();
-  php::FragmentSet set = php::FragmentSet::FromSources(app->sources());
-  Rng rng(42);
-  for (std::size_t i = 0; i < extra_fragments; ++i) {
-    set.AddRaw("SELECT " + rng.NextToken(8) + " FROM " + rng.NextToken(8) +
-               " WHERE " + rng.NextToken(6) + " = ");
-  }
-  return set;
-}
-
-void PtiAblation() {
-  const char* kBenignQuery = "SELECT title, views FROM wp_posts WHERE id = 7";
-  const char* kAttackQuery =
-      "SELECT title, views FROM wp_posts WHERE id = -1 "
-      "union select login, pass from wp_users";
-
-  struct Variant {
-    const char* name;
-    bool aho_corasick;
-    bool parse_first;
-    std::size_t mru;
-  };
-  const Variant kVariants[] = {
-      {"aho-corasick", true, false, 0},
-      {"scan+mru+parse-first", false, true, 64},
-      {"naive scan", false, false, 0},
-  };
-
-  bench::Table table({"PTI matcher", "Vocabulary", "us/query"});
-  for (std::size_t extra : {std::size_t{100}, std::size_t{1600}}) {
-    php::FragmentSet vocab = MakeVocabulary(extra);
-    for (const Variant& v : kVariants) {
-      pti::PtiConfig cfg;
-      cfg.use_aho_corasick = v.aho_corasick;
-      cfg.parse_first = v.parse_first;
-      cfg.mru_size = v.mru;
-      pti::PtiAnalyzer pti(vocab, cfg);
-      const int kIters = 200;
-      int detected = 0;
-      const auto start = std::chrono::steady_clock::now();
-      for (int i = 0; i < kIters; ++i) {
-        detected += pti.Analyze(kBenignQuery).attack_detected ? 1 : 0;
-        detected += pti.Analyze(kAttackQuery).attack_detected ? 1 : 0;
-      }
-      const double secs = SecondsSince(start);
-      if (detected != kIters) {
-        std::printf("PTI ablation sanity failed: %d/%d attack verdicts\n",
-                    detected, kIters);
-      }
-      table.AddRow({v.name, std::to_string(vocab.size()),
-                    bench::Num(secs / (2.0 * kIters) * 1e6, 2)});
-    }
-  }
-  table.Print("Ablation: PTI fragment matching");
-}
-
-// --- Phase 2: NTI matcher tiers ------------------------------------------
-
-struct NtiSample {
-  std::string query;
-  std::vector<http::Input> inputs;       // owned storage
-  std::vector<http::InputView> views;    // borrows from `inputs`
-  std::vector<sql::Token> critical;
-};
-
-// Benign (query, inputs) pairs harvested from the workload generators,
-// widened with extra benign inputs so every check is many-input (the shape
-// the multi-pattern exact stage is built for).
-std::vector<NtiSample> HarvestBenignSamples(std::size_t extra_inputs) {
-  auto app = attack::MakeTestbed();
-  std::vector<NtiSample> samples;
-  std::vector<attack::WorkloadRequest> reqs;
-  for (auto& w : attack::MakeCrawlWorkload(60, 1)) reqs.push_back(w);
-  for (auto& w : attack::MakeCommentWorkload(40, 2)) reqs.push_back(w);
-  for (auto& w : attack::MakeSearchWorkload(40, 3)) reqs.push_back(w);
-  for (const auto& wr : reqs) {
-    app->SetQueryGate([&](std::string_view sql, const http::Request& r) {
-      samples.push_back({std::string(sql), r.AllInputs(), {}, {}});
-      return webapp::GateDecision{};
-    });
-    app->Handle(wr.request);
-  }
-  app->SetQueryGate(nullptr);
-
-  Rng rng(7);
-  for (NtiSample& s : samples) {
-    for (std::size_t i = 0; i < extra_inputs; ++i) {
-      s.inputs.push_back({http::InputKind::kHeader, "x-" + rng.NextToken(4),
-                          rng.NextToken(5 + rng.NextBelow(18))});
-    }
-    s.views = http::ViewsOf(s.inputs);
-    s.critical = sql::CriticalTokens(sql::Lex(s.query), false);
-  }
-  return samples;
-}
-
-struct TierRun {
-  double checks_per_sec = 0.0;
-  std::size_t attacks = 0;
-  nti::NtiResult totals;  // summed diagnostics
-};
-
-TierRun RunTier(nti::MatchTier tier, const std::vector<NtiSample>& samples,
-                int passes) {
-  nti::NtiConfig cfg;
-  cfg.tier = tier;
-  const nti::NtiAnalyzer analyzer(cfg);
-  TierRun run;
-  // Warmup pass (also collects the per-input diagnostics once).
-  for (const NtiSample& s : samples) {
-    nti::NtiResult r = analyzer.AnalyzeCritical(s.query, s.critical, s.views);
-    run.totals.exact_hits += r.exact_hits;
-    run.totals.seed_rejects += r.seed_rejects;
-    run.totals.seed_candidates += r.seed_candidates;
-    run.totals.kernel_rejects += r.kernel_rejects;
-    run.totals.dp_runs += r.dp_runs;
-    run.totals.tier_reference += r.tier_reference;
-    run.totals.tier_bounded += r.tier_bounded;
-    run.totals.tier_staged += r.tier_staged;
-  }
-  const auto start = std::chrono::steady_clock::now();
-  for (int p = 0; p < passes; ++p) {
-    for (const NtiSample& s : samples) {
-      if (analyzer.AnalyzeCritical(s.query, s.critical, s.views)
-              .attack_detected) {
-        ++run.attacks;
-      }
-    }
-  }
-  const double secs = SecondsSince(start);
-  run.checks_per_sec =
-      static_cast<double>(samples.size()) * passes / (secs > 0 ? secs : 1e-9);
-  return run;
-}
-
-// --- Phase 3: staged vs reference parity ---------------------------------
-
-bool SameOutcome(const nti::NtiResult& a, const nti::NtiResult& b) {
-  if (a.attack_detected != b.attack_detected) return false;
-  if (a.markings.size() != b.markings.size()) return false;
-  for (std::size_t i = 0; i < a.markings.size(); ++i) {
-    const nti::TaintMarking& ma = a.markings[i];
-    const nti::TaintMarking& mb = b.markings[i];
-    if (ma.span.begin != mb.span.begin || ma.span.end != mb.span.end ||
-        ma.distance != mb.distance || ma.input_name != mb.input_name) {
-      return false;
-    }
-  }
-  if (a.tainted_critical_tokens.size() != b.tainted_critical_tokens.size()) {
-    return false;
-  }
-  for (std::size_t i = 0; i < a.tainted_critical_tokens.size(); ++i) {
-    const sql::Token& ta = a.tainted_critical_tokens[i];
-    const sql::Token& tb = b.tainted_critical_tokens[i];
-    if (ta.span.begin != tb.span.begin || ta.span.end != tb.span.end) {
-      return false;
-    }
-  }
-  return true;
-}
-
-struct ParityCase {
-  std::string query;
-  std::vector<http::Input> inputs;
-};
-
-std::vector<ParityCase> CatalogCases() {
-  std::vector<ParityCase> cases;
-  for (const attack::PluginSpec& p : attack::PluginCatalog()) {
-    attack::Exploit orig = attack::OriginalExploit(p);
-    cases.push_back({attack::QueryFor(p, orig.payload),
-                     attack::InputsFor(p, orig.payload)});
-    nti::NtiConfig reference;
-    attack::NtiMutation m = attack::MutateForNtiEvasion(p, orig, reference);
-    if (m.possible) {
-      cases.push_back({attack::QueryFor(p, m.exploit.payload),
-                       attack::InputsFor(p, m.exploit.payload)});
-    }
-  }
-  return cases;
-}
-
-std::vector<ParityCase> RandomCases(std::uint64_t seed, int count) {
-  static const char* kTemplates[] = {
-      "SELECT a FROM t WHERE x = ",
-      "SELECT a FROM t WHERE s = 'v' AND x = ",
-      "UPDATE t SET a = 1 WHERE k = ",
-  };
-  static const char* kPayloads[] = {
-      "1 OR 1=1", "9", "abc", "1 UNION SELECT x", "zz' OR 'a'='a",
-  };
-  Rng rng(seed);
-  std::vector<ParityCase> cases;
-  for (int i = 0; i < count; ++i) {
-    std::string payload;
-    if (rng.NextBool(0.5)) {
-      payload = kPayloads[rng.NextBelow(std::size(kPayloads))];
-      if (rng.NextBool(0.5) && !payload.empty()) {
-        payload.insert(rng.NextBelow(payload.size()), 1,
-                       static_cast<char>('a' + rng.NextBelow(26)));
-      }
-    } else {
-      payload = rng.NextToken(1 + rng.NextBelow(12));
-    }
-    // Occasionally force the staged tier's fallbacks: oversized (>64 byte)
-    // and non-ASCII payloads take the bounded path and must stay identical.
-    if (rng.NextBool(0.1)) payload += std::string(70, 'a' + i % 26);
-    if (rng.NextBool(0.1) && !payload.empty()) {
-      payload[rng.NextBelow(payload.size())] = static_cast<char>(0xC3);
-    }
-    std::string in_query = payload;
-    if (rng.NextBool(0.3) && !in_query.empty()) {
-      in_query.erase(rng.NextBelow(in_query.size()), 1);
-    }
-    cases.push_back(
-        {std::string(kTemplates[rng.NextBelow(std::size(kTemplates))]) +
-             in_query,
-         {{http::InputKind::kGet, "p", payload},
-          {http::InputKind::kCookie, "session", rng.NextToken(16)}}});
-  }
-  return cases;
-}
-
-std::size_t CountMismatches(const std::vector<ParityCase>& cases,
-                            double threshold) {
-  nti::NtiConfig staged_cfg;
-  staged_cfg.threshold = threshold;
-  staged_cfg.tier = nti::MatchTier::kStaged;
-  nti::NtiConfig ref_cfg = staged_cfg;
-  ref_cfg.tier = nti::MatchTier::kReference;
-  const nti::NtiAnalyzer staged(staged_cfg);
-  const nti::NtiAnalyzer reference(ref_cfg);
-  std::size_t mismatches = 0;
-  for (const ParityCase& c : cases) {
-    if (!SameOutcome(staged.Analyze(c.query, c.inputs),
-                     reference.Analyze(c.query, c.inputs))) {
-      ++mismatches;
-    }
-  }
-  return mismatches;
-}
-
-}  // namespace
-
-int main() {
-  PtiAblation();
-
-  // Phase 2: benign many-input throughput, gated.
-  const std::vector<NtiSample> samples = HarvestBenignSamples(20);
-  std::size_t total_inputs = 0;
-  for (const NtiSample& s : samples) total_inputs += s.inputs.size();
-  const int kPasses = 30;
-
-  bench::Table nti_table({"NTI tier", "checks/s", "exact", "seed rej",
-                          "kernel rej", "DP runs", "speedup vs ref"});
-  const TierRun ref = RunTier(nti::MatchTier::kReference, samples, kPasses);
-  const TierRun bounded = RunTier(nti::MatchTier::kBounded, samples, kPasses);
-  const TierRun staged = RunTier(nti::MatchTier::kStaged, samples, kPasses);
-  auto add_row = [&](const char* name, const TierRun& run) {
-    nti_table.AddRow({name, bench::Num(run.checks_per_sec, 0),
-                      std::to_string(run.totals.exact_hits),
-                      std::to_string(run.totals.seed_rejects),
-                      std::to_string(run.totals.kernel_rejects),
-                      std::to_string(run.totals.dp_runs),
-                      bench::Num(run.checks_per_sec / ref.checks_per_sec, 2)});
-  };
-  add_row("reference", ref);
-  add_row("bounded", bounded);
-  add_row("staged", staged);
-  nti_table.Print("Ablation: NTI matcher tiers (" +
-                  std::to_string(samples.size()) + " benign checks, " +
-                  std::to_string(total_inputs) + " inputs)");
-
-  bool ok = true;
-  if (ref.attacks != 0 || bounded.attacks != 0 || staged.attacks != 0) {
-    std::printf("FAIL: benign workload flagged (ref %zu, bounded %zu, "
-                "staged %zu)\n",
-                ref.attacks, bounded.attacks, staged.attacks);
-    ok = false;
-  }
-  const double speedup = staged.checks_per_sec / ref.checks_per_sec;
-  if (speedup < 2.0) {
-    std::printf("FAIL: staged tier speedup %.2fx < 2.0x gate\n", speedup);
-    ok = false;
-  } else {
-    std::printf("gate: staged %.2fx reference throughput (>= 2.0x)\n",
-                speedup);
-  }
-
-  // Phase 3: parity sweep, gated.
-  const std::vector<ParityCase> catalog_cases = CatalogCases();
-  const std::vector<ParityCase> random_cases = RandomCases(99, 300);
-  bench::Table parity({"Threshold", "Catalog diffs", "Random diffs"});
-  std::size_t total_diffs = 0;
-  for (double threshold : {0.0, 0.10, 0.20, 0.40}) {
-    const std::size_t cd = CountMismatches(catalog_cases, threshold);
-    const std::size_t rd = CountMismatches(random_cases, threshold);
-    total_diffs += cd + rd;
-    parity.AddRow({bench::Num(threshold, 2),
-                   std::to_string(cd) + "/" +
-                       std::to_string(catalog_cases.size()),
-                   std::to_string(rd) + "/" +
-                       std::to_string(random_cases.size())});
-  }
-  parity.Print("Parity: staged vs reference (full-result equality)");
-  if (total_diffs != 0) {
-    std::printf("FAIL: %zu staged-vs-reference differences\n", total_diffs);
-    ok = false;
-  } else {
-    std::printf("gate: staged is verdict-identical to reference\n");
-  }
-
-  return ok ? 0 : 1;
+int main(int argc, char** argv) {
+  return joza::benchkit::LegacyGateMain("smoke", argc, argv);
 }

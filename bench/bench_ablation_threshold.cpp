@@ -10,7 +10,7 @@
 #include "attack/exploit.h"
 #include "attack/workload.h"
 #include "nti/nti.h"
-#include "report.h"
+#include "benchkit/metrics.h"
 
 using namespace joza;
 
@@ -40,7 +40,7 @@ int main() {
     app->SetQueryGate(nullptr);
   }
 
-  bench::Table table({"Threshold", "Originals detected", "Evasions detected",
+  benchkit::Table table({"Threshold", "Originals detected", "Evasions detected",
                       "Benign flagged", "Quotes to re-evade"});
   for (double threshold : {0.05, 0.10, 0.20, 0.30, 0.40, 0.45}) {
     nti::NtiConfig cfg;
@@ -82,7 +82,7 @@ int main() {
             ? 0
             : static_cast<std::size_t>(threshold * base / (1 - 2 * threshold)) +
                   1;
-    table.AddRow({bench::Num(threshold, 2),
+    table.AddRow({benchkit::Num(threshold, 2),
                   std::to_string(originals) + "/" +
                       std::to_string(catalog.size()),
                   std::to_string(evasions_detected) + "/" +

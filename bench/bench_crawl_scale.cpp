@@ -6,8 +6,9 @@
 // (front page + 1000 post pages), the resulting query count, cache hit
 // accounting and per-query analysis cost under full Joza protection.
 #include "attack/catalog.h"
-#include "perf_util.h"
-#include "report.h"
+#include "benchkit/serve.h"
+#include "core/joza.h"
+#include "benchkit/metrics.h"
 
 using namespace joza;
 
@@ -26,20 +27,20 @@ int main() {
 
   // Unprotected baseline (one unmeasured warm-up crawl first so the
   // process/allocator cold start doesn't land in the baseline).
-  bench::ServeOnce(*app, crawl);
-  const double plain = bench::ServeOnce(*app, crawl);
+  benchkit::ServeOnce(*app, crawl);
+  const double plain = benchkit::ServeOnce(*app, crawl);
 
   core::Joza joza = core::Joza::Install(*app);
   app->SetQueryGate(joza.MakeGate());
   // First crawl: cold caches (the installer just ran).
-  const double cold = bench::ServeOnce(*app, crawl);
+  const double cold = benchkit::ServeOnce(*app, crawl);
   const core::JozaStats after_cold = joza.stats();
   // Second crawl: steady state.
-  const double warm = bench::ServeOnce(*app, crawl);
+  const double warm = benchkit::ServeOnce(*app, crawl);
   const core::JozaStats after_warm = joza.stats();
   app->SetQueryGate(nullptr);
 
-  bench::Table table({"Metric", "Value", "Paper"});
+  benchkit::Table table({"Metric", "Value", "Paper"});
   table.AddRow({"Unique URLs crawled", std::to_string(crawl.size()), "1001"});
   table.AddRow({"SQL queries per crawl",
                 std::to_string(after_cold.queries_checked), "~20,000"});
@@ -55,13 +56,13 @@ int main() {
       (after_warm.query_cache_hits - after_cold.query_cache_hits) +
       (after_warm.structure_cache_hits - after_cold.structure_cache_hits);
   table.AddRow({"Warm-crawl cache hit rate",
-                bench::Pct(static_cast<double>(warm_hits) /
+                benchkit::Pct(static_cast<double>(warm_hits) /
                            static_cast<double>(warm_queries)),
                 "high"});
-  table.AddRow({"Crawl time plain (s)", bench::Num(plain), "-"});
-  table.AddRow({"Crawl time cold (s)", bench::Num(cold), "-"});
-  table.AddRow({"Crawl time warm (s)", bench::Num(warm), "-"});
-  table.AddRow({"Warm overhead", bench::Pct(bench::Overhead(plain, warm)),
+  table.AddRow({"Crawl time plain (s)", benchkit::Num(plain), "-"});
+  table.AddRow({"Crawl time cold (s)", benchkit::Num(cold), "-"});
+  table.AddRow({"Crawl time warm (s)", benchkit::Num(warm), "-"});
+  table.AddRow({"Warm overhead", benchkit::Pct(benchkit::Overhead(plain, warm)),
                 "<4% (read)"});
   table.AddRow({"False positives", std::to_string(after_warm.attacks_detected),
                 "0"});

@@ -6,8 +6,9 @@
 // every uncached PTI analysis through the persistent daemon's pipes.
 #include "attack/catalog.h"
 #include "ipc/daemon.h"
-#include "perf_util.h"
-#include "report.h"
+#include "benchkit/serve.h"
+#include "core/joza.h"
+#include "benchkit/metrics.h"
 
 using namespace joza;
 
@@ -32,8 +33,8 @@ int main() {
     auto plain_app = attack::MakeTestbed();
     core::Joza joza = core::Joza::Install(*app, jc);
     app->SetQueryGate(joza.MakeGate());
-    bench::ServeOnce(*app, make(1));
-    const auto timing = bench::MeasurePair(*plain_app, *app, make, kReps, 900);
+    benchkit::ServeOnce(*app, make(1));
+    const auto timing = benchkit::MeasurePair(*plain_app, *app, make, kReps, 900);
     plain = timing.plain;
     ext_time = timing.protected_time;
     app->SetQueryGate(nullptr);
@@ -48,19 +49,19 @@ int main() {
     client.Ping();
     joza.SetPtiBackend(client.AsPtiBackend());
     app->SetQueryGate(joza.MakeGate());
-    bench::ServeOnce(*app, make(1));
-    const auto timing = bench::MeasurePair(*plain_app, *app, make, kReps, 900);
+    benchkit::ServeOnce(*app, make(1));
+    const auto timing = benchkit::MeasurePair(*plain_app, *app, make, kReps, 900);
     daemon_time = timing.protected_time;
     app->SetQueryGate(nullptr);
   }
 
-  bench::Table table({"Deployment", "Time (s)", "Overhead vs plain",
+  benchkit::Table table({"Deployment", "Time (s)", "Overhead vs plain",
                       "Paper (50% writes)"});
-  table.AddRow({"No protection", bench::Num(plain), "-", "-"});
-  table.AddRow({"PTI as extension (in-process)", bench::Num(ext_time),
-                bench::Pct(bench::Overhead(plain, ext_time)), "1.7%"});
-  table.AddRow({"PTI via user-level daemon", bench::Num(daemon_time),
-                bench::Pct(bench::Overhead(plain, daemon_time)), "8.96%"});
+  table.AddRow({"No protection", benchkit::Num(plain), "-", "-"});
+  table.AddRow({"PTI as extension (in-process)", benchkit::Num(ext_time),
+                benchkit::Pct(benchkit::Overhead(plain, ext_time)), "1.7%"});
+  table.AddRow({"PTI via user-level daemon", benchkit::Num(daemon_time),
+                benchkit::Pct(benchkit::Overhead(plain, daemon_time)), "8.96%"});
   table.Print(
       "Section VI-C: extension vs user-level daemon deployment estimate");
   return 0;

@@ -4,7 +4,7 @@
 // and what the attacker gets once Joza is installed.
 #include "attack/extractor.h"
 #include "core/joza.h"
-#include "report.h"
+#include "benchkit/metrics.h"
 
 using namespace joza;
 
@@ -23,7 +23,7 @@ int main() {
   const char* targets[] = {"Count per Day", "Eventify", "MyStat",
                            "Advertiser"};
 
-  bench::Table table({"Target", "Channel", "Requests (open)",
+  benchkit::Table table({"Target", "Channel", "Requests (open)",
                       "Secret recovered", "Requests (Joza)",
                       "Recovered under Joza"});
   for (const char* name : targets) {

@@ -10,7 +10,7 @@
 #include "attack/catalog.h"
 #include "ipc/daemon.h"
 #include "phpsrc/fragments.h"
-#include "report.h"
+#include "benchkit/metrics.h"
 #include "util/stopwatch.h"
 
 using namespace joza;
@@ -74,21 +74,21 @@ int main() {
   }
   const double match_ms = watch.ElapsedSeconds() / n * 1e3;
 
-  bench::Table table({"PTI tier", "ms / query", "Breakdown"});
-  table.AddRow({"Unoptimized (process per query)", bench::Num(unopt_ms, 3),
+  benchkit::Table table({"PTI tier", "ms / query", "Breakdown"});
+  table.AddRow({"Unoptimized (process per query)", benchkit::Num(unopt_ms, 3),
                 "spawn + index build + IPC + match"});
-  table.AddRow({"Optimized (persistent daemon)", bench::Num(opt_ms, 3),
+  table.AddRow({"Optimized (persistent daemon)", benchkit::Num(opt_ms, 3),
                 "IPC + match"});
-  table.AddRow({"  of which matching (in-process)", bench::Num(match_ms, 3),
+  table.AddRow({"  of which matching (in-process)", benchkit::Num(match_ms, 3),
                 "match only"});
   table.Print("Figure 7: PTI per-request breakdown");
 
   const double reduction = (unopt_ms - opt_ms) / unopt_ms;
-  bench::Table summary({"Metric", "Measured", "Paper"});
-  summary.AddRow({"Daemon processing-time reduction", bench::Pct(reduction, 1),
+  benchkit::Table summary({"Metric", "Measured", "Paper"});
+  summary.AddRow({"Daemon processing-time reduction", benchkit::Pct(reduction, 1),
                   "66%"});
   summary.AddRow({"Per-query daemon spawn overhead (ms)",
-                  bench::Num(unopt_ms - opt_ms, 3), "(dominant)"});
+                  benchkit::Num(unopt_ms - opt_ms, 3), "(dominant)"});
   summary.Print("Figure 7 (derived): optimization effect");
   return 0;
 }

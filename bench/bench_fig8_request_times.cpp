@@ -4,8 +4,9 @@
 // (dynamic queries, structure-cache hits), writes cost the most
 // (textually-new queries).
 #include "attack/catalog.h"
-#include "perf_util.h"
-#include "report.h"
+#include "benchkit/serve.h"
+#include "core/joza.h"
+#include "benchkit/metrics.h"
 
 using namespace joza;
 
@@ -22,11 +23,11 @@ int main() {
       {"Random searching", &attack::MakeSearchWorkload},
   };
 
-  bench::Table table({"Request type", "Plain (s)", "With Joza (s)",
+  benchkit::Table table({"Request type", "Plain (s)", "With Joza (s)",
                       "Overhead"});
   // Per-phase NTI matcher breakdown: where the staged pipeline resolved the
   // inputs of each workload's checks (exact scan, seeding+kernel, full DP).
-  bench::Table matcher({"Request type", "Checks", "Exact hits", "Seed cand",
+  benchkit::Table matcher({"Request type", "Checks", "Exact hits", "Seed cand",
                         "DP runs", "Staged share"});
   constexpr int kReps = 8;
   for (const Row& row : rows) {
@@ -37,14 +38,14 @@ int main() {
     auto prot_app = attack::MakeTestbed();
     core::Joza joza = core::Joza::Install(*prot_app);
     prot_app->SetQueryGate(joza.MakeGate());
-    bench::ServeOnce(*prot_app, make(1));  // warm caches (unmeasured seed)
+    benchkit::ServeOnce(*prot_app, make(1));  // warm caches (unmeasured seed)
     joza.ResetStats();                     // count only the measured reps
     const auto timing =
-        bench::MeasurePair(*plain_app, *prot_app, make, kReps, 100);
+        benchkit::MeasurePair(*plain_app, *prot_app, make, kReps, 100);
 
-    table.AddRow({row.name, bench::Num(timing.plain),
-                  bench::Num(timing.protected_time),
-                  bench::Pct(timing.overhead())});
+    table.AddRow({row.name, benchkit::Num(timing.plain),
+                  benchkit::Num(timing.protected_time),
+                  benchkit::Pct(timing.overhead())});
     const core::JozaStats js = joza.stats();
     const std::size_t decided =
         js.nti_tier_reference + js.nti_tier_bounded + js.nti_tier_staged;
@@ -54,7 +55,7 @@ int main() {
                     std::to_string(js.nti_dp_runs),
                     decided == 0
                         ? "-"
-                        : bench::Pct(static_cast<double>(js.nti_tier_staged) /
+                        : benchkit::Pct(static_cast<double>(js.nti_tier_staged) /
                                      static_cast<double>(decided))});
   }
   table.Print(

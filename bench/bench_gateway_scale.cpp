@@ -1,369 +1,11 @@
-// Over-the-wire scaling of the concurrent protection gateway.
-//
-// The paper deploys Joza inside a single Apache worker; this bench measures
-// what the gateway layer adds on top: HTTP/1.1 keep-alive, a worker pool
-// sharing ONE Joza engine (sharded caches, atomic stats), and graceful
-// overload behaviour. Three questions:
-//
-//   1. Throughput: QPS of the gateway at 1/2/4/8 workers vs the seed's
-//      single-threaded HTTP/1.0 server, both protected by Joza.
-//   2. Protection cost on the wire: gateway with vs without Joza.
-//   3. Consistency: concurrent serving must produce exactly the verdicts
-//      sequential serving produces (same blocked count, same stats).
-//
-// Note: on a single-core container the worker rows measure keep-alive and
-// pipeline overlap rather than true CPU parallelism; the >1 worker rows
-// separate from the baseline mostly by dropping the per-request TCP
-// handshake.
-#include <algorithm>
-#include <atomic>
-#include <chrono>
-#include <cstdio>
-#include <thread>
-#include <vector>
+// Thin wrapper: the gateway-scaling/snapshot-churn workload now lives in
+// src/benchkit/suite_churn.cpp. This binary keeps the historical entry
+// point and exit-code contract (0 = gates passed, 1 = a gate failed, with
+// every failure naming the offending metric and threshold). Run
+// `tools/joza_bench --suite churn` for the JSON-emitting, baseline-checked
+// version of the same workload.
+#include "benchkit/runner.h"
 
-#include "attack/catalog.h"
-#include "attack/exploit.h"
-#include "attack/workload.h"
-#include "core/joza.h"
-#include "gateway/client.h"
-#include "gateway/gateway.h"
-#include "report.h"
-#include "webapp/http_server.h"
-
-using namespace joza;
-
-namespace {
-
-struct RunResult {
-  double seconds = 0;
-  double p50_ms = 0;
-  double p99_ms = 0;
-  std::size_t requests = 0;
-  std::size_t failures = 0;
-  double qps() const { return requests / seconds; }
-};
-
-double Percentile(std::vector<double>& sorted_ms, double p) {
-  if (sorted_ms.empty()) return 0;
-  const std::size_t idx = std::min(
-      sorted_ms.size() - 1,
-      static_cast<std::size_t>(p * static_cast<double>(sorted_ms.size())));
-  return sorted_ms[idx];
-}
-
-// Drives `clients` threads. `make_sender(c)` runs inside thread `c` and
-// returns a callable `bool(std::size_t i)` that ships request i; per-thread
-// state (a keep-alive connection) lives and dies with the thread, so no
-// idle connection pins a gateway worker after its slice is done.
-template <typename MakeSender>
-RunResult DriveClients(std::size_t clients, std::size_t per_client,
-                       MakeSender&& make_sender) {
-  std::vector<std::vector<double>> latencies(clients);
-  std::atomic<std::size_t> failures{0};
-  const auto start = std::chrono::steady_clock::now();
-  std::vector<std::thread> threads;
-  for (std::size_t c = 0; c < clients; ++c) {
-    threads.emplace_back([&, c] {
-      auto send_one = make_sender(c);
-      latencies[c].reserve(per_client);
-      for (std::size_t i = 0; i < per_client; ++i) {
-        const auto t0 = std::chrono::steady_clock::now();
-        if (!send_one(i)) failures.fetch_add(1);
-        const auto t1 = std::chrono::steady_clock::now();
-        latencies[c].push_back(
-            std::chrono::duration<double, std::milli>(t1 - t0).count());
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-  const auto end = std::chrono::steady_clock::now();
-
-  RunResult r;
-  r.seconds = std::chrono::duration<double>(end - start).count();
-  r.requests = clients * per_client;
-  r.failures = failures.load();
-  std::vector<double> all;
-  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
-  std::sort(all.begin(), all.end());
-  r.p50_ms = Percentile(all, 0.50);
-  r.p99_ms = Percentile(all, 0.99);
-  return r;
-}
-
-std::vector<std::string> SerializeCrawl(std::size_t count,
-                                        std::uint64_t seed) {
-  std::vector<std::string> raw;
-  for (const attack::WorkloadRequest& wr :
-       attack::MakeCrawlWorkload(count, seed)) {
-    raw.push_back(gateway::SerializeRequest(wr.request, /*keep_alive=*/true));
-  }
-  return raw;
-}
-
-}  // namespace
-
-int main() {
-  constexpr std::size_t kClients = 8;
-  constexpr std::size_t kPerClient = 150;
-  const std::vector<std::string> crawl = SerializeCrawl(256, /*seed=*/2015);
-
-  bench::Table table(
-      {"Server", "Workers", "Joza", "QPS", "p50 ms", "p99 ms", "Fail"});
-
-  // --- Baseline: the seed's single-threaded HTTP/1.0 server --------------
-  double baseline_qps = 0;
-  {
-    auto app = attack::MakeTestbed();
-    core::Joza joza = core::Joza::Install(*app);
-    app->SetQueryGate(joza.MakeGate());
-    webapp::HttpServer server(*app);
-    auto port = server.Start();
-    if (!port.ok()) {
-      std::fprintf(stderr, "baseline start failed: %s\n",
-                   port.status().ToString().c_str());
-      return 1;
-    }
-    RunResult r = DriveClients(kClients, kPerClient, [&](std::size_t c) {
-      return [&, c](std::size_t i) {
-        // HTTP/1.0 model: fresh connection per request.
-        auto resp = webapp::FetchRaw(
-            port.value(), crawl[(c * kPerClient + i) % crawl.size()]);
-        return resp.ok();
-      };
-    });
-    baseline_qps = r.qps();
-    table.AddRow({"http/1.0 seed", "1", "yes", bench::Num(r.qps(), 0),
-                  bench::Num(r.p50_ms, 3), bench::Num(r.p99_ms, 3),
-                  std::to_string(r.failures)});
-    server.Stop();
-    app->SetQueryGate(nullptr);
-  }
-
-  // --- Gateway at increasing worker counts, shared Joza engine -----------
-  double gateway8_qps = 0;
-  for (std::size_t workers : {1u, 2u, 4u, 8u}) {
-    auto proto = attack::MakeTestbed();
-    core::JozaConfig config;
-    config.cache_capacity = 1 << 16;
-    core::Joza joza = core::Joza::Install(*proto, config);
-    gateway::GatewayConfig gcfg;
-    gcfg.workers = workers;
-    gateway::GatewayServer server([] { return attack::MakeTestbed(); }, &joza,
-                                  gcfg);
-    auto port = server.Start();
-    if (!port.ok()) {
-      std::fprintf(stderr, "gateway start failed\n");
-      return 1;
-    }
-    RunResult r = DriveClients(kClients, kPerClient, [&](std::size_t c) {
-      auto conn = std::make_shared<gateway::KeepAliveClient>(port.value());
-      return [&, conn, c](std::size_t i) {
-        auto resp =
-            conn->RoundTrip(crawl[(c * kPerClient + i) % crawl.size()]);
-        return resp.ok();
-      };
-    });
-    if (workers == 8) gateway8_qps = r.qps();
-    table.AddRow({"gateway", std::to_string(workers), "yes",
-                  bench::Num(r.qps(), 0), bench::Num(r.p50_ms, 3),
-                  bench::Num(r.p99_ms, 3), std::to_string(r.failures)});
-    server.Stop();
-  }
-
-  // --- Gateway without Joza: the wire/threading floor ---------------------
-  {
-    gateway::GatewayConfig gcfg;
-    gcfg.workers = 8;
-    gateway::GatewayServer server([] { return attack::MakeTestbed(); },
-                                  nullptr, gcfg);
-    auto port = server.Start();
-    if (!port.ok()) return 1;
-    RunResult r = DriveClients(kClients, kPerClient, [&](std::size_t c) {
-      auto conn = std::make_shared<gateway::KeepAliveClient>(port.value());
-      return [&, conn, c](std::size_t i) {
-        auto resp =
-            conn->RoundTrip(crawl[(c * kPerClient + i) % crawl.size()]);
-        return resp.ok();
-      };
-    });
-    table.AddRow({"gateway", "8", "no", bench::Num(r.qps(), 0),
-                  bench::Num(r.p50_ms, 3), bench::Num(r.p99_ms, 3),
-                  std::to_string(r.failures)});
-    server.Stop();
-  }
-
-  table.Print("Gateway scaling (8 keep-alive clients, crawl workload)");
-  std::printf("\nGateway x8 vs single-threaded HTTP/1.0 baseline: %.2fx\n",
-              gateway8_qps / baseline_qps);
-
-  // --- Snapshot churn: lock-free readers vs RCU ruleset swaps -------------
-  // Same 8-worker gateway, same traffic, run twice: once read-only and once
-  // with a background thread swapping ruleset snapshots the whole time.
-  // With a lock-free analyze path the readers should barely notice the
-  // churn; this doubles as the CI regression gate for the RCU design.
-  auto churn_pass = [&](bool churn) -> std::pair<RunResult, std::size_t> {
-    auto proto = attack::MakeTestbed();
-    core::JozaConfig config;
-    config.cache_capacity = 1 << 16;
-    core::Joza joza = core::Joza::Install(*proto, config);
-    gateway::GatewayConfig gcfg;
-    gcfg.workers = 8;
-    gateway::GatewayServer server([] { return attack::MakeTestbed(); }, &joza,
-                                  gcfg);
-    auto port = server.Start();
-    if (!port.ok()) {
-      std::fprintf(stderr, "churn gateway start failed\n");
-      std::exit(1);
-    }
-    std::atomic<bool> stop{false};
-    std::thread churner;
-    if (churn) {
-      churner = std::thread([&] {
-        std::size_t i = 0;
-        while (!stop.load(std::memory_order_relaxed)) {
-          joza.OnSourcesChanged(
-              {{"churn.php",
-                "$q = 'SELECT col" + std::to_string(i++) + " FROM t';"}});
-          std::this_thread::sleep_for(std::chrono::milliseconds(2));
-        }
-      });
-    }
-    RunResult r = DriveClients(kClients, kPerClient, [&](std::size_t c) {
-      auto conn = std::make_shared<gateway::KeepAliveClient>(port.value());
-      return [&, conn, c](std::size_t i) {
-        auto resp =
-            conn->RoundTrip(crawl[(c * kPerClient + i) % crawl.size()]);
-        return resp.ok();
-      };
-    });
-    stop.store(true);
-    if (churner.joinable()) churner.join();
-    const std::size_t swaps = joza.stats().ruleset_swaps;
-    server.Stop();
-    return {r, swaps};
-  };
-  const auto [read_only, ro_swaps] = churn_pass(false);
-  const auto [churned, churn_swaps] = churn_pass(true);
-
-  bench::Table churn_table(
-      {"Mode", "Swaps", "QPS", "p50 ms", "p99 ms", "Fail"});
-  churn_table.AddRow({"read-only", std::to_string(ro_swaps),
-                      bench::Num(read_only.qps(), 0),
-                      bench::Num(read_only.p50_ms, 3),
-                      bench::Num(read_only.p99_ms, 3),
-                      std::to_string(read_only.failures)});
-  churn_table.AddRow({"snapshot churn", std::to_string(churn_swaps),
-                      bench::Num(churned.qps(), 0),
-                      bench::Num(churned.p50_ms, 3),
-                      bench::Num(churned.p99_ms, 3),
-                      std::to_string(churned.failures)});
-  churn_table.Print("Reader cost of ruleset snapshot churn (8 workers)");
-
-  // Regression gate: churn may cost readers at most 25% of p99/throughput.
-  // The small absolute grace keeps sub-millisecond timer noise from
-  // flaking CI while still catching any reader-side lock contention,
-  // which shows up as multi-millisecond p99 jumps.
-  const double p99_limit = read_only.p99_ms * 1.25 + 0.25;
-  const double qps_floor = read_only.qps() * 0.75;
-  if (churned.p99_ms > p99_limit) {
-    std::fprintf(stderr,
-                 "FAIL: churn reader p99 %.3f ms exceeds limit %.3f ms "
-                 "(read-only p99 %.3f ms + 25%%)\n",
-                 churned.p99_ms, p99_limit, read_only.p99_ms);
-    return 1;
-  }
-  if (churned.qps() < qps_floor) {
-    std::fprintf(stderr,
-                 "FAIL: churn throughput %.0f qps below floor %.0f qps "
-                 "(read-only %.0f qps - 25%%)\n",
-                 churned.qps(), qps_floor, read_only.qps());
-    return 1;
-  }
-  std::printf("\nOK: %zu snapshot swaps cost readers <=25%% "
-              "(p99 %.3f -> %.3f ms)\n",
-              churn_swaps, read_only.p99_ms, churned.p99_ms);
-
-  // --- Verdict consistency: sequential vs concurrent ----------------------
-  // Mixed benign/attack traffic must block exactly the same requests no
-  // matter how many workers race on the shared engine.
-  std::vector<std::pair<std::string, bool>> mixed;  // raw request, is_attack
-  for (const attack::WorkloadRequest& wr :
-       attack::MakeCrawlWorkload(96, /*seed=*/7)) {
-    mixed.push_back(
-        {gateway::SerializeRequest(wr.request, /*keep_alive=*/true), false});
-  }
-  for (const auto* plugin : attack::TestbedPlugins()) {
-    // Raw payloads without per-plugin transport encoding: what matters here
-    // is that sequential and concurrent serving agree on the SAME bytes,
-    // not that every exploit lands.
-    attack::Exploit e = attack::OriginalExploit(*plugin);
-    mixed.push_back(
-        {gateway::SerializeRequest(
-             http::Request::Get(plugin->route, {{plugin->param, e.payload}}),
-             /*keep_alive=*/true),
-         true});
-  }
-
-  // Sequential reference: one app, one engine, in-process Handle calls.
-  std::size_t sequential_blocked = 0;
-  std::size_t sequential_attacks = 0;
-  {
-    auto app = attack::MakeTestbed();
-    core::Joza joza = core::Joza::Install(*app);
-    app->SetQueryGate(joza.MakeGate());
-    for (const auto& [raw, is_attack] : mixed) {
-      auto request = http::ParseRawRequest(raw);
-      if (!request.ok()) continue;
-      if (app->Handle(request.value()).status == 500) ++sequential_blocked;
-    }
-    sequential_attacks = joza.stats().attacks_detected;
-    app->SetQueryGate(nullptr);
-  }
-
-  // Concurrent: same traffic interleaved across 8 client threads.
-  std::size_t concurrent_blocked = 0;
-  std::size_t concurrent_attacks = 0;
-  {
-    auto proto = attack::MakeTestbed();
-    core::JozaConfig config;
-    config.cache_capacity = 1 << 16;
-    core::Joza joza = core::Joza::Install(*proto, config);
-    gateway::GatewayConfig gcfg;
-    gcfg.workers = 8;
-    gateway::GatewayServer server([] { return attack::MakeTestbed(); }, &joza,
-                                  gcfg);
-    auto port = server.Start();
-    if (!port.ok()) return 1;
-    std::atomic<std::size_t> blocked{0};
-    std::vector<std::thread> threads;
-    for (std::size_t c = 0; c < kClients; ++c) {
-      threads.emplace_back([&, c] {
-        gateway::KeepAliveClient client(port.value());
-        for (std::size_t i = c; i < mixed.size(); i += kClients) {
-          auto resp = client.RoundTrip(mixed[i].first);
-          if (resp.ok() && resp->find("500") < resp->find("\r\n")) {
-            blocked.fetch_add(1);
-          }
-        }
-      });
-    }
-    for (auto& t : threads) t.join();
-    concurrent_blocked = blocked.load();
-    concurrent_attacks = joza.stats().attacks_detected;
-    server.Stop();
-  }
-
-  bench::Table consistency({"Mode", "Blocked (500)", "Attacks detected"});
-  consistency.AddRow({"sequential", std::to_string(sequential_blocked),
-                      std::to_string(sequential_attacks)});
-  consistency.AddRow({"gateway x8", std::to_string(concurrent_blocked),
-                      std::to_string(concurrent_attacks)});
-  consistency.Print("Verdict consistency, mixed benign/attack traffic");
-  if (sequential_blocked != concurrent_blocked) {
-    std::fprintf(stderr, "FAIL: concurrent verdicts diverged\n");
-    return 1;
-  }
-  std::printf("\nOK: concurrent verdicts identical to sequential.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return joza::benchkit::LegacyGateMain("churn", argc, argv);
 }

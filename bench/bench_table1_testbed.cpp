@@ -4,7 +4,7 @@
 #include <map>
 
 #include "attack/catalog.h"
-#include "report.h"
+#include "benchkit/metrics.h"
 
 int main() {
   using namespace joza;
@@ -12,7 +12,7 @@ int main() {
   for (const attack::PluginSpec* p : attack::TestbedPlugins()) {
     ++counts[p->type];
   }
-  bench::Table table({"Attack Type", "No. of Plugins", "Paper"});
+  benchkit::Table table({"Attack Type", "No. of Plugins", "Paper"});
   table.AddRow({"Union Based",
                 std::to_string(counts[attack::AttackType::kUnionBased]), "15"});
   table.AddRow({"Standard Blind",

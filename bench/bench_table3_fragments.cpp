@@ -4,7 +4,7 @@
 
 #include "attack/catalog.h"
 #include "phpsrc/fragments.h"
-#include "report.h"
+#include "benchkit/metrics.h"
 
 int main() {
   using namespace joza;
@@ -15,7 +15,7 @@ int main() {
   const char* paper_samples[] = {"UNION",    "AND",      "OR",    "SELECT",
                                  "CHAR",     "#",        "\"",    "`",
                                  "GROUP BY", "ORDER BY", "CAST",  "WHERE 1"};
-  bench::Table presence({"Paper Table III fragment", "Present in corpus"});
+  benchkit::Table presence({"Paper Table III fragment", "Present in corpus"});
   for (const char* f : paper_samples) {
     bool found = set.Contains(f);
     if (!found) {
@@ -39,7 +39,7 @@ int main() {
             [](const std::string& a, const std::string& b) {
               return a.size() < b.size() || (a.size() == b.size() && a < b);
             });
-  bench::Table sample({"Extracted fragment (shortest 20 of " +
+  benchkit::Table sample({"Extracted fragment (shortest 20 of " +
                        std::to_string(texts.size()) + ")"});
   for (std::size_t i = 0; i < texts.size() && i < 20; ++i) {
     sample.AddRow({"\"" + texts[i] + "\""});

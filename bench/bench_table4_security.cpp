@@ -14,7 +14,7 @@
 #include "nti/nti.h"
 #include "phpsrc/fragments.h"
 #include "pti/pti.h"
-#include "report.h"
+#include "benchkit/metrics.h"
 
 using namespace joza;
 
@@ -35,7 +35,7 @@ int main() {
   pti::PtiAnalyzer pti_an(php::FragmentSet::FromSources(app->sources()));
   core::Joza joza = core::Joza::Install(*app);
 
-  bench::Table table({"Plugin / Application", "Version", "CVE/OSVDB",
+  benchkit::Table table({"Plugin / Application", "Version", "CVE/OSVDB",
                       "SQL Vulnerability", "NTI Orig", "NTI Mut", "PTI Orig",
                       "PTI Mut", "Joza"});
 

@@ -11,8 +11,9 @@
 // cache.
 #include "attack/catalog.h"
 #include "ipc/daemon.h"
-#include "perf_util.h"
-#include "report.h"
+#include "benchkit/serve.h"
+#include "core/joza.h"
+#include "benchkit/metrics.h"
 
 using namespace joza;
 
@@ -43,9 +44,9 @@ double MeasureOverhead(MakeWorkload&& make, const Config& cfg) {
   prot_app->SetQueryGate(joza.MakeGate());
   // Warm-up on an unmeasured workload so read caches reach steady state,
   // as in the paper's crawl; the measured workloads are fresh.
-  bench::ServeOnce(*prot_app, make(1));
+  benchkit::ServeOnce(*prot_app, make(1));
   const auto timing =
-      bench::MeasurePair(*plain_app, *prot_app, make, kReps, 1000);
+      benchkit::MeasurePair(*plain_app, *prot_app, make, kReps, 1000);
   prot_app->SetQueryGate(nullptr);
   return timing.overhead();
 }
@@ -66,7 +67,7 @@ int main() {
       {"query + structure cache", true, true},
   };
 
-  bench::Table table({"PTI configuration", "Read overhead", "Write overhead",
+  benchkit::Table table({"PTI configuration", "Read overhead", "Write overhead",
                       "Paper read", "Paper write"});
   const char* paper_read[] = {"(high)", "<4%", "<4%"};
   const char* paper_write[] = {"(high)", "34%", "12%"};
@@ -74,7 +75,7 @@ int main() {
   for (const Config& cfg : configs) {
     double r = MeasureOverhead(reads, cfg);
     double w = MeasureOverhead(writes, cfg);
-    table.AddRow({cfg.name, bench::Pct(r), bench::Pct(w), paper_read[i],
+    table.AddRow({cfg.name, benchkit::Pct(r), benchkit::Pct(w), paper_read[i],
                   paper_write[i]});
     ++i;
   }

@@ -6,8 +6,9 @@
 // the query cache.
 #include "attack/catalog.h"
 #include "ipc/daemon.h"
-#include "perf_util.h"
-#include "report.h"
+#include "benchkit/serve.h"
+#include "core/joza.h"
+#include "benchkit/metrics.h"
 
 using namespace joza;
 
@@ -24,7 +25,7 @@ int main() {
       {0.01, " 1% writes / 99% reads", "4.03%"},
   };
 
-  bench::Table table({"Workload", "Plain time (s)", "Protected time (s)",
+  benchkit::Table table({"Workload", "Plain time (s)", "Protected time (s)",
                       "Overhead", "Paper overhead"});
   for (const Mix& mix : mixes) {
     const auto make = [&mix](std::uint64_t seed) {
@@ -43,15 +44,15 @@ int main() {
     daemon.Ping();
     joza.SetPtiBackend(daemon.AsPtiBackend());
     prot_app->SetQueryGate(joza.MakeGate());
-    bench::ServeOnce(*prot_app, make(1));  // cache warm-up (unmeasured seed)
+    benchkit::ServeOnce(*prot_app, make(1));  // cache warm-up (unmeasured seed)
 
     const auto timing =
-        bench::MeasurePair(*plain_app, *prot_app, make, kReps, 500);
+        benchkit::MeasurePair(*plain_app, *prot_app, make, kReps, 500);
     prot_app->SetQueryGate(nullptr);
 
-    table.AddRow({mix.label, bench::Num(timing.plain),
-                  bench::Num(timing.protected_time),
-                  bench::Pct(timing.overhead()), mix.paper});
+    table.AddRow({mix.label, benchkit::Num(timing.plain),
+                  benchkit::Num(timing.protected_time),
+                  benchkit::Pct(timing.overhead()), mix.paper});
   }
   table.Print("Table VI: Joza overhead on different workloads");
   return 0;

@@ -6,24 +6,24 @@
 // activity reports (the original table's values are not in the paper text
 // available to us); the derived write fraction is the experiment's output.
 #include "attack/workload.h"
-#include "report.h"
+#include "benchkit/metrics.h"
 
 int main() {
   using namespace joza;
-  bench::Table table({"Year", "New posts (M)", "New pages (M)",
+  benchkit::Table table({"Year", "New posts (M)", "New pages (M)",
                       "New comments (M)", "RPC posts (M)", "Page views (M)"});
   for (const attack::WpComYearStats& y : attack::WordpressComStats()) {
-    table.AddRow({std::to_string(y.year), bench::Num(y.new_posts_millions, 0),
-                  bench::Num(y.new_pages_millions, 1),
-                  bench::Num(y.new_comments_millions, 0),
-                  bench::Num(y.rpc_posts_millions, 1),
-                  bench::Num(y.page_views_millions, 0)});
+    table.AddRow({std::to_string(y.year), benchkit::Num(y.new_posts_millions, 0),
+                  benchkit::Num(y.new_pages_millions, 1),
+                  benchkit::Num(y.new_comments_millions, 0),
+                  benchkit::Num(y.rpc_posts_millions, 1),
+                  benchkit::Num(y.page_views_millions, 0)});
   }
   table.Print("Table VII: WordPress.com activity (synthesized per-year stats)");
 
   const double wf = attack::WpComWriteFraction();
-  bench::Table derived({"Derived quantity", "Value", "Paper"});
-  derived.AddRow({"Write fraction of all requests", bench::Pct(wf),
+  benchkit::Table derived({"Derived quantity", "Value", "Paper"});
+  derived.AddRow({"Write fraction of all requests", benchkit::Pct(wf),
                   "< 1%"});
   derived.AddRow({"Expected Joza overhead (Table VI band)",
                   wf < 0.01 ? "< the 1%-writes row" : "see Table VI",

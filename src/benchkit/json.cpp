@@ -1,0 +1,326 @@
+#include "benchkit/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace joza::benchkit {
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendNumber(std::string& out, double v) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan; degrade to null
+    out += "null";
+    return;
+  }
+  // Integers (the common case: counters, versions) print without a
+  // fractional part so baselines stay exact and readable.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    out += buf;
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  out += buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StatusOr<Json> Parse() {
+    StatusOr<Json> v = ParseValue();
+    if (!v.ok()) return v;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Status FailStatus(const std::string& what) {
+    return Status::ParseError(what + " at offset " + std::to_string(pos_));
+  }
+  StatusOr<Json> Fail(const std::string& what) {
+    return StatusOr<Json>(FailStatus(what));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<Json> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      StatusOr<std::string> s = ParseString();
+      if (!s.ok()) return StatusOr<Json>(s.status());
+      return StatusOr<Json>(Json(std::move(s).value()));
+    }
+    if (ConsumeWord("true")) return StatusOr<Json>(Json(true));
+    if (ConsumeWord("false")) return StatusOr<Json>(Json(false));
+    if (ConsumeWord("null")) return StatusOr<Json>(Json());
+    return ParseNumber();
+  }
+
+  StatusOr<Json> ParseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    const std::string num = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(num.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("bad number '" + num + "'");
+    return StatusOr<Json>(Json(v));
+  }
+
+  StatusOr<std::string> ParseString() {
+    if (!Consume('"')) {
+      return StatusOr<std::string>(FailStatus("expected '\"'"));
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return StatusOr<std::string>(std::move(out));
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return StatusOr<std::string>(
+                  FailStatus("truncated \\u escape"));
+            }
+            const std::string hex = text_.substr(pos_, 4);
+            pos_ += 4;
+            char* end = nullptr;
+            const long code = std::strtol(hex.c_str(), &end, 16);
+            if (end == nullptr || *end != '\0') {
+              return StatusOr<std::string>(FailStatus("bad \\u escape"));
+            }
+            // Our emitter only escapes control characters; decode the
+            // Latin-1 range and store anything else as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return StatusOr<std::string>(FailStatus("bad escape"));
+        }
+      } else {
+        out += c;
+      }
+    }
+    return StatusOr<std::string>(FailStatus("unterminated string"));
+  }
+
+  StatusOr<Json> ParseArray() {
+    if (!Consume('[')) return Fail("expected '['");
+    JsonArray items;
+    if (Consume(']')) return StatusOr<Json>(Json(std::move(items)));
+    while (true) {
+      StatusOr<Json> v = ParseValue();
+      if (!v.ok()) return v;
+      items.push_back(std::move(v).value());
+      if (Consume(']')) return StatusOr<Json>(Json(std::move(items)));
+      if (!Consume(',')) return Fail("expected ',' or ']'");
+    }
+  }
+
+  StatusOr<Json> ParseObject() {
+    if (!Consume('{')) return Fail("expected '{'");
+    JsonObject fields;
+    if (Consume('}')) return StatusOr<Json>(Json(std::move(fields)));
+    while (true) {
+      SkipWhitespace();
+      StatusOr<std::string> key = ParseString();
+      if (!key.ok()) return StatusOr<Json>(key.status());
+      if (!Consume(':')) return Fail("expected ':'");
+      StatusOr<Json> v = ParseValue();
+      if (!v.ok()) return v;
+      fields.emplace_back(std::move(key).value(), std::move(v).value());
+      if (Consume('}')) return StatusOr<Json>(Json(std::move(fields)));
+      if (!Consume(',')) return Fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Json* Json::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::Set(std::string key, Json value) {
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  type_ = Type::kObject;
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+void Json::DumpTo(std::string& out, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  const std::string pad_in(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: AppendNumber(out, number_); break;
+    case Type::kString: AppendEscaped(out, string_); break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        out += pad_in;
+        array_[i].DumpTo(out, indent + 1);
+        if (i + 1 < array_.size()) out += ",";
+        out += "\n";
+      }
+      out += pad + "]";
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        out += pad_in;
+        AppendEscaped(out, object_[i].first);
+        out += ": ";
+        object_[i].second.DumpTo(out, indent + 1);
+        if (i + 1 < object_.size()) out += ",";
+        out += "\n";
+      }
+      out += pad + "}";
+      break;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(out, 0);
+  out += "\n";
+  return out;
+}
+
+StatusOr<Json> Json::Parse(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+StatusOr<Json> ReadJsonFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return StatusOr<Json>(Status::NotFound("no such file: " + path));
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    return StatusOr<Json>(Status::Internal("read failed: " + path));
+  }
+  return Json::Parse(buf.str());
+}
+
+Status WriteJsonFile(const std::string& path, const Json& value) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open for write: " + path);
+  out << value.Dump();
+  out.flush();
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace joza::benchkit

@@ -1,0 +1,85 @@
+// Minimal JSON model for the BENCH_*.json files: a value type with
+// insertion-ordered objects, a writer with stable two-space indentation
+// (diff-friendly baselines under version control), and a strict
+// recursive-descent parser. No external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace joza::benchkit {
+
+class Json;
+using JsonArray = std::vector<Json>;
+// Insertion-ordered: emitted files keep a stable field order run to run.
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double d) : type_(Type::kNumber), number_(d) {}
+  Json(int i) : type_(Type::kNumber), number_(i) {}
+  Json(std::int64_t i)
+      : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  Json(std::uint64_t u)
+      : type_(Type::kNumber), number_(static_cast<double>(u)) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(JsonArray a) : type_(Type::kArray), array_(std::move(a)) {}
+  Json(JsonObject o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; wrong-type access returns the neutral value rather
+  // than asserting (comparators must survive malformed baselines).
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double AsNumber(double fallback = 0) const {
+    return is_number() ? number_ : fallback;
+  }
+  const std::string& AsString() const { return string_; }
+  const JsonArray& AsArray() const { return array_; }
+  const JsonObject& AsObject() const { return object_; }
+
+  // Object helpers. Find returns nullptr when absent or not an object.
+  const Json* Find(const std::string& key) const;
+  void Set(std::string key, Json value);  // replaces an existing key
+
+  // Serializes with two-space indentation and a trailing newline at the
+  // top level (git-friendly).
+  std::string Dump() const;
+
+  static StatusOr<Json> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string& out, int indent) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+// File round trip. ReadJsonFile distinguishes "missing file" (kNotFound)
+// from "unreadable/unparsable" (kInternal / kInvalidArgument).
+StatusOr<Json> ReadJsonFile(const std::string& path);
+Status WriteJsonFile(const std::string& path, const Json& value);
+
+}  // namespace joza::benchkit

@@ -1,0 +1,52 @@
+#include "benchkit/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace joza::benchkit {
+
+double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  if (sorted.size() == 1) return sorted.front();
+  p = std::clamp(p, 0.0, 1.0);
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  return PercentileSorted(samples, p);
+}
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  // Only the other recorder's steady-state samples carry over; warmup
+  // samples are phase-local noise by definition.
+  samples_.insert(samples_.end(), other.samples_.begin() + other.warmup_end_,
+                  other.samples_.end());
+}
+
+LatencySummary LatencyRecorder::Summary() const {
+  LatencySummary s;
+  std::vector<double> steady(samples_.begin() + warmup_end_, samples_.end());
+  s.count = steady.size();
+  if (steady.empty()) return s;
+  double total = 0;
+  for (double v : steady) total += v;
+  s.mean = total / static_cast<double>(steady.size());
+  std::sort(steady.begin(), steady.end());
+  s.p50 = PercentileSorted(steady, 0.50);
+  s.p95 = PercentileSorted(steady, 0.95);
+  s.p99 = PercentileSorted(steady, 0.99);
+  s.max = steady.back();
+  return s;
+}
+
+double LatencyRecorder::Qps(double steady_seconds) const {
+  if (steady_seconds <= 0) return 0;
+  return static_cast<double>(count()) / steady_seconds;
+}
+
+}  // namespace joza::benchkit

@@ -1,0 +1,35 @@
+#include "benchkit/registry.h"
+
+#include "benchkit/suites.h"
+
+namespace joza::benchkit {
+
+const std::vector<SuiteSpec>& Suites() {
+  static const std::vector<SuiteSpec> kSuites = {
+      {"smoke",
+       "CI gate: NTI matcher tiers + verdict parity + engine workload",
+       RunSmokeSuite},
+      {"benign_wp",
+       "WordPress.com-shaped benign mixes: protection overhead + caches",
+       RunBenignWpSuite},
+      {"attack_heavy",
+       "full exploit catalog end-to-end: detection + false positives",
+       RunAttackHeavySuite},
+      {"churn",
+       "concurrent gateway under ruleset snapshot churn + consistency",
+       RunChurnSuite},
+      {"degraded",
+       "gateway under injected PTI faults: fail-open safety + breaker",
+       RunDegradedSuite},
+  };
+  return kSuites;
+}
+
+const SuiteSpec* FindSuite(const std::string& name) {
+  for (const SuiteSpec& s : Suites()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace joza::benchkit

@@ -1,0 +1,28 @@
+// The suite registry: every named workload suite the unified runner can
+// execute. Suites are plain functions (no static-initializer registration,
+// so the set is deterministic and link-order independent).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "benchkit/result.h"
+
+namespace joza::benchkit {
+
+using SuiteFn = std::function<SuiteResult(const SuiteOptions&)>;
+
+struct SuiteSpec {
+  std::string name;
+  std::string description;
+  SuiteFn fn;
+};
+
+// All built-in suites, in documentation order.
+const std::vector<SuiteSpec>& Suites();
+
+// nullptr when no suite has that name.
+const SuiteSpec* FindSuite(const std::string& name);
+
+}  // namespace joza::benchkit

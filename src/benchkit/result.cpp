@@ -1,0 +1,196 @@
+#include "benchkit/result.h"
+
+#include <sys/utsname.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <thread>
+
+namespace joza::benchkit {
+
+const char* DirectionName(Direction d) {
+  switch (d) {
+    case Direction::kHigherBetter: return "higher_better";
+    case Direction::kLowerBetter: return "lower_better";
+    case Direction::kExact: return "exact";
+    case Direction::kInfo: return "info";
+  }
+  return "info";
+}
+
+void SuiteResult::Add(Metric m) { metrics_.push_back(std::move(m)); }
+
+void SuiteResult::AddCompared(const std::string& name, double value,
+                              const std::string& unit, Direction direction,
+                              double tolerance, double abs_slack) {
+  Add({name, value, unit, direction, tolerance, abs_slack});
+}
+
+void SuiteResult::AddExact(const std::string& name, double value,
+                           const std::string& unit) {
+  Add({name, value, unit, Direction::kExact, 0, 0});
+}
+
+void SuiteResult::AddInfo(const std::string& name, double value,
+                          const std::string& unit) {
+  Add({name, value, unit, Direction::kInfo, 0, 0});
+}
+
+void SuiteResult::AddLatency(const std::string& prefix,
+                             const LatencySummary& summary) {
+  AddInfo(prefix + ".p50_ms", summary.p50, "ms");
+  AddInfo(prefix + ".p95_ms", summary.p95, "ms");
+  AddInfo(prefix + ".p99_ms", summary.p99, "ms");
+  AddInfo(prefix + ".mean_ms", summary.mean, "ms");
+  AddInfo(prefix + ".max_ms", summary.max, "ms");
+  AddInfo(prefix + ".samples", static_cast<double>(summary.count), "count");
+}
+
+const Metric* SuiteResult::FindMetric(const std::string& name) const {
+  for (const Metric& m : metrics_) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+void SuiteResult::Require(const std::string& gate, const std::string& metric,
+                          const char* op, double threshold) {
+  GateResult g;
+  g.name = gate;
+  g.metric = metric;
+  g.op = op;
+  g.threshold = threshold;
+  const Metric* m = FindMetric(metric);
+  if (m == nullptr) {
+    g.value = std::nan("");
+    g.passed = false;  // asserting on a metric the suite never produced
+  } else {
+    g.value = m->value;
+    if (std::strcmp(op, ">=") == 0) {
+      g.passed = g.value >= threshold;
+    } else if (std::strcmp(op, "<=") == 0) {
+      g.passed = g.value <= threshold;
+    } else {
+      g.passed = g.value == threshold;
+    }
+  }
+  gates_.push_back(std::move(g));
+}
+
+void SuiteResult::RequireGe(const std::string& gate, const std::string& metric,
+                            double threshold) {
+  Require(gate, metric, ">=", threshold);
+}
+
+void SuiteResult::RequireLe(const std::string& gate, const std::string& metric,
+                            double threshold) {
+  Require(gate, metric, "<=", threshold);
+}
+
+void SuiteResult::RequireEq(const std::string& gate, const std::string& metric,
+                            double threshold) {
+  Require(gate, metric, "==", threshold);
+}
+
+bool SuiteResult::AllGatesPassed() const {
+  for (const GateResult& g : gates_) {
+    if (!g.passed) return false;
+  }
+  return true;
+}
+
+bool SuiteResult::ReportGates() const {
+  for (const GateResult& g : gates_) {
+    if (g.passed) {
+      std::printf("gate OK  : %s (%s = %g %s %g)\n", g.name.c_str(),
+                  g.metric.c_str(), g.value, g.op.c_str(), g.threshold);
+    } else if (std::isnan(g.value)) {
+      std::printf("gate FAIL: %s — metric '%s' was never recorded "
+                  "(required %s %g)\n",
+                  g.name.c_str(), g.metric.c_str(), g.op.c_str(),
+                  g.threshold);
+    } else {
+      std::printf("gate FAIL: %s — %s = %g violates %s %g\n", g.name.c_str(),
+                  g.metric.c_str(), g.value, g.op.c_str(), g.threshold);
+    }
+  }
+  std::fflush(stdout);
+  return AllGatesPassed();
+}
+
+Json SuiteResult::ToJson() const {
+  JsonObject meta;
+  meta.emplace_back("hostname", Json(meta_.hostname));
+  meta.emplace_back("kernel", Json(meta_.kernel));
+  meta.emplace_back("hardware_threads",
+                    Json(static_cast<double>(meta_.hardware_threads)));
+  meta.emplace_back("compiler", Json(meta_.compiler));
+  meta.emplace_back("build_type", Json(meta_.build_type));
+  meta.emplace_back("timestamp_utc", Json(meta_.timestamp_utc));
+
+  JsonObject metrics;
+  for (const Metric& m : metrics_) {
+    JsonObject f;
+    f.emplace_back("value", Json(m.value));
+    f.emplace_back("unit", Json(m.unit));
+    f.emplace_back("direction", Json(DirectionName(m.direction)));
+    if (m.direction != Direction::kInfo) {
+      f.emplace_back("tolerance", Json(m.tolerance));
+      if (m.abs_slack > 0) f.emplace_back("abs_slack", Json(m.abs_slack));
+    }
+    metrics.emplace_back(m.name, Json(std::move(f)));
+  }
+
+  JsonArray gates;
+  for (const GateResult& g : gates_) {
+    JsonObject f;
+    f.emplace_back("name", Json(g.name));
+    f.emplace_back("metric", Json(g.metric));
+    f.emplace_back("op", Json(g.op));
+    f.emplace_back("threshold", Json(g.threshold));
+    f.emplace_back("value", Json(std::isnan(g.value) ? Json() : Json(g.value)));
+    f.emplace_back("passed", Json(g.passed));
+    gates.push_back(Json(std::move(f)));
+  }
+
+  JsonObject root;
+  root.emplace_back("schema_version", Json(kSchemaVersion));
+  root.emplace_back("suite", Json(suite_));
+  root.emplace_back("seed", Json(options_.seed));
+  root.emplace_back("quick", Json(options_.quick));
+  root.emplace_back("meta", Json(std::move(meta)));
+  root.emplace_back("metrics", Json(std::move(metrics)));
+  root.emplace_back("gates", Json(std::move(gates)));
+  return Json(std::move(root));
+}
+
+RunMetadata CollectRunMetadata() {
+  RunMetadata meta;
+  char host[256] = {0};
+  if (gethostname(host, sizeof host - 1) == 0) meta.hostname = host;
+  struct utsname un;
+  if (uname(&un) == 0) {
+    meta.kernel = std::string(un.sysname) + " " + un.release;
+  }
+  meta.hardware_threads = std::thread::hardware_concurrency();
+#ifdef __VERSION__
+  meta.compiler = __VERSION__;
+#endif
+#ifdef NDEBUG
+  meta.build_type = "release";
+#else
+  meta.build_type = "debug";
+#endif
+  std::time_t now = std::time(nullptr);
+  std::tm tm_utc;
+  gmtime_r(&now, &tm_utc);
+  char ts[32];
+  std::strftime(ts, sizeof ts, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  meta.timestamp_utc = ts;
+  return meta;
+}
+
+}  // namespace joza::benchkit

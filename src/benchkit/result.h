@@ -1,0 +1,135 @@
+// The data model every suite produces: named metrics with units, better-
+// direction and tolerance bands, declarative gate assertions evaluated
+// against those metrics, and the schema-versioned JSON form persisted as
+// BENCH_<suite>.json.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "benchkit/json.h"
+#include "benchkit/metrics.h"
+
+namespace joza::benchkit {
+
+// Bumped whenever the emitted JSON layout changes incompatibly; the
+// comparator refuses to diff across schema versions.
+inline constexpr int kSchemaVersion = 1;
+
+// Which way "better" points for a metric, and therefore which side of the
+// tolerance band counts as a regression.
+enum class Direction {
+  kHigherBetter,  // QPS, speedup ratios
+  kLowerBetter,   // latency, overhead
+  kExact,         // counters / parity results: any change is a regression
+  kInfo,          // recorded for the trajectory, never compared
+};
+
+const char* DirectionName(Direction d);
+
+struct Metric {
+  std::string name;  // dotted path, e.g. "nti.staged_speedup_x"
+  double value = 0;
+  std::string unit;  // "qps", "ms", "us", "x", "count", "frac", ""
+  Direction direction = Direction::kInfo;
+  // Relative tolerance band as a fraction (0.10 = 10%). Ignored for kInfo;
+  // must be 0 for kExact.
+  double tolerance = 0;
+  // Absolute grace added to the band, in the metric's unit — keeps
+  // sub-millisecond timer noise from flaking latency comparisons.
+  double abs_slack = 0;
+};
+
+// One evaluated gate assertion. Gates are the machine-independent checks
+// (speedup ratios, parity counts, safety invariants) that fail the run by
+// themselves, baseline or no baseline.
+struct GateResult {
+  std::string name;
+  std::string metric;  // the metric the assertion reads
+  std::string op;      // ">=", "<=", "=="
+  double threshold = 0;
+  double value = 0;  // the metric's value at evaluation time
+  bool passed = false;
+};
+
+// Host / build / run facts recorded into every BENCH file.
+struct RunMetadata {
+  std::string hostname;
+  std::string kernel;        // uname sysname + release
+  unsigned hardware_threads = 0;
+  std::string compiler;      // __VERSION__
+  std::string build_type;    // "release" or "debug" (NDEBUG)
+  std::string timestamp_utc; // ISO-8601
+};
+
+struct SuiteOptions {
+  std::uint64_t seed = 2015;
+  // Shrinks iteration counts for fast local runs; CI and baselines use the
+  // full shape.
+  bool quick = false;
+};
+
+class SuiteResult {
+ public:
+  SuiteResult(std::string suite, const SuiteOptions& options)
+      : suite_(std::move(suite)), options_(options) {}
+
+  const std::string& suite() const { return suite_; }
+  const SuiteOptions& options() const { return options_; }
+  RunMetadata& meta() { return meta_; }
+
+  // --- Metrics -------------------------------------------------------------
+  void Add(Metric m);
+  // Compared against the baseline under a relative tolerance band.
+  void AddCompared(const std::string& name, double value,
+                   const std::string& unit, Direction direction,
+                   double tolerance, double abs_slack = 0);
+  // Deterministic value (counter, parity result): baseline diff on any
+  // change.
+  void AddExact(const std::string& name, double value,
+                const std::string& unit = "count");
+  // Recorded for the trajectory only; never compared (absolute throughput
+  // and latency belong here — they are machine-dependent).
+  void AddInfo(const std::string& name, double value,
+               const std::string& unit);
+  // Convenience: p50/p95/p99/mean/max/count of one phase as info metrics
+  // under `prefix.`.
+  void AddLatency(const std::string& prefix, const LatencySummary& summary);
+
+  const std::vector<Metric>& metrics() const { return metrics_; }
+  const Metric* FindMetric(const std::string& name) const;
+
+  // --- Gates ---------------------------------------------------------------
+  // Assert on a previously-added metric; a missing metric fails the gate.
+  void RequireGe(const std::string& gate, const std::string& metric,
+                 double threshold);
+  void RequireLe(const std::string& gate, const std::string& metric,
+                 double threshold);
+  void RequireEq(const std::string& gate, const std::string& metric,
+                 double threshold);
+
+  const std::vector<GateResult>& gates() const { return gates_; }
+  bool AllGatesPassed() const;
+  // Prints one line per gate (offending metric, value, threshold for
+  // failures) and returns AllGatesPassed().
+  bool ReportGates() const;
+
+  // --- Serialization -------------------------------------------------------
+  Json ToJson() const;
+
+ private:
+  void Require(const std::string& gate, const std::string& metric,
+               const char* op, double threshold);
+
+  std::string suite_;
+  SuiteOptions options_;
+  RunMetadata meta_;
+  std::vector<Metric> metrics_;
+  std::vector<GateResult> gates_;
+};
+
+// Fills hostname / kernel / compiler / thread count / timestamp.
+RunMetadata CollectRunMetadata();
+
+}  // namespace joza::benchkit

@@ -1,15 +1,18 @@
-// Shared timing harness for the performance-reproduction benches.
+// Application-serving timing helpers shared by the in-process benches and
+// suites (formerly bench/perf_util.h). Header-only: these sit on top of
+// webapp::Application, which the measurement layer itself must not depend
+// on.
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "attack/workload.h"
-#include "core/joza.h"
 #include "util/stopwatch.h"
 #include "webapp/application.h"
 
-namespace joza::bench {
+namespace joza::benchkit {
 
 // Serves the workload once; returns wall seconds.
 inline double ServeOnce(webapp::Application& app,
@@ -74,4 +77,4 @@ PairTiming MeasurePair(webapp::Application& plain_app,
   return t;
 }
 
-}  // namespace joza::bench
+}  // namespace joza::benchkit

@@ -1,0 +1,103 @@
+// benign_wp: protection overhead on WordPress.com-shaped benign traffic.
+//
+// For each read/write mix (Table VI's 50/50 and 10/90 plus the <1%-write
+// fraction derived from the WordPress.com activity reports), serves fresh
+// seeded workloads interleaved through a plain and a Joza-protected
+// testbed and records the overhead fraction, per-request latency
+// percentiles of the protected app, and the engine's per-stage counters.
+//
+// Gates: the engine must flag zero attacks on benign traffic (false
+// positives) and every request must succeed. Counters are deterministic
+// per seed and exact-compared against the baseline; wall-clock overhead is
+// machine-dependent trajectory info.
+#include <string>
+#include <vector>
+
+#include "attack/catalog.h"
+#include "attack/workload.h"
+#include "benchkit/metrics.h"
+#include "benchkit/serve.h"
+#include "benchkit/suites.h"
+#include "core/joza.h"
+#include "util/stopwatch.h"
+
+namespace joza::benchkit {
+
+SuiteResult RunBenignWpSuite(const SuiteOptions& options) {
+  SuiteResult result("benign_wp", options);
+
+  struct Mix {
+    double write_fraction;
+    const char* label;
+    const char* key;
+  };
+  const Mix mixes[] = {
+      {0.50, "50% writes / 50% reads", "w50"},
+      {0.10, "10% writes / 90% reads", "w10"},
+      {attack::WpComWriteFraction(), "wp.com write fraction", "wpcom"},
+  };
+
+  Table table({"Workload", "Plain (s)", "Protected (s)", "Overhead",
+               "p50 ms", "p99 ms", "Attacks"});
+  const std::size_t count = options.quick ? 150 : 600;
+  const int reps = options.quick ? 3 : 6;
+
+  std::size_t total_attacks = 0;
+  for (const Mix& mix : mixes) {
+    const auto make = [&](std::uint64_t seed) {
+      return attack::MakeMixedWorkload(count, mix.write_fraction, seed);
+    };
+
+    auto plain_app = attack::MakeTestbed();
+    auto prot_app = attack::MakeTestbed();
+    core::Joza joza = core::Joza::Install(*prot_app);
+    prot_app->SetQueryGate(joza.MakeGate());
+    ServeOnce(*prot_app, make(options.seed));  // cache warm-up (unmeasured)
+
+    const PairTiming timing = MeasurePair(*plain_app, *prot_app, make, reps,
+                                          options.seed + 500);
+
+    // One extra pass with per-request timing for the latency percentiles.
+    LatencyRecorder recorder;
+    const auto latency_workload =
+        make(options.seed + 500 + static_cast<std::uint64_t>(reps));
+    for (const attack::WorkloadRequest& wr : latency_workload) {
+      Stopwatch per;
+      prot_app->Handle(wr.request);
+      recorder.Record(per.ElapsedSeconds() * 1e3);
+    }
+    prot_app->SetQueryGate(nullptr);
+
+    const core::JozaStats stats = joza.stats();
+    total_attacks += stats.attacks_detected;
+    const LatencySummary lat = recorder.Summary();
+    const std::string prefix = std::string("mix.") + mix.key;
+    result.AddInfo(prefix + ".overhead_frac", timing.overhead(), "frac");
+    result.AddInfo(prefix + ".plain_s", timing.plain, "s");
+    result.AddInfo(prefix + ".protected_s", timing.protected_time, "s");
+    result.AddLatency(prefix + ".latency", lat);
+    result.AddExact(prefix + ".attacks_detected",
+                    static_cast<double>(stats.attacks_detected));
+    result.AddExact(prefix + ".queries_checked",
+                    static_cast<double>(stats.queries_checked));
+    result.AddExact(prefix + ".query_cache_hits",
+                    static_cast<double>(stats.query_cache_hits));
+    result.AddExact(prefix + ".structure_cache_hits",
+                    static_cast<double>(stats.structure_cache_hits));
+    result.AddExact(prefix + ".pti_full_runs",
+                    static_cast<double>(stats.pti_full_runs));
+
+    table.AddRow({mix.label, Num(timing.plain), Num(timing.protected_time),
+                  Pct(timing.overhead()), Num(lat.p50, 3), Num(lat.p99, 3),
+                  std::to_string(stats.attacks_detected)});
+  }
+  table.Print("Benign WP traffic: Joza overhead per read/write mix");
+
+  result.AddExact("benign.total_attacks_flagged",
+                  static_cast<double>(total_attacks));
+  result.RequireEq("zero false positives on benign traffic",
+                   "benign.total_attacks_flagged", 0);
+  return result;
+}
+
+}  // namespace joza::benchkit

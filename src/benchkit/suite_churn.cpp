@@ -1,0 +1,386 @@
+// churn: over-the-wire scaling of the concurrent gateway and the reader
+// cost of RCU ruleset-snapshot churn, migrated from the hand-rolled
+// bench_gateway_scale main().
+//
+// Phases:
+//   1. Throughput scaling: the seed's single-threaded HTTP/1.0 server vs
+//      the gateway at 1/2/4/8 workers (all Joza-protected), plus the
+//      unprotected gateway floor — informational trajectory rows.
+//   2. Snapshot churn (gated): the 8-worker gateway serving identical
+//      traffic read-only vs under continuous ruleset swaps. Readers may
+//      lose at most 25% of p99 latency and throughput (+0.25 ms absolute
+//      grace for timer noise) — the regression gate for the lock-free
+//      analyze path.
+//   3. Verdict consistency (gated): mixed benign/attack traffic must block
+//      exactly the same requests sequentially and across 8 concurrent
+//      clients.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "attack/catalog.h"
+#include "attack/exploit.h"
+#include "attack/workload.h"
+#include "benchkit/metrics.h"
+#include "benchkit/suites.h"
+#include "core/joza.h"
+#include "gateway/client.h"
+#include "gateway/gateway.h"
+#include "webapp/http_server.h"
+
+namespace joza::benchkit {
+
+namespace {
+
+struct RunResult {
+  double seconds = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  std::size_t requests = 0;
+  std::size_t failures = 0;
+  double qps() const { return seconds > 0 ? requests / seconds : 0; }
+};
+
+// Drives `clients` threads. `make_sender(c)` runs inside thread `c` and
+// returns a callable `bool(std::size_t i)` that ships request i; per-thread
+// state (a keep-alive connection) lives and dies with the thread, so no
+// idle connection pins a gateway worker after its slice is done.
+template <typename MakeSender>
+RunResult DriveClients(std::size_t clients, std::size_t per_client,
+                       MakeSender&& make_sender) {
+  std::vector<LatencyRecorder> recorders(clients);
+  std::atomic<std::size_t> failures{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto send_one = make_sender(c);
+      for (std::size_t i = 0; i < per_client; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        if (!send_one(i)) failures.fetch_add(1);
+        const auto t1 = std::chrono::steady_clock::now();
+        recorders[c].Record(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  RunResult r;
+  r.seconds = std::chrono::duration<double>(end - start).count();
+  r.requests = clients * per_client;
+  r.failures = failures.load();
+  LatencyRecorder all;
+  for (const auto& rec : recorders) all.Merge(rec);
+  const LatencySummary summary = all.Summary();
+  r.p50_ms = summary.p50;
+  r.p99_ms = summary.p99;
+  return r;
+}
+
+std::vector<std::string> SerializeCrawl(std::size_t count,
+                                        std::uint64_t seed) {
+  std::vector<std::string> raw;
+  for (const attack::WorkloadRequest& wr :
+       attack::MakeCrawlWorkload(count, seed)) {
+    raw.push_back(gateway::SerializeRequest(wr.request, /*keep_alive=*/true));
+  }
+  return raw;
+}
+
+}  // namespace
+
+SuiteResult RunChurnSuite(const SuiteOptions& options) {
+  SuiteResult result("churn", options);
+
+  const std::size_t kClients = 8;
+  const std::size_t per_client = options.quick ? 40 : 150;
+  const std::vector<std::string> crawl = SerializeCrawl(256, options.seed);
+
+  Table table({"Server", "Workers", "Joza", "QPS", "p50 ms", "p99 ms",
+               "Fail"});
+
+  // --- Phase 1a: the seed's single-threaded HTTP/1.0 server --------------
+  double baseline_qps = 0;
+  {
+    auto app = attack::MakeTestbed();
+    core::Joza joza = core::Joza::Install(*app);
+    app->SetQueryGate(joza.MakeGate());
+    webapp::HttpServer server(*app);
+    auto port = server.Start();
+    if (!port.ok()) {
+      std::fprintf(stderr, "baseline start failed: %s\n",
+                   port.status().ToString().c_str());
+      result.AddExact("setup.failed", 1);
+      result.RequireEq("servers start", "setup.failed", 0);
+      return result;
+    }
+    RunResult r = DriveClients(kClients, per_client, [&](std::size_t c) {
+      return [&, c](std::size_t i) {
+        // HTTP/1.0 model: fresh connection per request.
+        auto resp = webapp::FetchRaw(
+            port.value(), crawl[(c * per_client + i) % crawl.size()]);
+        return resp.ok();
+      };
+    });
+    baseline_qps = r.qps();
+    result.AddInfo("http10.qps", r.qps(), "qps");
+    result.AddInfo("http10.p99_ms", r.p99_ms, "ms");
+    table.AddRow({"http/1.0 seed", "1", "yes", Num(r.qps(), 0),
+                  Num(r.p50_ms, 3), Num(r.p99_ms, 3),
+                  std::to_string(r.failures)});
+    server.Stop();
+    app->SetQueryGate(nullptr);
+  }
+
+  // --- Phase 1b: gateway at increasing worker counts ---------------------
+  double gateway8_qps = 0;
+  std::size_t scaling_failures = 0;
+  const std::vector<std::size_t> worker_counts =
+      options.quick ? std::vector<std::size_t>{1, 8}
+                    : std::vector<std::size_t>{1, 2, 4, 8};
+  for (std::size_t workers : worker_counts) {
+    auto proto = attack::MakeTestbed();
+    core::JozaConfig config;
+    config.cache_capacity = 1 << 16;
+    core::Joza joza = core::Joza::Install(*proto, config);
+    gateway::GatewayConfig gcfg;
+    gcfg.workers = workers;
+    gateway::GatewayServer server([] { return attack::MakeTestbed(); }, &joza,
+                                  gcfg);
+    auto port = server.Start();
+    if (!port.ok()) {
+      std::fprintf(stderr, "gateway start failed\n");
+      ++scaling_failures;
+      continue;
+    }
+    RunResult r = DriveClients(kClients, per_client, [&](std::size_t c) {
+      auto conn = std::make_shared<gateway::KeepAliveClient>(port.value());
+      return [&, conn, c](std::size_t i) {
+        auto resp =
+            conn->RoundTrip(crawl[(c * per_client + i) % crawl.size()]);
+        return resp.ok();
+      };
+    });
+    if (workers == 8) gateway8_qps = r.qps();
+    scaling_failures += r.failures;
+    result.AddInfo("gateway.w" + std::to_string(workers) + ".qps", r.qps(),
+                   "qps");
+    result.AddInfo("gateway.w" + std::to_string(workers) + ".p99_ms",
+                   r.p99_ms, "ms");
+    table.AddRow({"gateway", std::to_string(workers), "yes", Num(r.qps(), 0),
+                  Num(r.p50_ms, 3), Num(r.p99_ms, 3),
+                  std::to_string(r.failures)});
+    server.Stop();
+  }
+
+  // --- Phase 1c: gateway without Joza — the wire/threading floor ----------
+  {
+    gateway::GatewayConfig gcfg;
+    gcfg.workers = 8;
+    gateway::GatewayServer server([] { return attack::MakeTestbed(); },
+                                  nullptr, gcfg);
+    auto port = server.Start();
+    if (port.ok()) {
+      RunResult r = DriveClients(kClients, per_client, [&](std::size_t c) {
+        auto conn = std::make_shared<gateway::KeepAliveClient>(port.value());
+        return [&, conn, c](std::size_t i) {
+          auto resp =
+              conn->RoundTrip(crawl[(c * per_client + i) % crawl.size()]);
+          return resp.ok();
+        };
+      });
+      result.AddInfo("gateway.nojoza.qps", r.qps(), "qps");
+      table.AddRow({"gateway", "8", "no", Num(r.qps(), 0), Num(r.p50_ms, 3),
+                    Num(r.p99_ms, 3), std::to_string(r.failures)});
+      server.Stop();
+    } else {
+      ++scaling_failures;
+    }
+  }
+
+  table.Print("Gateway scaling (8 keep-alive clients, crawl workload)");
+  if (baseline_qps > 0) {
+    result.AddInfo("gateway.w8_vs_http10_x", gateway8_qps / baseline_qps,
+                   "x");
+    std::printf("\nGateway x8 vs single-threaded HTTP/1.0 baseline: %.2fx\n",
+                gateway8_qps / baseline_qps);
+  }
+  result.AddExact("scaling.transport_failures",
+                  static_cast<double>(scaling_failures));
+  result.RequireEq("no transport failures while scaling",
+                   "scaling.transport_failures", 0);
+
+  // --- Phase 2: snapshot churn — lock-free readers vs RCU swaps -----------
+  auto churn_pass = [&](bool churn) -> std::pair<RunResult, std::size_t> {
+    auto proto = attack::MakeTestbed();
+    core::JozaConfig config;
+    config.cache_capacity = 1 << 16;
+    core::Joza joza = core::Joza::Install(*proto, config);
+    gateway::GatewayConfig gcfg;
+    gcfg.workers = 8;
+    gateway::GatewayServer server([] { return attack::MakeTestbed(); }, &joza,
+                                  gcfg);
+    auto port = server.Start();
+    if (!port.ok()) {
+      std::fprintf(stderr, "churn gateway start failed\n");
+      return {RunResult{}, 0};
+    }
+    std::atomic<bool> stop{false};
+    std::thread churner;
+    if (churn) {
+      churner = std::thread([&] {
+        std::size_t i = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          joza.OnSourcesChanged(
+              {{"churn.php",
+                "$q = 'SELECT col" + std::to_string(i++) + " FROM t';"}});
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      });
+    }
+    RunResult r = DriveClients(kClients, per_client, [&](std::size_t c) {
+      auto conn = std::make_shared<gateway::KeepAliveClient>(port.value());
+      return [&, conn, c](std::size_t i) {
+        auto resp =
+            conn->RoundTrip(crawl[(c * per_client + i) % crawl.size()]);
+        return resp.ok();
+      };
+    });
+    stop.store(true);
+    if (churner.joinable()) churner.join();
+    const std::size_t swaps = joza.stats().ruleset_swaps;
+    server.Stop();
+    return {r, swaps};
+  };
+  const auto [read_only, ro_swaps] = churn_pass(false);
+  const auto [churned, churn_swaps] = churn_pass(true);
+
+  Table churn_table({"Mode", "Swaps", "QPS", "p50 ms", "p99 ms", "Fail"});
+  churn_table.AddRow({"read-only", std::to_string(ro_swaps),
+                      Num(read_only.qps(), 0), Num(read_only.p50_ms, 3),
+                      Num(read_only.p99_ms, 3),
+                      std::to_string(read_only.failures)});
+  churn_table.AddRow({"snapshot churn", std::to_string(churn_swaps),
+                      Num(churned.qps(), 0), Num(churned.p50_ms, 3),
+                      Num(churned.p99_ms, 3),
+                      std::to_string(churned.failures)});
+  churn_table.Print("Reader cost of ruleset snapshot churn (8 workers)");
+
+  result.AddInfo("churn.readonly.qps", read_only.qps(), "qps");
+  result.AddInfo("churn.readonly.p99_ms", read_only.p99_ms, "ms");
+  result.AddInfo("churn.churned.qps", churned.qps(), "qps");
+  result.AddInfo("churn.churned.p99_ms", churned.p99_ms, "ms");
+  result.AddInfo("churn.swaps", static_cast<double>(churn_swaps), "count");
+
+  // Regression gate: churn may cost readers at most 25% of p99/throughput.
+  // The small absolute grace keeps sub-millisecond timer noise from
+  // flaking CI while still catching reader-side lock contention, which
+  // shows up as multi-millisecond p99 jumps.
+  const double p99_limit = read_only.p99_ms * 1.25 + 0.25;
+  const double qps_floor = read_only.qps() * 0.75;
+  result.RequireLe("churn reader p99 within 25% of read-only (+0.25 ms)",
+                   "churn.churned.p99_ms", p99_limit);
+  result.RequireGe("churn throughput within 25% of read-only",
+                   "churn.churned.qps", qps_floor);
+  result.AddExact("churn.swapped_at_all", churn_swaps > 0 ? 1 : 0);
+  result.RequireEq("the churn pass actually swapped snapshots",
+                   "churn.swapped_at_all", 1);
+
+  // --- Phase 3: verdict consistency, sequential vs concurrent -------------
+  std::vector<std::pair<std::string, bool>> mixed;  // raw request, is_attack
+  for (const attack::WorkloadRequest& wr :
+       attack::MakeCrawlWorkload(96, options.seed + 7)) {
+    mixed.push_back(
+        {gateway::SerializeRequest(wr.request, /*keep_alive=*/true), false});
+  }
+  for (const auto* plugin : attack::TestbedPlugins()) {
+    // Raw payloads without per-plugin transport encoding: what matters here
+    // is that sequential and concurrent serving agree on the SAME bytes,
+    // not that every exploit lands.
+    attack::Exploit e = attack::OriginalExploit(*plugin);
+    mixed.push_back(
+        {gateway::SerializeRequest(
+             http::Request::Get(plugin->route, {{plugin->param, e.payload}}),
+             /*keep_alive=*/true),
+         true});
+  }
+
+  // Sequential reference: one app, one engine, in-process Handle calls.
+  std::size_t sequential_blocked = 0;
+  std::size_t sequential_attacks = 0;
+  {
+    auto app = attack::MakeTestbed();
+    core::Joza joza = core::Joza::Install(*app);
+    app->SetQueryGate(joza.MakeGate());
+    for (const auto& [raw, is_attack] : mixed) {
+      auto request = http::ParseRawRequest(raw);
+      if (!request.ok()) continue;
+      if (app->Handle(request.value()).status == 500) ++sequential_blocked;
+    }
+    sequential_attacks = joza.stats().attacks_detected;
+    app->SetQueryGate(nullptr);
+  }
+
+  // Concurrent: same traffic interleaved across 8 client threads.
+  std::size_t concurrent_blocked = 0;
+  std::size_t concurrent_attacks = 0;
+  {
+    auto proto = attack::MakeTestbed();
+    core::JozaConfig config;
+    config.cache_capacity = 1 << 16;
+    core::Joza joza = core::Joza::Install(*proto, config);
+    gateway::GatewayConfig gcfg;
+    gcfg.workers = 8;
+    gateway::GatewayServer server([] { return attack::MakeTestbed(); }, &joza,
+                                  gcfg);
+    auto port = server.Start();
+    if (port.ok()) {
+      std::atomic<std::size_t> blocked{0};
+      std::vector<std::thread> threads;
+      for (std::size_t c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+          gateway::KeepAliveClient client(port.value());
+          for (std::size_t i = c; i < mixed.size(); i += kClients) {
+            auto resp = client.RoundTrip(mixed[i].first);
+            if (resp.ok() && resp->find("500") < resp->find("\r\n")) {
+              blocked.fetch_add(1);
+            }
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+      concurrent_blocked = blocked.load();
+      concurrent_attacks = joza.stats().attacks_detected;
+      server.Stop();
+    }
+  }
+
+  Table consistency({"Mode", "Blocked (500)", "Attacks detected"});
+  consistency.AddRow({"sequential", std::to_string(sequential_blocked),
+                      std::to_string(sequential_attacks)});
+  consistency.AddRow({"gateway x8", std::to_string(concurrent_blocked),
+                      std::to_string(concurrent_attacks)});
+  consistency.Print("Verdict consistency, mixed benign/attack traffic");
+
+  result.AddExact("consistency.sequential_blocked",
+                  static_cast<double>(sequential_blocked));
+  result.AddExact("consistency.concurrent_blocked",
+                  static_cast<double>(concurrent_blocked));
+  result.AddExact("consistency.blocked_diff",
+                  static_cast<double>(sequential_blocked > concurrent_blocked
+                                          ? sequential_blocked -
+                                                concurrent_blocked
+                                          : concurrent_blocked -
+                                                sequential_blocked));
+  result.RequireEq("concurrent verdicts identical to sequential",
+                   "consistency.blocked_diff", 0);
+  return result;
+}
+
+}  // namespace joza::benchkit

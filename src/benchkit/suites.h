@@ -1,0 +1,33 @@
+// The built-in workload suites. Each fills a SuiteResult with metrics,
+// latency summaries, per-stage engine counters and declarative gates; the
+// registry binds them to their names.
+#pragma once
+
+#include "benchkit/result.h"
+
+namespace joza::benchkit {
+
+// smoke: the CI gate. In-process matcher ablation (staged vs bounded vs
+// reference NTI tiers on a benign many-input workload), full staged-vs-
+// reference verdict-parity sweep, and a mixed workload served through the
+// whole engine for QPS/latency and per-stage counters.
+SuiteResult RunSmokeSuite(const SuiteOptions& options);
+
+// benign_wp: WordPress.com-shaped benign traffic mixes; measures the
+// protection overhead (plain vs protected) and cache effectiveness.
+SuiteResult RunBenignWpSuite(const SuiteOptions& options);
+
+// attack_heavy: the full exploit catalog (originals + NTI-evasion mutants)
+// mixed into benign traffic; gates on end-to-end detection and zero
+// benign false positives.
+SuiteResult RunAttackHeavySuite(const SuiteOptions& options);
+
+// churn: the concurrent gateway under ruleset-snapshot churn; gates on
+// reader p99/QPS loss and sequential-vs-concurrent verdict consistency.
+SuiteResult RunChurnSuite(const SuiteOptions& options);
+
+// degraded: the gateway under injected PTI faults (healthy / hang / outage
+// / recovery); gates on zero fail-open and a full breaker cycle.
+SuiteResult RunDegradedSuite(const SuiteOptions& options);
+
+}  // namespace joza::benchkit

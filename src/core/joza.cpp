@@ -52,6 +52,31 @@ JozaStats& JozaStats::operator+=(const JozaStats& other) {
   return *this;
 }
 
+std::vector<std::pair<const char*, std::uint64_t>> JozaStats::Counters()
+    const {
+  return {
+      {"queries_checked", queries_checked},
+      {"attacks_detected", attacks_detected},
+      {"query_cache_hits", query_cache_hits},
+      {"structure_cache_hits", structure_cache_hits},
+      {"pti_full_runs", pti_full_runs},
+      {"nti_runs", nti_runs},
+      {"nti_exact_hits", nti_exact_hits},
+      {"nti_seed_candidates", nti_seed_candidates},
+      {"nti_dp_runs", nti_dp_runs},
+      {"nti_tier_reference", nti_tier_reference},
+      {"nti_tier_bounded", nti_tier_bounded},
+      {"nti_tier_staged", nti_tier_staged},
+      {"cache_evictions", cache_evictions},
+      {"pti_failures", pti_failures},
+      {"breaker_fast_rejects", breaker_fast_rejects},
+      {"degraded_checks", degraded_checks},
+      {"degraded_blocks", degraded_blocks},
+      {"ruleset_version", ruleset_version},
+      {"ruleset_swaps", ruleset_swaps},
+  };
+}
+
 Joza::Joza(php::FragmentSet fragments, JozaConfig config)
     : config_(config),
       state_(std::make_unique<SharedState>(config.cache_capacity,

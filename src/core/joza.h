@@ -26,6 +26,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/sharded_cache.h"
@@ -156,6 +157,12 @@ struct JozaStats {
 
   // Aggregation across engines / snapshot intervals (gateway roll-ups).
   JozaStats& operator+=(const JozaStats& other);
+
+  // Flattened name/value export of every counter above, in declaration
+  // order — the single source the benchmark subsystem and monitoring
+  // surfaces read, so a newly added field cannot be silently dropped from
+  // the emitted BENCH_*.json.
+  std::vector<std::pair<const char*, std::uint64_t>> Counters() const;
 };
 
 // Structured record of one detected attack, for audit logs / operators.

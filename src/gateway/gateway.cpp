@@ -413,6 +413,19 @@ void GatewayServer::ServeConnection(webapp::Application& app, int fd) {
   }
 }
 
+std::vector<std::pair<const char*, std::uint64_t>> GatewayStats::Counters()
+    const {
+  return {
+      {"connections_accepted", connections_accepted},
+      {"connections_rejected", connections_rejected},
+      {"requests_served", requests_served},
+      {"keepalive_reuses", keepalive_reuses},
+      {"bad_requests", bad_requests},
+      {"request_timeouts", request_timeouts},
+      {"oversized_requests", oversized_requests},
+  };
+}
+
 GatewayStats GatewayServer::stats() const {
   GatewayStats out;
   out.connections_accepted =

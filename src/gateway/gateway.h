@@ -31,6 +31,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/joza.h"
@@ -85,6 +86,11 @@ struct GatewayStats {
   std::uint64_t nti_tier_reference = 0;
   std::uint64_t nti_tier_bounded = 0;
   std::uint64_t nti_tier_staged = 0;
+
+  // Flattened name/value export (serving-layer counters only; engine
+  // counters come from JozaStats::Counters()), consumed by the benchmark
+  // subsystem's JSON emitter.
+  std::vector<std::pair<const char*, std::uint64_t>> Counters() const;
 };
 
 // Builds one worker's private Application. Called once per worker thread at

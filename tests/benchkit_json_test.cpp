@@ -1,0 +1,116 @@
+#include "benchkit/json.h"
+
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace joza::benchkit {
+namespace {
+
+TEST(JsonDump, ScalarsAndIntegerFormatting) {
+  EXPECT_EQ(Json().Dump(), "null\n");
+  EXPECT_EQ(Json(true).Dump(), "true\n");
+  // Integer-valued numbers print without a fraction (diff-friendly
+  // baselines); fractional values keep their digits.
+  EXPECT_EQ(Json(3.0).Dump(), "3\n");
+  EXPECT_EQ(Json(-42).Dump(), "-42\n");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"\n");
+}
+
+TEST(JsonDump, EscapesStrings) {
+  const std::string dumped = Json(std::string("a\"b\\c\n\tz")).Dump();
+  EXPECT_EQ(dumped, "\"a\\\"b\\\\c\\n\\tz\"\n");
+}
+
+TEST(JsonDump, ObjectPreservesInsertionOrder) {
+  Json obj{JsonObject{}};
+  obj.Set("zeta", Json(1));
+  obj.Set("alpha", Json(2));
+  obj.Set("mid", Json(JsonArray{Json(1), Json(2.5)}));
+  const std::string text = obj.Dump();
+  EXPECT_LT(text.find("zeta"), text.find("alpha"));
+  EXPECT_LT(text.find("alpha"), text.find("mid"));
+}
+
+TEST(JsonDump, NonFiniteBecomesNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).Dump(), "null\n");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).Dump(), "null\n");
+}
+
+TEST(JsonParse, RoundTripsNestedDocument) {
+  Json root{JsonObject{}};
+  root.Set("schema_version", Json(1));
+  root.Set("name", Json("smoke"));
+  root.Set("ok", Json(true));
+  root.Set("none", Json());
+  root.Set("values", Json(JsonArray{Json(1), Json(2.25), Json("three")}));
+  Json inner{JsonObject{}};
+  inner.Set("qps", Json(1234.5));
+  root.Set("metrics", std::move(inner));
+
+  const std::string text = root.Dump();
+  StatusOr<Json> parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // Re-dumping the parse yields the identical document.
+  EXPECT_EQ(parsed.value().Dump(), text);
+
+  const Json* metrics = parsed.value().Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const Json* qps = metrics->Find("qps");
+  ASSERT_NE(qps, nullptr);
+  EXPECT_DOUBLE_EQ(qps->AsNumber(), 1234.5);
+}
+
+TEST(JsonParse, AcceptsEscapesAndUnicode) {
+  StatusOr<Json> parsed = Json::Parse(R"("a\"b\\c\nA")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().AsString(), "a\"b\\c\nA");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  // Trailing garbage after a complete value is an error, not ignored.
+  EXPECT_FALSE(Json::Parse("{} x").ok());
+  EXPECT_EQ(Json::Parse("nope").status().code(), StatusCode::kParseError);
+}
+
+TEST(JsonFind, MissingAndWrongTypeAreNull) {
+  Json obj{JsonObject{}};
+  obj.Set("a", Json(1));
+  EXPECT_EQ(obj.Find("b"), nullptr);
+  EXPECT_EQ(Json(5.0).Find("a"), nullptr);  // not an object
+}
+
+TEST(JsonSet, ReplacesExistingKeyInPlace) {
+  Json obj{JsonObject{}};
+  obj.Set("a", Json(1));
+  obj.Set("b", Json(2));
+  obj.Set("a", Json(9));
+  ASSERT_EQ(obj.AsObject().size(), 2u);
+  EXPECT_DOUBLE_EQ(obj.Find("a")->AsNumber(), 9.0);
+  EXPECT_EQ(obj.AsObject().front().first, "a");  // position kept
+}
+
+TEST(JsonFile, RoundTripAndMissingFile) {
+  const std::string path = ::testing::TempDir() + "/benchkit_json_test.json";
+  Json doc{JsonObject{}};
+  doc.Set("k", Json(7));
+  ASSERT_TRUE(WriteJsonFile(path, doc).ok());
+  StatusOr<Json> back = ReadJsonFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(back.value().Find("k")->AsNumber(), 7.0);
+  std::remove(path.c_str());
+
+  StatusOr<Json> missing = ReadJsonFile(path);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace joza::benchkit

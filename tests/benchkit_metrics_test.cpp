@@ -1,0 +1,97 @@
+#include "benchkit/metrics.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace joza::benchkit {
+namespace {
+
+TEST(Percentile, EmptyIsZero) {
+  EXPECT_EQ(Percentile({}, 0.5), 0.0);
+  EXPECT_EQ(Percentile({}, 0.99), 0.0);
+}
+
+TEST(Percentile, SingleSampleIsThatSample) {
+  EXPECT_DOUBLE_EQ(Percentile({7.5}, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(Percentile({7.5}, 0.5), 7.5);
+  EXPECT_DOUBLE_EQ(Percentile({7.5}, 1.0), 7.5);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  // rank = p * (n - 1); p50 of four evenly spaced samples sits mid-gap.
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4}, 0.50), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4}, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4}, 1.0), 4.0);
+}
+
+TEST(Percentile, SortsItsInput) {
+  EXPECT_DOUBLE_EQ(Percentile({4, 1, 3, 2}, 0.50), 2.5);
+}
+
+TEST(Percentile, ClampsOutOfRangeP) {
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3}, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3}, 1.5), 3.0);
+}
+
+TEST(Percentile, TailOfLargeSet) {
+  std::vector<double> ms;
+  for (int i = 1; i <= 100; ++i) ms.push_back(static_cast<double>(i));
+  // rank = 0.99 * 99 = 98.01 → between 99 and 100.
+  EXPECT_NEAR(Percentile(ms, 0.99), 99.01, 1e-9);
+  EXPECT_DOUBLE_EQ(Percentile(ms, 0.50), 50.5);
+}
+
+TEST(LatencyRecorder, SummaryOverSteadySamples) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 10; ++i) rec.Record(static_cast<double>(i));
+  const LatencySummary s = rec.Summary();
+  EXPECT_EQ(s.count, 10u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.5);
+  EXPECT_DOUBLE_EQ(s.p50, 5.5);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+}
+
+TEST(LatencyRecorder, EndWarmupDropsEarlierSamples) {
+  LatencyRecorder rec;
+  rec.Record(1000.0);  // cold-start outlier
+  rec.EndWarmup();
+  rec.Record(2.0);
+  rec.Record(4.0);
+  const LatencySummary s = rec.Summary();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(LatencyRecorder, MergeCombinesSteadyState) {
+  LatencyRecorder a;
+  a.Record(1.0);
+  a.Record(2.0);
+  LatencyRecorder b;
+  b.Record(100.0);
+  b.EndWarmup();
+  b.Record(3.0);
+  a.Merge(b);  // only b's steady-state sample crosses over
+  const LatencySummary s = a.Summary();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+}
+
+TEST(LatencyRecorder, QpsUsesSteadyCount) {
+  LatencyRecorder rec;
+  rec.Record(1.0);
+  rec.EndWarmup();
+  for (int i = 0; i < 50; ++i) rec.Record(1.0);
+  EXPECT_DOUBLE_EQ(rec.Qps(2.0), 25.0);
+  EXPECT_EQ(rec.Qps(0.0), 0.0);
+}
+
+TEST(Formatting, NumAndPct) {
+  EXPECT_EQ(Num(1.23456, 2), "1.23");
+  EXPECT_EQ(Pct(0.1234, 1), "12.3%");
+}
+
+}  // namespace
+}  // namespace joza::benchkit
