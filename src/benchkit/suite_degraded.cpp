@@ -26,6 +26,7 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,8 +36,8 @@
 #include "benchkit/metrics.h"
 #include "benchkit/suites.h"
 #include "core/joza.h"
-#include "fault/circuit_breaker.h"
-#include "fault/injector.h"
+#include "resilience/circuit_breaker.h"
+#include "resilience/injector.h"
 #include "gateway/client.h"
 #include "gateway/gateway.h"
 #include "ipc/daemon_pool.h"
@@ -114,6 +115,68 @@ std::unique_ptr<ipc::DaemonPool> FreshPool(const webapp::Application& proto) {
       php::FragmentSet::FromSources(proto.sources()), options);
 }
 
+// Concurrent flood for the overload phase: more clients than workers, so
+// the connection queue backs up and the admission layer (deadline shedding
+// + AIMD throttling) has real doomed work to refuse.
+struct OverloadResult {
+  std::size_t requests = 0;
+  std::size_t served = 0;
+  std::size_t refused = 0;    // 503 (queue overflow / deadline shed) + 429
+  std::size_t transport_failures = 0;
+  std::size_t fail_open = 0;
+  double seconds = 0;
+};
+
+OverloadResult DriveOverload(int port, std::size_t clients,
+                             std::size_t per_client,
+                             const attack::PluginSpec& plugin,
+                             const std::string& exploit_payload) {
+  std::vector<std::thread> threads;
+  std::mutex mu;
+  OverloadResult total;
+  const auto start = std::chrono::steady_clock::now();
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      gateway::KeepAliveClient client(port);
+      OverloadResult local;
+      for (std::size_t i = 0; i < per_client; ++i) {
+        const bool is_exploit = ((c + i) % 8) == 7;
+        StatusOr<webapp::SimpleResponse> response =
+            is_exploit
+                ? client.Send(http::Request::Get(
+                      plugin.route, {{plugin.param, exploit_payload}}))
+                : client.Get("/post?id=" + std::to_string(i % 50));
+        ++local.requests;
+        if (!response.ok()) {
+          ++local.transport_failures;
+          continue;
+        }
+        if (response->status == 503 || response->status == 429) {
+          ++local.refused;
+        } else {
+          ++local.served;
+        }
+        if (is_exploit && response->body.find(attack::kSecretMarker) !=
+                              std::string::npos) {
+          ++local.fail_open;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      total.requests += local.requests;
+      total.served += local.served;
+      total.refused += local.refused;
+      total.transport_failures += local.transport_failures;
+      total.fail_open += local.fail_open;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  total.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  return total;
+}
+
 }  // namespace
 
 SuiteResult RunDegradedSuite(const SuiteOptions& options) {
@@ -166,7 +229,7 @@ SuiteResult RunDegradedSuite(const SuiteOptions& options) {
   }
   const std::string exploit = attack::OriginalExploit(*target).payload;
 
-  auto& injector = fault::FaultInjector::Global();
+  auto& injector = resilience::FaultInjector::Global();
   injector.set_hang(5000ms);
 
   struct Phase {
@@ -191,7 +254,7 @@ SuiteResult RunDegradedSuite(const SuiteOptions& options) {
   for (const Phase& phase : phases) {
     injector.DisarmAll();
     if (phase.hang_rate >= 0) {
-      injector.Arm(fault::FaultPoint::kDaemonHang, phase.hang_rate);
+      injector.Arm(resilience::FaultPoint::kDaemonHang, phase.hang_rate);
     }
     // Fresh pool so this phase's daemons fork with this phase's regime.
     auto pool = FreshPool(*proto);
@@ -215,7 +278,7 @@ SuiteResult RunDegradedSuite(const SuiteOptions& options) {
     table.AddRow({phase.name, Num(r.qps(), 1), Num(r.p50_ms, 2),
                   Num(r.p99_ms, 2), std::to_string(r.fail_open),
                   std::to_string(r.over_budget), std::to_string(degraded),
-                  fault::BreakerStateName(joza.breaker().state())});
+                  resilience::BreakerStateName(joza.breaker().state())});
 
     const std::string prefix = std::string("phase.") + phase.key;
     result.AddInfo(prefix + ".qps", r.qps(), "qps");
@@ -230,13 +293,101 @@ SuiteResult RunDegradedSuite(const SuiteOptions& options) {
 
   table.Print("Gateway under PTI faults (fail-closed degradation)");
 
-  const fault::BreakerStats bs = joza.breaker().stats();
+  // -------------------------------------------------------------------------
+  // Overload phase: concurrent flood against slow-PTI service. 10% hangs
+  // keep each request slow WITHOUT tripping the breaker (failures are not
+  // consecutive), so the queue backs up and the admission layer must shed.
+  // The invariant under test: refusing doomed work is CHEAP — a shed
+  // request costs microseconds of server time, not a worker's deadline.
+  // -------------------------------------------------------------------------
+  injector.Arm(resilience::FaultPoint::kDaemonHang, 0.10);
+  auto overload_pool = FreshPool(*proto);
+  joza.SetPtiBackend(overload_pool->AsPtiBackend());
+  const gateway::GatewayStats before_overload = server.stats();
+
+  const std::size_t flood_clients = 8;
+  const std::size_t flood_per_client = options.quick ? 10 : 20;
+  const OverloadResult overload = DriveOverload(
+      port.value(), flood_clients, flood_per_client, *target, exploit);
+
+  const gateway::GatewayStats after_overload = server.stats();
+  const std::size_t shed_deadline =
+      after_overload.shed_by_deadline - before_overload.shed_by_deadline;
+  const std::size_t throttled =
+      after_overload.throttled_by_limiter - before_overload.throttled_by_limiter;
+  const std::size_t queue_rejects = after_overload.connections_rejected -
+                                    before_overload.connections_rejected;
+  const double shed_p99_ms =
+      static_cast<double>(after_overload.shed_p99_us) / 1000.0;
+  injector.DisarmAll();
+
+  std::printf(
+      "\noverload (%zu clients x %zu reqs): %zu served, %zu refused, "
+      "%zu transport failures in %.1fs\n",
+      flood_clients, flood_per_client, overload.served, overload.refused,
+      overload.transport_failures, overload.seconds);
+  std::printf(
+      "admission:   %zu shed by deadline, %zu throttled (429), "
+      "%zu queue rejects; shed p99 %.3f ms; AIMD limit %llu\n",
+      shed_deadline, throttled, queue_rejects, shed_p99_ms,
+      static_cast<unsigned long long>(after_overload.admission_limit));
+
+  const ipc::DaemonPool::PoolStats overload_ps = overload_pool->stats();
+  total_fail_open += overload.fail_open;
+  overload_pool->Shutdown();
+
+  result.AddInfo("overload.qps",
+                 overload.seconds > 0
+                     ? static_cast<double>(overload.requests) / overload.seconds
+                     : 0,
+                 "qps");
+  result.AddInfo("overload.served", static_cast<double>(overload.served),
+                 "count");
+  result.AddInfo("overload.shed_by_deadline",
+                 static_cast<double>(shed_deadline), "count");
+  result.AddInfo("overload.throttled_429", static_cast<double>(throttled),
+                 "count");
+  result.AddInfo("overload.queue_rejects_503",
+                 static_cast<double>(queue_rejects), "count");
+  result.AddInfo("overload.admission_limit",
+                 static_cast<double>(after_overload.admission_limit), "count");
+  result.AddInfo("overload.service_estimate_us",
+                 static_cast<double>(after_overload.service_estimate_us),
+                 "us");
+  // Resilience counters riding the same export: supervisor + hedge + retry
+  // accounting of the overload pool.
+  for (const auto& [name, value] : overload_ps.supervisor.Counters()) {
+    result.AddInfo(std::string("overload.") + name,
+                   static_cast<double>(value), "count");
+  }
+  result.AddInfo("overload.retries_denied",
+                 static_cast<double>(overload_ps.retries_denied), "count");
+  result.AddInfo("overload.hedges_launched",
+                 static_cast<double>(overload_ps.hedges_launched), "count");
+  result.AddInfo("overload.hedges_won",
+                 static_cast<double>(overload_ps.hedges_won), "count");
+
+  // Gates: overload must actually engage the admission layer, refusals must
+  // be fast (server-side p99 of the shed path under 5 ms — the whole point
+  // of shedding is that doomed work costs nothing), and the flood must not
+  // break the zero-fail-open invariant (counted into safety.fail_open).
+  result.AddExact("overload.sheds",
+                  static_cast<double>(shed_deadline + throttled +
+                                      queue_rejects) > 0
+                      ? 1
+                      : 0);
+  result.RequireEq("overload engages admission control", "overload.sheds", 1);
+  result.AddInfo("overload.shed_p99_ms", shed_p99_ms, "ms");
+  result.RequireLe("shed requests are fast (p99 under 5 ms)",
+                   "overload.shed_p99_ms", 5.0);
+
+  const resilience::BreakerStats bs = joza.breaker().stats();
   const core::JozaStats js = joza.stats();
   std::printf(
       "\nbreaker transitions: %zu opens, %zu closes, %zu probes, "
       "%zu fast-rejects (final state %s)\n",
       bs.opens, bs.closes, bs.probes, js.breaker_fast_rejects,
-      fault::BreakerStateName(joza.breaker().state()));
+      resilience::BreakerStateName(joza.breaker().state()));
   std::printf("engine: %zu checks, %zu pti failures, %zu degraded checks, "
               "%zu degraded blocks\n",
               js.queries_checked, js.pti_failures, js.degraded_checks,

@@ -49,6 +49,9 @@ JozaStats& JozaStats::operator+=(const JozaStats& other) {
   // snapshot any engine has published. Swap counts add like counters.
   ruleset_version = std::max(ruleset_version, other.ruleset_version);
   ruleset_swaps += other.ruleset_swaps;
+  snapshot_saves += other.snapshot_saves;
+  snapshot_save_failures += other.snapshot_save_failures;
+  snapshot_loads += other.snapshot_loads;
   return *this;
 }
 
@@ -74,6 +77,9 @@ std::vector<std::pair<const char*, std::uint64_t>> JozaStats::Counters()
       {"degraded_blocks", degraded_blocks},
       {"ruleset_version", ruleset_version},
       {"ruleset_swaps", ruleset_swaps},
+      {"snapshot_saves", snapshot_saves},
+      {"snapshot_save_failures", snapshot_save_failures},
+      {"snapshot_loads", snapshot_loads},
   };
 }
 
@@ -82,10 +88,11 @@ Joza::Joza(php::FragmentSet fragments, JozaConfig config)
       state_(std::make_unique<SharedState>(config.cache_capacity,
                                            config.cache_shards,
                                            config.breaker)) {
-  auto ruleset =
-      pti::Ruleset::Build(std::move(fragments), config.pti, /*version=*/0);
+  auto ruleset = pti::Ruleset::Build(std::move(fragments), config.pti,
+                                     config.initial_ruleset_version);
   state_->snapshot.Publish(std::make_shared<const RulesetSnapshot>(
-      RulesetSnapshot{std::move(ruleset), config.nti, /*version=*/0}));
+      RulesetSnapshot{std::move(ruleset), config.nti,
+                      config.initial_ruleset_version}));
 }
 
 Joza Joza::Install(const webapp::Application& app, JozaConfig config) {
@@ -128,6 +135,10 @@ JozaStats Joza::stats() const {
       state_->evictions_baseline.load(std::memory_order_relaxed);
   out.ruleset_version = state_->snapshot.Load()->version;
   out.ruleset_swaps = a.ruleset_swaps.load(std::memory_order_relaxed);
+  out.snapshot_saves = a.snapshot_saves.load(std::memory_order_relaxed);
+  out.snapshot_save_failures =
+      a.snapshot_save_failures.load(std::memory_order_relaxed);
+  out.snapshot_loads = a.snapshot_loads.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -150,6 +161,9 @@ void Joza::ResetStats() {
   a.degraded_checks.store(0, std::memory_order_relaxed);
   a.degraded_blocks.store(0, std::memory_order_relaxed);
   a.ruleset_swaps.store(0, std::memory_order_relaxed);
+  a.snapshot_saves.store(0, std::memory_order_relaxed);
+  a.snapshot_save_failures.store(0, std::memory_order_relaxed);
+  a.snapshot_loads.store(0, std::memory_order_relaxed);
   state_->evictions_baseline.store(
       state_->query_cache.evictions() + state_->structure_cache.evictions(),
       std::memory_order_relaxed);
@@ -163,6 +177,7 @@ void Joza::OnSourcesChanged(const std::vector<php::SourceFile>& files) {
   const auto current = state_->snapshot.Load();
   auto next_pti = current->pti->WithSources(files);
   const std::uint64_t next_version = next_pti->version();
+  const std::shared_ptr<const pti::Ruleset> published = next_pti;
   state_->snapshot.Publish(std::make_shared<const RulesetSnapshot>(
       RulesetSnapshot{std::move(next_pti), current->nti, next_version}));
   state_->stats.ruleset_swaps.fetch_add(1, std::memory_order_relaxed);
@@ -173,6 +188,19 @@ void Joza::OnSourcesChanged(const std::vector<php::SourceFile>& files) {
   // unreachable entries' memory.
   state_->query_cache.Clear();
   state_->structure_cache.Clear();
+  // Best-effort crash durability: persist the generation just published.
+  // Still under swap_mu, so snapshots land on disk in version order; a
+  // failed persist is counted but never rolls back the publish.
+  if (snapshot_sink_) {
+    const Status persisted =
+        snapshot_sink_(published->fragments(), next_version);
+    if (persisted.ok()) {
+      state_->stats.snapshot_saves.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      state_->stats.snapshot_save_failures.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  }
 }
 
 StatusOr<pti::PtiResult> Joza::RunPti(const AnalysisContext& ctx) {

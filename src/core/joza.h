@@ -30,7 +30,7 @@
 #include <vector>
 
 #include "core/sharded_cache.h"
-#include "fault/circuit_breaker.h"
+#include "resilience/circuit_breaker.h"
 #include "http/request.h"
 #include "nti/nti.h"
 #include "phpsrc/fragments.h"
@@ -78,7 +78,7 @@ struct JozaConfig {
   DegradedMode degraded_mode = DegradedMode::kFailClosed;
   // Circuit breaker wrapping the external PTI backend (ignored for the
   // in-process analyzer, which cannot fail). threshold 0 disables.
-  fault::CircuitBreakerOptions breaker;
+  resilience::CircuitBreakerOptions breaker;
   // Bound on each safety cache's entry count. 0 keeps the seed behaviour
   // (unbounded, as the Table V/VI benches assume); the gateway sets a bound
   // so memory stays stable under unbounded distinct-query traffic. Eviction
@@ -87,6 +87,11 @@ struct JozaConfig {
   // Lock-striping width of the safety caches (rounded up to a power of
   // two). More shards = less contention between worker threads.
   std::size_t cache_shards = 16;
+  // Version the seed fragment set corresponds to. A warm start from a
+  // crash-durable snapshot passes the recovered version so the engine
+  // continues the pre-crash version line (cache salts, verdict stamps,
+  // daemon handshakes) instead of restarting at zero.
+  std::uint64_t initial_ruleset_version = 0;
 };
 
 // Everything a check needs to judge one query, bundled as one immutable
@@ -154,6 +159,11 @@ struct JozaStats {
   // takes the max; swaps is a counter — aggregation sums).
   std::uint64_t ruleset_version = 0;
   std::size_t ruleset_swaps = 0;
+  // Crash-durability accounting: successful/failed persists through the
+  // snapshot sink, and warm starts recovered from a persisted snapshot.
+  std::size_t snapshot_saves = 0;
+  std::size_t snapshot_save_failures = 0;
+  std::size_t snapshot_loads = 0;
 
   // Aggregation across engines / snapshot intervals (gateway roll-ups).
   JozaStats& operator+=(const JozaStats& other);
@@ -184,6 +194,15 @@ struct AttackReport {
 
 // Receives every attack the engine detects. Must not re-enter the engine.
 using AttackSink = std::function<void(const AttackReport&)>;
+
+// Persists one published ruleset generation (fragment vocabulary +
+// version); wired to resilience::SaveRulesetSnapshot by the gateway CLI.
+// Invoked after every publish, serialized with other writers. Must not
+// re-enter the engine; the returned Status only feeds the save counters
+// (a failed persist never blocks the publish — durability is best-effort,
+// correctness does not depend on it).
+using SnapshotSink =
+    std::function<Status(const php::FragmentSet&, std::uint64_t version)>;
 
 // Pluggable PTI execution: in-process by default, or the IPC daemon client
 // (Section IV-C1) — the architecture the paper ships to avoid requiring a
@@ -222,10 +241,20 @@ class Joza {
   // Installs an audit sink invoked for every detected attack.
   void SetAttackSink(AttackSink sink) { attack_sink_ = std::move(sink); }
 
+  // Installs the crash-durability sink invoked after every snapshot
+  // publish (setup-time, like the other setters).
+  void SetSnapshotSink(SnapshotSink sink) { snapshot_sink_ = std::move(sink); }
+
+  // Records that this engine was warm-started from a persisted snapshot
+  // (exported as snapshot_loads; called by whoever performed the load).
+  void NoteSnapshotLoad() {
+    state_->stats.snapshot_loads.fetch_add(1, std::memory_order_relaxed);
+  }
+
   // Circuit breaker guarding the external PTI backend. Exposed for stats
   // snapshots and tests; resetting it mid-traffic is safe.
-  const fault::CircuitBreaker& breaker() const { return state_->breaker; }
-  fault::CircuitBreaker& breaker() { return state_->breaker; }
+  const resilience::CircuitBreaker& breaker() const { return state_->breaker; }
+  resilience::CircuitBreaker& breaker() { return state_->breaker; }
 
   // Checks one query against the stored request inputs. The default
   // deadline is the ambient per-request deadline installed by
@@ -285,6 +314,9 @@ class Joza {
     std::atomic<std::size_t> degraded_checks{0};
     std::atomic<std::size_t> degraded_blocks{0};
     std::atomic<std::size_t> ruleset_swaps{0};
+    std::atomic<std::size_t> snapshot_saves{0};
+    std::atomic<std::size_t> snapshot_save_failures{0};
+    std::atomic<std::size_t> snapshot_loads{0};
   };
 
   // All concurrently-mutated state lives behind one pointer so Joza itself
@@ -292,7 +324,7 @@ class Joza {
   // threads are checking through it is, of course, still undefined.
   struct SharedState {
     SharedState(std::size_t capacity, std::size_t shards,
-                fault::CircuitBreakerOptions breaker_options)
+                resilience::CircuitBreakerOptions breaker_options)
         : query_cache(capacity, shards),
           structure_cache(capacity, shards),
           breaker(breaker_options) {}
@@ -315,7 +347,7 @@ class Joza {
     std::mutex sink_mu;
     // Guards the external PTI backend; the in-process path never consults
     // it (an in-process analyzer cannot fail).
-    fault::CircuitBreaker breaker;
+    resilience::CircuitBreaker breaker;
   };
 
   StatusOr<pti::PtiResult> RunPti(const AnalysisContext& ctx);
@@ -331,6 +363,7 @@ class Joza {
   PtiFn pti_backend_;  // empty -> in-process; must be thread-safe if the
                        // engine is checked from multiple threads
   AttackSink attack_sink_;
+  SnapshotSink snapshot_sink_;
   std::unique_ptr<SharedState> state_;
 };
 

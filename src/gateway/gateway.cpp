@@ -12,7 +12,7 @@
 #include <cstring>
 #include <thread>
 
-#include "fault/injector.h"
+#include "resilience/injector.h"
 #include "util/strings.h"
 #include "webapp/http_server.h"
 
@@ -154,7 +154,10 @@ std::string RenderResponse(const http::Response& response, bool keep_alive) {
 
 GatewayServer::GatewayServer(AppFactory factory, core::Joza* joza,
                              GatewayConfig config)
-    : factory_(std::move(factory)), joza_(joza), config_(config) {
+    : factory_(std::move(factory)),
+      joza_(joza),
+      config_(config),
+      aimd_(config.admission) {
   if (config_.workers == 0) config_.workers = 1;
   if (config_.queue_capacity == 0) config_.queue_capacity = 1;
 }
@@ -255,8 +258,8 @@ void GatewayServer::AcceptLoop() {
       if (errno == EINTR) continue;
       break;  // listener closed by Stop()
     }
-    if (fault::FaultInjector::Global().ShouldFire(
-            fault::FaultPoint::kAcceptFail)) {
+    if (resilience::FaultInjector::Global().ShouldFire(
+            resilience::FaultPoint::kAcceptFail)) {
       // Simulated post-accept failure (fd exhaustion, dying client): drop
       // the connection on the floor; the client sees a reset.
       ::close(fd);
@@ -280,7 +283,7 @@ void GatewayServer::AcceptLoop() {
       if (queue_.size() >= config_.queue_capacity) {
         rejected = true;
       } else {
-        queue_.push_back(fd);
+        queue_.push_back({fd, std::chrono::steady_clock::now()});
       }
     }
     if (rejected) {
@@ -292,20 +295,20 @@ void GatewayServer::AcceptLoop() {
   }
 }
 
-void GatewayServer::Reject503(int fd) {
+void GatewayServer::RejectConnection(int fd, int status, const char* body) {
   // Drain the request already in flight before answering: closing with
   // unread bytes in the receive buffer makes the kernel send RST, and the
-  // peer would never see the 503. The short timeout bounds how long an
-  // overloaded accept loop can stall on a slow client.
+  // peer would never see the refusal. The short timeout bounds how long a
+  // refusal path can stall on a slow client.
   timeval tv{};
   tv.tv_usec = 250 * 1000;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
   std::string buf;
   (void)ReadOneRequest(fd, buf, config_);
-  http::Response overloaded;
-  overloaded.status = 503;
-  overloaded.body = "overloaded";
-  webapp::SendAll(fd, RenderResponse(overloaded, false));
+  http::Response refusal;
+  refusal.status = status;
+  refusal.body = body;
+  webapp::SendAll(fd, RenderResponse(refusal, false));
   // Half-close and wait for the peer's EOF so the response is delivered
   // before the full close.
   ::shutdown(fd, SHUT_WR);
@@ -315,6 +318,8 @@ void GatewayServer::Reject503(int fd) {
   ::close(fd);
 }
 
+void GatewayServer::Reject503(int fd) { RejectConnection(fd, 503, "overloaded"); }
+
 void GatewayServer::WorkerLoop(WorkerSlot& slot) {
   // One private application per worker: handlers and the in-memory db are
   // single-threaded; only the Joza engine is shared.
@@ -322,13 +327,32 @@ void GatewayServer::WorkerLoop(WorkerSlot& slot) {
   if (joza_ != nullptr) app->SetQueryGate(joza_->MakeGate());
 
   for (;;) {
-    int fd = -1;
+    QueuedConn conn;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [&] { return !queue_.empty() || draining_; });
       if (queue_.empty()) break;  // draining and nothing left to serve
-      fd = queue_.front();
+      conn = queue_.front();
       queue_.pop_front();
+    }
+    const int fd = conn.fd;
+    // Deadline-aware shed: if the connection's queue wait plus the typical
+    // service time already blow the request budget, its client has (or is
+    // about to have) timed out — a fast 503 frees this worker for work
+    // that can still make its deadline.
+    if (config_.shed_by_deadline && config_.request_deadline.count() > 0 &&
+        !stopping_.load(std::memory_order_relaxed)) {
+      const auto waited = std::chrono::steady_clock::now() - conn.enqueued;
+      const auto estimate = service_ewma_.estimate();
+      if (waited + estimate > config_.request_deadline) {
+        const auto shed_start = std::chrono::steady_clock::now();
+        shed_by_deadline_.fetch_add(1, std::memory_order_relaxed);
+        RejectConnection(fd, 503, "shed: deadline");
+        shed_latency_.Record(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - shed_start));
+        continue;
+      }
     }
     {
       std::lock_guard<std::mutex> lock(slot.conn_mu);
@@ -349,8 +373,8 @@ void GatewayServer::ServeConnection(webapp::Application& app, int fd) {
   std::string buf;
   std::size_t served_on_connection = 0;
   while (served_on_connection < config_.max_requests_per_connection) {
-    auto& injector = fault::FaultInjector::Global();
-    if (injector.ShouldFire(fault::FaultPoint::kSlowClient)) {
+    auto& injector = resilience::FaultInjector::Global();
+    if (injector.ShouldFire(resilience::FaultPoint::kSlowClient)) {
       // Stall this worker before it reads, as if the client dribbled the
       // request in slowly — saturates the pool without touching sockets.
       std::this_thread::sleep_for(injector.hang());
@@ -382,6 +406,13 @@ void GatewayServer::ServeConnection(webapp::Application& app, int fd) {
       bad_requests_.fetch_add(1, std::memory_order_relaxed);
       response.status = 400;
       response.body = "Bad Request";
+    } else if (!aimd_.TryAcquire()) {
+      // At the adaptive concurrency limit: refuse immediately rather than
+      // stacking more work onto a backend already blowing deadlines.
+      throttled_by_limiter_.fetch_add(1, std::memory_order_relaxed);
+      response.status = 429;
+      response.body = "Too Many Requests";
+      keep_alive = false;
     } else {
       keep_alive = WantsKeepAlive(raw.value());
       // Per-request budget, visible to the Joza engine (and through it the
@@ -390,8 +421,19 @@ void GatewayServer::ServeConnection(webapp::Application& app, int fd) {
       if (config_.request_deadline.count() > 0) {
         request_deadline = util::Deadline::After(config_.request_deadline);
       }
-      util::ScopedRequestDeadline scope(request_deadline);
-      response = app.Handle(request.value());
+      const auto handle_start = std::chrono::steady_clock::now();
+      {
+        util::ScopedRequestDeadline scope(request_deadline);
+        response = app.Handle(request.value());
+      }
+      const auto elapsed = std::chrono::steady_clock::now() - handle_start;
+      // A completion that consumed the whole budget is the AIMD overload
+      // signal; on-time completions grow the limit back.
+      const bool overloaded = config_.request_deadline.count() > 0 &&
+                              elapsed >= config_.request_deadline;
+      service_ewma_.Record(
+          std::chrono::duration_cast<std::chrono::microseconds>(elapsed));
+      aimd_.Release(overloaded);
     }
     // During drain, finish this request but do not start another.
     if (stopping_.load(std::memory_order_relaxed)) keep_alive = false;
@@ -423,6 +465,15 @@ std::vector<std::pair<const char*, std::uint64_t>> GatewayStats::Counters()
       {"bad_requests", bad_requests},
       {"request_timeouts", request_timeouts},
       {"oversized_requests", oversized_requests},
+      {"shed_by_deadline", shed_by_deadline},
+      {"throttled_by_limiter", throttled_by_limiter},
+      {"admission_limit", admission_limit},
+      {"service_estimate_us", service_estimate_us},
+      {"shed_p99_us", shed_p99_us},
+      {"restarts", restarts},
+      {"quarantines", quarantines},
+      {"hedges_won", hedges_won},
+      {"retries_denied", retries_denied},
   };
 }
 
@@ -438,6 +489,17 @@ GatewayStats GatewayServer::stats() const {
   out.request_timeouts = request_timeouts_.load(std::memory_order_relaxed);
   out.oversized_requests =
       oversized_requests_.load(std::memory_order_relaxed);
+  out.shed_by_deadline = shed_by_deadline_.load(std::memory_order_relaxed);
+  out.throttled_by_limiter =
+      throttled_by_limiter_.load(std::memory_order_relaxed);
+  out.admission_limit = static_cast<std::uint64_t>(aimd_.limit());
+  out.service_estimate_us =
+      static_cast<std::uint64_t>(service_ewma_.estimate().count());
+  out.shed_p99_us = static_cast<std::uint64_t>(
+      shed_latency_
+          .Quantile(0.99, std::chrono::microseconds(0), /*min_samples=*/1)
+          .count());
+  if (resilience_provider_) resilience_provider_(out);
   if (joza_ != nullptr) {
     const core::JozaStats engine = joza_->stats();
     out.ruleset_version = engine.ruleset_version;

@@ -35,6 +35,8 @@
 #include <vector>
 
 #include "core/joza.h"
+#include "resilience/admission.h"
+#include "resilience/hedge.h"
 #include "util/deadline.h"
 #include "util/status.h"
 #include "webapp/application.h"
@@ -63,6 +65,15 @@ struct GatewayConfig {
   // ambient deadline (bounds the PTI daemon round trip; a miss degrades
   // the verdict fail-closed instead of pinning the worker). 0 disables.
   std::chrono::milliseconds request_deadline{2000};
+  // Adaptive admission: AIMD bound on concurrent request handling. Beyond
+  // the limit workers answer 429 immediately instead of piling onto a
+  // saturated backend; deadline overruns shrink the limit.
+  resilience::AimdOptions admission;
+  // Deadline-aware shedding: a connection dequeued after its queue wait
+  // plus the EWMA service estimate already exceed request_deadline is
+  // answered 503 immediately — a fast refusal beats burning a worker on
+  // work whose client has timed out. Needs request_deadline > 0.
+  bool shed_by_deadline = true;
 };
 
 struct GatewayStats {
@@ -73,6 +84,17 @@ struct GatewayStats {
   std::size_t bad_requests = 0;
   std::size_t request_timeouts = 0;      // slowloris guard fired (408)
   std::size_t oversized_requests = 0;    // size cap fired (413)
+  std::size_t shed_by_deadline = 0;      // dequeued too late to matter (503)
+  std::size_t throttled_by_limiter = 0;  // AIMD concurrency refusals (429)
+  std::uint64_t admission_limit = 0;     // current AIMD concurrency limit
+  std::uint64_t service_estimate_us = 0; // EWMA request service time
+  std::uint64_t shed_p99_us = 0;         // p99 of shed-path handling time
+  // Daemon-fleet resilience counters, filled by the installed provider
+  // (the CLI wires the pool's supervisor/hedge stats through here).
+  std::size_t restarts = 0;              // supervisor-admitted respawns
+  std::size_t quarantines = 0;           // shard quarantine transitions
+  std::size_t hedges_won = 0;            // races the hedged attempt won
+  std::size_t retries_denied = 0;        // retry-budget refusals
   // From the shared Joza engine (0 when serving unprotected): the ruleset
   // snapshot version currently published and how many times it was swapped.
   std::uint64_t ruleset_version = 0;
@@ -121,6 +143,13 @@ class GatewayServer {
   std::size_t worker_count() const { return config_.workers; }
   GatewayStats stats() const;
 
+  // Installs a hook that augments stats() with daemon-fleet resilience
+  // counters (restarts, quarantines, hedges, retry denials). Call before
+  // Start(); the hook runs on whatever thread calls stats().
+  void SetResilienceProvider(std::function<void(GatewayStats&)> provider) {
+    resilience_provider_ = std::move(provider);
+  }
+
  private:
   struct WorkerSlot {
     std::thread thread;
@@ -129,9 +158,16 @@ class GatewayServer {
     std::atomic<bool> done{false};
   };
 
+  struct QueuedConn {
+    int fd = -1;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void AcceptLoop();
   void WorkerLoop(WorkerSlot& slot);
   void ServeConnection(webapp::Application& app, int fd);
+  // Drains the pending request and answers `status`/`body`, then closes.
+  void RejectConnection(int fd, int status, const char* body);
   void Reject503(int fd);
 
   AppFactory factory_;
@@ -147,8 +183,13 @@ class GatewayServer {
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<int> queue_;
+  std::deque<QueuedConn> queue_;
   bool draining_ = false;
+
+  resilience::AimdLimiter aimd_;
+  resilience::ServiceTimeEwma service_ewma_;
+  resilience::LatencyTracker shed_latency_;  // shed-path handling times
+  std::function<void(GatewayStats&)> resilience_provider_;
 
   std::vector<std::unique_ptr<WorkerSlot>> workers_;
 
@@ -159,6 +200,8 @@ class GatewayServer {
   std::atomic<std::size_t> bad_requests_{0};
   std::atomic<std::size_t> request_timeouts_{0};
   std::atomic<std::size_t> oversized_requests_{0};
+  std::atomic<std::size_t> shed_by_deadline_{0};
+  std::atomic<std::size_t> throttled_by_limiter_{0};
 };
 
 }  // namespace joza::gateway

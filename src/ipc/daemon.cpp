@@ -5,7 +5,7 @@
 #include <thread>
 #include <unistd.h>
 
-#include "fault/injector.h"
+#include "resilience/injector.h"
 #include "sqlparse/lexer.h"
 
 namespace joza::ipc {
@@ -32,11 +32,11 @@ std::size_t ServePtiDaemon(int read_fd, int write_fd,
         }
         break;
       case MessageType::kAnalyzeRequest: {
-        auto& injector = fault::FaultInjector::Global();
-        if (injector.ShouldFire(fault::FaultPoint::kDaemonKill)) {
+        auto& injector = resilience::FaultInjector::Global();
+        if (injector.ShouldFire(resilience::FaultPoint::kDaemonKill)) {
           ::_exit(3);  // crash mid-request: the client sees EOF
         }
-        if (injector.ShouldFire(fault::FaultPoint::kDaemonHang)) {
+        if (injector.ShouldFire(resilience::FaultPoint::kDaemonHang)) {
           // Stall without answering; the client's deadline machinery must
           // kill and replace this daemon.
           std::this_thread::sleep_for(injector.hang());
@@ -99,6 +99,10 @@ DaemonClient::DaemonClient(Mode mode, php::FragmentSet fragments,
 DaemonClient::~DaemonClient() { Shutdown(); }
 
 Status DaemonClient::SpawnChild(Fd& to_child_w, Fd& from_child_r) {
+  if (resilience::FaultInjector::Global().ShouldFire(
+          resilience::FaultPoint::kSpawnFail)) {
+    return Status::Unavailable("injected spawn failure");
+  }
   auto req_pipe = MakePipe();  // parent -> child
   if (!req_pipe.ok()) return req_pipe.status();
   auto resp_pipe = MakePipe();  // child -> parent

@@ -1,13 +1,21 @@
 #include "ipc/daemon_pool.h"
 
 #include <algorithm>
+#include <optional>
+#include <thread>
 #include <utility>
+
+#include "resilience/injector.h"
 
 namespace joza::ipc {
 
 DaemonPool::DaemonPool(php::FragmentSet fragments, Options options,
                        pti::PtiConfig config)
-    : fragments_(std::move(fragments)), config_(config), options_(options) {
+    : fragments_(std::move(fragments)),
+      config_(config),
+      options_(options),
+      supervisor_(options.supervisor),
+      retry_budget_(options.retry_budget) {
   if (options_.max_size == 0) options_.max_size = 1;
   options_.min_size = std::min(options_.min_size, options_.max_size);
 }
@@ -16,52 +24,69 @@ DaemonPool::~DaemonPool() { Shutdown(); }
 
 StatusOr<DaemonPool::Entry> DaemonPool::Checkout(util::Deadline deadline) {
   std::unique_lock<std::mutex> lock(mu_);
-  while (idle_.empty() && live_ >= options_.max_size && !shutdown_) {
-    ++stats_.waits;
-    if (!deadline.finite()) {
-      cv_.wait(lock);
-    } else if (cv_.wait_until(lock, deadline.point()) ==
-               std::cv_status::timeout) {
-      // Re-check once: a Return may have raced the timeout.
-      if (idle_.empty() && live_ >= options_.max_size && !shutdown_) {
-        return Status::DeadlineExceeded("daemon checkout deadline");
+  bool counted_wait = false;
+  while (idle_.empty()) {
+    if (shutdown_) return Status::Unavailable("daemon pool is shut down");
+    if (live_ < options_.max_size) {
+      const Status admit = supervisor_.AdmitSpawn();
+      if (admit.ok()) {
+        ++live_;
+        ++stats_.spawned;
+        // Copy the fragment set under the lock; fork and handshake outside
+        // it so a slow spawn never stalls the whole pool.
+        php::FragmentSet fragments = fragments_;
+        Entry entry;
+        entry.fragments_applied = added_texts_.size();
+        const std::uint64_t seed_version =
+            options_.base_version + entry.fragments_applied;
+        lock.unlock();
+        entry.client = std::make_unique<DaemonClient>(
+            DaemonClient::Mode::kPersistent, std::move(fragments), config_,
+            /*initial_version=*/seed_version);
+        // Version handshake: the fresh daemon must report the version it
+        // was seeded with; anything else is a stale or broken replica.
+        auto reported = entry.client->Handshake(deadline);
+        if (!reported.ok()) {
+          supervisor_.RecordSpawnFailure();
+          Discard(std::move(entry));
+          return reported.status();
+        }
+        if (reported.value() != seed_version) {
+          {
+            std::lock_guard<std::mutex> relock(mu_);
+            ++stats_.version_mismatches;
+          }
+          supervisor_.RecordSpawnFailure();
+          Discard(std::move(entry));
+          return Status::Internal("stale daemon: version handshake mismatch");
+        }
+        supervisor_.RecordSpawnSuccess();
+        return entry;
       }
+      if (supervisor_.quarantined()) {
+        // Known-bad shard: fail fast so the engine serves its degraded
+        // mode (NTI-only / fail-closed) instead of queueing doomed work.
+        return Status::Unavailable(admit.message());
+      }
+      // Backoff or restart budget: a respawn is not allowed *yet*. Fall
+      // through and wait — either a busy daemon returns or the backoff
+      // window lapses (hence the bounded poll below, not a pure cv wait).
     }
+    if (deadline.finite() && deadline.expired()) {
+      return Status::DeadlineExceeded("daemon checkout deadline");
+    }
+    if (!counted_wait) {
+      ++stats_.waits;
+      counted_wait = true;
+    }
+    const auto poll =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+    cv_.wait_until(lock,
+                   deadline.finite() ? std::min(deadline.point(), poll) : poll);
   }
-  if (shutdown_) return Status::Unavailable("daemon pool is shut down");
 
-  Entry entry;
-  if (!idle_.empty()) {
-    entry = std::move(idle_.back());
-    idle_.pop_back();
-  } else {
-    ++live_;
-    ++stats_.spawned;
-    // Copy the fragment set under the lock; fork and handshake outside it
-    // so a slow spawn never stalls the whole pool.
-    php::FragmentSet fragments = fragments_;
-    entry.fragments_applied = added_texts_.size();
-    lock.unlock();
-    entry.client = std::make_unique<DaemonClient>(
-        DaemonClient::Mode::kPersistent, std::move(fragments), config_,
-        /*initial_version=*/entry.fragments_applied);
-    // Version handshake: the fresh daemon must report the version it was
-    // seeded with; anything else is a stale or broken replica.
-    auto reported = entry.client->Handshake(deadline);
-    if (!reported.ok()) {
-      Discard(std::move(entry));
-      return reported.status();
-    }
-    if (reported.value() != entry.fragments_applied) {
-      {
-        std::lock_guard<std::mutex> relock(mu_);
-        ++stats_.version_mismatches;
-      }
-      Discard(std::move(entry));
-      return Status::Internal("stale daemon: version handshake mismatch");
-    }
-    return entry;
-  }
+  Entry entry = std::move(idle_.back());
+  idle_.pop_back();
 
   // Ship fragment updates this daemon has not seen yet; the update names
   // the exact version the daemon must land on and the Ack echoes it back.
@@ -69,12 +94,13 @@ StatusOr<DaemonPool::Entry> DaemonPool::Checkout(util::Deadline deadline) {
       added_texts_.begin() +
           static_cast<std::ptrdiff_t>(entry.fragments_applied),
       added_texts_.end());
-  const std::uint64_t target = added_texts_.size();
+  const std::uint64_t target = options_.base_version + added_texts_.size();
   entry.fragments_applied = added_texts_.size();
   lock.unlock();
   if (!pending.empty()) {
     auto acked = entry.client->AddFragmentsAt(pending, target, deadline);
     if (!acked.ok()) {
+      supervisor_.RecordCrash();
       Discard(std::move(entry));
       return acked.status();
     }
@@ -83,6 +109,7 @@ StatusOr<DaemonPool::Entry> DaemonPool::Checkout(util::Deadline deadline) {
         std::lock_guard<std::mutex> relock(mu_);
         ++stats_.version_mismatches;
       }
+      supervisor_.RecordCrash();
       Discard(std::move(entry));
       return Status::Internal("stale daemon: update ack version mismatch");
     }
@@ -117,16 +144,55 @@ void DaemonPool::Discard(Entry entry) {
   cv_.notify_all();  // blocked checkouts (or Shutdown) may proceed
 }
 
-StatusOr<PtiVerdictWire> DaemonPool::Analyze(std::string_view query,
-                                             util::Deadline deadline) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) return Status::Unavailable("daemon pool is shut down");
-    ++in_flight_;
+StatusOr<PtiVerdictWire> DaemonPool::AttemptOnce(std::string_view query,
+                                                 util::Deadline deadline,
+                                                 bool hedged) {
+  const auto start = std::chrono::steady_clock::now();
+  auto entry = Checkout(deadline);
+  if (!entry.ok()) {
+    if (entry.status().code() == StatusCode::kDeadlineExceeded) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.deadline_misses;
+    }
+    return entry.status();
   }
-  InFlight flight(this);
+  if (hedged && resilience::FaultInjector::Global().ShouldFire(
+                    resilience::FaultPoint::kHedgeLoss)) {
+    // The secondary loses its race without touching the daemon: the entry
+    // goes straight back so the injected loss costs no capacity.
+    Return(std::move(entry).value());
+    return Status::Unavailable("injected hedge-race loss");
+  }
+  auto wire = entry->client->Analyze(query, deadline);
+  if (wire.ok()) {
+    latency_.Record(std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start));
+    retry_budget_.RecordSuccess();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.analyzed;
+    }
+    Return(std::move(entry).value());
+    return wire;
+  }
+  if (wire.status().code() == StatusCode::kDeadlineExceeded) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.deadline_misses;
+  }
+  // The daemon died or hung mid-flight: kill it and free its slot; the
+  // supervisor decides whether a replacement may spawn.
+  supervisor_.RecordCrash();
+  Discard(std::move(entry).value());
+  return wire.status();
+}
+
+StatusOr<PtiVerdictWire> DaemonPool::AnalyzeSequential(std::string_view query,
+                                                       util::Deadline deadline) {
   Status last = Status::Unavailable("PTI daemon unreachable after retry");
   for (int attempt = 0; attempt < 2; ++attempt) {
+    // Retries spend from the budget; when it is drained (an outage — every
+    // request failing and retrying) the tier degrades to single attempts.
+    if (attempt > 0 && !retry_budget_.TrySpend()) break;
     // Each attempt gets at most per_call_timeout; the retry runs on
     // whatever remains of the caller's budget.
     util::Deadline attempt_deadline = deadline;
@@ -138,45 +204,147 @@ StatusOr<PtiVerdictWire> DaemonPool::Analyze(std::string_view query,
       last = Status::DeadlineExceeded("PTI deadline budget exhausted");
       break;
     }
-    auto entry = Checkout(attempt_deadline);
-    if (!entry.ok()) {
-      // A stale replica was detected and discarded during checkout; the
-      // replacement spawned by the retry starts at the target version.
-      const bool stale =
-          entry.status().code() == StatusCode::kInternal &&
-          entry.status().message().find("stale daemon") != std::string::npos;
-      if (stale && attempt == 0) {
-        last = entry.status();
-        continue;
-      }
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.failures;
-      if (entry.status().code() == StatusCode::kDeadlineExceeded) {
-        ++stats_.deadline_misses;
-      }
-      return entry.status();
-    }
-    auto wire = entry->client->Analyze(query, attempt_deadline);
-    if (wire.ok()) {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.analyzed;
-      }
-      Return(std::move(entry).value());
-      return wire;
-    }
+    auto wire = AttemptOnce(query, attempt_deadline, /*hedged=*/false);
+    if (wire.ok()) return wire;
     last = wire.status();
-    if (last.code() == StatusCode::kDeadlineExceeded) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.deadline_misses;
+    // A quarantined shard fails every attempt by design — do not burn the
+    // retry budget confirming it.
+    if (last.code() == StatusCode::kUnavailable &&
+        last.message().find("quarantin") != std::string::npos) {
+      break;
     }
-    // The daemon died or hung mid-flight: kill it, replace it, and retry
-    // the query once on a fresh daemon.
-    Discard(std::move(entry).value());
   }
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.failures;
   return last;
+}
+
+StatusOr<PtiVerdictWire> DaemonPool::AnalyzeHedged(std::string_view query,
+                                                   util::Deadline deadline) {
+  struct Race {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<StatusOr<PtiVerdictWire>> primary;
+    std::optional<StatusOr<PtiVerdictWire>> hedge;
+    bool hedge_launched = false;
+  };
+  auto race = std::make_shared<Race>();
+  const std::string q(query);  // the detached attempt threads outlive us
+
+  auto bounded = [this](util::Deadline d) {
+    if (options_.per_call_timeout.count() > 0) {
+      return util::Deadline::EarlierOf(
+          d, util::Deadline::After(options_.per_call_timeout));
+    }
+    return d;
+  };
+
+  // The primary runs in a helper thread so this thread can arm the hedge
+  // while it is still in flight. Each attempt thread carries its own
+  // in-flight mark (taken before launch), so Shutdown waits for it even
+  // after this call returns with the other attempt's result.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return Status::Unavailable("daemon pool is shut down");
+    ++in_flight_;
+  }
+  const util::Deadline primary_deadline = bounded(deadline);
+  std::thread([this, race, q, primary_deadline] {
+    InFlight flight(this);
+    auto result = AttemptOnce(q, primary_deadline, /*hedged=*/false);
+    {
+      std::lock_guard<std::mutex> lock(race->mu);
+      race->primary.emplace(std::move(result));
+    }
+    race->cv.notify_all();
+  }).detach();
+
+  // Wait out the hedge delay; a primary still in flight after it is a
+  // straggler worth racing — if the budget allows.
+  std::unique_lock<std::mutex> rlock(race->mu);
+  const bool straggling = !race->cv.wait_for(
+      rlock, HedgeDelay(), [&] { return race->primary.has_value(); });
+  if (straggling) {
+    rlock.unlock();
+    bool launch = retry_budget_.TrySpend();
+    if (launch) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) {
+        launch = false;
+      } else {
+        ++in_flight_;
+        ++stats_.hedges_launched;
+      }
+    }
+    if (launch) {
+      {
+        std::lock_guard<std::mutex> hl(race->mu);
+        race->hedge_launched = true;
+      }
+      const util::Deadline hedge_deadline = bounded(deadline);
+      std::thread([this, race, q, hedge_deadline] {
+        InFlight flight(this);
+        auto result = AttemptOnce(q, hedge_deadline, /*hedged=*/true);
+        {
+          std::lock_guard<std::mutex> lock(race->mu);
+          race->hedge.emplace(std::move(result));
+        }
+        race->cv.notify_all();
+      }).detach();
+    }
+    rlock.lock();
+  }
+
+  // First success wins; otherwise wait for every launched attempt (their
+  // bounded deadlines guarantee this terminates).
+  race->cv.wait(rlock, [&] {
+    if (race->primary && race->primary->ok()) return true;
+    if (race->hedge && race->hedge->ok()) return true;
+    return race->primary.has_value() &&
+           (!race->hedge_launched || race->hedge.has_value());
+  });
+  const bool primary_ok = race->primary && race->primary->ok();
+  const bool hedge_ok = race->hedge && race->hedge->ok();
+  if (primary_ok) return *race->primary;
+  if (hedge_ok) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.hedges_won;
+    }
+    return *race->hedge;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.failures;
+  }
+  return race->primary ? race->primary->status()
+                       : Status::Unavailable("hedged analyze failed");
+}
+
+std::chrono::milliseconds DaemonPool::HedgeDelay() const {
+  if (!options_.hedge_from_p99) return options_.hedge_delay;
+  std::chrono::milliseconds fallback = options_.hedge_delay;
+  if (fallback.count() <= 0) {
+    fallback = options_.per_call_timeout.count() > 0
+                   ? options_.per_call_timeout / 2
+                   : std::chrono::milliseconds(100);
+  }
+  const auto p99 = latency_.Quantile(
+      0.99, std::chrono::duration_cast<std::chrono::microseconds>(fallback));
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(p99);
+  return std::max(ms, std::chrono::milliseconds(1));
+}
+
+StatusOr<PtiVerdictWire> DaemonPool::Analyze(std::string_view query,
+                                             util::Deadline deadline) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return Status::Unavailable("daemon pool is shut down");
+    ++in_flight_;
+  }
+  InFlight flight(this);
+  if (hedging_enabled()) return AnalyzeHedged(query, deadline);
+  return AnalyzeSequential(query, deadline);
 }
 
 Status DaemonPool::Ping(util::Deadline deadline) {
@@ -192,6 +360,7 @@ Status DaemonPool::Ping(util::Deadline deadline) {
   if (st.ok()) {
     Return(std::move(entry).value());
   } else {
+    supervisor_.RecordCrash();
     Discard(std::move(entry).value());
   }
   return st;
@@ -268,30 +437,43 @@ void DaemonPool::Shutdown() {
     // Checked-out daemons drain through Return/Discard (which decrement
     // live_ under shutdown_) and the calls themselves drain through the
     // InFlight guards; their bounded deadlines guarantee progress. Waiting
-    // for both means no racing thread can still touch pool state after
-    // Shutdown returns, so destruction is safe.
+    // for both means no racing thread (including detached hedge attempts)
+    // can still touch pool state after Shutdown returns, so destruction is
+    // safe.
     cv_.wait(lock, [&] { return live_ == 0 && in_flight_ == 0; });
   }
   victims.clear();
 }
 
 DaemonPool::PoolStats DaemonPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  PoolStats out = stats_;
-  out.target_version = added_texts_.size();
+  PoolStats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = stats_;
+    out.target_version = options_.base_version + added_texts_.size();
+  }
+  out.retries_denied = retry_budget_.denied();
+  out.supervisor = supervisor_.stats();
   return out;
 }
 
 std::uint64_t DaemonPool::target_version() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return added_texts_.size();
+  return options_.base_version + added_texts_.size();
+}
+
+php::FragmentSet DaemonPool::fragment_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fragments_;
 }
 
 std::vector<std::uint64_t> DaemonPool::idle_versions() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::uint64_t> versions;
   versions.reserve(idle_.size());
-  for (const Entry& e : idle_) versions.push_back(e.fragments_applied);
+  for (const Entry& e : idle_) {
+    versions.push_back(options_.base_version + e.fragments_applied);
+  }
   return versions;
 }
 

@@ -8,19 +8,32 @@
 // pool is at its cap, callers block until one frees up.
 //
 // Failure policy: a daemon that dies or hangs mid-flight is SIGKILLed and
-// discarded, and the query retried once on a fresh daemon within the
-// remaining deadline budget; if that also fails the pool reports an error
-// Status and the engine's degraded-mode policy decides (fail closed by
-// default — an unreachable analyzer never waves queries through). Every
-// round trip is bounded by min(caller deadline, per_call_timeout), so a
-// hung daemon costs one budget, not a pinned worker. Idle daemons beyond
-// `min_size` are reaped after `idle_timeout` so a traffic spike does not
-// pin processes forever.
+// discarded, and the query retried on a fresh daemon within the remaining
+// deadline budget — but both respawns and retries are governed:
+//
+//   * Respawns go through a DaemonSupervisor: exponential backoff after
+//     consecutive spawn failures, a restart-budget token bucket, and flap
+//     detection that quarantines a crash-looping shard (Analyze fails fast
+//     into the engine's degraded mode instead of fork-storming).
+//   * Retries and hedges spend from a RetryBudget that only successes
+//     replenish, so an outage degrades to single attempts instead of
+//     doubling load on a dying backend.
+//   * Optionally, Analyze hedges: once the primary attempt has been in
+//     flight longer than the hedge delay (fixed, or derived from the p99
+//     of recent successes), a second attempt races it on another daemon
+//     and the first success wins.
+//
+// If every attempt fails the pool reports an error Status and the engine's
+// degraded-mode policy decides (fail closed by default — an unreachable
+// analyzer never waves queries through). Every round trip is bounded by
+// min(caller deadline, per_call_timeout), so a hung daemon costs one
+// budget, not a pinned worker. Idle daemons beyond `min_size` are reaped
+// after `idle_timeout` so a traffic spike does not pin processes forever.
 //
 // Thread safety: every method may be called from any number of threads,
 // including Shutdown/destruction racing in-flight Analyze calls: Shutdown
-// waits for in-flight calls to drain, and calls that arrive after it
-// began get Unavailable.
+// waits for in-flight calls (and any hedge attempts still racing) to
+// drain, and calls that arrive after it began get Unavailable.
 #pragma once
 
 #include <chrono>
@@ -36,6 +49,8 @@
 #include "ipc/framing.h"
 #include "phpsrc/fragments.h"
 #include "pti/pti.h"
+#include "resilience/hedge.h"
+#include "resilience/supervisor.h"
 #include "util/deadline.h"
 #include "util/status.h"
 
@@ -52,6 +67,25 @@ class DaemonPool {
     // treated as dead: killed, replaced, the call retried on the budget
     // that remains. 0 disables the per-call bound (caller deadline only).
     std::chrono::milliseconds per_call_timeout{2000};
+
+    // Respawn policy (restart budget, backoff, flap quarantine).
+    resilience::SupervisorOptions supervisor;
+    // Retry/hedge amplification guard.
+    resilience::RetryBudgetOptions retry_budget;
+
+    // Hedging: 0 disables. A positive delay launches a racing second
+    // attempt once the primary has been in flight that long.
+    std::chrono::milliseconds hedge_delay{0};
+    // Derive the hedge delay from the p99 of recent successful round
+    // trips instead (hedge_delay then serves as the fallback until enough
+    // samples accumulate; if it is 0 the fallback is per_call_timeout/2).
+    bool hedge_from_p99 = false;
+
+    // Ruleset version the seed fragment set corresponds to. A warm start
+    // from a snapshot passes the recovered version here so every daemon,
+    // handshake and verdict continues the pre-crash version line instead
+    // of restarting at zero.
+    std::uint64_t base_version = 0;
   };
 
   struct PoolStats {
@@ -65,8 +99,15 @@ class DaemonPool {
     // Daemons whose handshake or update Ack reported a ruleset version
     // other than the pool's target — stale replicas, discarded on sight.
     std::size_t version_mismatches = 0;
-    // The pool's current target ruleset version (== fragment texts added).
+    std::size_t hedges_launched = 0;  // racing second attempts started
+    std::size_t hedges_won = 0;       // races the hedge attempt won
+    std::size_t retries_denied = 0;   // retries/hedges the budget refused
+    // The pool's current target ruleset version
+    // (base_version + fragment texts added).
     std::uint64_t target_version = 0;
+    // Respawn-policy counters (restarts, quarantines, ...), snapshotted
+    // from the supervisor.
+    resilience::SupervisorStats supervisor;
   };
 
   explicit DaemonPool(php::FragmentSet fragments)
@@ -79,8 +120,10 @@ class DaemonPool {
   DaemonPool& operator=(const DaemonPool&) = delete;
 
   // Round-trips one query through any pooled daemon. Spawns up to max_size
-  // daemons on demand; blocks when all are checked out (bounded by the
-  // deadline). Each attempt is additionally bounded by per_call_timeout.
+  // daemons on demand (supervisor permitting); blocks when all are checked
+  // out (bounded by the deadline). Each attempt is additionally bounded by
+  // per_call_timeout. With hedging enabled, a straggling primary attempt
+  // races a budgeted second attempt and the first success wins.
   StatusOr<PtiVerdictWire> Analyze(std::string_view query,
                                    util::Deadline deadline = util::Deadline());
 
@@ -92,9 +135,13 @@ class DaemonPool {
   // must land on); future spawns start with them.
   Status AddFragments(const std::vector<std::string>& fragment_texts);
 
-  // The version every daemon must converge on: the update-log position
-  // (one per fragment text ever added).
+  // The version every daemon must converge on: base_version plus the
+  // update-log position (one per fragment text ever added).
   std::uint64_t target_version() const;
+
+  // The fragment set every future spawn is seeded with (base fragments
+  // plus everything added) — what a crash-durable snapshot must persist.
+  php::FragmentSet fragment_snapshot() const;
 
   // Ruleset versions of the currently idle daemons (convergence tests).
   // Idle daemons may lag the target — they converge at next checkout.
@@ -117,6 +164,13 @@ class DaemonPool {
   std::size_t live() const;   // spawned and not yet retired (busy + idle)
   std::size_t idle() const;
 
+  // Supervisor view: true while the shard is quarantined (Analyze fails
+  // fast; the engine serves NTI-only or fail-closed per its config).
+  bool quarantined() const { return supervisor_.quarantined(); }
+  resilience::SupervisorState supervisor_state() const {
+    return supervisor_.state();
+  }
+
   // Pids of the currently idle daemons (diagnostics / kill-tests).
   std::vector<int> child_pids() const;
 
@@ -124,23 +178,41 @@ class DaemonPool {
   struct Entry {
     std::unique_ptr<DaemonClient> client;
     std::chrono::steady_clock::time_point last_used;
-    // Prefix of added_texts_ shipped to this daemon — identically its
-    // ruleset version (one version per fragment text).
+    // Prefix of added_texts_ shipped to this daemon; its ruleset version
+    // is base_version + fragments_applied.
     std::size_t fragments_applied = 0;
   };
 
-  // Pops an idle daemon or spawns one; blocks at the cap until `deadline`.
-  // Applies pending fragment updates before handing the entry out.
+  // Pops an idle daemon or spawns one (supervisor permitting); blocks at
+  // the cap until `deadline`. Applies pending fragment updates before
+  // handing the entry out.
   StatusOr<Entry> Checkout(util::Deadline deadline);
   void Return(Entry entry);
   // Dead or hung daemon: SIGKILL (no handshake — a hung daemon would stall
-  // the graceful shutdown), reap, free its slot.
+  // the graceful shutdown), reap, free its slot. Does not talk to the
+  // supervisor; callers report the outcome that fits (crash vs spawn
+  // failure).
   void Discard(Entry entry);
+
+  // One complete attempt: checkout + round trip + return/discard, with
+  // supervisor/latency accounting. `hedged` marks the racing secondary.
+  StatusOr<PtiVerdictWire> AttemptOnce(std::string_view query,
+                                       util::Deadline deadline, bool hedged);
+  // Sequential attempt-with-retry (hedging disabled or not armed).
+  StatusOr<PtiVerdictWire> AnalyzeSequential(std::string_view query,
+                                             util::Deadline deadline);
+  // Primary in a helper thread, budgeted hedge after HedgeDelay().
+  StatusOr<PtiVerdictWire> AnalyzeHedged(std::string_view query,
+                                         util::Deadline deadline);
+  bool hedging_enabled() const {
+    return options_.hedge_delay.count() > 0 || options_.hedge_from_p99;
+  }
+  std::chrono::milliseconds HedgeDelay() const;
 
   // RAII in-flight marker: constructed after the shutdown check admits the
   // call, destroyed as the call's very last touch of pool state. Shutdown
   // waits for in_flight_ == 0, so the pool cannot be destroyed under a
-  // racing call's feet.
+  // racing call's (or hedge thread's) feet.
   struct InFlight {
     DaemonPool* pool;
     explicit InFlight(DaemonPool* p) : pool(p) {}
@@ -157,11 +229,15 @@ class DaemonPool {
   pti::PtiConfig config_;
   Options options_;
 
+  resilience::DaemonSupervisor supervisor_;
+  resilience::RetryBudget retry_budget_;
+  resilience::LatencyTracker latency_;  // successful round-trip durations
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<Entry> idle_;      // LIFO: the hottest daemon goes out first
   std::size_t live_ = 0;
-  std::size_t in_flight_ = 0;    // Analyze/Ping calls between entry and exit
+  std::size_t in_flight_ = 0;    // Analyze/Ping/hedge work between entry/exit
   bool shutdown_ = false;
   std::vector<std::string> added_texts_;  // broadcast log for late joiners
   PoolStats stats_;

@@ -8,7 +8,7 @@
 #include <pthread.h>
 #include <unistd.h>
 
-#include "fault/injector.h"
+#include "resilience/injector.h"
 
 namespace joza::ipc {
 
@@ -204,14 +204,14 @@ Status WriteFrame(int fd, const Frame& frame, util::Deadline deadline) {
   AppendU32(header, static_cast<std::uint32_t>(frame.payload.size()));
   header.push_back(static_cast<char>(frame.type));
 
-  auto& injector = fault::FaultInjector::Global();
-  if (injector.ShouldFire(fault::FaultPoint::kFrameCorrupt)) {
+  auto& injector = resilience::FaultInjector::Global();
+  if (injector.ShouldFire(resilience::FaultPoint::kFrameCorrupt)) {
     // Declare an absurd payload length; the reader must reject it cleanly
     // (and the stream is desynchronized, like real corruption would be).
     header[0] = header[1] = header[2] = static_cast<char>(0xff);
     header[3] = 0x7f;
   }
-  if (injector.ShouldFire(fault::FaultPoint::kShortWrite)) {
+  if (injector.ShouldFire(resilience::FaultPoint::kShortWrite)) {
     // Truncate mid-frame and report success: the peer is now stuck waiting
     // for bytes that never come — exactly a stalled writer.
     std::string partial = header + frame.payload.substr(

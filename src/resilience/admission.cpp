@@ -1,0 +1,80 @@
+#include "resilience/admission.h"
+
+#include <algorithm>
+
+namespace joza::resilience {
+
+AimdLimiter::AimdLimiter(AimdOptions options) : options_(options) {
+  options_.min_limit = std::max(options_.min_limit, 1.0);
+  options_.max_limit = std::max(options_.max_limit, options_.min_limit);
+  limit_ = std::clamp(options_.initial_limit, options_.min_limit,
+                      options_.max_limit);
+}
+
+bool AimdLimiter::TryAcquire() {
+  if (!options_.enabled) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<double>(inflight_) >= limit_) {
+    ++stats_.throttled;
+    return false;
+  }
+  ++inflight_;
+  ++stats_.admitted;
+  return true;
+}
+
+void AimdLimiter::Release(bool overloaded) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (inflight_ > 0) --inflight_;
+  if (overloaded) {
+    ++stats_.overload_signals;
+    const auto now = Clock::now();
+    if (now - last_decrease_ >= options_.decrease_cooldown) {
+      limit_ = std::max(options_.min_limit, limit_ * options_.decrease);
+      last_decrease_ = now;
+      ++stats_.decreases;
+    }
+  } else {
+    // Additive increase scaled by 1/limit: one full unit of headroom per
+    // `limit` on-time completions (the TCP congestion-avoidance shape).
+    limit_ = std::min(options_.max_limit,
+                      limit_ + options_.increase / std::max(limit_, 1.0));
+  }
+}
+
+double AimdLimiter::limit() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return limit_;
+}
+
+std::size_t AimdLimiter::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+AimdStats AimdLimiter::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+ServiceTimeEwma::ServiceTimeEwma(double alpha)
+    : alpha_(std::clamp(alpha, 0.01, 1.0)) {}
+
+void ServiceTimeEwma::Record(std::chrono::microseconds sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double us = static_cast<double>(sample.count());
+  if (!seeded_) {
+    estimate_us_ = us;
+    seeded_ = true;
+    return;
+  }
+  estimate_us_ = alpha_ * us + (1.0 - alpha_) * estimate_us_;
+}
+
+std::chrono::microseconds ServiceTimeEwma::estimate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::chrono::microseconds(static_cast<std::int64_t>(estimate_us_));
+}
+
+}  // namespace joza::resilience

@@ -1,0 +1,93 @@
+// Adaptive admission control for the serving tier.
+//
+// A fixed bounded queue answers overload only at one point (queue full →
+// 503) and only by queue depth, which says nothing about whether queued
+// work can still meet its deadline. Two cooperating pieces replace it:
+//
+//   * AimdLimiter — an additive-increase / multiplicative-decrease bound on
+//     concurrent in-flight requests. Every on-time completion nudges the
+//     limit up; every deadline overrun (the signal that the backend — PTI
+//     pool, breaker, database — is saturated) cuts it multiplicatively, so
+//     offered concurrency converges on what the tier can actually serve.
+//     Refused requests get an immediate 429 instead of queueing.
+//   * ServiceTimeEwma — an exponentially-weighted estimate of observed
+//     service time. The gateway sheds a dequeued request whose remaining
+//     deadline cannot cover the estimate (queue wait already consumed the
+//     budget): answering a fast 503 beats burning a worker on work whose
+//     client has already timed out.
+//
+// Both are thread-safe; the limiter is consulted once per request.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace joza::resilience {
+
+struct AimdOptions {
+  double min_limit = 1;
+  double max_limit = 256;
+  double initial_limit = 32;
+  double increase = 1.0;   // added per on-time completion (scaled by 1/limit)
+  double decrease = 0.5;   // multiplied on an overload signal
+  // Successive multiplicative decreases are spaced at least this far
+  // apart, so one burst of overruns does not collapse the limit to min.
+  std::chrono::milliseconds decrease_cooldown{100};
+  // 0 disables the limiter (every request admitted).
+  bool enabled = true;
+};
+
+struct AimdStats {
+  std::size_t admitted = 0;
+  std::size_t throttled = 0;         // refused: at the concurrency limit
+  std::size_t overload_signals = 0;  // completions that blew the deadline
+  std::size_t decreases = 0;         // multiplicative cuts applied
+};
+
+class AimdLimiter {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit AimdLimiter(AimdOptions options = {});
+
+  // Admission: true reserves one in-flight slot which MUST be released via
+  // Release(); false means answer 429 immediately.
+  bool TryAcquire();
+  // `overloaded` marks a completion that blew its deadline budget (the
+  // AIMD decrease signal); on-time completions grow the limit.
+  void Release(bool overloaded);
+
+  double limit() const;
+  std::size_t inflight() const;
+  AimdStats stats() const;
+
+ private:
+  AimdOptions options_;
+  mutable std::mutex mu_;
+  double limit_ = 0;
+  std::size_t inflight_ = 0;
+  Clock::time_point last_decrease_{};
+  AimdStats stats_;
+};
+
+// EWMA of request service time, seeded by the first sample.
+class ServiceTimeEwma {
+ public:
+  explicit ServiceTimeEwma(double alpha = 0.2);
+
+  void Record(std::chrono::microseconds sample);
+  // Current estimate; zero until the first sample lands.
+  std::chrono::microseconds estimate() const;
+
+ private:
+  double alpha_;
+  mutable std::mutex mu_;
+  double estimate_us_ = 0;
+  bool seeded_ = false;
+};
+
+}  // namespace joza::resilience

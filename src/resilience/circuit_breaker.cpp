@@ -1,6 +1,6 @@
-#include "fault/circuit_breaker.h"
+#include "resilience/circuit_breaker.h"
 
-namespace joza::fault {
+namespace joza::resilience {
 
 const char* BreakerStateName(BreakerState state) {
   switch (state) {
@@ -116,4 +116,4 @@ void CircuitBreaker::Reset() {
   probes_in_flight_ = 0;
 }
 
-}  // namespace joza::fault
+}  // namespace joza::resilience

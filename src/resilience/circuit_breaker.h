@@ -17,7 +17,7 @@
 #include <cstddef>
 #include <mutex>
 
-namespace joza::fault {
+namespace joza::resilience {
 
 enum class BreakerState { kClosed, kOpen, kHalfOpen };
 
@@ -72,4 +72,4 @@ class CircuitBreaker {
   BreakerStats stats_;
 };
 
-}  // namespace joza::fault
+}  // namespace joza::resilience

@@ -1,0 +1,68 @@
+#include "resilience/hedge.h"
+
+#include <algorithm>
+
+namespace joza::resilience {
+
+RetryBudget::RetryBudget(RetryBudgetOptions options)
+    : options_(options),
+      bucket_(TokenBucketOptions{options.capacity, /*refill_per_sec=*/0.0,
+                                 /*initial=*/-1},
+              TokenBucket::Clock::now()) {}
+
+bool RetryBudget::TrySpend() {
+  if (!enabled()) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bucket_.TryWithdraw(1.0, TokenBucket::Clock::now())) return true;
+  ++denied_;
+  return false;
+}
+
+void RetryBudget::RecordSuccess() {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  bucket_.Deposit(options_.earn_per_success);
+}
+
+double RetryBudget::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The bucket has no time-based refill; const_cast-free read via a copy.
+  TokenBucket copy = bucket_;
+  return copy.available(TokenBucket::Clock::now());
+}
+
+std::size_t RetryBudget::denied() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return denied_;
+}
+
+LatencyTracker::LatencyTracker(std::size_t window)
+    : ring_(std::max<std::size_t>(window, 8)) {}
+
+void LatencyTracker::Record(std::chrono::microseconds sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[next_] = sample;
+  next_ = (next_ + 1) % ring_.size();
+  count_ = std::min(count_ + 1, ring_.size());
+}
+
+std::size_t LatencyTracker::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+std::chrono::microseconds LatencyTracker::Quantile(
+    double q, std::chrono::microseconds fallback,
+    std::size_t min_samples) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ < std::max<std::size_t>(min_samples, 1)) return fallback;
+  std::vector<std::chrono::microseconds> sorted(ring_.begin(),
+                                                ring_.begin() + count_);
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const std::size_t idx = std::min(
+      count_ - 1, static_cast<std::size_t>(q * static_cast<double>(count_)));
+  return sorted[idx];
+}
+
+}  // namespace joza::resilience

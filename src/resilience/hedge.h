@@ -1,0 +1,80 @@
+// Hedging support: retry budgets and tail-latency tracking.
+//
+// A hedged request races a second attempt against a straggler once the
+// first has been in flight longer than the p99 of recent successes — the
+// classic tail-at-scale trick. Unbounded, hedges amplify load exactly when
+// the backend is least able to absorb it (an outage makes every request
+// slow, so every request hedges, doubling the dying backend's load). The
+// RetryBudget prevents that: hedges and retries spend from a bucket that
+// only primary successes replenish, so during an outage the budget drains
+// and the tier degrades to single attempts (which the circuit breaker then
+// fails fast).
+//
+// Thread safety: both classes are internally locked; they sit on the
+// Analyze path of the daemon pool where calls are already paced by IPC
+// round trips.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "resilience/backoff.h"
+
+namespace joza::resilience {
+
+struct RetryBudgetOptions {
+  // Max retries/hedges banked. 0 disables the budget (every retry allowed
+  // — the pre-hedging behaviour).
+  double capacity = 20;
+  // Fraction of a token deposited per successful primary attempt: 0.1
+  // means sustained retry traffic may be at most ~10% of success traffic.
+  double earn_per_success = 0.1;
+};
+
+class RetryBudget {
+ public:
+  explicit RetryBudget(RetryBudgetOptions options = {});
+
+  // Spend one retry/hedge. False = denied (amplification guard tripped).
+  bool TrySpend();
+  // A primary attempt succeeded: earn back a fraction of a token.
+  void RecordSuccess();
+
+  double available() const;
+  std::size_t denied() const;
+  bool enabled() const { return options_.capacity > 0; }
+
+ private:
+  RetryBudgetOptions options_;
+  mutable std::mutex mu_;
+  TokenBucket bucket_;
+  std::size_t denied_ = 0;
+};
+
+// Sliding-window latency reservoir for deriving the hedge delay. Keeps the
+// last `window` samples in a ring; Quantile() sorts a copy (the window is
+// small and the call sits on the slow hedge-arming path, not per-request).
+class LatencyTracker {
+ public:
+  explicit LatencyTracker(std::size_t window = 256);
+
+  void Record(std::chrono::microseconds sample);
+  std::size_t samples() const;
+
+  // The q-quantile (0 < q <= 1) of the current window, or `fallback` until
+  // `min_samples` observations have accumulated.
+  std::chrono::microseconds Quantile(
+      double q, std::chrono::microseconds fallback,
+      std::size_t min_samples = 16) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::chrono::microseconds> ring_;
+  std::size_t next_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace joza::resilience

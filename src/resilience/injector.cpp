@@ -1,15 +1,16 @@
-#include "fault/injector.h"
+#include "resilience/injector.h"
 
 #include <cmath>
 #include <cstdlib>
 
-namespace joza::fault {
+namespace joza::resilience {
 
 namespace {
 
 constexpr const char* kNames[] = {
     "daemon-hang", "daemon-kill", "frame-corrupt",
     "short-write", "accept-fail", "slow-client",
+    "spawn-fail",  "snapshot-io", "hedge-loss",
 };
 static_assert(sizeof(kNames) / sizeof(kNames[0]) ==
               static_cast<std::size_t>(FaultPoint::kCount));
@@ -119,4 +120,4 @@ Status ArmFromSpec(FaultInjector& injector, std::string_view spec) {
   return Status::Ok();
 }
 
-}  // namespace joza::fault
+}  // namespace joza::resilience

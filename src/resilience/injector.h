@@ -23,7 +23,7 @@
 
 #include "util/status.h"
 
-namespace joza::fault {
+namespace joza::resilience {
 
 enum class FaultPoint : unsigned {
   kDaemonHang = 0,   // PTI daemon sleeps instead of answering (stall)
@@ -32,6 +32,9 @@ enum class FaultPoint : unsigned {
   kShortWrite,       // IPC frame write silently truncates (stalled peer)
   kAcceptFail,       // gateway drops an accepted connection immediately
   kSlowClient,       // gateway worker stalls before reading a request
+  kSpawnFail,        // daemon fork/handshake fails before going live
+  kSnapshotIo,       // snapshot write/fsync/rename fails mid-persist
+  kHedgeLoss,        // hedged secondary attempt loses its race (errors out)
   kCount,
 };
 
@@ -94,4 +97,4 @@ class FaultInjector {
 // --fault flag.
 Status ArmFromSpec(FaultInjector& injector, std::string_view spec);
 
-}  // namespace joza::fault
+}  // namespace joza::resilience

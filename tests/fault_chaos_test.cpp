@@ -19,8 +19,8 @@
 
 #include "attack/catalog.h"
 #include "core/joza.h"
-#include "fault/circuit_breaker.h"
-#include "fault/injector.h"
+#include "resilience/circuit_breaker.h"
+#include "resilience/injector.h"
 #include "gateway/client.h"
 #include "gateway/gateway.h"
 #include "ipc/daemon.h"
@@ -38,13 +38,13 @@ using namespace std::chrono_literals;
 class ChaosTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    fault::FaultInjector::Global().DisarmAll();
-    fault::FaultInjector::Global().ResetCounters();
+    resilience::FaultInjector::Global().DisarmAll();
+    resilience::FaultInjector::Global().ResetCounters();
   }
   void TearDown() override {
-    fault::FaultInjector::Global().DisarmAll();
-    fault::FaultInjector::Global().ResetCounters();
-    fault::FaultInjector::Global().set_hang(30000ms);
+    resilience::FaultInjector::Global().DisarmAll();
+    resilience::FaultInjector::Global().ResetCounters();
+    resilience::FaultInjector::Global().set_hang(30000ms);
   }
 };
 
@@ -61,21 +61,21 @@ php::FragmentSet OneFragment() {
 using FaultInjectorTest = ChaosTest;
 
 TEST_F(FaultInjectorTest, DisarmedNeverFires) {
-  auto& injector = fault::FaultInjector::Global();
+  auto& injector = resilience::FaultInjector::Global();
   for (int i = 0; i < 1000; ++i) {
-    EXPECT_FALSE(injector.ShouldFire(fault::FaultPoint::kDaemonHang));
+    EXPECT_FALSE(injector.ShouldFire(resilience::FaultPoint::kDaemonHang));
   }
-  EXPECT_EQ(injector.fires(fault::FaultPoint::kDaemonHang), 0u);
+  EXPECT_EQ(injector.fires(resilience::FaultPoint::kDaemonHang), 0u);
   // The disabled fast path does not even count evaluations.
-  EXPECT_EQ(injector.evaluations(fault::FaultPoint::kDaemonHang), 0u);
+  EXPECT_EQ(injector.evaluations(resilience::FaultPoint::kDaemonHang), 0u);
 }
 
 TEST_F(FaultInjectorTest, RateScheduleIsDeterministic) {
-  auto& injector = fault::FaultInjector::Global();
-  injector.Arm(fault::FaultPoint::kDaemonKill, 0.25);
+  auto& injector = resilience::FaultInjector::Global();
+  injector.Arm(resilience::FaultPoint::kDaemonKill, 0.25);
   std::vector<int> fired_at;
   for (int i = 1; i <= 100; ++i) {
-    if (injector.ShouldFire(fault::FaultPoint::kDaemonKill)) {
+    if (injector.ShouldFire(resilience::FaultPoint::kDaemonKill)) {
       fired_at.push_back(i);
     }
   }
@@ -84,49 +84,49 @@ TEST_F(FaultInjectorTest, RateScheduleIsDeterministic) {
   for (std::size_t i = 0; i < fired_at.size(); ++i) {
     EXPECT_EQ(fired_at[i], static_cast<int>(4 * (i + 1)));
   }
-  EXPECT_EQ(injector.fires(fault::FaultPoint::kDaemonKill), 25u);
+  EXPECT_EQ(injector.fires(resilience::FaultPoint::kDaemonKill), 25u);
 }
 
 TEST_F(FaultInjectorTest, RateOneFiresEveryTimeAndRearmResets) {
-  auto& injector = fault::FaultInjector::Global();
-  injector.Arm(fault::FaultPoint::kFrameCorrupt, 1.0);
+  auto& injector = resilience::FaultInjector::Global();
+  injector.Arm(resilience::FaultPoint::kFrameCorrupt, 1.0);
   for (int i = 0; i < 10; ++i) {
-    EXPECT_TRUE(injector.ShouldFire(fault::FaultPoint::kFrameCorrupt));
+    EXPECT_TRUE(injector.ShouldFire(resilience::FaultPoint::kFrameCorrupt));
   }
-  injector.Arm(fault::FaultPoint::kFrameCorrupt, 0.5);  // rearm: fresh schedule
-  EXPECT_FALSE(injector.ShouldFire(fault::FaultPoint::kFrameCorrupt));
-  EXPECT_TRUE(injector.ShouldFire(fault::FaultPoint::kFrameCorrupt));
+  injector.Arm(resilience::FaultPoint::kFrameCorrupt, 0.5);  // rearm: fresh schedule
+  EXPECT_FALSE(injector.ShouldFire(resilience::FaultPoint::kFrameCorrupt));
+  EXPECT_TRUE(injector.ShouldFire(resilience::FaultPoint::kFrameCorrupt));
 }
 
 TEST_F(FaultInjectorTest, ArmedPointsDoNotDisturbOthers) {
-  auto& injector = fault::FaultInjector::Global();
-  injector.Arm(fault::FaultPoint::kShortWrite, 1.0);
-  EXPECT_FALSE(injector.ShouldFire(fault::FaultPoint::kAcceptFail));
-  EXPECT_TRUE(injector.ShouldFire(fault::FaultPoint::kShortWrite));
-  EXPECT_TRUE(injector.armed(fault::FaultPoint::kShortWrite));
-  EXPECT_FALSE(injector.armed(fault::FaultPoint::kAcceptFail));
+  auto& injector = resilience::FaultInjector::Global();
+  injector.Arm(resilience::FaultPoint::kShortWrite, 1.0);
+  EXPECT_FALSE(injector.ShouldFire(resilience::FaultPoint::kAcceptFail));
+  EXPECT_TRUE(injector.ShouldFire(resilience::FaultPoint::kShortWrite));
+  EXPECT_TRUE(injector.armed(resilience::FaultPoint::kShortWrite));
+  EXPECT_FALSE(injector.armed(resilience::FaultPoint::kAcceptFail));
 }
 
 TEST_F(FaultInjectorTest, ArmFromSpecGrammar) {
-  auto& injector = fault::FaultInjector::Global();
-  EXPECT_TRUE(fault::ArmFromSpec(injector, "daemon-hang:0.1").ok());
-  EXPECT_TRUE(injector.armed(fault::FaultPoint::kDaemonHang));
-  EXPECT_DOUBLE_EQ(injector.rate(fault::FaultPoint::kDaemonHang), 0.1);
+  auto& injector = resilience::FaultInjector::Global();
+  EXPECT_TRUE(resilience::ArmFromSpec(injector, "daemon-hang:0.1").ok());
+  EXPECT_TRUE(injector.armed(resilience::FaultPoint::kDaemonHang));
+  EXPECT_DOUBLE_EQ(injector.rate(resilience::FaultPoint::kDaemonHang), 0.1);
   // Bare name arms at 1.0.
-  EXPECT_TRUE(fault::ArmFromSpec(injector, "slow-client").ok());
-  EXPECT_DOUBLE_EQ(injector.rate(fault::FaultPoint::kSlowClient), 1.0);
-  EXPECT_FALSE(fault::ArmFromSpec(injector, "no-such-point:0.5").ok());
-  EXPECT_FALSE(fault::ArmFromSpec(injector, "daemon-hang:bogus").ok());
-  EXPECT_FALSE(fault::ArmFromSpec(injector, "daemon-hang:1.5").ok());
-  EXPECT_FALSE(fault::ArmFromSpec(injector, "daemon-hang:-0.5").ok());
+  EXPECT_TRUE(resilience::ArmFromSpec(injector, "slow-client").ok());
+  EXPECT_DOUBLE_EQ(injector.rate(resilience::FaultPoint::kSlowClient), 1.0);
+  EXPECT_FALSE(resilience::ArmFromSpec(injector, "no-such-point:0.5").ok());
+  EXPECT_FALSE(resilience::ArmFromSpec(injector, "daemon-hang:bogus").ok());
+  EXPECT_FALSE(resilience::ArmFromSpec(injector, "daemon-hang:1.5").ok());
+  EXPECT_FALSE(resilience::ArmFromSpec(injector, "daemon-hang:-0.5").ok());
 }
 
 // ---------------------------------------------------------------------------
 // Circuit breaker
 // ---------------------------------------------------------------------------
 
-fault::CircuitBreakerOptions FastBreaker() {
-  fault::CircuitBreakerOptions options;
+resilience::CircuitBreakerOptions FastBreaker() {
+  resilience::CircuitBreakerOptions options;
   options.failure_threshold = 3;
   options.cooldown = 50ms;
   options.half_open_successes = 2;
@@ -134,7 +134,7 @@ fault::CircuitBreakerOptions FastBreaker() {
 }
 
 TEST(CircuitBreaker, StaysClosedBelowThreshold) {
-  fault::CircuitBreaker breaker(FastBreaker());
+  resilience::CircuitBreaker breaker(FastBreaker());
   for (int round = 0; round < 5; ++round) {
     ASSERT_TRUE(breaker.Allow());
     breaker.RecordFailure();
@@ -143,17 +143,17 @@ TEST(CircuitBreaker, StaysClosedBelowThreshold) {
     ASSERT_TRUE(breaker.Allow());
     breaker.RecordSuccess();  // resets the consecutive count
   }
-  EXPECT_EQ(breaker.state(), fault::BreakerState::kClosed);
+  EXPECT_EQ(breaker.state(), resilience::BreakerState::kClosed);
   EXPECT_EQ(breaker.stats().opens, 0u);
 }
 
 TEST(CircuitBreaker, OpensAtThresholdAndFastRejects) {
-  fault::CircuitBreaker breaker(FastBreaker());
+  resilience::CircuitBreaker breaker(FastBreaker());
   for (int i = 0; i < 3; ++i) {
     ASSERT_TRUE(breaker.Allow());
     breaker.RecordFailure();
   }
-  EXPECT_EQ(breaker.state(), fault::BreakerState::kOpen);
+  EXPECT_EQ(breaker.state(), resilience::BreakerState::kOpen);
   EXPECT_FALSE(breaker.Allow());
   EXPECT_FALSE(breaker.Allow());
   EXPECT_EQ(breaker.stats().opens, 1u);
@@ -161,24 +161,24 @@ TEST(CircuitBreaker, OpensAtThresholdAndFastRejects) {
 }
 
 TEST(CircuitBreaker, HalfOpenProbesCloseOnSuccess) {
-  fault::CircuitBreaker breaker(FastBreaker());
+  resilience::CircuitBreaker breaker(FastBreaker());
   for (int i = 0; i < 3; ++i) {
     breaker.Allow();
     breaker.RecordFailure();
   }
   std::this_thread::sleep_for(80ms);  // cooldown elapses
   ASSERT_TRUE(breaker.Allow());       // probe 1 admitted
-  EXPECT_EQ(breaker.state(), fault::BreakerState::kHalfOpen);
+  EXPECT_EQ(breaker.state(), resilience::BreakerState::kHalfOpen);
   breaker.RecordSuccess();
   ASSERT_TRUE(breaker.Allow());       // probe 2 admitted
   breaker.RecordSuccess();
-  EXPECT_EQ(breaker.state(), fault::BreakerState::kClosed);
+  EXPECT_EQ(breaker.state(), resilience::BreakerState::kClosed);
   EXPECT_EQ(breaker.stats().closes, 1u);
   EXPECT_GE(breaker.stats().probes, 2u);
 }
 
 TEST(CircuitBreaker, HalfOpenFailureReopens) {
-  fault::CircuitBreaker breaker(FastBreaker());
+  resilience::CircuitBreaker breaker(FastBreaker());
   for (int i = 0; i < 3; ++i) {
     breaker.Allow();
     breaker.RecordFailure();
@@ -186,13 +186,13 @@ TEST(CircuitBreaker, HalfOpenFailureReopens) {
   std::this_thread::sleep_for(80ms);
   ASSERT_TRUE(breaker.Allow());
   breaker.RecordFailure();  // the probe fails: straight back to open
-  EXPECT_EQ(breaker.state(), fault::BreakerState::kOpen);
+  EXPECT_EQ(breaker.state(), resilience::BreakerState::kOpen);
   EXPECT_FALSE(breaker.Allow());
   EXPECT_EQ(breaker.stats().opens, 2u);
 }
 
 TEST(CircuitBreaker, HalfOpenBoundsConcurrentProbes) {
-  fault::CircuitBreaker breaker(FastBreaker());
+  resilience::CircuitBreaker breaker(FastBreaker());
   for (int i = 0; i < 3; ++i) {
     breaker.Allow();
     breaker.RecordFailure();
@@ -205,15 +205,15 @@ TEST(CircuitBreaker, HalfOpenBoundsConcurrentProbes) {
 }
 
 TEST(CircuitBreaker, ThresholdZeroDisables) {
-  fault::CircuitBreakerOptions options;
+  resilience::CircuitBreakerOptions options;
   options.failure_threshold = 0;
-  fault::CircuitBreaker breaker(options);
+  resilience::CircuitBreaker breaker(options);
   EXPECT_FALSE(breaker.enabled());
   for (int i = 0; i < 100; ++i) {
     EXPECT_TRUE(breaker.Allow());
     breaker.RecordFailure();
   }
-  EXPECT_EQ(breaker.state(), fault::BreakerState::kClosed);
+  EXPECT_EQ(breaker.state(), resilience::BreakerState::kClosed);
 }
 
 // ---------------------------------------------------------------------------
@@ -256,9 +256,9 @@ TEST(IpcDeadlines, WriteFrameTimesOutWhenPipeIsFull) {
 using DaemonChaosTest = ChaosTest;
 
 TEST_F(DaemonChaosTest, HungDaemonMissesDeadlineThenRecovers) {
-  auto& injector = fault::FaultInjector::Global();
+  auto& injector = resilience::FaultInjector::Global();
   injector.set_hang(5000ms);
-  injector.Arm(fault::FaultPoint::kDaemonHang, 1.0);
+  injector.Arm(resilience::FaultPoint::kDaemonHang, 1.0);
 
   ipc::DaemonClient client(ipc::DaemonClient::Mode::kPersistent,
                            OneFragment());
@@ -279,8 +279,8 @@ TEST_F(DaemonChaosTest, HungDaemonMissesDeadlineThenRecovers) {
 }
 
 TEST_F(DaemonChaosTest, CrashingDaemonSurfacesErrorNotVerdict) {
-  auto& injector = fault::FaultInjector::Global();
-  injector.Arm(fault::FaultPoint::kDaemonKill, 1.0);
+  auto& injector = resilience::FaultInjector::Global();
+  injector.Arm(resilience::FaultPoint::kDaemonKill, 1.0);
   ipc::DaemonClient client(ipc::DaemonClient::Mode::kPersistent,
                            OneFragment());
   auto v = client.Analyze("SELECT 1", util::Deadline::After(2000ms));
@@ -289,20 +289,20 @@ TEST_F(DaemonChaosTest, CrashingDaemonSurfacesErrorNotVerdict) {
 }
 
 TEST_F(DaemonChaosTest, CorruptFrameRejectedByDaemon) {
-  auto& injector = fault::FaultInjector::Global();
+  auto& injector = resilience::FaultInjector::Global();
   ipc::DaemonClient client(ipc::DaemonClient::Mode::kPersistent,
                            OneFragment());
   ASSERT_TRUE(client.Ping().ok());  // spawn while the wire is clean
-  injector.Arm(fault::FaultPoint::kFrameCorrupt, 1.0);
+  injector.Arm(resilience::FaultPoint::kFrameCorrupt, 1.0);
   auto v = client.Analyze("SELECT 1", util::Deadline::After(500ms));
   EXPECT_FALSE(v.ok()) << "corrupt frame cannot produce a verdict";
   injector.DisarmAll();
 }
 
 TEST_F(DaemonChaosTest, PoolKillsAndReplacesHungDaemons) {
-  auto& injector = fault::FaultInjector::Global();
+  auto& injector = resilience::FaultInjector::Global();
   injector.set_hang(5000ms);
-  injector.Arm(fault::FaultPoint::kDaemonHang, 1.0);
+  injector.Arm(resilience::FaultPoint::kDaemonHang, 1.0);
 
   ipc::DaemonPool::Options options;
   options.max_size = 2;
@@ -327,10 +327,10 @@ TEST_F(DaemonChaosTest, PoolKillsAndReplacesHungDaemons) {
 }
 
 TEST_F(DaemonChaosTest, PoolRetriesThroughCrashTrains) {
-  auto& injector = fault::FaultInjector::Global();
+  auto& injector = resilience::FaultInjector::Global();
   // Every other analyze request kills its daemon; the pool's single retry
   // rides through because the retry lands on the non-firing evaluation.
-  injector.Arm(fault::FaultPoint::kDaemonKill, 0.5);
+  injector.Arm(resilience::FaultPoint::kDaemonKill, 0.5);
   ipc::DaemonPool::Options options;
   options.max_size = 1;
   options.per_call_timeout = 2000ms;
@@ -418,7 +418,7 @@ TEST(DegradedMode, FailClosedBlocksEverythingAndBreakerOpens) {
     EXPECT_TRUE(v.attack) << "fail-closed must block during the outage";
     EXPECT_TRUE(v.degraded);
   }
-  EXPECT_EQ(joza.breaker().state(), fault::BreakerState::kOpen);
+  EXPECT_EQ(joza.breaker().state(), resilience::BreakerState::kOpen);
   const core::JozaStats stats = joza.stats();
   EXPECT_EQ(stats.degraded_blocks, 10u);
   EXPECT_EQ(stats.attacks_detected, 0u) << "outage blocks are not attacks";
@@ -432,7 +432,7 @@ TEST(DegradedMode, FailClosedBlocksEverythingAndBreakerOpens) {
   core::Verdict probe = joza.Check("SELECT 1", {});
   EXPECT_FALSE(probe.attack) << "half-open probe should reach the backend";
   EXPECT_FALSE(probe.degraded);
-  EXPECT_EQ(joza.breaker().state(), fault::BreakerState::kClosed);
+  EXPECT_EQ(joza.breaker().state(), resilience::BreakerState::kClosed);
   EXPECT_GE(joza.breaker().stats().closes, 1u);
   core::Verdict after = joza.Check("SELECT 1", {});
   EXPECT_FALSE(after.attack);
@@ -483,11 +483,11 @@ TEST(DegradedMode, NtiOnlyWithoutNtiStillFailsClosed) {
 TEST(DegradedMode, DeadlineMissDegradesInsteadOfPinning) {
   // End to end: engine -> pool -> hung daemon, bounded by the ambient
   // request deadline, lands in fail-closed degradation.
-  auto& injector = fault::FaultInjector::Global();
+  auto& injector = resilience::FaultInjector::Global();
   injector.DisarmAll();
   injector.ResetCounters();
   injector.set_hang(5000ms);
-  injector.Arm(fault::FaultPoint::kDaemonHang, 1.0);
+  injector.Arm(resilience::FaultPoint::kDaemonHang, 1.0);
 
   ipc::DaemonPool::Options options;
   options.max_size = 1;
@@ -620,13 +620,13 @@ TEST_F(GatewayChaosTest, OversizedDeclaredBodyGets413) {
 }
 
 TEST_F(GatewayChaosTest, AcceptFailDropsConnectionButServerSurvives) {
-  auto& injector = fault::FaultInjector::Global();
+  auto& injector = resilience::FaultInjector::Global();
   gateway::GatewayServer server([] { return attack::MakeTestbed(); }, nullptr,
                                 GuardedConfig());
   auto port = server.Start();
   ASSERT_TRUE(port.ok());
 
-  injector.Arm(fault::FaultPoint::kAcceptFail, 1.0);
+  injector.Arm(resilience::FaultPoint::kAcceptFail, 1.0);
   {
     gateway::KeepAliveClient doomed(port.value());
     auto r = doomed.Get("/post?id=7");
@@ -644,7 +644,7 @@ TEST_F(GatewayChaosTest, DegradedGatewayNeverFailsOpen) {
   // Full stack under a total PTI outage: protected gateway + pool whose
   // daemons all hang. Every data request must come back virtualized
   // ("Database error"), never with leaked rows, within the deadline.
-  auto& injector = fault::FaultInjector::Global();
+  auto& injector = resilience::FaultInjector::Global();
   injector.set_hang(5000ms);
 
   auto proto = attack::MakeTestbed();
@@ -659,7 +659,7 @@ TEST_F(GatewayChaosTest, DegradedGatewayNeverFailsOpen) {
 
   // Arm BEFORE the pool forks anything: daemons inherit the injector state
   // at fork time, so a pre-outage daemon would answer healthily forever.
-  injector.Arm(fault::FaultPoint::kDaemonHang, 1.0);
+  injector.Arm(resilience::FaultPoint::kDaemonHang, 1.0);
 
   ipc::DaemonPool::Options poptions;
   poptions.max_size = 2;

@@ -5,10 +5,13 @@
 
 #include "core/joza.h"
 #include "db/database.h"
+#include "phpsrc/fragments.h"
 #include "phpsrc/php_lexer.h"
+#include "resilience/snapshot.h"
 #include "sqlparse/lexer.h"
 #include "sqlparse/parser.h"
 #include "sqlparse/structure.h"
+#include "util/hash.h"
 #include "util/rng.h"
 
 namespace joza {
@@ -141,6 +144,138 @@ TEST(FuzzRegression, NastyQueries) {
     (void)sql::Lex(q);
     (void)sql::Parse(q);
     (void)joza.Check(q, {});
+  }
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Crash-durable snapshot loader: any mangled image must load fail-closed
+// (an error Status, never a crash, never a partially-trusted vocabulary).
+// ---------------------------------------------------------------------------
+
+std::string ValidSnapshotImage() {
+  php::FragmentSet set;
+  set.AddRaw("SELECT * FROM posts WHERE id=", "app/post.php", 12);
+  set.AddRaw("INSERT INTO comments VALUES (", "app/comment.php", 40);
+  set.AddRaw("SELECT name FROM users WHERE uid=", "plugins/events.php", 7);
+  return resilience::EncodeRulesetSnapshot(set, 99);
+}
+
+// Re-stamps the trailing checksum so deliberate field corruption tests the
+// decoder's own guards rather than tripping the checksum first.
+void RestampChecksum(std::string& image) {
+  const std::string_view body(image.data(), image.size() - 8);
+  const std::uint64_t sum = Fnv1a64(body);
+  for (int i = 0; i < 8; ++i) {
+    image[image.size() - 8 + static_cast<std::size_t>(i)] =
+        static_cast<char>((sum >> (8 * i)) & 0xff);
+  }
+}
+
+TEST(SnapshotFuzz, ZeroLengthAndTinyImagesFailClosed) {
+  EXPECT_FALSE(resilience::ParseRulesetSnapshot("").ok());
+  const std::string valid = ValidSnapshotImage();
+  for (std::size_t len = 1; len < 32 && len < valid.size(); ++len) {
+    auto parsed = resilience::ParseRulesetSnapshot(valid.substr(0, len));
+    EXPECT_FALSE(parsed.ok()) << "tiny image of " << len << " bytes";
+  }
+}
+
+TEST(SnapshotFuzz, EveryTruncationFailsClosed) {
+  const std::string valid = ValidSnapshotImage();
+  ASSERT_TRUE(resilience::ParseRulesetSnapshot(valid).ok());
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    auto parsed = resilience::ParseRulesetSnapshot(valid.substr(0, len));
+    EXPECT_FALSE(parsed.ok()) << "truncated to " << len << " of "
+                              << valid.size() << " bytes";
+  }
+}
+
+TEST(SnapshotFuzz, EverySingleBitFlipFailsClosed) {
+  const std::string valid = ValidSnapshotImage();
+  for (std::size_t byte = 0; byte < valid.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = valid;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      auto parsed = resilience::ParseRulesetSnapshot(flipped);
+      EXPECT_FALSE(parsed.ok())
+          << "bit " << bit << " of byte " << byte << " flipped undetected";
+    }
+  }
+}
+
+TEST(SnapshotFuzz, FormatVersionSkewFailsClosedEvenWithValidChecksum) {
+  // A snapshot written by a future/other format revision: same layout, a
+  // different magic tag, checksum recomputed so only the tag distinguishes
+  // it. The loader must refuse instead of guessing at the layout.
+  for (const char skewed_tag : {'0', '2', '9', 'X'}) {
+    std::string image = ValidSnapshotImage();
+    image[7] = skewed_tag;  // "JZSNAP01" -> "JZSNAP0?"
+    RestampChecksum(image);
+    auto parsed = resilience::ParseRulesetSnapshot(image);
+    EXPECT_FALSE(parsed.ok()) << "format tag '" << skewed_tag << "'";
+  }
+}
+
+TEST(SnapshotFuzz, ImplausibleCountWithValidChecksumFailsClosed) {
+  // Maliciously constructed image: huge fragment count, checksum valid.
+  // The count-plausibility guard must refuse before the decode loop trusts
+  // it for allocation sizing.
+  std::string image = ValidSnapshotImage();
+  for (int i = 0; i < 8; ++i) {
+    image[16 + static_cast<std::size_t>(i)] = static_cast<char>(0xff);
+  }
+  RestampChecksum(image);
+  auto parsed = resilience::ParseRulesetSnapshot(image);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+}
+
+TEST(SnapshotFuzz, TrailingGarbageWithValidChecksumFailsClosed) {
+  std::string image = ValidSnapshotImage();
+  image.insert(image.size() - 8, "extra bytes after the last fragment");
+  RestampChecksum(image);
+  EXPECT_FALSE(resilience::ParseRulesetSnapshot(image).ok());
+}
+
+TEST_P(FuzzTest, SnapshotLoaderTotalOnRandomBytes) {
+  Rng rng(GetParam() * 257 + 11);
+  for (int i = 0; i < 500; ++i) {
+    std::string image = RandomBytes(rng, 512);
+    // Random soup virtually never carries a valid checksum; the invariant
+    // under test is totality — no crash, no hang, no fail-open — so a
+    // freak success only has to be internally consistent.
+    auto parsed = resilience::ParseRulesetSnapshot(image);
+    if (parsed.ok()) {
+      EXPECT_LE(parsed->fragments.size(), image.size());
+    }
+  }
+}
+
+TEST_P(FuzzTest, SnapshotLoaderTotalOnMangledValidImages) {
+  Rng rng(GetParam() * 509 + 13);
+  const std::string valid = ValidSnapshotImage();
+  for (int i = 0; i < 500; ++i) {
+    std::string image = valid;
+    // A burst of random edits: overwrites, truncation, growth.
+    const std::size_t edits = 1 + rng.NextBelow(8);
+    for (std::size_t e = 0; e < edits; ++e) {
+      switch (rng.NextBelow(3)) {
+        case 0:
+          if (!image.empty()) {
+            image[rng.NextBelow(image.size())] =
+                static_cast<char>(rng.NextBelow(256));
+          }
+          break;
+        case 1:
+          image.resize(rng.NextBelow(image.size() + 1));
+          break;
+        default:
+          image.push_back(static_cast<char>(rng.NextBelow(256)));
+          break;
+      }
+    }
+    (void)resilience::ParseRulesetSnapshot(image);  // must not crash
   }
   SUCCEED();
 }

@@ -4,6 +4,8 @@
 //                [--pti inproc|pool] [--pool-size N] [--duration SECONDS]
 //                [--deadline-ms N] [--degraded fail-closed|nti-only]
 //                [--breaker-threshold N] [--fault point[:rate]]...
+//                [--hedge-ms N] [--hedge-p99] [--restart-budget N]
+//                [--snapshot-path FILE] [--source-updates N]
 //
 // Binds 127.0.0.1 (port 0 picks a free port), installs one shared Joza
 // engine across the whole worker pool, and serves until the duration
@@ -17,7 +19,21 @@
 // --breaker-threshold sets the circuit breaker's consecutive-failure trip
 // point (0 disables the breaker), and each --fault arms a fault-injection
 // point (daemon-hang, daemon-kill, frame-corrupt, short-write, accept-fail,
-// slow-client) at the given rate in [0,1] (bare name = always fire).
+// slow-client, spawn-fail, snapshot-io, hedge-loss) at the given rate in
+// [0,1] (bare name = always fire).
+//
+// Resilience knobs: --hedge-ms races a second daemon attempt once the
+// primary has been in flight that long (0 disables; --hedge-p99 derives
+// the delay from the p99 of recent round trips instead), --restart-budget
+// caps the supervisor's respawn token bucket (0 disables supervision),
+// --snapshot-path persists every published ruleset generation to a
+// checksummed snapshot file and warm-starts from it after a crash, and
+// --source-updates applies N synthetic fragment updates at startup (each
+// advances the ruleset version and persists — the kill -9 recovery smoke
+// test's version source).
+//
+// Exit codes: 0 success, 2 config/usage parse failure, 3 bind/listen
+// failure.
 #include <csignal>
 
 #include <atomic>
@@ -31,27 +47,34 @@
 
 #include "attack/catalog.h"
 #include "core/joza.h"
-#include "fault/circuit_breaker.h"
-#include "fault/injector.h"
 #include "gateway/gateway.h"
 #include "ipc/daemon_pool.h"
 #include "phpsrc/fragments.h"
+#include "resilience/circuit_breaker.h"
+#include "resilience/injector.h"
+#include "resilience/snapshot.h"
+#include "resilience/supervisor.h"
 
 namespace {
+
+constexpr int kExitConfigError = 2;
+constexpr int kExitBindError = 3;
 
 std::atomic<bool> g_stop{false};
 
 void OnSignal(int) { g_stop.store(true); }
 
 int UsageError(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--port N] [--workers N] [--cache-capacity N]\n"
-               "          [--pti inproc|pool] [--pool-size N] "
-               "[--duration SECONDS]\n"
-               "          [--deadline-ms N] [--degraded fail-closed|nti-only]\n"
-               "          [--breaker-threshold N] [--fault point[:rate]]...\n",
-               argv0);
-  return 2;
+  std::fprintf(
+      stderr,
+      "usage: %s [--port N] [--workers N] [--cache-capacity N]\n"
+      "          [--pti inproc|pool] [--pool-size N] [--duration SECONDS]\n"
+      "          [--deadline-ms N] [--degraded fail-closed|nti-only]\n"
+      "          [--breaker-threshold N] [--fault point[:rate]]...\n"
+      "          [--hedge-ms N] [--hedge-p99] [--restart-budget N]\n"
+      "          [--snapshot-path FILE] [--source-updates N]\n",
+      argv0);
+  return kExitConfigError;
 }
 
 }  // namespace
@@ -66,6 +89,11 @@ int main(int argc, char** argv) {
   bool use_pool = false;
   long duration_s = 0;
   long deadline_ms = 2000;
+  long hedge_ms = 0;
+  bool hedge_p99 = false;
+  double restart_budget = 16;
+  std::string snapshot_path;
+  long source_updates = 0;
   std::size_t breaker_threshold = 5;
   joza::core::DegradedMode degraded_mode =
       joza::core::DegradedMode::kFailClosed;
@@ -94,6 +122,19 @@ int main(int argc, char** argv) {
       duration_s = std::atol(value);
     } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && (value = next())) {
       deadline_ms = std::atol(value);
+    } else if (std::strcmp(argv[i], "--hedge-ms") == 0 && (value = next())) {
+      hedge_ms = std::atol(value);
+    } else if (std::strcmp(argv[i], "--hedge-p99") == 0) {
+      hedge_p99 = true;
+    } else if (std::strcmp(argv[i], "--restart-budget") == 0 &&
+               (value = next())) {
+      restart_budget = std::atof(value);
+    } else if (std::strcmp(argv[i], "--snapshot-path") == 0 &&
+               (value = next())) {
+      snapshot_path = value;
+    } else if (std::strcmp(argv[i], "--source-updates") == 0 &&
+               (value = next())) {
+      source_updates = std::atol(value);
     } else if (std::strcmp(argv[i], "--breaker-threshold") == 0 &&
                (value = next())) {
       breaker_threshold = static_cast<std::size_t>(std::atol(value));
@@ -104,7 +145,8 @@ int main(int argc, char** argv) {
         return UsageError(argv[0]);
       }
     } else if (std::strcmp(argv[i], "--fault") == 0 && (value = next())) {
-      if (Status st = fault::ArmFromSpec(fault::FaultInjector::Global(), value);
+      if (Status st = resilience::ArmFromSpec(
+              resilience::FaultInjector::Global(), value);
           !st.ok()) {
         std::fprintf(stderr, "bad --fault spec '%s': %s\n", value,
                      st.ToString().c_str());
@@ -120,14 +162,51 @@ int main(int argc, char** argv) {
   config.cache_capacity = cache_capacity;
   config.degraded_mode = degraded_mode;
   config.breaker.failure_threshold = breaker_threshold;
-  core::Joza joza = core::Joza::Install(*proto, config);
+
+  // Warm start: recover the fragment vocabulary + ruleset version from the
+  // crash-durable snapshot. Any anomaly (missing, truncated, corrupt,
+  // wrong format) loads fail-closed: cold start from the application
+  // sources at version 0 — a bad snapshot never widens the vocabulary.
+  php::FragmentSet seed = php::FragmentSet::FromSources(proto->sources());
+  std::uint64_t recovered_version = 0;
+  bool warm_started = false;
+  if (!snapshot_path.empty()) {
+    auto snap = resilience::LoadRulesetSnapshot(snapshot_path);
+    if (snap.ok()) {
+      recovered_version = snap->version;
+      seed = std::move(snap->fragments);
+      warm_started = true;
+    } else {
+      std::fprintf(stderr, "snapshot not recovered (cold start): %s\n",
+                   snap.status().ToString().c_str());
+    }
+  }
+  config.initial_ruleset_version = recovered_version;
+  core::Joza joza(seed, config);
+  if (warm_started) {
+    joza.NoteSnapshotLoad();
+    std::printf("warm start: ruleset version %llu (%zu fragments) from %s\n",
+                static_cast<unsigned long long>(recovered_version),
+                seed.size(), snapshot_path.c_str());
+  }
+  if (!snapshot_path.empty()) {
+    joza.SetSnapshotSink(
+        [snapshot_path](const php::FragmentSet& fragments,
+                        std::uint64_t version) {
+          return resilience::SaveRulesetSnapshot(snapshot_path, fragments,
+                                                 version);
+        });
+  }
 
   std::unique_ptr<ipc::DaemonPool> pool;
   if (use_pool) {
     ipc::DaemonPool::Options options;
     options.max_size = pool_size;
-    pool = std::make_unique<ipc::DaemonPool>(
-        php::FragmentSet::FromSources(proto->sources()), options);
+    options.supervisor.restart_budget = restart_budget;
+    options.hedge_delay = std::chrono::milliseconds(hedge_ms);
+    options.hedge_from_p99 = hedge_p99;
+    options.base_version = recovered_version;
+    pool = std::make_unique<ipc::DaemonPool>(seed, options);
     joza.SetPtiBackend(pool->AsPtiBackend());
   }
 
@@ -137,30 +216,62 @@ int main(int argc, char** argv) {
   gcfg.request_deadline = std::chrono::milliseconds(deadline_ms);
   gateway::GatewayServer server([] { return attack::MakeTestbed(); }, &joza,
                                 gcfg);
+  if (pool) {
+    server.SetResilienceProvider([&pool](gateway::GatewayStats& gs) {
+      const auto ps = pool->stats();
+      gs.restarts = ps.supervisor.restarts;
+      gs.quarantines = ps.supervisor.quarantines;
+      gs.hedges_won = ps.hedges_won;
+      gs.retries_denied = ps.retries_denied;
+    });
+  }
   auto bound = server.Start();
   if (!bound.ok()) {
     std::fprintf(stderr, "start failed: %s\n",
                  bound.status().ToString().c_str());
-    return 1;
+    return kExitBindError;
   }
   std::printf(
       "joza_gateway on 127.0.0.1:%d  (%zu workers, cache %zu, PTI %s,\n"
-      "              deadline %ld ms, degraded %s, breaker threshold %zu)\n",
+      "              deadline %ld ms, degraded %s, breaker threshold %zu,\n"
+      "              hedge %ld ms%s, restart budget %.0f)\n",
       bound.value(), workers, cache_capacity,
       use_pool ? "daemon pool" : "in-process", deadline_ms,
-      core::DegradedModeName(degraded_mode), breaker_threshold);
-  for (unsigned p = 0; p < static_cast<unsigned>(fault::FaultPoint::kCount);
-       ++p) {
-    const auto point = static_cast<fault::FaultPoint>(p);
-    if (fault::FaultInjector::Global().armed(point)) {
-      std::printf("fault armed:  %s at rate %.3f\n", fault::FaultPointName(point),
-                  fault::FaultInjector::Global().rate(point));
+      core::DegradedModeName(degraded_mode), breaker_threshold, hedge_ms,
+      hedge_p99 ? " (p99-derived)" : "", restart_budget);
+  for (unsigned p = 0;
+       p < static_cast<unsigned>(resilience::FaultPoint::kCount); ++p) {
+    const auto point = static_cast<resilience::FaultPoint>(p);
+    if (resilience::FaultInjector::Global().armed(point)) {
+      std::printf("fault armed:  %s at rate %.3f\n",
+                  resilience::FaultPointName(point),
+                  resilience::FaultInjector::Global().rate(point));
     }
   }
   std::printf("try: curl 'http://127.0.0.1:%d/post?id=7'\n", bound.value());
   std::printf("     curl 'http://127.0.0.1:%d"
               "/plugins/community-events?uid=-1%%20or%%201%%3D1'\n",
               bound.value());
+
+  // Synthetic fragment updates: each advances the ruleset version by one
+  // and (with --snapshot-path) persists the new generation — the version
+  // source for the kill -9 warm-restart smoke test.
+  for (long u = 1; u <= source_updates; ++u) {
+    const std::string marker =
+        "update_marker_" +
+        std::to_string(recovered_version + static_cast<std::uint64_t>(u));
+    php::SourceFile file;
+    file.path = "synthetic/update_" + std::to_string(u) + ".php";
+    file.content = "<?php $q = \"SELECT " + marker + " FROM posts\"; ?>";
+    joza.OnSourcesChanged({file});
+    if (pool) (void)pool->AddFragments({"SELECT " + marker + " FROM posts"});
+  }
+  if (source_updates > 0) {
+    std::printf("applied %ld source updates; ruleset version now %llu\n",
+                source_updates,
+                static_cast<unsigned long long>(joza.ruleset_version()));
+    std::fflush(stdout);
+  }
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
@@ -181,6 +292,11 @@ int main(int argc, char** argv) {
               "%zu timeouts (408), %zu oversized (413)\n",
               gs.requests_served, gs.keepalive_reuses, gs.bad_requests,
               gs.request_timeouts, gs.oversized_requests);
+  std::printf("admission:   limit %llu, %zu throttled (429), "
+              "%zu shed by deadline (503), shed p99 %llu us\n",
+              static_cast<unsigned long long>(gs.admission_limit),
+              gs.throttled_by_limiter, gs.shed_by_deadline,
+              static_cast<unsigned long long>(gs.shed_p99_us));
   std::printf("joza:        %zu queries, %zu attacks blocked, "
               "%zu+%zu cache hits, %zu evictions\n",
               js.queries_checked, js.attacks_detected, js.query_cache_hits,
@@ -188,6 +304,9 @@ int main(int argc, char** argv) {
   std::printf("ruleset:     version %llu, %zu snapshot swaps\n",
               static_cast<unsigned long long>(js.ruleset_version),
               js.ruleset_swaps);
+  std::printf("snapshots:   %zu saves, %zu save failures, %zu loads\n",
+              js.snapshot_saves, js.snapshot_save_failures,
+              js.snapshot_loads);
   std::printf("nti match:   %zu exact hits, %zu seed candidates, %zu DP runs; "
               "tiers %zu ref / %zu bounded / %zu staged\n",
               js.nti_exact_hits, js.nti_seed_candidates, js.nti_dp_runs,
@@ -199,7 +318,7 @@ int main(int argc, char** argv) {
               js.degraded_checks, js.degraded_blocks,
               js.breaker_fast_rejects);
   std::printf("breaker:     state %s, %zu opens, %zu closes, %zu probes\n",
-              fault::BreakerStateName(joza.breaker().state()), bs.opens,
+              resilience::BreakerStateName(joza.breaker().state()), bs.opens,
               bs.closes, bs.probes);
   if (pool) {
     const auto ps = pool->stats();
@@ -210,6 +329,16 @@ int main(int argc, char** argv) {
     std::printf("pti pool:    target version %llu, %zu version mismatches\n",
                 static_cast<unsigned long long>(ps.target_version),
                 ps.version_mismatches);
+    std::printf("supervisor:  state %s, %zu restarts, %zu denied, "
+                "%zu spawn failures, %zu crashes\n",
+                resilience::SupervisorStateName(pool->supervisor_state()),
+                ps.supervisor.restarts, ps.supervisor.restarts_denied,
+                ps.supervisor.spawn_failures, ps.supervisor.crashes);
+    std::printf("supervisor:  %zu quarantines, %zu probes, %zu recoveries\n",
+                ps.supervisor.quarantines, ps.supervisor.quarantine_probes,
+                ps.supervisor.recoveries);
+    std::printf("hedging:     %zu launched, %zu won, %zu retries denied\n",
+                ps.hedges_launched, ps.hedges_won, ps.retries_denied);
     pool->Shutdown();
   }
   return 0;
