@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "nti/batch.h"
 #include "sqlparse/lexer.h"
 #include "sqlparse/structure.h"
 #include "util/hash.h"
@@ -429,6 +430,29 @@ std::string AttackReport::ToLogLine() const {
   }
   line.append(" query=\"").append(query).append("\"");
   return line;
+}
+
+Joza::BatchScope::BatchScope(const Joza& engine) {
+  // Only the staged tier consults the batch context; skip the thread-local
+  // install (and later automaton builds) when it could never be read.
+  if (engine.config().enable_nti &&
+      engine.config().nti.tier == nti::MatchTier::kStaged) {
+    scope_ = std::make_unique<nti::ScopedBatchMatch>();
+  }
+}
+
+Joza::BatchScope::~BatchScope() = default;
+
+void Joza::BatchScope::Add(const http::Request& request) {
+  if (scope_) scope_->context().Register(request);
+}
+
+std::uint64_t Joza::BatchScope::exact_scans() const {
+  return scope_ ? scope_->context().scans() : 0;
+}
+
+std::uint64_t Joza::BatchScope::exact_reuses() const {
+  return scope_ ? scope_->context().reuses() : 0;
 }
 
 webapp::QueryGate Joza::MakeGate() {

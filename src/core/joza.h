@@ -43,6 +43,10 @@
 #include "util/status.h"
 #include "webapp/application.h"
 
+namespace joza::nti {
+class ScopedBatchMatch;
+}  // namespace joza::nti
+
 namespace joza::core {
 
 enum class RecoveryPolicy {
@@ -275,6 +279,34 @@ class Joza {
   // Binds this engine as an application interception gate applying the
   // configured recovery policy. The Joza object must outlive the gate.
   webapp::QueryGate MakeGate();
+
+  // Batched admission entry point. While a BatchScope is alive on a
+  // thread, every Check/CheckRequest issued from that thread resolves the
+  // staged matcher's exact stage against one shared automaton built over
+  // all Add()ed requests' input values (see nti::BatchMatchContext) —
+  // verdicts are unchanged, the automaton build is just amortized across
+  // the batch. Add() every request before the first check; the requests
+  // must outlive the scope. Thread-confined, like the ambient deadline.
+  // Constructing a scope on an engine whose staged tier is not in play
+  // (NTI disabled, non-staged tier) is a no-op.
+  class BatchScope {
+   public:
+    explicit BatchScope(const Joza& engine);
+    ~BatchScope();
+
+    BatchScope(const BatchScope&) = delete;
+    BatchScope& operator=(const BatchScope&) = delete;
+
+    void Add(const http::Request& request);
+
+    // Exact-stage accounting for the gateway's batch counters: automaton
+    // scans run vs lookups served from the batch's scan cache.
+    std::uint64_t exact_scans() const;
+    std::uint64_t exact_reuses() const;
+
+   private:
+    std::unique_ptr<nti::ScopedBatchMatch> scope_;  // null when no-op
+  };
 
   // Preprocessing hook (Section IV-B): folds newly discovered sources into
   // a successor snapshot (built off the hot path) and publishes it; checks

@@ -1,458 +1,74 @@
 #include "gateway/gateway.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/time.h>
-#include <unistd.h>
-
-#include <cerrno>
+#include <cstdlib>
 #include <cstring>
-#include <thread>
 
-#include "resilience/injector.h"
-#include "util/strings.h"
-#include "webapp/http_server.h"
+#include "gateway/server_impl.h"
 
 namespace joza::gateway {
 
 namespace {
 
-// Waits for `fd` to become readable before the deadline (only called with a
-// finite one). Timeout = the slowloris guard fired.
-Status WaitReadable(int fd, const util::Deadline& deadline) {
-  for (;;) {
-    pollfd pfd{};
-    pfd.fd = fd;
-    pfd.events = POLLIN;
-    const int n = ::poll(&pfd, 1, deadline.poll_timeout_ms());
-    if (n > 0) return Status::Ok();
-    if (n == 0) return Status::DeadlineExceeded("request read deadline");
-    if (errno == EINTR) continue;
-    return Status::Unavailable(std::string("poll(): ") +
-                               std::strerror(errno));
+GatewayConfig::IoModel ResolveIoModel(GatewayConfig::IoModel configured) {
+  if (configured != GatewayConfig::IoModel::kDefault) return configured;
+  if (const char* env = std::getenv("JOZA_GATEWAY_IO_MODEL")) {
+    if (std::strcmp(env, "threads") == 0) {
+      return GatewayConfig::IoModel::kThreads;
+    }
+    if (std::strcmp(env, "epoll") == 0) return GatewayConfig::IoModel::kEpoll;
   }
-}
-
-// Reads one full HTTP request out of the connection stream. `buf` carries
-// leftover bytes between calls (keep-alive pipelining); on success the
-// request's raw bytes are returned and removed from `buf`. NotFound means
-// the peer closed cleanly between requests; Unavailable covers idle
-// timeouts (SO_RCVTIMEO) and resets. Two guards bound hostile clients:
-// once a request's first byte is in, the rest must arrive within
-// `read_timeout` (kDeadlineExceeded -> 408, a slowloris dribbling bytes
-// cannot pin the worker) and the whole request must fit in
-// `max_request_bytes` (kInvalidArgument -> 413).
-StatusOr<std::string> ReadOneRequest(int fd, std::string& buf,
-                                     const GatewayConfig& config) {
-  // The read deadline arms at the first byte of the request, not at idle
-  // wait: keep-alive connections may legitimately sit quiet for the whole
-  // keepalive_timeout between requests.
-  util::Deadline deadline;
-  auto arm = [&] {
-    if (!deadline.finite() && config.read_timeout.count() > 0) {
-      deadline = util::Deadline::After(config.read_timeout);
-    }
-  };
-  if (!buf.empty()) arm();  // pipelined leftovers already started the clock
-
-  std::size_t header_end = buf.find("\r\n\r\n");
-  char chunk[4096];
-  while (header_end == std::string::npos) {
-    if (deadline.finite()) {
-      if (Status st = WaitReadable(fd, deadline); !st.ok()) return st;
-    }
-    ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::Unavailable(std::string("recv(): ") +
-                                 std::strerror(errno));
-    }
-    if (n == 0) {
-      if (buf.empty()) return Status::NotFound("peer closed");
-      return Status::Unavailable("connection closed mid-request");
-    }
-    buf.append(chunk, static_cast<std::size_t>(n));
-    arm();
-    if (buf.size() > config.max_request_bytes) {
-      return Status::InvalidArgument("request too large");
-    }
-    header_end = buf.find("\r\n\r\n");
-  }
-
-  std::size_t content_length = 0;
-  const std::size_t cl =
-      FindIgnoreCase(std::string_view(buf).substr(0, header_end),
-                     "content-length:");
-  if (cl != std::string_view::npos) {
-    content_length = static_cast<std::size_t>(
-        std::strtoul(buf.c_str() + cl + 15, nullptr, 10));
-    if (content_length > config.max_request_bytes ||
-        header_end + 4 + content_length > config.max_request_bytes) {
-      return Status::InvalidArgument("request body too large");
-    }
-  }
-  const std::size_t total = header_end + 4 + content_length;
-  while (buf.size() < total) {
-    if (deadline.finite()) {
-      if (Status st = WaitReadable(fd, deadline); !st.ok()) return st;
-    }
-    ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::Unavailable("recv() during body");
-    }
-    if (n == 0) return Status::Unavailable("connection closed mid-body");
-    buf.append(chunk, static_cast<std::size_t>(n));
-    arm();
-  }
-  std::string raw = buf.substr(0, total);
-  buf.erase(0, total);
-  return raw;
-}
-
-// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an explicit
-// Connection header on the first line block overrides either way.
-bool WantsKeepAlive(std::string_view raw) {
-  const std::size_t line_end = raw.find("\r\n");
-  const bool http11 =
-      raw.substr(0, line_end == std::string_view::npos ? 0 : line_end)
-          .find("HTTP/1.1") != std::string_view::npos;
-  const std::size_t header_end = raw.find("\r\n\r\n");
-  const std::string_view headers =
-      raw.substr(0, header_end == std::string_view::npos ? raw.size()
-                                                         : header_end);
-  const std::size_t conn = FindIgnoreCase(headers, "connection:");
-  if (conn == std::string_view::npos) return http11;
-  const std::size_t value_end = headers.find("\r\n", conn);
-  const std::string_view value = headers.substr(
-      conn, value_end == std::string_view::npos ? headers.size() - conn
-                                                : value_end - conn);
-  if (FindIgnoreCase(value, "close") != std::string_view::npos) return false;
-  if (FindIgnoreCase(value, "keep-alive") != std::string_view::npos) {
-    return true;
-  }
-  return http11;
-}
-
-std::string RenderResponse(const http::Response& response, bool keep_alive) {
-  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
-                    webapp::ReasonPhrase(response.status) + "\r\n";
-  out += "Content-Type: text/html\r\n";
-  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
-  out += "X-Virtual-Time-Ms: " + std::to_string(response.virtual_time_ms) +
-         "\r\n";
-  out += keep_alive ? "Connection: keep-alive\r\n\r\n"
-                    : "Connection: close\r\n\r\n";
-  out += response.body;
-  return out;
+  return GatewayConfig::IoModel::kEpoll;
 }
 
 }  // namespace
 
 GatewayServer::GatewayServer(AppFactory factory, core::Joza* joza,
-                             GatewayConfig config)
-    : factory_(std::move(factory)),
-      joza_(joza),
-      config_(config),
-      aimd_(config.admission) {
-  if (config_.workers == 0) config_.workers = 1;
-  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+                             GatewayConfig config) {
+  if (config.workers == 0) config.workers = 1;
+  if (config.queue_capacity == 0) config.queue_capacity = 1;
+  if (config.batch_max == 0) config.batch_max = 1;
+  if (config.batch_min < 2) config.batch_min = 2;
+  shared_ = std::make_unique<internal::GatewayShared>(std::move(factory),
+                                                      joza, config);
 }
 
 GatewayServer::~GatewayServer() { Stop(); }
 
 StatusOr<int> GatewayServer::Start() {
   if (running_.load()) return Status::InvalidArgument("already running");
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::Unavailable(std::string("socket(): ") +
-                               std::strerror(errno));
+  shared_->stopping.store(false);
+  // Resolve the io model at start, not construction, so tests and CI can
+  // steer a default-configured server via the environment.
+  impl_ = ResolveIoModel(shared_->config.io_model) ==
+                  GatewayConfig::IoModel::kThreads
+              ? internal::MakeThreadServer(*shared_)
+              : internal::MakeEpollServer(*shared_);
+  auto port = impl_->Start();
+  if (!port.ok()) {
+    impl_.reset();
+    return port.status();
   }
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
-      0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::Unavailable(std::string("bind(): ") +
-                               std::strerror(errno));
-  }
-  socklen_t len = sizeof addr;
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, config_.listen_backlog) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::Unavailable(std::string("listen(): ") +
-                               std::strerror(errno));
-  }
-
+  port_ = port.value();
   running_.store(true);
-  stopping_.store(false);
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    draining_ = false;
-  }
-  workers_.clear();
-  for (std::size_t i = 0; i < config_.workers; ++i) {
-    workers_.push_back(std::make_unique<WorkerSlot>());
-  }
-  for (auto& slot : workers_) {
-    WorkerSlot* s = slot.get();
-    s->thread = std::thread([this, s] { WorkerLoop(*s); });
-  }
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
   return port_;
 }
 
 void GatewayServer::Stop() {
   if (!running_.exchange(false)) return;
-  stopping_.store(true);
-
-  // 1. Stop accepting: closing the listener unblocks accept().
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  if (accept_thread_.joinable()) accept_thread_.join();
-
-  // 2. Drain: workers serve whatever is queued, then exit.
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    draining_ = true;
-  }
-  queue_cv_.notify_all();
-
-  // 3. Sever idle keep-alive connections so no worker waits out a client
-  //    that never sends another request. In-flight handling and the
-  //    response write are unaffected (SHUT_RD only); re-arm periodically
-  //    until every worker has wound down, covering connections picked up
-  //    from the drained queue after the first pass.
-  for (;;) {
-    bool any_alive = false;
-    for (auto& slot : workers_) {
-      if (!slot->done.load()) any_alive = true;
-      std::lock_guard<std::mutex> lock(slot->conn_mu);
-      if (slot->active_fd >= 0) ::shutdown(slot->active_fd, SHUT_RD);
-    }
-    if (!any_alive) break;
-    queue_cv_.notify_all();
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
-  }
-  for (auto& slot : workers_) {
-    if (slot->thread.joinable()) slot->thread.join();
-  }
-  workers_.clear();
+  impl_->Stop();
+  // impl_ stays alive: per-shard counters remain readable after Stop().
 }
 
-void GatewayServer::AcceptLoop() {
-  while (running_.load()) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener closed by Stop()
-    }
-    if (resilience::FaultInjector::Global().ShouldFire(
-            resilience::FaultPoint::kAcceptFail)) {
-      // Simulated post-accept failure (fd exhaustion, dying client): drop
-      // the connection on the floor; the client sees a reset.
-      ::close(fd);
-      continue;
-    }
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    // Idle keep-alive timeout: a worker's recv for the *next* request on a
-    // connection returns EAGAIN after this long, closing the connection.
-    timeval tv{};
-    tv.tv_sec =
-        static_cast<time_t>(config_.keepalive_timeout.count() / 1000);
-    tv.tv_usec = static_cast<suseconds_t>(
-        (config_.keepalive_timeout.count() % 1000) * 1000);
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-
-    bool rejected = false;
-    {
-      std::lock_guard<std::mutex> lock(queue_mu_);
-      if (queue_.size() >= config_.queue_capacity) {
-        rejected = true;
-      } else {
-        queue_.push_back({fd, std::chrono::steady_clock::now()});
-      }
-    }
-    if (rejected) {
-      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
-      Reject503(fd);
-    } else {
-      queue_cv_.notify_one();
-    }
-  }
+std::size_t GatewayServer::worker_count() const {
+  return shared_->config.workers;
 }
 
-void GatewayServer::RejectConnection(int fd, int status, const char* body) {
-  // Drain the request already in flight before answering: closing with
-  // unread bytes in the receive buffer makes the kernel send RST, and the
-  // peer would never see the refusal. The short timeout bounds how long a
-  // refusal path can stall on a slow client.
-  timeval tv{};
-  tv.tv_usec = 250 * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-  std::string buf;
-  (void)ReadOneRequest(fd, buf, config_);
-  http::Response refusal;
-  refusal.status = status;
-  refusal.body = body;
-  webapp::SendAll(fd, RenderResponse(refusal, false));
-  // Half-close and wait for the peer's EOF so the response is delivered
-  // before the full close.
-  ::shutdown(fd, SHUT_WR);
-  char sink[256];
-  while (::recv(fd, sink, sizeof sink, 0) > 0) {
-  }
-  ::close(fd);
+std::size_t GatewayServer::shard_count() const {
+  return impl_ ? impl_->shard_count() : 0;
 }
 
-void GatewayServer::Reject503(int fd) { RejectConnection(fd, 503, "overloaded"); }
-
-void GatewayServer::WorkerLoop(WorkerSlot& slot) {
-  // One private application per worker: handlers and the in-memory db are
-  // single-threaded; only the Joza engine is shared.
-  std::unique_ptr<webapp::Application> app = factory_();
-  if (joza_ != nullptr) app->SetQueryGate(joza_->MakeGate());
-
-  for (;;) {
-    QueuedConn conn;
-    {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [&] { return !queue_.empty() || draining_; });
-      if (queue_.empty()) break;  // draining and nothing left to serve
-      conn = queue_.front();
-      queue_.pop_front();
-    }
-    const int fd = conn.fd;
-    // Deadline-aware shed: if the connection's queue wait plus the typical
-    // service time already blow the request budget, its client has (or is
-    // about to have) timed out — a fast 503 frees this worker for work
-    // that can still make its deadline.
-    if (config_.shed_by_deadline && config_.request_deadline.count() > 0 &&
-        !stopping_.load(std::memory_order_relaxed)) {
-      const auto waited = std::chrono::steady_clock::now() - conn.enqueued;
-      const auto estimate = service_ewma_.estimate();
-      if (waited + estimate > config_.request_deadline) {
-        const auto shed_start = std::chrono::steady_clock::now();
-        shed_by_deadline_.fetch_add(1, std::memory_order_relaxed);
-        RejectConnection(fd, 503, "shed: deadline");
-        shed_latency_.Record(
-            std::chrono::duration_cast<std::chrono::microseconds>(
-                std::chrono::steady_clock::now() - shed_start));
-        continue;
-      }
-    }
-    {
-      std::lock_guard<std::mutex> lock(slot.conn_mu);
-      slot.active_fd = fd;
-    }
-    ServeConnection(*app, fd);
-    {
-      std::lock_guard<std::mutex> lock(slot.conn_mu);
-      slot.active_fd = -1;
-    }
-    ::close(fd);
-  }
-  app->SetQueryGate(nullptr);
-  slot.done.store(true);
-}
-
-void GatewayServer::ServeConnection(webapp::Application& app, int fd) {
-  std::string buf;
-  std::size_t served_on_connection = 0;
-  while (served_on_connection < config_.max_requests_per_connection) {
-    auto& injector = resilience::FaultInjector::Global();
-    if (injector.ShouldFire(resilience::FaultPoint::kSlowClient)) {
-      // Stall this worker before it reads, as if the client dribbled the
-      // request in slowly — saturates the pool without touching sockets.
-      std::this_thread::sleep_for(injector.hang());
-    }
-    auto raw = ReadOneRequest(fd, buf, config_);
-    if (!raw.ok()) {
-      // The two hostile-client guards get an explicit answer; everything
-      // else (clean close, idle timeout, reset) just ends the connection.
-      if (raw.status().code() == StatusCode::kDeadlineExceeded) {
-        request_timeouts_.fetch_add(1, std::memory_order_relaxed);
-        http::Response timeout;
-        timeout.status = 408;
-        timeout.body = "Request Timeout";
-        webapp::SendAll(fd, RenderResponse(timeout, false));
-      } else if (raw.status().code() == StatusCode::kInvalidArgument) {
-        oversized_requests_.fetch_add(1, std::memory_order_relaxed);
-        http::Response too_large;
-        too_large.status = 413;
-        too_large.body = "Payload Too Large";
-        webapp::SendAll(fd, RenderResponse(too_large, false));
-      }
-      break;
-    }
-
-    http::Response response;
-    bool keep_alive = false;
-    auto request = http::ParseRawRequest(raw.value());
-    if (!request.ok()) {
-      bad_requests_.fetch_add(1, std::memory_order_relaxed);
-      response.status = 400;
-      response.body = "Bad Request";
-    } else if (!aimd_.TryAcquire()) {
-      // At the adaptive concurrency limit: refuse immediately rather than
-      // stacking more work onto a backend already blowing deadlines.
-      throttled_by_limiter_.fetch_add(1, std::memory_order_relaxed);
-      response.status = 429;
-      response.body = "Too Many Requests";
-      keep_alive = false;
-    } else {
-      keep_alive = WantsKeepAlive(raw.value());
-      // Per-request budget, visible to the Joza engine (and through it the
-      // daemon pool) as the ambient deadline for this worker thread.
-      util::Deadline request_deadline;
-      if (config_.request_deadline.count() > 0) {
-        request_deadline = util::Deadline::After(config_.request_deadline);
-      }
-      const auto handle_start = std::chrono::steady_clock::now();
-      {
-        util::ScopedRequestDeadline scope(request_deadline);
-        response = app.Handle(request.value());
-      }
-      const auto elapsed = std::chrono::steady_clock::now() - handle_start;
-      // A completion that consumed the whole budget is the AIMD overload
-      // signal; on-time completions grow the limit back.
-      const bool overloaded = config_.request_deadline.count() > 0 &&
-                              elapsed >= config_.request_deadline;
-      service_ewma_.Record(
-          std::chrono::duration_cast<std::chrono::microseconds>(elapsed));
-      aimd_.Release(overloaded);
-    }
-    // During drain, finish this request but do not start another.
-    if (stopping_.load(std::memory_order_relaxed)) keep_alive = false;
-    if (served_on_connection + 1 >= config_.max_requests_per_connection) {
-      keep_alive = false;
-    }
-
-    // Count before the send: a client that has its response in hand must
-    // observe the request in stats() (tests and monitoring read it there).
-    requests_served_.fetch_add(1, std::memory_order_relaxed);
-    if (served_on_connection > 0) {
-      keepalive_reuses_.fetch_add(1, std::memory_order_relaxed);
-    }
-    if (!webapp::SendAll(fd, RenderResponse(response, keep_alive)).ok()) {
-      break;  // peer went away mid-response
-    }
-    ++served_on_connection;
-    if (!keep_alive) break;
-  }
+std::vector<ShardStats> GatewayServer::shard_stats() const {
+  return impl_ ? impl_->shard_stats() : std::vector<ShardStats>{};
 }
 
 std::vector<std::pair<const char*, std::uint64_t>> GatewayStats::Counters()
@@ -467,6 +83,12 @@ std::vector<std::pair<const char*, std::uint64_t>> GatewayStats::Counters()
       {"oversized_requests", oversized_requests},
       {"shed_by_deadline", shed_by_deadline},
       {"throttled_by_limiter", throttled_by_limiter},
+      {"accept_overflows", accept_overflows},
+      {"batches", batches},
+      {"batched_requests", batched_requests},
+      {"max_batch", max_batch},
+      {"batch_exact_scans", batch_exact_scans},
+      {"batch_exact_reuses", batch_exact_reuses},
       {"admission_limit", admission_limit},
       {"service_estimate_us", service_estimate_us},
       {"shed_p99_us", shed_p99_us},
@@ -478,30 +100,39 @@ std::vector<std::pair<const char*, std::uint64_t>> GatewayStats::Counters()
 }
 
 GatewayStats GatewayServer::stats() const {
+  const internal::GatewayShared& s = *shared_;
   GatewayStats out;
   out.connections_accepted =
-      connections_accepted_.load(std::memory_order_relaxed);
+      s.connections_accepted.load(std::memory_order_relaxed);
   out.connections_rejected =
-      connections_rejected_.load(std::memory_order_relaxed);
-  out.requests_served = requests_served_.load(std::memory_order_relaxed);
-  out.keepalive_reuses = keepalive_reuses_.load(std::memory_order_relaxed);
-  out.bad_requests = bad_requests_.load(std::memory_order_relaxed);
-  out.request_timeouts = request_timeouts_.load(std::memory_order_relaxed);
+      s.connections_rejected.load(std::memory_order_relaxed);
+  out.requests_served = s.requests_served.load(std::memory_order_relaxed);
+  out.keepalive_reuses = s.keepalive_reuses.load(std::memory_order_relaxed);
+  out.bad_requests = s.bad_requests.load(std::memory_order_relaxed);
+  out.request_timeouts = s.request_timeouts.load(std::memory_order_relaxed);
   out.oversized_requests =
-      oversized_requests_.load(std::memory_order_relaxed);
-  out.shed_by_deadline = shed_by_deadline_.load(std::memory_order_relaxed);
+      s.oversized_requests.load(std::memory_order_relaxed);
+  out.shed_by_deadline = s.shed_by_deadline.load(std::memory_order_relaxed);
   out.throttled_by_limiter =
-      throttled_by_limiter_.load(std::memory_order_relaxed);
-  out.admission_limit = static_cast<std::uint64_t>(aimd_.limit());
+      s.throttled_by_limiter.load(std::memory_order_relaxed);
+  out.accept_overflows = s.accept_overflows.load(std::memory_order_relaxed);
+  out.batches = s.batches.load(std::memory_order_relaxed);
+  out.batched_requests = s.batched_requests.load(std::memory_order_relaxed);
+  out.max_batch = s.max_batch.load(std::memory_order_relaxed);
+  out.batch_exact_scans =
+      s.batch_exact_scans.load(std::memory_order_relaxed);
+  out.batch_exact_reuses =
+      s.batch_exact_reuses.load(std::memory_order_relaxed);
+  out.admission_limit = static_cast<std::uint64_t>(s.aimd.limit());
   out.service_estimate_us =
-      static_cast<std::uint64_t>(service_ewma_.estimate().count());
+      static_cast<std::uint64_t>(s.service_ewma.estimate().count());
   out.shed_p99_us = static_cast<std::uint64_t>(
-      shed_latency_
+      s.shed_latency
           .Quantile(0.99, std::chrono::microseconds(0), /*min_samples=*/1)
           .count());
   if (resilience_provider_) resilience_provider_(out);
-  if (joza_ != nullptr) {
-    const core::JozaStats engine = joza_->stats();
+  if (s.joza != nullptr) {
+    const core::JozaStats engine = s.joza->stats();
     out.ruleset_version = engine.ruleset_version;
     out.ruleset_swaps = engine.ruleset_swaps;
     out.nti_exact_hits = engine.nti_exact_hits;

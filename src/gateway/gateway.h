@@ -1,43 +1,41 @@
-// Concurrent protection gateway: thread-pool HTTP serving layer.
+// Concurrent protection gateway: the serving tier in front of the engine.
 //
 // The paper deploys Joza inside a production Apache/PHP stack; this layer
-// is the reproduction's equivalent of that deployment tier. It replaces the
-// one-connection-at-a-time webapp::HttpServer with a multi-threaded front
-// end so the whole request → interception → verdict pipeline runs on N
-// workers at once:
+// is the reproduction's equivalent of that deployment tier. Two io models
+// share one behavioral contract (same status codes, same hardening, same
+// admission control, same stats):
 //
-//   * one accept thread feeds a bounded connection queue (overflow answers
-//     503 immediately rather than letting the backlog grow without bound);
-//   * each worker owns a private webapp::Application instance (handlers and
-//     the in-memory database are single-threaded by design) built by the
-//     caller's factory;
-//   * all workers share ONE core::Joza engine — its sharded caches and
-//     atomic stats make Check() safe and cheap under concurrency, and
-//     shared caches are the point: traffic on any worker warms PTI verdicts
-//     for all of them;
-//   * connections speak HTTP/1.1 with keep-alive (bounded requests per
-//     connection, idle timeout), which is where most of the throughput win
-//     over the HTTP/1.0 close-per-request baseline comes from;
-//   * Stop() drains gracefully: stop accepting, finish queued connections
-//     and in-flight requests, sever idle keep-alives, join everything.
+//   * kThreads — the original blocking-socket thread pool: one accept
+//     thread feeds a bounded queue, N workers each own a private
+//     webapp::Application and serve one connection at a time. Concurrency
+//     is capped at thread count and idle keep-alives pin threads.
+//   * kEpoll (default) — an edge-triggered epoll readiness loop: a small
+//     set of event-loop shards, each owning its own SO_REUSEPORT accept
+//     socket, connection table, non-blocking read/write state machines
+//     with partial-read/partial-write resumption, and a timer wheel for
+//     keep-alive idle, slowloris first-byte, and write-stall deadlines —
+//     idle connections cost memory, not threads. Each shard drains up to
+//     batch_max ready requests per tick and admits them as one batch so
+//     the staged matcher's exact stage can amortize a single automaton
+//     scan across the batch (core::Joza::BatchScope).
+//
+// In both models all workers/shards share ONE core::Joza engine — its
+// sharded caches and atomic stats make Check() safe and cheap under
+// concurrency, and shared caches are the point: traffic on any shard warms
+// PTI verdicts for all of them. Stop() drains gracefully: stop accepting,
+// finish admitted requests, sever idle keep-alives, join everything.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/joza.h"
 #include "resilience/admission.h"
-#include "resilience/hedge.h"
-#include "util/deadline.h"
 #include "util/status.h"
 #include "webapp/application.h"
 
@@ -45,10 +43,11 @@ namespace joza::gateway {
 
 struct GatewayConfig {
   int port = 0;               // 0 picks a free port
-  std::size_t workers = 4;    // serving threads
+  std::size_t workers = 4;    // serving threads (epoll: default shard count)
   int listen_backlog = 64;    // kernel accept backlog
-  // Connections queued between accept and a free worker; overflow is
-  // answered 503 and closed (bounded memory under overload).
+  // Connections queued between accept and a free worker (threads) or ready
+  // requests buffered per shard (epoll); overflow is answered 503 and the
+  // connection closed (bounded memory under overload).
   std::size_t queue_capacity = 128;
   // Keep-alive bounds: max pipelined requests per connection, and how long
   // a worker waits for the next request before closing an idle connection.
@@ -69,11 +68,35 @@ struct GatewayConfig {
   // the limit workers answer 429 immediately instead of piling onto a
   // saturated backend; deadline overruns shrink the limit.
   resilience::AimdOptions admission;
-  // Deadline-aware shedding: a connection dequeued after its queue wait
-  // plus the EWMA service estimate already exceed request_deadline is
-  // answered 503 immediately — a fast refusal beats burning a worker on
-  // work whose client has timed out. Needs request_deadline > 0.
+  // Deadline-aware shedding: a request picked up after its wait plus the
+  // EWMA service estimate already exceed request_deadline is answered 503
+  // immediately — a fast refusal beats burning a worker on work whose
+  // client has timed out. Needs request_deadline > 0.
   bool shed_by_deadline = true;
+
+  // Serving io model. kDefault resolves via the JOZA_GATEWAY_IO_MODEL
+  // environment variable ("threads" or "epoll"), falling back to epoll —
+  // so the whole test suite exercises the event loop by default and CI
+  // re-runs it against the thread pool by exporting the variable.
+  enum class IoModel { kDefault, kThreads, kEpoll };
+  IoModel io_model = IoModel::kDefault;
+  // Event-loop shards (epoll only). 0 means `workers`, so configs written
+  // for the thread pool keep their concurrency shape on the event loop.
+  std::size_t event_shards = 0;
+  // Batched admission (epoll only): a shard drains up to batch_max ready
+  // requests per tick; batches of at least batch_min install a
+  // core::Joza::BatchScope so the exact match stage is amortized.
+  std::size_t batch_max = 16;
+  std::size_t batch_min = 2;
+};
+
+// Per-event-loop-shard counters (epoll model; empty under threads).
+struct ShardStats {
+  std::size_t connections = 0;  // connections this shard accepted
+  std::size_t batches = 0;      // admission batches drained
+  std::size_t requests = 0;     // requests admitted through those batches
+  // Batch-size distribution: 1, 2, 3-4, 5-8, 9-16, 17+.
+  std::size_t batch_histogram[6] = {0, 0, 0, 0, 0, 0};
 };
 
 struct GatewayStats {
@@ -86,6 +109,16 @@ struct GatewayStats {
   std::size_t oversized_requests = 0;    // size cap fired (413)
   std::size_t shed_by_deadline = 0;      // dequeued too late to matter (503)
   std::size_t throttled_by_limiter = 0;  // AIMD concurrency refusals (429)
+  std::size_t accept_overflows = 0;      // EMFILE/ENFILE accepts shed
+  // Batched admission (epoll model): batches drained, requests admitted
+  // through them, largest batch seen, and how the batch exact-match stage
+  // fared (automaton scans run vs. per-query scans served from the batch
+  // cache).
+  std::size_t batches = 0;
+  std::size_t batched_requests = 0;
+  std::size_t max_batch = 0;
+  std::uint64_t batch_exact_scans = 0;
+  std::uint64_t batch_exact_reuses = 0;
   std::uint64_t admission_limit = 0;     // current AIMD concurrency limit
   std::uint64_t service_estimate_us = 0; // EWMA request service time
   std::uint64_t shed_p99_us = 0;         // p99 of shed-path handling time
@@ -119,6 +152,11 @@ struct GatewayStats {
 // startup; every instance must expose the same routes/sources.
 using AppFactory = std::function<std::unique_ptr<webapp::Application>()>;
 
+namespace internal {
+struct GatewayShared;
+class ServerImpl;
+}  // namespace internal
+
 class GatewayServer {
  public:
   // `joza` may be null (serve unprotected, for baselines); when set, every
@@ -131,17 +169,22 @@ class GatewayServer {
   GatewayServer(const GatewayServer&) = delete;
   GatewayServer& operator=(const GatewayServer&) = delete;
 
-  // Binds 127.0.0.1, spawns the accept thread and the worker pool.
-  // Returns the bound port.
+  // Binds 127.0.0.1, spawns the serving backend (io_model resolution
+  // happens here). Returns the bound port.
   StatusOr<int> Start();
 
-  // Graceful drain; idempotent. In-flight requests complete, queued
-  // connections get served, idle keep-alive connections are severed.
+  // Graceful drain; idempotent. In-flight requests complete, admitted
+  // requests get served, idle keep-alive connections are severed.
   void Stop();
 
   int port() const { return port_; }
-  std::size_t worker_count() const { return config_.workers; }
+  std::size_t worker_count() const;
   GatewayStats stats() const;
+
+  // Event-loop shard counters (empty vector under the thread model).
+  // Readable after Stop(); shard identity is the vector index.
+  std::size_t shard_count() const;
+  std::vector<ShardStats> shard_stats() const;
 
   // Installs a hook that augments stats() with daemon-fleet resilience
   // counters (restarts, quarantines, hedges, retry denials). Call before
@@ -151,57 +194,11 @@ class GatewayServer {
   }
 
  private:
-  struct WorkerSlot {
-    std::thread thread;
-    std::mutex conn_mu;         // guards active_fd against Stop()
-    int active_fd = -1;         // connection currently being served
-    std::atomic<bool> done{false};
-  };
-
-  struct QueuedConn {
-    int fd = -1;
-    std::chrono::steady_clock::time_point enqueued;
-  };
-
-  void AcceptLoop();
-  void WorkerLoop(WorkerSlot& slot);
-  void ServeConnection(webapp::Application& app, int fd);
-  // Drains the pending request and answers `status`/`body`, then closes.
-  void RejectConnection(int fd, int status, const char* body);
-  void Reject503(int fd);
-
-  AppFactory factory_;
-  core::Joza* joza_;
-  GatewayConfig config_;
-
-  // Atomic: Stop() invalidates it while the accept thread reads it.
-  std::atomic<int> listen_fd_{-1};
+  std::unique_ptr<internal::GatewayShared> shared_;
+  std::unique_ptr<internal::ServerImpl> impl_;
   int port_ = 0;
-  std::thread accept_thread_;
   std::atomic<bool> running_{false};
-  std::atomic<bool> stopping_{false};
-
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<QueuedConn> queue_;
-  bool draining_ = false;
-
-  resilience::AimdLimiter aimd_;
-  resilience::ServiceTimeEwma service_ewma_;
-  resilience::LatencyTracker shed_latency_;  // shed-path handling times
   std::function<void(GatewayStats&)> resilience_provider_;
-
-  std::vector<std::unique_ptr<WorkerSlot>> workers_;
-
-  std::atomic<std::size_t> connections_accepted_{0};
-  std::atomic<std::size_t> connections_rejected_{0};
-  std::atomic<std::size_t> requests_served_{0};
-  std::atomic<std::size_t> keepalive_reuses_{0};
-  std::atomic<std::size_t> bad_requests_{0};
-  std::atomic<std::size_t> request_timeouts_{0};
-  std::atomic<std::size_t> oversized_requests_{0};
-  std::atomic<std::size_t> shed_by_deadline_{0};
-  std::atomic<std::size_t> throttled_by_limiter_{0};
 };
 
 }  // namespace joza::gateway

@@ -1,0 +1,43 @@
+#include "gateway/server_impl.h"
+
+#include "util/strings.h"
+#include "webapp/http_server.h"
+
+namespace joza::gateway::internal {
+
+bool WantsKeepAlive(std::string_view raw) {
+  const std::size_t line_end = raw.find("\r\n");
+  const bool http11 =
+      raw.substr(0, line_end == std::string_view::npos ? 0 : line_end)
+          .find("HTTP/1.1") != std::string_view::npos;
+  const std::size_t header_end = raw.find("\r\n\r\n");
+  const std::string_view headers =
+      raw.substr(0, header_end == std::string_view::npos ? raw.size()
+                                                         : header_end);
+  const std::size_t conn = FindIgnoreCase(headers, "connection:");
+  if (conn == std::string_view::npos) return http11;
+  const std::size_t value_end = headers.find("\r\n", conn);
+  const std::string_view value = headers.substr(
+      conn, value_end == std::string_view::npos ? headers.size() - conn
+                                                : value_end - conn);
+  if (FindIgnoreCase(value, "close") != std::string_view::npos) return false;
+  if (FindIgnoreCase(value, "keep-alive") != std::string_view::npos) {
+    return true;
+  }
+  return http11;
+}
+
+std::string RenderResponse(const http::Response& response, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    webapp::ReasonPhrase(response.status) + "\r\n";
+  out += "Content-Type: text/html\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "X-Virtual-Time-Ms: " + std::to_string(response.virtual_time_ms) +
+         "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                    : "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace joza::gateway::internal

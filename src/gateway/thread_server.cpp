@@ -1,0 +1,475 @@
+// The original blocking-socket thread-pool backend: one accept thread
+// feeding a bounded queue, N workers each serving one connection at a time
+// with per-request poll(2) deadlines. Kept behaviorally identical to its
+// pre-refactor form — it is the reference the epoll backend is held to —
+// with all counters and admission state routed through GatewayShared.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "gateway/server_impl.h"
+#include "resilience/injector.h"
+#include "util/deadline.h"
+#include "util/strings.h"
+#include "webapp/http_server.h"
+
+namespace joza::gateway::internal {
+
+namespace {
+
+// Waits for `fd` to become readable before the deadline (only called with a
+// finite one). Timeout = the slowloris guard fired.
+Status WaitReadable(int fd, const util::Deadline& deadline) {
+  for (;;) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int n = ::poll(&pfd, 1, deadline.poll_timeout_ms());
+    if (n > 0) return Status::Ok();
+    if (n == 0) return Status::DeadlineExceeded("request read deadline");
+    if (errno == EINTR) continue;
+    return Status::Unavailable(std::string("poll(): ") +
+                               std::strerror(errno));
+  }
+}
+
+// Reads one full HTTP request out of the connection stream. `buf` carries
+// leftover bytes between calls (keep-alive pipelining); on success the
+// request's raw bytes are returned and removed from `buf`. NotFound means
+// the peer closed cleanly between requests; Unavailable covers idle
+// timeouts (SO_RCVTIMEO) and resets. Two guards bound hostile clients:
+// once a request's first byte is in, the rest must arrive within
+// `read_timeout` (kDeadlineExceeded -> 408, a slowloris dribbling bytes
+// cannot pin the worker) and the whole request must fit in
+// `max_request_bytes` (kInvalidArgument -> 413).
+StatusOr<std::string> ReadOneRequest(int fd, std::string& buf,
+                                     const GatewayConfig& config) {
+  // The read deadline arms at the first byte of the request, not at idle
+  // wait: keep-alive connections may legitimately sit quiet for the whole
+  // keepalive_timeout between requests.
+  util::Deadline deadline;
+  auto arm = [&] {
+    if (!deadline.finite() && config.read_timeout.count() > 0) {
+      deadline = util::Deadline::After(config.read_timeout);
+    }
+  };
+  if (!buf.empty()) arm();  // pipelined leftovers already started the clock
+
+  std::size_t header_end = buf.find("\r\n\r\n");
+  char chunk[4096];
+  while (header_end == std::string::npos) {
+    if (deadline.finite()) {
+      if (Status st = WaitReadable(fd, deadline); !st.ok()) return st;
+    }
+    ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("recv(): ") +
+                                 std::strerror(errno));
+    }
+    if (n == 0) {
+      if (buf.empty()) return Status::NotFound("peer closed");
+      return Status::Unavailable("connection closed mid-request");
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+    arm();
+    if (buf.size() > config.max_request_bytes) {
+      return Status::InvalidArgument("request too large");
+    }
+    header_end = buf.find("\r\n\r\n");
+  }
+
+  std::size_t content_length = 0;
+  const std::size_t cl =
+      FindIgnoreCase(std::string_view(buf).substr(0, header_end),
+                     "content-length:");
+  if (cl != std::string_view::npos) {
+    content_length = static_cast<std::size_t>(
+        std::strtoul(buf.c_str() + cl + 15, nullptr, 10));
+    if (content_length > config.max_request_bytes ||
+        header_end + 4 + content_length > config.max_request_bytes) {
+      return Status::InvalidArgument("request body too large");
+    }
+  }
+  const std::size_t total = header_end + 4 + content_length;
+  while (buf.size() < total) {
+    if (deadline.finite()) {
+      if (Status st = WaitReadable(fd, deadline); !st.ok()) return st;
+    }
+    ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("recv() during body");
+    }
+    if (n == 0) return Status::Unavailable("connection closed mid-body");
+    buf.append(chunk, static_cast<std::size_t>(n));
+    arm();
+  }
+  std::string raw = buf.substr(0, total);
+  buf.erase(0, total);
+  return raw;
+}
+
+class ThreadServer : public ServerImpl {
+ public:
+  explicit ThreadServer(GatewayShared& shared) : shared_(shared) {}
+  ~ThreadServer() override { Stop(); }
+
+  StatusOr<int> Start() override;
+  void Stop() override;
+
+ private:
+  struct WorkerSlot {
+    std::thread thread;
+    std::mutex conn_mu;         // guards active_fd against Stop()
+    int active_fd = -1;         // connection currently being served
+    std::atomic<bool> done{false};
+  };
+
+  struct QueuedConn {
+    int fd = -1;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void AcceptLoop();
+  void WorkerLoop(WorkerSlot& slot);
+  void ServeConnection(webapp::Application& app, int fd);
+  // Drains the pending request and answers `status`/`body`, then closes.
+  void RejectConnection(int fd, int status, const char* body);
+  void Reject503(int fd);
+
+  const GatewayConfig& config() const { return shared_.config; }
+
+  GatewayShared& shared_;
+
+  // Atomic: Stop() invalidates it while the accept thread reads it.
+  std::atomic<int> listen_fd_{-1};
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<QueuedConn> queue_;
+  bool draining_ = false;
+
+  std::vector<std::unique_ptr<WorkerSlot>> workers_;
+};
+
+StatusOr<int> ThreadServer::Start() {
+  if (running_.load()) return Status::InvalidArgument("already running");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Unavailable(std::string("socket(): ") +
+                               std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(config().port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable(std::string("bind(): ") +
+                               std::strerror(errno));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  const int port = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, config().listen_backlog) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable(std::string("listen(): ") +
+                               std::strerror(errno));
+  }
+
+  running_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    draining_ = false;
+  }
+  workers_.clear();
+  for (std::size_t i = 0; i < config().workers; ++i) {
+    workers_.push_back(std::make_unique<WorkerSlot>());
+  }
+  for (auto& slot : workers_) {
+    WorkerSlot* s = slot.get();
+    s->thread = std::thread([this, s] { WorkerLoop(*s); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return port;
+}
+
+void ThreadServer::Stop() {
+  if (!running_.exchange(false)) return;
+  shared_.stopping.store(true);
+
+  // 1. Stop accepting: closing the listener unblocks accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. Drain: workers serve whatever is queued, then exit.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    draining_ = true;
+  }
+  queue_cv_.notify_all();
+
+  // 3. Sever idle keep-alive connections so no worker waits out a client
+  //    that never sends another request. In-flight handling and the
+  //    response write are unaffected (SHUT_RD only); re-arm periodically
+  //    until every worker has wound down, covering connections picked up
+  //    from the drained queue after the first pass.
+  for (;;) {
+    bool any_alive = false;
+    for (auto& slot : workers_) {
+      if (!slot->done.load()) any_alive = true;
+      std::lock_guard<std::mutex> lock(slot->conn_mu);
+      if (slot->active_fd >= 0) ::shutdown(slot->active_fd, SHUT_RD);
+    }
+    if (!any_alive) break;
+    queue_cv_.notify_all();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (auto& slot : workers_) {
+    if (slot->thread.joinable()) slot->thread.join();
+  }
+  workers_.clear();
+}
+
+void ThreadServer::AcceptLoop() {
+  while (running_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Out of descriptors: nothing to close here (accept gave us
+        // nothing), so just count it and retry after a beat instead of
+        // abandoning the listener.
+        shared_.accept_overflows.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        continue;
+      }
+      break;  // listener closed by Stop()
+    }
+    if (resilience::FaultInjector::Global().ShouldFire(
+            resilience::FaultPoint::kAcceptFail)) {
+      // Simulated post-accept failure (fd exhaustion, dying client): drop
+      // the connection on the floor; the client sees a reset.
+      ::close(fd);
+      continue;
+    }
+    shared_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    // Idle keep-alive timeout: a worker's recv for the *next* request on a
+    // connection returns EAGAIN after this long, closing the connection.
+    timeval tv{};
+    tv.tv_sec =
+        static_cast<time_t>(config().keepalive_timeout.count() / 1000);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (config().keepalive_timeout.count() % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    bool rejected = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (queue_.size() >= config().queue_capacity) {
+        rejected = true;
+      } else {
+        queue_.push_back({fd, std::chrono::steady_clock::now()});
+      }
+    }
+    if (rejected) {
+      shared_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      Reject503(fd);
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadServer::RejectConnection(int fd, int status, const char* body) {
+  // Drain the request already in flight before answering: closing with
+  // unread bytes in the receive buffer makes the kernel send RST, and the
+  // peer would never see the refusal. The short timeout bounds how long a
+  // refusal path can stall on a slow client.
+  timeval tv{};
+  tv.tv_usec = 250 * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  std::string buf;
+  (void)ReadOneRequest(fd, buf, config());
+  http::Response refusal;
+  refusal.status = status;
+  refusal.body = body;
+  webapp::SendAll(fd, RenderResponse(refusal, false));
+  // Half-close and wait for the peer's EOF so the response is delivered
+  // before the full close.
+  ::shutdown(fd, SHUT_WR);
+  char sink[256];
+  while (::recv(fd, sink, sizeof sink, 0) > 0) {
+  }
+  ::close(fd);
+}
+
+void ThreadServer::Reject503(int fd) {
+  RejectConnection(fd, 503, "overloaded");
+}
+
+void ThreadServer::WorkerLoop(WorkerSlot& slot) {
+  // One private application per worker: handlers and the in-memory db are
+  // single-threaded; only the Joza engine is shared.
+  std::unique_ptr<webapp::Application> app = shared_.factory();
+  if (shared_.joza != nullptr) app->SetQueryGate(shared_.joza->MakeGate());
+
+  for (;;) {
+    QueuedConn conn;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return !queue_.empty() || draining_; });
+      if (queue_.empty()) break;  // draining and nothing left to serve
+      conn = queue_.front();
+      queue_.pop_front();
+    }
+    const int fd = conn.fd;
+    // Deadline-aware shed: if the connection's queue wait plus the typical
+    // service time already blow the request budget, its client has (or is
+    // about to have) timed out — a fast 503 frees this worker for work
+    // that can still make its deadline.
+    if (config().shed_by_deadline && config().request_deadline.count() > 0 &&
+        !shared_.stopping.load(std::memory_order_relaxed)) {
+      const auto waited = std::chrono::steady_clock::now() - conn.enqueued;
+      const auto estimate = shared_.service_ewma.estimate();
+      if (waited + estimate > config().request_deadline) {
+        const auto shed_start = std::chrono::steady_clock::now();
+        shared_.shed_by_deadline.fetch_add(1, std::memory_order_relaxed);
+        RejectConnection(fd, 503, "shed: deadline");
+        shared_.shed_latency.Record(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - shed_start));
+        continue;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(slot.conn_mu);
+      slot.active_fd = fd;
+    }
+    ServeConnection(*app, fd);
+    {
+      std::lock_guard<std::mutex> lock(slot.conn_mu);
+      slot.active_fd = -1;
+    }
+    ::close(fd);
+  }
+  app->SetQueryGate(nullptr);
+  slot.done.store(true);
+}
+
+void ThreadServer::ServeConnection(webapp::Application& app, int fd) {
+  std::string buf;
+  std::size_t served_on_connection = 0;
+  while (served_on_connection < config().max_requests_per_connection) {
+    auto& injector = resilience::FaultInjector::Global();
+    if (injector.ShouldFire(resilience::FaultPoint::kSlowClient)) {
+      // Stall this worker before it reads, as if the client dribbled the
+      // request in slowly — saturates the pool without touching sockets.
+      std::this_thread::sleep_for(injector.hang());
+    }
+    auto raw = ReadOneRequest(fd, buf, config());
+    if (!raw.ok()) {
+      // The two hostile-client guards get an explicit answer; everything
+      // else (clean close, idle timeout, reset) just ends the connection.
+      if (raw.status().code() == StatusCode::kDeadlineExceeded) {
+        shared_.request_timeouts.fetch_add(1, std::memory_order_relaxed);
+        http::Response timeout;
+        timeout.status = 408;
+        timeout.body = "Request Timeout";
+        webapp::SendAll(fd, RenderResponse(timeout, false));
+      } else if (raw.status().code() == StatusCode::kInvalidArgument) {
+        shared_.oversized_requests.fetch_add(1, std::memory_order_relaxed);
+        http::Response too_large;
+        too_large.status = 413;
+        too_large.body = "Payload Too Large";
+        webapp::SendAll(fd, RenderResponse(too_large, false));
+      }
+      break;
+    }
+
+    http::Response response;
+    bool keep_alive = false;
+    auto request = http::ParseRawRequest(raw.value());
+    if (!request.ok()) {
+      shared_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+      response.status = 400;
+      response.body = "Bad Request";
+    } else if (!shared_.aimd.TryAcquire()) {
+      // At the adaptive concurrency limit: refuse immediately rather than
+      // stacking more work onto a backend already blowing deadlines.
+      shared_.throttled_by_limiter.fetch_add(1, std::memory_order_relaxed);
+      response.status = 429;
+      response.body = "Too Many Requests";
+      keep_alive = false;
+    } else {
+      keep_alive = WantsKeepAlive(raw.value());
+      // Per-request budget, visible to the Joza engine (and through it the
+      // daemon pool) as the ambient deadline for this worker thread.
+      util::Deadline request_deadline;
+      if (config().request_deadline.count() > 0) {
+        request_deadline = util::Deadline::After(config().request_deadline);
+      }
+      const auto handle_start = std::chrono::steady_clock::now();
+      {
+        util::ScopedRequestDeadline scope(request_deadline);
+        response = app.Handle(request.value());
+      }
+      const auto elapsed = std::chrono::steady_clock::now() - handle_start;
+      // A completion that consumed the whole budget is the AIMD overload
+      // signal; on-time completions grow the limit back.
+      const bool overloaded = config().request_deadline.count() > 0 &&
+                              elapsed >= config().request_deadline;
+      shared_.service_ewma.Record(
+          std::chrono::duration_cast<std::chrono::microseconds>(elapsed));
+      shared_.aimd.Release(overloaded);
+    }
+    // During drain, finish this request but do not start another.
+    if (shared_.stopping.load(std::memory_order_relaxed)) keep_alive = false;
+    if (served_on_connection + 1 >= config().max_requests_per_connection) {
+      keep_alive = false;
+    }
+
+    // Count before the send: a client that has its response in hand must
+    // observe the request in stats() (tests and monitoring read it there).
+    shared_.requests_served.fetch_add(1, std::memory_order_relaxed);
+    if (served_on_connection > 0) {
+      shared_.keepalive_reuses.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!webapp::SendAll(fd, RenderResponse(response, keep_alive)).ok()) {
+      break;  // peer went away mid-response
+    }
+    ++served_on_connection;
+    if (!keep_alive) break;
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<ServerImpl> MakeThreadServer(GatewayShared& shared) {
+  return std::make_unique<ThreadServer>(shared);
+}
+
+}  // namespace joza::gateway::internal

@@ -1,0 +1,39 @@
+#include "gateway/timer_wheel.h"
+
+namespace joza::gateway {
+
+TimerWheel::TimerWheel(Clock::time_point now, std::chrono::milliseconds tick,
+                       std::size_t slots)
+    : slots_(slots), cursor_time_(now), tick_(tick) {}
+
+void TimerWheel::Schedule(int fd, std::uint64_t gen, Clock::time_point due) {
+  // Clamp into the wheel's horizon: never earlier than the next tick (the
+  // cursor slot has already fired) and never past one full revolution.
+  std::size_t ticks_ahead = 1;
+  if (due > cursor_time_) {
+    const auto delta = due - cursor_time_;
+    ticks_ahead = static_cast<std::size_t>((delta + tick_ -
+                                            std::chrono::milliseconds(1)) /
+                                           tick_);
+    if (ticks_ahead < 1) ticks_ahead = 1;
+    if (ticks_ahead >= slots_.size()) ticks_ahead = slots_.size() - 1;
+  }
+  slots_[(cursor_ + ticks_ahead) % slots_.size()].push_back(Entry{fd, gen});
+  ++count_;
+}
+
+int TimerWheel::NextDelayMs(Clock::time_point now, int cap_ms) const {
+  if (count_ == 0) return cap_ms;
+  for (std::size_t i = 1; i < slots_.size(); ++i) {
+    if (slots_[(cursor_ + i) % slots_.size()].empty()) continue;
+    const auto due = cursor_time_ + tick_ * i;
+    if (due <= now) return 0;
+    const auto ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(due - now)
+            .count();
+    return static_cast<int>(ms < cap_ms ? (ms > 0 ? ms : 1) : cap_ms);
+  }
+  return cap_ms;
+}
+
+}  // namespace joza::gateway

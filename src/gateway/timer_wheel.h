@@ -1,0 +1,69 @@
+// Hashed timer wheel for per-connection deadlines (one event-loop shard).
+//
+// Every connection owns at most one logical timer at a time — keep-alive
+// idle, slowloris first-byte, or write-stall — so the wheel only needs
+// O(1) schedule and a slot walk on advance. Deadlines beyond the horizon
+// are clamped into the last slot; the shard revalidates every firing
+// against the connection's actual deadline and re-schedules early fires,
+// so a coarse wheel never fires a timer early in effect, only cheaply.
+// Single-threaded by design: the owning shard is the only caller.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace joza::gateway {
+
+class TimerWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Entry {
+    int fd = -1;
+    std::uint64_t gen = 0;  // connection generation; stale fds are dropped
+  };
+
+  explicit TimerWheel(Clock::time_point now,
+                      std::chrono::milliseconds tick = kDefaultTick,
+                      std::size_t slots = kDefaultSlots);
+
+  // Schedules one entry at `due` (clamped into [next tick, horizon)).
+  void Schedule(int fd, std::uint64_t gen, Clock::time_point due);
+
+  // Advances the wheel to `now`, invoking fn(entry) for every entry whose
+  // slot has been reached. The callback revalidates (gen + real deadline)
+  // and may Schedule() again.
+  template <typename Fn>
+  void Advance(Clock::time_point now, Fn&& fn) {
+    while (count_ > 0 && cursor_time_ + tick_ <= now) {
+      cursor_time_ += tick_;
+      cursor_ = (cursor_ + 1) % slots_.size();
+      // Swap out first: the callback may Schedule() into this same slot.
+      std::vector<Entry> due = std::move(slots_[cursor_]);
+      slots_[cursor_].clear();
+      count_ -= due.size();
+      for (const Entry& e : due) fn(e);
+    }
+    if (count_ == 0 && cursor_time_ < now) cursor_time_ = now;
+  }
+
+  // Milliseconds until the next occupied slot, capped; `cap_ms` when empty.
+  int NextDelayMs(Clock::time_point now, int cap_ms) const;
+
+  std::size_t pending() const { return count_; }
+
+  static constexpr std::chrono::milliseconds kDefaultTick{16};
+  static constexpr std::size_t kDefaultSlots = 512;
+
+ private:
+  std::vector<std::vector<Entry>> slots_;
+  std::size_t cursor_ = 0;           // slot the wheel has advanced through
+  Clock::time_point cursor_time_;    // time corresponding to cursor_
+  std::chrono::milliseconds tick_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace joza::gateway

@@ -1,0 +1,59 @@
+#include "http/request_parser.h"
+
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace joza::http {
+
+bool RequestParser::Feed(std::string_view bytes) {
+  if (overflowed_) return false;
+  buffer_.append(bytes.data(), bytes.size());
+  Scan();
+  return !overflowed_;
+}
+
+void RequestParser::Scan() {
+  if (overflowed_ || total_ != npos_) return;
+  if (header_end_ == npos_) {
+    // Resume the terminator search just before the previously scanned tail
+    // so a "\r\n\r\n" split across feeds is still found.
+    const std::size_t from = scan_from_ > 3 ? scan_from_ - 3 : 0;
+    header_end_ = buffer_.find("\r\n\r\n", from);
+    scan_from_ = buffer_.size();
+    if (header_end_ == npos_) {
+      // Same bound as the blocking reader: an unterminated header block
+      // larger than the whole-request cap is hostile.
+      if (buffer_.size() > max_request_bytes_) overflowed_ = true;
+      return;
+    }
+  }
+  std::size_t content_length = 0;
+  const std::size_t cl = FindIgnoreCase(
+      std::string_view(buffer_).substr(0, header_end_), "content-length:");
+  if (cl != std::string_view::npos) {
+    content_length = static_cast<std::size_t>(
+        std::strtoul(buffer_.c_str() + cl + 15, nullptr, 10));
+    if (content_length > max_request_bytes_ ||
+        header_end_ + 4 + content_length > max_request_bytes_) {
+      overflowed_ = true;
+      return;
+    }
+  }
+  total_ = header_end_ + 4 + content_length;
+}
+
+bool RequestParser::Next(std::string* raw) {
+  if (overflowed_) return false;
+  Scan();
+  if (total_ == npos_ || buffer_.size() < total_) return false;
+  raw->assign(buffer_, 0, total_);
+  buffer_.erase(0, total_);
+  header_end_ = npos_;
+  total_ = npos_;
+  scan_from_ = 0;
+  Scan();  // pipelined leftovers: frame the next request immediately
+  return true;
+}
+
+}  // namespace joza::http

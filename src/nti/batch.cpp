@@ -1,0 +1,66 @@
+#include "nti/batch.h"
+
+namespace joza::nti {
+
+namespace {
+
+constexpr std::size_t kNpos = std::string_view::npos;
+
+thread_local BatchMatchContext* g_current = nullptr;
+
+}  // namespace
+
+BatchMatchContext* BatchMatchContext::Current() { return g_current; }
+
+void BatchMatchContext::Register(const http::Request& request) {
+  request.ForEachInput([this](const http::InputView& input) {
+    if (input.value.empty()) return;
+    if (!ids_.emplace(input.value, patterns_.size()).second) return;
+    patterns_.push_back(input.value);
+    if (built_) {
+      // A pattern arrived after a scan: the automaton and every cached
+      // scan are for the old pattern set. Rebuild lazily on next Lookup.
+      built_ = false;
+      ac_ = match::AhoCorasick();
+      first_hits_.clear();
+    }
+  });
+}
+
+void BatchMatchContext::EnsureBuilt() {
+  if (built_) return;
+  for (std::size_t id = 0; id < patterns_.size(); ++id) {
+    ac_.Add(patterns_[id], static_cast<std::int32_t>(id));
+  }
+  ac_.Build();
+  built_ = true;
+}
+
+bool BatchMatchContext::Lookup(std::string_view query, std::string_view value,
+                               std::size_t* pos) {
+  const auto id_it = ids_.find(value);
+  if (id_it == ids_.end()) return false;
+  EnsureBuilt();
+  auto [hit_it, inserted] = first_hits_.try_emplace(std::string(query));
+  if (inserted) {
+    std::vector<std::size_t>& first_hit = hit_it->second;
+    first_hit.assign(patterns_.size(), kNpos);
+    ++scans_;
+    ac_.Scan(query, [&first_hit](const match::AhoCorasick::Hit& hit) {
+      std::size_t& slot = first_hit[static_cast<std::size_t>(hit.pattern_id)];
+      if (slot == kNpos) slot = hit.begin;
+    });
+  } else {
+    ++reuses_;
+  }
+  *pos = hit_it->second[id_it->second];
+  return true;
+}
+
+ScopedBatchMatch::ScopedBatchMatch() : previous_(g_current) {
+  g_current = &context_;
+}
+
+ScopedBatchMatch::~ScopedBatchMatch() { g_current = previous_; }
+
+}  // namespace joza::nti

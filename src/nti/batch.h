@@ -1,0 +1,97 @@
+// Batched exact-stage amortization for the staged matcher.
+//
+// The event-driven gateway admits up to N ready requests per tick as one
+// batch. Their input values overlap heavily (session cookies, headers,
+// boilerplate parameters repeat across requests), so instead of each
+// check building its own per-query exact index, the batch installs a
+// thread-local BatchMatchContext holding ONE deduplicated Aho–Corasick
+// automaton over the union of every batched request's values. Each
+// MatcherPipeline then resolves its exact stage with a single automaton
+// scan per distinct query — cached, so repeated queries inside the batch
+// (the common case behind the safety caches) pay nothing at all. This is
+// the batch dimension of the PR-5 cost model: the automaton build is
+// amortized across the whole batch rather than justified per check.
+//
+// Parity by construction: the earliest exact occurrence of `value` in
+// `query` is a fact about that pair alone — Aho–Corasick reports hits in
+// increasing end position, which for occurrences of one fixed-length
+// pattern is increasing begin position, so the first hit recorded per
+// pattern is exactly what query.find(value) returns, regardless of which
+// other patterns share the automaton.
+//
+// Lifetime: registered values are borrowed views into the batch's
+// http::Request objects; the requests must outlive the scope. Thread
+// confinement: the context is installed thread-local and is not shareable
+// across threads (each event-loop shard batches independently).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "http/request.h"
+#include "match/aho_corasick.h"
+
+namespace joza::nti {
+
+class BatchMatchContext {
+ public:
+  // The context installed on this thread by a live ScopedBatchMatch, or
+  // nullptr (the pipeline falls back to its per-check cost model).
+  static BatchMatchContext* Current();
+
+  // Adds all of one request's input values to the shared pattern set
+  // (deduplicated; empty values are skipped — they are never eligible for
+  // matching anyway). Registering after a Lookup invalidates the built
+  // automaton and its scan cache; the gateway registers everything first.
+  void Register(const http::Request& request);
+
+  // Resolves the earliest exact occurrence of `value` in `query`. Returns
+  // false iff the value was never registered (caller must fall back);
+  // true with *pos == npos means registered but absent from the query.
+  bool Lookup(std::string_view query, std::string_view value,
+              std::size_t* pos);
+
+  std::size_t pattern_count() const { return patterns_.size(); }
+  // Automaton scans actually run (one per distinct query text) vs lookups
+  // answered from the per-query scan cache.
+  std::uint64_t scans() const { return scans_; }
+  std::uint64_t reuses() const { return reuses_; }
+
+ private:
+  friend class ScopedBatchMatch;
+
+  void EnsureBuilt();
+
+  std::unordered_map<std::string_view, std::size_t> ids_;  // value -> id
+  std::vector<std::string_view> patterns_;                 // id -> value
+  match::AhoCorasick ac_;
+  bool built_ = false;
+  // Query text -> first-hit position per pattern id (npos = absent).
+  std::unordered_map<std::string, std::vector<std::size_t>> first_hits_;
+  std::uint64_t scans_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
+// RAII installer: while alive, this thread's staged pipelines resolve
+// their exact stage through the enclosed context. Nests by shadowing
+// (inner scope wins, outer restored on destruction).
+class ScopedBatchMatch {
+ public:
+  ScopedBatchMatch();
+  ~ScopedBatchMatch();
+
+  ScopedBatchMatch(const ScopedBatchMatch&) = delete;
+  ScopedBatchMatch& operator=(const ScopedBatchMatch&) = delete;
+
+  BatchMatchContext& context() { return context_; }
+
+ private:
+  BatchMatchContext context_;
+  BatchMatchContext* previous_;
+};
+
+}  // namespace joza::nti

@@ -7,6 +7,7 @@
 
 #include "match/aho_corasick.h"
 #include "match/myers.h"
+#include "nti/batch.h"
 
 namespace joza::nti {
 
@@ -40,9 +41,30 @@ MatcherPipeline::MatcherPipeline(std::string_view query,
     : query_(query), config_(config), inputs_(inputs) {
   if (config_.tier != MatchTier::kStaged || eligible.empty()) return;
 
-  // Stage 1 (exact): resolve every input's earliest exact occurrence with
-  // one multi-pattern scan. Duplicated values (the same payload arriving
-  // via several parameters) share one pattern.
+  exact_pos_.assign(inputs_.size(), kNpos);
+
+  // Stage 1 (exact, batch path): an admission batch installed a shared
+  // automaton over every batched request's values — resolve against it
+  // (one cached scan per distinct query) and fall through to the
+  // per-check cost model only for values the batch never saw.
+  std::vector<std::size_t> unresolved;
+  if (BatchMatchContext* batch = BatchMatchContext::Current()) {
+    for (std::size_t index : eligible) {
+      std::size_t pos = kNpos;
+      if (batch->Lookup(query_, inputs_[index].value, &pos)) {
+        exact_pos_[index] = pos;
+      } else {
+        unresolved.push_back(index);
+      }
+    }
+  } else {
+    unresolved = eligible;
+  }
+
+  // Stage 1 (exact, per-check path): resolve each remaining input's
+  // earliest exact occurrence with one multi-pattern scan. Duplicated
+  // values (the same payload arriving via several parameters) share one
+  // pattern.
   //
   // The automaton is built per check (the analyzer is stateless), and its
   // dense nodes cost ~1 KiB of zeroed memory per pattern byte — so one
@@ -50,19 +72,18 @@ MatcherPipeline::MatcherPipeline(std::string_view query,
   // query is long enough to amortize the build across all inputs.
   constexpr std::size_t kAutomatonAmortization = 64;
   std::size_t total_value_bytes = 0;
-  for (std::size_t index : eligible) {
+  for (std::size_t index : unresolved) {
     total_value_bytes += inputs_[index].value.size();
   }
   const bool use_automaton =
-      eligible.size() >= config_.multi_pattern_min_inputs &&
-      eligible.size() * query_.size() >=
+      unresolved.size() >= config_.multi_pattern_min_inputs &&
+      unresolved.size() * query_.size() >=
           kAutomatonAmortization * total_value_bytes;
-  exact_pos_.assign(inputs_.size(), kNpos);
   if (use_automaton) {
     match::AhoCorasick ac;
     std::unordered_map<std::string_view, std::int32_t> dedup;
     std::vector<std::size_t> first_hit;
-    for (std::size_t index : eligible) {
+    for (std::size_t index : unresolved) {
       const std::string_view value = inputs_[index].value;
       if (value.empty() || value.size() > query_.size()) continue;
       if (dedup.emplace(value, static_cast<std::int32_t>(first_hit.size()))
@@ -81,14 +102,14 @@ MatcherPipeline::MatcherPipeline(std::string_view query,
         first_hit[static_cast<std::size_t>(hit.pattern_id)] = hit.begin;
       }
     });
-    for (std::size_t index : eligible) {
+    for (std::size_t index : unresolved) {
       auto it = dedup.find(inputs_[index].value);
       if (it != dedup.end()) {
         exact_pos_[index] = first_hit[static_cast<std::size_t>(it->second)];
       }
     }
   } else {
-    for (std::size_t index : eligible) {
+    for (std::size_t index : unresolved) {
       exact_pos_[index] = query_.find(inputs_[index].value);
     }
   }

@@ -6,7 +6,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "util/strings.h"
 
@@ -139,6 +141,14 @@ void HttpServer::AcceptLoop() {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Descriptor exhaustion is a load condition, not a fatal listener
+        // failure: count it, give the process a beat to release fds, and
+        // keep accepting instead of silently abandoning the socket.
+        ++accept_overflows_;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        continue;
+      }
       break;  // listener closed by Stop()
     }
     ServeConnection(fd);

@@ -35,6 +35,8 @@ class HttpServer {
 
   int port() const { return port_; }
   std::size_t requests_served() const { return served_.load(); }
+  // accept() failures due to EMFILE/ENFILE the loop absorbed and retried.
+  std::size_t accept_overflows() const { return accept_overflows_.load(); }
 
  private:
   void AcceptLoop();
@@ -46,6 +48,7 @@ class HttpServer {
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<std::size_t> served_{0};
+  std::atomic<std::size_t> accept_overflows_{0};
 };
 
 // Writes all of `data`, looping over partial sends; EINTR is retried and a

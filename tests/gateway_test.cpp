@@ -726,5 +726,47 @@ TEST(GatewayServer, MalformedRequestGets400) {
   server.Stop();
 }
 
+// Both serving backends must survive the same traffic with the same
+// observable semantics, regardless of which one JOZA_GATEWAY_IO_MODEL
+// selects for the env-driven tests above — so each is pinned explicitly
+// here and the pair is asserted to agree.
+void DriveAndCheckPinnedModel(gateway::GatewayConfig::IoModel model) {
+  gateway::GatewayConfig gcfg;
+  gcfg.workers = 2;
+  gcfg.io_model = model;
+  gateway::GatewayServer server([] { return webapp::MakeWordpressLikeApp(7); },
+                                nullptr, gcfg);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  gateway::KeepAliveClient client(port.value());
+  for (int i = 0; i < 10; ++i) {
+    auto r = client.Get("/post?id=" + std::to_string(i + 1));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->status, 200);
+  }
+  const gateway::GatewayStats stats = server.stats();
+  EXPECT_EQ(stats.requests_served, 10u);
+  EXPECT_EQ(stats.connections_accepted, 1u);
+  EXPECT_EQ(stats.keepalive_reuses, 9u);
+  server.Stop();
+  const bool epoll = model == gateway::GatewayConfig::IoModel::kEpoll;
+  EXPECT_EQ(server.shard_count() > 0, epoll);
+  if (epoll) {
+    std::size_t shard_requests = 0;
+    for (const auto& shard : server.shard_stats()) {
+      shard_requests += shard.requests;
+    }
+    EXPECT_EQ(shard_requests, 10u);
+  }
+}
+
+TEST(GatewayServer, ThreadModelPinnedExplicitly) {
+  DriveAndCheckPinnedModel(gateway::GatewayConfig::IoModel::kThreads);
+}
+
+TEST(GatewayServer, EpollModelPinnedExplicitly) {
+  DriveAndCheckPinnedModel(gateway::GatewayConfig::IoModel::kEpoll);
+}
+
 }  // namespace
 }  // namespace joza

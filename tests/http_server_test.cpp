@@ -1,10 +1,23 @@
 // Full-stack-over-sockets tests: wire bytes in, Joza verdicts out.
+// Also covers the non-blocking HTTP framing layer the event-driven gateway
+// uses: the incremental RequestParser state machine, and the epoll server's
+// partial-read / pipelining / partial-write resumption over real sockets.
 #include "webapp/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
 
 #include <gtest/gtest.h>
 
 #include "attack/catalog.h"
 #include "core/joza.h"
+#include "gateway/gateway.h"
+#include "http/request_parser.h"
 #include "util/codec.h"
 
 namespace joza::webapp {
@@ -121,6 +134,206 @@ TEST_F(HttpServerTest, ManySequentialConnections) {
 TEST_F(HttpServerTest, StopIsIdempotent) {
   server_->Stop();
   server_->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Incremental framing: the RequestParser state machine the epoll gateway
+// feeds from edge-triggered reads. Bytes may arrive one at a time, split at
+// any boundary, or carry several pipelined requests in one segment.
+
+TEST(RequestParserTest, FramesARequestFedOneByteAtATime) {
+  const std::string req = "GET /post?id=1 HTTP/1.1\r\nHost: x\r\n\r\n";
+  http::RequestParser parser(4096);
+  std::string raw;
+  for (std::size_t i = 0; i + 1 < req.size(); ++i) {
+    ASSERT_TRUE(parser.Feed(req.substr(i, 1)));
+    EXPECT_FALSE(parser.Next(&raw)) << "completed early at byte " << i;
+    EXPECT_TRUE(parser.has_partial());
+  }
+  ASSERT_TRUE(parser.Feed(req.substr(req.size() - 1)));
+  ASSERT_TRUE(parser.Next(&raw));
+  EXPECT_EQ(raw, req);
+  EXPECT_FALSE(parser.has_partial());
+  EXPECT_FALSE(parser.Next(&raw));
+}
+
+TEST(RequestParserTest, ResumesAcrossEverySplitBoundary) {
+  const std::string body = "body=split";
+  const std::string req =
+      "POST /comment HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+      std::to_string(body.size()) + "\r\n\r\n" + body;
+  // Split the request at every possible boundary — including inside the
+  // "\r\n\r\n" terminator and inside the body — as two EAGAIN-separated
+  // reads would deliver it.
+  for (std::size_t cut = 1; cut < req.size(); ++cut) {
+    http::RequestParser parser(4096);
+    std::string raw;
+    ASSERT_TRUE(parser.Feed(req.substr(0, cut)));
+    EXPECT_FALSE(parser.Next(&raw)) << "cut " << cut;
+    ASSERT_TRUE(parser.Feed(req.substr(cut)));
+    ASSERT_TRUE(parser.Next(&raw)) << "cut " << cut;
+    EXPECT_EQ(raw, req) << "cut " << cut;
+  }
+}
+
+TEST(RequestParserTest, ExtractsPipelinedRequestsFromOneSegment) {
+  const std::string first = "GET /a HTTP/1.1\r\nHost: x\r\n\r\n";
+  const std::string second = "GET /b HTTP/1.1\r\nHost: x\r\n\r\n";
+  http::RequestParser parser(4096);
+  // One segment carries both complete requests plus a partial third.
+  ASSERT_TRUE(parser.Feed(first + second + "GET /c HT"));
+  std::string raw;
+  ASSERT_TRUE(parser.Next(&raw));
+  EXPECT_EQ(raw, first);
+  ASSERT_TRUE(parser.Next(&raw));
+  EXPECT_EQ(raw, second);
+  EXPECT_FALSE(parser.Next(&raw));
+  EXPECT_TRUE(parser.has_partial());  // the partial third arms the deadline
+  ASSERT_TRUE(parser.Feed("TP/1.1\r\nHost: x\r\n\r\n"));
+  ASSERT_TRUE(parser.Next(&raw));
+  EXPECT_EQ(raw, "GET /c HTTP/1.1\r\nHost: x\r\n\r\n");
+}
+
+TEST(RequestParserTest, UnterminatedHeaderBlockTripsTheCap) {
+  http::RequestParser parser(64);
+  std::string drip(16, 'a');
+  EXPECT_TRUE(parser.Feed(drip));
+  EXPECT_TRUE(parser.Feed(drip));
+  EXPECT_TRUE(parser.Feed(drip));
+  EXPECT_TRUE(parser.Feed(drip));       // exactly at the cap: still fine
+  EXPECT_FALSE(parser.Feed("b"));       // one past: overflow, sticky
+  EXPECT_TRUE(parser.overflowed());
+  EXPECT_FALSE(parser.has_partial());
+  EXPECT_FALSE(parser.Feed("c"));
+}
+
+TEST(RequestParserTest, OversizedDeclaredBodyTripsTheCap) {
+  http::RequestParser parser(64);
+  // Headers fit, but the declared Content-Length pushes the full request
+  // past the cap — must trip as soon as the declaration is visible.
+  EXPECT_FALSE(
+      parser.Feed("POST / HTTP/1.1\r\nContent-Length: 4096\r\n\r\nxx"));
+  EXPECT_TRUE(parser.overflowed());
+}
+
+// ---------------------------------------------------------------------------
+// Epoll server state machine over real sockets: partial reads, pipelining,
+// and partial-write resumption against the event-driven gateway.
+
+int ConnectLoopback(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  return fd;
+}
+
+std::string RecvToEof(int fd) {
+  std::string data;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    data.append(buf, static_cast<std::size_t>(n));
+  }
+  return data;
+}
+
+class EpollStateMachineTest : public ::testing::Test {
+ protected:
+  void StartServer(gateway::AppFactory factory) {
+    gateway::GatewayConfig cfg;
+    cfg.io_model = gateway::GatewayConfig::IoModel::kEpoll;
+    cfg.event_shards = 2;
+    cfg.read_timeout = std::chrono::milliseconds(5000);
+    server_ = std::make_unique<gateway::GatewayServer>(std::move(factory),
+                                                       nullptr, cfg);
+    auto port = server_->Start();
+    ASSERT_TRUE(port.ok()) << port.status().ToString();
+    port_ = port.value();
+  }
+
+  void TearDown() override {
+    if (server_) server_->Stop();
+  }
+
+  std::unique_ptr<gateway::GatewayServer> server_;
+  int port_ = 0;
+};
+
+TEST_F(EpollStateMachineTest, ServesARequestDrippedOneByteAtATime) {
+  StartServer([] { return attack::MakeTestbed(); });
+  const std::string req =
+      "GET /post?id=1 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  int fd = ConnectLoopback(port_);
+  ASSERT_GE(fd, 0);
+  // Each byte lands as its own segment, so the shard's read state machine
+  // resumes across dozens of EAGAIN boundaries before the request frames.
+  for (char c : req) {
+    ASSERT_EQ(::send(fd, &c, 1, MSG_NOSIGNAL), 1);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  const std::string response = RecvToEof(fd);
+  ::close(fd);
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos) << response;
+}
+
+TEST_F(EpollStateMachineTest, PipelinedRequestsInOneSegmentGetTwoResponses) {
+  StartServer([] { return attack::MakeTestbed(); });
+  const std::string pipelined =
+      "GET /post?id=1 HTTP/1.1\r\nHost: x\r\n\r\n"
+      "GET /post?id=2 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  int fd = ConnectLoopback(port_);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::send(fd, pipelined.data(), pipelined.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(pipelined.size()));
+  const std::string response = RecvToEof(fd);
+  ::close(fd);
+  std::size_t statuses = 0;
+  for (std::size_t at = response.find("HTTP/1.1 200");
+       at != std::string::npos; at = response.find("HTTP/1.1 200", at + 1)) {
+    ++statuses;
+  }
+  EXPECT_EQ(statuses, 2u) << response;
+}
+
+TEST_F(EpollStateMachineTest, ResumesPartialWritesOfALargeResponse) {
+  // A 4 MB body cannot fit the initial TCP send buffer (tcp_wmem starts at
+  // 16 KB): the shard's first send() returns short and the remainder must
+  // drain across many EPOLLOUT readiness edges. The client reads at full
+  // speed — a reader stalled past keepalive_timeout is deliberately closed
+  // as a write-stall, which is not what this test is about.
+  constexpr std::size_t kBodyBytes = 4u << 20;
+  StartServer([] {
+    auto app = MakeWordpressLikeApp(7);
+    app->AddRoute(
+        "/big",
+        [](const http::Request&, const QueryRunner&) {
+          http::Response response;
+          response.status = 200;
+          response.body.assign(kBodyBytes, 'x');
+          return response;
+        },
+        php::SourceFile{"synthetic/big.php", "<?php echo 'big'; ?>"});
+    return app;
+  });
+  int fd = ConnectLoopback(port_);
+  ASSERT_GE(fd, 0);
+  const std::string req =
+      "GET /big HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  ASSERT_EQ(::send(fd, req.data(), req.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(req.size()));
+  const std::string response = RecvToEof(fd);
+  ::close(fd);
+  ASSERT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  const std::size_t header_end = response.find("\r\n\r\n");
+  ASSERT_NE(header_end, std::string::npos);
+  EXPECT_EQ(response.size() - (header_end + 4), kBodyBytes);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 // joza_gateway: serve the protected testbed behind the concurrent gateway.
 //
 //   joza_gateway [--port N] [--workers N] [--cache-capacity N]
+//                [--io-model threads|epoll] [--event-shards N]
 //                [--pti inproc|pool] [--pool-size N] [--duration SECONDS]
 //                [--deadline-ms N] [--degraded fail-closed|nti-only]
 //                [--breaker-threshold N] [--fault point[:rate]]...
@@ -12,6 +13,12 @@
 // elapses (0 = forever, until SIGINT/SIGTERM). With --pti pool, PTI
 // analysis runs out-of-process through the daemon pool, the deployment
 // shape Section IV-C1 describes. Prints engine + gateway stats on exit.
+//
+// Serving io model: --io-model epoll (the default) runs the edge-triggered
+// event loop with --event-shards per-core shards (default: hardware
+// threads), each owning its own SO_REUSEPORT accept socket and draining
+// ready requests in admission batches; --io-model threads restores the
+// blocking accept-loop + worker-pool model. --event-shards must be >= 1.
 //
 // Fault tolerance knobs: --deadline-ms bounds each request's processing
 // budget (0 disables), --degraded picks what happens while the PTI backend
@@ -44,6 +51,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "attack/catalog.h"
 #include "core/joza.h"
@@ -68,6 +76,7 @@ int UsageError(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--port N] [--workers N] [--cache-capacity N]\n"
+      "          [--io-model threads|epoll] [--event-shards N]\n"
       "          [--pti inproc|pool] [--pool-size N] [--duration SECONDS]\n"
       "          [--deadline-ms N] [--degraded fail-closed|nti-only]\n"
       "          [--breaker-threshold N] [--fault point[:rate]]...\n"
@@ -85,6 +94,10 @@ int main(int argc, char** argv) {
   int port = 0;
   std::size_t workers = 4;
   std::size_t cache_capacity = 1 << 16;
+  gateway::GatewayConfig::IoModel io_model =
+      gateway::GatewayConfig::IoModel::kEpoll;
+  std::size_t event_shards = std::thread::hardware_concurrency();
+  if (event_shards == 0) event_shards = 1;
   std::size_t pool_size = 4;
   bool use_pool = false;
   long duration_s = 0;
@@ -110,6 +123,22 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--cache-capacity") == 0 &&
                (value = next())) {
       cache_capacity = static_cast<std::size_t>(std::atol(value));
+    } else if (std::strcmp(argv[i], "--io-model") == 0 && (value = next())) {
+      if (std::strcmp(value, "threads") == 0) {
+        io_model = gateway::GatewayConfig::IoModel::kThreads;
+      } else if (std::strcmp(value, "epoll") == 0) {
+        io_model = gateway::GatewayConfig::IoModel::kEpoll;
+      } else {
+        std::fprintf(stderr, "bad --io-model '%s' (threads|epoll)\n", value);
+        return UsageError(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--event-shards") == 0 &&
+               (value = next())) {
+      event_shards = static_cast<std::size_t>(std::atol(value));
+      if (event_shards == 0) {
+        std::fprintf(stderr, "--event-shards must be >= 1\n");
+        return UsageError(argv[0]);
+      }
     } else if (std::strcmp(argv[i], "--pool-size") == 0 && (value = next())) {
       pool_size = static_cast<std::size_t>(std::atol(value));
     } else if (std::strcmp(argv[i], "--pti") == 0 && (value = next())) {
@@ -213,6 +242,8 @@ int main(int argc, char** argv) {
   gateway::GatewayConfig gcfg;
   gcfg.port = port;
   gcfg.workers = workers;
+  gcfg.io_model = io_model;
+  gcfg.event_shards = event_shards;
   gcfg.request_deadline = std::chrono::milliseconds(deadline_ms);
   gateway::GatewayServer server([] { return attack::MakeTestbed(); }, &joza,
                                 gcfg);
@@ -239,6 +270,12 @@ int main(int argc, char** argv) {
       use_pool ? "daemon pool" : "in-process", deadline_ms,
       core::DegradedModeName(degraded_mode), breaker_threshold, hedge_ms,
       hedge_p99 ? " (p99-derived)" : "", restart_budget);
+  if (const std::size_t shards = server.shard_count(); shards > 0) {
+    std::printf("io model:     epoll, %zu event shards, batch max %zu\n",
+                shards, gcfg.batch_max);
+  } else {
+    std::printf("io model:     threads\n");
+  }
   for (unsigned p = 0;
        p < static_cast<unsigned>(resilience::FaultPoint::kCount); ++p) {
     const auto point = static_cast<resilience::FaultPoint>(p);
@@ -297,6 +334,23 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(gs.admission_limit),
               gs.throttled_by_limiter, gs.shed_by_deadline,
               static_cast<unsigned long long>(gs.shed_p99_us));
+  std::printf("io:          %zu accept overflows, %zu batches / "
+              "%zu batched requests (max %zu), "
+              "%llu exact scans, %llu reuses\n",
+              gs.accept_overflows, gs.batches, gs.batched_requests,
+              gs.max_batch,
+              static_cast<unsigned long long>(gs.batch_exact_scans),
+              static_cast<unsigned long long>(gs.batch_exact_reuses));
+  const std::vector<gateway::ShardStats> shards = server.shard_stats();
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const gateway::ShardStats& sh = shards[s];
+    std::printf("shard %zu:     %zu conns, %zu batches, %zu requests, "
+                "sizes 1:%zu 2:%zu 3-4:%zu 5-8:%zu 9-16:%zu 17+:%zu\n",
+                s, sh.connections, sh.batches, sh.requests,
+                sh.batch_histogram[0], sh.batch_histogram[1],
+                sh.batch_histogram[2], sh.batch_histogram[3],
+                sh.batch_histogram[4], sh.batch_histogram[5]);
+  }
   std::printf("joza:        %zu queries, %zu attacks blocked, "
               "%zu+%zu cache hits, %zu evictions\n",
               js.queries_checked, js.attacks_detected, js.query_cache_hits,
