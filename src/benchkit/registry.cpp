@@ -21,6 +21,9 @@ const std::vector<SuiteSpec>& Suites() {
       {"degraded",
        "gateway under injected PTI faults: fail-open safety + breaker",
        RunDegradedSuite},
+      {"multitenant",
+       "tenant fleet under Zipf load: residency budget + verdict parity",
+       RunMultitenantSuite},
   };
   return kSuites;
 }

@@ -30,4 +30,10 @@ SuiteResult RunChurnSuite(const SuiteOptions& options);
 // / recovery); gates on zero fail-open and a full breaker cycle.
 SuiteResult RunDegradedSuite(const SuiteOptions& options);
 
+// multitenant: the tenant fleet's tiered residency (64 Zipf tenants, a
+// budget admitting ~8 hot); gates on budgeted-vs-unbudgeted verdict
+// parity, the ledger never exceeding the budget, cold first-touch attacks
+// blocked, and a bounded p99 under demote/promote churn.
+SuiteResult RunMultitenantSuite(const SuiteOptions& options);
+
 }  // namespace joza::benchkit

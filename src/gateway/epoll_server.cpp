@@ -131,8 +131,12 @@ class Shard {
                      bool keep_alive);
   // Serves one batch (<= batch_max) from ready_ under one BatchScope.
   void ProcessBatch();
-  void ServeOne(const Ready& item,
-                const StatusOr<http::Request>& parsed);
+  // `route`/`pin` are set on fleet-backed servers (null otherwise): the
+  // resolved tenant and the outcome of pinning its engine for this
+  // request's run of the batch.
+  void ServeOne(const Ready& item, const StatusOr<http::Request>& parsed,
+                const TenantRoute* route = nullptr,
+                const StatusOr<tenant::Fleet::EnginePin>* pin = nullptr);
   void OnTimer(const TimerWheel::Entry& entry);
   void Arm(int fd, Conn& conn, TimerKind kind, Clock::time_point due);
   void CloseConn(int fd);
@@ -510,8 +514,9 @@ void Shard::HandleEvent(const epoll_event& ev) {
   }
 }
 
-void Shard::ServeOne(const Ready& item,
-                     const StatusOr<http::Request>& parsed) {
+void Shard::ServeOne(const Ready& item, const StatusOr<http::Request>& parsed,
+                     const TenantRoute* route,
+                     const StatusOr<tenant::Fleet::EnginePin>* pin) {
   auto it = conns_.find(item.fd);
   if (it == conns_.end() || it->second.gen != item.gen) return;
   Conn& conn = it->second;
@@ -546,6 +551,15 @@ void Shard::ServeOne(const Ready& item,
     shared_.bad_requests.fetch_add(1, std::memory_order_relaxed);
     response.status = 400;
     response.body = "Bad Request";
+  } else if (route != nullptr && route->not_found) {
+    response.status = 404;
+    response.body = "Unknown Tenant";
+  } else if (pin != nullptr && !pin->ok()) {
+    // Fail-closed: the tenant exists but its engine could not be pinned
+    // (cold image unreadable, budget refusal). Never serve unprotected.
+    shared_.tenant_unavailable.fetch_add(1, std::memory_order_relaxed);
+    response.status = 503;
+    response.body = "Tenant Unavailable";
   } else if (!shared_.aimd.TryAcquire()) {
     // At the adaptive concurrency limit: refuse immediately rather than
     // stacking more work onto a backend already blowing deadlines.
@@ -564,7 +578,15 @@ void Shard::ServeOne(const Ready& item,
     const auto handle_start = Clock::now();
     {
       util::ScopedRequestDeadline scope(request_deadline);
-      response = app_->Handle(parsed.value());
+      if (pin != nullptr) {
+        // The pin keeps the tenant's engine alive across a concurrent
+        // demotion; the gate is swapped out again before the pin drops.
+        app_->SetQueryGate(pin->value()->MakeGate());
+        response = app_->Handle(parsed.value());
+        app_->SetQueryGate(nullptr);
+      } else {
+        response = app_->Handle(parsed.value());
+      }
     }
     const auto elapsed = Clock::now() - handle_start;
     // A completion that consumed the whole budget is the AIMD overload
@@ -605,6 +627,7 @@ void Shard::ProcessBatch() {
   struct Item {
     Ready ready;
     StatusOr<http::Request> parsed = Status::Unavailable("unparsed");
+    TenantRoute route = {};
   };
   std::vector<Item> batch;
   batch.reserve(n);
@@ -613,7 +636,10 @@ void Shard::ProcessBatch() {
     Item item{std::move(ready_.front())};
     ready_.pop_front();
     item.parsed = http::ParseRawRequest(item.ready.raw);
-    if (item.parsed.ok()) ++parse_ok;
+    if (item.parsed.ok()) {
+      ++parse_ok;
+      item.route = ResolveTenant(shared_, item.parsed.value());
+    }
     batch.push_back(std::move(item));
   }
 
@@ -625,6 +651,49 @@ void Shard::ProcessBatch() {
   std::size_t seen_max = shared_.max_batch.load(std::memory_order_relaxed);
   while (n > seen_max && !shared_.max_batch.compare_exchange_weak(
                              seen_max, n, std::memory_order_relaxed)) {
+  }
+
+  if (shared_.fleet != nullptr) {
+    // Tenant-routed batched admission: requests are served strictly in
+    // batch order (HTTP pipelining demands per-connection response order),
+    // so only CONSECUTIVE same-tenant items can share a pin and a
+    // BatchScope. One Acquire per run also charges the residency EWMA with
+    // the run's weight in a single touch.
+    std::size_t i = 0;
+    while (i < batch.size()) {
+      const Item& head = batch[i];
+      if (!head.parsed.ok() || head.route.not_found) {
+        ServeOne(head.ready, head.parsed, &head.route, nullptr);
+        ++i;
+        continue;
+      }
+      std::size_t j = i + 1;
+      while (j < batch.size() && batch[j].parsed.ok() &&
+             !batch[j].route.not_found &&
+             batch[j].route.id == head.route.id) {
+        ++j;
+      }
+      const StatusOr<tenant::Fleet::EnginePin> pin =
+          shared_.fleet->Acquire(head.route.id, j - i);
+      std::optional<core::Joza::BatchScope> scope;
+      if (pin.ok() && j - i >= config().batch_min) {
+        scope.emplace(*pin.value());
+        for (std::size_t k = i; k < j; ++k) {
+          scope->Add(batch[k].parsed.value());
+        }
+      }
+      for (std::size_t k = i; k < j; ++k) {
+        ServeOne(batch[k].ready, batch[k].parsed, &batch[k].route, &pin);
+      }
+      if (scope) {
+        shared_.batch_exact_scans.fetch_add(scope->exact_scans(),
+                                            std::memory_order_relaxed);
+        shared_.batch_exact_reuses.fetch_add(scope->exact_reuses(),
+                                             std::memory_order_relaxed);
+      }
+      i = j;
+    }
+    return;
   }
 
   // Batched admission into the analysis pipeline: one shared exact-match

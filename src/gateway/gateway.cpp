@@ -32,6 +32,13 @@ GatewayServer::GatewayServer(AppFactory factory, core::Joza* joza,
                                                       joza, config);
 }
 
+GatewayServer::GatewayServer(AppFactory factory, tenant::Fleet* fleet,
+                             GatewayConfig config)
+    : GatewayServer(std::move(factory), static_cast<core::Joza*>(nullptr),
+                    std::move(config)) {
+  shared_->fleet = fleet;
+}
+
 GatewayServer::~GatewayServer() { Stop(); }
 
 StatusOr<int> GatewayServer::Start() {
@@ -96,6 +103,9 @@ std::vector<std::pair<const char*, std::uint64_t>> GatewayStats::Counters()
       {"quarantines", quarantines},
       {"hedges_won", hedges_won},
       {"retries_denied", retries_denied},
+      {"tenant_routed", tenant_routed},
+      {"tenant_404s", tenant_404s},
+      {"tenant_unavailable", tenant_unavailable},
   };
 }
 
@@ -130,9 +140,15 @@ GatewayStats GatewayServer::stats() const {
       s.shed_latency
           .Quantile(0.99, std::chrono::microseconds(0), /*min_samples=*/1)
           .count());
+  out.tenant_routed = s.tenant_routed.load(std::memory_order_relaxed);
+  out.tenant_404s = s.tenant_404s.load(std::memory_order_relaxed);
+  out.tenant_unavailable =
+      s.tenant_unavailable.load(std::memory_order_relaxed);
   if (resilience_provider_) resilience_provider_(out);
-  if (s.joza != nullptr) {
-    const core::JozaStats engine = s.joza->stats();
+  if (s.joza != nullptr || s.fleet != nullptr) {
+    const core::JozaStats engine = s.joza != nullptr
+                                       ? s.joza->stats()
+                                       : s.fleet->AggregateEngineStats();
     out.ruleset_version = engine.ruleset_version;
     out.ruleset_swaps = engine.ruleset_swaps;
     out.nti_exact_hits = engine.nti_exact_hits;

@@ -39,6 +39,10 @@
 #include "util/status.h"
 #include "webapp/application.h"
 
+namespace joza::tenant {
+class Fleet;
+}  // namespace joza::tenant
+
 namespace joza::gateway {
 
 struct GatewayConfig {
@@ -88,6 +92,14 @@ struct GatewayConfig {
   // core::Joza::BatchScope so the exact match stage is amortized.
   std::size_t batch_max = 16;
   std::size_t batch_min = 2;
+
+  // Multi-tenant routing policy (fleet-backed servers only): what to do
+  // with a request whose tenant id — from the X-Joza-Tenant header or a
+  // /t/<tenant>/ URL prefix — is missing from the fleet, malformed, or
+  // oversized. Falling back to the default tenant preserves single-tenant
+  // back-compat; kNotFound answers 404 so misrouted traffic is loud.
+  enum class UnknownTenant { kDefaultTenant, kNotFound };
+  UnknownTenant unknown_tenant = UnknownTenant::kDefaultTenant;
 };
 
 // Per-event-loop-shard counters (epoll model; empty under threads).
@@ -128,6 +140,13 @@ struct GatewayStats {
   std::size_t quarantines = 0;           // shard quarantine transitions
   std::size_t hedges_won = 0;            // races the hedged attempt won
   std::size_t retries_denied = 0;        // retry-budget refusals
+  // Tenant routing (fleet-backed servers; 0 otherwise): requests resolved
+  // to a fleet tenant, unknown-tenant refusals (404), and fail-closed
+  // refusals because the tenant's engine could not be pinned (503 — cold
+  // store unreadable or the memory budget could not admit it).
+  std::size_t tenant_routed = 0;
+  std::size_t tenant_404s = 0;
+  std::size_t tenant_unavailable = 0;
   // From the shared Joza engine (0 when serving unprotected): the ruleset
   // snapshot version currently published and how many times it was swapped.
   std::uint64_t ruleset_version = 0;
@@ -164,6 +183,22 @@ class GatewayServer {
   // outlive the server. The factory must be callable from worker threads.
   GatewayServer(AppFactory factory, core::Joza* joza,
                 GatewayConfig config = {});
+
+  // Multi-tenant form: requests are routed to per-tenant engines owned by
+  // `fleet` (never null; must outlive the server). Both io models extract
+  // the tenant from the X-Joza-Tenant header or a /t/<tenant>/ URL prefix,
+  // defaulting to tenant::kDefaultTenant, and pin the tenant's engine for
+  // the request (promoting it from the cold tier as needed). A pin failure
+  // is answered 503, never served unprotected.
+  GatewayServer(AppFactory factory, tenant::Fleet* fleet,
+                GatewayConfig config = {});
+
+  // Literal-nullptr disambiguation between the two pointer overloads
+  // above: a bare nullptr means "unprotected" (the Joza* form).
+  GatewayServer(AppFactory factory, std::nullptr_t,
+                GatewayConfig config = {})
+      : GatewayServer(std::move(factory), static_cast<core::Joza*>(nullptr),
+                      std::move(config)) {}
   ~GatewayServer();
 
   GatewayServer(const GatewayServer&) = delete;

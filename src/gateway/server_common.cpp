@@ -27,6 +27,68 @@ bool WantsKeepAlive(std::string_view raw) {
   return http11;
 }
 
+TenantRoute ResolveTenant(GatewayShared& shared, http::Request& request) {
+  TenantRoute route;
+  route.id = tenant::kDefaultTenant;
+  if (shared.fleet == nullptr) return route;
+
+  // /t/<tenant>/rest takes precedence over the header; the prefix is
+  // stripped only once the id is accepted, so a fallback to the default
+  // tenant (or a 404) leaves the path untouched.
+  std::string_view requested;
+  std::string stripped_path;
+  bool have_explicit = false;
+  bool from_prefix = false;
+  const std::string_view path = request.path;
+  if (path.size() > 3 && path.compare(0, 3, "/t/") == 0) {
+    const std::size_t slash = path.find('/', 3);
+    requested = path.substr(3, slash == std::string_view::npos
+                                   ? std::string_view::npos
+                                   : slash - 3);
+    stripped_path = slash == std::string_view::npos
+                        ? std::string("/")
+                        : std::string(path.substr(slash));
+    have_explicit = true;
+    from_prefix = true;
+  } else {
+    // ParseRawRequest lowercases header names.
+    for (const http::Input& header : request.headers) {
+      if (header.name == "x-joza-tenant") {
+        requested = header.value;
+        have_explicit = true;
+        break;
+      }
+    }
+  }
+
+  if (have_explicit &&
+      (!tenant::ValidTenantId(requested) || !shared.fleet->Has(requested))) {
+    // Unknown/malformed/oversized tenant id: policy decides. The strict
+    // grammar check also runs before any filesystem-adjacent use, so a
+    // hostile id ("../x") can never name a cold-store or snapshot path.
+    if (shared.config.unknown_tenant ==
+        GatewayConfig::UnknownTenant::kNotFound) {
+      route.not_found = true;
+      shared.tenant_404s.fetch_add(1, std::memory_order_relaxed);
+      return route;
+    }
+    have_explicit = false;  // fall back to the default tenant
+    from_prefix = false;
+  }
+
+  if (have_explicit) {
+    route.id.assign(requested.data(), requested.size());
+    if (from_prefix) request.path = std::move(stripped_path);
+  } else if (!shared.fleet->Has(route.id)) {
+    // No default tenant registered: nothing to fall back to.
+    route.not_found = true;
+    shared.tenant_404s.fetch_add(1, std::memory_order_relaxed);
+    return route;
+  }
+  shared.tenant_routed.fetch_add(1, std::memory_order_relaxed);
+  return route;
+}
+
 std::string RenderResponse(const http::Response& response, bool keep_alive) {
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
                     webapp::ReasonPhrase(response.status) + "\r\n";

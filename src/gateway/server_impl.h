@@ -19,6 +19,7 @@
 #include "gateway/gateway.h"
 #include "resilience/admission.h"
 #include "resilience/hedge.h"
+#include "tenant/fleet.h"
 
 namespace joza::gateway::internal {
 
@@ -28,6 +29,10 @@ struct GatewayShared {
 
   AppFactory factory;
   core::Joza* joza = nullptr;
+  // Multi-tenant routing: when set, joza stays null and every request pins
+  // a per-tenant engine through the fleet instead (exactly one of the two
+  // is non-null on a protected server).
+  tenant::Fleet* fleet = nullptr;
   GatewayConfig config;
 
   resilience::AimdLimiter aimd;
@@ -52,7 +57,25 @@ struct GatewayShared {
   std::atomic<std::size_t> max_batch{0};
   std::atomic<std::uint64_t> batch_exact_scans{0};
   std::atomic<std::uint64_t> batch_exact_reuses{0};
+  // Tenant routing roll-ups (fleet-backed servers only).
+  std::atomic<std::size_t> tenant_routed{0};
+  std::atomic<std::size_t> tenant_404s{0};
+  std::atomic<std::size_t> tenant_unavailable{0};
 };
+
+// Outcome of tenant extraction for one parsed request.
+struct TenantRoute {
+  std::string id;          // resolved tenant (valid unless not_found)
+  bool not_found = false;  // answer 404 (UnknownTenant::kNotFound policy)
+};
+
+// Extracts the request's tenant on behalf of both io models: a
+// /t/<tenant>/ URL prefix takes precedence (and is stripped from
+// request.path so tenant apps see tenant-relative paths), then the
+// X-Joza-Tenant header, then the default tenant. A missing, malformed,
+// oversized, or unregistered id resolves per config.unknown_tenant.
+// Counts tenant_routed / tenant_404s; no-op default route when no fleet.
+TenantRoute ResolveTenant(GatewayShared& shared, http::Request& request);
 
 // One serving backend. Start binds and spawns; Stop drains gracefully and
 // joins. The facade keeps the impl alive after Stop so per-shard counters

@@ -413,10 +413,31 @@ void ThreadServer::ServeConnection(webapp::Application& app, int fd) {
     http::Response response;
     bool keep_alive = false;
     auto request = http::ParseRawRequest(raw.value());
+    // Tenant routing (fleet-backed servers): resolve before admission so a
+    // 404/503 refusal never consumes an AIMD slot, and pin the tenant's
+    // engine for the whole handling below.
+    TenantRoute route;
+    StatusOr<tenant::Fleet::EnginePin> pin =
+        Status::NotFound("no fleet");
+    if (request.ok()) {
+      route = ResolveTenant(shared_, request.value());
+      if (shared_.fleet != nullptr && !route.not_found) {
+        pin = shared_.fleet->Acquire(route.id);
+      }
+    }
     if (!request.ok()) {
       shared_.bad_requests.fetch_add(1, std::memory_order_relaxed);
       response.status = 400;
       response.body = "Bad Request";
+    } else if (route.not_found) {
+      response.status = 404;
+      response.body = "Unknown Tenant";
+    } else if (shared_.fleet != nullptr && !pin.ok()) {
+      // Fail-closed: the tenant exists but its engine could not be pinned
+      // (cold image unreadable, budget refusal). Never serve unprotected.
+      shared_.tenant_unavailable.fetch_add(1, std::memory_order_relaxed);
+      response.status = 503;
+      response.body = "Tenant Unavailable";
     } else if (!shared_.aimd.TryAcquire()) {
       // At the adaptive concurrency limit: refuse immediately rather than
       // stacking more work onto a backend already blowing deadlines.
@@ -435,7 +456,15 @@ void ThreadServer::ServeConnection(webapp::Application& app, int fd) {
       const auto handle_start = std::chrono::steady_clock::now();
       {
         util::ScopedRequestDeadline scope(request_deadline);
-        response = app.Handle(request.value());
+        if (shared_.fleet != nullptr) {
+          // The pin keeps the engine alive across a concurrent demotion;
+          // the gate is swapped out again before the pin drops.
+          app.SetQueryGate(pin.value()->MakeGate());
+          response = app.Handle(request.value());
+          app.SetQueryGate(nullptr);
+        } else {
+          response = app.Handle(request.value());
+        }
       }
       const auto elapsed = std::chrono::steady_clock::now() - handle_start;
       // A completion that consumed the whole budget is the AIMD overload

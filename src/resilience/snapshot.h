@@ -53,4 +53,28 @@ StatusOr<RulesetSnapshotData> ParseRulesetSnapshot(std::string_view image);
 std::string EncodeRulesetSnapshot(const php::FragmentSet& fragments,
                                   std::uint64_t version);
 
+// --- Tenant-qualified snapshots --------------------------------------------
+//
+// A multi-tenant deployment persists one snapshot per tenant; qualifying
+// the configured base path (rather than taking N paths) keeps the CLI
+// surface unchanged. The default tenant also owns any legacy un-suffixed
+// snapshot left behind by a pre-multi-tenant deployment: the loader falls
+// back to it (migration shim), so a fleet upgrade warm-starts from the old
+// single-engine snapshot instead of silently restarting at version 0.
+
+// Name of the implicit tenant every request without an explicit tenant id
+// routes to (and the owner of legacy snapshots).
+inline constexpr char kDefaultTenantName[] = "default";
+
+// "<base>.<tenant>". The tenant id must already be validated by the caller
+// (the fleet rejects anything outside [A-Za-z0-9_-]{1,64}, so a qualified
+// path can never traverse out of the base path's directory).
+std::string TenantSnapshotPath(const std::string& base,
+                               std::string_view tenant);
+
+// Loads the tenant-qualified snapshot; for the default tenant only, falls
+// back to the legacy un-suffixed `base` when no qualified file exists.
+StatusOr<RulesetSnapshotData> LoadTenantRulesetSnapshot(
+    const std::string& base, std::string_view tenant);
+
 }  // namespace joza::resilience

@@ -1,0 +1,221 @@
+// Multi-tenant engine fleet with tiered ruleset memory.
+//
+// One Joza deployment protecting thousands of tenant applications cannot
+// keep every tenant's fragment vocabulary, Aho–Corasick automaton and
+// verdict cache shards hot in RAM. The Fleet owns one core::Joza engine
+// per tenant and tiers them between two residency states:
+//
+//   hot   — full engine resident: automaton built, caches live, optional
+//           per-tenant PTI daemon pool spun up.
+//   cold  — the tenant's Ruleset serialized through the JZSNAP01 snapshot
+//           codec into an mmap-backed cold store; the engine, caches and
+//           daemons are gone. The mapped bytes are all that remains.
+//
+// The residency manager runs a greedy knapsack/LRU hybrid under a
+// configurable byte budget: every Acquire() bumps the tenant's EWMA hit
+// rate and last-touch tick, and when admitting a tenant would overflow the
+// budget, the resident tenant with the lowest decayed-rate-per-byte score
+// is demoted first. Promotion (cold → hot) re-parses the Ruleset straight
+// out of the mapping — counted as a cold_load — and is bounded by a
+// concurrency gate so a stampede of cold tenants cannot fork-bomb
+// automaton rebuilds; concurrent acquirers of the SAME tenant coalesce on
+// one rebuild.
+//
+// Safety properties:
+//   * Verdict identity: demotion round-trips the exact fragment vocabulary
+//     and version through the crash-durable codec, so a re-promoted tenant
+//     produces byte-identical verdicts. Only cache warmth is lost.
+//   * Fail-closed: an unreadable or corrupt cold image fails the Acquire
+//     with an error — the gateway answers 503; no request is ever served
+//     with a partial or absent vocabulary (ROADMAP §IV-C semantics).
+//   * RCU pins: Acquire returns a shared_ptr pin. Demotion drops the
+//     fleet's reference but in-flight checks keep theirs; the demoted
+//     engine (and its daemon pool) is destroyed only when the last reader
+//     drops the pin.
+//
+// Thread safety: every public method may be called from any number of
+// threads (all gateway workers/shards route through one Fleet).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/joza.h"
+#include "ipc/daemon_pool.h"
+#include "phpsrc/fragments.h"
+#include "resilience/snapshot.h"
+#include "util/status.h"
+
+namespace joza::tenant {
+
+// Every request without an explicit tenant id routes here (back-compat
+// with single-tenant deployments). Same name owns legacy snapshots.
+inline constexpr const char* kDefaultTenant =
+    resilience::kDefaultTenantName;
+
+inline constexpr std::size_t kMaxTenantIdBytes = 64;
+
+// Tenant ids are cold-store file name components, so the grammar is strict:
+// [A-Za-z0-9_-]{1,64}. No dots, no slashes — a hostile id cannot traverse
+// out of the cold directory or collide with ".tmp" suffixes.
+bool ValidTenantId(std::string_view id);
+
+struct FleetOptions {
+  // Engine template: every tenant engine is built with this config (the
+  // per-tenant initial_ruleset_version is filled in by the fleet).
+  core::JozaConfig engine;
+  // Resident-set byte budget. 0 = unbudgeted: every tenant stays hot
+  // forever (the back-compat shape — and the reference a budgeted run's
+  // verdicts are gated against).
+  std::uint64_t memory_budget_bytes = 0;
+  // Directory for cold images (<cold_dir>/<tenant>.ruleset). Required when
+  // budgeted; created on first use.
+  std::string cold_dir;
+  // Bound on concurrent cold→hot rebuilds (the stampede gate).
+  std::size_t max_concurrent_promotions = 2;
+  // Per-tenant PTI daemon pools, spun up lazily with the engine on
+  // promotion and torn down with it on demotion (idle tenant daemons cost
+  // nothing once their tenant goes cold).
+  bool use_daemon_pool = false;
+  ipc::DaemonPool::Options pool;
+  // When non-empty, tenants warm-start from (and persist to) the
+  // tenant-qualified snapshot path <snapshot_base>.<tenant>.
+  std::string snapshot_base;
+  // Per-tick decay of the EWMA access rate (the LRU half of the eviction
+  // score; the rate-per-byte ratio is the knapsack half).
+  double ewma_decay = 0.98;
+};
+
+// One tenant's externally visible accounting.
+struct TenantInfo {
+  std::string id;
+  bool resident = false;
+  std::uint64_t ruleset_version = 0;
+  std::uint64_t resident_bytes = 0;  // ledger charge while resident
+  std::uint64_t requests = 0;        // Acquire weight routed to this tenant
+  std::uint64_t cold_loads = 0;      // promotions (first touch + re-entry)
+  std::uint64_t demotions = 0;
+  core::JozaStats engine;  // accumulated across residency generations
+};
+
+struct FleetStats {
+  std::size_t tenants = 0;
+  std::size_t resident = 0;
+  std::uint64_t budget_bytes = 0;
+  std::uint64_t resident_bytes = 0;       // current ledger total
+  std::uint64_t peak_resident_bytes = 0;  // high-water mark of the ledger
+  std::uint64_t requests = 0;
+  std::uint64_t cold_loads = 0;
+  std::uint64_t demotions = 0;
+  std::uint64_t promote_waits = 0;     // stampede-coalesced + gate waits
+  std::uint64_t acquire_failures = 0;  // fail-closed refusals
+};
+
+class Fleet {
+ public:
+  // A pinned hot engine. Holding the pin keeps the engine (and its daemon
+  // pool) alive even across a concurrent demotion — RCU semantics, like
+  // the engine's own ruleset snapshots.
+  using EnginePin = std::shared_ptr<core::Joza>;
+
+  explicit Fleet(FleetOptions options);
+  ~Fleet();
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  // Registers a tenant with its seed vocabulary. Tenants start cold
+  // (lazy: nothing is built until the first Acquire). When snapshot_base
+  // is set, a persisted tenant-qualified snapshot (or, for the default
+  // tenant, a legacy un-suffixed one) warm-starts the vocabulary/version.
+  Status AddTenant(std::string_view id, php::FragmentSet seed);
+
+  bool Has(std::string_view id) const;
+  std::vector<std::string> TenantIds() const;
+
+  // Routes one request's worth of work to `id`: bumps its access stats by
+  // `weight` (batched admission acquires once per same-tenant run) and
+  // returns a pin on its hot engine, promoting — and demoting victims —
+  // as needed. Fail-closed: NotFound for unknown tenants, an error when
+  // the cold image is unreadable or the budget cannot admit the tenant.
+  StatusOr<EnginePin> Acquire(std::string_view id, std::size_t weight = 1);
+
+  // Forces a tenant cold (ops hook / tests). No-op if already cold.
+  Status Demote(std::string_view id);
+
+  // Folds new sources into a tenant's published ruleset (hot tenants
+  // only; a cold tenant's vocabulary updates on next promotion via its
+  // persisted snapshot).
+  Status OnSourcesChanged(std::string_view id,
+                          const std::vector<php::SourceFile>& files);
+
+  // Reaps idle daemons across every resident tenant's pool.
+  void ReapIdle();
+
+  FleetStats stats() const;
+  // Per-tenant accounting, id-sorted (CLI stats dump, tests).
+  std::vector<TenantInfo> TenantInfos() const;
+  // Engine counters summed across all tenants, resident or not.
+  core::JozaStats AggregateEngineStats() const;
+
+  // Conservative byte estimate for one tenant's hot footprint (exposed so
+  // benches can size budgets in engine-estimate units).
+  static std::uint64_t EstimateHotBytes(const php::FragmentSet& fragments,
+                                        const core::JozaConfig& config);
+
+ private:
+  struct TenantEntry;
+
+  // The engine plus its lifecycle dependents, destroyed together when the
+  // last pin drops. Declaration order matters: the pool must outlive the
+  // engine (the engine's PTI backend calls into it), so it is declared
+  // first and destroyed last.
+  struct EngineHandle {
+    std::unique_ptr<ipc::DaemonPool> pool;
+    std::unique_ptr<core::Joza> engine;
+    ~EngineHandle();
+  };
+
+  std::string ColdPath(std::string_view id) const;
+  // Builds a hot handle for `entry` from its cold image (preferred) or
+  // seed vocabulary. Called with the fleet lock released; the entry's
+  // promoting flag keeps its tier fields stable.
+  StatusOr<std::shared_ptr<EngineHandle>> BuildHandle(TenantEntry& entry);
+  // Serializes `entry`'s ruleset into the cold store and drops the hot
+  // handle. Lock held on entry and exit; released around the I/O.
+  Status DemoteLocked(std::unique_lock<std::mutex>& lock,
+                      TenantEntry& entry);
+  // Evicts lowest-score residents until `need` more bytes fit. Lock held.
+  Status ReserveLocked(std::unique_lock<std::mutex>& lock,
+                       TenantEntry& self, std::uint64_t need);
+  TenantEntry* PickVictimLocked(const TenantEntry* exclude);
+  double ScoreLocked(const TenantEntry& entry) const;
+
+  FleetOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  // unique_ptr entries: stable addresses across rehashing, so waiting
+  // promoters can hold TenantEntry* across cv waits.
+  std::unordered_map<std::string, std::unique_ptr<TenantEntry>> tenants_;
+  std::uint64_t tick_ = 0;  // advances per Acquire; drives EWMA decay
+  std::size_t active_promotions_ = 0;
+  bool cold_dir_ready_ = false;
+
+  // Ledger (all guarded by mu_).
+  std::uint64_t resident_bytes_ = 0;
+  std::uint64_t peak_resident_bytes_ = 0;
+  std::uint64_t requests_ = 0;
+  std::uint64_t cold_loads_ = 0;
+  std::uint64_t demotions_ = 0;
+  std::uint64_t promote_waits_ = 0;
+  std::uint64_t acquire_failures_ = 0;
+};
+
+}  // namespace joza::tenant

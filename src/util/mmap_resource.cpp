@@ -1,0 +1,109 @@
+#include "util/mmap_resource.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace joza::util {
+
+Status WriteFileDurable(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Unavailable("durable write open failed: " +
+                               std::string(std::strerror(errno)));
+  }
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::Unavailable("durable write failed: " +
+                                 std::string(std::strerror(saved)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::Unavailable("durable write fsync failed: " +
+                               std::string(std::strerror(saved)));
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::Unavailable("durable write close failed: " +
+                               std::string(std::strerror(errno)));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    return Status::Unavailable("durable write rename failed: " +
+                               std::string(std::strerror(saved)));
+  }
+  return Status::Ok();
+}
+
+MmapResource::~MmapResource() { Reset(); }
+
+MmapResource::MmapResource(MmapResource&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      mapped_(std::exchange(other.mapped_, false)) {}
+
+MmapResource& MmapResource::operator=(MmapResource&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+  }
+  return *this;
+}
+
+void MmapResource::Reset() {
+  if (data_ != nullptr && size_ > 0) ::munmap(data_, size_);
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+StatusOr<MmapResource> MmapResource::Map(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound("mmap open failed for " + path + ": " +
+                            std::string(std::strerror(errno)));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    return Status::Unavailable("mmap fstat failed: " +
+                               std::string(std::strerror(saved)));
+  }
+  MmapResource out;
+  out.size_ = static_cast<std::size_t>(st.st_size);
+  out.mapped_ = true;
+  if (out.size_ > 0) {
+    void* addr = ::mmap(nullptr, out.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const int saved = errno;
+      ::close(fd);
+      return Status::Unavailable("mmap failed: " +
+                                 std::string(std::strerror(saved)));
+    }
+    out.data_ = addr;
+  }
+  ::close(fd);  // the mapping keeps the inode alive
+  return out;
+}
+
+}  // namespace joza::util

@@ -1,0 +1,59 @@
+// mmap-backed read-only file resources + durable whole-file writes.
+//
+// The tiered ruleset residency manager (src/tenant/) spills cold tenants'
+// serialized rulesets to disk and keeps only a file mapping around: the
+// bytes stay addressable (promotion re-parses them straight out of the
+// mapping, no read() round trip) while the hot automaton, cache shards and
+// fragment copies are dropped. Writes follow the same crash-durability
+// discipline as resilience snapshots — write `<path>.tmp`, fsync, rename —
+// so a crash mid-demotion can never leave a torn cold image where a
+// previous good one stood.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace joza::util {
+
+// Writes `bytes` to `path` via write-tmp/fsync/rename. On any failure the
+// temp file is removed and the previous contents of `path` (if any) are
+// left untouched.
+Status WriteFileDurable(const std::string& path, std::string_view bytes);
+
+// A read-only, privately mapped view of a whole file. Movable, not
+// copyable; unmapped on destruction. Because rename(2) replaces the
+// directory entry but not the inode, a live mapping stays consistent even
+// if the file is later rewritten through WriteFileDurable.
+class MmapResource {
+ public:
+  MmapResource() = default;
+  ~MmapResource();
+
+  MmapResource(MmapResource&& other) noexcept;
+  MmapResource& operator=(MmapResource&& other) noexcept;
+  MmapResource(const MmapResource&) = delete;
+  MmapResource& operator=(const MmapResource&) = delete;
+
+  // Maps `path` read-only. An empty file maps to a valid zero-length view.
+  static StatusOr<MmapResource> Map(const std::string& path);
+
+  bool valid() const { return data_ != nullptr || mapped_; }
+  std::size_t size() const { return size_; }
+  std::string_view view() const {
+    if (data_ == nullptr) return std::string_view();
+    return std::string_view(static_cast<const char*>(data_), size_);
+  }
+
+  // Unmaps and returns to the default-constructed state.
+  void Reset();
+
+ private:
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;  // distinguishes a valid empty mapping from none
+};
+
+}  // namespace joza::util

@@ -7,6 +7,8 @@
 //                [--breaker-threshold N] [--fault point[:rate]]...
 //                [--hedge-ms N] [--hedge-p99] [--restart-budget N]
 //                [--snapshot-path FILE] [--source-updates N]
+//                [--tenants FILE] [--memory-budget-mb N] [--cold-dir DIR]
+//                [--unknown-tenant default|404]
 //
 // Binds 127.0.0.1 (port 0 picks a free port), installs one shared Joza
 // engine across the whole worker pool, and serves until the duration
@@ -39,6 +41,17 @@
 // advances the ruleset version and persists — the kill -9 recovery smoke
 // test's version source).
 //
+// Multi-tenant knobs: --tenants names a spec file (one tenant id per line,
+// '#' comments) and switches the server to a tenant::Fleet of per-tenant
+// engines, routed by the X-Joza-Tenant header or a /t/<tenant>/ URL prefix
+// (the default tenant serves unrouted traffic). --memory-budget-mb bounds
+// the fleet's hot resident set (0 = unbudgeted; cold tenants spill to
+// --cold-dir as mmap-backed ruleset images and rebuild on first touch),
+// and --unknown-tenant picks the policy for unregistered ids (fall back to
+// the default tenant, or answer 404). With --snapshot-path each tenant
+// persists to and warm-starts from <path>.<tenant>; the default tenant
+// also migrates a legacy un-suffixed snapshot.
+//
 // Exit codes: 0 success, 2 config/usage parse failure, 3 bind/listen
 // failure.
 #include <csignal>
@@ -48,6 +61,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -62,6 +76,7 @@
 #include "resilience/injector.h"
 #include "resilience/snapshot.h"
 #include "resilience/supervisor.h"
+#include "tenant/fleet.h"
 
 namespace {
 
@@ -81,9 +96,25 @@ int UsageError(const char* argv0) {
       "          [--deadline-ms N] [--degraded fail-closed|nti-only]\n"
       "          [--breaker-threshold N] [--fault point[:rate]]...\n"
       "          [--hedge-ms N] [--hedge-p99] [--restart-budget N]\n"
-      "          [--snapshot-path FILE] [--source-updates N]\n",
+      "          [--snapshot-path FILE] [--source-updates N]\n"
+      "          [--tenants FILE] [--memory-budget-mb N] [--cold-dir DIR]\n"
+      "          [--unknown-tenant default|404]\n",
       argv0);
   return kExitConfigError;
+}
+
+// One tenant id per line; blank lines and '#' comments ignored.
+bool ReadTenantSpec(const std::string& path, std::vector<std::string>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    const std::size_t end = line.find_last_not_of(" \t\r");
+    out->push_back(line.substr(start, end - start + 1));
+  }
+  return true;
 }
 
 }  // namespace
@@ -107,6 +138,11 @@ int main(int argc, char** argv) {
   double restart_budget = 16;
   std::string snapshot_path;
   long source_updates = 0;
+  std::string tenants_file;
+  long memory_budget_mb = 0;
+  std::string cold_dir = "joza_cold";
+  gateway::GatewayConfig::UnknownTenant unknown_tenant =
+      gateway::GatewayConfig::UnknownTenant::kDefaultTenant;
   std::size_t breaker_threshold = 5;
   joza::core::DegradedMode degraded_mode =
       joza::core::DegradedMode::kFailClosed;
@@ -164,6 +200,22 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--source-updates") == 0 &&
                (value = next())) {
       source_updates = std::atol(value);
+    } else if (std::strcmp(argv[i], "--tenants") == 0 && (value = next())) {
+      tenants_file = value;
+    } else if (std::strcmp(argv[i], "--memory-budget-mb") == 0 &&
+               (value = next())) {
+      memory_budget_mb = std::atol(value);
+    } else if (std::strcmp(argv[i], "--cold-dir") == 0 && (value = next())) {
+      cold_dir = value;
+    } else if (std::strcmp(argv[i], "--unknown-tenant") == 0 &&
+               (value = next())) {
+      if (std::strcmp(value, "404") == 0) {
+        unknown_tenant = gateway::GatewayConfig::UnknownTenant::kNotFound;
+      } else if (std::strcmp(value, "default") != 0) {
+        std::fprintf(stderr, "bad --unknown-tenant '%s' (default|404)\n",
+                     value);
+        return UsageError(argv[0]);
+      }
     } else if (std::strcmp(argv[i], "--breaker-threshold") == 0 &&
                (value = next())) {
       breaker_threshold = static_cast<std::size_t>(std::atol(value));
@@ -197,10 +249,16 @@ int main(int argc, char** argv) {
   // wrong format) loads fail-closed: cold start from the application
   // sources at version 0 — a bad snapshot never widens the vocabulary.
   php::FragmentSet seed = php::FragmentSet::FromSources(proto->sources());
+  const bool fleet_mode = !tenants_file.empty();
+
+  // Warm start (single-engine mode; the fleet does its own per-tenant
+  // loads). The engine owns the default tenant's qualified snapshot path;
+  // the loader's migration shim still accepts a legacy un-suffixed file.
   std::uint64_t recovered_version = 0;
   bool warm_started = false;
-  if (!snapshot_path.empty()) {
-    auto snap = resilience::LoadRulesetSnapshot(snapshot_path);
+  if (!fleet_mode && !snapshot_path.empty()) {
+    auto snap = resilience::LoadTenantRulesetSnapshot(
+        snapshot_path, resilience::kDefaultTenantName);
     if (snap.ok()) {
       recovered_version = snap->version;
       seed = std::move(snap->fragments);
@@ -218,17 +276,17 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(recovered_version),
                 seed.size(), snapshot_path.c_str());
   }
-  if (!snapshot_path.empty()) {
-    joza.SetSnapshotSink(
-        [snapshot_path](const php::FragmentSet& fragments,
-                        std::uint64_t version) {
-          return resilience::SaveRulesetSnapshot(snapshot_path, fragments,
-                                                 version);
-        });
+  if (!fleet_mode && !snapshot_path.empty()) {
+    const std::string save_path = resilience::TenantSnapshotPath(
+        snapshot_path, resilience::kDefaultTenantName);
+    joza.SetSnapshotSink([save_path](const php::FragmentSet& fragments,
+                                     std::uint64_t version) {
+      return resilience::SaveRulesetSnapshot(save_path, fragments, version);
+    });
   }
 
   std::unique_ptr<ipc::DaemonPool> pool;
-  if (use_pool) {
+  if (use_pool && !fleet_mode) {
     ipc::DaemonPool::Options options;
     options.max_size = pool_size;
     options.supervisor.restart_budget = restart_budget;
@@ -239,16 +297,63 @@ int main(int argc, char** argv) {
     joza.SetPtiBackend(pool->AsPtiBackend());
   }
 
+  // Multi-tenant fleet: every listed tenant gets the testbed vocabulary
+  // plus one tenant-unique marker fragment, so cross-tenant routing bugs
+  // change verdicts instead of hiding behind identical rulesets.
+  std::unique_ptr<tenant::Fleet> fleet;
+  if (fleet_mode) {
+    std::vector<std::string> ids;
+    if (!ReadTenantSpec(tenants_file, &ids)) {
+      std::fprintf(stderr, "cannot read --tenants file %s\n",
+                   tenants_file.c_str());
+      return kExitConfigError;
+    }
+    tenant::FleetOptions fopts;
+    fopts.engine = config;
+    fopts.engine.initial_ruleset_version = 0;  // per-tenant versions
+    fopts.memory_budget_bytes =
+        static_cast<std::uint64_t>(memory_budget_mb) * 1024 * 1024;
+    fopts.cold_dir = cold_dir;
+    fopts.use_daemon_pool = use_pool;
+    fopts.pool.max_size = pool_size;
+    fopts.pool.supervisor.restart_budget = restart_budget;
+    fopts.pool.hedge_delay = std::chrono::milliseconds(hedge_ms);
+    fopts.pool.hedge_from_p99 = hedge_p99;
+    fopts.snapshot_base = snapshot_path;
+    fleet = std::make_unique<tenant::Fleet>(fopts);
+    if (Status st = fleet->AddTenant(tenant::kDefaultTenant, seed);
+        !st.ok()) {
+      std::fprintf(stderr, "default tenant: %s\n", st.ToString().c_str());
+      return kExitConfigError;
+    }
+    for (const std::string& id : ids) {
+      if (id == tenant::kDefaultTenant) continue;
+      php::FragmentSet tenant_seed = seed;
+      tenant_seed.AddRaw("SELECT marker_" + id + " FROM posts",
+                         "tenant/" + id + ".php");
+      if (Status st = fleet->AddTenant(id, std::move(tenant_seed));
+          !st.ok()) {
+        std::fprintf(stderr, "tenant %s: %s\n", id.c_str(),
+                     st.ToString().c_str());
+        return kExitConfigError;
+      }
+    }
+  }
+
   gateway::GatewayConfig gcfg;
   gcfg.port = port;
   gcfg.workers = workers;
   gcfg.io_model = io_model;
   gcfg.event_shards = event_shards;
   gcfg.request_deadline = std::chrono::milliseconds(deadline_ms);
-  gateway::GatewayServer server([] { return attack::MakeTestbed(); }, &joza,
-                                gcfg);
+  gcfg.unknown_tenant = unknown_tenant;
+  auto factory = [] { return attack::MakeTestbed(); };
+  auto server =
+      fleet ? std::make_unique<gateway::GatewayServer>(factory, fleet.get(),
+                                                       gcfg)
+            : std::make_unique<gateway::GatewayServer>(factory, &joza, gcfg);
   if (pool) {
-    server.SetResilienceProvider([&pool](gateway::GatewayStats& gs) {
+    server->SetResilienceProvider([&pool](gateway::GatewayStats& gs) {
       const auto ps = pool->stats();
       gs.restarts = ps.supervisor.restarts;
       gs.quarantines = ps.supervisor.quarantines;
@@ -256,7 +361,7 @@ int main(int argc, char** argv) {
       gs.retries_denied = ps.retries_denied;
     });
   }
-  auto bound = server.Start();
+  auto bound = server->Start();
   if (!bound.ok()) {
     std::fprintf(stderr, "start failed: %s\n",
                  bound.status().ToString().c_str());
@@ -270,11 +375,21 @@ int main(int argc, char** argv) {
       use_pool ? "daemon pool" : "in-process", deadline_ms,
       core::DegradedModeName(degraded_mode), breaker_threshold, hedge_ms,
       hedge_p99 ? " (p99-derived)" : "", restart_budget);
-  if (const std::size_t shards = server.shard_count(); shards > 0) {
+  if (const std::size_t shards = server->shard_count(); shards > 0) {
     std::printf("io model:     epoll, %zu event shards, batch max %zu\n",
                 shards, gcfg.batch_max);
   } else {
     std::printf("io model:     threads\n");
+  }
+  if (fleet) {
+    std::printf("fleet:        %zu tenants, budget %ld MB, cold dir %s, "
+                "unknown-tenant %s\n",
+                fleet->TenantIds().size(), memory_budget_mb,
+                cold_dir.c_str(),
+                unknown_tenant ==
+                        gateway::GatewayConfig::UnknownTenant::kNotFound
+                    ? "404"
+                    : "default");
   }
   for (unsigned p = 0;
        p < static_cast<unsigned>(resilience::FaultPoint::kCount); ++p) {
@@ -300,13 +415,25 @@ int main(int argc, char** argv) {
     php::SourceFile file;
     file.path = "synthetic/update_" + std::to_string(u) + ".php";
     file.content = "<?php $q = \"SELECT " + marker + " FROM posts\"; ?>";
-    joza.OnSourcesChanged({file});
-    if (pool) (void)pool->AddFragments({"SELECT " + marker + " FROM posts"});
+    if (fleet) {
+      // Updates apply to hot tenants; pin the default tenant first so the
+      // update lands (and persists through its tenant-qualified sink).
+      (void)fleet->Acquire(tenant::kDefaultTenant);
+      (void)fleet->OnSourcesChanged(tenant::kDefaultTenant, {file});
+    } else {
+      joza.OnSourcesChanged({file});
+      if (pool) {
+        (void)pool->AddFragments({"SELECT " + marker + " FROM posts"});
+      }
+    }
   }
   if (source_updates > 0) {
+    const std::uint64_t version = fleet
+                                      ? fleet->AggregateEngineStats()
+                                            .ruleset_version
+                                      : joza.ruleset_version();
     std::printf("applied %ld source updates; ruleset version now %llu\n",
-                source_updates,
-                static_cast<unsigned long long>(joza.ruleset_version()));
+                source_updates, static_cast<unsigned long long>(version));
     std::fflush(stdout);
   }
 
@@ -318,11 +445,13 @@ int main(int argc, char** argv) {
     if (duration_s > 0 && std::chrono::steady_clock::now() >= deadline) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
     if (pool) pool->ReapIdle();
+    if (fleet) fleet->ReapIdle();
   }
 
-  server.Stop();
-  const gateway::GatewayStats gs = server.stats();
-  const core::JozaStats js = joza.stats();
+  server->Stop();
+  const gateway::GatewayStats gs = server->stats();
+  const core::JozaStats js = fleet ? fleet->AggregateEngineStats()
+                                   : joza.stats();
   std::printf("\nconnections: %zu accepted, %zu rejected (503)\n",
               gs.connections_accepted, gs.connections_rejected);
   std::printf("requests:    %zu served, %zu keep-alive reuses, %zu bad, "
@@ -341,7 +470,7 @@ int main(int argc, char** argv) {
               gs.max_batch,
               static_cast<unsigned long long>(gs.batch_exact_scans),
               static_cast<unsigned long long>(gs.batch_exact_reuses));
-  const std::vector<gateway::ShardStats> shards = server.shard_stats();
+  const std::vector<gateway::ShardStats> shards = server->shard_stats();
   for (std::size_t s = 0; s < shards.size(); ++s) {
     const gateway::ShardStats& sh = shards[s];
     std::printf("shard %zu:     %zu conns, %zu batches, %zu requests, "
@@ -361,19 +490,51 @@ int main(int argc, char** argv) {
   std::printf("snapshots:   %zu saves, %zu save failures, %zu loads\n",
               js.snapshot_saves, js.snapshot_save_failures,
               js.snapshot_loads);
+  if (fleet) {
+    const tenant::FleetStats fs = fleet->stats();
+    std::printf("fleet:       %zu tenants (%zu resident), "
+                "%llu/%llu bytes (peak %llu), %llu cold loads, "
+                "%llu demotions, %llu waits, %llu acquire failures\n",
+                fs.tenants, fs.resident,
+                static_cast<unsigned long long>(fs.resident_bytes),
+                static_cast<unsigned long long>(fs.budget_bytes),
+                static_cast<unsigned long long>(fs.peak_resident_bytes),
+                static_cast<unsigned long long>(fs.cold_loads),
+                static_cast<unsigned long long>(fs.demotions),
+                static_cast<unsigned long long>(fs.promote_waits),
+                static_cast<unsigned long long>(fs.acquire_failures));
+    std::printf("routing:     %zu routed, %zu unknown-tenant (404), "
+                "%zu unavailable (503)\n",
+                gs.tenant_routed, gs.tenant_404s, gs.tenant_unavailable);
+    for (const tenant::TenantInfo& ti : fleet->TenantInfos()) {
+      std::printf("tenant %-18s %s v%-4llu %10llu B, %llu reqs, "
+                  "%llu cold loads, %llu demotions, %zu checked, "
+                  "%zu blocked\n",
+                  ti.id.c_str(), ti.resident ? "hot " : "cold",
+                  static_cast<unsigned long long>(ti.ruleset_version),
+                  static_cast<unsigned long long>(ti.resident_bytes),
+                  static_cast<unsigned long long>(ti.requests),
+                  static_cast<unsigned long long>(ti.cold_loads),
+                  static_cast<unsigned long long>(ti.demotions),
+                  ti.engine.queries_checked, ti.engine.attacks_detected);
+    }
+  }
   std::printf("nti match:   %zu exact hits, %zu seed candidates, %zu DP runs; "
               "tiers %zu ref / %zu bounded / %zu staged\n",
               js.nti_exact_hits, js.nti_seed_candidates, js.nti_dp_runs,
               js.nti_tier_reference, js.nti_tier_bounded, js.nti_tier_staged);
-  const auto bs = joza.breaker().stats();
   std::printf("degraded:    mode %s, %zu pti failures, %zu degraded checks, "
               "%zu degraded blocks, %zu breaker fast-rejects\n",
               core::DegradedModeName(degraded_mode), js.pti_failures,
               js.degraded_checks, js.degraded_blocks,
               js.breaker_fast_rejects);
-  std::printf("breaker:     state %s, %zu opens, %zu closes, %zu probes\n",
-              resilience::BreakerStateName(joza.breaker().state()), bs.opens,
-              bs.closes, bs.probes);
+  if (!fleet) {
+    // Per-engine breaker state; fleet tenants each own one.
+    const auto bs = joza.breaker().stats();
+    std::printf("breaker:     state %s, %zu opens, %zu closes, %zu probes\n",
+                resilience::BreakerStateName(joza.breaker().state()),
+                bs.opens, bs.closes, bs.probes);
+  }
   if (pool) {
     const auto ps = pool->stats();
     std::printf("pti pool:    %zu analyzed, %zu spawned, %zu replaced, "
