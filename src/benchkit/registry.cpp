@@ -24,6 +24,9 @@ const std::vector<SuiteSpec>& Suites() {
       {"multitenant",
        "tenant fleet under Zipf load: residency budget + verdict parity",
        RunMultitenantSuite},
+      {"costmodel",
+       "calibrated cost model: codec gates + verdict parity + throughput",
+       RunCostmodelSuite},
   };
   return kSuites;
 }

@@ -36,4 +36,10 @@ SuiteResult RunDegradedSuite(const SuiteOptions& options);
 // blocked, and a bounded p99 under demote/promote churn.
 SuiteResult RunMultitenantSuite(const SuiteOptions& options);
 
+// costmodel: in-process quick calibration + JZCM01 codec gates, verdict
+// parity of staged matching under measured and adversarial cost models vs
+// the reference tier, calibrated-vs-builtin throughput, and batch-admission
+// decision agreement.
+SuiteResult RunCostmodelSuite(const SuiteOptions& options);
+
 }  // namespace joza::benchkit

@@ -41,6 +41,10 @@ JozaStats& JozaStats::operator+=(const JozaStats& other) {
   nti_tier_reference += other.nti_tier_reference;
   nti_tier_bounded += other.nti_tier_bounded;
   nti_tier_staged += other.nti_tier_staged;
+  nti_planner_exact_batch += other.nti_planner_exact_batch;
+  nti_planner_exact_automaton += other.nti_planner_exact_automaton;
+  nti_planner_exact_find += other.nti_planner_exact_find;
+  nti_planner_calibrated += other.nti_planner_calibrated;
   cache_evictions += other.cache_evictions;
   pti_failures += other.pti_failures;
   breaker_fast_rejects += other.breaker_fast_rejects;
@@ -71,6 +75,10 @@ std::vector<std::pair<const char*, std::uint64_t>> JozaStats::Counters()
       {"nti_tier_reference", nti_tier_reference},
       {"nti_tier_bounded", nti_tier_bounded},
       {"nti_tier_staged", nti_tier_staged},
+      {"nti_planner_exact_batch", nti_planner_exact_batch},
+      {"nti_planner_exact_automaton", nti_planner_exact_automaton},
+      {"nti_planner_exact_find", nti_planner_exact_find},
+      {"nti_planner_calibrated", nti_planner_calibrated},
       {"cache_evictions", cache_evictions},
       {"pti_failures", pti_failures},
       {"breaker_fast_rejects", breaker_fast_rejects},
@@ -89,11 +97,18 @@ Joza::Joza(php::FragmentSet fragments, JozaConfig config)
       state_(std::make_unique<SharedState>(config.cache_capacity,
                                            config.cache_shards,
                                            config.breaker)) {
-  auto ruleset = pti::Ruleset::Build(std::move(fragments), config.pti,
-                                     config.initial_ruleset_version);
+  // Propagate the engine-level cost model into the analyzer sub-configs so
+  // it travels inside every published RulesetSnapshot; explicit per-analyzer
+  // models win.
+  if (config_.cost_model) {
+    if (!config_.nti.cost_model) config_.nti.cost_model = config_.cost_model;
+    if (!config_.pti.cost_model) config_.pti.cost_model = config_.cost_model;
+  }
+  auto ruleset = pti::Ruleset::Build(std::move(fragments), config_.pti,
+                                     config_.initial_ruleset_version);
   state_->snapshot.Publish(std::make_shared<const RulesetSnapshot>(
-      RulesetSnapshot{std::move(ruleset), config.nti,
-                      config.initial_ruleset_version}));
+      RulesetSnapshot{std::move(ruleset), config_.nti,
+                      config_.initial_ruleset_version}));
 }
 
 Joza Joza::Install(const webapp::Application& app, JozaConfig config) {
@@ -126,6 +141,14 @@ JozaStats Joza::stats() const {
       a.nti_tier_reference.load(std::memory_order_relaxed);
   out.nti_tier_bounded = a.nti_tier_bounded.load(std::memory_order_relaxed);
   out.nti_tier_staged = a.nti_tier_staged.load(std::memory_order_relaxed);
+  out.nti_planner_exact_batch =
+      a.nti_planner_exact_batch.load(std::memory_order_relaxed);
+  out.nti_planner_exact_automaton =
+      a.nti_planner_exact_automaton.load(std::memory_order_relaxed);
+  out.nti_planner_exact_find =
+      a.nti_planner_exact_find.load(std::memory_order_relaxed);
+  out.nti_planner_calibrated =
+      a.nti_planner_calibrated.load(std::memory_order_relaxed);
   out.pti_failures = a.pti_failures.load(std::memory_order_relaxed);
   out.breaker_fast_rejects =
       a.breaker_fast_rejects.load(std::memory_order_relaxed);
@@ -157,6 +180,10 @@ void Joza::ResetStats() {
   a.nti_tier_reference.store(0, std::memory_order_relaxed);
   a.nti_tier_bounded.store(0, std::memory_order_relaxed);
   a.nti_tier_staged.store(0, std::memory_order_relaxed);
+  a.nti_planner_exact_batch.store(0, std::memory_order_relaxed);
+  a.nti_planner_exact_automaton.store(0, std::memory_order_relaxed);
+  a.nti_planner_exact_find.store(0, std::memory_order_relaxed);
+  a.nti_planner_calibrated.store(0, std::memory_order_relaxed);
   a.pti_failures.store(0, std::memory_order_relaxed);
   a.breaker_fast_rejects.store(0, std::memory_order_relaxed);
   a.degraded_checks.store(0, std::memory_order_relaxed);
@@ -345,6 +372,14 @@ Verdict Joza::CheckViews(std::string_view query,
                                  std::memory_order_relaxed);
     a.nti_tier_staged.fetch_add(verdict.nti.tier_staged,
                                 std::memory_order_relaxed);
+    a.nti_planner_exact_batch.fetch_add(verdict.nti.planner_exact_batch,
+                                        std::memory_order_relaxed);
+    a.nti_planner_exact_automaton.fetch_add(
+        verdict.nti.planner_exact_automaton, std::memory_order_relaxed);
+    a.nti_planner_exact_find.fetch_add(verdict.nti.planner_exact_find,
+                                       std::memory_order_relaxed);
+    a.nti_planner_calibrated.fetch_add(verdict.nti.planner_calibrated,
+                                       std::memory_order_relaxed);
   }
 
   verdict.attack = !pti_safe || !nti_safe;

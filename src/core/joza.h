@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/sharded_cache.h"
+#include "costmodel/costmodel.h"
 #include "resilience/circuit_breaker.h"
 #include "http/request.h"
 #include "nti/nti.h"
@@ -96,6 +97,13 @@ struct JozaConfig {
   // continues the pre-crash version line (cache salts, verdict stamps,
   // daemon handshakes) instead of restarting at zero.
   std::uint64_t initial_ruleset_version = 0;
+  // Measured cost model (costmodel::LoadCostModel / Calibrate) steering
+  // every matcher strategy decision through costmodel::Planner. Null runs
+  // the built-in hand-tuned defaults — identical to pre-calibration
+  // behavior. Propagated into the nti/pti sub-configs at construction (so
+  // it travels inside every published RulesetSnapshot) unless those
+  // already carry their own model.
+  std::shared_ptr<const costmodel::CostModel> cost_model;
 };
 
 // Everything a check needs to judge one query, bundled as one immutable
@@ -149,6 +157,14 @@ struct JozaStats {
   std::size_t nti_tier_reference = 0;
   std::size_t nti_tier_bounded = 0;
   std::size_t nti_tier_staged = 0;
+  // Planner decision histogram (sums of NtiResult::planner_*): how each
+  // eligible input's exact stage actually ran — batch-scope lookup, this
+  // check's own automaton scan, or per-input find — plus how many
+  // decisions came from a calibrated model instead of builtin defaults.
+  std::size_t nti_planner_exact_batch = 0;
+  std::size_t nti_planner_exact_automaton = 0;
+  std::size_t nti_planner_exact_find = 0;
+  std::size_t nti_planner_calibrated = 0;
   std::size_t cache_evictions = 0;
   // Degraded-path accounting: backend calls that returned an error (incl.
   // deadline misses), calls the open breaker refused without trying, checks
@@ -341,6 +357,10 @@ class Joza {
     std::atomic<std::size_t> nti_tier_reference{0};
     std::atomic<std::size_t> nti_tier_bounded{0};
     std::atomic<std::size_t> nti_tier_staged{0};
+    std::atomic<std::size_t> nti_planner_exact_batch{0};
+    std::atomic<std::size_t> nti_planner_exact_automaton{0};
+    std::atomic<std::size_t> nti_planner_exact_find{0};
+    std::atomic<std::size_t> nti_planner_calibrated{0};
     std::atomic<std::size_t> pti_failures{0};
     std::atomic<std::size_t> breaker_fast_rejects{0};
     std::atomic<std::size_t> degraded_checks{0};

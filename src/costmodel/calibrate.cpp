@@ -1,0 +1,241 @@
+#include "costmodel/calibrate.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "match/aho_corasick.h"
+#include "match/myers.h"
+#include "match/qgram.h"
+#include "match/substring.h"
+#include "util/stopwatch.h"
+
+namespace joza::costmodel {
+
+namespace {
+
+// Defeats dead-code elimination of the measured kernels without perturbing
+// the timed region (one relaxed store per measured batch).
+std::atomic<std::uint64_t> g_sink{0};
+
+// (feature_bytes, measured_ns) pairs, one per timed batch.
+using Samples = std::vector<std::pair<double, double>>;
+
+std::string RandomText(std::mt19937_64& rng, std::size_t length) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789_ ='";
+  std::uniform_int_distribution<std::size_t> pick(0, sizeof(kAlphabet) - 2);
+  std::string text;
+  text.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) text.push_back(kAlphabet[pick(rng)]);
+  return text;
+}
+
+// Times `reps` invocations of `body` and records one per-call sample.
+template <typename Fn>
+void Measure(Samples& samples, double feature_bytes, std::size_t reps,
+             Fn&& body) {
+  std::uint64_t sink = 0;
+  Stopwatch watch;
+  for (std::size_t r = 0; r < reps; ++r) sink += body();
+  const double ns = watch.ElapsedSeconds() * 1e9 / static_cast<double>(reps);
+  g_sink.fetch_add(sink, std::memory_order_relaxed);
+  samples.emplace_back(feature_bytes, ns);
+}
+
+// Ordinary least squares y = base + per_byte * x, clamped to the
+// plausibility envelope ValidateModel enforces (timer noise on tiny
+// workloads can fit a slightly negative intercept).
+StageCurve FitLinear(const Samples& samples) {
+  StageCurve curve;
+  if (samples.empty()) return curve;
+  double sx = 0, sy = 0;
+  for (const auto& [x, y] : samples) {
+    sx += x;
+    sy += y;
+  }
+  const double n = static_cast<double>(samples.size());
+  const double mx = sx / n, my = sy / n;
+  double sxx = 0, sxy = 0;
+  for (const auto& [x, y] : samples) {
+    sxx += (x - mx) * (x - mx);
+    sxy += (x - mx) * (y - my);
+  }
+  curve.per_byte_ns = sxx > 0 ? sxy / sxx : 0.0;
+  curve.base_ns = my - curve.per_byte_ns * mx;
+  curve.per_byte_ns = std::clamp(curve.per_byte_ns, 0.0, kMaxPlausibleNs);
+  curve.base_ns = std::clamp(curve.base_ns, 0.0, kMaxPlausibleNs);
+  return curve;
+}
+
+struct Grid {
+  std::vector<std::size_t> vocab_sizes;    // == unresolved input counts
+  std::vector<std::size_t> pattern_lens;
+  std::vector<std::size_t> text_lens;
+  std::vector<double> thresholds;
+  std::size_t reps;
+};
+
+Grid MakeGrid(bool quick) {
+  if (quick) {
+    return {{4, 32}, {4, 32}, {64, 1024}, {0.1, 0.3}, 24};
+  }
+  return {{2, 4, 16, 64, 256},
+          {2, 4, 8, 16, 32, 64},
+          {32, 64, 256, 1024, 4096, 16384},
+          {0.1, 0.2, 0.3},
+          160};
+}
+
+std::vector<std::string> MakePatterns(std::mt19937_64& rng, std::size_t count,
+                                      std::size_t length) {
+  std::vector<std::string> patterns;
+  patterns.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    patterns.push_back(RandomText(rng, length));
+  }
+  return patterns;
+}
+
+}  // namespace
+
+CostModel Calibrate(const CalibrationOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  const Grid grid = MakeGrid(options.quick);
+  Samples samples[kStageCount];
+  auto at = [&samples](Stage stage) -> Samples& {
+    return samples[static_cast<std::size_t>(stage)];
+  };
+
+  // --- kAcBuild: vocabulary-size x pattern-length (the NTI exact stage
+  // builds one pattern per unresolved input, so vocabulary == input count).
+  for (const std::size_t vocab : grid.vocab_sizes) {
+    for (const std::size_t len : grid.pattern_lens) {
+      const auto patterns = MakePatterns(rng, vocab, len);
+      const double bytes = static_cast<double>(vocab * len);
+      // Builds are the expensive stage; scale reps down with size.
+      const std::size_t reps = std::max<std::size_t>(1, grid.reps / 8);
+      Measure(at(Stage::kAcBuild), bytes, reps, [&patterns] {
+        match::AhoCorasick ac;
+        for (std::size_t i = 0; i < patterns.size(); ++i) {
+          ac.Add(patterns[i], static_cast<std::int32_t>(i));
+        }
+        ac.Build();
+        return static_cast<std::uint64_t>(ac.node_count());
+      });
+    }
+  }
+
+  // --- kAcScan: text-length sweep over a fixed mid-size automaton.
+  {
+    match::AhoCorasick ac;
+    const auto patterns = MakePatterns(rng, 16, 8);
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+      ac.Add(patterns[i], static_cast<std::int32_t>(i));
+    }
+    ac.Build();
+    for (const std::size_t len : grid.text_lens) {
+      const std::string text = RandomText(rng, len);
+      Measure(at(Stage::kAcScan), static_cast<double>(len), grid.reps,
+              [&ac, &text] {
+                std::uint64_t hits = 0;
+                ac.Scan(text, [&hits](const match::AhoCorasick::Hit&) {
+                  ++hits;
+                });
+                return hits;
+              });
+    }
+  }
+
+  // --- kFind: haystack-length sweep, needle absent (the common case — a
+  // benign query rarely contains the probed value).
+  for (const std::size_t len : grid.text_lens) {
+    const std::string query = RandomText(rng, len);
+    const std::string needle = "\x01\x02\x03zq!";  // outside the alphabet
+    Measure(at(Stage::kFind), static_cast<double>(len), grid.reps,
+            [&query, &needle] {
+              return static_cast<std::uint64_t>(query.find(needle) !=
+                                                std::string::npos);
+            });
+  }
+
+  // --- kQgramBuild: indexed text length (the fixed bitset dominates the
+  // base term; the gram insertion loop the slope).
+  for (const std::size_t len : grid.text_lens) {
+    const std::string text = RandomText(rng, len);
+    const std::size_t reps = std::max<std::size_t>(1, grid.reps / 4);
+    Measure(at(Stage::kQgramBuild), static_cast<double>(len), reps, [&text] {
+      const match::QGramIndex index(text);
+      return static_cast<std::uint64_t>(index.CountPresent(text));
+    });
+  }
+
+  // --- kQgramReject: probed input length x threshold (the threshold sets
+  // the distance bound the counting argument is evaluated against).
+  {
+    const match::QGramIndex index(RandomText(rng, 1024));
+    for (const std::size_t len : grid.pattern_lens) {
+      for (const double threshold : grid.thresholds) {
+        const std::string input = RandomText(rng, len);
+        const auto bound = static_cast<std::size_t>(
+            std::ceil(threshold * static_cast<double>(len) /
+                      (1.0 - threshold)));
+        Measure(at(Stage::kQgramReject), static_cast<double>(len), grid.reps,
+                [&index, &input, bound] {
+                  return static_cast<std::uint64_t>(
+                      index.Rejects(input, bound));
+                });
+      }
+    }
+  }
+
+  // --- kMyers: query bytes streamed through the kernel (input length is
+  // capped at the 64-byte word anyway).
+  for (const std::size_t len : grid.text_lens) {
+    const std::string query = RandomText(rng, len);
+    const std::string input = RandomText(rng, 24);
+    if (!match::MyersEligible(input)) continue;
+    Measure(at(Stage::kMyers), static_cast<double>(len), grid.reps,
+            [&query, &input] {
+              return static_cast<std::uint64_t>(
+                  match::MyersMinDistance(query, input));
+            });
+  }
+
+  // --- kSellers: DP cell count (query bytes x input bytes) x threshold.
+  for (const std::size_t qlen : grid.text_lens) {
+    if (qlen > 4096) continue;  // the DP grid gets quadratic; cap the sweep
+    const std::string query = RandomText(rng, qlen);
+    for (const std::size_t ilen : grid.pattern_lens) {
+      for (const double threshold : grid.thresholds) {
+        const std::string input = RandomText(rng, ilen);
+        const auto bound = static_cast<std::size_t>(
+            std::ceil(threshold * static_cast<double>(ilen) /
+                      (1.0 - threshold)));
+        const std::size_t reps = std::max<std::size_t>(1, grid.reps / 8);
+        Measure(at(Stage::kSellers), static_cast<double>(qlen * ilen), reps,
+                [&query, &input, bound] {
+                  return static_cast<std::uint64_t>(
+                      match::BestSubstringMatchBounded(query, input, bound)
+                          .distance);
+                });
+      }
+    }
+  }
+
+  CostModel model;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    model.stages[i] = FitLinear(samples[i]);
+    total += samples[i].size();
+  }
+  model.calibration_samples = total;
+  return model;
+}
+
+}  // namespace joza::costmodel

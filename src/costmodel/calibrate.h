@@ -1,0 +1,31 @@
+// Calibration: measure the matcher stages on this machine and fit the
+// per-stage cost curves.
+//
+// The sweep times every Stage over an input-count x pattern-length x
+// threshold x vocabulary-size grid (the automaton stages treat the
+// vocabulary size as the input count — one pattern per unresolved input is
+// exactly how the NTI exact stage uses it), then least-squares fits the
+// linear StageCurve per stage. Workloads are generated from a seeded PRNG,
+// so two runs on one machine produce closely matching models; the absolute
+// numbers are machine-specific by design — that is the point.
+//
+// Used by tools/joza_calibrate (which persists the JZCM01 artifact) and by
+// the benchkit costmodel suite (which calibrates in-process so the
+// parity/no-regression gate needs no file path).
+#pragma once
+
+#include <cstdint>
+
+#include "costmodel/costmodel.h"
+
+namespace joza::costmodel {
+
+struct CalibrationOptions {
+  // Shrinks the grid and repetition counts for CI (seconds, not minutes).
+  bool quick = false;
+  std::uint64_t seed = 2015;
+};
+
+CostModel Calibrate(const CalibrationOptions& options = {});
+
+}  // namespace joza::costmodel

@@ -1,0 +1,249 @@
+#include "costmodel/codec.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+
+#include "util/hash.h"
+
+namespace joza::costmodel {
+
+namespace {
+
+std::atomic<std::uint64_t> g_parses_ok{0};
+std::atomic<std::uint64_t> g_parse_failures{0};
+
+Status ParseFailure(const std::string& message) {
+  g_parse_failures.fetch_add(1, std::memory_order_relaxed);
+  return Status::ParseError(message);
+}
+
+void PutU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutF64(std::string& out, double v) {
+  PutU64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+// Bounds-checked little-endian reads; false = truncated image.
+bool GetU64(std::string_view image, std::size_t& pos, std::uint64_t& v) {
+  if (image.size() - pos < 8) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(image[pos + i]))
+         << (8 * i);
+  }
+  pos += 8;
+  return true;
+}
+
+bool GetU32(std::string_view image, std::size_t& pos, std::uint32_t& v) {
+  if (image.size() - pos < 4) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(image[pos + i]))
+         << (8 * i);
+  }
+  pos += 4;
+  return true;
+}
+
+bool GetF64(std::string_view image, std::size_t& pos, double& v) {
+  std::uint64_t bits = 0;
+  if (!GetU64(image, pos, bits)) return false;
+  v = std::bit_cast<double>(bits);
+  return true;
+}
+
+bool GetBytes(std::string_view image, std::size_t& pos, std::size_t len,
+              std::string_view& out) {
+  if (image.size() - pos < len) return false;
+  out = image.substr(pos, len);
+  pos += len;
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeCostModel(const CostModel& model) {
+  std::string out;
+  out.append(kCostModelMagic, sizeof(kCostModelMagic));
+  PutU32(out, kCostModelSchema);
+  PutU32(out, static_cast<std::uint32_t>(kStageCount));
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const std::string_view name = StageName(static_cast<Stage>(i));
+    PutU32(out, static_cast<std::uint32_t>(name.size()));
+    out.append(name);
+    PutF64(out, model.stages[i].base_ns);
+    PutF64(out, model.stages[i].per_byte_ns);
+  }
+  PutU64(out, model.calibration_samples);
+  PutU64(out, Fnv1a64(out));
+  return out;
+}
+
+StatusOr<CostModel> ParseCostModel(std::string_view image) {
+  constexpr std::size_t kHeader = sizeof(kCostModelMagic) + 4 + 4;
+  constexpr std::size_t kTrailer = 8;  // checksum
+  if (image.size() < kHeader + kTrailer) {
+    return ParseFailure("cost model truncated: " +
+                        std::to_string(image.size()) + " bytes");
+  }
+  if (std::memcmp(image.data(), kCostModelMagic, sizeof(kCostModelMagic)) !=
+      0) {
+    return ParseFailure("cost model magic mismatch (format skew?)");
+  }
+  // Checksum covers everything before the trailing 8 bytes. Verify first so
+  // a bit flip anywhere — including in the length fields the decoder below
+  // trusts — is caught before decoding.
+  const std::string_view body = image.substr(0, image.size() - kTrailer);
+  std::size_t tail_pos = image.size() - kTrailer;
+  std::uint64_t stored_sum = 0;
+  GetU64(image, tail_pos, stored_sum);
+  if (Fnv1a64(body) != stored_sum) {
+    return ParseFailure("cost model checksum mismatch");
+  }
+
+  std::size_t pos = sizeof(kCostModelMagic);
+  std::uint32_t schema = 0, stages = 0;
+  if (!GetU32(body, pos, schema) || !GetU32(body, pos, stages)) {
+    return ParseFailure("cost model header truncated");
+  }
+  if (schema != kCostModelSchema) {
+    return ParseFailure("cost model schema " + std::to_string(schema) +
+                        " unsupported (want " +
+                        std::to_string(kCostModelSchema) + ")");
+  }
+  if (stages != kStageCount) {
+    return ParseFailure("cost model stage count " + std::to_string(stages) +
+                        " != " + std::to_string(kStageCount));
+  }
+  CostModel model;
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const std::string_view expected = StageName(static_cast<Stage>(i));
+    std::uint32_t name_len = 0;
+    std::string_view name;
+    if (!GetU32(body, pos, name_len) ||
+        !GetBytes(body, pos, name_len, name) ||
+        !GetF64(body, pos, model.stages[i].base_ns) ||
+        !GetF64(body, pos, model.stages[i].per_byte_ns)) {
+      return ParseFailure("cost model stage " + std::to_string(i) +
+                          " truncated");
+    }
+    // Stage identity is matched by name, not position alone: an artifact
+    // written by a build that reordered or renamed stages must be refused,
+    // not silently applied to the wrong stage.
+    if (name != expected) {
+      return ParseFailure("cost model stage " + std::to_string(i) +
+                          " named '" + std::string(name) + "', want '" +
+                          std::string(expected) + "'");
+    }
+  }
+  if (!GetU64(body, pos, model.calibration_samples)) {
+    return ParseFailure("cost model sample count truncated");
+  }
+  if (pos != body.size()) {
+    return ParseFailure("cost model has trailing garbage");
+  }
+  if (const Status plausible = ValidateModel(model); !plausible.ok()) {
+    g_parse_failures.fetch_add(1, std::memory_order_relaxed);
+    return plausible;
+  }
+  g_parses_ok.fetch_add(1, std::memory_order_relaxed);
+  return model;
+}
+
+Status SaveCostModel(const std::string& path, const CostModel& model) {
+  const std::string image = EncodeCostModel(model);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Unavailable("cost model open failed: " +
+                               std::string(std::strerror(errno)));
+  }
+  std::size_t off = 0;
+  while (off < image.size()) {
+    const ssize_t n = ::write(fd, image.data() + off, image.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::Unavailable("cost model write failed: " +
+                                 std::string(std::strerror(saved)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::Unavailable("cost model fsync failed: " +
+                               std::string(std::strerror(saved)));
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::Unavailable("cost model close failed: " +
+                               std::string(std::strerror(errno)));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    return Status::Unavailable("cost model rename failed: " +
+                               std::string(std::strerror(saved)));
+  }
+  return Status::Ok();
+}
+
+StatusOr<CostModel> LoadCostModel(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("no cost model at " + path + ": " +
+                            std::string(std::strerror(errno)));
+  }
+  std::string image;
+  char buf[1 << 14];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      return Status::Unavailable("cost model read failed: " +
+                                 std::string(std::strerror(saved)));
+    }
+    if (n == 0) break;
+    image.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return ParseCostModel(image);
+}
+
+CodecStats GetCodecStats() {
+  CodecStats stats;
+  stats.parses_ok = g_parses_ok.load(std::memory_order_relaxed);
+  stats.parse_failures = g_parse_failures.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ResetCodecStats() {
+  g_parses_ok.store(0, std::memory_order_relaxed);
+  g_parse_failures.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace joza::costmodel

@@ -1,0 +1,51 @@
+// JZCM01: the persisted cost-model artifact.
+//
+// Same fail-closed shape as the JZSNAP01 ruleset snapshot codec
+// (resilience/snapshot.h): little-endian fixed-width fields, a trailing
+// FNV-1a checksum verified BEFORE any field is decoded, bounds-checked
+// reads, and schema/stage-name matching so a format skew can never be
+// silently misread. Parse failures bump a global counter and return an
+// error Status — callers fall back to the Planner's built-in defaults,
+// never to a partially-decoded model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "costmodel/costmodel.h"
+#include "util/status.h"
+
+namespace joza::costmodel {
+
+inline constexpr char kCostModelMagic[6] = {'J', 'Z', 'C', 'M', '0', '1'};
+inline constexpr std::uint32_t kCostModelSchema = 1;
+
+// magic + schema + per-stage (name, curve) records + sample count + FNV-1a
+// checksum over everything before the trailer.
+std::string EncodeCostModel(const CostModel& model);
+
+// Checksum-first, fail-closed parse. A syntactically valid image whose
+// coefficients fail ValidateModel (NaN/inf, negative, implausible) is
+// rejected too: a correct checksum only proves the file is what its
+// producer wrote, not that its producer was sane.
+StatusOr<CostModel> ParseCostModel(std::string_view image);
+
+// Write-tmp / fsync / rename, like the ruleset snapshot sink.
+Status SaveCostModel(const std::string& path, const CostModel& model);
+
+// Reads + ParseCostModel. A missing file is kNotFound (counted separately
+// from malformed images: absence is the normal uncalibrated state).
+StatusOr<CostModel> LoadCostModel(const std::string& path);
+
+// Fail-closed accounting, readable from stats dumps and the fuzz suite:
+// every malformed artifact must show up here, never as a crash or a
+// mis-planned decision.
+struct CodecStats {
+  std::uint64_t parses_ok = 0;
+  std::uint64_t parse_failures = 0;
+};
+CodecStats GetCodecStats();
+void ResetCodecStats();
+
+}  // namespace joza::costmodel

@@ -1,0 +1,41 @@
+#include "costmodel/costmodel.h"
+
+#include <cmath>
+#include <string>
+
+namespace joza::costmodel {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kAcBuild: return "ac_build";
+    case Stage::kAcScan: return "ac_scan";
+    case Stage::kFind: return "find";
+    case Stage::kQgramBuild: return "qgram_build";
+    case Stage::kQgramReject: return "qgram_reject";
+    case Stage::kMyers: return "myers";
+    case Stage::kSellers: return "sellers";
+  }
+  return "?";
+}
+
+Status ValidateModel(const CostModel& model) {
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const StageCurve& c = model.stages[i];
+    const char* name = StageName(static_cast<Stage>(i));
+    if (!std::isfinite(c.base_ns) || !std::isfinite(c.per_byte_ns)) {
+      return Status::InvalidArgument(std::string("cost model stage ") + name +
+                                     ": non-finite coefficient");
+    }
+    if (c.base_ns < 0.0 || c.per_byte_ns < 0.0) {
+      return Status::InvalidArgument(std::string("cost model stage ") + name +
+                                     ": negative coefficient");
+    }
+    if (c.base_ns > kMaxPlausibleNs || c.per_byte_ns > kMaxPlausibleNs) {
+      return Status::InvalidArgument(std::string("cost model stage ") + name +
+                                     ": implausible coefficient");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace joza::costmodel

@@ -1,0 +1,92 @@
+// The one strategy-decision API for the whole matcher stack.
+//
+// Three call sites used to reimplement (and drift) the same amortization
+// arithmetic: the staged NTI exact stage (automaton vs per-input find),
+// the epoll gateway's batched admission (shared BatchScope automaton vs
+// per-check work), and the PTI ruleset's scan-strategy choice. All three
+// now route through a Planner:
+//
+//   * Without a model (default), every decision reproduces the legacy
+//     hand-tuned heuristics bit-for-bit from the kDefault* constants in
+//     costmodel.h — a missing or corrupt artifact changes nothing.
+//   * With a calibrated model, decisions compare the measured per-stage
+//     cost curves directly.
+//
+// Strategy choice can never change a verdict (every strategy is
+// verdict-identical by construction); the Planner only chooses where the
+// cycles go. The differential suites hold that property even under
+// adversarially wrong models.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "costmodel/costmodel.h"
+
+namespace joza::costmodel {
+
+// How the staged exact stage resolves its unresolved inputs.
+enum class ExactStrategy {
+  kPerInputFind,  // one std::string::find scan of the query per input
+  kAutomaton,     // one multi-pattern Aho-Corasick scan over all inputs
+};
+
+const char* ExactStrategyName(ExactStrategy strategy);
+
+struct ExactStageFeatures {
+  std::size_t input_count = 0;       // unresolved eligible inputs
+  std::size_t total_value_bytes = 0; // sum of their value lengths
+  std::size_t query_bytes = 0;       // intercepted query length
+};
+
+// Snapshot-time plan for one PTI ruleset: pattern-shape statistics plus
+// the chosen scan strategy, precomputed once at Ruleset build so the
+// per-check hot path does a table lookup, not arithmetic.
+struct RulesetPlan {
+  bool use_automaton = true;  // chosen exact-scan strategy
+  bool calibrated = false;    // decision came from a measured model
+  std::size_t vocabulary = 0;          // fragment count
+  std::size_t total_pattern_bytes = 0;
+  std::size_t min_pattern_len = 0;     // 0 when the vocabulary is empty
+  std::size_t max_pattern_len = 0;
+  // Pattern-length distribution: 1-2, 3-4, 5-8, 9-16, 17-32, 33+.
+  std::size_t length_histogram[6] = {0, 0, 0, 0, 0, 0};
+  // Predicted per-query exact-scan cost under the chosen strategy (0 when
+  // uncalibrated — the builtin path predicts nothing, it just decides).
+  double predicted_scan_ns = 0.0;
+};
+
+class Planner {
+ public:
+  // Builtin-defaults planner (legacy heuristics).
+  Planner() = default;
+  // Calibrated planner. A null model degrades to builtin defaults, so
+  // callers can pass a config's (possibly empty) shared model through.
+  explicit Planner(std::shared_ptr<const CostModel> model)
+      : model_(std::move(model)) {}
+
+  bool calibrated() const { return model_ != nullptr; }
+  const CostModel* model() const { return model_.get(); }
+
+  // Staged NTI exact stage: one multi-pattern automaton scan vs per-input
+  // find() over the unresolved inputs.
+  ExactStrategy PlanExactStage(const ExactStageFeatures& features) const;
+
+  // Epoll batched admission: is a batch of `requests` parsed requests
+  // worth one shared BatchScope automaton? (The admission path sees
+  // sockets, not parsed inputs, so the calibrated decision compares
+  // nominal per-request shapes.)
+  bool PlanBatchScope(std::size_t requests) const;
+
+  // PTI ruleset scan strategy, computed once at snapshot build.
+  // `allow_automaton` carries the PtiConfig::use_aho_corasick ablation
+  // override: false forces the naive per-fragment scan regardless of cost.
+  RulesetPlan PlanRuleset(const std::vector<std::size_t>& pattern_lengths,
+                          bool allow_automaton) const;
+
+ private:
+  std::shared_ptr<const CostModel> model_;
+};
+
+}  // namespace joza::costmodel

@@ -676,7 +676,7 @@ void Shard::ProcessBatch() {
       const StatusOr<tenant::Fleet::EnginePin> pin =
           shared_.fleet->Acquire(head.route.id, j - i);
       std::optional<core::Joza::BatchScope> scope;
-      if (pin.ok() && j - i >= config().batch_min) {
+      if (pin.ok() && shared_.planner.PlanBatchScope(j - i)) {
         scope.emplace(*pin.value());
         for (std::size_t k = i; k < j; ++k) {
           scope->Add(batch[k].parsed.value());
@@ -697,10 +697,11 @@ void Shard::ProcessBatch() {
   }
 
   // Batched admission into the analysis pipeline: one shared exact-match
-  // automaton for every request in the batch. Below batch_min the
-  // per-check cost model is already optimal.
+  // automaton for every request in the batch — but only when the cost
+  // model says the shared build amortizes (the same Planner decision the
+  // matcher pipeline uses; for tiny batches per-check work already wins).
   std::optional<core::Joza::BatchScope> scope;
-  if (shared_.joza != nullptr && parse_ok >= config().batch_min) {
+  if (shared_.joza != nullptr && shared_.planner.PlanBatchScope(parse_ok)) {
     scope.emplace(*shared_.joza);
     for (const Item& item : batch) {
       if (item.parsed.ok()) scope->Add(item.parsed.value());

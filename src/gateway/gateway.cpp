@@ -27,7 +27,6 @@ GatewayServer::GatewayServer(AppFactory factory, core::Joza* joza,
   if (config.workers == 0) config.workers = 1;
   if (config.queue_capacity == 0) config.queue_capacity = 1;
   if (config.batch_max == 0) config.batch_max = 1;
-  if (config.batch_min < 2) config.batch_min = 2;
   shared_ = std::make_unique<internal::GatewayShared>(std::move(factory),
                                                       joza, config);
 }
@@ -37,6 +36,13 @@ GatewayServer::GatewayServer(AppFactory factory, tenant::Fleet* fleet,
     : GatewayServer(std::move(factory), static_cast<core::Joza*>(nullptr),
                     std::move(config)) {
   shared_->fleet = fleet;
+  // Fleet-backed servers have no single engine; seed the admission planner
+  // from the fleet's engine template so batching decisions use the same
+  // cost model every tenant engine runs with.
+  if (fleet != nullptr) {
+    shared_->planner =
+        costmodel::Planner(fleet->options().engine.cost_model);
+  }
 }
 
 GatewayServer::~GatewayServer() { Stop(); }
@@ -157,6 +163,10 @@ GatewayStats GatewayServer::stats() const {
     out.nti_tier_reference = engine.nti_tier_reference;
     out.nti_tier_bounded = engine.nti_tier_bounded;
     out.nti_tier_staged = engine.nti_tier_staged;
+    out.nti_planner_exact_batch = engine.nti_planner_exact_batch;
+    out.nti_planner_exact_automaton = engine.nti_planner_exact_automaton;
+    out.nti_planner_exact_find = engine.nti_planner_exact_find;
+    out.nti_planner_calibrated = engine.nti_planner_calibrated;
   }
   return out;
 }

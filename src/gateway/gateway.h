@@ -88,10 +88,11 @@ struct GatewayConfig {
   // for the thread pool keep their concurrency shape on the event loop.
   std::size_t event_shards = 0;
   // Batched admission (epoll only): a shard drains up to batch_max ready
-  // requests per tick; batches of at least batch_min install a
-  // core::Joza::BatchScope so the exact match stage is amortized.
+  // requests per tick. Whether a drained batch is worth installing a
+  // core::Joza::BatchScope (amortizing the exact match stage) is decided
+  // by costmodel::Planner::PlanBatchScope — the same cost model that
+  // steers the matcher pipeline, builtin defaults when none is loaded.
   std::size_t batch_max = 16;
-  std::size_t batch_min = 2;
 
   // Multi-tenant routing policy (fleet-backed servers only): what to do
   // with a request whose tenant id — from the X-Joza-Tenant header or a
@@ -160,6 +161,13 @@ struct GatewayStats {
   std::uint64_t nti_tier_reference = 0;
   std::uint64_t nti_tier_bounded = 0;
   std::uint64_t nti_tier_staged = 0;
+  // Cost-model planner decision histogram mirrored from the engine: how
+  // each eligible input's exact stage ran (batch-scope reuse, automaton,
+  // per-input find) and how many decisions used a calibrated model.
+  std::uint64_t nti_planner_exact_batch = 0;
+  std::uint64_t nti_planner_exact_automaton = 0;
+  std::uint64_t nti_planner_exact_find = 0;
+  std::uint64_t nti_planner_calibrated = 0;
 
   // Flattened name/value export (serving-layer counters only; engine
   // counters come from JozaStats::Counters()), consumed by the benchmark

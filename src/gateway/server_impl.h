@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "costmodel/planner.h"
 #include "gateway/gateway.h"
 #include "resilience/admission.h"
 #include "resilience/hedge.h"
@@ -25,7 +26,12 @@ namespace joza::gateway::internal {
 
 struct GatewayShared {
   GatewayShared(AppFactory f, core::Joza* j, const GatewayConfig& c)
-      : factory(std::move(f)), joza(j), config(c), aimd(c.admission) {}
+      : factory(std::move(f)),
+        joza(j),
+        config(c),
+        planner(j != nullptr ? costmodel::Planner(j->config().cost_model)
+                             : costmodel::Planner()),
+        aimd(c.admission) {}
 
   AppFactory factory;
   core::Joza* joza = nullptr;
@@ -34,6 +40,12 @@ struct GatewayShared {
   // is non-null on a protected server).
   tenant::Fleet* fleet = nullptr;
   GatewayConfig config;
+  // Batch-admission planning: the SAME decision point the matcher pipeline
+  // uses (costmodel::Planner), so the "is shared automaton work worth it"
+  // heuristic lives in exactly one place. Seeded from the engine's cost
+  // model (fleet template for fleet-backed servers); immutable after
+  // construction, so lock-free to consult from every shard.
+  costmodel::Planner planner;
 
   resilience::AimdLimiter aimd;
   resilience::ServiceTimeEwma service_ewma;

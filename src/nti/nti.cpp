@@ -55,7 +55,7 @@ NtiResult NtiAnalyzer::AnalyzeCritical(
   result.inputs_considered = eligible.size();
   if (eligible.empty()) return result;
 
-  const MatcherPipeline pipeline(query, config_, inputs, eligible);
+  const MatcherPipeline pipeline(query, config_, inputs, eligible, result);
   for (std::size_t index : eligible) {
     const match::SubstringMatch best = pipeline.Match(index, result);
     if (best.span.empty() || best.ratio > config_.threshold) continue;

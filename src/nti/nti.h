@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "costmodel/costmodel.h"
 #include "http/request.h"
 #include "sqlparse/token.h"
 #include "util/span.h"
@@ -52,11 +54,11 @@ struct NtiConfig {
   // optimization, never a policy change.
   MatchTier tier = MatchTier::kStaged;
 
-  // Staged exact stage: fewer eligible inputs than this always take
-  // per-input find() calls. At or above it, one Aho–Corasick scan over the
-  // query is used when the query is also long enough to amortize the
-  // automaton build (the pipeline's cost model decides).
-  std::size_t multi_pattern_min_inputs = 4;
+  // Measured cost model steering the staged exact stage's strategy choice
+  // (automaton vs per-input find) through costmodel::Planner. Null runs
+  // the built-in hand-tuned defaults — the pre-calibration behavior,
+  // bit-for-bit. Shared across snapshots/engines; never mutated.
+  std::shared_ptr<const costmodel::CostModel> cost_model;
 
   // kBounded knobs (kept for the ablation benches): prune the Sellers DP
   // as soon as no substring can match within the threshold, and try an
@@ -98,6 +100,17 @@ struct NtiResult {
   std::size_t tier_reference = 0;
   std::size_t tier_bounded = 0;
   std::size_t tier_staged = 0;
+  // Planner decision histogram (staged exact stage): how each eligible
+  // input's exact resolution was actually executed — served from a batch
+  // scope's shared automaton, via this check's own multi-pattern scan, or
+  // via per-input find(). Distinguishes "exact stage skipped by the cost
+  // model" from "exact stage ran and found nothing".
+  std::size_t planner_exact_batch = 0;
+  std::size_t planner_exact_automaton = 0;
+  std::size_t planner_exact_find = 0;
+  // Strategy decisions taken from a measured (calibrated) model rather
+  // than the built-in defaults; one per decision, not per input.
+  std::size_t planner_calibrated = 0;
 };
 
 class NtiAnalyzer {

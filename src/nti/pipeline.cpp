@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "costmodel/planner.h"
 #include "match/aho_corasick.h"
 #include "match/myers.h"
 #include "nti/batch.h"
@@ -37,7 +38,8 @@ match::SubstringMatch ExactMatch(std::size_t pos, std::size_t length) {
 MatcherPipeline::MatcherPipeline(std::string_view query,
                                  const NtiConfig& config,
                                  const std::vector<http::InputView>& inputs,
-                                 const std::vector<std::size_t>& eligible)
+                                 const std::vector<std::size_t>& eligible,
+                                 NtiResult& stats)
     : query_(query), config_(config), inputs_(inputs) {
   if (config_.tier != MatchTier::kStaged || eligible.empty()) return;
 
@@ -46,13 +48,14 @@ MatcherPipeline::MatcherPipeline(std::string_view query,
   // Stage 1 (exact, batch path): an admission batch installed a shared
   // automaton over every batched request's values — resolve against it
   // (one cached scan per distinct query) and fall through to the
-  // per-check cost model only for values the batch never saw.
+  // per-check planner only for values the batch never saw.
   std::vector<std::size_t> unresolved;
   if (BatchMatchContext* batch = BatchMatchContext::Current()) {
     for (std::size_t index : eligible) {
       std::size_t pos = kNpos;
       if (batch->Lookup(query_, inputs_[index].value, &pos)) {
         exact_pos_[index] = pos;
+        ++stats.planner_exact_batch;
       } else {
         unresolved.push_back(index);
       }
@@ -62,23 +65,29 @@ MatcherPipeline::MatcherPipeline(std::string_view query,
   }
 
   // Stage 1 (exact, per-check path): resolve each remaining input's
-  // earliest exact occurrence with one multi-pattern scan. Duplicated
-  // values (the same payload arriving via several parameters) share one
-  // pattern.
-  //
-  // The automaton is built per check (the analyzer is stateless), and its
-  // dense nodes cost ~1 KiB of zeroed memory per pattern byte — so one
-  // multi-pattern scan only beats memchr-driven per-input find() when the
-  // query is long enough to amortize the build across all inputs.
-  constexpr std::size_t kAutomatonAmortization = 64;
-  std::size_t total_value_bytes = 0;
+  // earliest exact occurrence. Strategy — one multi-pattern scan vs
+  // per-input find() — is the cost-model planner's call: measured stage
+  // curves when a calibrated model is loaded, the built-in hand-tuned
+  // defaults otherwise. Duplicated values (the same payload arriving via
+  // several parameters) share one pattern on the automaton path.
+  costmodel::ExactStageFeatures features;
+  features.input_count = unresolved.size();
+  features.query_bytes = query_.size();
   for (std::size_t index : unresolved) {
-    total_value_bytes += inputs_[index].value.size();
+    features.total_value_bytes += inputs_[index].value.size();
   }
+  const costmodel::Planner planner(config_.cost_model);
   const bool use_automaton =
-      unresolved.size() >= config_.multi_pattern_min_inputs &&
-      unresolved.size() * query_.size() >=
-          kAutomatonAmortization * total_value_bytes;
+      !unresolved.empty() && planner.PlanExactStage(features) ==
+                                 costmodel::ExactStrategy::kAutomaton;
+  if (!unresolved.empty()) {
+    if (planner.calibrated()) ++stats.planner_calibrated;
+    if (use_automaton) {
+      stats.planner_exact_automaton += unresolved.size();
+    } else {
+      stats.planner_exact_find += unresolved.size();
+    }
+  }
   if (use_automaton) {
     match::AhoCorasick ac;
     std::unordered_map<std::string_view, std::int32_t> dedup;

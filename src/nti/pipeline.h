@@ -29,9 +29,12 @@ class MatcherPipeline {
   // `query`, `config` and `inputs` must outlive the pipeline. `eligible`
   // holds the indices of inputs that passed the analyzer's pre-filters
   // (min length, overlong) — the only ones Match() may be asked about.
+  // Construction runs the exact stage under the strategy chosen by
+  // costmodel::Planner (config.cost_model; built-in defaults when null)
+  // and records its planner_* decision counters into `stats`.
   MatcherPipeline(std::string_view query, const NtiConfig& config,
                   const std::vector<http::InputView>& inputs,
-                  const std::vector<std::size_t>& eligible);
+                  const std::vector<std::size_t>& eligible, NtiResult& stats);
 
   // Best approximate match for inputs[index]. Identical distance, span and
   // ratio to the reference tier; pipeline counters accumulate in `stats`.
@@ -52,8 +55,8 @@ class MatcherPipeline {
   const NtiConfig& config_;
   const std::vector<http::InputView>& inputs_;
   // Earliest exact occurrence of each input's value in the query (npos =
-  // none), filled by one Aho–Corasick scan — or per-input find() below the
-  // multi_pattern_min_inputs cutoff. Staged tier only.
+  // none), filled by one Aho–Corasick scan or per-input find() — whichever
+  // the cost-model planner chose. Staged tier only.
   std::vector<std::size_t> exact_pos_;
   // Query q-gram index, built only when some input survives the exact
   // stage. Staged tier only.

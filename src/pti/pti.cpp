@@ -34,8 +34,10 @@ PtiResult PtiAnalyzer::Analyze(std::string_view query) const {
 
 PtiResult PtiAnalyzer::Analyze(std::string_view query,
                                const std::vector<sql::Token>& tokens) const {
-  return config().use_aho_corasick ? AnalyzeAho(query, tokens)
-                                   : AnalyzeNaive(query, tokens);
+  // Dispatch on the snapshot-time plan, like the lock-free AnalyzeUnits
+  // path — the strategy was fixed when the ruleset was built.
+  return ruleset_->plan().use_automaton ? AnalyzeAho(query, tokens)
+                                        : AnalyzeNaive(query, tokens);
 }
 
 PtiResult PtiAnalyzer::AnalyzeAho(

@@ -159,6 +159,9 @@ class Fleet {
   void ReapIdle();
 
   FleetStats stats() const;
+  // The construction-time options, notably the engine template (the
+  // gateway seeds its admission planner from engine.cost_model).
+  const FleetOptions& options() const { return options_; }
   // Per-tenant accounting, id-sorted (CLI stats dump, tests).
   std::vector<TenantInfo> TenantInfos() const;
   // Engine counters summed across all tenants, resident or not.

@@ -1,0 +1,245 @@
+// Cost-model subsystem: codec round trips, fail-closed loading, and the
+// Planner's builtin-parity property — without a model every decision must
+// reproduce the legacy hand-tuned heuristics bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "costmodel/calibrate.h"
+#include "costmodel/codec.h"
+#include "costmodel/costmodel.h"
+#include "costmodel/planner.h"
+#include "util/rng.h"
+
+namespace joza::costmodel {
+namespace {
+
+CostModel PlausibleModel() {
+  CostModel m;
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    m.stages[i].base_ns = 10.0 + static_cast<double>(i);
+    m.stages[i].per_byte_ns = 0.5 + 0.1 * static_cast<double>(i);
+  }
+  m.calibration_samples = 123;
+  return m;
+}
+
+std::shared_ptr<const CostModel> Shared(const CostModel& m) {
+  return std::make_shared<const CostModel>(m);
+}
+
+TEST(Codec, RoundTripPreservesEveryField) {
+  const CostModel m = PlausibleModel();
+  const std::string image = EncodeCostModel(m);
+  auto parsed = ParseCostModel(image);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->calibration_samples, 123u);
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    EXPECT_EQ(parsed->stages[i].base_ns, m.stages[i].base_ns) << i;
+    EXPECT_EQ(parsed->stages[i].per_byte_ns, m.stages[i].per_byte_ns) << i;
+  }
+  // Canonical encoding: re-encoding the parse yields the same bytes.
+  EXPECT_EQ(EncodeCostModel(parsed.value()), image);
+}
+
+TEST(Codec, SaveAndLoadRoundTrip) {
+  const std::string path =
+      ::testing::TempDir() + "/costmodel_roundtrip.jzcm";
+  const CostModel m = PlausibleModel();
+  ASSERT_TRUE(SaveCostModel(path, m).ok());
+  auto loaded = LoadCostModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(EncodeCostModel(loaded.value()), EncodeCostModel(m));
+  std::remove(path.c_str());
+}
+
+TEST(Codec, MissingFileIsNotFoundAndNotAParseFailure) {
+  ResetCodecStats();
+  auto loaded = LoadCostModel("/nonexistent/dir/model.jzcm");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+  // Absence is the normal uncalibrated state, not a malformed artifact.
+  EXPECT_EQ(GetCodecStats().parse_failures, 0u);
+}
+
+TEST(Codec, ParseFailureBumpsTheFailClosedCounter) {
+  ResetCodecStats();
+  EXPECT_FALSE(ParseCostModel("not a cost model").ok());
+  EXPECT_FALSE(ParseCostModel("").ok());
+  const CodecStats stats = GetCodecStats();
+  EXPECT_EQ(stats.parse_failures, 2u);
+  EXPECT_EQ(stats.parses_ok, 0u);
+}
+
+TEST(Validate, RejectsNonFiniteNegativeAndImplausible) {
+  EXPECT_TRUE(ValidateModel(PlausibleModel()).ok());
+  {
+    CostModel m = PlausibleModel();
+    m.stages[2].base_ns = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_FALSE(ValidateModel(m).ok());
+  }
+  {
+    CostModel m = PlausibleModel();
+    m.stages[4].per_byte_ns = std::numeric_limits<double>::infinity();
+    EXPECT_FALSE(ValidateModel(m).ok());
+  }
+  {
+    CostModel m = PlausibleModel();
+    m.stages[0].base_ns = -1.0;
+    EXPECT_FALSE(ValidateModel(m).ok());
+  }
+  {
+    CostModel m = PlausibleModel();
+    m.stages[6].per_byte_ns = kMaxPlausibleNs * 2;
+    EXPECT_FALSE(ValidateModel(m).ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Builtin parity: a Planner without a model must reproduce the legacy
+// hand-tuned decision rules exactly, over the whole feature space.
+// ---------------------------------------------------------------------------
+
+TEST(Planner, BuiltinExactStageMatchesLegacyFormulaExhaustively) {
+  const Planner planner;
+  EXPECT_FALSE(planner.calibrated());
+  Rng rng(2015);
+  for (int trial = 0; trial < 20000; ++trial) {
+    ExactStageFeatures f;
+    f.input_count = rng.NextBelow(32);
+    f.total_value_bytes = rng.NextBelow(4096);
+    f.query_bytes = rng.NextBelow(8192);
+    const bool legacy =
+        f.input_count >= kDefaultMultiPatternMinInputs &&
+        f.input_count * f.query_bytes >=
+            kDefaultAutomatonAmortization * f.total_value_bytes;
+    EXPECT_EQ(planner.PlanExactStage(f) == ExactStrategy::kAutomaton, legacy)
+        << "inputs=" << f.input_count << " value=" << f.total_value_bytes
+        << " query=" << f.query_bytes;
+  }
+}
+
+TEST(Planner, BuiltinBatchScopeMatchesLegacyCutoff) {
+  const Planner planner;
+  EXPECT_FALSE(planner.PlanBatchScope(0));
+  EXPECT_FALSE(planner.PlanBatchScope(1));
+  for (std::size_t n = kDefaultBatchScopeMinRequests; n < 64; ++n) {
+    EXPECT_TRUE(planner.PlanBatchScope(n)) << n;
+  }
+}
+
+TEST(Planner, CalibratedBatchScopeAgreesWithBuiltinForValidModels) {
+  // Non-negative coefficients (ValidateModel's invariant) make the shared
+  // build mathematically no worse for every n >= 2, so a calibrated
+  // planner's admission decision coincides with builtin behavior.
+  const Planner builtin;
+  const Planner calibrated(Shared(PlausibleModel()));
+  EXPECT_TRUE(calibrated.calibrated());
+  for (std::size_t n = 0; n < 64; ++n) {
+    EXPECT_EQ(calibrated.PlanBatchScope(n), builtin.PlanBatchScope(n)) << n;
+  }
+}
+
+TEST(Planner, SingleInputNeverBuildsAnAutomaton) {
+  // Under any model — even one claiming the automaton is free.
+  CostModel free_automaton = PlausibleModel();
+  free_automaton.curve(Stage::kAcBuild) = {0.0, 0.0};
+  free_automaton.curve(Stage::kAcScan) = {0.0, 0.0};
+  for (const Planner& p :
+       {Planner(), Planner(Shared(free_automaton))}) {
+    ExactStageFeatures f;
+    f.input_count = 1;
+    f.total_value_bytes = 8;
+    f.query_bytes = 1 << 20;
+    EXPECT_EQ(p.PlanExactStage(f), ExactStrategy::kPerInputFind);
+  }
+}
+
+TEST(Planner, CalibratedExactStageFollowsTheCurves) {
+  // An expensive automaton forces find; an expensive find forces the
+  // automaton (at >= 2 inputs).
+  CostModel automaton_costly = PlausibleModel();
+  automaton_costly.curve(Stage::kAcBuild) = {1e6, 1e3};
+  automaton_costly.curve(Stage::kFind) = {1.0, 0.001};
+  CostModel find_costly = PlausibleModel();
+  find_costly.curve(Stage::kAcBuild) = {1.0, 0.001};
+  find_costly.curve(Stage::kAcScan) = {1.0, 0.001};
+  find_costly.curve(Stage::kFind) = {1e6, 1e3};
+
+  ExactStageFeatures f;
+  f.input_count = 4;
+  f.total_value_bytes = 64;
+  f.query_bytes = 256;
+  EXPECT_EQ(Planner(Shared(automaton_costly)).PlanExactStage(f),
+            ExactStrategy::kPerInputFind);
+  EXPECT_EQ(Planner(Shared(find_costly)).PlanExactStage(f),
+            ExactStrategy::kAutomaton);
+}
+
+TEST(Planner, RulesetPlanStatisticsAndBuiltinStrategy)
+{
+  const Planner planner;
+  const RulesetPlan plan =
+      planner.PlanRuleset({2, 3, 8, 20, 40}, /*allow_automaton=*/true);
+  EXPECT_TRUE(plan.use_automaton);  // legacy default: automaton serves
+  EXPECT_FALSE(plan.calibrated);
+  EXPECT_EQ(plan.vocabulary, 5u);
+  EXPECT_EQ(plan.total_pattern_bytes, 73u);
+  EXPECT_EQ(plan.min_pattern_len, 2u);
+  EXPECT_EQ(plan.max_pattern_len, 40u);
+  EXPECT_EQ(plan.length_histogram[0], 1u);  // 1-2
+  EXPECT_EQ(plan.length_histogram[1], 1u);  // 3-4
+  EXPECT_EQ(plan.length_histogram[2], 1u);  // 5-8
+  EXPECT_EQ(plan.length_histogram[3], 0u);  // 9-16
+  EXPECT_EQ(plan.length_histogram[4], 1u);  // 17-32
+  EXPECT_EQ(plan.length_histogram[5], 1u);  // 33+
+}
+
+TEST(Planner, RulesetAblationOverrideBeatsAnyModel) {
+  // use_aho_corasick = false is an explicit ablation: the naive scan is
+  // forced even under a model that says the automaton is free.
+  CostModel free_automaton = PlausibleModel();
+  free_automaton.curve(Stage::kAcScan) = {0.0, 0.0};
+  for (const Planner& p :
+       {Planner(), Planner(Shared(free_automaton))}) {
+    EXPECT_FALSE(
+        p.PlanRuleset({4, 8, 12}, /*allow_automaton=*/false).use_automaton);
+  }
+}
+
+TEST(Planner, CalibratedRulesetPlanFlipsWithTheCurves) {
+  CostModel scan_cheap = PlausibleModel();
+  scan_cheap.curve(Stage::kAcScan) = {1.0, 0.01};
+  scan_cheap.curve(Stage::kFind) = {100.0, 1.0};
+  const RulesetPlan automaton_plan =
+      Planner(Shared(scan_cheap)).PlanRuleset({8, 8, 8, 8}, true);
+  EXPECT_TRUE(automaton_plan.use_automaton);
+  EXPECT_TRUE(automaton_plan.calibrated);
+  EXPECT_GT(automaton_plan.predicted_scan_ns, 0.0);
+
+  CostModel scan_costly = PlausibleModel();
+  scan_costly.curve(Stage::kAcScan) = {1e6, 1e3};
+  scan_costly.curve(Stage::kFind) = {1.0, 0.001};
+  EXPECT_FALSE(
+      Planner(Shared(scan_costly)).PlanRuleset({8, 8}, true).use_automaton);
+  // An empty vocabulary never elects the automaton under a model.
+  EXPECT_FALSE(Planner(Shared(scan_cheap)).PlanRuleset({}, true).use_automaton);
+}
+
+TEST(Calibrate, QuickSweepProducesAValidLoadableModel) {
+  CalibrationOptions options;
+  options.quick = true;
+  const CostModel model = Calibrate(options);
+  EXPECT_TRUE(ValidateModel(model).ok());
+  EXPECT_GT(model.calibration_samples, 0u);
+  auto parsed = ParseCostModel(EncodeCostModel(model));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(EncodeCostModel(parsed.value()), EncodeCostModel(model));
+}
+
+}  // namespace
+}  // namespace joza::costmodel

@@ -3,8 +3,13 @@
 // token-level analysis instead.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/joza.h"
+#include "costmodel/codec.h"
+#include "costmodel/costmodel.h"
 #include "db/database.h"
+#include "nti/nti.h"
 #include "phpsrc/fragments.h"
 #include "phpsrc/php_lexer.h"
 #include "resilience/snapshot.h"
@@ -278,6 +283,165 @@ TEST_P(FuzzTest, SnapshotLoaderTotalOnMangledValidImages) {
     (void)resilience::ParseRulesetSnapshot(image);  // must not crash
   }
   SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// JZCM01 cost-model loader: same fail-closed contract as the snapshot
+// codec. Any mangled artifact must produce an error Status and bump the
+// parse-failure counter — never a crash, never a partially-decoded model
+// steering matcher decisions.
+// ---------------------------------------------------------------------------
+
+costmodel::CostModel ValidCostModel() {
+  costmodel::CostModel m;
+  for (std::size_t i = 0; i < costmodel::kStageCount; ++i) {
+    m.stages[i].base_ns = 25.0 + static_cast<double>(i);
+    m.stages[i].per_byte_ns = 0.25 * static_cast<double>(i + 1);
+  }
+  m.calibration_samples = 7;
+  return m;
+}
+
+TEST(CostModelFuzz, EveryTruncationFailsClosedWithCounter) {
+  const std::string valid = costmodel::EncodeCostModel(ValidCostModel());
+  ASSERT_TRUE(costmodel::ParseCostModel(valid).ok());
+  costmodel::ResetCodecStats();
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    EXPECT_FALSE(costmodel::ParseCostModel(valid.substr(0, len)).ok())
+        << "truncated to " << len << " of " << valid.size() << " bytes";
+  }
+  EXPECT_EQ(costmodel::GetCodecStats().parse_failures, valid.size());
+}
+
+TEST(CostModelFuzz, EverySingleBitFlipFailsClosed) {
+  const std::string valid = costmodel::EncodeCostModel(ValidCostModel());
+  for (std::size_t byte = 0; byte < valid.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = valid;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      EXPECT_FALSE(costmodel::ParseCostModel(flipped).ok())
+          << "bit " << bit << " of byte " << byte << " flipped undetected";
+    }
+  }
+}
+
+TEST(CostModelFuzz, ImplausibleCoefficientsWithValidChecksumFailClosed) {
+  // A correctly-checksummed artifact whose producer wrote garbage: NaN,
+  // infinity, negative and absurd coefficients must all be refused by the
+  // plausibility gate, with the fail-closed counter bumped.
+  const double bad[] = {std::numeric_limits<double>::quiet_NaN(),
+                        std::numeric_limits<double>::infinity(),
+                        -std::numeric_limits<double>::infinity(), -4.0,
+                        costmodel::kMaxPlausibleNs * 10};
+  costmodel::ResetCodecStats();
+  std::uint64_t expected_failures = 0;
+  for (const double coeff : bad) {
+    costmodel::CostModel m = ValidCostModel();
+    m.stages[3].per_byte_ns = coeff;
+    // Encode re-checksums, so only the plausibility guard can refuse.
+    auto parsed = costmodel::ParseCostModel(costmodel::EncodeCostModel(m));
+    EXPECT_FALSE(parsed.ok()) << "coefficient " << coeff;
+    ++expected_failures;
+  }
+  EXPECT_EQ(costmodel::GetCodecStats().parse_failures, expected_failures);
+}
+
+TEST_P(FuzzTest, CostModelLoaderTotalOnRandomBytes) {
+  Rng rng(GetParam() * 601 + 17);
+  for (int i = 0; i < 500; ++i) {
+    (void)costmodel::ParseCostModel(RandomBytes(rng, 300));  // never crash
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzTest, CostModelLoaderTotalOnMangledValidImages) {
+  Rng rng(GetParam() * 811 + 19);
+  const std::string valid = costmodel::EncodeCostModel(ValidCostModel());
+  for (int i = 0; i < 500; ++i) {
+    std::string image = valid;
+    const std::size_t edits = 1 + rng.NextBelow(8);
+    for (std::size_t e = 0; e < edits; ++e) {
+      switch (rng.NextBelow(3)) {
+        case 0:
+          if (!image.empty()) {
+            image[rng.NextBelow(image.size())] =
+                static_cast<char>(rng.NextBelow(256));
+          }
+          break;
+        case 1:
+          image.resize(rng.NextBelow(image.size() + 1));
+          break;
+        default:
+          image.push_back(static_cast<char>(rng.NextBelow(256)));
+          break;
+      }
+    }
+    (void)costmodel::ParseCostModel(image);  // must not crash
+  }
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Adversarially wrong cost models may only move cycles, never verdicts:
+// staged matching under an all-zero or all-huge model must stay
+// verdict-identical to the reference tier.
+// ---------------------------------------------------------------------------
+
+TEST_P(FuzzTest, AdversarialCostModelsNeverChangeVerdicts) {
+  // All-zero: every stage claims to be free (the automaton always "wins").
+  auto zero = std::make_shared<const costmodel::CostModel>();
+  // All-huge-build: the automaton never amortizes, find always "wins".
+  costmodel::CostModel huge_build;
+  for (std::size_t i = 0; i < costmodel::kStageCount; ++i) {
+    huge_build.stages[i] = {1.0, 0.001};
+  }
+  huge_build.curve(costmodel::Stage::kAcBuild) = {
+      costmodel::kMaxPlausibleNs, costmodel::kMaxPlausibleNs};
+  auto huge = std::make_shared<const costmodel::CostModel>(huge_build);
+
+  nti::NtiConfig reference;
+  reference.tier = nti::MatchTier::kReference;
+  nti::NtiConfig staged_zero;
+  staged_zero.cost_model = zero;
+  nti::NtiConfig staged_huge;
+  staged_huge.cost_model = huge;
+  const nti::NtiAnalyzer ref(reference);
+  const nti::NtiAnalyzer under_zero(staged_zero);
+  const nti::NtiAnalyzer under_huge(staged_huge);
+
+  Rng rng(GetParam() * 977 + 23);
+  for (int i = 0; i < 120; ++i) {
+    // Mixed corpus: SQL soup queries, inputs that sometimes occur verbatim
+    // in the query (exercising the exact stage both ways).
+    std::string query = RandomSqlSoup(rng, 25);
+    std::vector<http::Input> inputs;
+    const std::size_t n = 1 + rng.NextBelow(8);
+    for (std::size_t k = 0; k < n; ++k) {
+      std::string value = rng.NextBool(0.5) ? RandomBytes(rng, 24)
+                                            : RandomSqlSoup(rng, 4);
+      if (rng.NextBool(0.5) && !value.empty()) query += " " + value;
+      inputs.push_back({http::InputKind::kGet, "p" + std::to_string(k),
+                        std::move(value)});
+    }
+    const nti::NtiResult want = ref.Analyze(query, inputs);
+    for (const nti::NtiAnalyzer* analyzer : {&under_zero, &under_huge}) {
+      const nti::NtiResult got = analyzer->Analyze(query, inputs);
+      ASSERT_EQ(got.attack_detected, want.attack_detected)
+          << "query: " << query;
+      ASSERT_EQ(got.tainted_critical_tokens.size(),
+                want.tainted_critical_tokens.size());
+      ASSERT_EQ(got.markings.size(), want.markings.size());
+      for (std::size_t m = 0; m < want.markings.size(); ++m) {
+        EXPECT_EQ(got.markings[m].span.begin, want.markings[m].span.begin);
+        EXPECT_EQ(got.markings[m].span.end, want.markings[m].span.end);
+        EXPECT_EQ(got.markings[m].input_name, want.markings[m].input_name);
+      }
+      // Every decision under these analyzers came from a (bad) model.
+      if (got.planner_exact_automaton + got.planner_exact_find > 0) {
+        EXPECT_GT(got.planner_calibrated, 0u);
+      }
+    }
+  }
 }
 
 }  // namespace

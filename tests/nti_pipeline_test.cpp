@@ -139,13 +139,17 @@ TEST(Pipeline, MultiPatternExactStageResolvesManyInputs) {
   }
   query += "filler FROM t WHERE pad = '" + std::string(400, 'x') + "'";
 
+  // Builtin planner defaults: 8 inputs over a ~450-byte query amortize the
+  // automaton build, so the exact stage runs multi-pattern.
   NtiConfig cfg = StagedConfig();
-  cfg.multi_pattern_min_inputs = 4;
   const NtiResult r = NtiAnalyzer(cfg).Analyze(query, inputs);
   EXPECT_EQ(r.inputs_considered, 8u);
   EXPECT_EQ(r.exact_hits, 8u);
   EXPECT_EQ(r.dp_runs, 0u);
   EXPECT_EQ(r.markings.size(), 8u);
+  EXPECT_EQ(r.planner_exact_automaton, 8u);
+  EXPECT_EQ(r.planner_exact_find, 0u);
+  EXPECT_EQ(r.planner_calibrated, 0u);  // no cost model loaded
   // Duplicate values share one automaton pattern but still both resolve.
   inputs.push_back({http::InputKind::kGet, "dup", inputs[0].value});
   const NtiResult r2 = NtiAnalyzer(cfg).Analyze(query, inputs);

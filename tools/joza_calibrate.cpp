@@ -1,0 +1,136 @@
+// joza_calibrate: measure per-stage matcher costs and emit a cost model.
+//
+//   joza_calibrate [--out FILE] [--quick] [--seed N]
+//                  [--verify FILE] [--print FILE]
+//
+// Runs the calibration sweep (micro-benchmarks of every matcher stage over
+// an input-count x pattern-length x threshold x vocabulary-size grid),
+// least-squares fits a base + per-byte cost curve per stage, and writes a
+// schema-versioned, checksummed JZCM01 artifact. The engine loads it via
+// --cost-model / JozaConfig::cost_model; a missing or corrupt artifact
+// fails closed to the built-in hand-tuned defaults.
+//
+// --quick shrinks the sweep grid for CI smoke runs (seconds instead of
+// minutes; coarser fits, same format). After writing, the artifact is
+// reloaded and byte-verified — a model this tool exits 0 on is guaranteed
+// loadable by the engine.
+//
+// --verify FILE only loads and validates an existing artifact (no sweep);
+// --print FILE additionally dumps the per-stage cost table. Both exit
+// nonzero on any parse/validation failure.
+//
+// Exit codes: 0 success, 2 usage error, 3 calibration/save failure,
+// 4 verify/load failure.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "costmodel/calibrate.h"
+#include "costmodel/codec.h"
+#include "costmodel/costmodel.h"
+
+namespace {
+
+constexpr int kExitUsage = 2;
+constexpr int kExitCalibrate = 3;
+constexpr int kExitVerify = 4;
+
+int UsageError(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--out FILE] [--quick] [--seed N]\n"
+               "          [--verify FILE] [--print FILE]\n",
+               argv0);
+  return kExitUsage;
+}
+
+void PrintModel(const joza::costmodel::CostModel& model) {
+  std::printf("%-14s %14s %14s\n", "stage", "base_ns", "per_byte_ns");
+  for (std::size_t i = 0; i < joza::costmodel::kStageCount; ++i) {
+    const auto stage = static_cast<joza::costmodel::Stage>(i);
+    const joza::costmodel::StageCurve& c = model.curve(stage);
+    std::printf("%-14s %14.3f %14.6f\n", joza::costmodel::StageName(stage),
+                c.base_ns, c.per_byte_ns);
+  }
+  std::printf("calibration samples: %llu\n",
+              static_cast<unsigned long long>(model.calibration_samples));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace joza;
+
+  std::string out = "cost_model.jzcm";
+  std::string verify_path;
+  bool print_verified = false;
+  costmodel::CalibrationOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (std::strcmp(argv[i], "--out") == 0 && (value = next())) {
+      out = value;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      options.quick = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && (value = next())) {
+      options.seed = static_cast<std::uint64_t>(std::strtoull(value, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--verify") == 0 && (value = next())) {
+      verify_path = value;
+    } else if (std::strcmp(argv[i], "--print") == 0 && (value = next())) {
+      verify_path = value;
+      print_verified = true;
+    } else {
+      return UsageError(argv[0]);
+    }
+  }
+
+  if (!verify_path.empty()) {
+    auto loaded = costmodel::LoadCostModel(verify_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "verify failed: %s: %s\n", verify_path.c_str(),
+                   loaded.status().ToString().c_str());
+      return kExitVerify;
+    }
+    std::printf("%s: valid JZCM01 cost model\n", verify_path.c_str());
+    if (print_verified) PrintModel(loaded.value());
+    return 0;
+  }
+
+  std::printf("calibrating (%s sweep, seed %llu)...\n",
+              options.quick ? "quick" : "full",
+              static_cast<unsigned long long>(options.seed));
+  const costmodel::CostModel model = costmodel::Calibrate(options);
+  if (Status st = costmodel::ValidateModel(model); !st.ok()) {
+    std::fprintf(stderr, "calibration produced an invalid model: %s\n",
+                 st.ToString().c_str());
+    return kExitCalibrate;
+  }
+  PrintModel(model);
+
+  if (Status st = costmodel::SaveCostModel(out, model); !st.ok()) {
+    std::fprintf(stderr, "save failed: %s: %s\n", out.c_str(),
+                 st.ToString().c_str());
+    return kExitCalibrate;
+  }
+
+  // Round-trip verification: the artifact just written must load back
+  // bit-identically, so a 0 exit here proves the engine can consume it.
+  auto reloaded = costmodel::LoadCostModel(out);
+  if (!reloaded.ok()) {
+    std::fprintf(stderr, "round-trip reload failed: %s\n",
+                 reloaded.status().ToString().c_str());
+    return kExitCalibrate;
+  }
+  const std::string a = costmodel::EncodeCostModel(model);
+  const std::string b = costmodel::EncodeCostModel(reloaded.value());
+  if (a != b) {
+    std::fprintf(stderr, "round-trip mismatch: reloaded model differs\n");
+    return kExitCalibrate;
+  }
+  std::printf("wrote %s (%zu bytes, round-trip verified)\n", out.c_str(),
+              a.size());
+  return 0;
+}
